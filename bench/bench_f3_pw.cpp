@@ -1,0 +1,98 @@
+// Figure 3 — Process window: Bossung curves and PV bands.
+//
+// (a) CD of a 100nm line through a dose x defocus matrix (Bossung
+// series: dose moves the curves vertically, defocus bends them). (b) PV
+// band area of dense vs isolated features across corners — the iso-dense
+// variability gap that motivates SRAFs.
+#include "bench_common.h"
+
+#include "opc/opc.h"
+
+using namespace dfm;
+using namespace dfm::bench;
+
+int main() {
+  OpticalModel model;
+  model.sigma = 30;
+  model.threshold = 0.5;
+  model.px = 5;
+
+  const Region line{Rect{0, -2000, 100, 2000}};
+  const Rect window{-250, -300, 350, 300};
+  const Gauge gauge{{-200, 0}, {300, 0}, "line"};
+
+  const std::vector<double> doses = {0.85, 0.95, 1.0, 1.05, 1.15};
+  const std::vector<Coord> defoci = {0, 40, 80, 120};
+
+  Table fig_a("Figure 3a: Bossung matrix, CD [nm] of a 100nm line");
+  std::vector<std::string> hdr{"defocus \\ dose"};
+  for (const double d : doses) hdr.push_back(Table::num(d, 2));
+  fig_a.set_header(hdr);
+  Stopwatch sw;
+  const auto pts = bossung(line, window, model, gauge, doses, defoci);
+  std::size_t i = 0;
+  for (const Coord f : defoci) {
+    std::vector<std::string> row{std::to_string(f)};
+    for (std::size_t d = 0; d < doses.size(); ++d) {
+      row.push_back(Table::num(pts[i++].cd, 1));
+    }
+    fig_a.add_row(row);
+  }
+  fig_a.print();
+  std::printf("(matrix in %.0f ms)\n\n", sw.ms());
+
+  // Process-window size: the fraction of the dose x defocus matrix where
+  // the feature's CD stays within +/-10% of drawn. Narrower and denser
+  // features keep less of the window.
+  Table fig_b("Figure 3b: process-window size (CD within +/-10% of drawn)");
+  fig_b.set_header({"feature", "drawn nm", "window kept", "worst CD"});
+  struct Case {
+    const char* name;
+    Region mask;
+    Coord drawn;
+    Gauge g;
+    Rect w;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"wide iso line", Region{Rect{0, -2000, 140, 2000}}, 140,
+                   Gauge{{-200, 0}, {340, 0}, "w"}, Rect{-250, -300, 390, 300}});
+  cases.push_back({"narrow iso line", Region{Rect{0, -2000, 70, 2000}}, 70,
+                   Gauge{{-200, 0}, {270, 0}, "n"}, Rect{-250, -300, 320, 300}});
+  {
+    Region dense;
+    for (int k = 0; k < 5; ++k) {
+      dense.add(Rect{k * 200, -2000, k * 200 + 100, 2000});
+    }
+    cases.push_back({"dense 100/100 (mid line)", std::move(dense), 100,
+                     Gauge{{300, 0}, {500, 0}, "d"}, Rect{-250, -300, 1150, 300}});
+  }
+  const std::vector<double> pw_doses = {0.85, 0.9, 0.95, 1.0, 1.05, 1.1, 1.15};
+  const std::vector<Coord> pw_defoci = {0, 30, 60, 90, 120};
+  for (Case& c : cases) {
+    int kept = 0, total = 0;
+    double worst = static_cast<double>(c.drawn);
+    for (const BossungPoint& bp :
+         bossung(c.mask, c.w, model, c.g, pw_doses, pw_defoci)) {
+      ++total;
+      const double err = std::abs(bp.cd - static_cast<double>(c.drawn));
+      if (bp.cd > 0 && err <= 0.1 * static_cast<double>(c.drawn)) ++kept;
+      if (std::abs(bp.cd - static_cast<double>(c.drawn)) >
+          std::abs(worst - static_cast<double>(c.drawn))) {
+        worst = bp.cd;
+      }
+    }
+    fig_b.add_row({c.name, std::to_string(c.drawn),
+                   Table::percent(static_cast<double>(kept) / total),
+                   Table::num(worst, 1)});
+  }
+  fig_b.print();
+  std::printf(
+      "\nshape check: CD rises with dose at every focus and the Bossung fan "
+      "opens with defocus\n(3a); wide isolated features keep most of the "
+      "dose-focus matrix while narrow and dense\nfeatures keep progressively "
+      "less (3b). Substitution note: the incoherent Gaussian model\ncannot "
+      "reproduce the *focus-latitude* benefit of SRAFs (a partial-coherence "
+      "effect); SRAF\nnon-printability is verified in the test suite "
+      "instead.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 1 — DRC vs DRC-Plus: what each technique catches.
+//
+// Designs of three sizes carry labelled injected defects: hard DRC
+// violations (spacing, notch) and DRC-clean litho-marginal constructs
+// (pinch corridor, facing line ends, odd cycle). Plain DRC must catch
+// the former and cannot see the latter; DRC-Plus pattern rules recover
+// the pinch/bridge constructs. The "hit or hype" question: does the
+// pattern layer add real detection on top of the rule deck?
+#include "bench_common.h"
+
+#include "core/drc_plus.h"
+
+#include <map>
+
+using namespace dfm;
+using namespace dfm::bench;
+
+int main() {
+  Table table("Table 1: defect detection, DRC vs DRC-Plus");
+  table.set_header({"design", "shapes", "kind", "injected", "DRC", "DRC+",
+                    "DRC ms", "DRC+ ms"});
+
+  const DrcPlusDeck deck = DrcPlusDeck::standard(Tech::standard());
+  const DrcPlusEngine engine{deck};
+
+  int sizes[][2] = {{2, 5}, {4, 10}, {6, 16}};
+  for (const auto& [rows, cols] : sizes) {
+    const TestDesign d = make_design_with_defects(
+        100 + static_cast<std::uint64_t>(rows), rows, cols, rows * 5, 15);
+    const LayerMap layers = flatten_all(d.lib, d.top);
+
+    Stopwatch t_drc;
+    const DrcResult drc = DrcEngine{deck.drc}.run(layers);
+    const double drc_ms = t_drc.ms();
+
+    Stopwatch t_plus;
+    const DrcPlusResult plus = engine.run(layers);
+    const double plus_ms = t_plus.ms();
+
+    // Collect all violation / match markers.
+    std::vector<Rect> drc_markers;
+    for (const Violation& v : drc.violations) {
+      if (v.rule.find(".D.") == std::string::npos) {
+        drc_markers.push_back(v.marker);
+      }
+    }
+    std::vector<Rect> plus_markers = drc_markers;
+    for (const auto& set : plus.matches) {
+      for (const PatternMatch& m : set) plus_markers.push_back(m.window);
+    }
+
+    // Per-kind detection.
+    std::map<std::string, std::array<int, 3>> by_kind;  // injected, drc, plus
+    for (const Injection& inj : d.injections) {
+      auto& row = by_kind[inj.kind];
+      ++row[0];
+      if (any_overlap(drc_markers, inj.where)) ++row[1];
+      if (any_overlap(plus_markers, inj.where)) ++row[2];
+    }
+
+    const std::string shapes = std::to_string(d.lib.flat_shape_count(d.top));
+    bool first = true;
+    for (const auto& [kind, counts] : by_kind) {
+      table.add_row({first ? d.lib.cell(d.top).name() : "", first ? shapes : "",
+                     kind, std::to_string(counts[0]), std::to_string(counts[1]),
+                     std::to_string(counts[2]),
+                     first ? Table::num(drc_ms, 1) : "",
+                     first ? Table::num(plus_ms, 1) : ""});
+      first = false;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nverdict: DRC-Plus is a HIT when the pinch/bridge rows show DRC=0 "
+      "but DRC+>0 — the\npattern layer sees DRC-clean yield killers at "
+      "rule-deck cost of the same order.\n");
+  return 0;
+}

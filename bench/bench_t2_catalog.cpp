@@ -1,0 +1,91 @@
+// Table 2 — Layout pattern catalogs across products.
+//
+// Four "products": three share a process/style (different seeds), one is
+// an outlier (different via enclosure discipline). The catalog statistics
+// reproduce the published shape: heavy-tailed class distribution (top-10
+// classes >= 90% of all vias) and KL divergence spotting the outlier.
+#include "bench_common.h"
+
+#include "pattern/catalog.h"
+#include "pattern/divergence.h"
+
+using namespace dfm;
+using namespace dfm::bench;
+
+namespace {
+
+LayerMap make_product(std::uint64_t seed, const Tech& tech, int vias) {
+  Library lib{"prod" + std::to_string(seed)};
+  Cell& c = lib.cell(lib.new_cell("c"));
+  Rng rng(seed);
+  // Several fields with slightly different origins for variety.
+  for (int f = 0; f < 4; ++f) {
+    add_via_field(c, rng, tech, {f * 40000, (f % 2) * 20000}, vias / 4);
+  }
+  LayerMap m;
+  for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
+    m.emplace(k, lib.flatten(0, k));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  const Coord radius = 120;
+
+  Tech outlier_tech = Tech::standard();
+  outlier_tech.via_enclosure = 30;  // a different landing-pad discipline
+
+  struct Product {
+    std::string name;
+    PatternCatalog catalog;
+  };
+  std::vector<Product> products;
+  Stopwatch t_build;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    products.push_back(
+        {"P" + std::to_string(seed),
+         build_catalog(make_product(seed, Tech::standard(), 600), on,
+                       layers::kVia1, radius)});
+  }
+  products.push_back({"P_out", build_catalog(make_product(14, outlier_tech, 600),
+                                             on, layers::kVia1, radius)});
+  const double build_ms = t_build.ms();
+
+  Table stats("Table 2a: via-enclosure catalog statistics per product");
+  stats.set_header({"product", "windows", "classes", "top-10 coverage",
+                    "classes for 90%", "assoc. edges"});
+  for (const Product& p : products) {
+    stats.add_row({p.name, std::to_string(p.catalog.total_windows()),
+                   std::to_string(p.catalog.class_count()),
+                   Table::percent(p.catalog.top_k_coverage(10)),
+                   std::to_string(p.catalog.classes_for_coverage(0.9)),
+                   std::to_string(p.catalog.association_edges().size())});
+  }
+  stats.print();
+
+  Table kl("Table 2b: pairwise KL divergence (row || column)");
+  std::vector<std::string> hdr{"KL"};
+  for (const Product& p : products) hdr.push_back(p.name);
+  kl.set_header(hdr);
+  for (const Product& a : products) {
+    std::vector<std::string> row{a.name};
+    for (const Product& b : products) {
+      row.push_back(Table::num(kl_divergence(a.catalog, b.catalog), 3));
+    }
+    kl.add_row(row);
+  }
+  kl.print();
+
+  std::printf(
+      "\ncatalogs built in %.0f ms.\n"
+      "verdict: catalog analysis is a HIT when (a) top-10 coverage >= 90%% "
+      "on every product\n(the heavy tail the 28nm studies report) and (b) "
+      "the P_out row/column stands out by an\norder of magnitude in KL — "
+      "the divergence finds the styled outlier without any simulation.\n",
+      build_ms);
+  return 0;
+}

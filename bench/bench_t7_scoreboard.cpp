@@ -1,0 +1,52 @@
+// Table 7 — The "hit or hype" scoreboard: every DFM technique run over
+// one full product layout, with its score contribution, the raw signal
+// behind it, and its cost in milliseconds.
+#include "bench_common.h"
+
+#include "core/dfm_flow.h"
+
+using namespace dfm;
+using namespace dfm::bench;
+
+int main() {
+  const TestDesign d = make_design_with_defects(700, 4, 10, 30, 12);
+
+  DfmFlowOptions opt;
+  opt.tech = Tech::standard();
+  // A process that marginally resolves the 50nm tech: healthy cells print,
+  // the salted marginal constructs do not.
+  opt.model.sigma = 25;
+  opt.model.px = 5;
+  opt.run_litho = true;
+  opt.litho_tile = 8000;
+  opt.litho_edge_tolerance = 12;
+  opt.defects.d0 = 1e5;
+
+  Stopwatch total;
+  const DfmFlowReport rep = run_dfm_flow(d.lib, d.top, opt);
+  const double total_ms = total.ms();
+
+  Table table("Table 7: DFM scoreboard (full flow on one design)");
+  table.set_header({"technique", "score", "weight", "signal"});
+  for (const MetricScore& m : rep.scorecard.metrics) {
+    table.add_row({m.name, Table::num(m.value), Table::num(m.weight, 1),
+                   m.detail});
+  }
+  table.print();
+
+  std::printf("\ncomposite manufacturability score: %.3f (flow: %.0f ms)\n",
+              rep.scorecard.composite(), total_ms);
+  std::printf("defect-limited yield %.4f  (lambda shorts %.3e, opens %.3e)\n",
+              rep.defect_yield, rep.lambda_shorts, rep.lambda_opens);
+  std::printf("via yield %.4f -> %.4f after doubling (%d of %d singles)\n",
+              rep.via_yield_before, rep.via_yield_after, rep.vias.inserted,
+              rep.vias.singles_before);
+  std::printf("litho hotspots found: %zu  DPT: %s with %zu stitches\n",
+              rep.hotspots.size(), rep.dpt.compliant ? "compliant" : "DIRTY",
+              rep.dpt.stitches.size());
+  std::printf(
+      "\nverdict: on a design salted with known-bad constructs, every row "
+      "below 1.00 is a\ntechnique earning its keep — the scoreboard is the "
+      "panel's question made executable.\n");
+  return 0;
+}

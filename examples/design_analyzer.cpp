@@ -1,0 +1,63 @@
+// Design analyzer: profile a design's dimensional usage, compare its
+// design-space coverage against a reference product, and print the
+// configurations the reference never exercised.
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "gen/generators.h"
+
+#include <cstdio>
+
+namespace {
+
+dfm::Region product(std::uint64_t seed, double wide_ratio) {
+  dfm::DesignParams p;
+  p.seed = seed;
+  p.name = "an" + std::to_string(seed);
+  p.rows = 3;
+  p.cells_per_row = 8;
+  p.routes = 30;
+  p.wide_wire_ratio = wide_ratio;
+  const dfm::Library lib = dfm::generate_design(p);
+  return lib.flatten(lib.top_cells()[0], dfm::layers::kMetal2);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfm;
+  const Region reference = product(1, 0.0);
+  const Region candidate = product(2, 0.5);  // a fat-wire styled design
+
+  for (const auto& [name, layer] :
+       {std::pair<const char*, const Region&>{"reference", reference},
+        {"candidate", candidate}}) {
+    const LayerProfile prof = profile_layer(layer, 600, 8);
+    Table t(std::string("Metal-2 profile: ") + name);
+    t.set_header({"metric", "value"});
+    t.add_row({"components", std::to_string(prof.components)});
+    t.add_row({"total area um^2",
+               Table::num(static_cast<double>(prof.total_area) / 1e6, 2)});
+    t.add_row({"density", Table::num(prof.density, 3)});
+    t.add_row({"width min/p50/max",
+               std::to_string(prof.widths.min()) + "/" +
+                   std::to_string(prof.widths.percentile(0.5)) + "/" +
+                   std::to_string(prof.widths.max())});
+    t.add_row({"spacing min/p50",
+               std::to_string(prof.spacings.min()) + "/" +
+                   std::to_string(prof.spacings.percentile(0.5))});
+    t.print();
+    std::printf("\n");
+  }
+
+  const CoverageMap ref_cov = dimensional_coverage(reference, 600, 8).pruned(0.005);
+  const CoverageMap cand_cov = dimensional_coverage(candidate, 600, 8).pruned(0.005);
+  std::printf("coverage overlap (Jaccard): %.3f\n",
+              CoverageMap::overlap(ref_cov, cand_cov));
+  const auto fresh = CoverageMap::uncovered(ref_cov, cand_cov);
+  std::printf("configurations unseen in the reference: %zu\n", fresh.size());
+  for (const auto& [w, s] : fresh) {
+    std::printf("  width~%lld x space~%lld  <- no process learning here\n",
+                static_cast<long long>(w), static_cast<long long>(s));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Hotspot classification flow: simulate a training design, cluster the
+// hotspots into classes, then scan a second design for the same weak
+// constructs without simulating it.
+#include "core/hotspot_flow.h"
+#include "core/report.h"
+#include "gen/generators.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace dfm;
+  const Tech& t = Tech::standard();
+
+  // Training design: several known litho-marginal constructs.
+  Cell train{"train"};
+  Rng rng(11);
+  inject_pinch_candidate(train, t, {0, 0});
+  inject_pinch_candidate(train, t, {6000, 0});
+  inject_bridge_candidate(train, t, {12000, 0});
+  const Region train_m1 = train.local_region(layers::kMetal1);
+
+  HotspotFlowParams params;
+  params.model.sigma = 30;
+  params.model.px = 5;
+  params.snippet_radius = 350;
+
+  std::printf("training on %s...\n", to_string(train_m1.bbox()).c_str());
+  const HotspotLibrary lib =
+      build_hotspot_library(train_m1, train_m1.bbox().expanded(200), params);
+
+  Table classes("hotspot classes");
+  classes.set_header({"class", "kind", "population"});
+  for (std::size_t i = 0; i < lib.classes.size(); ++i) {
+    classes.add_row(
+        {std::to_string(i),
+         lib.classes[i].kind == HotspotKind::kPinch ? "pinch" : "bridge",
+         std::to_string(lib.classes[i].population)});
+  }
+  classes.print();
+  std::printf("%zu raw hotspots -> %zu classes\n\n", lib.training_hotspots,
+              lib.classes.size());
+
+  // Target design: one pinch corridor hidden among clean wiring.
+  Cell target{"target"};
+  inject_pinch_candidate(target, t, {2000, 1000});
+  for (int i = 0; i < 8; ++i) {
+    target.add(layers::kMetal1,
+               Rect{12000 + i * 400, 0, 12000 + i * 400 + 200, 5000});
+  }
+  const Region target_m1 = target.local_region(layers::kMetal1);
+  const auto matches = scan_for_hotspots(
+      target_m1, target_m1.bbox().expanded(200), lib, params);
+
+  std::printf("scan found %zu matching windows (no simulation run):\n",
+              matches.size());
+  for (const HotspotMatch& m : matches) {
+    std::printf("  class %zu at %s  d=%.3f\n", m.class_index,
+                to_string(m.window).c_str(), m.distance);
+  }
+  return 0;
+}

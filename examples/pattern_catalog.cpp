@@ -1,0 +1,63 @@
+// Layout pattern catalogs: build via-enclosure catalogs for two
+// "products" (different generator seeds/styles), print the heavy-tail
+// coverage statistics and the divergence between the products.
+#include "core/report.h"
+#include "gen/generators.h"
+#include "pattern/catalog.h"
+#include "pattern/divergence.h"
+
+#include <cstdio>
+
+namespace {
+
+dfm::LayerMap make_product(std::uint64_t seed, int vias) {
+  using namespace dfm;
+  Library lib{"p" + std::to_string(seed)};
+  Cell& c = lib.cell(lib.new_cell("c"));
+  Rng rng(seed);
+  add_via_field(c, rng, Tech::standard(), {0, 0}, vias);
+  LayerMap m;
+  for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
+    m.emplace(k, lib.flatten(0, k));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfm;
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  const Coord radius = 120;
+
+  const PatternCatalog a =
+      build_catalog(make_product(1, 300), on, layers::kVia1, radius);
+  const PatternCatalog b =
+      build_catalog(make_product(2, 300), on, layers::kVia1, radius);
+
+  Table stats("via-enclosure pattern catalog");
+  stats.set_header({"product", "windows", "classes", "top-2 coverage",
+                    "classes for 90%"});
+  for (const auto& [name, cat] : {std::pair<const char*, const PatternCatalog&>
+                                      {"A", a}, {"B", b}}) {
+    stats.add_row({name, std::to_string(cat.total_windows()),
+                   std::to_string(cat.class_count()),
+                   Table::percent(cat.top_k_coverage(2)),
+                   std::to_string(cat.classes_for_coverage(0.9))});
+  }
+  stats.print();
+
+  std::printf("\nmost frequent classes of product A:\n");
+  int rank = 0;
+  for (const CatalogEntry* e : a.by_frequency()) {
+    if (++rank > 3) break;
+    std::printf("#%d  count=%llu\n%s\n", rank,
+                static_cast<unsigned long long>(e->count),
+                e->pattern.to_ascii().c_str());
+  }
+
+  std::printf("KL(A||B) = %.4f   JS(A,B) = %.4f\n", kl_divergence(a, b),
+              js_divergence(a, b));
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "core/analyzer.h"
+
+#include "geometry/edge_ops.h"
+
+#include <algorithm>
+
+namespace dfm {
+
+void DimensionHistogram::add(Coord value, std::uint64_t weight) {
+  if (value < 0 || weight == 0) return;
+  counts_[(value / bin_) * bin_] += weight;
+  total_ += weight;
+}
+
+Coord DimensionHistogram::min() const {
+  return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+Coord DimensionHistogram::max() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+Coord DimensionHistogram::percentile(double p) const {
+  if (counts_.empty()) return 0;
+  const double target = p * static_cast<double>(total_);
+  double acc = 0;
+  for (const auto& [bin, w] : counts_) {
+    acc += static_cast<double>(w);
+    if (acc >= target) return bin;
+  }
+  return counts_.rbegin()->first;
+}
+
+namespace {
+
+Coord overlap_length(const EdgePair& p) {
+  // The marker box spans the gap: one side equals the measured distance,
+  // the other is the projection overlap length.
+  return p.marker.height() == p.distance ? p.marker.width()
+                                         : p.marker.height();
+}
+
+}  // namespace
+
+LayerProfile profile_layer(const Region& layer, Coord max_dim,
+                           Coord bin_width) {
+  LayerProfile prof;
+  prof.widths = DimensionHistogram{bin_width};
+  prof.spacings = DimensionHistogram{bin_width};
+  prof.component_areas = DimensionHistogram{bin_width};
+  if (layer.empty()) return prof;
+
+  for (const EdgePair& p : facing_pairs(layer, max_dim, /*external=*/false)) {
+    prof.widths.add(p.distance, static_cast<std::uint64_t>(overlap_length(p)));
+  }
+  for (const EdgePair& p : facing_pairs(layer, max_dim, /*external=*/true)) {
+    prof.spacings.add(p.distance,
+                      static_cast<std::uint64_t>(overlap_length(p)));
+  }
+  const auto comps = layer.components();
+  prof.components = comps.size();
+  for (const Region& c : comps) {
+    prof.component_areas.add(static_cast<Coord>(c.area() / 1000));
+  }
+  prof.total_area = layer.area();
+  const Area bb = layer.bbox().area();
+  prof.density = bb > 0 ? static_cast<double>(prof.total_area) /
+                              static_cast<double>(bb)
+                        : 0.0;
+  return prof;
+}
+
+void CoverageMap::add(Coord width, Coord space, std::uint64_t weight) {
+  if (width < 0 || space < 0) return;
+  bins_[{(width / bin_) * bin_, (space / bin_) * bin_}] += weight;
+}
+
+CoverageMap CoverageMap::pruned(double min_weight_fraction) const {
+  CoverageMap out{bin_};
+  std::uint64_t total = 0;
+  for (const auto& [bin, w] : bins_) total += w;
+  const double cut = min_weight_fraction * static_cast<double>(total);
+  for (const auto& [bin, w] : bins_) {
+    if (static_cast<double>(w) >= cut) out.bins_[bin] = w;
+  }
+  return out;
+}
+
+double CoverageMap::overlap(const CoverageMap& a, const CoverageMap& b) {
+  std::size_t inter = 0;
+  for (const auto& [bin, w] : a.bins_) {
+    if (b.bins_.count(bin) != 0) ++inter;
+  }
+  const std::size_t uni = a.bins_.size() + b.bins_.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<CoverageMap::Bin> CoverageMap::uncovered(
+    const CoverageMap& reference, const CoverageMap& probe) {
+  std::vector<Bin> out;
+  for (const auto& [bin, w] : probe.bins_) {
+    if (reference.bins_.count(bin) == 0) out.push_back(bin);
+  }
+  return out;
+}
+
+CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
+                                 Coord bin_width) {
+  CoverageMap map{bin_width};
+  if (layer.empty()) return map;
+
+  // For every boundary edge: local width = nearest internal facing pair
+  // touching it, local space = nearest external pair. Edges with both
+  // defined contribute one (w, s) sample weighted by edge length.
+  struct Key {
+    Coord line, lo, hi;
+    bool horizontal;
+    auto operator<=>(const Key&) const = default;
+  };
+  auto key_of = [](const Segment& s) {
+    if (s.a.y == s.b.y) {
+      return Key{s.a.y, std::min(s.a.x, s.b.x), std::max(s.a.x, s.b.x), true};
+    }
+    return Key{s.a.x, std::min(s.a.y, s.b.y), std::max(s.a.y, s.b.y), false};
+  };
+
+  std::map<Key, Coord> width_of, space_of;
+  for (const EdgePair& p : facing_pairs(layer, max_dim, false)) {
+    for (const Segment& seg : {p.a, p.b}) {
+      const Key k = key_of(seg);
+      const auto it = width_of.find(k);
+      if (it == width_of.end() || it->second > p.distance) {
+        width_of[k] = p.distance;
+      }
+    }
+  }
+  for (const EdgePair& p : facing_pairs(layer, max_dim, true)) {
+    for (const Segment& seg : {p.a, p.b}) {
+      const Key k = key_of(seg);
+      const auto it = space_of.find(k);
+      if (it == space_of.end() || it->second > p.distance) {
+        space_of[k] = p.distance;
+      }
+    }
+  }
+  for (const auto& [k, w] : width_of) {
+    const auto it = space_of.find(k);
+    if (it == space_of.end()) continue;
+    map.add(w, it->second, static_cast<std::uint64_t>(k.hi - k.lo));
+  }
+  return map;
+}
+
+}  // namespace dfm

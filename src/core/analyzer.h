@@ -1,0 +1,94 @@
+// Physical design analyzer: layout profiling and dimensional design-
+// space coverage, after the "VLSI physical design analyzer" profiling
+// tool and the "quantitative definition of physical design space
+// coverage" used for design-process correlation. Where sign-off DRC asks
+// "is every dimension legal?", the analyzer asks "which dimensions does
+// this design actually use, and does product B use configurations
+// product A never exercised?" — unseen configurations are exactly where
+// process learning is missing.
+#pragma once
+
+#include "geometry/region.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dfm {
+
+/// Fixed-bin histogram over nm dimensions.
+class DimensionHistogram {
+ public:
+  explicit DimensionHistogram(Coord bin_width = 5) : bin_(bin_width) {}
+
+  void add(Coord value, std::uint64_t weight = 1);
+
+  Coord bin_width() const { return bin_; }
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+  Coord min() const;
+  Coord max() const;
+  /// Smallest value v with cumulative weight >= p * total (p in [0,1]).
+  Coord percentile(double p) const;
+  /// Bin lower bound -> weight.
+  const std::map<Coord, std::uint64_t>& bins() const { return counts_; }
+
+ private:
+  Coord bin_;
+  std::map<Coord, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-layer dimensional profile. Width and spacing samples come from
+/// facing boundary-edge pairs weighted by their overlap length, so long
+/// uniform wires dominate exactly as they dominate the silicon.
+struct LayerProfile {
+  DimensionHistogram widths;
+  DimensionHistogram spacings;
+  DimensionHistogram component_areas;  // in units of 1000 nm^2
+  std::size_t components = 0;
+  Area total_area = 0;
+  double density = 0;  // area / bbox area
+};
+
+/// Profiles a merged layer. `max_dim` bounds the facing-pair search (and
+/// therefore the largest recorded width/space).
+LayerProfile profile_layer(const Region& layer, Coord max_dim,
+                           Coord bin_width = 5);
+
+/// Dimensional coverage: the set of (width_bin, space_bin) cells the
+/// layout exercises. Each boundary edge contributes the pair (its local
+/// width, its local spacing) when both are within `max_dim`.
+class CoverageMap {
+ public:
+  using Bin = std::pair<Coord, Coord>;  // (width bin, space bin) lower bounds
+
+  CoverageMap(Coord bin_width = 5) : bin_(bin_width) {}
+
+  Coord bin_width() const { return bin_; }
+  const std::map<Bin, std::uint64_t>& bins() const { return bins_; }
+  std::size_t occupied() const { return bins_.size(); }
+  void add(Coord width, Coord space, std::uint64_t weight = 1);
+
+  /// Copy with low-weight bins removed (weight < fraction of the total):
+  /// sliver samples from jogs and corners are measurement noise, not
+  /// design style.
+  CoverageMap pruned(double min_weight_fraction) const;
+
+  /// Jaccard overlap of occupied bins.
+  static double overlap(const CoverageMap& a, const CoverageMap& b);
+  /// Bins occupied in `probe` but not in `reference` — the configurations
+  /// the reference (e.g. the qualification vehicle) never exercised.
+  static std::vector<Bin> uncovered(const CoverageMap& reference,
+                                    const CoverageMap& probe);
+
+ private:
+  Coord bin_;
+  std::map<Bin, std::uint64_t> bins_;
+};
+
+CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
+                                 Coord bin_width = 5);
+
+}  // namespace dfm

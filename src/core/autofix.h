@@ -1,0 +1,29 @@
+// Pattern-guided auto-fixing: the insertion-flow counterpart of DRC-Plus.
+// Where the matcher reports a known-bad construct *with* its fix
+// guidance, the fixer applies the geometric repair mechanically — if and
+// only if the repair introduces no new spacing violation.
+//
+// Implemented repairs:
+//  * borderless via   -> grow both landing pads to full enclosure
+//  * pinch corridor   -> widen the squeezed line symmetrically
+#pragma once
+
+#include "core/drc_plus.h"
+
+namespace dfm {
+
+struct AutoFixResult {
+  int attempted = 0;
+  int fixed = 0;
+  int skipped = 0;     // no legal repair at this site
+  Region added_m1;     // material added per layer
+  Region added_m2;
+};
+
+/// Applies repairs for the standard-deck pattern matches in-place on
+/// `layers`. Every addition is spacing-checked against its surroundings
+/// before being committed.
+AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
+                       const DrcPlusResult& result, const Tech& tech);
+
+}  // namespace dfm

@@ -1,0 +1,107 @@
+#include "core/dfm_flow.h"
+
+namespace dfm {
+
+DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
+                           const DfmFlowOptions& options) {
+  DfmFlowReport rep;
+  const Tech& t = options.tech;
+
+  // Flatten every layer once.
+  LayerMap layers;
+  for (const LayerKey k :
+       {layers::kMetal1, layers::kMetal2, layers::kVia1, layers::kPoly,
+        layers::kContact, layers::kDiff}) {
+    layers.emplace(k, lib.flatten(top, k));
+  }
+  const Region& m1 = layers.at(layers::kMetal1);
+  const Region& m2 = layers.at(layers::kMetal2);
+  const Region& v1 = layers.at(layers::kVia1);
+
+  // 1. DRC + DRC-Plus.
+  const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
+  rep.drcplus = engine.run(layers);
+  int geometric = 0;
+  for (const Violation& v : rep.drcplus.drc.violations) {
+    if (v.rule.find(".D.") == std::string::npos) ++geometric;
+  }
+  rep.scorecard.add("drc", score_from_count(static_cast<std::size_t>(geometric)),
+                    3.0, std::to_string(geometric) + " violations");
+  rep.scorecard.add(
+      "drc_plus", score_from_count(rep.drcplus.pattern_match_count()), 2.0,
+      std::to_string(rep.drcplus.pattern_match_count()) + " pattern hits");
+
+  // 2. Recommended rules.
+  rep.recommended = check_recommended(layers, standard_recommended_rules(t));
+  rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
+                    "rule compliance");
+
+  // 3. Litho hotspots (tile-simulated).
+  if (options.run_litho && !m1.empty()) {
+    rep.hotspots = simulate_hotspots(m1, m1.bbox(), options.model,
+                                     options.litho_edge_tolerance,
+                                     options.litho_tile);
+    rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
+                      std::to_string(rep.hotspots.size()) + " hotspots");
+  }
+
+  // 4. Double patterning on Metal 1.
+  rep.dpt = decompose_dpt(m1, t);
+  rep.dpt_score = score_decomposition(rep.dpt, t);
+  rep.scorecard.add("dpt", rep.dpt.compliant ? rep.dpt_score.composite : 0.0,
+                    2.0,
+                    rep.dpt.compliant ? "compliant" : "odd cycles remain");
+
+  // 5. Redundant vias.
+  rep.vias = double_vias(layers, t);
+  const auto singles = static_cast<std::int64_t>(rep.vias.singles_before);
+  const auto doubled = static_cast<std::int64_t>(rep.vias.inserted);
+  rep.via_yield_before = via_yield(singles, 0, options.via_fail_rate);
+  rep.via_yield_after =
+      via_yield(singles - doubled, doubled, options.via_fail_rate);
+  rep.scorecard.add("via_redundancy",
+                    singles > 0 ? static_cast<double>(doubled) /
+                                      static_cast<double>(singles)
+                                : 1.0,
+                    1.0, std::to_string(doubled) + "/" +
+                             std::to_string(singles) + " doubled");
+
+  // 6. Connectivity: extracted nets and floating (misaligned) vias.
+  rep.nets = extract_nets(layers, standard_stack());
+  rep.floating_cuts = find_floating_cuts(layers, standard_stack());
+  rep.scorecard.add("connectivity",
+                    score_from_count(rep.floating_cuts.size(), 2.0), 1.0,
+                    std::to_string(rep.nets.size()) + " nets, " +
+                        std::to_string(rep.floating_cuts.size()) +
+                        " floating vias");
+
+  // 7. Critical area / defect-limited yield. Shorts on M2 are net-aware
+  // (stubs strapped through vias are not shorts); M1 uses the
+  // conservative layer-local estimate.
+  {
+    std::vector<Region> pieces;
+    std::vector<int> net_of;
+    for (std::size_t ni = 0; ni < rep.nets.nets.size(); ++ni) {
+      if (const Region* piece = rep.nets.nets[ni].on(layers::kMetal2)) {
+        pieces.push_back(*piece);
+        net_of.push_back(static_cast<int>(ni));
+      }
+    }
+    const auto m2_shorts = [&](Coord s) {
+      return short_critical_area_nets(pieces, net_of, s);
+    };
+    const double eca_nm2 =
+        average_critical_area(m2_shorts, options.defects, 16);
+    rep.lambda_shorts = layer_lambda(m1, options.defects, /*shorts=*/true) +
+                        options.defects.d0 * (eca_nm2 / 1e14);
+  }
+  rep.lambda_opens = layer_lambda(m2, options.defects, /*shorts=*/false);
+  rep.defect_yield = poisson_yield(rep.lambda_shorts + rep.lambda_opens);
+  rep.scorecard.add("defect_yield", rep.defect_yield, 2.0,
+                    "Poisson over CAA lambda");
+
+  (void)v1;
+  return rep;
+}
+
+}  // namespace dfm

@@ -1,0 +1,47 @@
+// The full DFM sign-off flow: runs every technique in the toolkit over a
+// design, collects their raw results, and folds them into one composite
+// manufacturability scorecard — the "hit or hype" scoreboard that puts a
+// number on what each technique sees.
+#pragma once
+
+#include "core/drc_plus.h"
+#include "core/hotspot_flow.h"
+#include "core/recommended_rules.h"
+#include "core/scoring.h"
+#include "dpt/dpt.h"
+#include "layout/connectivity.h"
+#include "yield/yield.h"
+
+namespace dfm {
+
+struct DfmFlowOptions {
+  Tech tech;
+  OpticalModel model;
+  DefectModel defects;
+  bool run_litho = true;      // tile-simulated hotspot scan (slowest step)
+  Coord litho_tile = 20000;
+  Coord litho_edge_tolerance = 12;
+  double via_fail_rate = 1e-4;
+};
+
+struct DfmFlowReport {
+  DrcPlusResult drcplus;
+  Netlist nets;
+  std::vector<FloatingCut> floating_cuts;
+  RecommendedReport recommended;
+  std::vector<Hotspot> hotspots;
+  Decomposition dpt;
+  DptScore dpt_score;
+  ViaDoublingResult vias;
+  double lambda_shorts = 0;
+  double lambda_opens = 0;
+  double defect_yield = 1;      // Poisson over shorts+opens lambda
+  double via_yield_before = 1;  // all vias single
+  double via_yield_after = 1;   // after redundant insertion
+  DfmScorecard scorecard;
+};
+
+DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
+                           const DfmFlowOptions& options);
+
+}  // namespace dfm

@@ -1,0 +1,30 @@
+// Dummy metal fill: non-functional squares inserted into sparse density
+// tiles so CMP sees uniform pattern density — the oldest DFM technique
+// in the deck. Fill keeps a spacing moat from real geometry (and from
+// other fill), never lands outside the requested extent, and stops at
+// the target density instead of flooding.
+#pragma once
+
+#include "geometry/region.h"
+#include "layout/tech.h"
+
+namespace dfm {
+
+struct FillParams {
+  Coord square = 200;      // fill square edge
+  Coord spacing = 120;     // moat to real geometry and other fill
+  Coord tile = 5000;       // density window size
+  double target_min = 0.15;  // bring every tile up to at least this
+};
+
+struct FillResult {
+  Region fill;
+  int tiles_below = 0;     // tiles initially under the target
+  int tiles_fixed = 0;     // tiles that reached the target after fill
+  int squares = 0;
+};
+
+FillResult insert_fill(const Region& layer, const Rect& extent,
+                       const FillParams& params);
+
+}  // namespace dfm

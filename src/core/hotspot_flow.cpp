@@ -1,0 +1,98 @@
+#include "core/hotspot_flow.h"
+
+#include "geometry/rtree.h"
+
+namespace dfm {
+
+std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
+                                       const OpticalModel& model,
+                                       Coord edge_tolerance, Coord tile) {
+  std::vector<Hotspot> out;
+  if (extent.is_empty() || layer.empty()) return out;
+  const Coord margin = 6 * model.sigma;  // simulate with halo, report core
+  for (Coord y = extent.lo.y; y < extent.hi.y; y += tile) {
+    for (Coord x = extent.lo.x; x < extent.hi.x; x += tile) {
+      const Rect core{x, y, std::min(x + tile, extent.hi.x),
+                      std::min(y + tile, extent.hi.y)};
+      const Rect window = core.expanded(margin);
+      const Region local = layer.clipped(window);
+      if (local.empty()) continue;
+      const Region printed = simulate_print(local, window, model);
+      for (Hotspot h : find_hotspots(local.clipped(core.expanded(margin / 2)),
+                                     printed, edge_tolerance)) {
+        // Keep hotspots whose marker center is in this tile's core so
+        // tiling does not double-report.
+        if (core.contains(h.marker.center())) out.push_back(std::move(h));
+      }
+    }
+  }
+  return out;
+}
+
+HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
+                                     const HotspotFlowParams& params) {
+  HotspotLibrary lib;
+  const auto hotspots =
+      simulate_hotspots(layer, extent, params.model, params.edge_tolerance);
+  lib.training_hotspots = hotspots.size();
+
+  std::vector<Snippet> snippets;
+  std::vector<HotspotKind> kinds;
+  snippets.reserve(hotspots.size());
+  for (const Hotspot& h : hotspots) {
+    const Point c = h.marker.center();
+    const Rect clip{c.x - params.snippet_radius, c.y - params.snippet_radius,
+                    c.x + params.snippet_radius, c.y + params.snippet_radius};
+    snippets.push_back(Snippet{layer.clipped(clip), c});
+    kinds.push_back(h.kind);
+  }
+
+  for (const SnippetCluster& cluster :
+       leader_cluster(snippets, params.cluster_threshold)) {
+    HotspotClass cls;
+    cls.representative = snippets[cluster.representative].geometry.translated(
+        -snippets[cluster.representative].center);
+    cls.kind = kinds[cluster.representative];
+    cls.population = cluster.members.size();
+    lib.classes.push_back(std::move(cls));
+  }
+  return lib;
+}
+
+std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
+                                            const Rect& extent,
+                                            const HotspotLibrary& library,
+                                            const HotspotFlowParams& params) {
+  std::vector<HotspotMatch> out;
+  if (library.classes.empty() || layer.empty()) return out;
+
+  // Index layer rects once; clip per window via the tree.
+  const std::vector<Rect>& rects = layer.rects();
+  const RTree tree(rects);
+  const Coord r = params.snippet_radius;
+
+  for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + params.scan_stride;
+       y += params.scan_stride) {
+    for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + params.scan_stride;
+         x += params.scan_stride) {
+      const Rect window{x, y, x + 2 * r, y + 2 * r};
+      Region clip;
+      tree.visit(window, [&](std::uint32_t i) {
+        const Rect c = rects[i].intersect(window);
+        if (!c.is_empty()) clip.add(c);
+      });
+      if (clip.empty()) continue;
+      const Region centered = clip.translated(-window.center());
+      for (std::size_t ci = 0; ci < library.classes.size(); ++ci) {
+        const double d =
+            snippet_distance(library.classes[ci].representative, centered);
+        if (d <= params.match_threshold) {
+          out.push_back(HotspotMatch{ci, window, d});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,61 @@
+// Hotspot classification system, after the automatic hotspot
+// classification papers: simulate a training design, harvest hotspot
+// snippets, cluster them into classes, and use the class representatives
+// as a geometric match deck to find the same weak constructs in new
+// designs without running simulation there.
+#pragma once
+
+#include "litho/litho.h"
+#include "pattern/clustering.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct HotspotFlowParams {
+  OpticalModel model;
+  Coord snippet_radius = 400;    // clip half-size around a hotspot
+  Coord edge_tolerance = 12;     // litho hotspot sensitivity
+  double cluster_threshold = 0.25;  // snippet Jaccard-distance threshold
+  double match_threshold = 0.25;    // scan-side distance threshold
+  Coord scan_stride = 200;          // sliding-scan stride
+};
+
+struct HotspotClass {
+  Region representative;  // geometry of the defining snippet
+  HotspotKind kind;
+  std::size_t population = 0;  // training snippets in this class
+};
+
+struct HotspotLibrary {
+  std::vector<HotspotClass> classes;
+  std::size_t training_hotspots = 0;
+};
+
+/// Training: simulate `layer` over `extent` tile by tile, harvest
+/// hotspot snippets, cluster, and keep one representative per class.
+HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
+                                     const HotspotFlowParams& params);
+
+struct HotspotMatch {
+  std::size_t class_index;
+  Rect window;
+  double distance;
+};
+
+/// Scanning: slide a window over the target and report windows whose
+/// geometry is within match_threshold of a class representative. No
+/// simulation happens here — that is the point of the flow.
+std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
+                                            const Rect& extent,
+                                            const HotspotLibrary& library,
+                                            const HotspotFlowParams& params);
+
+/// Simulates in tiles (bounded raster size) and returns all hotspots.
+std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
+                                       const OpticalModel& model,
+                                       Coord edge_tolerance,
+                                       Coord tile = 20000);
+
+}  // namespace dfm

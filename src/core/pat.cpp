@@ -1,0 +1,76 @@
+#include "core/pat.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace dfm {
+
+std::vector<OptimizedPattern> optimize_context(
+    const Region& layer, const std::vector<Point>& hotspot_anchors,
+    const std::vector<Point>& clean_anchors, const PatParams& params) {
+  LayerMap layers;
+  layers.emplace(params.layer, layer);
+
+  std::vector<Coord> radii = params.radii;
+  std::sort(radii.begin(), radii.end());
+
+  // Per radius: the pattern of every anchor.
+  auto capture_all = [&](const std::vector<Point>& anchors, Coord radius) {
+    std::vector<TopologicalPattern> out;
+    out.reserve(anchors.size());
+    for (const Point& a : anchors) {
+      const Rect w{a.x - radius, a.y - radius, a.x + radius, a.y + radius};
+      out.push_back(capture_window(layers, {params.layer}, w));
+    }
+    return out;
+  };
+
+  // Track which hotspot anchors are already covered by an emitted rule so
+  // one representative per pattern family suffices.
+  std::vector<bool> covered(hotspot_anchors.size(), false);
+  std::vector<OptimizedPattern> out;
+
+  for (std::size_t hi = 0; hi < hotspot_anchors.size(); ++hi) {
+    if (covered[hi]) continue;
+    OptimizedPattern best;
+    bool have_best = false;
+
+    for (const Coord radius : radii) {
+      const auto hot = capture_all(hotspot_anchors, radius);
+      const auto clean = capture_all(clean_anchors, radius);
+      const std::uint64_t h = hot[hi].hash();
+      int tp = 0, fp = 0;
+      for (const auto& p : hot) tp += (p.hash() == h);
+      for (const auto& p : clean) fp += (p.hash() == h);
+      const double precision =
+          tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+
+      OptimizedPattern cand;
+      cand.pattern = hot[hi];
+      cand.radius = radius;
+      cand.precision = precision;
+      cand.true_positives = tp;
+      cand.false_positives = fp;
+
+      if (!have_best || precision > best.precision) {
+        best = cand;
+        have_best = true;
+      }
+      if (precision >= params.min_precision) {
+        best = cand;
+        break;  // smallest sufficient context wins
+      }
+    }
+    // Mark the siblings this rule covers (at the chosen radius).
+    const auto hot = capture_all(hotspot_anchors, best.radius);
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (hot[i].hash() == best.pattern.hash()) covered[i] = true;
+    }
+    out.push_back(std::move(best));
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,37 @@
+// Pattern context-size optimization, after the Pattern Association Tree
+// methodology: a hotspot pattern captured with too little context matches
+// harmless lookalikes (false positives); too much context overfits and
+// misses siblings (false negatives). For each hotspot pattern this picks
+// the smallest capture radius that still separates hotspot anchors from
+// clean anchors on the training data.
+#pragma once
+
+#include "pattern/capture.h"
+
+#include <vector>
+
+namespace dfm {
+
+struct PatParams {
+  std::vector<Coord> radii = {100, 200, 300, 400};  // candidate contexts
+  double min_precision = 1.0;  // required separation on training data
+  LayerKey layer = layers::kMetal1;
+};
+
+struct OptimizedPattern {
+  TopologicalPattern pattern;  // captured at the chosen radius
+  Coord radius = 0;
+  double precision = 0;  // hot matches / all matches, at that radius
+  int true_positives = 0;
+  int false_positives = 0;
+};
+
+/// For each distinct hotspot pattern: walks the radius ladder from small
+/// to large and keeps the first radius meeting min_precision (or the
+/// best-precision radius if none does). One OptimizedPattern per distinct
+/// hotspot pattern at its chosen radius.
+std::vector<OptimizedPattern> optimize_context(
+    const Region& layer, const std::vector<Point>& hotspot_anchors,
+    const std::vector<Point>& clean_anchors, const PatParams& params);
+
+}  // namespace dfm

@@ -1,0 +1,93 @@
+#include "core/recommended_rules.h"
+
+namespace dfm {
+namespace {
+
+Rule make_rule(std::string name, RuleKind kind, LayerKey layer, Coord value,
+               std::string description) {
+  Rule r;
+  r.name = std::move(name);
+  r.kind = kind;
+  r.layer = layer;
+  r.value = value;
+  r.description = std::move(description);
+  return r;
+}
+
+}  // namespace
+
+std::vector<RecommendedRule> standard_recommended_rules(const Tech& t) {
+  std::vector<RecommendedRule> out;
+  {
+    Rule r = make_rule("R.V1.E.1", RuleKind::kMinEnclosure, layers::kMetal1,
+                       t.via_enclosure,
+                       "full M1 enclosure of Via1 (yield-preferred)");
+    r.inner = layers::kVia1;
+    out.push_back(RecommendedRule{std::move(r), 2.0});
+  }
+  {
+    Rule r = make_rule("R.V1.E.2", RuleKind::kMinEnclosure, layers::kMetal2,
+                       t.via_enclosure,
+                       "full M2 enclosure of Via1 (yield-preferred)");
+    r.inner = layers::kVia1;
+    out.push_back(RecommendedRule{std::move(r), 2.0});
+  }
+  out.push_back(RecommendedRule{
+      make_rule("R.M1.S.1", RuleKind::kMinSpacing, layers::kMetal1,
+                t.m1_space + t.m1_space / 5,
+                "M1 spacing at min+20% (short critical-area reduction)"),
+      1.0});
+  {
+    Rule r = make_rule("R.M2.WS.1", RuleKind::kWideSpacing, layers::kMetal2,
+                       t.wide_space,
+                       "wide M2 keeps extra spacing (dishing guard)");
+    r.wide_width = t.wide_width;
+    out.push_back(RecommendedRule{std::move(r), 1.0});
+  }
+  out.push_back(RecommendedRule{
+      make_rule("R.M1.A.1", RuleKind::kMinArea, layers::kMetal1,
+                2 * t.m1_min_area, "M1 area at 2x minimum (liftoff risk)"),
+      0.5});
+  return out;
+}
+
+RecommendedReport check_recommended(const LayerMap& layers,
+                                    const std::vector<RecommendedRule>& rules) {
+  RecommendedReport rep;
+  static const Region kEmpty;
+  auto layer_of = [&layers](LayerKey k) -> const Region& {
+    const auto it = layers.find(k);
+    return it == layers.end() ? kEmpty : it->second;
+  };
+  for (const RecommendedRule& rr : rules) {
+    const Rule& rule = rr.rule;
+    std::vector<Violation> found;
+    switch (rule.kind) {
+      case RuleKind::kMinWidth:
+        found = check_min_width(layer_of(rule.layer), rule.value, rule.name);
+        break;
+      case RuleKind::kMinSpacing:
+        found = check_min_spacing(layer_of(rule.layer), rule.value, rule.name);
+        break;
+      case RuleKind::kMinArea:
+        found = check_min_area(layer_of(rule.layer), rule.value, rule.name);
+        break;
+      case RuleKind::kMinEnclosure:
+        found = check_enclosure(layer_of(rule.inner), layer_of(rule.layer),
+                                rule.value, rule.name);
+        break;
+      case RuleKind::kWideSpacing:
+        found = check_wide_spacing(layer_of(rule.layer), rule.wide_width,
+                                   rule.value, rule.name);
+        break;
+      case RuleKind::kDensity:
+        break;  // not used in the recommended set
+    }
+    rep.counts.emplace_back(rule.name, static_cast<int>(found.size()));
+    rep.scorecard.add(rule.name, score_from_count(found.size()), rr.weight,
+                      std::to_string(found.size()) + " hits");
+  }
+  return rep;
+}
+
+}  // namespace dfm

@@ -1,0 +1,30 @@
+// Recommended (DFM) rules: constraints beyond sign-off DRC whose
+// violation costs yield rather than functionality. Violating them is
+// legal; the framework counts them and turns compliance into a score.
+#pragma once
+
+#include "core/scoring.h"
+#include "drc/engine.h"
+
+namespace dfm {
+
+struct RecommendedRule {
+  Rule rule;          // executed by the standard DRC checks
+  double weight = 1;  // yield impact weight in the compliance score
+};
+
+/// The reference recommended set for the synthetic technology: full via
+/// enclosure (vs the borderless sign-off minimum), relaxed metal spacing
+/// (min + 20%), and relaxed minimum area (2x sign-off).
+std::vector<RecommendedRule> standard_recommended_rules(const Tech& tech);
+
+struct RecommendedReport {
+  std::vector<std::pair<std::string, int>> counts;  // rule name -> hits
+  DfmScorecard scorecard;                           // one metric per rule
+  double compliance() const { return scorecard.composite(); }
+};
+
+RecommendedReport check_recommended(const LayerMap& layers,
+                                    const std::vector<RecommendedRule>& rules);
+
+}  // namespace dfm

@@ -1,0 +1,33 @@
+// Plain-text report tables with aligned columns — the output format of
+// every bench binary (one table per reproduced experiment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cols) { rows_.push_back(std::move(cols)); }
+
+  /// Formats with a title line, separator, and right-padded columns.
+  std::string to_string() const;
+  /// Prints to stdout.
+  void print() const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfm

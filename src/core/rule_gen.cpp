@@ -1,0 +1,81 @@
+#include "core/rule_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dfm {
+
+std::vector<GradedPatternClass> grade_pattern_classes(
+    const Region& layer, const Rect& extent, const RuleGenParams& params) {
+  // 1. Enumerate classes on the sample with grid capture.
+  LayerMap layers;
+  layers.emplace(layers::kMetal1, layer);
+  const auto captured = capture_grid(layers, {layers::kMetal1}, extent,
+                                     params.window, params.stride);
+
+  struct ClassAccum {
+    TopologicalPattern pattern;
+    std::uint64_t population = 0;
+    Rect exemplar;
+  };
+  std::unordered_map<std::uint64_t, ClassAccum> classes;
+  for (const CapturedPattern& c : captured) {
+    ClassAccum& acc = classes[c.pattern.hash()];
+    if (acc.population == 0) {
+      acc.pattern = c.pattern;
+      acc.exemplar = c.window;
+    }
+    ++acc.population;
+  }
+
+  // 2. Grade one exemplar per class: simulate the window (with halo) and
+  // sum hotspot severities inside it.
+  std::vector<GradedPatternClass> out;
+  out.reserve(classes.size());
+  for (auto& [hash, acc] : classes) {
+    const Coord halo = 4 * params.model.sigma;
+    const Rect sim_window = acc.exemplar.expanded(halo);
+    const Region local = layer.clipped(sim_window);
+    const Region printed = simulate_print(local, sim_window, params.model);
+    double severity = 0;
+    for (const Hotspot& h :
+         find_hotspots(local, printed, params.edge_tolerance)) {
+      if (h.marker.overlaps(acc.exemplar)) severity += h.severity;
+    }
+    GradedPatternClass g;
+    g.pattern = std::move(acc.pattern);
+    g.population = acc.population;
+    g.severity = severity;
+    g.exemplar_window = acc.exemplar;
+    out.push_back(std::move(g));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GradedPatternClass& a, const GradedPatternClass& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.population > b.population;
+            });
+  return out;
+}
+
+std::vector<PatternRule> generate_drcplus_rules(const Region& layer,
+                                                const Rect& extent,
+                                                const RuleGenParams& params) {
+  std::vector<PatternRule> rules;
+  std::size_t rank = 0;
+  for (const GradedPatternClass& g :
+       grade_pattern_classes(layer, extent, params)) {
+    if (g.severity < params.min_severity) break;  // sorted worst-first
+    if (rules.size() >= params.max_rules) break;
+    PatternRule r;
+    r.name = "DFMGEN." + std::to_string(++rank);
+    r.pattern = g.pattern;
+    r.dim_tolerance = 0;
+    r.guidance = "auto-generated from a simulated-bad pattern class "
+                 "(severity " +
+                 std::to_string(static_cast<long long>(g.severity)) + ")";
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace dfm

@@ -1,0 +1,46 @@
+// Automatic DRC-Plus rule generation, after "Developing DRC Plus rules
+// through 2D pattern extraction and clustering": enumerate the pattern
+// classes a sample layout actually contains, litho-simulate one exemplar
+// per class to grade its manufacturability, and emit the worst classes
+// as pattern rules — hundreds of machine-made rules where hand-writing
+// stops at a dozen.
+#pragma once
+
+#include "litho/litho.h"
+#include "pattern/catalog.h"
+#include "pattern/matcher.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct RuleGenParams {
+  OpticalModel model;
+  Coord window = 400;        // capture window edge
+  Coord stride = 200;        // grid stride
+  Coord edge_tolerance = 12; // hotspot sensitivity when grading
+  double min_severity = 1.0; // emit classes with at least this badness
+  std::size_t max_rules = 64;
+};
+
+struct GradedPatternClass {
+  TopologicalPattern pattern;
+  std::uint64_t population = 0;  // windows of this class in the sample
+  double severity = 0;           // missing/extra print area of the exemplar
+  Rect exemplar_window;
+};
+
+/// Enumerates pattern classes over `extent` of `layer`, grades one
+/// exemplar per class by simulation, and returns classes sorted worst
+/// first.
+std::vector<GradedPatternClass> grade_pattern_classes(
+    const Region& layer, const Rect& extent, const RuleGenParams& params);
+
+/// The generated deck: the worst `max_rules` classes above min_severity,
+/// as exact-match pattern rules named DFMGEN.<rank>.
+std::vector<PatternRule> generate_drcplus_rules(const Region& layer,
+                                                const Rect& extent,
+                                                const RuleGenParams& params);
+
+}  // namespace dfm

@@ -1,0 +1,28 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+
+namespace dfm {
+
+void DfmScorecard::add(std::string name, double value, double weight,
+                       std::string detail) {
+  metrics.push_back(MetricScore{std::move(name), clamp01(value), weight,
+                                std::move(detail)});
+}
+
+double DfmScorecard::composite() const {
+  double num = 0, den = 0;
+  for (const MetricScore& m : metrics) {
+    num += m.value * m.weight;
+    den += m.weight;
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+double score_from_count(std::size_t count, double half_life) {
+  return half_life / (half_life + static_cast<double>(count));
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace dfm

@@ -1,0 +1,34 @@
+// DFM composite scoring: named metrics in [0, 1] (1 = best) with weights,
+// aggregated into one manufacturability score — the scoring-model
+// methodology applied across every technique in the toolkit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct MetricScore {
+  std::string name;
+  double value = 0;   // in [0, 1]
+  double weight = 1;  // relative importance
+  std::string detail; // human-readable basis ("3 violations", "λ=0.02")
+};
+
+struct DfmScorecard {
+  std::vector<MetricScore> metrics;
+
+  void add(std::string name, double value, double weight = 1.0,
+           std::string detail = "");
+  /// Weighted mean of metric values (0 if empty).
+  double composite() const;
+};
+
+/// Maps a violation/defect count to a score: 1 at zero, decaying with
+/// `half_life` (count at which the score is 0.5).
+double score_from_count(std::size_t count, double half_life = 4.0);
+
+/// Clamps into [0, 1].
+double clamp01(double v);
+
+}  // namespace dfm

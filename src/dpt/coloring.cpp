@@ -1,0 +1,54 @@
+#include "dpt/dpt.h"
+
+#include <limits>
+
+namespace dfm {
+
+ColoringResult two_color(const ConflictGraph& g) {
+  ColoringResult r;
+  r.color.assign(g.size(), -1);
+  std::vector<std::uint32_t> parent(g.size(),
+                                    std::numeric_limits<std::uint32_t>::max());
+
+  for (std::uint32_t start = 0; start < g.size(); ++start) {
+    if (r.color[start] != -1) continue;
+    r.color[start] = 0;
+    std::vector<std::uint32_t> queue{start};
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::uint32_t u = queue[qi];
+      for (const std::uint32_t v : g.adj[u]) {
+        if (r.color[v] == -1) {
+          r.color[v] = 1 - r.color[u];
+          parent[v] = u;
+          queue.push_back(v);
+        } else if (r.color[v] == r.color[u]) {
+          r.bipartite = false;
+          // Witness cycle: paths from u and v to their common ancestor.
+          std::vector<std::uint32_t> pu{u}, pv{v};
+          auto root_path = [&](std::vector<std::uint32_t>& path) {
+            while (parent[path.back()] !=
+                   std::numeric_limits<std::uint32_t>::max()) {
+              path.push_back(parent[path.back()]);
+            }
+          };
+          root_path(pu);
+          root_path(pv);
+          // Trim the common suffix, keep the junction once.
+          while (pu.size() > 1 && pv.size() > 1 &&
+                 pu[pu.size() - 2] == pv[pv.size() - 2]) {
+            pu.pop_back();
+            pv.pop_back();
+          }
+          std::vector<std::uint32_t> cycle = pu;
+          for (auto it = pv.rbegin(); it != pv.rend(); ++it) {
+            if (*it != cycle.back() && *it != cycle.front()) cycle.push_back(*it);
+          }
+          r.odd_cycles.push_back(std::move(cycle));
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace dfm

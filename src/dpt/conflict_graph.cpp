@@ -1,0 +1,40 @@
+#include "dpt/dpt.h"
+
+#include "geometry/rtree.h"
+
+#include <limits>
+
+namespace dfm {
+
+ConflictGraph build_conflict_graph(std::vector<Region> nodes,
+                                   Coord dpt_space) {
+  ConflictGraph g;
+  g.nodes = std::move(nodes);
+  g.adj.resize(g.nodes.size());
+
+  std::vector<Rect> boxes;
+  boxes.reserve(g.nodes.size());
+  for (const Region& n : g.nodes) boxes.push_back(n.bbox());
+  const RTree tree(boxes);
+
+  for (std::uint32_t i = 0; i < g.nodes.size(); ++i) {
+    tree.visit(boxes[i].expanded(dpt_space), [&](std::uint32_t j) {
+      if (j <= i) return;
+      const Coord d = region_distance(g.nodes[i], g.nodes[j], dpt_space + 1);
+      // Touching features (d == 0) merge on whichever mask; only a real
+      // gap below dpt_space is a same-mask conflict.
+      if (d > 0 && d < dpt_space) {
+        g.edges.emplace_back(i, j);
+        g.adj[i].push_back(j);
+        g.adj[j].push_back(i);
+      }
+    });
+  }
+  return g;
+}
+
+ConflictGraph build_conflict_graph(const Region& layer, Coord dpt_space) {
+  return build_conflict_graph(layer.components(), dpt_space);
+}
+
+}  // namespace dfm

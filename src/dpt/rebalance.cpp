@@ -1,0 +1,83 @@
+// Mask density rebalancing: per conflict-graph piece, the two-coloring
+// can be flipped freely; assigning pieces greedily (largest imbalance
+// first) to the lighter mask equalizes exposure densities without
+// touching legality or stitches.
+#include "dpt/dpt.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace dfm {
+
+Decomposition rebalance_masks(const Decomposition& d, const Tech& tech) {
+  // Recover flip units: connected groups of the *joint* mask geometry.
+  // Any group either keeps (A,B) or swaps to (B,A); same-mask spacing is
+  // unaffected within a group, and across groups both masks already kept
+  // dpt_space (checked by the caller's scoring), which a swap preserves
+  // only if groups are >= dpt_space apart on both masks — guaranteed
+  // because a closer pair would have been one conflict-graph piece.
+  const Region joint = d.mask_a | d.mask_b;
+  // Group by conflict connectivity at dpt_space, not mere touching.
+  const ConflictGraph g = build_conflict_graph(joint, tech.dpt_space);
+  // Union conflict-connected nodes into flip groups.
+  std::vector<int> group(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) group[i] = static_cast<int>(i);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [u, v] : g.edges) {
+      const int gu = group[u], gv = group[v];
+      if (gu != gv) {
+        const int lo = std::min(gu, gv);
+        for (auto& x : group) {
+          if (x == std::max(gu, gv)) x = lo;
+        }
+        changed = true;
+      }
+    }
+  }
+
+  struct Piece {
+    Region a, b;     // this group's share of each mask
+    Area delta = 0;  // area(a) - area(b)
+  };
+  std::map<int, Piece> pieces;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    Piece& p = pieces[group[i]];
+    p.a.add(g.nodes[i] & d.mask_a);
+    p.b.add(g.nodes[i] & d.mask_b);
+  }
+  std::vector<Piece*> order;
+  for (auto& [id, p] : pieces) {
+    p.delta = p.a.area() - p.b.area();
+    order.push_back(&p);
+  }
+  std::sort(order.begin(), order.end(), [](const Piece* x, const Piece* y) {
+    const Area ax = x->delta < 0 ? -x->delta : x->delta;
+    const Area ay = y->delta < 0 ? -y->delta : y->delta;
+    return ax > ay;
+  });
+
+  // Greedy: place each piece the way that shrinks the running imbalance.
+  Decomposition out = d;
+  out.mask_a = Region{};
+  out.mask_b = Region{};
+  Area imbalance = 0;  // area(A) - area(B)
+  for (const Piece* p : order) {
+    const bool keep = (imbalance + p->delta) * (imbalance + p->delta) <=
+                      (imbalance - p->delta) * (imbalance - p->delta);
+    if (keep) {
+      out.mask_a.add(p->a);
+      out.mask_b.add(p->b);
+      imbalance += p->delta;
+    } else {
+      out.mask_a.add(p->b);
+      out.mask_b.add(p->a);
+      imbalance -= p->delta;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,52 @@
+// Decomposition quality scoring, following the DPT scoring methodology:
+// per-metric values mapped to [0, 1] (1 = optimum) and combined into a
+// composite score.
+#include "dpt/dpt.h"
+
+#include "drc/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfm {
+
+DptScore score_decomposition(const Decomposition& d, const Tech& tech) {
+  DptScore s;
+
+  // Mask density balance: equal-area masks expose most evenly.
+  const double aa = static_cast<double>(d.mask_a.area());
+  const double ab = static_cast<double>(d.mask_b.area());
+  s.density_balance = (aa + ab) > 0 ? 1.0 - std::fabs(aa - ab) / (aa + ab) : 1.0;
+
+  // Stitches: each one is an overlay-sensitive spot; score decays with
+  // stitches per feature.
+  const double per_node =
+      d.nodes > 0 ? static_cast<double>(d.stitches.size()) / d.nodes : 0.0;
+  s.stitch_score = 1.0 / (1.0 + 4.0 * per_node);
+
+  // Overlay margin: narrowest stitch overlap relative to the requirement.
+  if (d.stitches.empty()) {
+    s.overlay_score = 1.0;
+  } else {
+    Coord min_overlap = std::numeric_limits<Coord>::max();
+    for (const Stitch& st : d.stitches) {
+      min_overlap =
+          std::min(min_overlap, std::min(st.cut.width(), st.cut.height()));
+    }
+    s.overlay_score = std::clamp(
+        static_cast<double>(min_overlap) / static_cast<double>(tech.stitch_overlap),
+        0.0, 1.0);
+  }
+
+  // Same-mask spacing: both masks must individually satisfy dpt_space.
+  const bool a_ok = check_min_spacing(d.mask_a, tech.dpt_space, "A").empty();
+  const bool b_ok = check_min_spacing(d.mask_b, tech.dpt_space, "B").empty();
+  s.spacing_score = (a_ok ? 0.5 : 0.0) + (b_ok ? 0.5 : 0.0);
+
+  s.composite = (s.density_balance + s.stitch_score + s.overlay_score +
+                 s.spacing_score) /
+                4.0;
+  return s;
+}
+
+}  // namespace dfm

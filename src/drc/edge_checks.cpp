@@ -1,0 +1,143 @@
+#include "drc/engine.h"
+
+#include "geometry/edge_ops.h"
+#include "geometry/rtree.h"
+
+namespace dfm {
+namespace {
+
+// Converts a 2x-grid rect back to layout coordinates, rounding outward so
+// markers always cover the offending area.
+Rect downscale(const Rect& r) {
+  auto floor_div = [](Coord v) { return v >= 0 ? v / 2 : (v - 1) / 2; };
+  auto ceil_div = [](Coord v) { return v >= 0 ? (v + 1) / 2 : v / 2; };
+  return Rect{floor_div(r.lo.x), floor_div(r.lo.y), ceil_div(r.hi.x),
+              ceil_div(r.hi.y)};
+}
+
+// Groups the raw violating area into per-component markers and attaches
+// measured values from the nearest facing edge pair when available.
+std::vector<Violation> markers_from(const Region& bad2x, const Region& layout,
+                                    Coord limit, bool external,
+                                    const std::string& rule) {
+  std::vector<Violation> out;
+  if (bad2x.empty()) return out;
+  const auto pairs = facing_pairs(layout, limit, external);
+  for (const Region& comp : bad2x.components()) {
+    Violation v;
+    v.rule = rule;
+    v.marker = downscale(comp.bbox());
+    for (const EdgePair& p : pairs) {
+      if (p.marker.touches(v.marker)) {
+        v.measured = v.measured < 0 ? p.distance : std::min(v.measured, p.distance);
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> check_min_width(const Region& r, Coord w,
+                                       const std::string& rule) {
+  if (w <= 0 || r.empty()) return {};
+  // On the 2x grid, opening with radius w-1 removes interior dimensions
+  // <= 2w-2, i.e. layout widths <= w-1: exactly "strictly below w".
+  const Region r2 = r.scaled(2);
+  const Region bad = r2 - r2.opened(w - 1);
+  return markers_from(bad, r, w, /*external=*/false, rule);
+}
+
+std::vector<Violation> check_min_spacing(const Region& r, Coord s,
+                                         const std::string& rule) {
+  if (s <= 0 || r.empty()) return {};
+  const Region r2 = r.scaled(2);
+  // Closing catches facing-edge gaps and notches; corner-to-corner gaps
+  // need the coverage detector: two distinct components whose (s-1)
+  // bloats overlap are closer than s in the Chebyshev metric.
+  Region bad = r2.closed(s - 1) - r2;
+  // Radius s on the doubled grid: bloats of two components overlap (with
+  // positive area, half-open) exactly when their Chebyshev gap g < s.
+  std::vector<Rect> bloated;
+  for (const Region& comp : r2.components()) {
+    const Region grown = comp.bloated(s);
+    for (const Rect& box : grown.rects()) bloated.push_back(box);
+  }
+  bad.add(covered_at_least(bloated, 2) - r2);
+  return markers_from(bad, r, s, /*external=*/true, rule);
+}
+
+std::vector<Violation> check_wide_spacing(const Region& r, Coord wide_w,
+                                          Coord s, const std::string& rule) {
+  std::vector<Violation> out;
+  if (wide_w <= 0 || s <= 0 || r.empty()) return out;
+  const Region r2 = r.scaled(2);
+  const std::vector<Region> comps = r2.components();
+
+  // Wide parts of each component: where a wide_w square fits.
+  std::vector<Region> wide(comps.size());
+  std::vector<Rect> boxes(comps.size());
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    wide[i] = comps[i].opened(wide_w - 1);
+    boxes[i] = comps[i].bbox();
+  }
+  RTree tree(boxes);
+  for (std::uint32_t i = 0; i < comps.size(); ++i) {
+    if (wide[i].empty()) continue;
+    const Region halo = wide[i].bloated(2 * s);  // 2x grid: radius s
+    tree.visit(wide[i].bbox().expanded(2 * s), [&](std::uint32_t j) {
+      if (j == i) return;
+      // Another feature inside the wide halo but not touching it: gap < s.
+      const Region intruding = comps[j] & halo;
+      if (intruding.empty()) return;
+      if (region_distance(wide[i], comps[j], 1) == 0) return;  // touching
+      Violation v;
+      v.rule = rule;
+      const Rect a = intruding.bbox();
+      const Region near_wide = wide[i].clipped(a.expanded(2 * s + 2));
+      const Rect m2x = near_wide.empty() ? a : a.hull(near_wide.bbox());
+      v.marker = Rect{m2x.lo.x / 2, m2x.lo.y / 2, (m2x.hi.x + 1) / 2,
+                      (m2x.hi.y + 1) / 2};
+      v.measured = region_distance(wide[i], comps[j], 2 * s + 1) / 2;
+      out.push_back(std::move(v));
+    });
+  }
+  return out;
+}
+
+std::vector<Violation> check_min_area(const Region& r, Area a,
+                                      const std::string& rule) {
+  std::vector<Violation> out;
+  for (const Region& comp : r.components()) {
+    if (comp.area() < a) {
+      out.push_back(Violation{rule, comp.bbox(),
+                              static_cast<Coord>(comp.area())});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_enclosure(const Region& inner, const Region& outer,
+                                       Coord e, const std::string& rule) {
+  std::vector<Violation> out;
+  if (inner.empty()) return out;
+  // Any part of the bloated inner not covered by outer is a violation;
+  // group per inner component so one via yields one violation.
+  const Region uncovered = inner.bloated(e) - outer;
+  if (uncovered.empty()) return out;
+  for (const Region& comp : inner.components()) {
+    const Region local = uncovered.clipped(comp.bbox().expanded(e));
+    if (!local.empty()) {
+      Violation v;
+      v.rule = rule;
+      v.marker = comp.bbox().expanded(e);
+      // Measured enclosure: e minus how far the uncovered area reaches in.
+      v.measured = -1;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,85 @@
+#include "drc/engine.h"
+
+#include <set>
+
+namespace dfm {
+
+std::map<std::string, int> DrcResult::count_by_rule() const {
+  std::map<std::string, int> out;
+  for (const Violation& v : violations) ++out[v.rule];
+  return out;
+}
+
+int DrcResult::count(const std::string& rule) const {
+  int n = 0;
+  for (const Violation& v : violations) {
+    if (v.rule == rule) ++n;
+  }
+  return n;
+}
+
+LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
+                          const RuleDeck& deck) {
+  std::set<LayerKey> needed;
+  for (const Rule& r : deck.rules) {
+    needed.insert(r.layer);
+    if (r.kind == RuleKind::kMinEnclosure) needed.insert(r.inner);
+  }
+  LayerMap out;
+  for (const LayerKey k : needed) {
+    out.emplace(k, lib.flatten(top, k));
+  }
+  return out;
+}
+
+DrcResult DrcEngine::run(const LayerMap& layers) const {
+  DrcResult result;
+  static const Region kEmpty;
+  auto layer_of = [&layers](LayerKey k) -> const Region& {
+    const auto it = layers.find(k);
+    return it == layers.end() ? kEmpty : it->second;
+  };
+
+  // Density window: the joint bbox of everything under check.
+  Rect chip = Rect::empty();
+  for (const auto& [k, r] : layers) chip = chip.join(r.bbox());
+
+  for (const Rule& rule : deck_.rules) {
+    const Region& primary = layer_of(rule.layer);
+    std::vector<Violation> found;
+    switch (rule.kind) {
+      case RuleKind::kMinWidth:
+        found = check_min_width(primary, rule.value, rule.name);
+        break;
+      case RuleKind::kMinSpacing:
+        found = check_min_spacing(primary, rule.value, rule.name);
+        break;
+      case RuleKind::kMinArea:
+        found = check_min_area(primary, rule.value, rule.name);
+        break;
+      case RuleKind::kMinEnclosure:
+        found = check_enclosure(layer_of(rule.inner), primary, rule.value,
+                                rule.name);
+        break;
+      case RuleKind::kWideSpacing:
+        found = check_wide_spacing(primary, rule.wide_width, rule.value,
+                                   rule.name);
+        break;
+      case RuleKind::kDensity:
+        if (!chip.is_empty()) {
+          found = check_density(primary, chip, rule.value, rule.min_value,
+                                rule.max_value, rule.name);
+        }
+        break;
+    }
+    result.violations.insert(result.violations.end(), found.begin(),
+                             found.end());
+  }
+  return result;
+}
+
+DrcResult DrcEngine::run(const Library& lib, std::uint32_t top) const {
+  return run(flatten_for_deck(lib, top, deck_));
+}
+
+}  // namespace dfm

@@ -1,0 +1,77 @@
+// DRC engine: executes a RuleDeck against flattened layout layers and
+// reports violations with markers and measured values.
+//
+// Width and spacing use exact integer morphology at doubled resolution
+// (open/close with radius value-1 on the 2x grid flags exactly the
+// dimensions strictly below the rule value, Chebyshev metric). Area and
+// enclosure use region algebra; density uses the tile map.
+#pragma once
+
+#include "drc/rules.h"
+#include "geometry/region.h"
+#include "layout/layer_map.h"
+#include "layout/library.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct Violation {
+  std::string rule;
+  Rect marker;        // bounding box of the offending area
+  Coord measured = -1;  // measured dimension when known, -1 otherwise
+};
+
+struct DrcResult {
+  std::vector<Violation> violations;
+
+  bool clean() const { return violations.empty(); }
+  std::map<std::string, int> count_by_rule() const;
+  int count(const std::string& rule) const;
+};
+
+/// Flattens every layer a deck needs from a cell.
+LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
+                          const RuleDeck& deck);
+
+class DrcEngine {
+ public:
+  explicit DrcEngine(RuleDeck deck) : deck_(std::move(deck)) {}
+
+  const RuleDeck& deck() const { return deck_; }
+
+  DrcResult run(const LayerMap& layers) const;
+  DrcResult run(const Library& lib, std::uint32_t top) const;
+
+ private:
+  RuleDeck deck_;
+};
+
+// Individual checks, exposed for focused tests and the DFM layers.
+
+/// Interior dimensions strictly below `w` (Chebyshev), with markers.
+std::vector<Violation> check_min_width(const Region& r, Coord w,
+                                       const std::string& rule);
+/// Exterior gaps strictly below `s`, including notches.
+std::vector<Violation> check_min_spacing(const Region& r, Coord s,
+                                         const std::string& rule);
+/// Connected components with area strictly below `a`.
+std::vector<Violation> check_min_area(const Region& r, Area a,
+                                      const std::string& rule);
+/// Inner shapes whose `e`-margin is not covered by `outer` (or that stick
+/// out of `outer` entirely).
+std::vector<Violation> check_enclosure(const Region& inner, const Region& outer,
+                                       Coord e, const std::string& rule);
+/// Gaps below `s` between wide features (a wide_w x wide_w square fits)
+/// and any *other* feature. Chebyshev, like the plain spacing check.
+std::vector<Violation> check_wide_spacing(const Region& r, Coord wide_w,
+                                          Coord s, const std::string& rule);
+
+/// Tiles of `window` whose coverage is outside [lo, hi].
+std::vector<Violation> check_density(const Region& r, const Rect& window,
+                                     Coord tile, double lo, double hi,
+                                     const std::string& rule);
+
+}  // namespace dfm

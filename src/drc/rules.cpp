@@ -1,0 +1,77 @@
+#include "drc/rules.h"
+
+namespace dfm {
+namespace {
+
+Rule dim_rule(std::string name, RuleKind kind, LayerKey layer, Coord value,
+              std::string description) {
+  Rule r;
+  r.name = std::move(name);
+  r.kind = kind;
+  r.layer = layer;
+  r.value = value;
+  r.description = std::move(description);
+  return r;
+}
+
+Rule enc_rule(std::string name, LayerKey outer, LayerKey inner, Coord value,
+              std::string description) {
+  Rule r = dim_rule(std::move(name), RuleKind::kMinEnclosure, outer, value,
+                    std::move(description));
+  r.inner = inner;
+  return r;
+}
+
+}  // namespace
+
+RuleDeck RuleDeck::standard(const Tech& t) {
+  RuleDeck deck;
+  deck.name = "synthetic-45nm-class";
+  auto& rs = deck.rules;
+
+  // Metal 1.
+  rs.push_back(dim_rule("M1.W.1", RuleKind::kMinWidth, layers::kMetal1,
+                        t.m1_width, "M1 minimum width"));
+  rs.push_back(dim_rule("M1.S.1", RuleKind::kMinSpacing, layers::kMetal1,
+                        t.m1_space, "M1 minimum spacing"));
+  rs.push_back(dim_rule("M1.A.1", RuleKind::kMinArea, layers::kMetal1,
+                        t.m1_min_area, "M1 minimum area"));
+  {
+    Rule d = dim_rule("M1.D.1", RuleKind::kDensity, layers::kMetal1,
+                      t.density_tile, "M1 pattern density window");
+    d.min_value = t.density_min;
+    d.max_value = t.density_max;
+    rs.push_back(std::move(d));
+  }
+
+  // Metal 2.
+  rs.push_back(dim_rule("M2.W.1", RuleKind::kMinWidth, layers::kMetal2,
+                        t.m2_width, "M2 minimum width"));
+  rs.push_back(dim_rule("M2.S.1", RuleKind::kMinSpacing, layers::kMetal2,
+                        t.m2_space, "M2 minimum spacing"));
+
+  // Vias: the sign-off enclosure is the borderless minimum
+  // (via_enclosure / 2); the full via_enclosure value is a *recommended*
+  // rule handled by the DFM layer, not this deck.
+  rs.push_back(dim_rule("V1.W.1", RuleKind::kMinWidth, layers::kVia1,
+                        t.via_size, "Via1 minimum size"));
+  rs.push_back(dim_rule("V1.S.1", RuleKind::kMinSpacing, layers::kVia1,
+                        t.via_space, "Via1 minimum spacing"));
+  rs.push_back(enc_rule("V1.E.1", layers::kMetal1, layers::kVia1,
+                        t.via_enclosure / 2,
+                        "M1 enclosure of Via1 (borderless minimum)"));
+  rs.push_back(enc_rule("V1.E.2", layers::kMetal2, layers::kVia1,
+                        t.via_enclosure / 2,
+                        "M2 enclosure of Via1 (borderless minimum)"));
+
+  // Poly and contact.
+  rs.push_back(dim_rule("PO.W.1", RuleKind::kMinWidth, layers::kPoly,
+                        t.poly_width, "Poly minimum width"));
+  rs.push_back(dim_rule("CO.W.1", RuleKind::kMinWidth, layers::kContact,
+                        t.via_size, "Contact minimum size"));
+  rs.push_back(dim_rule("CO.S.1", RuleKind::kMinSpacing, layers::kContact,
+                        t.via_space, "Contact minimum spacing"));
+  return deck;
+}
+
+}  // namespace dfm

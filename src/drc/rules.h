@@ -1,0 +1,43 @@
+// Design rule deck: the dimensional constraints of the synthetic
+// technology, expressed as typed rules the engine can execute.
+#pragma once
+
+#include "layout/layer.h"
+#include "layout/tech.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+enum class RuleKind {
+  kMinWidth,      // interior dimension of a shape
+  kMinSpacing,    // exterior gap between (or within) shapes
+  kMinArea,       // connected-component area
+  kMinEnclosure,  // outer layer margin around inner layer
+  kDensity,       // tile coverage within [min_value, max_value]
+  kWideSpacing,   // spacing from wide metal (width >= wide_width)
+};
+
+struct Rule {
+  std::string name;         // e.g. "M1.S.1"
+  RuleKind kind = RuleKind::kMinWidth;
+  LayerKey layer;           // checked layer (outer layer for enclosure)
+  LayerKey inner;           // inner layer for enclosure rules
+  Coord value = 0;          // nm; for kMinArea: nm^2
+  Coord wide_width = 0;     // kWideSpacing: "wide" threshold
+  double min_value = 0.0;   // density lower bound
+  double max_value = 1.0;   // density upper bound
+  std::string description;
+};
+
+struct RuleDeck {
+  std::string name;
+  std::vector<Rule> rules;
+
+  /// The baseline sign-off deck for the synthetic technology: width,
+  /// spacing, area and enclosure on every drawn layer plus M1 density.
+  static RuleDeck standard(const Tech& tech);
+};
+
+}  // namespace dfm

@@ -1,0 +1,295 @@
+#include "gdsii/gdsii.h"
+
+#include "gdsii/gds_records.h"
+#include "geometry/region.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+using gds::Record;
+using gds::RecordReader;
+using gds::RecordType;
+
+Orient orient_from(bool reflect, double angle) {
+  const long deg = std::lround(angle);
+  if (std::fabs(angle - static_cast<double>(deg)) > 1e-6 ||
+      ((deg % 90) != 0)) {
+    throw std::runtime_error("GDSII: non-orthogonal ANGLE unsupported");
+  }
+  const int quarter = static_cast<int>(((deg % 360) + 360) % 360) / 90;
+  // GDSII: reflection about x axis happens before rotation, matching the
+  // MX* orientations of our D4 encoding.
+  static constexpr Orient plain[4] = {Orient::kR0, Orient::kR90, Orient::kR180,
+                                      Orient::kR270};
+  static constexpr Orient mirrored[4] = {Orient::kMX, Orient::kMXR90,
+                                         Orient::kMXR180, Orient::kMXR270};
+  return reflect ? mirrored[quarter] : plain[quarter];
+}
+
+struct PendingRef {
+  std::uint32_t cell;  // cell that owns the reference
+  std::size_t ref_pos;
+  std::string target;
+};
+
+}  // namespace
+
+Polygon path_to_polygon(const std::vector<Point>& centerline, Coord width,
+                        bool extend_ends) {
+  if (centerline.size() < 2 || width <= 0) return Polygon{};
+  const Coord h = width / 2;
+  Region r;
+  for (std::size_t i = 0; i + 1 < centerline.size(); ++i) {
+    Point a = centerline[i];
+    Point b = centerline[i + 1];
+    if (a.x != b.x && a.y != b.y) {
+      throw std::runtime_error("GDSII: non-Manhattan PATH unsupported");
+    }
+    Coord ext_a = 0, ext_b = 0;
+    if (extend_ends) {
+      if (i == 0) ext_a = h;
+      if (i + 2 == centerline.size()) ext_b = h;
+    }
+    if (a.y == b.y) {  // horizontal
+      const Coord x0 = std::min(a.x, b.x);
+      const Coord x1 = std::max(a.x, b.x);
+      const Coord ea = a.x < b.x ? ext_a : ext_b;
+      const Coord eb = a.x < b.x ? ext_b : ext_a;
+      r.add(Rect{x0 - ea, a.y - h, x1 + eb, a.y + h});
+    } else {
+      const Coord y0 = std::min(a.y, b.y);
+      const Coord y1 = std::max(a.y, b.y);
+      const Coord ea = a.y < b.y ? ext_a : ext_b;
+      const Coord eb = a.y < b.y ? ext_b : ext_a;
+      r.add(Rect{a.x - h, y0 - ea, a.x + h, y1 + eb});
+    }
+    // Square joints at bends.
+    if (i > 0) {
+      r.add(Rect{a.x - h, a.y - h, a.x + h, a.y + h});
+    }
+  }
+  const auto polys = r.to_polygons();
+  if (polys.size() != 1) {
+    throw std::runtime_error("GDSII: PATH produced non-simple polygon");
+  }
+  return polys.front();
+}
+
+Library read_gdsii(std::istream& in) {
+  RecordReader reader(in);
+  Record rec;
+
+  Library lib;
+  bool have_lib = false;
+  std::string libname = "LIB";
+  double dbu_per_uu = 1000.0;
+  double meters_per_dbu = 1e-9;
+
+  std::vector<Cell> cells;
+  std::vector<PendingRef> pending;
+
+  enum class ElKind { kNone, kBoundary, kPath, kSref, kAref, kText };
+
+  Cell* cur_cell = nullptr;
+  ElKind el = ElKind::kNone;
+  // Element state.
+  std::int16_t layer = 0, datatype = 0, texttype = 0;
+  Coord width = 0;
+  std::int16_t pathtype = 0;
+  bool reflect = false;
+  double angle = 0.0, mag = 1.0;
+  std::int16_t cols = 1, rows = 1;
+  std::string sname, text_value;
+  std::vector<Point> xy;
+
+  auto reset_element = [&] {
+    el = ElKind::kNone;
+    layer = datatype = texttype = 0;
+    width = 0;
+    pathtype = 0;
+    reflect = false;
+    angle = 0.0;
+    mag = 1.0;
+    cols = rows = 1;
+    sname.clear();
+    text_value.clear();
+    xy.clear();
+  };
+
+  auto finish_element = [&] {
+    if (cur_cell == nullptr || el == ElKind::kNone) return;
+    const LayerKey key{layer, el == ElKind::kText ? texttype : datatype};
+    switch (el) {
+      case ElKind::kBoundary: {
+        // GDSII closes the contour explicitly; drop the repeated vertex.
+        std::vector<Point> pts = xy;
+        if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+        cur_cell->add(key, Polygon{std::move(pts)});
+        break;
+      }
+      case ElKind::kPath:
+        cur_cell->add(key, path_to_polygon(xy, width, pathtype == 2));
+        break;
+      case ElKind::kSref:
+      case ElKind::kAref: {
+        if (mag != 1.0) {
+          throw std::runtime_error("GDSII: MAG != 1 unsupported");
+        }
+        CellRef ref;
+        ref.transform.orient = orient_from(reflect, angle);
+        if (xy.empty()) throw std::runtime_error("GDSII: reference without XY");
+        ref.transform.offset = xy[0];
+        if (el == ElKind::kAref) {
+          if (xy.size() != 3 || cols <= 0 || rows <= 0) {
+            throw std::runtime_error("GDSII: malformed AREF");
+          }
+          ref.cols = static_cast<std::uint32_t>(cols);
+          ref.rows = static_cast<std::uint32_t>(rows);
+          ref.col_step = Point{(xy[1].x - xy[0].x) / cols, (xy[1].y - xy[0].y) / cols};
+          ref.row_step = Point{(xy[2].x - xy[0].x) / rows, (xy[2].y - xy[0].y) / rows};
+        }
+        pending.push_back(PendingRef{static_cast<std::uint32_t>(cells.size()),
+                                     cur_cell->refs().size(), sname});
+        ref.cell_index = 0;  // fixed up after all structures are read
+        cur_cell->add_ref(ref);
+        break;
+      }
+      case ElKind::kText:
+        if (xy.empty()) throw std::runtime_error("GDSII: TEXT without XY");
+        cur_cell->add_text(Text{key, xy[0], text_value});
+        break;
+      case ElKind::kNone:
+        break;
+    }
+    reset_element();
+  };
+
+  Cell building;
+  bool in_struct = false;
+
+  while (reader.next(rec)) {
+    switch (rec.type) {
+      case RecordType::kHeader:
+        break;
+      case RecordType::kBgnLib:
+        have_lib = true;
+        break;
+      case RecordType::kLibName:
+        libname = rec.ascii();
+        break;
+      case RecordType::kUnits:
+        dbu_per_uu = 1.0 / rec.real64_at(0);
+        meters_per_dbu = rec.real64_at(1);
+        break;
+      case RecordType::kBgnStr:
+        building = Cell{};
+        in_struct = true;
+        cur_cell = &building;
+        break;
+      case RecordType::kStrName:
+        building.set_name(rec.ascii());
+        break;
+      case RecordType::kEndStr:
+        finish_element();
+        cells.push_back(std::move(building));
+        in_struct = false;
+        cur_cell = nullptr;
+        break;
+      case RecordType::kBoundary:
+        el = ElKind::kBoundary;
+        break;
+      case RecordType::kPath:
+        el = ElKind::kPath;
+        break;
+      case RecordType::kSref:
+        el = ElKind::kSref;
+        break;
+      case RecordType::kAref:
+        el = ElKind::kAref;
+        break;
+      case RecordType::kText:
+        el = ElKind::kText;
+        break;
+      case RecordType::kLayer:
+        layer = rec.int16_at(0);
+        break;
+      case RecordType::kDatatype:
+        datatype = rec.int16_at(0);
+        break;
+      case RecordType::kTextType:
+        texttype = rec.int16_at(0);
+        break;
+      case RecordType::kWidth:
+        width = rec.int32_at(0);
+        break;
+      case RecordType::kPathType:
+        pathtype = rec.int16_at(0);
+        break;
+      case RecordType::kXy: {
+        xy.clear();
+        const std::size_t n = rec.int32_count() / 2;
+        xy.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          xy.push_back(Point{rec.int32_at(2 * i), rec.int32_at(2 * i + 1)});
+        }
+        break;
+      }
+      case RecordType::kEndEl:
+        finish_element();
+        break;
+      case RecordType::kSname:
+        sname = rec.ascii();
+        break;
+      case RecordType::kColRow:
+        cols = rec.int16_at(0);
+        rows = rec.int16_at(1);
+        break;
+      case RecordType::kStrans:
+        reflect = (rec.payload.size() >= 2) && ((rec.payload[0] & 0x80) != 0);
+        break;
+      case RecordType::kMag:
+        mag = rec.real64_at(0);
+        break;
+      case RecordType::kAngle:
+        angle = rec.real64_at(0);
+        break;
+      case RecordType::kPresentation:
+      case RecordType::kString:
+        if (rec.type == RecordType::kString) text_value = rec.ascii();
+        break;
+      case RecordType::kEndLib:
+        goto done;
+    }
+  }
+done:
+  if (!have_lib) {
+    throw std::runtime_error("GDSII: missing BGNLIB");
+  }
+  if (in_struct) {
+    throw std::runtime_error("GDSII: unterminated structure");
+  }
+
+  Library out{libname, dbu_per_uu, meters_per_dbu};
+  for (Cell& c : cells) out.add_cell(std::move(c));
+  // Resolve reference names now that every structure is known.
+  for (const PendingRef& p : pending) {
+    if (!out.has_cell(p.target)) {
+      throw std::runtime_error("GDSII: reference to unknown structure " + p.target);
+    }
+    out.cell(p.cell).mutable_refs()[p.ref_pos].cell_index = out.index_of(p.target);
+  }
+  return out;
+}
+
+Library read_gdsii_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_gdsii(in);
+}
+
+}  // namespace dfm

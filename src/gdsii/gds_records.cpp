@@ -1,0 +1,183 @@
+#include "gdsii/gds_records.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfm::gds {
+namespace {
+
+std::uint16_t be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+std::int16_t Record::int16_at(std::size_t index) const {
+  if ((index + 1) * 2 > payload.size()) {
+    throw std::runtime_error("GDSII record: int16 index out of range");
+  }
+  return static_cast<std::int16_t>(be16(payload.data() + index * 2));
+}
+
+std::int32_t Record::int32_at(std::size_t index) const {
+  if ((index + 1) * 4 > payload.size()) {
+    throw std::runtime_error("GDSII record: int32 index out of range");
+  }
+  return static_cast<std::int32_t>(be32(payload.data() + index * 4));
+}
+
+double Record::real64_at(std::size_t index) const {
+  if ((index + 1) * 8 > payload.size()) {
+    throw std::runtime_error("GDSII record: real64 index out of range");
+  }
+  return decode_real64(payload.data() + index * 8);
+}
+
+std::string Record::ascii() const {
+  std::string s(payload.begin(), payload.end());
+  // GDSII pads odd-length strings with a trailing NUL.
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+bool RecordReader::next(Record& out) {
+  std::uint8_t header[4];
+  in_.read(reinterpret_cast<char*>(header), 4);
+  if (in_.gcount() == 0 && in_.eof()) return false;
+  if (in_.gcount() != 4) {
+    throw std::runtime_error("GDSII: truncated record header");
+  }
+  const std::uint16_t total = be16(header);
+  if (total < 4) {
+    // A zero-length record terminates some writers' streams (padding).
+    if (total == 0) return false;
+    throw std::runtime_error("GDSII: invalid record length");
+  }
+  out.type = static_cast<RecordType>(header[2]);
+  out.data_type = header[3];
+  out.payload.resize(static_cast<std::size_t>(total) - 4);
+  if (!out.payload.empty()) {
+    in_.read(reinterpret_cast<char*>(out.payload.data()),
+             static_cast<std::streamsize>(out.payload.size()));
+    if (static_cast<std::size_t>(in_.gcount()) != out.payload.size()) {
+      throw std::runtime_error("GDSII: truncated record payload");
+    }
+  }
+  return true;
+}
+
+void RecordWriter::write(RecordType type, std::uint8_t data_type,
+                         const std::vector<std::uint8_t>& payload) {
+  const std::size_t total = payload.size() + 4;
+  if (total > 0xFFFF) {
+    throw std::runtime_error("GDSII: record too large");
+  }
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(total >> 8),
+      static_cast<std::uint8_t>(total & 0xFF),
+      static_cast<std::uint8_t>(type),
+      data_type,
+  };
+  out_.write(reinterpret_cast<const char*>(header), 4);
+  if (!payload.empty()) {
+    out_.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+  }
+}
+
+void RecordWriter::write_int16(RecordType type,
+                               const std::vector<std::int16_t>& values) {
+  std::vector<std::uint8_t> p;
+  p.reserve(values.size() * 2);
+  for (std::int16_t v : values) {
+    const auto u = static_cast<std::uint16_t>(v);
+    p.push_back(static_cast<std::uint8_t>(u >> 8));
+    p.push_back(static_cast<std::uint8_t>(u & 0xFF));
+  }
+  write(type, 2, p);
+}
+
+void RecordWriter::write_int32(RecordType type,
+                               const std::vector<std::int32_t>& values) {
+  std::vector<std::uint8_t> p;
+  p.reserve(values.size() * 4);
+  for (std::int32_t v : values) {
+    const auto u = static_cast<std::uint32_t>(v);
+    p.push_back(static_cast<std::uint8_t>(u >> 24));
+    p.push_back(static_cast<std::uint8_t>((u >> 16) & 0xFF));
+    p.push_back(static_cast<std::uint8_t>((u >> 8) & 0xFF));
+    p.push_back(static_cast<std::uint8_t>(u & 0xFF));
+  }
+  write(type, 3, p);
+}
+
+void RecordWriter::write_real64(RecordType type,
+                                const std::vector<double>& values) {
+  std::vector<std::uint8_t> p(values.size() * 8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    encode_real64(values[i], p.data() + i * 8);
+  }
+  write(type, 5, p);
+}
+
+void RecordWriter::write_ascii(RecordType type, const std::string& s) {
+  std::vector<std::uint8_t> p(s.begin(), s.end());
+  if (p.size() % 2 != 0) p.push_back(0);  // pad to even length
+  write(type, 6, p);
+}
+
+double decode_real64(const std::uint8_t bytes[8]) {
+  const bool negative = (bytes[0] & 0x80) != 0;
+  const int exponent = (bytes[0] & 0x7F) - 64;  // excess-64, base 16
+  std::uint64_t mantissa = 0;
+  for (int i = 1; i < 8; ++i) {
+    mantissa = (mantissa << 8) | bytes[i];
+  }
+  if (mantissa == 0) return 0.0;
+  // mantissa is a fraction with the binary point before bit 55.
+  const double frac =
+      static_cast<double>(mantissa) / 72057594037927936.0;  // 2^56
+  const double value = frac * std::pow(16.0, exponent);
+  return negative ? -value : value;
+}
+
+void encode_real64(double value, std::uint8_t bytes[8]) {
+  for (int i = 0; i < 8; ++i) bytes[i] = 0;
+  if (value == 0.0) return;
+  const bool negative = value < 0;
+  double v = negative ? -value : value;
+  int exponent = 0;
+  // Normalize so that 1/16 <= v < 1.
+  while (v >= 1.0) {
+    v /= 16.0;
+    ++exponent;
+  }
+  while (v < 1.0 / 16.0) {
+    v *= 16.0;
+    --exponent;
+  }
+  auto mantissa = static_cast<std::uint64_t>(std::llround(v * 72057594037927936.0));
+  if (mantissa >= (1ULL << 56)) {  // rounding overflowed into the next digit
+    mantissa >>= 4;
+    ++exponent;
+  }
+  const int ex = exponent + 64;
+  if (ex < 0 || ex > 127) {
+    throw std::runtime_error("GDSII: real64 exponent out of range");
+  }
+  bytes[0] = static_cast<std::uint8_t>((negative ? 0x80 : 0x00) | ex);
+  for (int i = 7; i >= 1; --i) {
+    bytes[i] = static_cast<std::uint8_t>(mantissa & 0xFF);
+    mantissa >>= 8;
+  }
+}
+
+}  // namespace dfm::gds

@@ -1,0 +1,90 @@
+// Low-level GDSII stream format: record framing, big-endian integer I/O
+// and the excess-64 8-byte real encoding. The reader/writer above this
+// layer deal only in whole records.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfm::gds {
+
+enum class RecordType : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kPath = 0x09,
+  kSref = 0x0A,
+  kAref = 0x0B,
+  kText = 0x0C,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kWidth = 0x0F,
+  kXy = 0x10,
+  kEndEl = 0x11,
+  kSname = 0x12,
+  kColRow = 0x13,
+  kTextType = 0x16,
+  kPresentation = 0x17,
+  kString = 0x19,
+  kStrans = 0x1A,
+  kMag = 0x1B,
+  kAngle = 0x1C,
+  kPathType = 0x21,
+};
+
+/// One decoded record: type tag plus raw payload bytes (big-endian).
+struct Record {
+  RecordType type = RecordType::kHeader;
+  std::uint8_t data_type = 0;
+  std::vector<std::uint8_t> payload;
+
+  // Typed payload accessors (throw std::runtime_error on size mismatch).
+  std::int16_t int16_at(std::size_t index) const;
+  std::int32_t int32_at(std::size_t index) const;
+  double real64_at(std::size_t index) const;
+  std::string ascii() const;
+  std::size_t int16_count() const { return payload.size() / 2; }
+  std::size_t int32_count() const { return payload.size() / 4; }
+};
+
+/// Reads records one at a time from a stream. Returns false at ENDLIB/EOF.
+class RecordReader {
+ public:
+  explicit RecordReader(std::istream& in) : in_(in) {}
+  /// Reads the next record; returns false on clean EOF.
+  bool next(Record& out);
+
+ private:
+  std::istream& in_;
+};
+
+/// Writes framed records to a stream.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::ostream& out) : out_(out) {}
+
+  void write(RecordType type, std::uint8_t data_type,
+             const std::vector<std::uint8_t>& payload);
+  void write_empty(RecordType type) { write(type, 0, {}); }
+  void write_int16(RecordType type, const std::vector<std::int16_t>& values);
+  void write_int32(RecordType type, const std::vector<std::int32_t>& values);
+  void write_real64(RecordType type, const std::vector<double>& values);
+  void write_ascii(RecordType type, const std::string& s);
+
+ private:
+  std::ostream& out_;
+};
+
+/// GDSII excess-64 real <-> double conversion (exposed for tests).
+double decode_real64(const std::uint8_t bytes[8]);
+void encode_real64(double value, std::uint8_t bytes[8]);
+
+}  // namespace dfm::gds

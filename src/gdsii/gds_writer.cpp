@@ -1,0 +1,122 @@
+#include "gdsii/gdsii.h"
+
+#include "gdsii/gds_records.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+using gds::RecordType;
+using gds::RecordWriter;
+
+std::int32_t checked32(Coord v) {
+  if (v > 0x7FFFFFFFLL || v < -0x80000000LL) {
+    throw std::runtime_error("GDSII: coordinate exceeds 32 bits");
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+void write_xy(RecordWriter& w, const std::vector<Point>& pts) {
+  std::vector<std::int32_t> v;
+  v.reserve(pts.size() * 2);
+  for (Point p : pts) {
+    v.push_back(checked32(p.x));
+    v.push_back(checked32(p.y));
+  }
+  w.write_int32(RecordType::kXy, v);
+}
+
+// Decomposes one of our D4 orientations into GDSII (reflect, angle).
+void strans_of(Orient o, bool& reflect, double& angle) {
+  switch (o) {
+    case Orient::kR0: reflect = false; angle = 0; break;
+    case Orient::kR90: reflect = false; angle = 90; break;
+    case Orient::kR180: reflect = false; angle = 180; break;
+    case Orient::kR270: reflect = false; angle = 270; break;
+    case Orient::kMX: reflect = true; angle = 0; break;
+    case Orient::kMXR90: reflect = true; angle = 90; break;
+    case Orient::kMXR180: reflect = true; angle = 180; break;
+    case Orient::kMXR270: reflect = true; angle = 270; break;
+  }
+}
+
+void write_ref(RecordWriter& w, const Library& lib, const CellRef& ref) {
+  const bool is_array = ref.cols != 1 || ref.rows != 1;
+  w.write_empty(is_array ? RecordType::kAref : RecordType::kSref);
+  w.write_ascii(RecordType::kSname, lib.cell(ref.cell_index).name());
+  bool reflect = false;
+  double angle = 0;
+  strans_of(ref.transform.orient, reflect, angle);
+  if (reflect || angle != 0) {
+    w.write(RecordType::kStrans, 1,
+            {static_cast<std::uint8_t>(reflect ? 0x80 : 0x00), 0x00});
+    if (angle != 0) w.write_real64(RecordType::kAngle, {angle});
+  }
+  if (is_array) {
+    w.write_int16(RecordType::kColRow,
+                  {static_cast<std::int16_t>(ref.cols),
+                   static_cast<std::int16_t>(ref.rows)});
+    const Point o = ref.transform.offset;
+    const Point pc = o + ref.col_step * static_cast<Coord>(ref.cols);
+    const Point pr = o + ref.row_step * static_cast<Coord>(ref.rows);
+    write_xy(w, {o, pc, pr});
+  } else {
+    write_xy(w, {ref.transform.offset});
+  }
+  w.write_empty(RecordType::kEndEl);
+}
+
+}  // namespace
+
+void write_gdsii(const Library& lib, std::ostream& out) {
+  RecordWriter w(out);
+  w.write_int16(RecordType::kHeader, {600});  // stream format version 6
+  // BGNLIB carries modification timestamps; write a fixed epoch so output
+  // is deterministic and diffable.
+  const std::vector<std::int16_t> epoch(12, 0);
+  w.write_int16(RecordType::kBgnLib, epoch);
+  w.write_ascii(RecordType::kLibName, lib.name());
+  w.write_real64(RecordType::kUnits,
+                 {1.0 / lib.dbu_per_uu(), lib.meters_per_dbu()});
+
+  for (const Cell& cell : lib.cells()) {
+    w.write_int16(RecordType::kBgnStr, epoch);
+    w.write_ascii(RecordType::kStrName, cell.name());
+    for (const auto& [layer, polys] : cell.shapes()) {
+      for (const Polygon& poly : polys) {
+        if (poly.empty()) continue;
+        w.write_empty(RecordType::kBoundary);
+        w.write_int16(RecordType::kLayer, {layer.layer});
+        w.write_int16(RecordType::kDatatype, {layer.datatype});
+        std::vector<Point> pts = poly.points();
+        pts.push_back(pts.front());  // GDSII repeats the first vertex
+        write_xy(w, pts);
+        w.write_empty(RecordType::kEndEl);
+      }
+    }
+    for (const Text& t : cell.texts()) {
+      w.write_empty(RecordType::kText);
+      w.write_int16(RecordType::kLayer, {t.layer.layer});
+      w.write_int16(RecordType::kTextType, {t.layer.datatype});
+      write_xy(w, {t.position});
+      w.write_ascii(RecordType::kString, t.value);
+      w.write_empty(RecordType::kEndEl);
+    }
+    for (const CellRef& ref : cell.refs()) {
+      write_ref(w, lib, ref);
+    }
+    w.write_empty(RecordType::kEndStr);
+  }
+  w.write_empty(RecordType::kEndLib);
+}
+
+void write_gdsii_file(const Library& lib, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_gdsii(lib, out);
+}
+
+}  // namespace dfm

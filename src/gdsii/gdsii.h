@@ -1,0 +1,32 @@
+// GDSII stream reader/writer for the dfm Library database.
+//
+// Supported elements: BOUNDARY, PATH (converted to polygons on read),
+// SREF, AREF and TEXT. Transforms are restricted to the orthogonal set
+// (angles that are multiples of 90 degrees, magnification 1), which is
+// what this library's transform model expresses.
+#pragma once
+
+#include "layout/library.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace dfm {
+
+/// Parses a GDSII stream into a Library. Throws std::runtime_error on
+/// malformed input or unsupported constructs (non-orthogonal angles,
+/// magnification != 1).
+Library read_gdsii(std::istream& in);
+Library read_gdsii_file(const std::string& path);
+
+/// Serializes a Library to a GDSII stream. All geometry is written as
+/// BOUNDARY elements; references are SREF/AREF; texts are TEXT.
+void write_gdsii(const Library& lib, std::ostream& out);
+void write_gdsii_file(const Library& lib, const std::string& path);
+
+/// Converts a Manhattan path centerline of width w to a polygon.
+/// `extend_ends` mirrors GDSII pathtype 2 (square ends extended by w/2).
+Polygon path_to_polygon(const std::vector<Point>& centerline, Coord width,
+                        bool extend_ends);
+
+}  // namespace dfm

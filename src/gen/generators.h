@@ -1,0 +1,87 @@
+// Synthetic layout generators. These replace the proprietary production
+// layouts the DFM literature evaluates on: standard-cell-like rows with a
+// simple two-layer Manhattan router, via fields with varied enclosure
+// styles, and an injector for known-bad ("pathological") constructs that
+// serve as labelled ground truth for the detection experiments.
+#pragma once
+
+#include "gen/rng.h"
+#include "layout/library.h"
+#include "layout/tech.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct DesignParams {
+  std::uint64_t seed = 1;
+  std::string name = "design";
+  Tech tech;
+
+  int rows = 8;             // standard-cell rows
+  int cells_per_row = 20;   // instances per row
+  int cell_variants = 6;    // distinct cell masters to draw from
+
+  // Routing style knobs; varying these differentiates "products" for the
+  // pattern-catalog comparison experiments.
+  int routes = 60;          // number of point-to-point M2 routes
+  double bend_ratio = 0.5;  // fraction of routes with an L-bend
+  double wide_wire_ratio = 0.1;  // fraction of routes at 2x width
+
+  // Via fields (arrays of via1 + landing pads) placed beside the rows.
+  int via_fields = 2;
+  int vias_per_field = 64;
+};
+
+/// Builds a full hierarchical design: cell masters + a top cell with
+/// placed rows, routed M2, and via fields.
+Library generate_design(const DesignParams& params);
+
+/// One standard-cell master. `variant` selects gate count and internal
+/// strap style; all variants share the Tech cell frame.
+Cell make_stdcell(const Tech& tech, int variant, const std::string& name);
+
+/// Adds `count` M2 point-to-point routes with via1 endpoints over `area`.
+/// Routes are track-aligned and collision-free against each other.
+void route_metal2(Cell& top, Rng& rng, const Tech& tech, const Rect& area,
+                  int count, double bend_ratio, double wide_ratio);
+
+/// Via enclosure styles, mirroring the categories of the via-enclosure
+/// pattern catalog study.
+enum class ViaStyle {
+  kSymmetric,      // uniform enclosure all around
+  kEndOfLineX,     // extended enclosure left+right
+  kEndOfLineY,     // extended enclosure top+bottom
+  kCornerL,        // generous on two adjacent sides (landing pad corner)
+  kBorderless,     // minimum enclosure all around
+};
+
+/// Adds a field of vias with mixed enclosure styles; style mix is drawn
+/// from `rng` with weights typical of routed designs (heavy-tailed).
+void add_via_field(Cell& cell, Rng& rng, const Tech& tech, Point origin,
+                   int count);
+
+/// A single via with explicit style at `center` (via + M1 + M2 pads).
+void add_via(Cell& cell, const Tech& tech, Point center, ViaStyle style);
+
+/// A labelled injected defect used as detection ground truth.
+struct Injection {
+  std::string kind;  // "spacing", "notch", "pinch", "bridge", "odd_cycle"
+  Rect where;        // marker box containing the construct
+};
+
+/// Injects `n` pathological constructs on Metal 1 inside `area`, spaced
+/// away from each other. Returns the ground-truth labels.
+std::vector<Injection> inject_pathologies(Cell& cell, Rng& rng,
+                                          const Tech& tech, const Rect& area,
+                                          int n);
+
+/// Individual injectors (also used directly by focused tests).
+Injection inject_spacing_violation(Cell& cell, const Tech& tech, Point at);
+Injection inject_notch(Cell& cell, const Tech& tech, Point at);
+Injection inject_pinch_candidate(Cell& cell, const Tech& tech, Point at);
+Injection inject_bridge_candidate(Cell& cell, const Tech& tech, Point at);
+Injection inject_odd_cycle(Cell& cell, const Tech& tech, Point at);
+
+}  // namespace dfm

@@ -1,0 +1,102 @@
+// Injectors for known-bad layout constructs. Each returns a labelled
+// marker box so detection experiments have exact ground truth.
+#include "gen/generators.h"
+
+namespace dfm {
+
+Injection inject_spacing_violation(Cell& cell, const Tech& t, Point at) {
+  // Two parallel M1 bars at 60% of min spacing.
+  const Coord w = t.m1_width;
+  const Coord bad_gap = t.m1_space * 6 / 10;
+  const Coord len = 6 * w;
+  cell.add(layers::kMetal1, Rect{at.x, at.y, at.x + len, at.y + w});
+  cell.add(layers::kMetal1,
+           Rect{at.x, at.y + w + bad_gap, at.x + len, at.y + 2 * w + bad_gap});
+  return {"spacing", Rect{at.x, at.y, at.x + len, at.y + 2 * w + bad_gap}};
+}
+
+Injection inject_notch(Cell& cell, const Tech& t, Point at) {
+  // U-shape whose inner notch is below min spacing.
+  const Coord w = t.m1_width;
+  const Coord notch = t.m1_space / 2;
+  const Coord h = 4 * w;
+  cell.add(layers::kMetal1, Rect{at.x, at.y, at.x + w, at.y + h});
+  cell.add(layers::kMetal1,
+           Rect{at.x + w + notch, at.y, at.x + 2 * w + notch, at.y + h});
+  cell.add(layers::kMetal1, Rect{at.x, at.y, at.x + 2 * w + notch, at.y + w});
+  return {"notch", Rect{at.x, at.y, at.x + 2 * w + notch, at.y + h}};
+}
+
+Injection inject_pinch_candidate(Cell& cell, const Tech& t, Point at) {
+  // DRC-clean but litho-marginal: a long minimum-width line squeezed
+  // between two wide blocks at exactly min spacing — classic pinch site.
+  const Coord w = t.m1_width;
+  const Coord s = t.m1_space;
+  const Coord len = 14 * w;
+  cell.add(layers::kMetal1, Rect{at.x, at.y, at.x + len, at.y + 3 * w});
+  cell.add(layers::kMetal1,
+           Rect{at.x, at.y + 3 * w + s, at.x + len, at.y + 3 * w + s + w});
+  cell.add(layers::kMetal1, Rect{at.x, at.y + 3 * w + 2 * s + w, at.x + len,
+                                 at.y + 6 * w + 2 * s});
+  return {"pinch", Rect{at.x, at.y, at.x + len, at.y + 6 * w + 2 * s}};
+}
+
+Injection inject_bridge_candidate(Cell& cell, const Tech& t, Point at) {
+  // Two line ends facing each other at exactly min spacing with parallel
+  // company — DRC-clean, but line-end pullback makes it a bridge risk.
+  const Coord w = t.m1_width;
+  const Coord s = t.m1_space;
+  const Coord len = 8 * w;
+  for (int i = 0; i < 3; ++i) {
+    const Coord y = at.y + i * (w + s);
+    cell.add(layers::kMetal1, Rect{at.x, y, at.x + len, y + w});
+    cell.add(layers::kMetal1,
+             Rect{at.x + len + s, y, at.x + 2 * len + s, y + w});
+  }
+  return {"bridge",
+          Rect{at.x, at.y, at.x + 2 * len + s, at.y + 3 * w + 2 * s}};
+}
+
+Injection inject_odd_cycle(Cell& cell, const Tech& t, Point at) {
+  // Three features forming an odd conflict cycle that IS resolvable by a
+  // stitch: two tall bars A and B far apart, conflicting only through a
+  // bottom arm of A, and a top bar C whose left end conflicts with A and
+  // right end with B. Splitting either A or C separates its two conflict
+  // zones. All gaps are DRC-legal (>= m1_space) but below dpt_space.
+  const Coord w = t.m1_width * 2;                       // bar width
+  const Coord gap = std::max(t.dpt_space * 7 / 10, t.m1_space);
+  const Coord h = 10 * w;                               // bar height
+  const Coord bx = at.x + 5 * w;                        // B's left edge
+  // A: vertical bar + bottom arm reaching toward B.
+  cell.add(layers::kMetal1, Rect{at.x, at.y, at.x + w, at.y + h});
+  cell.add(layers::kMetal1, Rect{at.x, at.y, bx - gap, at.y + w});
+  // B: vertical bar.
+  cell.add(layers::kMetal1, Rect{bx, at.y, bx + w, at.y + h});
+  // C: horizontal bar above both.
+  cell.add(layers::kMetal1,
+           Rect{at.x - w, at.y + h + gap, bx + 2 * w, at.y + h + gap + w});
+  return {"odd_cycle",
+          Rect{at.x - w, at.y, bx + 2 * w, at.y + h + gap + w}};
+}
+
+std::vector<Injection> inject_pathologies(Cell& cell, Rng& rng, const Tech& t,
+                                          const Rect& area, int n) {
+  std::vector<Injection> out;
+  const Coord cell_w = 40 * t.m1_width;  // generous exclusion cells
+  const Coord per_row = std::max<Coord>(1, area.width() / cell_w);
+  for (int i = 0; i < n; ++i) {
+    const Point at{area.lo.x + (i % per_row) * cell_w,
+                   area.lo.y + (i / per_row) * cell_w};
+    if (at.y + cell_w > area.hi.y) break;
+    switch (rng.index(5)) {
+      case 0: out.push_back(inject_spacing_violation(cell, t, at)); break;
+      case 1: out.push_back(inject_notch(cell, t, at)); break;
+      case 2: out.push_back(inject_pinch_candidate(cell, t, at)); break;
+      case 3: out.push_back(inject_bridge_candidate(cell, t, at)); break;
+      default: out.push_back(inject_odd_cycle(cell, t, at)); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,56 @@
+#include "gen/rng.h"
+
+#include <cassert>
+
+namespace dfm {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Coord Rng::uniform(Coord lo, Coord hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<Coord>(next() % range);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(next() % n);
+}
+
+}  // namespace dfm

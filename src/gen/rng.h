@@ -1,0 +1,38 @@
+// Deterministic PRNG for workload generation: xoshiro256** seeded via
+// splitmix64. Every generator in src/gen takes an explicit seed so all
+// experiments are exactly reproducible.
+#pragma once
+
+#include "geometry/point.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dfm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  Coord uniform(Coord lo, Coord hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n);
+
+  /// Picks one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dfm

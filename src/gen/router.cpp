@@ -1,0 +1,98 @@
+// Track-based Metal 2 router: point-to-point routes on the m2 pitch grid
+// with optional single L-bend, collision-free against previously placed
+// routes (greedy with track occupancy intervals). Routes are pure M2
+// geometry; via connectivity down to M1 is modelled by the via-field
+// generator where landing pads can be placed legally.
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dfm {
+namespace {
+
+// Occupied intervals per track index.
+class Occupancy {
+ public:
+  bool free_span(Coord track, Coord lo, Coord hi) const {
+    const auto it = used_.find(track);
+    if (it == used_.end()) return true;
+    for (const auto& [a, b] : it->second) {
+      if (lo < b && hi > a) return false;
+    }
+    return true;
+  }
+  void take(Coord track, Coord lo, Coord hi) {
+    used_[track].emplace_back(lo, hi);
+  }
+
+ private:
+  std::map<Coord, std::vector<std::pair<Coord, Coord>>> used_;
+};
+
+}  // namespace
+
+void route_metal2(Cell& top, Rng& rng, const Tech& t, const Rect& area,
+                  int count, double bend_ratio, double wide_ratio) {
+  if (area.is_empty() || count <= 0) return;
+  const Coord pitch = t.m2_pitch;
+  const Coord w = t.m2_width;
+  const auto n_h_tracks = std::max<Coord>(2, area.height() / pitch - 1);
+  const auto n_v_tracks = std::max<Coord>(2, area.width() / pitch - 1);
+
+  Occupancy h_occ, v_occ;
+  auto track_y = [&](Coord row) { return area.lo.y + (row + 1) * pitch; };
+  auto track_x = [&](Coord col) { return area.lo.x + (col + 1) * pitch; };
+
+  int placed = 0;
+  int attempts = 0;
+  while (placed < count && attempts < count * 20) {
+    ++attempts;
+    const bool wide = rng.chance(wide_ratio);
+    const bool bend = !wide && rng.chance(bend_ratio);
+
+    const Coord row = rng.uniform(0, n_h_tracks - 2);
+    const Coord col0 = rng.uniform(0, n_v_tracks - 2);
+    Coord col1 = rng.uniform(0, n_v_tracks - 2);
+    if (col0 == col1) col1 = (col1 + 1 + rng.uniform(0, 3)) % (n_v_tracks - 1);
+    const Coord xa = track_x(std::min(col0, col1));
+    const Coord xb = track_x(std::max(col0, col1));
+
+    if (wide) {
+      // A fat wire spanning tracks `row` and `row+1`: its edges sit at
+      // exactly minimum spacing from wires on tracks row-1 and row+2.
+      if (!h_occ.free_span(row, xa - pitch / 2, xb + pitch / 2) ||
+          !h_occ.free_span(row + 1, xa - pitch / 2, xb + pitch / 2)) {
+        continue;
+      }
+      h_occ.take(row, xa - pitch / 2, xb + pitch / 2);
+      h_occ.take(row + 1, xa - pitch / 2, xb + pitch / 2);
+      top.add(layers::kMetal2, Rect{xa - w / 2, track_y(row) - w / 2,
+                                    xb + w / 2, track_y(row + 1) + w / 2});
+    } else if (!bend) {
+      if (!h_occ.free_span(row, xa - pitch / 2, xb + pitch / 2)) continue;
+      h_occ.take(row, xa - pitch / 2, xb + pitch / 2);
+      top.add(layers::kMetal2, Rect{xa - w / 2, track_y(row) - w / 2,
+                                    xb + w / 2, track_y(row) + w / 2});
+    } else {
+      // L route: horizontal on `row`, then vertical on the far column.
+      Coord row2 = rng.uniform(0, n_h_tracks - 2);
+      if (row2 == row) row2 = (row2 + 1 + rng.uniform(0, 3)) % (n_h_tracks - 1);
+      const Coord ylo = track_y(std::min(row, row2));
+      const Coord yhi = track_y(std::max(row, row2));
+      const Coord vcol = std::max(col0, col1);
+      if (!h_occ.free_span(row, xa - pitch / 2, xb + pitch / 2)) continue;
+      if (!v_occ.free_span(vcol, ylo - pitch / 2, yhi + pitch / 2)) continue;
+      h_occ.take(row, xa - pitch / 2, xb + pitch / 2);
+      v_occ.take(vcol, ylo - pitch / 2, yhi + pitch / 2);
+      top.add(layers::kMetal2, Rect{xa - w / 2, track_y(row) - w / 2,
+                                    xb + w / 2, track_y(row) + w / 2});
+      top.add(layers::kMetal2,
+              Rect{track_x(vcol) - w / 2, ylo - w / 2, track_x(vcol) + w / 2,
+                   yhi + w / 2});
+    }
+    ++placed;
+  }
+}
+
+}  // namespace dfm

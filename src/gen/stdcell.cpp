@@ -1,0 +1,125 @@
+// Standard-cell master generator and whole-design assembly.
+#include "gen/generators.h"
+
+namespace dfm {
+
+Cell make_stdcell(const Tech& t, int variant, const std::string& name) {
+  Cell c{name};
+  // Gate count grows with variant: 2..7 poly fingers.
+  const int gates = 2 + (variant % 6);
+  const Coord width = t.poly_pitch * (gates + 1);
+  const Coord h = t.cell_height;
+
+  // Power rails on Metal 1 (full cell width, shared at abutment).
+  c.add(layers::kMetal1, Rect{0, 0, width, t.rail_width});
+  c.add(layers::kMetal1, Rect{0, h - t.rail_width, width, h});
+
+  // Diffusion bands: NMOS low, PMOS high.
+  const Coord diff_lo_y0 = t.rail_width + t.diff_space;
+  const Coord diff_h = (h - 2 * t.rail_width - 3 * t.diff_space) / 2;
+  const Coord diff_hi_y0 = diff_lo_y0 + diff_h + t.diff_space;
+  c.add(layers::kDiff, Rect{t.poly_pitch / 2, diff_lo_y0,
+                            width - t.poly_pitch / 2, diff_lo_y0 + diff_h});
+  c.add(layers::kDiff, Rect{t.poly_pitch / 2, diff_hi_y0,
+                            width - t.poly_pitch / 2, diff_hi_y0 + diff_h});
+
+  // Poly gates: vertical stripes crossing both diffusions.
+  for (int g = 0; g < gates; ++g) {
+    const Coord x = t.poly_pitch * (g + 1) - t.poly_width / 2;
+    c.add(layers::kPoly,
+          Rect{x, t.rail_width + t.diff_space / 2, x + t.poly_width,
+               h - t.rail_width - t.diff_space / 2});
+  }
+
+  // Contacts + M1 verticals on source/drain columns between gates.
+  const Coord cs = t.via_size;
+  for (int g = 0; g <= gates; ++g) {
+    const Coord cx = t.poly_pitch * g + t.poly_pitch / 2;
+    // Variant style: odd variants strap every other column to a rail.
+    const bool strap_low = (g + variant) % 2 == 0;
+    for (const Coord cy :
+         {diff_lo_y0 + diff_h / 2, diff_hi_y0 + diff_h / 2}) {
+      c.add(layers::kContact,
+            Rect{cx - cs / 2, cy - cs / 2, cx + cs / 2, cy + cs / 2});
+    }
+    // M1 column covering both contacts.
+    const Coord m1w = t.m1_width;
+    Coord y0 = diff_lo_y0 + diff_h / 2 - m1w;
+    Coord y1 = diff_hi_y0 + diff_h / 2 + m1w;
+    if (strap_low) y0 = 0;                 // reach the VSS rail
+    if ((g + variant) % 3 == 0) y1 = h;    // reach the VDD rail
+    c.add(layers::kMetal1, Rect{cx - m1w / 2, y0, cx + m1w / 2, y1});
+  }
+
+  // Variant-dependent internal M1 horizontal strap (output wiring).
+  if (variant % 2 == 1 && gates >= 3) {
+    const Coord sy = h / 2 - t.m1_width / 2;
+    c.add(layers::kMetal1,
+          Rect{t.poly_pitch / 2, sy, width - t.poly_pitch / 2,
+               sy + t.m1_width});
+  }
+  return c;
+}
+
+Library generate_design(const DesignParams& params) {
+  Library lib{params.name};
+  const Tech& t = params.tech;
+  Rng rng(params.seed);
+
+  // Cell masters. Never create more variants than will be placed, so the
+  // library keeps a single top cell.
+  const int variant_count = std::max(
+      1, std::min(params.cell_variants, params.rows * params.cells_per_row));
+  std::vector<std::uint32_t> masters;
+  for (int v = 0; v < variant_count; ++v) {
+    masters.push_back(
+        lib.add_cell(make_stdcell(t, v, params.name + "_cell" + std::to_string(v))));
+  }
+
+  const std::uint32_t top = lib.new_cell(params.name + "_top");
+
+  // Place rows of random masters; odd rows are flipped (MX) so rails abut.
+  // The first placements cycle through every master so none is left
+  // unreferenced (keeps the library single-topped).
+  Coord max_x = 0;
+  std::size_t placed_total = 0;
+  for (int r = 0; r < params.rows; ++r) {
+    Coord x = 0;
+    const Coord y = static_cast<Coord>(r) * t.cell_height;
+    const bool flip = (r % 2) == 1;
+    for (int i = 0; i < params.cells_per_row; ++i, ++placed_total) {
+      const std::uint32_t m = placed_total < masters.size()
+                                  ? masters[placed_total]
+                                  : rng.pick(masters);
+      CellRef ref;
+      ref.cell_index = m;
+      if (flip) {
+        // Mirror about x then shift up so the cell occupies [y, y+h).
+        ref.transform = Transform{Orient::kMX, Point{x, y + t.cell_height}};
+      } else {
+        ref.transform = Transform{Orient::kR0, Point{x, y}};
+      }
+      lib.cell(top).add_ref(ref);
+      x += lib.bbox(m).width();
+    }
+    max_x = std::max(max_x, x);
+  }
+
+  const Rect core{0, 0, max_x,
+                  static_cast<Coord>(params.rows) * t.cell_height};
+
+  // Metal 2 routing over the core.
+  route_metal2(lib.cell(top), rng, t, core, params.routes, params.bend_ratio,
+               params.wide_wire_ratio);
+
+  // Via fields to the right of the core.
+  Coord fy = 0;
+  for (int f = 0; f < params.via_fields; ++f) {
+    add_via_field(lib.cell(top), rng, t,
+                  Point{max_x + 10 * t.m2_pitch, fy}, params.vias_per_field);
+    fy += t.cell_height * 2;
+  }
+  return lib;
+}
+
+}  // namespace dfm

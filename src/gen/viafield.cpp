@@ -1,0 +1,60 @@
+// Via field generator: arrays of via1 with a realistic heavy-tailed mix
+// of enclosure styles, the raw material of the via-enclosure pattern
+// catalog experiments.
+#include "gen/generators.h"
+
+namespace dfm {
+
+void add_via(Cell& cell, const Tech& t, Point c, ViaStyle style) {
+  const Coord v = t.via_size / 2;
+  const Coord e = t.via_enclosure;
+  const Coord ee = t.via_enclosure_end;
+  cell.add(layers::kVia1, Rect{c.x - v, c.y - v, c.x + v, c.y + v});
+
+  Rect m1{c.x - v - e, c.y - v - e, c.x + v + e, c.y + v + e};
+  Rect m2 = m1;
+  switch (style) {
+    case ViaStyle::kSymmetric:
+      break;
+    case ViaStyle::kEndOfLineX:
+      m1.lo.x = c.x - v - ee;
+      m1.hi.x = c.x + v + ee;
+      break;
+    case ViaStyle::kEndOfLineY:
+      m2.lo.y = c.y - v - ee;
+      m2.hi.y = c.y + v + ee;
+      break;
+    case ViaStyle::kCornerL:
+      m1.hi.x = c.x + v + ee;
+      m1.hi.y = c.y + v + ee;
+      break;
+    case ViaStyle::kBorderless:
+      m1 = Rect{c.x - v - e / 2, c.y - v - e / 2, c.x + v + e / 2,
+                c.y + v + e / 2};
+      m2 = m1;
+      break;
+  }
+  cell.add(layers::kMetal1, m1);
+  cell.add(layers::kMetal2, m2);
+}
+
+void add_via_field(Cell& cell, Rng& rng, const Tech& t, Point origin,
+                   int count) {
+  // Heavy-tailed style mix, mirroring what the 28 nm catalog studies see:
+  // a few categories dominate, the rest form a long tail.
+  const Coord step = 2 * (t.via_size + t.via_space);
+  const int per_row = 8;
+  for (int i = 0; i < count; ++i) {
+    const Point c{origin.x + (i % per_row) * step,
+                  origin.y + (i / per_row) * step};
+    const double roll = rng.uniform01();
+    ViaStyle s = ViaStyle::kSymmetric;
+    if (roll > 0.55) s = ViaStyle::kEndOfLineX;
+    if (roll > 0.80) s = ViaStyle::kEndOfLineY;
+    if (roll > 0.92) s = ViaStyle::kCornerL;
+    if (roll > 0.98) s = ViaStyle::kBorderless;
+    add_via(cell, t, c, s);
+  }
+}
+
+}  // namespace dfm

@@ -1,0 +1,146 @@
+#include "geometry/edge_ops.h"
+
+#include "geometry/rtree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dfm {
+namespace {
+
+// Span cancellation on one line: returns net spans with sign = +1 where
+// positive spans dominate.
+void net_spans(const std::vector<std::pair<Coord, Coord>>& pos,
+               const std::vector<std::pair<Coord, Coord>>& neg,
+               std::vector<std::pair<std::pair<Coord, Coord>, int>>& out) {
+  std::map<Coord, int> delta;
+  for (const auto& [lo, hi] : pos) {
+    delta[lo] += 1;
+    delta[hi] -= 1;
+  }
+  for (const auto& [lo, hi] : neg) {
+    delta[lo] -= 1;
+    delta[hi] += 1;
+  }
+  int acc = 0;
+  Coord start = 0;
+  for (const auto& [c, d] : delta) {
+    const int prev = acc;
+    acc += d;
+    if (prev == 0 && acc != 0) {
+      start = c;
+    } else if (prev != 0 && acc == 0) {
+      out.push_back({{start, c}, prev > 0 ? 1 : -1});
+    } else if (prev != 0 && acc != 0 && ((prev > 0) != (acc > 0))) {
+      out.push_back({{start, c}, prev > 0 ? 1 : -1});
+      start = c;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<BoundaryEdge> boundary_edges(const Region& r) {
+  std::map<Coord, std::pair<std::vector<std::pair<Coord, Coord>>,
+                            std::vector<std::pair<Coord, Coord>>>>
+      hlines, vlines;
+  for (const Rect& box : r.rects()) {
+    hlines[box.lo.y].first.emplace_back(box.lo.x, box.hi.x);   // bottoms
+    hlines[box.hi.y].second.emplace_back(box.lo.x, box.hi.x);  // tops
+    vlines[box.lo.x].first.emplace_back(box.lo.y, box.hi.y);   // lefts
+    vlines[box.hi.x].second.emplace_back(box.lo.y, box.hi.y);  // rights
+  }
+  std::vector<BoundaryEdge> out;
+  std::vector<std::pair<std::pair<Coord, Coord>, int>> spans;
+  for (const auto& [y, pn] : hlines) {
+    spans.clear();
+    net_spans(pn.first, pn.second, spans);
+    for (const auto& [iv, sign] : spans) {
+      // Net bottom edge: interior above (N); net top edge: interior below.
+      out.push_back({Segment{{iv.first, y}, {iv.second, y}}, sign > 0 ? 1 : 3});
+    }
+  }
+  for (const auto& [x, pn] : vlines) {
+    spans.clear();
+    net_spans(pn.first, pn.second, spans);
+    for (const auto& [iv, sign] : spans) {
+      // Net left edge: interior to the east; net right edge: to the west.
+      out.push_back({Segment{{x, iv.first}, {x, iv.second}}, sign > 0 ? 0 : 2});
+    }
+  }
+  return out;
+}
+
+std::vector<EdgePair> facing_pairs(const Region& r, Coord limit, bool external) {
+  const std::vector<BoundaryEdge> edges = boundary_edges(r);
+  // Strip verifier: the whole gap/width strip must be empty (external)
+  // or fully covered (internal) — a midpoint probe can be fooled by a
+  // third shape sitting between the two edges.
+  const RTree rect_tree(r.rects());
+  auto strip_matches = [&](const Rect& strip) {
+    Area covered = 0;
+    rect_tree.visit(strip, [&](std::uint32_t i) {
+      covered += r.rects()[i].intersect(strip).area();
+    });
+    return external ? covered == 0 : covered == strip.area();
+  };
+  std::vector<Rect> boxes;
+  boxes.reserve(edges.size());
+  for (const BoundaryEdge& e : edges) {
+    boxes.push_back(Rect{std::min(e.seg.a.x, e.seg.b.x), std::min(e.seg.a.y, e.seg.b.y),
+                         std::max(e.seg.a.x, e.seg.b.x), std::max(e.seg.a.y, e.seg.b.y)});
+  }
+  RTree tree(boxes);
+
+  std::vector<EdgePair> out;
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    tree.visit(boxes[i].expanded(limit), [&](std::uint32_t j) {
+      if (j <= i) return;
+      const BoundaryEdge& a = edges[i];
+      const BoundaryEdge& b = edges[j];
+      const bool ah = a.seg.horizontal();
+      if (ah != b.seg.horizontal()) return;
+      if (ah) {
+        const Coord ya = a.seg.a.y, yb = b.seg.a.y;
+        if (ya == yb) return;
+        const BoundaryEdge& lower = ya < yb ? a : b;
+        const BoundaryEdge& upper = ya < yb ? b : a;
+        const Coord gap = std::max(ya, yb) - std::min(ya, yb);
+        if (gap >= limit) return;
+        // Projection overlap on x.
+        const Coord xlo = std::max(std::min(a.seg.a.x, a.seg.b.x),
+                                   std::min(b.seg.a.x, b.seg.b.x));
+        const Coord xhi = std::min(std::max(a.seg.a.x, a.seg.b.x),
+                                   std::max(b.seg.a.x, b.seg.b.x));
+        if (xhi <= xlo) return;
+        const bool internal_pair = lower.inside == 1 && upper.inside == 3;
+        const bool external_pair = lower.inside == 3 && upper.inside == 1;
+        if (external ? !external_pair : !internal_pair) return;
+        const Rect strip{xlo, lower.seg.a.y, xhi, upper.seg.a.y};
+        if (!strip_matches(strip)) return;
+        out.push_back({a.seg, b.seg, gap, strip});
+      } else {
+        const Coord xa = a.seg.a.x, xb = b.seg.a.x;
+        if (xa == xb) return;
+        const BoundaryEdge& left = xa < xb ? a : b;
+        const BoundaryEdge& right = xa < xb ? b : a;
+        const Coord gap = std::max(xa, xb) - std::min(xa, xb);
+        if (gap >= limit) return;
+        const Coord ylo = std::max(std::min(a.seg.a.y, a.seg.b.y),
+                                   std::min(b.seg.a.y, b.seg.b.y));
+        const Coord yhi = std::min(std::max(a.seg.a.y, a.seg.b.y),
+                                   std::max(b.seg.a.y, b.seg.b.y));
+        if (yhi <= ylo) return;
+        const bool internal_pair = left.inside == 0 && right.inside == 2;
+        const bool external_pair = left.inside == 2 && right.inside == 0;
+        if (external ? !external_pair : !internal_pair) return;
+        const Rect strip{left.seg.a.x, ylo, right.seg.a.x, yhi};
+        if (!strip_matches(strip)) return;
+        out.push_back({a.seg, b.seg, gap, strip});
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,36 @@
+// Edge utilities on merged regions: boundary edge extraction with interior
+// side annotation, and nearest edge-pair measurements used by the DRC
+// engine to attach concrete distances to violations.
+#pragma once
+
+#include "geometry/region.h"
+
+#include <vector>
+
+namespace dfm {
+
+/// A boundary edge of a merged region. `inside` points toward the
+/// interior: 0=E,1=N,2=W,3=S (interior lies in that direction).
+struct BoundaryEdge {
+  Segment seg;
+  int inside = 0;
+};
+
+/// Extracts the merged boundary edges of a region.
+std::vector<BoundaryEdge> boundary_edges(const Region& r);
+
+/// A measured pair of facing edges with their separation.
+struct EdgePair {
+  Segment a;
+  Segment b;
+  Coord distance = 0;
+  Rect marker;  // box spanning the violating gap/width span
+};
+
+/// Finds all pairs of *facing* boundary edges (interiors pointing at each
+/// other across empty space) closer than `limit`. Used for spacing-style
+/// measurements; `external` selects exterior-facing (spacing) vs
+/// interior-facing (width) pairs.
+std::vector<EdgePair> facing_pairs(const Region& r, Coord limit, bool external);
+
+}  // namespace dfm

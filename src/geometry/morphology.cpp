@@ -1,0 +1,39 @@
+// Region morphology with a square structuring element of radius d.
+// bloat = Minkowski sum with a 2d x 2d square (exact for rect unions:
+// the sum of a union is the union of per-rect sums). shrink is its dual,
+// computed by complementing inside a frame that over-covers the bbox.
+#include "geometry/region.h"
+
+#include <cassert>
+
+namespace dfm {
+
+Region Region::bloated(Coord d) const {
+  if (d == 0) return *this;
+  if (d < 0) return shrunk(-d);
+  Region out;
+  for (const Rect& r : raw_) out.add(r.expanded(d));
+  return out;
+}
+
+Region Region::shrunk(Coord d) const {
+  if (d == 0) return *this;
+  if (d < 0) return bloated(-d);
+  normalize();
+  if (raw_.empty()) return {};
+  const Rect frame = bbox().expanded(2 * d);
+  const Region complement = Region(frame) - *this;
+  return Region(frame.expanded(-d)) - complement.bloated(d);
+}
+
+Region Region::opened(Coord d) const {
+  assert(d >= 0);
+  return shrunk(d).bloated(d);
+}
+
+Region Region::closed(Coord d) const {
+  assert(d >= 0);
+  return bloated(d).shrunk(d);
+}
+
+}  // namespace dfm

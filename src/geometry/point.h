@@ -1,0 +1,61 @@
+// Basic integer geometry primitives. All coordinates are 64-bit signed
+// integers in database units (1 dbu == 1 nm throughout this library).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace dfm {
+
+/// Database coordinate type (nanometres).
+using Coord = std::int64_t;
+/// Area/accumulator type. 64 bits of coordinate squared can overflow a
+/// 64-bit integer for chip-scale extents, so areas use __int128.
+using Area = __int128;
+
+/// A point in the layout plane.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  constexpr Point& operator+=(Point o) { x += o.x; y += o.y; return *this; }
+  constexpr Point& operator-=(Point o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Point operator-() const { return {-x, -y}; }
+  constexpr Point operator*(Coord s) const { return {x * s, y * s}; }
+};
+
+/// L-infinity (Chebyshev) distance; the natural metric for Manhattan DRC.
+inline Coord chebyshev(Point a, Point b) {
+  const Coord dx = std::llabs(a.x - b.x);
+  const Coord dy = std::llabs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+/// L1 (Manhattan) distance.
+inline Coord manhattan(Point a, Point b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+inline std::string to_string(Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+}  // namespace dfm
+
+template <>
+struct std::hash<dfm::Point> {
+  size_t operator()(const dfm::Point& p) const noexcept {
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(p.x) * 0x9e3779b97f4a7c15ULL ^
+        (static_cast<std::uint64_t>(p.y) + 0x9e3779b97f4a7c15ULL +
+         (static_cast<std::uint64_t>(p.x) << 6));
+    return static_cast<size_t>(h);
+  }
+};

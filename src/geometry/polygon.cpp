@@ -1,0 +1,209 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfm {
+
+// ---- Transform helpers (declared in transform.h) ----
+
+Orient compose(Orient a, Orient b) {
+  // Probe with two points that pin down an element of D4 uniquely.
+  const Point p1{1, 0}, p2{0, 1};
+  const Point q1 = apply_orient(a, apply_orient(b, p1));
+  const Point q2 = apply_orient(a, apply_orient(b, p2));
+  for (Orient o : kAllOrients) {
+    if (apply_orient(o, p1) == q1 && apply_orient(o, p2) == q2) return o;
+  }
+  assert(false && "D4 is closed under composition");
+  return Orient::kR0;
+}
+
+Orient inverse(Orient o) {
+  for (Orient inv : kAllOrients) {
+    if (compose(inv, o) == Orient::kR0) return inv;
+  }
+  assert(false && "every D4 element has an inverse");
+  return Orient::kR0;
+}
+
+Transform Transform::then_after(const Transform& other) const {
+  // result(p) = this(other(p)) = orient(other.orient(p) + other.offset) + offset
+  Transform r;
+  r.orient = compose(orient, other.orient);
+  r.offset = apply_orient(orient, other.offset) + offset;
+  return r;
+}
+
+Transform Transform::inverted() const {
+  Transform r;
+  r.orient = inverse(orient);
+  r.offset = -apply_orient(r.orient, offset);
+  return r;
+}
+
+// ---- Polygon ----
+
+Polygon::Polygon(const Rect& r) {
+  if (!r.is_empty()) {
+    pts_ = {r.lo, {r.hi.x, r.lo.y}, r.hi, {r.lo.x, r.hi.y}};
+  }
+}
+
+Rect Polygon::bbox() const {
+  if (pts_.empty()) return Rect::empty();
+  Rect b{pts_.front(), pts_.front()};
+  for (Point p : pts_) {
+    b.lo.x = std::min(b.lo.x, p.x);
+    b.lo.y = std::min(b.lo.y, p.y);
+    b.hi.x = std::max(b.hi.x, p.x);
+    b.hi.y = std::max(b.hi.y, p.y);
+  }
+  return b;
+}
+
+Area Polygon::signed_area() const {
+  if (pts_.size() < 3) return 0;
+  Area acc = 0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Point a = pts_[i];
+    const Point b = pts_[(i + 1) % pts_.size()];
+    acc += static_cast<Area>(a.x) * b.y - static_cast<Area>(b.x) * a.y;
+  }
+  return acc / 2;
+}
+
+bool Polygon::is_rectilinear() const {
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Point a = pts_[i];
+    const Point b = pts_[(i + 1) % pts_.size()];
+    if (a.x != b.x && a.y != b.y) return false;
+  }
+  return true;
+}
+
+bool Polygon::is_rect() const {
+  if (pts_.size() != 4) return false;
+  const Rect b = bbox();
+  return area() == b.area();
+}
+
+bool Polygon::contains(Point p) const {
+  if (empty()) return false;
+  // Boundary check first (closed semantics).
+  for (const Segment& s : edges_of(*this)) {
+    if (s.horizontal()) {
+      if (p.y == s.a.y && p.x >= std::min(s.a.x, s.b.x) &&
+          p.x <= std::max(s.a.x, s.b.x))
+        return true;
+    } else {
+      if (p.x == s.a.x && p.y >= std::min(s.a.y, s.b.y) &&
+          p.y <= std::max(s.a.y, s.b.y))
+        return true;
+    }
+  }
+  // Ray cast to the right along y = p.y + 0.5 conceptually; with integer
+  // rectilinear edges, count vertical edges strictly to the right whose
+  // half-open y span [min, max) contains p.y ... use midpoint trick by
+  // doubling coordinates to avoid vertex degeneracy.
+  int crossings = 0;
+  for (const Segment& s : edges_of(*this)) {
+    if (!s.vertical()) continue;
+    const Coord ylo = std::min(s.a.y, s.b.y);
+    const Coord yhi = std::max(s.a.y, s.b.y);
+    // Test ray at y* = p.y + 0.5: crosses iff ylo <= p.y < yhi.
+    if (ylo <= p.y && p.y < yhi && s.a.x > p.x) ++crossings;
+  }
+  return (crossings % 2) == 1;
+}
+
+Polygon Polygon::transformed(const Transform& t) const {
+  std::vector<Point> out;
+  out.reserve(pts_.size());
+  for (Point p : pts_) out.push_back(t.apply(p));
+  Polygon poly;
+  poly.pts_ = std::move(out);
+  poly.normalize();
+  return poly;
+}
+
+Polygon Polygon::translated(Point d) const {
+  Polygon poly = *this;
+  for (Point& p : poly.pts_) p += d;
+  return poly;
+}
+
+void Polygon::normalize() {
+  if (pts_.size() < 3) {
+    pts_.clear();
+    return;
+  }
+  // Drop coincident and collinear vertices incrementally against the
+  // already-cleaned output (so removals never leave stale neighbours).
+  auto collinear = [](Point a, Point b, Point c) {
+    const Area cross = static_cast<Area>(b.x - a.x) * (c.y - a.y) -
+                       static_cast<Area>(b.y - a.y) * (c.x - a.x);
+    return cross == 0;
+  };
+  std::vector<Point> out;
+  out.reserve(pts_.size());
+  for (const Point& p : pts_) {
+    if (!out.empty() && out.back() == p) continue;
+    while (out.size() >= 2 && collinear(out[out.size() - 2], out.back(), p)) {
+      out.pop_back();
+    }
+    out.push_back(p);
+  }
+  // Wrap-around cleanup: last/first duplicates and collinearity across the
+  // closing edge.
+  bool changed = true;
+  while (changed && out.size() >= 3) {
+    changed = false;
+    if (out.back() == out.front()) {
+      out.pop_back();
+      changed = true;
+      continue;
+    }
+    if (collinear(out[out.size() - 2], out.back(), out.front())) {
+      out.pop_back();
+      changed = true;
+      continue;
+    }
+    if (collinear(out.back(), out.front(), out[1])) {
+      out.erase(out.begin());
+      changed = true;
+    }
+  }
+  pts_ = std::move(out);
+  if (pts_.size() < 3) {
+    pts_.clear();
+    return;
+  }
+  if (signed_area() < 0) std::reverse(pts_.begin(), pts_.end());
+  canonicalize_start();
+}
+
+void Polygon::canonicalize_start() {
+  if (pts_.empty()) return;
+  auto it = std::min_element(pts_.begin(), pts_.end());
+  std::rotate(pts_.begin(), it, pts_.end());
+}
+
+std::string to_string(const Polygon& p) {
+  std::string s = "poly{";
+  for (Point pt : p.points()) s += to_string(pt);
+  s += "}";
+  return s;
+}
+
+std::vector<Segment> edges_of(const Polygon& p) {
+  std::vector<Segment> out;
+  const auto& pts = p.points();
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    out.push_back(Segment{pts[i], pts[(i + 1) % pts.size()]});
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,74 @@
+// Rectilinear (Manhattan) polygon. Vertices are stored counter-clockwise
+// for positive (filled) polygons; the contour is implicitly closed.
+// Consecutive edges must alternate horizontal/vertical; normalize()
+// enforces this by dropping collinear and coincident vertices.
+#pragma once
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/transform.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> pts) : pts_(std::move(pts)) { normalize(); }
+  explicit Polygon(const Rect& r);
+
+  const std::vector<Point>& points() const { return pts_; }
+  bool empty() const { return pts_.size() < 4; }
+  std::size_t size() const { return pts_.size(); }
+
+  Rect bbox() const;
+
+  /// Signed area: positive for counter-clockwise contours.
+  Area signed_area() const;
+  Area area() const {
+    const Area a = signed_area();
+    return a < 0 ? -a : a;
+  }
+
+  /// True when every edge is axis-parallel.
+  bool is_rectilinear() const;
+  /// True when the polygon is exactly a rectangle (after normalization).
+  bool is_rect() const;
+
+  /// Point-in-polygon test (boundary counts as inside).
+  bool contains(Point p) const;
+
+  Polygon transformed(const Transform& t) const;
+  Polygon translated(Point d) const;
+
+  /// Removes duplicate and collinear vertices; ensures CCW winding.
+  void normalize();
+
+  /// Rotates the vertex list so it starts at the lexicographically
+  /// smallest vertex; used to compare polygons for equality.
+  void canonicalize_start();
+
+  friend bool operator==(const Polygon&, const Polygon&) = default;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+std::string to_string(const Polygon& p);
+
+/// A directed axis-parallel segment (polygon or rect edge).
+struct Segment {
+  Point a;
+  Point b;
+  bool horizontal() const { return a.y == b.y; }
+  bool vertical() const { return a.x == b.x; }
+  Coord length() const { return chebyshev(a, b); }
+  friend constexpr auto operator<=>(const Segment&, const Segment&) = default;
+};
+
+/// Directed boundary edges of a polygon (closing edge included).
+std::vector<Segment> edges_of(const Polygon& p);
+
+}  // namespace dfm

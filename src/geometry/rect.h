@@ -1,0 +1,97 @@
+// Axis-aligned rectangle with inclusive-lo / exclusive-hi semantics on
+// neither side: a Rect spans the closed-open box is avoided; we treat a
+// Rect as the closed region [lo.x, hi.x] x [lo.y, hi.y] of the plane and
+// degenerate (zero width/height) rects as empty *area* but valid extents.
+#pragma once
+
+#include "geometry/point.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point l, Point h) : lo(l), hi(h) {}
+  constexpr Rect(Coord x0, Coord y0, Coord x1, Coord y1)
+      : lo{x0, y0}, hi{x1, y1} {}
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  /// A rect that behaves as the identity under join(): lo=+inf, hi=-inf.
+  static constexpr Rect empty() {
+    constexpr Coord inf = std::numeric_limits<Coord>::max() / 4;
+    return Rect{inf, inf, -inf, -inf};
+  }
+
+  constexpr bool is_empty() const { return lo.x >= hi.x || lo.y >= hi.y; }
+  constexpr Coord width() const { return hi.x - lo.x; }
+  constexpr Coord height() const { return hi.y - lo.y; }
+  constexpr Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+  Area area() const {
+    if (is_empty()) return 0;
+    return static_cast<Area>(width()) * static_cast<Area>(height());
+  }
+
+  constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  constexpr bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+  /// True when the closed rects share at least a boundary point.
+  constexpr bool touches(const Rect& r) const {
+    return r.lo.x <= hi.x && r.hi.x >= lo.x && r.lo.y <= hi.y && r.hi.y >= lo.y;
+  }
+  /// True when the rects overlap with positive area.
+  constexpr bool overlaps(const Rect& r) const {
+    return r.lo.x < hi.x && r.hi.x > lo.x && r.lo.y < hi.y && r.hi.y > lo.y;
+  }
+
+  constexpr Rect intersect(const Rect& r) const {
+    return Rect{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y),
+                std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)};
+  }
+  constexpr Rect join(const Rect& r) const {
+    if (is_empty()) return r;
+    if (r.is_empty()) return *this;
+    return Rect{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y),
+                std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)};
+  }
+  /// Pure min/max extent union with no empty-rect special case; use this
+  /// when degenerate (zero-area) rects such as edge boxes carry meaning.
+  constexpr Rect hull(const Rect& r) const {
+    return Rect{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y),
+                std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)};
+  }
+  constexpr Rect expanded(Coord d) const {
+    return Rect{lo.x - d, lo.y - d, hi.x + d, hi.y + d};
+  }
+  constexpr Rect translated(Point t) const { return Rect{lo + t, hi + t}; }
+
+  /// Chebyshev separation between two rects (0 if they touch/overlap).
+  Coord distance(const Rect& r) const {
+    const Coord dx = std::max<Coord>({r.lo.x - hi.x, lo.x - r.hi.x, 0});
+    const Coord dy = std::max<Coord>({r.lo.y - hi.y, lo.y - r.hi.y, 0});
+    return std::max(dx, dy);
+  }
+};
+
+inline std::string to_string(const Rect& r) {
+  return "[" + to_string(r.lo) + " - " + to_string(r.hi) + "]";
+}
+
+/// Bounding box of a set of rects.
+inline Rect bounding_box(const std::vector<Rect>& rects) {
+  Rect b = Rect::empty();
+  for (const Rect& r : rects) b = b.join(r);
+  return b;
+}
+
+}  // namespace dfm

@@ -1,0 +1,104 @@
+// Region: a set of points of the plane represented as a canonical list of
+// non-overlapping rectangles. Semantics are half-open boxes
+// [lo.x, hi.x) x [lo.y, hi.y): two shapes that share an edge merge into
+// one connected figure, matching layout "merge" behaviour.
+//
+// Boolean operations (union / intersection / difference / xor) run a
+// single scanline over the vertical edges of both operands; the output is
+// a unique canonical decomposition, so two Regions covering the same point
+// set compare equal after normalize().
+#pragma once
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+#include <vector>
+
+namespace dfm {
+
+enum class BoolOp { kOr, kAnd, kSub, kXor };
+
+class Region {
+ public:
+  Region() = default;
+  explicit Region(const Rect& r) { add(r); }
+  explicit Region(const Polygon& p) { add(p); }
+  explicit Region(std::vector<Rect> rects);
+
+  /// Adds a shape; the region is lazily normalized on first query.
+  void add(const Rect& r);
+  void add(const Polygon& p);
+  void add(const Region& other);
+
+  bool empty() const;
+  /// Number of rectangles in the canonical decomposition.
+  std::size_t rect_count() const;
+  Area area() const;
+  Rect bbox() const;
+  bool contains(Point p) const;
+
+  /// Canonical non-overlapping rectangles (normalizes if needed).
+  const std::vector<Rect>& rects() const;
+  /// Raw shapes as added, pre-merge (polygons are pre-decomposed to rects).
+  const std::vector<Rect>& raw() const { return raw_; }
+
+  /// Merged boundary contours. Holes are returned as separate clockwise-
+  /// free polygons cut open by a zero-width keyhole slit... no: holes are
+  /// resolved by splitting the region into hole-free polygons at hole
+  /// extents, which is what GDSII output needs.
+  std::vector<Polygon> to_polygons() const;
+
+  /// Connected components (edge-adjacency connects).
+  std::vector<Region> components() const;
+
+  Region translated(Point d) const;
+  Region transformed(const Transform& t) const;
+
+  /// Multiplies every coordinate by `f` (> 0). Morphology at doubled
+  /// resolution gives exact odd-threshold DRC checks on integer grids.
+  Region scaled(Coord f) const;
+
+  /// Clips to a window.
+  Region clipped(const Rect& window) const;
+
+  // Morphology (implemented in morphology.cpp).
+  Region bloated(Coord d) const;
+  Region shrunk(Coord d) const;
+  Region opened(Coord d) const;   // shrink then bloat: removes thin parts
+  Region closed(Coord d) const;   // bloat then shrink: fills thin gaps
+
+  friend Region boolean_op(const Region& a, const Region& b, BoolOp op);
+
+  Region operator|(const Region& o) const { return boolean_op(*this, o, BoolOp::kOr); }
+  Region operator&(const Region& o) const { return boolean_op(*this, o, BoolOp::kAnd); }
+  Region operator-(const Region& o) const { return boolean_op(*this, o, BoolOp::kSub); }
+  Region operator^(const Region& o) const { return boolean_op(*this, o, BoolOp::kXor); }
+
+  bool operator==(const Region& o) const;
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Rect> raw_;      // as-added shapes (rect-decomposed)
+  mutable bool normalized_ = true;     // raw_ is canonical when true
+};
+
+/// Chebyshev distance between two regions, early-exiting at `cap`.
+Coord region_distance(const Region& a, const Region& b, Coord cap);
+
+/// Decomposes a rectilinear polygon into non-overlapping rectangles
+/// (vertical-slab decomposition).
+std::vector<Rect> decompose(const Polygon& p);
+
+/// Core sweep: canonical rect decomposition of a predicate over coverage
+/// counts of two rect sets. Exposed for the DRC engine.
+std::vector<Rect> sweep_boolean(const std::vector<Rect>& a,
+                                const std::vector<Rect>& b, BoolOp op);
+
+/// Area covered by at least `k` of the input rects (counting multiplicity).
+/// Feeding each connected component's canonical rects once makes k=2 the
+/// "two distinct components come within range" detector used for
+/// corner-to-corner spacing checks.
+Region covered_at_least(const std::vector<Rect>& rects, int k);
+
+}  // namespace dfm

@@ -1,0 +1,85 @@
+#include "geometry/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dfm {
+
+void RTree::build(const std::vector<Rect>& boxes) {
+  nodes_.clear();
+  entries_.clear();
+  boxes_ = boxes;
+  count_ = boxes.size();
+  if (boxes.empty()) return;
+
+  entries_.resize(boxes.size());
+  std::iota(entries_.begin(), entries_.end(), 0u);
+
+  // STR packing: sort by x-center, slice, sort slices by y-center.
+  const std::size_t n = entries_.size();
+  const std::size_t leaves = (n + kLeafCap - 1) / kLeafCap;
+  const std::size_t slices =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(leaves))));
+  const std::size_t per_slice = (n + slices - 1) / slices;
+
+  auto xc = [this](std::uint32_t i) { return boxes_[i].lo.x + boxes_[i].hi.x; };
+  auto yc = [this](std::uint32_t i) { return boxes_[i].lo.y + boxes_[i].hi.y; };
+
+  std::sort(entries_.begin(), entries_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return xc(a) < xc(b); });
+  for (std::size_t s = 0; s * per_slice < n; ++s) {
+    const auto begin = entries_.begin() + static_cast<std::ptrdiff_t>(s * per_slice);
+    const auto end = entries_.begin() +
+                     static_cast<std::ptrdiff_t>(std::min(n, (s + 1) * per_slice));
+    std::sort(begin, end,
+              [&](std::uint32_t a, std::uint32_t b) { return yc(a) < yc(b); });
+  }
+
+  // Build leaf level.
+  std::vector<std::uint32_t> level;  // node indices of current level
+  for (std::size_t i = 0; i < n; i += kLeafCap) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<std::uint32_t>(i);
+    leaf.count = static_cast<std::uint32_t>(std::min<std::size_t>(kLeafCap, n - i));
+    for (std::uint32_t j = 0; j < leaf.count; ++j) {
+      leaf.bbox = leaf.bbox.hull(boxes_[entries_[i + j]]);
+    }
+    level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+
+  // Build inner levels. Children of one parent must be contiguous in
+  // nodes_, which holds because each level is appended in order.
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> parent_level;
+    for (std::size_t i = 0; i < level.size(); i += kNodeCap) {
+      Node inner;
+      inner.leaf = false;
+      inner.first = level[i];
+      inner.count =
+          static_cast<std::uint32_t>(std::min<std::size_t>(kNodeCap, level.size() - i));
+      for (std::uint32_t j = 0; j < inner.count; ++j) {
+        inner.bbox = inner.bbox.hull(nodes_[level[i] + j].bbox);
+      }
+      parent_level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+      nodes_.push_back(inner);
+    }
+    level = std::move(parent_level);
+  }
+  root_ = level.front();
+}
+
+std::vector<std::uint32_t> RTree::query(const Rect& window) const {
+  std::vector<std::uint32_t> out;
+  query(window, out);
+  return out;
+}
+
+void RTree::query(const Rect& window, std::vector<std::uint32_t>& out) const {
+  out.clear();
+  visit(window, [&out](std::uint32_t i) { out.push_back(i); });
+}
+
+}  // namespace dfm

@@ -1,0 +1,70 @@
+// Static bulk-loaded R-tree (Sort-Tile-Recursive packing) over rectangles.
+// Built once from a vector of boxes; queries return the indices of boxes
+// whose *closed* extents touch the query window. Used by the DRC engine,
+// net extraction, via doubling and critical-area analysis for
+// neighbourhood searches.
+#pragma once
+
+#include "geometry/rect.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dfm {
+
+class RTree {
+ public:
+  RTree() = default;
+  explicit RTree(const std::vector<Rect>& boxes) { build(boxes); }
+
+  void build(const std::vector<Rect>& boxes);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Indices of all boxes whose closed extent touches `window`.
+  std::vector<std::uint32_t> query(const Rect& window) const;
+  void query(const Rect& window, std::vector<std::uint32_t>& out) const;
+
+  /// Calls fn(index) for each box touching `window`.
+  template <typename Fn>
+  void visit(const Rect& window, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    visit_node(root_, window, fn);
+  }
+
+ private:
+  struct Node {
+    Rect bbox = Rect::empty();
+    std::uint32_t first = 0;   // child node index, or first entry index
+    std::uint32_t count = 0;   // number of children / entries
+    bool leaf = true;
+  };
+
+  template <typename Fn>
+  void visit_node(std::uint32_t ni, const Rect& w, Fn&& fn) const {
+    const Node& n = nodes_[ni];
+    if (!n.bbox.touches(w)) return;
+    if (n.leaf) {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const std::uint32_t e = entries_[n.first + i];
+        if (boxes_[e].touches(w)) fn(e);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        visit_node(n.first + i, w, fn);
+      }
+    }
+  }
+
+  static constexpr std::uint32_t kLeafCap = 8;
+  static constexpr std::uint32_t kNodeCap = 8;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> entries_;  // permutation of box indices
+  std::vector<Rect> boxes_;             // copy of input boxes
+  std::uint32_t root_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dfm

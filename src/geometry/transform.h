@@ -1,0 +1,72 @@
+// Orthogonal layout transforms: the dihedral group D4 (rotations by
+// multiples of 90 degrees, optionally composed with a mirror about the
+// x axis) plus an integer translation. This is exactly the transform set
+// GDSII structure references can express (with unit magnification).
+#pragma once
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+#include <array>
+#include <cstdint>
+
+namespace dfm {
+
+/// The eight orientations of the square symmetry group D4.
+/// RotN = counter-clockwise rotation by N degrees; MirX variants apply
+/// y -> -y *before* the rotation.
+enum class Orient : std::uint8_t {
+  kR0 = 0,
+  kR90,
+  kR180,
+  kR270,
+  kMX,      // mirror about x axis (y -> -y)
+  kMXR90,   // mirror then rotate 90
+  kMXR180,  // == mirror about y axis
+  kMXR270,
+};
+
+constexpr std::array<Orient, 8> kAllOrients = {
+    Orient::kR0,  Orient::kR90,   Orient::kR180,  Orient::kR270,
+    Orient::kMX,  Orient::kMXR90, Orient::kMXR180, Orient::kMXR270};
+
+constexpr Point apply_orient(Orient o, Point p) {
+  Coord x = p.x, y = p.y;
+  const auto idx = static_cast<std::uint8_t>(o);
+  if (idx >= 4) y = -y;
+  switch (idx % 4) {
+    case 0: return {x, y};
+    case 1: return {-y, x};
+    case 2: return {-x, -y};
+    default: return {y, -x};
+  }
+}
+
+/// Composition table helper: returns the orientation equal to applying
+/// `a` after `b` (i.e. result(p) == a(b(p))).
+Orient compose(Orient a, Orient b);
+/// Inverse element in D4.
+Orient inverse(Orient o);
+
+/// A full orthogonal transform: p -> orient(p) + offset.
+struct Transform {
+  Orient orient = Orient::kR0;
+  Point offset{0, 0};
+
+  friend constexpr bool operator==(const Transform&, const Transform&) = default;
+
+  constexpr Point apply(Point p) const { return apply_orient(orient, p) + offset; }
+
+  Rect apply(const Rect& r) const {
+    const Point a = apply(r.lo);
+    const Point b = apply(r.hi);
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y),
+                std::max(a.x, b.x), std::max(a.y, b.y)};
+  }
+
+  /// this ∘ other: first apply `other`, then `this`.
+  Transform then_after(const Transform& other) const;
+  Transform inverted() const;
+};
+
+}  // namespace dfm

@@ -1,0 +1,40 @@
+#include "layout/cell.h"
+
+namespace dfm {
+
+const std::vector<Polygon>& Cell::shapes_on(LayerKey layer) const {
+  static const std::vector<Polygon> kEmpty;
+  const auto it = shapes_.find(layer);
+  return it == shapes_.end() ? kEmpty : it->second;
+}
+
+std::vector<LayerKey> Cell::layers() const {
+  std::vector<LayerKey> out;
+  out.reserve(shapes_.size());
+  for (const auto& [key, polys] : shapes_) {
+    if (!polys.empty()) out.push_back(key);
+  }
+  return out;
+}
+
+Region Cell::local_region(LayerKey layer) const {
+  Region r;
+  for (const Polygon& p : shapes_on(layer)) r.add(p);
+  return r;
+}
+
+Rect Cell::local_bbox() const {
+  Rect b = Rect::empty();
+  for (const auto& [key, polys] : shapes_) {
+    for (const Polygon& p : polys) b = b.join(p.bbox());
+  }
+  return b;
+}
+
+std::size_t Cell::shape_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, polys] : shapes_) n += polys.size();
+  return n;
+}
+
+}  // namespace dfm

@@ -1,0 +1,143 @@
+#include "layout/connectivity.h"
+
+#include "geometry/rtree.h"
+
+#include <numeric>
+
+namespace dfm {
+
+std::vector<StackLayer> standard_stack() {
+  return {{layers::kMetal1, false},
+          {layers::kVia1, true},
+          {layers::kMetal2, false}};
+}
+
+const Region* Net::on(LayerKey k) const {
+  for (const auto& [key, region] : pieces) {
+    if (key == k) return &region;
+  }
+  return nullptr;
+}
+
+Area Net::total_area() const {
+  Area a = 0;
+  for (const auto& [key, region] : pieces) a += region.area();
+  return a;
+}
+
+namespace {
+
+const Region& layer_of(const LayerMap& layers, LayerKey k) {
+  static const Region kEmpty;
+  const auto it = layers.find(k);
+  return it == layers.end() ? kEmpty : it->second;
+}
+
+struct Vertex {
+  std::size_t layer_index;  // into the stack
+  Region region;
+  Rect bbox;
+};
+
+}  // namespace
+
+Netlist extract_nets(const LayerMap& layers,
+                     const std::vector<StackLayer>& stack) {
+  // Vertices: components of every stack layer.
+  std::vector<Vertex> verts;
+  std::vector<std::vector<std::uint32_t>> per_layer(stack.size());
+  for (std::size_t li = 0; li < stack.size(); ++li) {
+    for (Region& comp : layer_of(layers, stack[li].key).components()) {
+      per_layer[li].push_back(static_cast<std::uint32_t>(verts.size()));
+      Vertex v;
+      v.layer_index = li;
+      v.bbox = comp.bbox();
+      v.region = std::move(comp);
+      verts.push_back(std::move(v));
+    }
+  }
+
+  // Union-find.
+  std::vector<std::uint32_t> parent(verts.size());
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[a] = b;
+  };
+
+  // Connect each cut component to overlapping conductor components on the
+  // neighbouring stack layers.
+  for (std::size_t li = 0; li < stack.size(); ++li) {
+    if (!stack[li].is_cut) continue;
+    for (const std::size_t side : {li - 1, li + 1}) {
+      if (side >= stack.size() || stack[side].is_cut) continue;
+      // Spatial index over the conductor components of this side.
+      std::vector<Rect> boxes;
+      for (const std::uint32_t vi : per_layer[side]) {
+        boxes.push_back(verts[vi].bbox);
+      }
+      const RTree tree(boxes);
+      for (const std::uint32_t cut : per_layer[li]) {
+        tree.visit(verts[cut].bbox, [&](std::uint32_t k) {
+          const std::uint32_t cond = per_layer[side][k];
+          if (!(verts[cut].region & verts[cond].region).empty()) {
+            unite(cut, cond);
+          }
+        });
+      }
+    }
+  }
+
+  // Group into nets.
+  std::map<std::uint32_t, Net> groups;
+  for (std::uint32_t vi = 0; vi < verts.size(); ++vi) {
+    Net& net = groups[find(vi)];
+    const LayerKey key = stack[verts[vi].layer_index].key;
+    bool merged = false;
+    for (auto& [k, region] : net.pieces) {
+      if (k == key) {
+        region.add(verts[vi].region);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) net.pieces.emplace_back(key, std::move(verts[vi].region));
+  }
+  Netlist out;
+  out.nets.reserve(groups.size());
+  for (auto& [root, net] : groups) out.nets.push_back(std::move(net));
+  return out;
+}
+
+std::vector<FloatingCut> find_floating_cuts(
+    const LayerMap& layers, const std::vector<StackLayer>& stack) {
+  std::vector<FloatingCut> out;
+  for (std::size_t li = 0; li < stack.size(); ++li) {
+    if (!stack[li].is_cut) continue;
+    const Region* below =
+        li > 0 && !stack[li - 1].is_cut ? &layer_of(layers, stack[li - 1].key)
+                                        : nullptr;
+    const Region* above = li + 1 < stack.size() && !stack[li + 1].is_cut
+                              ? &layer_of(layers, stack[li + 1].key)
+                              : nullptr;
+    for (const Region& cut : layer_of(layers, stack[li].key).components()) {
+      FloatingCut f;
+      f.layer = stack[li].key;
+      f.where = cut.bbox();
+      f.missing_below = below != nullptr && !(cut - *below).empty();
+      f.missing_above = above != nullptr && !(cut - *above).empty();
+      if (f.missing_below || f.missing_above) out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

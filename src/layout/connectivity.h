@@ -1,0 +1,57 @@
+// Net extraction across a metal/via stack: connected components per
+// layer joined through overlapping vias. The currency for per-net
+// analyses — inter-net short critical area, floating-via detection, and
+// redundancy accounting.
+#pragma once
+
+#include "layout/layer_map.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dfm {
+
+/// One conductor layer or cut (via) layer in the stack, bottom-up.
+/// Cut layers connect the conductor below to the conductor above.
+struct StackLayer {
+  LayerKey key;
+  bool is_cut = false;
+};
+
+/// The default M1 / V1 / M2 stack of the synthetic technology.
+std::vector<StackLayer> standard_stack();
+
+/// An extracted net: its shapes grouped by layer.
+struct Net {
+  std::vector<std::pair<LayerKey, Region>> pieces;
+
+  const Region* on(LayerKey k) const;
+  Area total_area() const;
+};
+
+struct Netlist {
+  std::vector<Net> nets;
+
+  std::size_t size() const { return nets.size(); }
+};
+
+/// Extracts nets: per-layer components are vertices; a cut component
+/// that overlaps a conductor component on the layer below and above
+/// unions them. Cut shapes overlapping no conductor (or only one side)
+/// are still assigned to the net of whatever they touch.
+Netlist extract_nets(const LayerMap& layers,
+                     const std::vector<StackLayer>& stack);
+
+/// Cut shapes not fully covered by both adjacent conductors: open-circuit
+/// risks (manufacturing) or outright extraction errors (design).
+struct FloatingCut {
+  LayerKey layer;
+  Rect where;
+  bool missing_below = false;
+  bool missing_above = false;
+};
+
+std::vector<FloatingCut> find_floating_cuts(
+    const LayerMap& layers, const std::vector<StackLayer>& stack);
+
+}  // namespace dfm

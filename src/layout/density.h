@@ -1,0 +1,30 @@
+// Tile-based pattern density map: the fraction of each tile covered by a
+// layer. Used by DRC density checks and the DPT mask-balance score.
+#pragma once
+
+#include "geometry/region.h"
+
+#include <vector>
+
+namespace dfm {
+
+struct DensityMap {
+  Rect window;           // analysed area
+  Coord tile = 0;        // tile edge length
+  int nx = 0, ny = 0;    // grid dimensions
+  std::vector<double> values;  // row-major, ny rows of nx
+
+  double at(int ix, int iy) const {
+    return values[static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx) +
+                  static_cast<std::size_t>(ix)];
+  }
+  double min() const;
+  double max() const;
+  double mean() const;
+};
+
+/// Computes coverage density of `r` over `window` with square tiles of
+/// edge `tile` (the last row/column may be clipped short).
+DensityMap density_map(const Region& r, const Rect& window, Coord tile);
+
+}  // namespace dfm

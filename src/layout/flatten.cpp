@@ -1,0 +1,100 @@
+// Hierarchy flattening: recursive descent through cell references with a
+// composed transform, optionally pruned and clipped by a window.
+#include "layout/library.h"
+
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+constexpr int kMaxDepth = 64;  // guards against reference cycles
+
+void flatten_into(const Library& lib, std::uint32_t cell_index, LayerKey layer,
+                  const Transform& t, const Rect* window, int depth,
+                  Region& out) {
+  if (depth > kMaxDepth) {
+    throw std::runtime_error("cell hierarchy too deep (reference cycle?)");
+  }
+  const Cell& c = lib.cell(cell_index);
+  for (const Polygon& p : c.shapes_on(layer)) {
+    Polygon moved = p.transformed(t);
+    if (window != nullptr && !moved.bbox().overlaps(*window)) continue;
+    out.add(moved);
+  }
+  for (const CellRef& ref : c.refs()) {
+    const Rect child_bbox = lib.bbox(ref.cell_index);
+    for (std::uint32_t r = 0; r < ref.rows; ++r) {
+      for (std::uint32_t col = 0; col < ref.cols; ++col) {
+        const Transform et = t.then_after(ref.element_transform(col, r));
+        if (window != nullptr && !child_bbox.is_empty()) {
+          // Prune subtrees whose transformed bbox misses the window.
+          const Rect placed = et.apply(child_bbox);
+          if (!placed.overlaps(*window)) continue;
+        }
+        flatten_into(lib, ref.cell_index, layer, et, window, depth + 1, out);
+      }
+    }
+  }
+}
+
+Rect bbox_recursive(const Library& lib, std::uint32_t cell_index, int depth) {
+  if (depth > kMaxDepth) {
+    throw std::runtime_error("cell hierarchy too deep (reference cycle?)");
+  }
+  const Cell& c = lib.cell(cell_index);
+  Rect b = c.local_bbox();
+  for (const CellRef& ref : c.refs()) {
+    const Rect child = bbox_recursive(lib, ref.cell_index, depth + 1);
+    if (child.is_empty()) continue;
+    // Join the corners of the array extremes.
+    for (const std::uint32_t r : {0u, ref.rows - 1}) {
+      for (const std::uint32_t col : {0u, ref.cols - 1}) {
+        b = b.join(ref.element_transform(col, r).apply(child));
+      }
+    }
+  }
+  return b;
+}
+
+std::size_t count_recursive(const Library& lib, std::uint32_t cell_index,
+                            int depth) {
+  if (depth > kMaxDepth) {
+    throw std::runtime_error("cell hierarchy too deep (reference cycle?)");
+  }
+  const Cell& c = lib.cell(cell_index);
+  std::size_t n = c.shape_count();
+  for (const CellRef& ref : c.refs()) {
+    n += static_cast<std::size_t>(ref.cols) * ref.rows *
+         count_recursive(lib, ref.cell_index, depth + 1);
+  }
+  return n;
+}
+
+}  // namespace
+
+Rect Library::bbox(std::uint32_t cell_index) const {
+  return bbox_recursive(*this, cell_index, 0);
+}
+
+Region Library::flatten(std::uint32_t cell_index, LayerKey layer) const {
+  Region out;
+  flatten_into(*this, cell_index, layer, Transform{}, nullptr, 0, out);
+  return out;
+}
+
+Region Library::flatten(const std::string& cell_name, LayerKey layer) const {
+  return flatten(index_of(cell_name), layer);
+}
+
+Region Library::flatten_window(std::uint32_t cell_index, LayerKey layer,
+                               const Rect& window) const {
+  Region out;
+  flatten_into(*this, cell_index, layer, Transform{}, &window, 0, out);
+  return out.clipped(window);
+}
+
+std::size_t Library::flat_shape_count(std::uint32_t cell_index) const {
+  return count_recursive(*this, cell_index, 0);
+}
+
+}  // namespace dfm

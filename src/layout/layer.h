@@ -1,0 +1,49 @@
+// Layer identification. A layout layer is a (layer, datatype) pair as in
+// GDSII; the library keeps a registry mapping keys to dense indices.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dfm {
+
+struct LayerKey {
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+
+  friend constexpr auto operator<=>(const LayerKey&, const LayerKey&) = default;
+};
+
+inline std::string to_string(LayerKey k) {
+  return std::to_string(k.layer) + "/" + std::to_string(k.datatype);
+}
+
+/// Conventional layer assignments used by the synthetic technology in
+/// this repository (loosely modelled on a 45-28 nm metal stack).
+namespace layers {
+inline constexpr LayerKey kDiff{1, 0};
+inline constexpr LayerKey kPoly{2, 0};
+inline constexpr LayerKey kContact{3, 0};
+inline constexpr LayerKey kMetal1{4, 0};
+inline constexpr LayerKey kVia1{5, 0};
+inline constexpr LayerKey kMetal2{6, 0};
+inline constexpr LayerKey kVia2{7, 0};
+inline constexpr LayerKey kMetal3{8, 0};
+/// Decomposition outputs for double patterning.
+inline constexpr LayerKey kMetal1MaskA{4, 1};
+inline constexpr LayerKey kMetal1MaskB{4, 2};
+/// Marker layer for violations / hotspots written back into layouts.
+inline constexpr LayerKey kMarker{63, 0};
+}  // namespace layers
+
+}  // namespace dfm
+
+template <>
+struct std::hash<dfm::LayerKey> {
+  size_t operator()(const dfm::LayerKey& k) const noexcept {
+    return (static_cast<size_t>(static_cast<std::uint16_t>(k.layer)) << 16) |
+           static_cast<size_t>(static_cast<std::uint16_t>(k.datatype));
+  }
+};

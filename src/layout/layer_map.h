@@ -1,0 +1,14 @@
+// Flat per-layer geometry: the common currency between the flattener and
+// every analysis engine (DRC, patterns, litho, DPT, yield).
+#pragma once
+
+#include "geometry/region.h"
+#include "layout/layer.h"
+
+#include <map>
+
+namespace dfm {
+
+using LayerMap = std::map<LayerKey, Region>;
+
+}  // namespace dfm

@@ -1,0 +1,110 @@
+#include "layout/svg.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dfm {
+
+SvgWriter::SvgWriter(const Rect& viewport, int width_px)
+    : viewport_(viewport), width_px_(width_px) {
+  if (viewport.is_empty() || width_px <= 0) {
+    throw std::invalid_argument("SvgWriter: empty viewport");
+  }
+}
+
+void SvgWriter::add_layer(const Region& region, const SvgStyle& style) {
+  layers_.emplace_back(region.clipped(viewport_.expanded(viewport_.width() / 10)),
+                       style);
+}
+
+void SvgWriter::add_layer(const Region& region, const std::string& fill_color) {
+  SvgStyle s;
+  s.fill = fill_color;
+  add_layer(region, s);
+}
+
+void SvgWriter::add_overlay(const SvgOverlay& overlay) {
+  overlays_.push_back(overlay);
+}
+
+std::string SvgWriter::default_color(LayerKey key) {
+  // A qualitative palette cycled by layer number; datatype darkens.
+  static const char* palette[] = {"#4477aa", "#ee6677", "#228833", "#ccbb44",
+                                  "#66ccee", "#aa3377", "#bbbbbb", "#222255"};
+  return palette[static_cast<std::size_t>(
+                     static_cast<std::uint16_t>(key.layer)) %
+                 (sizeof(palette) / sizeof(palette[0]))];
+}
+
+void SvgWriter::write(std::ostream& out) const {
+  const double scale =
+      static_cast<double>(width_px_) / static_cast<double>(viewport_.width());
+  const int height_px = static_cast<int>(
+      static_cast<double>(viewport_.height()) * scale + 0.5);
+
+  // Layout y grows upward; SVG y grows downward: flip.
+  auto sx = [&](Coord x) {
+    return (static_cast<double>(x - viewport_.lo.x)) * scale;
+  };
+  auto sy = [&](Coord y) {
+    return (static_cast<double>(viewport_.hi.y - y)) * scale;
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+      << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px_ << " "
+      << height_px << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+
+  for (const auto& [region, style] : layers_) {
+    out << "<g fill=\"" << style.fill << "\" fill-opacity=\"" << style.opacity
+        << "\">\n";
+    for (const Rect& r : region.rects()) {
+      out << "  <rect x=\"" << sx(r.lo.x) << "\" y=\"" << sy(r.hi.y)
+          << "\" width=\"" << static_cast<double>(r.width()) * scale
+          << "\" height=\"" << static_cast<double>(r.height()) * scale
+          << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+  for (const SvgOverlay& o : overlays_) {
+    out << "<rect x=\"" << sx(o.box.lo.x) << "\" y=\"" << sy(o.box.hi.y)
+        << "\" width=\"" << static_cast<double>(o.box.width()) * scale
+        << "\" height=\"" << static_cast<double>(o.box.height()) * scale
+        << "\" fill=\"none\" stroke=\"" << o.stroke
+        << "\" stroke-width=\"2\"/>\n";
+    if (!o.label.empty()) {
+      out << "<text x=\"" << sx(o.box.lo.x) << "\" y=\""
+          << sy(o.box.hi.y) - 3 << "\" font-size=\"11\" fill=\"" << o.stroke
+          << "\">" << o.label << "</text>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+void SvgWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write(out);
+}
+
+std::string SvgWriter::to_string() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+std::string render_svg(const LayerMap& layers,
+                       const std::vector<LayerKey>& order, const Rect& viewport,
+                       const std::vector<SvgOverlay>& overlays, int width_px) {
+  SvgWriter w(viewport, width_px);
+  for (const LayerKey k : order) {
+    const auto it = layers.find(k);
+    if (it == layers.end()) continue;
+    w.add_layer(it->second, SvgWriter::default_color(k));
+  }
+  for (const SvgOverlay& o : overlays) w.add_overlay(o);
+  return w.to_string();
+}
+
+}  // namespace dfm

@@ -1,0 +1,55 @@
+// SVG rendering of layout layers: the debugging / documentation view.
+// Layers draw in stack order with per-layer colors; optional overlay
+// boxes (violation markers, hotspots, pattern windows) draw on top.
+#pragma once
+
+#include "layout/layer_map.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+struct SvgStyle {
+  std::string fill = "#4477aa";
+  double opacity = 0.6;
+};
+
+struct SvgOverlay {
+  Rect box;
+  std::string stroke = "#cc3311";
+  std::string label;
+};
+
+class SvgWriter {
+ public:
+  /// `viewport`: layout window to render; output is scaled to `width_px`.
+  SvgWriter(const Rect& viewport, int width_px = 800);
+
+  void add_layer(const Region& region, const SvgStyle& style);
+  void add_layer(const Region& region, const std::string& fill_color);
+  void add_overlay(const SvgOverlay& overlay);
+
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+  std::string to_string() const;
+
+  /// Default palette entry for a layer (stable, distinguishable colors).
+  static std::string default_color(LayerKey key);
+
+ private:
+  Rect viewport_;
+  int width_px_;
+  std::vector<std::pair<Region, SvgStyle>> layers_;
+  std::vector<SvgOverlay> overlays_;
+};
+
+/// One-call convenience: renders the given layers of a map with default
+/// colors plus overlays.
+std::string render_svg(const LayerMap& layers,
+                       const std::vector<LayerKey>& order, const Rect& viewport,
+                       const std::vector<SvgOverlay>& overlays = {},
+                       int width_px = 800);
+
+}  // namespace dfm

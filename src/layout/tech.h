@@ -1,0 +1,61 @@
+// Synthetic technology definition. Dimensions loosely follow a 45-28 nm
+// class metal stack (all values in nanometres). Every downstream module
+// (generators, DRC deck, litho model, DPT, yield) keys off this single
+// struct so experiments stay mutually consistent.
+#pragma once
+
+#include "geometry/point.h"
+#include "layout/layer.h"
+
+namespace dfm {
+
+struct Tech {
+  // Metal 1.
+  Coord m1_width = 50;
+  Coord m1_space = 50;
+  Coord m1_pitch = 100;
+  Coord m1_min_area = 4000;  // nm^2 (a minimum via landing pad passes)
+
+  // Metal 2 (routing layer).
+  Coord m2_width = 56;
+  Coord m2_space = 56;
+  Coord m2_pitch = 112;
+
+  // Vias and contacts.
+  Coord via_size = 50;
+  Coord via_space = 70;
+  Coord via_enclosure = 10;      // required metal enclosure on all sides
+  Coord via_enclosure_end = 25;  // end-of-line enclosure (one direction)
+
+  // Poly / diffusion (only used by the cell generator's inner shapes).
+  Coord poly_width = 40;
+  Coord poly_pitch = 140;
+  Coord diff_space = 60;
+
+  // Standard-cell frame.
+  Coord cell_height = 1200;
+  Coord rail_width = 80;
+
+  // Wide-metal spacing (recommended): metal wider than wide_width should
+  // keep wide_space to anything else (etch loading / dishing guard).
+  Coord wide_width = 150;
+  Coord wide_space = 80;
+
+  // Double patterning: same-mask spacing threshold for Metal 1.
+  Coord dpt_space = 80;
+  // Minimum stitch overlap length for a legal stitch.
+  Coord stitch_overlap = 40;
+
+  // Density windows.
+  Coord density_tile = 5000;
+  double density_min = 0.15;
+  double density_max = 0.75;
+
+  /// The default technology instance used across examples and benches.
+  static const Tech& standard() {
+    static const Tech t{};
+    return t;
+  }
+};
+
+}  // namespace dfm

@@ -1,0 +1,101 @@
+#include "litho/kernel_detail.h"
+#include "litho/litho.h"
+
+#include <algorithm>
+
+namespace dfm {
+namespace {
+
+// Separable convolution with clamp-to-zero borders (dark field).
+Raster convolve(const Raster& in, const std::vector<float>& taps) {
+  const int radius = static_cast<int>(taps.size() / 2);
+  Raster tmp = in;
+  // Horizontal pass.
+  for (int y = 0; y < in.ny; ++y) {
+    for (int x = 0; x < in.nx; ++x) {
+      float acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int xx = x + k;
+        if (xx < 0 || xx >= in.nx) continue;
+        acc += in.at(xx, y) * taps[static_cast<std::size_t>(k + radius)];
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  // Vertical pass.
+  Raster out = tmp;
+  for (int y = 0; y < in.ny; ++y) {
+    for (int x = 0; x < in.nx; ++x) {
+      float acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int yy = y + k;
+        if (yy < 0 || yy >= in.ny) continue;
+        acc += tmp.at(x, yy) * taps[static_cast<std::size_t>(k + radius)];
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Raster aerial_image(const Region& mask, const Rect& window,
+                    const OpticalModel& model, Coord defocus) {
+  // Pad the window by the kernel reach so features just outside still
+  // contribute, then crop back.
+  const Coord s = model.sigma_at(defocus);
+  const Coord pad = 3 * s + model.px;
+  const Rect padded = window.expanded(pad);
+  Raster img = rasterize(mask, padded, model.px);
+  const double sigma_px = static_cast<double>(s) / static_cast<double>(model.px);
+  img = convolve(img, detail::gaussian_taps(sigma_px));
+
+  // Crop to the requested window.
+  Raster out;
+  out.window = window;
+  out.px = model.px;
+  const int off = static_cast<int>(pad / model.px);
+  out.nx = static_cast<int>((window.width() + model.px - 1) / model.px);
+  out.ny = static_cast<int>((window.height() + model.px - 1) / model.px);
+  out.values.resize(static_cast<std::size_t>(out.nx) *
+                    static_cast<std::size_t>(out.ny));
+  for (int y = 0; y < out.ny; ++y) {
+    for (int x = 0; x < out.nx; ++x) {
+      out.at(x, y) = img.at(x + off, y + off);
+    }
+  }
+  return out;
+}
+
+Region printed_region(const Raster& aerial, const OpticalModel& model,
+                      const ProcessCondition& cond) {
+  Region out;
+  const double th = model.threshold / cond.dose;
+  // Row-run compression: adjacent printing pixels form one rect per run.
+  for (int y = 0; y < aerial.ny; ++y) {
+    int run_start = -1;
+    for (int x = 0; x <= aerial.nx; ++x) {
+      const bool on = x < aerial.nx && aerial.at(x, y) >= th;
+      if (on && run_start < 0) {
+        run_start = x;
+      } else if (!on && run_start >= 0) {
+        const Coord x0 = aerial.window.lo.x + run_start * aerial.px;
+        const Coord x1 = aerial.window.lo.x + x * aerial.px;
+        const Coord y0 = aerial.window.lo.y + y * aerial.px;
+        out.add(Rect{x0, y0, std::min(x1, aerial.window.hi.x),
+                     std::min(y0 + aerial.px, aerial.window.hi.y)});
+        run_start = -1;
+      }
+    }
+  }
+  return out;
+}
+
+Region simulate_print(const Region& mask, const Rect& window,
+                      const OpticalModel& model, const ProcessCondition& cond) {
+  return printed_region(aerial_image(mask, window, model, cond.defocus), model,
+                        cond);
+}
+
+}  // namespace dfm

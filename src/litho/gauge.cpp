@@ -1,0 +1,77 @@
+// CD gauges: subpixel measurement of printed dimensions along a cutline.
+#include "litho/litho.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfm {
+
+double measure_cd(const Raster& aerial, const OpticalModel& model,
+                  const ProcessCondition& cond, const Gauge& g) {
+  const double th = model.threshold / cond.dose;
+  // Sample the cutline densely (quarter-pixel steps).
+  const double len = std::hypot(static_cast<double>(g.b.x - g.a.x),
+                                static_cast<double>(g.b.y - g.a.y));
+  if (len <= 0) return -1;
+  const double step = static_cast<double>(aerial.px) / 4.0;
+  const int n = std::max(2, static_cast<int>(len / step));
+
+  std::vector<double> vals(static_cast<std::size_t>(n + 1));
+  auto point_at = [&](int i) {
+    const double t = static_cast<double>(i) / n;
+    const double dx = t * static_cast<double>(g.b.x - g.a.x);
+    const double dy = t * static_cast<double>(g.b.y - g.a.y);
+    return Point{g.a.x + static_cast<Coord>(std::lround(dx)),
+                 g.a.y + static_cast<Coord>(std::lround(dy))};
+  };
+  for (int i = 0; i <= n; ++i) {
+    vals[static_cast<std::size_t>(i)] = aerial.sample(point_at(i));
+  }
+
+  // The feature span containing the midpoint: walk outward from n/2 to
+  // the first threshold crossings, interpolating each crossing.
+  const int mid = n / 2;
+  if (vals[static_cast<std::size_t>(mid)] < th) return -1;  // pinched away
+
+  auto cross_low = [&]() -> double {
+    for (int i = mid; i > 0; --i) {
+      const double a = vals[static_cast<std::size_t>(i - 1)];
+      const double b = vals[static_cast<std::size_t>(i)];
+      if (a < th && b >= th) {
+        return (i - 1) + (th - a) / (b - a);
+      }
+    }
+    return 0.0;
+  };
+  auto cross_high = [&]() -> double {
+    for (int i = mid; i < n; ++i) {
+      const double a = vals[static_cast<std::size_t>(i)];
+      const double b = vals[static_cast<std::size_t>(i + 1)];
+      if (a >= th && b < th) {
+        return i + (a - th) / (a - b);
+      }
+    }
+    return n;
+  };
+  const double span = cross_high() - cross_low();
+  return span * len / n;
+}
+
+std::vector<BossungPoint> bossung(const Region& mask, const Rect& window,
+                                  const OpticalModel& model, const Gauge& g,
+                                  const std::vector<double>& doses,
+                                  const std::vector<Coord>& defoci) {
+  std::vector<BossungPoint> out;
+  for (const Coord f : defoci) {
+    const Raster img = aerial_image(mask, window, model, f);
+    for (const double d : doses) {
+      BossungPoint p;
+      p.cond = ProcessCondition{d, f};
+      p.cd = measure_cd(img, model, p.cond, g);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

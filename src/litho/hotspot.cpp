@@ -1,0 +1,46 @@
+#include "litho/litho.h"
+
+namespace dfm {
+
+std::vector<Hotspot> find_hotspots(const Region& target, const Region& printed,
+                                   Coord edge_tolerance) {
+  std::vector<Hotspot> out;
+  // A real failure removes/adds at least a tolerance-sized patch;
+  // anything smaller is residual corner rounding, not a hotspot.
+  const Area min_severity =
+      static_cast<Area>(edge_tolerance) * edge_tolerance;
+
+  // Pinch / open risk: parts of the eroded target that did not print.
+  // Eroding first forgives normal corner rounding and edge bias.
+  const Region must_print = target.shrunk(edge_tolerance);
+  for (const Region& miss : (must_print - printed).components()) {
+    if (miss.area() < min_severity) continue;
+    Hotspot h;
+    h.kind = HotspotKind::kPinch;
+    h.marker = miss.bbox().expanded(edge_tolerance);
+    h.severity = static_cast<double>(miss.area());
+    out.push_back(std::move(h));
+  }
+
+  // Bridge risk: print outside the dilated target (resist where two
+  // features' halos join).
+  const Region allowed = target.bloated(edge_tolerance);
+  for (const Region& extra : (printed - allowed).components()) {
+    if (extra.area() < min_severity) continue;
+    Hotspot h;
+    h.kind = HotspotKind::kBridge;
+    h.marker = extra.bbox().expanded(edge_tolerance);
+    h.severity = static_cast<double>(extra.area());
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::vector<Hotspot> litho_hotspots(const Region& target, const Rect& window,
+                                    const OpticalModel& model,
+                                    Coord edge_tolerance) {
+  const Region printed = simulate_print(target, window, model);
+  return find_hotspots(target.clipped(window), printed, edge_tolerance);
+}
+
+}  // namespace dfm

@@ -1,0 +1,11 @@
+// Internal: discrete Gaussian kernel taps shared by aerial.cpp.
+#pragma once
+
+#include <vector>
+
+namespace dfm::detail {
+
+/// Normalized Gaussian taps at pixel pitch, radius 3 sigma (in pixels).
+std::vector<float> gaussian_taps(double sigma_px);
+
+}  // namespace dfm::detail

@@ -1,0 +1,24 @@
+#include "litho/litho.h"
+
+namespace dfm {
+
+PvBand pv_band(const Region& mask, const Rect& window,
+               const OpticalModel& model,
+               const std::vector<ProcessCondition>& corners) {
+  PvBand out;
+  bool first = true;
+  for (const ProcessCondition& c : corners) {
+    const Region printed = simulate_print(mask, window, model, c);
+    if (first) {
+      out.always = printed;
+      out.sometimes = printed;
+      first = false;
+    } else {
+      out.always = out.always & printed;
+      out.sometimes = out.sometimes | printed;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

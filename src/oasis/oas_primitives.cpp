@@ -1,0 +1,153 @@
+#include "oasis/oas_primitives.h"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfm::oas {
+namespace {
+
+std::uint8_t read_byte(std::istream& in) {
+  const int c = in.get();
+  if (c == EOF) throw std::runtime_error("OASIS: unexpected end of stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+}  // namespace
+
+void write_uint(std::ostream& out, std::uint64_t v) {
+  do {
+    std::uint8_t byte = v & 0x7F;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out.put(static_cast<char>(byte));
+  } while (v != 0);
+}
+
+void write_sint(std::ostream& out, std::int64_t v) {
+  const bool neg = v < 0;
+  const std::uint64_t mag =
+      neg ? static_cast<std::uint64_t>(-(v + 1)) + 1 : static_cast<std::uint64_t>(v);
+  write_uint(out, (mag << 1) | (neg ? 1 : 0));
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_uint(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_real_whole(std::ostream& out, std::int64_t v) {
+  if (v >= 0) {
+    write_uint(out, 0);  // type 0: positive whole
+    write_uint(out, static_cast<std::uint64_t>(v));
+  } else {
+    write_uint(out, 1);  // type 1: negative whole
+    write_uint(out, static_cast<std::uint64_t>(-v));
+  }
+}
+
+void write_gdelta(std::ostream& out, Point d) {
+  // Form 1: LSB set, x-sign in bit 1, |dx| above; then a signed y.
+  const bool xneg = d.x < 0;
+  const std::uint64_t mag = xneg ? static_cast<std::uint64_t>(-d.x)
+                                 : static_cast<std::uint64_t>(d.x);
+  write_uint(out, (mag << 2) | (xneg ? 2u : 0u) | 1u);
+  write_sint(out, d.y);
+}
+
+std::uint64_t read_uint(std::istream& in) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t b = read_byte(in);
+    if (shift >= 64) throw std::runtime_error("OASIS: uint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t read_sint(std::istream& in) {
+  const std::uint64_t raw = read_uint(in);
+  const auto mag = static_cast<std::int64_t>(raw >> 1);
+  return (raw & 1) ? -mag : mag;
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_uint(in);
+  if (n > (1u << 20)) throw std::runtime_error("OASIS: string too long");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (static_cast<std::uint64_t>(in.gcount()) != n) {
+    throw std::runtime_error("OASIS: truncated string");
+  }
+  return s;
+}
+
+double read_real(std::istream& in) {
+  const std::uint64_t type = read_uint(in);
+  switch (type) {
+    case 0: return static_cast<double>(read_uint(in));
+    case 1: return -static_cast<double>(read_uint(in));
+    case 2: return 1.0 / static_cast<double>(read_uint(in));
+    case 3: return -1.0 / static_cast<double>(read_uint(in));
+    case 4: {
+      const double a = static_cast<double>(read_uint(in));
+      const double b = static_cast<double>(read_uint(in));
+      return a / b;
+    }
+    case 5: {
+      const double a = static_cast<double>(read_uint(in));
+      const double b = static_cast<double>(read_uint(in));
+      return -a / b;
+    }
+    case 6: {  // IEEE float32, little-endian
+      std::uint32_t bits = 0;
+      for (int i = 0; i < 4; ++i) {
+        bits |= static_cast<std::uint32_t>(read_byte(in)) << (8 * i);
+      }
+      float f;
+      static_assert(sizeof(f) == 4);
+      std::memcpy(&f, &bits, 4);
+      return f;
+    }
+    case 7: {  // IEEE float64, little-endian
+      std::uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(read_byte(in)) << (8 * i);
+      }
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return d;
+    }
+    default:
+      throw std::runtime_error("OASIS: unknown real type");
+  }
+}
+
+Point read_gdelta(std::istream& in) {
+  const std::uint64_t first = read_uint(in);
+  if (first & 1) {
+    // Form 1: explicit.
+    const auto mag = static_cast<Coord>(first >> 2);
+    const Coord dx = (first & 2) ? -mag : mag;
+    return Point{dx, read_sint(in)};
+  }
+  // Form 0: octangular direction in bits 1-3, magnitude above.
+  const auto mag = static_cast<Coord>(first >> 4);
+  switch ((first >> 1) & 0x7) {
+    case 0: return {mag, 0};    // E
+    case 1: return {0, mag};    // N
+    case 2: return {-mag, 0};   // W
+    case 3: return {0, -mag};   // S
+    case 4: return {mag, mag};  // NE
+    case 5: return {-mag, mag};   // NW
+    case 6: return {-mag, -mag};  // SW
+    default: return {mag, -mag};  // SE
+  }
+}
+
+}  // namespace dfm::oas

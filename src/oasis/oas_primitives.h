@@ -1,0 +1,37 @@
+// OASIS (SEMI P39) byte-level primitives: unsigned/signed integers
+// (LEB128 with sign-in-LSB), length-prefixed strings, the real subtypes
+// we emit, g-deltas and the grid repetition. Used by the reader/writer
+// pair; exposed for tests.
+#pragma once
+
+#include "geometry/point.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dfm::oas {
+
+// ---- encoding --------------------------------------------------------------
+
+void write_uint(std::ostream& out, std::uint64_t v);
+/// OASIS signed: magnitude shifted left one, sign in the LSB.
+void write_sint(std::ostream& out, std::int64_t v);
+void write_string(std::ostream& out, const std::string& s);
+/// Real type 0/1 (positive/negative whole number); enough for our units.
+void write_real_whole(std::ostream& out, std::int64_t v);
+/// g-delta form 1: explicit (dx, dy).
+void write_gdelta(std::ostream& out, Point d);
+
+// ---- decoding --------------------------------------------------------------
+
+/// Each read throws std::runtime_error on EOF or malformed data.
+std::uint64_t read_uint(std::istream& in);
+std::int64_t read_sint(std::istream& in);
+std::string read_string(std::istream& in);
+/// Reads any real subtype (0-7) to double.
+double read_real(std::istream& in);
+/// Reads either g-delta form (octangular form 0 or explicit form 1).
+Point read_gdelta(std::istream& in);
+
+}  // namespace dfm::oas

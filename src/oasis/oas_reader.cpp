@@ -1,0 +1,403 @@
+#include "oasis/oas_primitives.h"
+#include "oasis/oasis.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+using namespace oas;
+
+constexpr char kMagic[] = "%SEMI-OASIS\r\n";
+
+// Modal variables (SEMI P39 section 10): unset fields of a record reuse
+// the last explicitly-specified value.
+struct Modal {
+  std::optional<std::int64_t> layer, datatype, textlayer, texttype;
+  std::optional<Coord> geom_w, geom_h;
+  Point geometry_xy{0, 0};
+  Point placement_xy{0, 0};
+  Point text_xy{0, 0};
+  std::optional<std::string> placement_cell;
+  std::optional<std::string> text_string;
+  std::optional<std::vector<Point>> polygon_points;  // delta list
+  struct Repetition {
+    std::uint32_t cols = 1, rows = 1;
+    Point col_step{0, 0}, row_step{0, 0};
+  };
+  std::optional<Repetition> repetition;
+  bool xy_relative = false;
+
+  void reset() { *this = Modal{}; }
+};
+
+template <typename T>
+T require(const std::optional<T>& v, const char* what) {
+  if (!v.has_value()) {
+    throw std::runtime_error(std::string("OASIS: modal variable unset: ") +
+                             what);
+  }
+  return *v;
+}
+
+std::uint32_t checked_count(std::uint64_t raw) {
+  // Sanity cap: a corrupted stream must not drive the expansion loops
+  // into the billions.
+  if (raw + 2 > (1u << 20)) {
+    throw std::runtime_error("OASIS: implausible repetition count");
+  }
+  return static_cast<std::uint32_t>(raw + 2);
+}
+
+Modal::Repetition read_repetition(std::istream& in, const Modal& modal) {
+  const std::uint64_t type = read_uint(in);
+  Modal::Repetition r;
+  switch (type) {
+    case 0:  // reuse
+      return require(modal.repetition, "repetition");
+    case 1: {  // NxM grid, axis-aligned spaces
+      r.cols = checked_count(read_uint(in));
+      r.rows = checked_count(read_uint(in));
+      r.col_step = {static_cast<Coord>(read_uint(in)), 0};
+      r.row_step = {0, static_cast<Coord>(read_uint(in))};
+      return r;
+    }
+    case 2: {  // N columns
+      r.cols = checked_count(read_uint(in));
+      r.col_step = {static_cast<Coord>(read_uint(in)), 0};
+      return r;
+    }
+    case 3: {  // M rows
+      r.rows = checked_count(read_uint(in));
+      r.row_step = {0, static_cast<Coord>(read_uint(in))};
+      return r;
+    }
+    case 8: {  // NxM grid, arbitrary vectors
+      r.cols = checked_count(read_uint(in));
+      r.rows = checked_count(read_uint(in));
+      r.col_step = read_gdelta(in);
+      r.row_step = read_gdelta(in);
+      return r;
+    }
+    case 9: {  // N along one vector
+      r.cols = checked_count(read_uint(in));
+      r.col_step = read_gdelta(in);
+      return r;
+    }
+    default:
+      throw std::runtime_error("OASIS: unsupported repetition type " +
+                               std::to_string(type));
+  }
+}
+
+// Point list to vertex deltas (types 0-4).
+std::vector<Point> read_point_list(std::istream& in) {
+  const std::uint64_t type = read_uint(in);
+  const std::uint64_t count = read_uint(in);
+  if (count > (1u << 20)) throw std::runtime_error("OASIS: point list too long");
+  std::vector<Point> deltas;
+  deltas.reserve(count);
+  switch (type) {
+    case 0:    // 1-deltas, horizontal first
+    case 1: {  // 1-deltas, vertical first
+      bool horizontal = type == 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const Coord d = read_sint(in);
+        deltas.push_back(horizontal ? Point{d, 0} : Point{0, d});
+        horizontal = !horizontal;
+      }
+      break;
+    }
+    case 2: {  // 2-deltas (axis-parallel, direction in low bits)
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t u = read_uint(in);
+        const auto mag = static_cast<Coord>(u >> 2);
+        switch (u & 3) {
+          case 0: deltas.push_back({mag, 0}); break;
+          case 1: deltas.push_back({0, mag}); break;
+          case 2: deltas.push_back({-mag, 0}); break;
+          default: deltas.push_back({0, -mag}); break;
+        }
+      }
+      break;
+    }
+    case 3: {  // 3-deltas (octangular): same shape as g-delta form 0
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t u = read_uint(in);
+        const auto mag = static_cast<Coord>(u >> 3);
+        static constexpr Point dirs[8] = {{1, 0},  {0, 1},  {-1, 0}, {0, -1},
+                                          {1, 1},  {-1, 1}, {-1, -1}, {1, -1}};
+        const Point d = dirs[u & 7];
+        deltas.push_back({d.x * mag, d.y * mag});
+      }
+      break;
+    }
+    case 4: {  // g-deltas
+      for (std::uint64_t i = 0; i < count; ++i) {
+        deltas.push_back(read_gdelta(in));
+      }
+      break;
+    }
+    case 5: {  // g-delta doubles (each delta adds to the previous)
+      Point run{0, 0};
+      for (std::uint64_t i = 0; i < count; ++i) {
+        run += read_gdelta(in);
+        deltas.push_back(run);
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error("OASIS: unsupported point list type " +
+                               std::to_string(type));
+  }
+  return deltas;
+}
+
+Polygon polygon_from(Point origin, const std::vector<Point>& deltas) {
+  std::vector<Point> pts{origin};
+  Point cur = origin;
+  for (const Point& d : deltas) {
+    cur += d;
+    pts.push_back(cur);
+  }
+  return Polygon{std::move(pts)};
+}
+
+struct PendingRef {
+  std::uint32_t cell;
+  std::size_t ref_pos;
+  std::string target;
+};
+
+Orient orient_from(std::uint8_t angle_bits, bool flip) {
+  static constexpr Orient plain[4] = {Orient::kR0, Orient::kR90, Orient::kR180,
+                                      Orient::kR270};
+  static constexpr Orient flipped[4] = {Orient::kMX, Orient::kMXR90,
+                                        Orient::kMXR180, Orient::kMXR270};
+  return flip ? flipped[angle_bits] : plain[angle_bits];
+}
+
+}  // namespace
+
+Library read_oasis(std::istream& in) {
+  // Magic.
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::string(magic, sizeof(magic)) != kMagic) {
+    throw std::runtime_error("OASIS: bad magic");
+  }
+  if (read_uint(in) != 1) throw std::runtime_error("OASIS: expected START");
+  const std::string version = read_string(in);
+  const double unit = read_real(in);  // grid points per micron
+  const std::uint64_t offset_flag = read_uint(in);
+  if (offset_flag == 0) {
+    for (int i = 0; i < 12; ++i) (void)read_uint(in);
+  }
+
+  Library lib{"OASIS", unit, 1e-6 / unit};
+  std::vector<PendingRef> pending;
+  Cell* cur = nullptr;
+  std::uint32_t cur_index = 0;
+  Modal modal;
+
+  auto read_info = [&in]() {
+    const int c = in.get();
+    if (c == EOF) throw std::runtime_error("OASIS: truncated record");
+    return static_cast<std::uint8_t>(c);
+  };
+  auto need_cell = [&cur]() -> Cell& {
+    if (cur == nullptr) {
+      throw std::runtime_error("OASIS: element outside any CELL");
+    }
+    return *cur;
+  };
+  auto place_xy = [&modal](Point& target, Point explicit_xy, bool has_x,
+                           bool has_y) {
+    if (modal.xy_relative) {
+      if (has_x) target.x += explicit_xy.x;
+      if (has_y) target.y += explicit_xy.y;
+    } else {
+      if (has_x) target.x = explicit_xy.x;
+      if (has_y) target.y = explicit_xy.y;
+    }
+  };
+
+  bool done = false;
+  while (!done) {
+    const std::uint64_t rec = read_uint(in);
+    switch (rec) {
+      case 0:  // PAD
+        break;
+      case 2:  // END
+        done = true;
+        break;
+      case 3:   // CELLNAME (implicit refnum)
+      case 4: {  // CELLNAME with refnum
+        (void)read_string(in);
+        if (rec == 4) (void)read_uint(in);
+        break;
+      }
+      case 13: {  // CELL by reference number: unsupported (no name table)
+        throw std::runtime_error("OASIS: CELL by refnum unsupported");
+      }
+      case 14: {  // CELL by name
+        const std::string name = read_string(in);
+        cur_index = lib.new_cell(name);
+        cur = &lib.cell(cur_index);
+        modal.reset();
+        break;
+      }
+      case 15:  // XYABSOLUTE
+        modal.xy_relative = false;
+        break;
+      case 16:  // XYRELATIVE
+        modal.xy_relative = true;
+        break;
+      case 17: {  // PLACEMENT (90-degree angles)
+        const std::uint8_t info = read_info();
+        Cell& cell = need_cell();
+        if (info & 0x80) {
+          if (info & 0x40) throw std::runtime_error("OASIS: refnum placement");
+          modal.placement_cell = read_string(in);
+        }
+        Point xy{0, 0};
+        const bool has_x = info & 0x20, has_y = info & 0x10;
+        if (has_x) xy.x = read_sint(in);
+        if (has_y) xy.y = read_sint(in);
+        place_xy(modal.placement_xy, xy, has_x, has_y);
+        CellRef ref;
+        ref.transform.orient =
+            orient_from((info >> 1) & 3, (info & 0x01) != 0);
+        ref.transform.offset = modal.placement_xy;
+        if (info & 0x08) {
+          const Modal::Repetition rep = read_repetition(in, modal);
+          modal.repetition = rep;
+          ref.cols = rep.cols;
+          ref.rows = rep.rows;
+          ref.col_step = rep.col_step;
+          ref.row_step = rep.row_step;
+        }
+        pending.push_back(PendingRef{cur_index, cell.refs().size(),
+                                     require(modal.placement_cell, "cell")});
+        cell.add_ref(ref);
+        break;
+      }
+      case 19: {  // TEXT
+        const std::uint8_t info = read_info();
+        Cell& cell = need_cell();
+        if (info & 0x40) {
+          if (info & 0x20) throw std::runtime_error("OASIS: text refnum");
+          modal.text_string = read_string(in);
+        }
+        if (info & 0x01) modal.textlayer = static_cast<std::int64_t>(read_uint(in));
+        if (info & 0x02) modal.texttype = static_cast<std::int64_t>(read_uint(in));
+        Point xy{0, 0};
+        const bool has_x = info & 0x10, has_y = info & 0x08;
+        if (has_x) xy.x = read_sint(in);
+        if (has_y) xy.y = read_sint(in);
+        place_xy(modal.text_xy, xy, has_x, has_y);
+        if (info & 0x04) modal.repetition = read_repetition(in, modal);
+        Text t;
+        t.layer = LayerKey{static_cast<std::int16_t>(require(modal.textlayer, "textlayer")),
+                           static_cast<std::int16_t>(require(modal.texttype, "texttype"))};
+        t.position = modal.text_xy;
+        t.value = require(modal.text_string, "text string");
+        cell.add_text(std::move(t));
+        break;
+      }
+      case 20: {  // RECTANGLE
+        const std::uint8_t info = read_info();
+        Cell& cell = need_cell();
+        if (info & 0x01) modal.layer = static_cast<std::int64_t>(read_uint(in));
+        if (info & 0x02) modal.datatype = static_cast<std::int64_t>(read_uint(in));
+        const bool square = info & 0x80;
+        if (info & 0x40) modal.geom_w = static_cast<Coord>(read_uint(in));
+        if (square) {
+          modal.geom_h = modal.geom_w;
+        } else if (info & 0x20) {
+          modal.geom_h = static_cast<Coord>(read_uint(in));
+        }
+        Point xy{0, 0};
+        const bool has_x = info & 0x10, has_y = info & 0x08;
+        if (has_x) xy.x = read_sint(in);
+        if (has_y) xy.y = read_sint(in);
+        place_xy(modal.geometry_xy, xy, has_x, has_y);
+        Modal::Repetition rep;
+        if (info & 0x04) {
+          rep = read_repetition(in, modal);
+          modal.repetition = rep;
+        }
+        const LayerKey key{
+            static_cast<std::int16_t>(require(modal.layer, "layer")),
+            static_cast<std::int16_t>(require(modal.datatype, "datatype"))};
+        const Coord w = require(modal.geom_w, "width");
+        const Coord h = require(modal.geom_h, "height");
+        for (std::uint32_t cc = 0; cc < rep.cols; ++cc) {
+          for (std::uint32_t rr = 0; rr < rep.rows; ++rr) {
+            const Point at = modal.geometry_xy +
+                             rep.col_step * static_cast<Coord>(cc) +
+                             rep.row_step * static_cast<Coord>(rr);
+            cell.add(key, Rect{at.x, at.y, at.x + w, at.y + h});
+          }
+        }
+        break;
+      }
+      case 21: {  // POLYGON
+        const std::uint8_t info = read_info();
+        Cell& cell = need_cell();
+        if (info & 0x01) modal.layer = static_cast<std::int64_t>(read_uint(in));
+        if (info & 0x02) modal.datatype = static_cast<std::int64_t>(read_uint(in));
+        if (info & 0x20) modal.polygon_points = read_point_list(in);
+        Point xy{0, 0};
+        const bool has_x = info & 0x10, has_y = info & 0x08;
+        if (has_x) xy.x = read_sint(in);
+        if (has_y) xy.y = read_sint(in);
+        place_xy(modal.geometry_xy, xy, has_x, has_y);
+        Modal::Repetition rep;
+        if (info & 0x04) {
+          rep = read_repetition(in, modal);
+          modal.repetition = rep;
+        }
+        const LayerKey key{
+            static_cast<std::int16_t>(require(modal.layer, "layer")),
+            static_cast<std::int16_t>(require(modal.datatype, "datatype"))};
+        const auto& deltas = require(modal.polygon_points, "point list");
+        for (std::uint32_t cc = 0; cc < rep.cols; ++cc) {
+          for (std::uint32_t rr = 0; rr < rep.rows; ++rr) {
+            const Point at = modal.geometry_xy +
+                             rep.col_step * static_cast<Coord>(cc) +
+                             rep.row_step * static_cast<Coord>(rr);
+            cell.add(key, polygon_from(at, deltas));
+          }
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("OASIS: unsupported record type " +
+                                 std::to_string(rec));
+    }
+  }
+  (void)version;
+
+  for (const PendingRef& p : pending) {
+    if (!lib.has_cell(p.target)) {
+      throw std::runtime_error("OASIS: placement of unknown cell " + p.target);
+    }
+    lib.cell(p.cell).mutable_refs()[p.ref_pos].cell_index =
+        lib.index_of(p.target);
+  }
+  return lib;
+}
+
+Library read_oasis_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_oasis(in);
+}
+
+}  // namespace dfm

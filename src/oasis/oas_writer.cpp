@@ -1,0 +1,153 @@
+#include "oasis/oas_primitives.h"
+#include "oasis/oasis.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+using namespace oas;
+
+constexpr char kMagic[] = "%SEMI-OASIS\r\n";
+
+// Record ids (SEMI P39).
+enum : std::uint64_t {
+  kPad = 0,
+  kStart = 1,
+  kEnd = 2,
+  kCellByName = 14,
+  kPlacement = 17,
+  kText = 19,
+  kRectangle = 20,
+  kPolygon = 21,
+  kXyAbsolute = 15,
+};
+
+void write_repetition(std::ostream& out, const CellRef& ref) {
+  // Grid (type 8) for 2D arrays, vector row (type 9) for 1D.
+  if (ref.cols > 1 && ref.rows > 1) {
+    write_uint(out, 8);
+    write_uint(out, ref.cols - 2);
+    write_uint(out, ref.rows - 2);
+    write_gdelta(out, ref.col_step);
+    write_gdelta(out, ref.row_step);
+  } else if (ref.cols > 1) {
+    write_uint(out, 9);
+    write_uint(out, ref.cols - 2);
+    write_gdelta(out, ref.col_step);
+  } else {
+    write_uint(out, 9);
+    write_uint(out, ref.rows - 2);
+    write_gdelta(out, ref.row_step);
+  }
+}
+
+void write_placement(std::ostream& out, const Library& lib,
+                     const CellRef& ref) {
+  // Info byte CNXYRAAF: explicit cellname string, explicit x/y, angle in
+  // AA, flip in F, repetition when arrayed.
+  const bool has_rep = ref.cols > 1 || ref.rows > 1;
+  const auto orient = static_cast<std::uint8_t>(ref.transform.orient);
+  const std::uint8_t flip = orient >= 4 ? 1 : 0;
+  const std::uint8_t angle = orient % 4;
+  const std::uint8_t info =
+      static_cast<std::uint8_t>(0x80 |              // C: cellname present
+                                0x20 | 0x10 |       // X, Y explicit
+                                (has_rep ? 0x08 : 0) |
+                                (angle << 1) | flip);
+  write_uint(out, kPlacement);
+  out.put(static_cast<char>(info));
+  write_string(out, lib.cell(ref.cell_index).name());
+  write_sint(out, ref.transform.offset.x);
+  write_sint(out, ref.transform.offset.y);
+  if (has_rep) write_repetition(out, ref);
+}
+
+void write_shape(std::ostream& out, LayerKey layer, const Polygon& poly) {
+  const auto l = static_cast<std::uint64_t>(static_cast<std::uint16_t>(layer.layer));
+  const auto d =
+      static_cast<std::uint64_t>(static_cast<std::uint16_t>(layer.datatype));
+  if (poly.is_rect()) {
+    const Rect r = poly.bbox();
+    // Info byte SWHXYRDL: explicit W, H, X, Y, D, L.
+    write_uint(out, kRectangle);
+    out.put(static_cast<char>(0x7B));  // W|H|X|Y|D|L = 0111 1011
+    write_uint(out, l);
+    write_uint(out, d);
+    write_uint(out, static_cast<std::uint64_t>(r.width()));
+    write_uint(out, static_cast<std::uint64_t>(r.height()));
+    write_sint(out, r.lo.x);
+    write_sint(out, r.lo.y);
+    return;
+  }
+  // POLYGON, info 00PXYRDL: point list + explicit x/y/datatype/layer.
+  write_uint(out, kPolygon);
+  out.put(static_cast<char>(0x3B));  // P|X|Y|D|L = 0011 1011
+  write_uint(out, l);
+  write_uint(out, d);
+  // Point list type 4: g-deltas between consecutive vertices, implicit
+  // closing edge back to the first vertex.
+  const auto& pts = poly.points();
+  write_uint(out, 4);
+  write_uint(out, pts.size() - 1);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    write_gdelta(out, pts[i] - pts[i - 1]);
+  }
+  write_sint(out, pts.front().x);
+  write_sint(out, pts.front().y);
+}
+
+void write_text(std::ostream& out, const Text& t) {
+  // Info byte 0CNXYRTL: explicit string, x, y, texttype, textlayer.
+  write_uint(out, kText);
+  out.put(static_cast<char>(0x5B));  // C|X|Y|T|L = 0101 1011
+  write_string(out, t.value);
+  write_uint(out,
+             static_cast<std::uint64_t>(static_cast<std::uint16_t>(t.layer.layer)));
+  write_uint(out, static_cast<std::uint64_t>(
+                      static_cast<std::uint16_t>(t.layer.datatype)));
+  write_sint(out, t.position.x);
+  write_sint(out, t.position.y);
+}
+
+}  // namespace
+
+void write_oasis(const Library& lib, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic) - 1);
+
+  // START: version, unit (grid points per micron), offset-flag 0 with an
+  // empty in-START table-offsets block (6 x {flag, offset} = 12 uints).
+  write_uint(out, kStart);
+  write_string(out, "1.0");
+  write_real_whole(out, static_cast<std::int64_t>(lib.dbu_per_uu()));
+  write_uint(out, 0);
+  for (int i = 0; i < 12; ++i) write_uint(out, 0);
+
+  for (const Cell& cell : lib.cells()) {
+    write_uint(out, kCellByName);
+    write_string(out, cell.name());
+    write_uint(out, kXyAbsolute);
+    for (const auto& [layer, polys] : cell.shapes()) {
+      for (const Polygon& poly : polys) {
+        if (!poly.empty()) write_shape(out, layer, poly);
+      }
+    }
+    for (const Text& t : cell.texts()) write_text(out, t);
+    for (const CellRef& ref : cell.refs()) write_placement(out, lib, ref);
+  }
+
+  // END record: exactly 256 bytes = id(1) + pad-string(2 + 252) + scheme(1).
+  write_uint(out, kEnd);
+  write_string(out, std::string(252, '\0'));
+  write_uint(out, 0);  // validation scheme: none
+}
+
+void write_oasis_file(const Library& lib, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_oasis(lib, out);
+}
+
+}  // namespace dfm

@@ -1,0 +1,26 @@
+// OASIS (SEMI P39) stream I/O for the dfm Library — the compact successor
+// to GDSII.
+//
+// Supported subset (sufficient for lossless round-trip of this library's
+// data model): CELL (by name), RECTANGLE, POLYGON (type-4 point lists),
+// PLACEMENT with 90-degree angles / flip and grid repetitions (types 1,
+// 2, 3, 8, 9), TEXT, XYABSOLUTE/XYRELATIVE, PAD. Full modal-variable
+// semantics are honoured on the read side for these records. Unsupported
+// records (paths, trapezoids, properties, CBLOCK compression, name
+// tables used as references) are rejected with a clear error.
+#pragma once
+
+#include "layout/library.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace dfm {
+
+Library read_oasis(std::istream& in);
+Library read_oasis_file(const std::string& path);
+
+void write_oasis(const Library& lib, std::ostream& out);
+void write_oasis_file(const Library& lib, const std::string& path);
+
+}  // namespace dfm

@@ -1,0 +1,58 @@
+#include "opc/opc.h"
+
+namespace dfm {
+
+std::vector<Fragment> fragment_edges(const Region& target, Coord max_len) {
+  std::vector<Fragment> out;
+  for (const BoundaryEdge& e : boundary_edges(target)) {
+    const Coord len = e.seg.length();
+    if (len <= 0) continue;
+    const Coord pieces = std::max<Coord>(1, (len + max_len - 1) / max_len);
+    // Direction of travel along the edge.
+    const Point dir{(e.seg.b.x > e.seg.a.x) - (e.seg.a.x > e.seg.b.x),
+                    (e.seg.b.y > e.seg.a.y) - (e.seg.a.y > e.seg.b.y)};
+    Coord pos = 0;
+    for (Coord i = 0; i < pieces; ++i) {
+      const Coord next = len * (i + 1) / pieces;
+      Fragment f;
+      f.seg.a = e.seg.a + dir * pos;
+      f.seg.b = e.seg.a + dir * next;
+      f.inside = e.inside;
+      out.push_back(f);
+      pos = next;
+    }
+  }
+  return out;
+}
+
+Region apply_fragments(const Region& target,
+                       const std::vector<Fragment>& fragments) {
+  Region grow, shrink;
+  for (const Fragment& f : fragments) {
+    if (f.offset == 0) continue;
+    const Coord xlo = std::min(f.seg.a.x, f.seg.b.x);
+    const Coord xhi = std::max(f.seg.a.x, f.seg.b.x);
+    const Coord ylo = std::min(f.seg.a.y, f.seg.b.y);
+    const Coord yhi = std::max(f.seg.a.y, f.seg.b.y);
+    // The mask edge moves by `offset` along the outward normal; the strip
+    // between the old and new edge line is added (offset > 0) or carved
+    // out (offset < 0).
+    const Point n = f.outward();
+    Rect strip;
+    if (f.seg.horizontal()) {
+      const Coord moved = ylo + n.y * f.offset;
+      strip = Rect{xlo, std::min(ylo, moved), xhi, std::max(ylo, moved)};
+    } else {
+      const Coord moved = xlo + n.x * f.offset;
+      strip = Rect{std::min(xlo, moved), ylo, std::max(xlo, moved), yhi};
+    }
+    if (f.offset > 0) {
+      grow.add(strip);
+    } else {
+      shrink.add(strip);
+    }
+  }
+  return (target | grow) - shrink;
+}
+
+}  // namespace dfm

@@ -1,0 +1,127 @@
+// Optical proximity correction and friends: edge fragmentation, a
+// rule-based corrector (bias + line-end hammerheads + corner serifs), an
+// iterative model-based corrector driven by edge placement error against
+// the litho simulator, sub-resolution assist feature insertion, and
+// post-OPC verification (ORC).
+#pragma once
+
+#include "geometry/edge_ops.h"
+#include "litho/litho.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm {
+
+/// A fragment of a target edge with its current mask correction.
+/// `inside` uses the BoundaryEdge convention (0=E,1=N,2=W,3=S pointing at
+/// the interior); positive offset moves the mask edge outward.
+struct Fragment {
+  Segment seg;
+  int inside = 0;
+  Coord offset = 0;
+
+  Point midpoint() const {
+    return {(seg.a.x + seg.b.x) / 2, (seg.a.y + seg.b.y) / 2};
+  }
+  /// Unit vector pointing outward (away from the interior).
+  Point outward() const {
+    switch (inside) {
+      case 0: return {-1, 0};
+      case 1: return {0, -1};
+      case 2: return {1, 0};
+      default: return {0, 1};
+    }
+  }
+};
+
+/// Splits the merged boundary of `target` into fragments of at most
+/// `max_len`, cutting symmetrically so corner fragments stay short.
+std::vector<Fragment> fragment_edges(const Region& target, Coord max_len);
+
+/// Rebuilds the mask: target plus outward strips for positive offsets,
+/// minus inward strips for negative offsets.
+Region apply_fragments(const Region& target,
+                       const std::vector<Fragment>& fragments);
+
+// ---- Rule-based OPC --------------------------------------------------------
+
+struct RuleOpcParams {
+  Coord bias = 6;            // uniform outward edge bias
+  Coord serif = 18;          // square serif edge at convex corners
+  Coord line_end_ext = 14;   // extra extension on line-end edges
+  Coord line_end_max_w = 80; // edges shorter than this are line ends
+};
+
+Region rule_opc(const Region& target, const RuleOpcParams& p);
+
+// ---- Model-based OPC -------------------------------------------------------
+
+struct ModelOpcParams {
+  OpticalModel model;
+  Coord frag_len = 80;
+  int iterations = 8;
+  double gain = 0.6;      // fraction of measured EPE corrected per pass
+  Coord max_offset = 40;  // clamp on per-fragment correction
+};
+
+struct EpeSample {
+  Point at;
+  double epe = 0;  // printed minus target along the outward normal, nm
+  bool valid = false;
+};
+
+struct EpeStats {
+  double mean_abs = 0;
+  double max_abs = 0;
+  int measured = 0;   // valid control points
+  int failed = 0;     // control points where the feature did not print
+};
+
+/// Measures EPE of `mask` against `target` at the midpoints of target
+/// fragments of length `frag_len`.
+EpeStats evaluate_epe(const Region& target, const Region& mask,
+                      const Rect& window, const OpticalModel& model,
+                      Coord frag_len);
+
+struct OpcResult {
+  Region mask;
+  EpeStats before;  // EPE of the uncorrected target
+  EpeStats after;   // EPE of the final mask
+  int iterations_run = 0;
+};
+
+/// Iterative EPE-driven correction. Guarantees after.mean_abs <=
+/// before.mean_abs (keeps the best iterate).
+OpcResult model_opc(const Region& target, const Rect& window,
+                    const ModelOpcParams& p);
+
+// ---- SRAFs -----------------------------------------------------------------
+
+struct SrafParams {
+  Coord min_isolation = 150;  // edge must have no neighbour within this
+  Coord offset = 70;          // SRAF distance from the main edge
+  Coord width = 24;           // SRAF bar width (sub-resolution)
+  Coord min_edge_len = 100;   // only assist reasonably long edges
+  Coord end_margin = 20;      // pull back from fragment ends
+};
+
+/// Scatter bars beside isolated edges; returned separately from the main
+/// mask so ORC can verify they do not print.
+Region insert_srafs(const Region& target, const SrafParams& p);
+
+// ---- ORC (post-OPC verification) -------------------------------------------
+
+struct OrcReport {
+  EpeStats epe;
+  std::vector<Hotspot> hotspots;
+  bool sraf_prints = false;  // any assist feature printed: a mask bug
+  Area pv_band_area = 0;     // variability footprint across corners
+};
+
+OrcReport run_orc(const Region& target, const Region& mask,
+                  const Region& srafs, const Rect& window,
+                  const OpticalModel& model, Coord edge_tolerance,
+                  const std::vector<ProcessCondition>& corners);
+
+}  // namespace dfm

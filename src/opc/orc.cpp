@@ -1,0 +1,32 @@
+// ORC: post-OPC verification — EPE statistics, hotspot scan, assist
+// feature printability, and the PV-band footprint across corners.
+#include "opc/opc.h"
+
+namespace dfm {
+
+OrcReport run_orc(const Region& target, const Region& mask,
+                  const Region& srafs, const Rect& window,
+                  const OpticalModel& model, Coord edge_tolerance,
+                  const std::vector<ProcessCondition>& corners) {
+  OrcReport rep;
+  const Region full_mask = mask | srafs;
+  rep.epe = evaluate_epe(target, full_mask, window, model, 80);
+
+  const Region printed = simulate_print(full_mask, window, model);
+  rep.hotspots = find_hotspots(target.clipped(window), printed, edge_tolerance);
+
+  if (!srafs.empty()) {
+    // An assist feature prints when resist appears over it away from the
+    // main pattern.
+    const Region sraf_print =
+        (printed & srafs.clipped(window)) - target.bloated(edge_tolerance);
+    rep.sraf_prints = !sraf_print.empty();
+  }
+
+  if (!corners.empty()) {
+    rep.pv_band_area = pv_band(full_mask, window, model, corners).band().area();
+  }
+  return rep;
+}
+
+}  // namespace dfm

@@ -1,0 +1,44 @@
+// Rule-based OPC: uniform edge bias, hammerhead extension on line-end
+// edges, and square serifs on convex corners — the pre-model-OPC recipe.
+#include "opc/opc.h"
+
+namespace dfm {
+
+Region rule_opc(const Region& target, const RuleOpcParams& p) {
+  // Per-edge bias via fragments: line-end edges (short exterior edges)
+  // get the hammerhead extension on top of the base bias.
+  std::vector<Fragment> frags;
+  for (const BoundaryEdge& e : boundary_edges(target)) {
+    Fragment f;
+    f.seg = e.seg;
+    f.inside = e.inside;
+    f.offset = p.bias;
+    if (e.seg.length() <= p.line_end_max_w) {
+      f.offset += p.line_end_ext;
+    }
+    frags.push_back(f);
+  }
+  Region mask = apply_fragments(target, frags);
+
+  // Serifs on convex corners of the *original* target.
+  Region serifs;
+  const Coord h = p.serif / 2;
+  for (const Polygon& poly : target.to_polygons()) {
+    const auto& pts = poly.points();
+    const std::size_t n = pts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point prev = pts[(i + n - 1) % n];
+      const Point cur = pts[i];
+      const Point next = pts[(i + 1) % n];
+      const Area cross =
+          static_cast<Area>(cur.x - prev.x) * (next.y - cur.y) -
+          static_cast<Area>(cur.y - prev.y) * (next.x - cur.x);
+      if (cross > 0) {  // left turn on a CCW contour: convex corner
+        serifs.add(Rect{cur.x - h, cur.y - h, cur.x + h, cur.y + h});
+      }
+    }
+  }
+  return mask | serifs;
+}
+
+}  // namespace dfm

@@ -1,0 +1,45 @@
+// Sub-resolution assist features: scatter bars beside isolated edges to
+// sharpen their image without printing themselves.
+#include "opc/opc.h"
+
+namespace dfm {
+
+Region insert_srafs(const Region& target, const SrafParams& p) {
+  Region srafs;
+  for (const BoundaryEdge& e : boundary_edges(target)) {
+    if (e.seg.length() < p.min_edge_len) continue;
+    const Coord xlo = std::min(e.seg.a.x, e.seg.b.x);
+    const Coord xhi = std::max(e.seg.a.x, e.seg.b.x);
+    const Coord ylo = std::min(e.seg.a.y, e.seg.b.y);
+    const Coord yhi = std::max(e.seg.a.y, e.seg.b.y);
+
+    // Isolation probe: the band from the edge outward to min_isolation
+    // must contain no target geometry.
+    Fragment f;
+    f.seg = e.seg;
+    f.inside = e.inside;
+    const Point n = f.outward();
+    Rect band, bar;
+    if (e.seg.horizontal()) {
+      const Coord y_out = ylo + n.y * p.min_isolation;
+      band = Rect{xlo, std::min(ylo, y_out), xhi, std::max(ylo, y_out)};
+      const Coord b0 = ylo + n.y * p.offset;
+      const Coord b1 = b0 + n.y * p.width;
+      bar = Rect{xlo + p.end_margin, std::min(b0, b1), xhi - p.end_margin,
+                 std::max(b0, b1)};
+    } else {
+      const Coord x_out = xlo + n.x * p.min_isolation;
+      band = Rect{std::min(xlo, x_out), ylo, std::max(xlo, x_out), yhi};
+      const Coord b0 = xlo + n.x * p.offset;
+      const Coord b1 = b0 + n.x * p.width;
+      bar = Rect{std::min(b0, b1), ylo + p.end_margin, std::max(b0, b1),
+                 yhi - p.end_margin};
+    }
+    if (bar.is_empty()) continue;
+    if (!(target.clipped(band)).empty()) continue;  // a neighbour is close
+    srafs.add(bar);
+  }
+  return srafs;
+}
+
+}  // namespace dfm

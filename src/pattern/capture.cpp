@@ -1,0 +1,87 @@
+#include "pattern/capture.h"
+
+#include "geometry/rtree.h"
+
+namespace dfm {
+namespace {
+
+// Window clipping against a pre-built spatial index: O(log n + k) per
+// window instead of O(n), which matters for full-design anchor scans.
+class IndexedLayer {
+ public:
+  explicit IndexedLayer(const Region& r) : rects_(r.rects()), tree_(rects_) {}
+
+  Region clip(const Rect& window) const {
+    Region out;
+    tree_.visit(window, [&](std::uint32_t i) {
+      const Rect c = rects_[i].intersect(window);
+      if (!c.is_empty()) out.add(c);
+    });
+    return out;
+  }
+
+ private:
+  std::vector<Rect> rects_;
+  RTree tree_;
+};
+
+const Region& layer_of(const LayerMap& layers, LayerKey k) {
+  static const Region kEmpty;
+  const auto it = layers.find(k);
+  return it == layers.end() ? kEmpty : it->second;
+}
+
+}  // namespace
+
+TopologicalPattern capture_window(const LayerMap& layers,
+                                  const std::vector<LayerKey>& on,
+                                  const Rect& window) {
+  std::vector<LayerClip> clips;
+  clips.reserve(on.size());
+  for (const LayerKey k : on) {
+    clips.push_back(LayerClip{k, layer_of(layers, k).clipped(window)});
+  }
+  return TopologicalPattern::capture(clips, window);
+}
+
+std::vector<CapturedPattern> capture_at_anchors(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius) {
+  std::vector<CapturedPattern> out;
+  std::vector<IndexedLayer> indexed;
+  indexed.reserve(on.size());
+  for (const LayerKey k : on) indexed.emplace_back(layer_of(layers, k));
+
+  for (const Region& comp : layer_of(layers, anchor_layer).components()) {
+    const Point c = comp.bbox().center();
+    const Rect window{c.x - radius, c.y - radius, c.x + radius, c.y + radius};
+    std::vector<LayerClip> clips;
+    clips.reserve(on.size());
+    for (std::size_t i = 0; i < on.size(); ++i) {
+      clips.push_back(LayerClip{on[i], indexed[i].clip(window)});
+    }
+    out.push_back(CapturedPattern{TopologicalPattern::capture(clips, window),
+                                  window, c});
+  }
+  return out;
+}
+
+std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
+                                          const std::vector<LayerKey>& on,
+                                          const Rect& extent, Coord size,
+                                          Coord stride, bool keep_empty) {
+  std::vector<CapturedPattern> out;
+  if (extent.is_empty() || size <= 0 || stride <= 0) return out;
+  for (Coord y = extent.lo.y; y + size <= extent.hi.y; y += stride) {
+    for (Coord x = extent.lo.x; x + size <= extent.hi.x; x += stride) {
+      const Rect window{x, y, x + size, y + size};
+      TopologicalPattern p = capture_window(layers, on, window);
+      if (!keep_empty && p.empty()) continue;
+      out.push_back(
+          CapturedPattern{std::move(p), window, window.center()});
+    }
+  }
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,41 @@
+// Window capture strategies: where to place pattern windows on a layout.
+// Anchor-based capture centers a window on each component of an anchor
+// layer (e.g. every via, for via-enclosure catalogs); grid capture slides
+// a window at fixed stride (for exhaustive design-space coverage).
+#pragma once
+
+#include "pattern/topology.h"
+
+#include "layout/layer_map.h"
+
+#include <functional>
+#include <vector>
+
+namespace dfm {
+
+struct CapturedPattern {
+  TopologicalPattern pattern;
+  Rect window;   // where it was captured
+  Point anchor;  // anchor center (window center for grid capture)
+};
+
+/// Captures one window: clips every requested layer and encodes.
+TopologicalPattern capture_window(const LayerMap& layers,
+                                  const std::vector<LayerKey>& on,
+                                  const Rect& window);
+
+/// One window per connected component of `anchor_layer`, centered on the
+/// component bbox center, of half-size `radius`.
+std::vector<CapturedPattern> capture_at_anchors(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius);
+
+/// Sliding-window capture over `extent` at `stride`; windows of edge
+/// `size`. Empty windows are skipped unless keep_empty.
+std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
+                                          const std::vector<LayerKey>& on,
+                                          const Rect& extent, Coord size,
+                                          Coord stride,
+                                          bool keep_empty = false);
+
+}  // namespace dfm

@@ -1,0 +1,96 @@
+#include "pattern/catalog.h"
+
+#include <algorithm>
+
+namespace dfm {
+
+void PatternCatalog::insert(const TopologicalPattern& p, Point anchor) {
+  CatalogEntry& e = entries_[p.hash()];
+  if (e.count == 0) e.pattern = p;
+  ++e.count;
+  if (e.exemplars.size() < kMaxExemplars) e.exemplars.push_back(anchor);
+  ++total_;
+}
+
+void PatternCatalog::insert(const std::vector<CapturedPattern>& captured) {
+  for (const CapturedPattern& c : captured) insert(c.pattern, c.anchor);
+}
+
+const CatalogEntry* PatternCatalog::find(const TopologicalPattern& p) const {
+  const auto it = entries_.find(p.hash());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const CatalogEntry*> PatternCatalog::by_frequency() const {
+  std::vector<const CatalogEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const CatalogEntry* a, const CatalogEntry* b) {
+              if (a->count != b->count) return a->count > b->count;
+              return a->pattern.hash() < b->pattern.hash();
+            });
+  return out;
+}
+
+double PatternCatalog::top_k_coverage(std::size_t k) const {
+  if (total_ == 0) return 0.0;
+  const auto sorted = by_frequency();
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    covered += sorted[i]->count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+std::size_t PatternCatalog::classes_for_coverage(double fraction) const {
+  if (total_ == 0) return 0;
+  const auto sorted = by_frequency();
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    covered += sorted[i]->count;
+    if (static_cast<double>(covered) >=
+        fraction * static_cast<double>(total_)) {
+      return i + 1;
+    }
+  }
+  return sorted.size();
+}
+
+std::map<std::uint64_t, std::uint64_t> PatternCatalog::histogram() const {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (const auto& [h, e] : entries_) out[h] = e.count;
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+PatternCatalog::association_edges() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& [h, e] : entries_) {
+    for (const TopologicalPattern& g : e.pattern.generalizations()) {
+      if (entries_.count(g.hash()) != 0 && g.hash() != h) {
+        out.emplace_back(h, g.hash());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<const CatalogEntry*> PatternCatalog::entries() const {
+  std::vector<const CatalogEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) out.push_back(&e);
+  return out;
+}
+
+PatternCatalog build_catalog(const LayerMap& layers,
+                             const std::vector<LayerKey>& on,
+                             LayerKey anchor_layer, Coord radius) {
+  PatternCatalog cat;
+  cat.insert(capture_at_anchors(layers, on, anchor_layer, radius));
+  return cat;
+}
+
+}  // namespace dfm

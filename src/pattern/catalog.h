@@ -1,0 +1,65 @@
+// Layout Pattern Catalog (LPC): the frequency-annotated set of distinct
+// canonical patterns extracted from a design, with the statistics the
+// catalog literature reports (class counts, heavy-tail coverage curves,
+// top-k coverage) and the pattern-association structure (single-cut
+// generalization edges forming a DAG towards coarser patterns).
+#pragma once
+
+#include "pattern/capture.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dfm {
+
+struct CatalogEntry {
+  TopologicalPattern pattern;
+  std::uint64_t count = 0;
+  std::vector<Point> exemplars;  // first few anchor locations
+};
+
+class PatternCatalog {
+ public:
+  static constexpr std::size_t kMaxExemplars = 8;
+
+  void insert(const TopologicalPattern& p, Point anchor);
+  void insert(const std::vector<CapturedPattern>& captured);
+
+  std::uint64_t total_windows() const { return total_; }
+  std::size_t class_count() const { return entries_.size(); }
+  const CatalogEntry* find(const TopologicalPattern& p) const;
+
+  /// Entries sorted by descending frequency (ties broken by hash for
+  /// determinism).
+  std::vector<const CatalogEntry*> by_frequency() const;
+
+  /// Fraction of all windows covered by the k most frequent classes.
+  double top_k_coverage(std::size_t k) const;
+  /// Smallest k with top_k_coverage(k) >= fraction.
+  std::size_t classes_for_coverage(double fraction) const;
+
+  /// Frequency distribution keyed by pattern hash (for divergence).
+  std::map<std::uint64_t, std::uint64_t> histogram() const;
+
+  /// Generalization edges: for each catalog entry, the hashes of its
+  /// single-cut generalizations *that also appear in the catalog*. This
+  /// is the in-catalog pattern association structure.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> association_edges() const;
+
+  std::vector<const CatalogEntry*> entries() const;
+
+ private:
+  std::unordered_map<std::uint64_t, CatalogEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+/// Builds a via-style catalog: windows centered on every component of
+/// `anchor_layer` capturing `on` layers.
+PatternCatalog build_catalog(const LayerMap& layers,
+                             const std::vector<LayerKey>& on,
+                             LayerKey anchor_layer, Coord radius);
+
+}  // namespace dfm

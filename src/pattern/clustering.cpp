@@ -1,0 +1,105 @@
+#include "pattern/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dfm {
+
+double snippet_distance(const Region& a, const Region& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  // Center the bounding boxes on each other before comparing.
+  const Point ca = a.bbox().center();
+  const Point cb = b.bbox().center();
+  const Region bb = b.translated(ca - cb);
+  const Area x = (a ^ bb).area();
+  const Area u = (a | bb).area();
+  if (u == 0) return 0.0;
+  return static_cast<double>(x) / static_cast<double>(u);
+}
+
+std::vector<SnippetCluster> leader_cluster(const std::vector<Snippet>& snippets,
+                                           double threshold) {
+  std::vector<SnippetCluster> clusters;
+  for (std::size_t i = 0; i < snippets.size(); ++i) {
+    bool placed = false;
+    for (SnippetCluster& c : clusters) {
+      if (snippet_distance(snippets[c.representative].geometry,
+                           snippets[i].geometry) <= threshold) {
+        c.members.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back(SnippetCluster{{i}, i});
+    }
+  }
+  return clusters;
+}
+
+std::vector<SnippetCluster> agglomerative_cluster(
+    const std::vector<Snippet>& snippets, double threshold) {
+  const std::size_t n = snippets.size();
+  std::vector<SnippetCluster> clusters;
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters.push_back(SnippetCluster{{i}, i});
+  }
+  if (n < 2) return clusters;
+
+  // Pairwise snippet distances, computed once.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          snippet_distance(snippets[i].geometry, snippets[j].geometry);
+      dist[i * n + j] = dist[j * n + i] = d;
+    }
+  }
+  auto complete_link = [&](const SnippetCluster& a, const SnippetCluster& b) {
+    double worst = 0.0;
+    for (const std::size_t i : a.members) {
+      for (const std::size_t j : b.members) {
+        worst = std::max(worst, dist[i * n + j]);
+      }
+    }
+    return worst;
+  };
+
+  while (clusters.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = complete_link(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > threshold) break;
+    auto& a = clusters[bi];
+    auto& b = clusters[bj];
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  // Representative: the member minimizing the max distance to the rest.
+  for (SnippetCluster& c : clusters) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : c.members) {
+      double worst = 0.0;
+      for (const std::size_t j : c.members) {
+        worst = std::max(worst, dist[i * n + j]);
+      }
+      if (worst < best) {
+        best = worst;
+        c.representative = i;
+      }
+    }
+  }
+  return clusters;
+}
+
+}  // namespace dfm

@@ -1,0 +1,45 @@
+// Hotspot snippet clustering, after the automatic hotspot classification
+// papers: snippets (small layout clips centered on a hotspot) are
+// compared by overlapping area after alignment; similar snippets group
+// into clusters whose representative seeds a pattern-match deck.
+//
+// Two algorithms: fast incremental leader clustering (streams arbitrarily
+// many snippets) and complete-linkage agglomerative clustering (tighter
+// clusters for small sets).
+#pragma once
+
+#include "geometry/region.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace dfm {
+
+struct Snippet {
+  Region geometry;  // clip around the hotspot
+  Point center;     // hotspot location in chip coordinates
+};
+
+/// Jaccard distance of the two clips after centering their bounding
+/// boxes on each other: area(xor) / area(union), in [0, 1].
+/// 0 = identical geometry, 1 = disjoint.
+double snippet_distance(const Region& a, const Region& b);
+
+struct SnippetCluster {
+  std::vector<std::size_t> members;    // indices into the snippet vector
+  std::size_t representative = 0;      // index of the defining member
+};
+
+/// Leader clustering: each snippet joins the first cluster whose
+/// representative is within `threshold`, else founds a new cluster.
+/// O(n * clusters); order-dependent but deterministic.
+std::vector<SnippetCluster> leader_cluster(const std::vector<Snippet>& snippets,
+                                           double threshold);
+
+/// Complete-linkage agglomerative clustering, merging until no two
+/// clusters are within `threshold` of each other. O(n^3) worst case;
+/// intended for <= a few hundred snippets.
+std::vector<SnippetCluster> agglomerative_cluster(
+    const std::vector<Snippet>& snippets, double threshold);
+
+}  // namespace dfm

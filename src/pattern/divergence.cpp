@@ -1,0 +1,66 @@
+#include "pattern/divergence.h"
+
+#include <cmath>
+#include <set>
+
+namespace dfm {
+namespace {
+
+std::set<std::uint64_t> support_union(
+    const std::map<std::uint64_t, std::uint64_t>& a,
+    const std::map<std::uint64_t, std::uint64_t>& b) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [k, v] : a) keys.insert(k);
+  for (const auto& [k, v] : b) keys.insert(k);
+  return keys;
+}
+
+double count_of(const std::map<std::uint64_t, std::uint64_t>& h,
+                std::uint64_t key) {
+  const auto it = h.find(key);
+  return it == h.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+}  // namespace
+
+double kl_divergence(const PatternCatalog& p, const PatternCatalog& q,
+                     double alpha) {
+  const auto hp = p.histogram();
+  const auto hq = q.histogram();
+  const auto keys = support_union(hp, hq);
+  if (keys.empty()) return 0.0;
+
+  const double np = static_cast<double>(p.total_windows()) +
+                    alpha * static_cast<double>(keys.size());
+  const double nq = static_cast<double>(q.total_windows()) +
+                    alpha * static_cast<double>(keys.size());
+  double kl = 0.0;
+  for (const std::uint64_t k : keys) {
+    const double pp = (count_of(hp, k) + alpha) / np;
+    const double qq = (count_of(hq, k) + alpha) / nq;
+    kl += pp * std::log(pp / qq);
+  }
+  return std::max(kl, 0.0);
+}
+
+double js_divergence(const PatternCatalog& p, const PatternCatalog& q) {
+  const auto hp = p.histogram();
+  const auto hq = q.histogram();
+  const auto keys = support_union(hp, hq);
+  if (keys.empty()) return 0.0;
+  const double np = static_cast<double>(p.total_windows());
+  const double nq = static_cast<double>(q.total_windows());
+  if (np == 0 || nq == 0) return 0.0;
+
+  double js = 0.0;
+  for (const std::uint64_t k : keys) {
+    const double pp = count_of(hp, k) / np;
+    const double qq = count_of(hq, k) / nq;
+    const double m = (pp + qq) / 2;
+    if (pp > 0) js += 0.5 * pp * std::log(pp / m);
+    if (qq > 0) js += 0.5 * qq * std::log(qq / m);
+  }
+  return std::max(js, 0.0);
+}
+
+}  // namespace dfm

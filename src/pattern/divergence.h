@@ -1,0 +1,19 @@
+// Catalog comparison: KL divergence (as used in the topological-pattern
+// design comparison study to find outlier products) and the symmetric,
+// bounded Jensen-Shannon divergence.
+#pragma once
+
+#include "pattern/catalog.h"
+
+namespace dfm {
+
+/// KL(P || Q) over pattern classes with Laplace smoothing `alpha` applied
+/// over the union of both supports (so Q-zero classes stay finite).
+/// Always >= 0; 0 iff the smoothed distributions coincide.
+double kl_divergence(const PatternCatalog& p, const PatternCatalog& q,
+                     double alpha = 0.5);
+
+/// Jensen-Shannon divergence in nats; symmetric, in [0, ln 2].
+double js_divergence(const PatternCatalog& p, const PatternCatalog& q);
+
+}  // namespace dfm

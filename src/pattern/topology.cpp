@@ -1,0 +1,276 @@
+#include "pattern/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfm {
+namespace {
+
+// 90-degree counter-clockwise rotation of an encoding.
+PatternEncoding rot90(const PatternEncoding& e) {
+  PatternEncoding r;
+  r.pattern_layers = e.pattern_layers;
+  r.nx = e.ny;
+  r.ny = e.nx;
+  // Point (x, y) -> (-y, x): column i becomes row i; row j becomes
+  // column ny-1-j.
+  r.dims_x.assign(e.dims_y.rbegin(), e.dims_y.rend());
+  r.dims_y = e.dims_x;
+  const std::size_t cells = static_cast<std::size_t>(e.nx) * e.ny;
+  r.bitmap.resize(e.bitmap.size());
+  const std::size_t nlayers = e.pattern_layers.size();
+  for (std::size_t l = 0; l < nlayers; ++l) {
+    for (std::uint32_t j = 0; j < e.ny; ++j) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        const std::uint32_t ni = e.ny - 1 - j;
+        const std::uint32_t nj = i;
+        r.bitmap[l * cells + static_cast<std::size_t>(nj) * r.nx + ni] =
+            e.bitmap[l * cells + static_cast<std::size_t>(j) * e.nx + i];
+      }
+    }
+  }
+  return r;
+}
+
+// Mirror about the x axis (y -> -y): rows reverse.
+PatternEncoding mirror_x(const PatternEncoding& e) {
+  PatternEncoding r = e;
+  r.dims_y.assign(e.dims_y.rbegin(), e.dims_y.rend());
+  const std::size_t cells = static_cast<std::size_t>(e.nx) * e.ny;
+  const std::size_t nlayers = e.pattern_layers.size();
+  for (std::size_t l = 0; l < nlayers; ++l) {
+    for (std::uint32_t j = 0; j < e.ny; ++j) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        r.bitmap[l * cells + static_cast<std::size_t>(e.ny - 1 - j) * e.nx + i] =
+            e.bitmap[l * cells + static_cast<std::size_t>(j) * e.nx + i];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t hash_encoding(const PatternEncoding& e) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(e.nx);
+  mix(e.ny);
+  for (const LayerKey k : e.pattern_layers) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(k.layer)) << 16 |
+        static_cast<std::uint16_t>(k.datatype));
+  }
+  for (const std::uint8_t b : e.bitmap) mix(b);
+  for (const Coord d : e.dims_x) mix(static_cast<std::uint64_t>(d));
+  for (const Coord d : e.dims_y) mix(static_cast<std::uint64_t>(d));
+  return h;
+}
+
+std::uint64_t topology_hash(const PatternEncoding& e) {
+  PatternEncoding t = e;
+  t.dims_x.assign(t.dims_x.size(), 0);
+  t.dims_y.assign(t.dims_y.size(), 0);
+  return hash_encoding(t);
+}
+
+std::vector<PatternEncoding> all_orientations(const PatternEncoding& e) {
+  std::vector<PatternEncoding> out;
+  out.reserve(8);
+  PatternEncoding cur = e;
+  for (int mirror = 0; mirror < 2; ++mirror) {
+    for (int rot = 0; rot < 4; ++rot) {
+      out.push_back(cur);
+      cur = rot90(cur);
+    }
+    if (mirror == 0) cur = mirror_x(cur);
+  }
+  return out;
+}
+
+TopologicalPattern TopologicalPattern::capture(
+    const std::vector<LayerClip>& clips, const Rect& window) {
+  std::vector<Coord> xs{window.lo.x, window.hi.x};
+  std::vector<Coord> ys{window.lo.y, window.hi.y};
+  for (const LayerClip& c : clips) {
+    for (const Rect& r : c.region.rects()) {
+      if (r.lo.x > window.lo.x && r.lo.x < window.hi.x) xs.push_back(r.lo.x);
+      if (r.hi.x > window.lo.x && r.hi.x < window.hi.x) xs.push_back(r.hi.x);
+      if (r.lo.y > window.lo.y && r.lo.y < window.hi.y) ys.push_back(r.lo.y);
+      if (r.hi.y > window.lo.y && r.hi.y < window.hi.y) ys.push_back(r.hi.y);
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  PatternEncoding raw;
+  raw.nx = static_cast<std::uint32_t>(xs.size() - 1);
+  raw.ny = static_cast<std::uint32_t>(ys.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    raw.dims_x.push_back(xs[i + 1] - xs[i]);
+  }
+  for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+    raw.dims_y.push_back(ys[j + 1] - ys[j]);
+  }
+  for (const LayerClip& c : clips) raw.pattern_layers.push_back(c.layer);
+
+  const std::size_t cells = static_cast<std::size_t>(raw.nx) * raw.ny;
+  raw.bitmap.assign(cells * clips.size(), 0);
+  for (std::size_t l = 0; l < clips.size(); ++l) {
+    // Cut lines include every shape edge, so each cell is uniformly
+    // covered or empty; probing the cell midpoint decides which. The
+    // midpoint is computed as lo + width/2 (never (lo+hi)/2: truncation
+    // toward zero would step outside 1nm cells at negative coordinates).
+    for (std::uint32_t j = 0; j < raw.ny; ++j) {
+      for (std::uint32_t i = 0; i < raw.nx; ++i) {
+        const Point mid{xs[i] + (xs[i + 1] - xs[i]) / 2,
+                        ys[j] + (ys[j + 1] - ys[j]) / 2};
+        if (clips[l].region.contains(mid)) {
+          raw.bitmap[l * cells + static_cast<std::size_t>(j) * raw.nx + i] = 1;
+        }
+      }
+    }
+  }
+
+  TopologicalPattern p;
+  p.finalize(std::move(raw));
+  return p;
+}
+
+void TopologicalPattern::finalize(PatternEncoding raw) {
+  // Canonical form: the lexicographically smallest of the 8 orientations.
+  PatternEncoding best = raw;
+  PatternEncoding cur = std::move(raw);
+  for (int mirror = 0; mirror < 2; ++mirror) {
+    for (int rot = 0; rot < 4; ++rot) {
+      if (cur < best) best = cur;
+      cur = rot90(cur);
+    }
+    if (mirror == 0) cur = mirror_x(cur);
+  }
+  canon_ = std::move(best);
+  hash_ = hash_encoding(canon_);
+}
+
+TopologicalPattern TopologicalPattern::from_encoding(PatternEncoding e) {
+  TopologicalPattern p;
+  p.finalize(std::move(e));
+  return p;
+}
+
+bool TopologicalPattern::empty() const {
+  for (const std::uint8_t b : canon_.bitmap) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+double TopologicalPattern::coverage(std::size_t li) const {
+  const std::size_t cells = static_cast<std::size_t>(canon_.nx) * canon_.ny;
+  if (cells == 0 || li >= canon_.pattern_layers.size()) return 0.0;
+  Area covered = 0, total = 0;
+  for (std::uint32_t j = 0; j < canon_.ny; ++j) {
+    for (std::uint32_t i = 0; i < canon_.nx; ++i) {
+      const Area a = static_cast<Area>(canon_.dims_x[i]) * canon_.dims_y[j];
+      total += a;
+      if (canon_.bitmap[li * cells + static_cast<std::size_t>(j) * canon_.nx + i]) {
+        covered += a;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+std::vector<TopologicalPattern> TopologicalPattern::generalizations() const {
+  std::vector<TopologicalPattern> out;
+  const std::size_t cells = static_cast<std::size_t>(canon_.nx) * canon_.ny;
+  const std::size_t nlayers = canon_.pattern_layers.size();
+
+  // Merge columns c and c+1.
+  for (std::uint32_t c = 0; c + 1 < canon_.nx; ++c) {
+    PatternEncoding e;
+    e.pattern_layers = canon_.pattern_layers;
+    e.nx = canon_.nx - 1;
+    e.ny = canon_.ny;
+    e.dims_y = canon_.dims_y;
+    for (std::uint32_t i = 0; i < canon_.nx; ++i) {
+      if (i == c) {
+        e.dims_x.push_back(canon_.dims_x[c] + canon_.dims_x[c + 1]);
+      } else if (i != c + 1) {
+        e.dims_x.push_back(canon_.dims_x[i]);
+      }
+    }
+    const std::size_t ncells = static_cast<std::size_t>(e.nx) * e.ny;
+    e.bitmap.assign(ncells * nlayers, 0);
+    for (std::size_t l = 0; l < nlayers; ++l) {
+      for (std::uint32_t j = 0; j < canon_.ny; ++j) {
+        for (std::uint32_t i = 0; i < canon_.nx; ++i) {
+          const std::uint32_t ni = i <= c ? i : i - 1;
+          auto& cell =
+              e.bitmap[l * ncells + static_cast<std::size_t>(j) * e.nx + ni];
+          cell = static_cast<std::uint8_t>(
+              cell | canon_.bitmap[l * cells +
+                                   static_cast<std::size_t>(j) * canon_.nx + i]);
+        }
+      }
+    }
+    out.push_back(from_encoding(std::move(e)));
+  }
+
+  // Merge rows r and r+1.
+  for (std::uint32_t rrow = 0; rrow + 1 < canon_.ny; ++rrow) {
+    PatternEncoding e;
+    e.pattern_layers = canon_.pattern_layers;
+    e.nx = canon_.nx;
+    e.ny = canon_.ny - 1;
+    e.dims_x = canon_.dims_x;
+    for (std::uint32_t j = 0; j < canon_.ny; ++j) {
+      if (j == rrow) {
+        e.dims_y.push_back(canon_.dims_y[rrow] + canon_.dims_y[rrow + 1]);
+      } else if (j != rrow + 1) {
+        e.dims_y.push_back(canon_.dims_y[j]);
+      }
+    }
+    const std::size_t ncells = static_cast<std::size_t>(e.nx) * e.ny;
+    e.bitmap.assign(ncells * nlayers, 0);
+    for (std::size_t l = 0; l < nlayers; ++l) {
+      for (std::uint32_t j = 0; j < canon_.ny; ++j) {
+        const std::uint32_t nj = j <= rrow ? j : j - 1;
+        for (std::uint32_t i = 0; i < canon_.nx; ++i) {
+          auto& cell =
+              e.bitmap[l * ncells + static_cast<std::size_t>(nj) * e.nx + i];
+          cell = static_cast<std::uint8_t>(
+              cell | canon_.bitmap[l * cells +
+                                   static_cast<std::size_t>(j) * canon_.nx + i]);
+        }
+      }
+    }
+    out.push_back(from_encoding(std::move(e)));
+  }
+  return out;
+}
+
+std::string TopologicalPattern::to_ascii() const {
+  const std::size_t cells = static_cast<std::size_t>(canon_.nx) * canon_.ny;
+  std::string s;
+  for (std::size_t l = 0; l < canon_.pattern_layers.size(); ++l) {
+    s += "layer " + to_string(canon_.pattern_layers[l]) + ":\n";
+    for (std::uint32_t j = canon_.ny; j-- > 0;) {  // top row first
+      for (std::uint32_t i = 0; i < canon_.nx; ++i) {
+        s += canon_.bitmap[l * cells + static_cast<std::size_t>(j) * canon_.nx + i]
+                 ? '#'
+                 : '.';
+      }
+      s += '\n';
+    }
+  }
+  return s;
+}
+
+}  // namespace dfm

@@ -1,0 +1,131 @@
+#include "timing/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfm {
+
+std::vector<GateGeometry> extract_gates(const Region& poly,
+                                        const Region& diff) {
+  std::vector<GateGeometry> out;
+  std::vector<Region> channels = (poly & diff).components();
+  for (Region& ch : channels) {
+    GateGeometry g;
+    g.bbox = ch.bbox();
+    // Channel width runs along the poly stripe; for a vertical poly over
+    // a horizontal diffusion band the channel is taller than long.
+    g.vertical_poly = g.bbox.height() >= g.bbox.width();
+    g.drawn_length = g.vertical_poly ? g.bbox.width() : g.bbox.height();
+    g.width = g.vertical_poly ? g.bbox.height() : g.bbox.width();
+    g.channel = std::move(ch);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+EffectiveLength effective_length(const Region& printed_poly,
+                                 const GateGeometry& gate, Coord slice_width,
+                                 double leak_sensitivity) {
+  EffectiveLength eff;
+  if (slice_width <= 0) slice_width = 5;
+  // The printed channel: printed poly limited to the drawn channel's
+  // diffusion footprint (slightly expanded along the length direction to
+  // capture over/under-print of the gate edge).
+  const Rect bb = gate.bbox;
+  const Coord margin = gate.drawn_length;  // allow up to 2x print
+  const Rect probe = gate.vertical_poly
+                         ? Rect{bb.lo.x - margin, bb.lo.y, bb.hi.x + margin, bb.hi.y}
+                         : Rect{bb.lo.x, bb.lo.y - margin, bb.hi.x, bb.hi.y + margin};
+  const Region printed = printed_poly.clipped(probe);
+
+  double sum_w_over_l = 0;
+  double sum_w_leak = 0;
+  double total_w = 0;
+  const Coord w_lo = gate.vertical_poly ? bb.lo.y : bb.lo.x;
+  const Coord w_hi = gate.vertical_poly ? bb.hi.y : bb.hi.x;
+  for (Coord pos = w_lo; pos < w_hi; pos += slice_width) {
+    const Coord end = std::min(pos + slice_width, w_hi);
+    const Rect strip = gate.vertical_poly
+                           ? Rect{probe.lo.x, pos, probe.hi.x, end}
+                           : Rect{pos, probe.lo.y, end, probe.hi.y};
+    const Region sl = printed.clipped(strip);
+    const double w = static_cast<double>(end - pos);
+    // Average printed length across the strip.
+    const double l = static_cast<double>(sl.area()) / w;
+    ++eff.slices;
+    total_w += w;
+    if (l < 1.0) {
+      // The gate is fully pinched in this strip: the uncontrolled channel
+      // slice shorts source to drain — the transistor is broken, not
+      // merely fast.
+      eff.open = true;
+      continue;
+    }
+    sum_w_over_l += w / l;
+    sum_w_leak +=
+        w * std::exp(-(l - static_cast<double>(gate.drawn_length)) /
+                     leak_sensitivity);
+  }
+  if (sum_w_over_l > 0) eff.l_drive = total_w / sum_w_over_l;
+  if (total_w > 0) {
+    // Leakage-equivalent length: the uniform length giving the same
+    // exp-weighted leakage.
+    const double mean_leak = sum_w_leak / total_w;
+    eff.l_leak = static_cast<double>(gate.drawn_length) -
+                 leak_sensitivity * std::log(std::max(mean_leak, 1e-12));
+  }
+  return eff;
+}
+
+double DelayModel::stage_delay_ps(double l_drive) const {
+  const double rel = l_drive / static_cast<double>(l_nominal);
+  return tau0_ps * (1.0 + delay_sens * (rel - 1.0));
+}
+
+double DelayModel::leakage_rel(double l_leak) const {
+  return std::exp(-(l_leak - static_cast<double>(l_nominal)) /
+                  leak_sensitivity);
+}
+
+namespace {
+
+TimingReport report_from(const std::vector<GateGeometry>& gates,
+                         const Region& printed_poly, const DelayModel& model) {
+  TimingReport rep;
+  for (const GateGeometry& g : gates) {
+    GateTiming t;
+    t.where = g.bbox;
+    t.eff = effective_length(printed_poly, g, 5, model.leak_sensitivity);
+    if (t.eff.open || t.eff.l_drive <= 0) {
+      ++rep.open_gates;
+      t.delay_ps = 10 * model.tau0_ps;  // pessimistic placeholder
+      t.leakage_rel = model.leakage_rel(t.eff.l_leak);
+    } else {
+      t.delay_ps = model.stage_delay_ps(t.eff.l_drive);
+      t.leakage_rel = model.leakage_rel(t.eff.l_leak);
+    }
+    rep.chain_delay_ps += t.delay_ps;
+    rep.total_leakage += t.leakage_rel;
+    rep.gates.push_back(std::move(t));
+  }
+  return rep;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const Region& poly, const Region& diff,
+                            const Rect& window, const OpticalModel& optics,
+                            const ProcessCondition& cond,
+                            const DelayModel& model) {
+  const auto gates = extract_gates(poly.clipped(window), diff.clipped(window));
+  const Region printed = simulate_print(poly, window, optics, cond);
+  return report_from(gates, printed, model);
+}
+
+TimingReport analyze_timing_drawn(const Region& poly, const Region& diff,
+                                  const DelayModel& model) {
+  const auto gates = extract_gates(poly, diff);
+  return report_from(gates, poly, model);
+}
+
+}  // namespace dfm

@@ -1,0 +1,85 @@
+#include "yield/yield.h"
+
+#include "gen/rng.h"
+
+#include <map>
+
+namespace dfm {
+
+Area short_critical_area(const Region& layer, Coord s) {
+  if (s <= 0 || layer.empty()) return 0;
+  // A square defect of side s centered at p touches a net iff p lies in
+  // the net bloated by s/2 (Chebyshev). It shorts iff it touches two or
+  // more distinct nets, i.e. p is covered by >= 2 bloated nets. Work on
+  // the doubled grid so odd sizes stay exact.
+  std::vector<Rect> bloated;
+  for (const Region& net : layer.scaled(2).components()) {
+    const Region grown = net.bloated(s);  // s == 2 * (s/2) on the 2x grid
+    for (const Rect& r : grown.rects()) bloated.push_back(r);
+  }
+  return covered_at_least(bloated, 2).area() / 4;  // back to 1x area
+}
+
+Area short_critical_area_nets(const std::vector<Region>& pieces,
+                              const std::vector<int>& net_of, Coord s) {
+  if (s <= 0 || pieces.empty() || pieces.size() != net_of.size()) return 0;
+  // Union the pieces per net, then count double coverage of the per-net
+  // bloats exactly as in the component-based variant.
+  std::map<int, Region> nets;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    nets[net_of[i]].add(pieces[i]);
+  }
+  std::vector<Rect> bloated;
+  for (auto& [id, net] : nets) {
+    const Region grown = net.scaled(2).bloated(s);
+    for (const Rect& r : grown.rects()) bloated.push_back(r);
+  }
+  return covered_at_least(bloated, 2).area() / 4;
+}
+
+Area open_critical_area(const Region& layer, Coord s) {
+  if (s <= 0 || layer.empty()) return 0;
+  // Band approximation: each canonical rect of cross-section h (its
+  // shorter side) can be severed by defects spanning that side; centers
+  // form a strip of (s - h) x length. Junction effects are ignored.
+  Area total = 0;
+  for (const Rect& band : layer.rects()) {
+    const Coord w = band.width();
+    const Coord h = band.height();
+    if (s > h && w >= h) {
+      total += static_cast<Area>(s - h) * w;
+    } else if (s > w && h > w) {
+      total += static_cast<Area>(s - w) * h;
+    }
+  }
+  return total;
+}
+
+Area open_critical_area_mc(const Region& layer, Coord s, int samples,
+                           std::uint64_t seed) {
+  if (s <= 0 || layer.empty() || samples <= 0) return 0;
+  const Rect bb = layer.bbox().expanded(s);
+  Rng rng(seed);
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    const Point p{rng.uniform(bb.lo.x, bb.hi.x), rng.uniform(bb.lo.y, bb.hi.y)};
+    const Rect defect{p.x - s / 2, p.y - s / 2, p.x + (s + 1) / 2,
+                      p.y + (s + 1) / 2};
+    // Local connectivity test: removal of the defect square must increase
+    // the component count (or erase a component) inside a window.
+    const Rect window = defect.expanded(4 * s);
+    const Region local = layer.clipped(window);
+    if (local.empty()) continue;
+    const std::size_t before = local.components().size();
+    const Region after = local - Region{defect};
+    const std::size_t after_n = after.components().size();
+    if (after_n > before || (after_n < before && !after.empty()) ||
+        (after.empty() && before > 0)) {
+      ++hits;
+    }
+  }
+  return static_cast<Area>(static_cast<double>(hits) / samples *
+                           static_cast<double>(bb.area()));
+}
+
+}  // namespace dfm

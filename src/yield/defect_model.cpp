@@ -1,0 +1,63 @@
+#include "yield/yield.h"
+
+#include <cmath>
+
+namespace dfm {
+
+double DefectModel::pdf(Coord s) const {
+  if (s < x0 || s > xmax) return 0.0;
+  // Normalization of s^-k on [x0, xmax].
+  const double k = exponent;
+  const double a = static_cast<double>(x0);
+  const double b = static_cast<double>(xmax);
+  double norm;
+  if (k == 1.0) {
+    norm = std::log(b / a);
+  } else {
+    norm = (std::pow(a, 1 - k) - std::pow(b, 1 - k)) / (k - 1);
+  }
+  return std::pow(static_cast<double>(s), -k) / norm;
+}
+
+double average_critical_area(const std::function<Area(Coord)>& ca,
+                             const DefectModel& model, int steps) {
+  // Geometric size grid from x0 to xmax; trapezoidal integration of
+  // ca(s) * pdf(s).
+  const double a = static_cast<double>(model.x0);
+  const double b = static_cast<double>(model.xmax);
+  if (steps < 2 || b <= a) return 0.0;
+  const double ratio = std::pow(b / a, 1.0 / (steps - 1));
+  double prev_s = a;
+  double prev_v = static_cast<double>(ca(model.x0)) * model.pdf(model.x0);
+  double acc = 0.0;
+  double s = a;
+  for (int i = 1; i < steps; ++i) {
+    s *= ratio;
+    const auto si = static_cast<Coord>(std::llround(s));
+    const double v = static_cast<double>(ca(si)) * model.pdf(si);
+    acc += 0.5 * (prev_v + v) * (s - prev_s);
+    prev_s = s;
+    prev_v = v;
+  }
+  return acc;
+}
+
+double poisson_yield(double lambda) { return std::exp(-lambda); }
+
+double negative_binomial_yield(double lambda, double alpha) {
+  return std::pow(1.0 + lambda / alpha, -alpha);
+}
+
+double layer_lambda(const Region& layer, const DefectModel& model, bool shorts,
+                    int steps) {
+  const auto ca = [&layer, shorts](Coord s) {
+    return shorts ? short_critical_area(layer, s)
+                  : open_critical_area(layer, s);
+  };
+  const double eca_nm2 = average_critical_area(ca, model, steps);
+  // nm^2 -> cm^2: 1 cm = 1e7 nm.
+  const double eca_cm2 = eca_nm2 / 1e14;
+  return model.d0 * eca_cm2;
+}
+
+}  // namespace dfm

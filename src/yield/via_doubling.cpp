@@ -1,0 +1,110 @@
+// Redundant via insertion: beside every isolated via, try the four
+// adjacent positions; take the first that keeps via spacing and whose
+// landing-pad extensions do not create new metal spacing violations.
+#include "yield/yield.h"
+
+#include "geometry/rtree.h"
+
+namespace dfm {
+namespace {
+
+const Region& layer_of(const LayerMap& layers, LayerKey k) {
+  static const Region kEmpty;
+  const auto it = layers.find(k);
+  return it == layers.end() ? kEmpty : it->second;
+}
+
+}  // namespace
+
+ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
+  ViaDoublingResult res;
+  const Region& vias = layer_of(layers, layers::kVia1);
+  const Region& m1 = layer_of(layers, layers::kMetal1);
+  const Region& m2 = layer_of(layers, layers::kMetal2);
+
+  const std::vector<Region> nets = vias.components();
+  std::vector<Rect> via_boxes;
+  via_boxes.reserve(nets.size());
+  for (const Region& v : nets) via_boxes.push_back(v.bbox());
+  RTree tree(via_boxes);
+
+  const Coord sz = tech.via_size;
+  const Coord sp = tech.via_space;
+  const Coord enc = tech.via_enclosure / 2;  // sign-off (borderless) minimum
+
+  Region accepted;  // newly inserted vias, for self-spacing checks
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    // Only single vias (exactly one via-sized component) get doubled.
+    const Rect vb = via_boxes[i];
+    if (vb.width() > sz || vb.height() > sz) continue;
+
+    // Already redundant? A neighbour via on the same metal island within
+    // 2 pitches counts as redundancy; conservatively we double every
+    // isolated single and rely on spacing checks to keep it legal.
+    ++res.singles_before;
+
+    const Point c = vb.center();
+    const Coord step = sz + sp;
+    const Point candidates[4] = {{c.x + step, c.y},
+                                 {c.x - step, c.y},
+                                 {c.x, c.y + step},
+                                 {c.x, c.y - step}};
+    bool placed = false;
+    for (const Point& p : candidates) {
+      const Rect nv{p.x - sz / 2, p.y - sz / 2, p.x + sz / 2, p.y + sz / 2};
+      // Spacing to existing vias.
+      bool ok = true;
+      tree.visit(nv.expanded(sp), [&](std::uint32_t j) {
+        if (j != i && via_boxes[j].distance(nv) < sp) ok = false;
+      });
+      if (!ok) continue;
+      // Spacing to vias we have already inserted.
+      for (const Rect& r : accepted.rects()) {
+        if (r.distance(nv) < sp) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      // Landing pads: the redundant via lands on the *same net*, so the
+      // pad extension bridges from the original via to the new one (one
+      // strip covering both, with enclosure). Extend the metal where it
+      // is missing, but only when the extension introduces no new
+      // spacing violation against other nets.
+      const Rect pad = nv.hull(vb).expanded(enc);
+      const Region need1 = Region{pad} - m1;
+      const Region need2 = Region{pad} - m2;
+      // The extension may not come closer than min spacing to any metal
+      // it does not merge with: probe with a bloat-overlap test against
+      // everything outside the pad's own merged island.
+      auto extension_legal = [&](const Region& need, const Region& metal,
+                                 Coord space) {
+        if (need.empty()) return true;
+        // Neighbouring metal within `space` of the extension that does
+        // NOT touch the extension would become a spacing violation.
+        const Region near = metal.clipped(pad.expanded(space + 1));
+        for (const Region& comp : near.components()) {
+          const Coord d = region_distance(comp, need, space + 1);
+          if (d > 0 && d < space) return false;
+        }
+        return true;
+      };
+      if (!extension_legal(need1, m1, tech.m1_space)) continue;
+      if (!extension_legal(need2, m2, tech.m2_space)) continue;
+
+      accepted.add(nv);
+      res.new_vias.add(nv);
+      res.new_metal1.add(need1);
+      res.new_metal2.add(need2);
+      ++res.inserted;
+      placed = true;
+      break;
+    }
+    if (!placed) ++res.blocked;
+  }
+  return res;
+}
+
+}  // namespace dfm

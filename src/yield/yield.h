@@ -1,0 +1,87 @@
+// Defect-limited yield: critical area analysis for shorts and opens with
+// square (Chebyshev) defects, the classical power-law defect size
+// distribution, Poisson / negative-binomial yield models, and the
+// redundant-via insertion engine.
+#pragma once
+
+#include "geometry/region.h"
+#include "layout/layer_map.h"
+#include "layout/tech.h"
+
+#include <functional>
+#include <vector>
+
+namespace dfm {
+
+/// Power-law defect size distribution f(s) ~ 1/s^k on [x0, xmax] — the
+/// standard model in the critical-area literature (k = 3 typical).
+struct DefectModel {
+  double d0 = 1.0;      // defect density, defects per cm^2
+  Coord x0 = 40;        // smallest defect, nm
+  Coord xmax = 2000;    // largest defect, nm
+  double exponent = 3.0;
+
+  /// Normalized pdf at size s (nm^-1); 0 outside [x0, xmax].
+  double pdf(Coord s) const;
+};
+
+/// Critical area for *shorts* at one defect size: the set of defect
+/// centers where a square defect of side `s` bridges two distinct nets
+/// (connected components). Exact under the Chebyshev defect model.
+Area short_critical_area(const Region& layer, Coord s);
+
+/// Net-aware variant: shapes are grouped into electrical nets first
+/// (`net_of[i]` labels `pieces[i]`), so two same-layer shapes joined
+/// through another layer do not count as a short. Strictly <= the
+/// layer-local estimate.
+Area short_critical_area_nets(const std::vector<Region>& pieces,
+                              const std::vector<int>& net_of, Coord s);
+
+/// Critical area for *opens* at one defect size: per-band analytic
+/// approximation — a square defect of side `s` centered in a wire band of
+/// cross-section h contributes (s - h) of breakable strip per unit
+/// length. Exact for isolated straight wires; approximate at junctions.
+Area open_critical_area(const Region& layer, Coord s);
+
+/// Monte Carlo estimator for opens (connectivity-checked); for
+/// cross-validation of the analytic approximation.
+Area open_critical_area_mc(const Region& layer, Coord s, int samples,
+                           std::uint64_t seed);
+
+/// Expected critical area over the defect size distribution, integrated
+/// on a geometric grid of `steps` sizes.
+double average_critical_area(const std::function<Area(Coord)>& ca,
+                             const DefectModel& model, int steps = 24);
+
+/// Poisson yield: exp(-lambda).
+double poisson_yield(double lambda);
+/// Negative binomial (clustered defects): (1 + lambda/alpha)^-alpha.
+double negative_binomial_yield(double lambda, double alpha);
+
+/// Fault rate lambda for one layer: d0 [cm^-2] x expected critical area,
+/// with nm^2 -> cm^2 conversion.
+double layer_lambda(const Region& layer, const DefectModel& model,
+                    bool shorts, int steps = 24);
+
+// ---- Redundant via insertion ----------------------------------------------
+
+struct ViaDoublingResult {
+  int singles_before = 0;   // vias without redundancy in the input
+  int inserted = 0;         // redundant vias successfully added
+  int blocked = 0;          // singles with no legal position
+  Region new_vias;          // the added via shapes
+  Region new_metal1;        // landing-pad extensions added
+  Region new_metal2;
+};
+
+/// Attempts to add a redundant via beside every isolated via, extending
+/// the landing pads when needed; a position is legal when via spacing to
+/// every other via is kept and the pad extension creates no new
+/// metal-spacing violation.
+ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech);
+
+/// Via-limited yield: singles fail at `fail_rate`, doubled pairs at
+/// fail_rate^2.
+double via_yield(std::int64_t singles, std::int64_t doubles, double fail_rate);
+
+}  // namespace dfm

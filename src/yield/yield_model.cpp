@@ -1,0 +1,15 @@
+#include "yield/yield.h"
+
+#include <cmath>
+
+namespace dfm {
+
+double via_yield(std::int64_t singles, std::int64_t doubles,
+                 double fail_rate) {
+  const double single_ok = 1.0 - fail_rate;
+  const double double_ok = 1.0 - fail_rate * fail_rate;
+  return std::pow(single_ok, static_cast<double>(singles)) *
+         std::pow(double_ok, static_cast<double>(doubles));
+}
+
+}  // namespace dfm

@@ -1,0 +1,112 @@
+#include "core/analyzer.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(DimensionHistogram, BinningAndStats) {
+  DimensionHistogram h{10};
+  h.add(12);
+  h.add(17);
+  h.add(25);
+  h.add(99, 7);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 90);
+  EXPECT_EQ(h.bins().at(10), 2u);
+  EXPECT_EQ(h.bins().at(20), 1u);
+  EXPECT_EQ(h.percentile(0.1), 10);
+  EXPECT_EQ(h.percentile(1.0), 90);
+  h.add(-5);  // ignored
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(ProfileLayer, UniformWiresProfileCleanly) {
+  Region layer;
+  for (int i = 0; i < 5; ++i) {
+    layer.add(Rect{0, i * 150, 2000, i * 150 + 60});  // 60 wide, 90 space
+  }
+  const LayerProfile p = profile_layer(layer, 500, 5);
+  EXPECT_EQ(p.components, 5u);
+  EXPECT_EQ(p.widths.min(), 60);
+  EXPECT_EQ(p.widths.max(), 60);
+  EXPECT_EQ(p.spacings.min(), 90);
+  EXPECT_EQ(p.spacings.max(), 90);
+  EXPECT_EQ(p.total_area, 5 * 2000 * 60);
+  EXPECT_GT(p.density, 0.4);
+  EXPECT_LT(p.density, 0.5);
+}
+
+TEST(ProfileLayer, MixedWidthsShowUp) {
+  Region layer;
+  layer.add(Rect{0, 0, 2000, 50});
+  layer.add(Rect{0, 150, 2000, 250});  // 100 wide
+  const LayerProfile p = profile_layer(layer, 500, 5);
+  EXPECT_EQ(p.widths.min(), 50);
+  EXPECT_EQ(p.widths.max(), 100);
+}
+
+TEST(ProfileLayer, EmptyLayer) {
+  const LayerProfile p = profile_layer(Region{}, 500);
+  EXPECT_EQ(p.components, 0u);
+  EXPECT_TRUE(p.widths.empty());
+  EXPECT_DOUBLE_EQ(p.density, 0.0);
+}
+
+TEST(CoverageMap, OverlapOfIdenticalIsOne) {
+  Region layer;
+  for (int i = 0; i < 4; ++i) {
+    layer.add(Rect{0, i * 120, 3000, i * 120 + 50});
+  }
+  const CoverageMap a = dimensional_coverage(layer, 500);
+  EXPECT_GT(a.occupied(), 0u);
+  EXPECT_DOUBLE_EQ(CoverageMap::overlap(a, a), 1.0);
+  EXPECT_TRUE(CoverageMap::uncovered(a, a).empty());
+}
+
+TEST(CoverageMap, NewConfigurationIsDetected) {
+  // Reference exercises 50-wide / 70-space wires only.
+  Region ref;
+  for (int i = 0; i < 4; ++i) {
+    ref.add(Rect{0, i * 120, 3000, i * 120 + 50});
+  }
+  // Probe adds a 90-wide / 30-space pair the reference never used.
+  Region probe = ref;
+  probe.add(Rect{0, 1000, 3000, 1090});
+  probe.add(Rect{0, 1120, 3000, 1210});
+
+  const CoverageMap a = dimensional_coverage(ref, 500);
+  const CoverageMap b = dimensional_coverage(probe, 500);
+  EXPECT_LT(CoverageMap::overlap(a, b), 1.0);
+  const auto fresh = CoverageMap::uncovered(a, b);
+  ASSERT_FALSE(fresh.empty());
+  bool has_wide_tight = false;
+  for (const auto& [w, s] : fresh) {
+    if (w == 90 && s == 30) has_wide_tight = true;
+  }
+  EXPECT_TRUE(has_wide_tight)
+      << "the unseen 90/30 configuration must be reported";
+}
+
+TEST(CoverageMap, GeneratedDesignsShareMostBins) {
+  DesignParams p;
+  p.rows = 2;
+  p.cells_per_row = 5;
+  p.routes = 10;
+  p.seed = 1;
+  const Library a = generate_design(p);
+  p.seed = 2;
+  const Library b = generate_design(p);
+  const CoverageMap ca = dimensional_coverage(
+      a.flatten(a.top_cells()[0], layers::kMetal1), 400);
+  const CoverageMap cb = dimensional_coverage(
+      b.flatten(b.top_cells()[0], layers::kMetal1), 400);
+  // Same cell library and process: coverage overlaps strongly.
+  EXPECT_GT(CoverageMap::overlap(ca, cb), 0.5);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,133 @@
+#include "core/autofix.h"
+
+#include "core/recommended_rules.h"
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+LayerMap layers_of(const Cell& c) {
+  LayerMap m;
+  for (const LayerKey k : {layers::kMetal1, layers::kMetal2, layers::kVia1}) {
+    m.emplace(k, c.local_region(k));
+  }
+  return m;
+}
+
+TEST(AutoFix, RepairsBorderlessVia) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  add_via(c, t, {0, 0}, ViaStyle::kBorderless);  // bare via: exact match
+
+  LayerMap layers = layers_of(c);
+  const DrcPlusDeck deck = DrcPlusDeck::standard(t);
+  const DrcPlusEngine engine{deck};
+  const DrcPlusResult before = engine.run(layers);
+  ASSERT_GE(before.pattern_match_count(), 1u);
+
+  const AutoFixResult fix = auto_fix(layers, deck, before, t);
+  EXPECT_GE(fix.fixed, 1);
+  EXPECT_FALSE(fix.added_m1.empty());
+
+  // The repaired layout passes the full-enclosure recommended rule.
+  const auto rules = standard_recommended_rules(t);
+  const Region& via = layers.at(layers::kVia1);
+  EXPECT_TRUE((via.bloated(t.via_enclosure) - layers.at(layers::kMetal1)).empty());
+  EXPECT_TRUE((via.bloated(t.via_enclosure) - layers.at(layers::kMetal2)).empty());
+
+  // And the matcher no longer fires on it.
+  const DrcPlusResult after = engine.run(layers);
+  std::size_t borderless_hits = 0;
+  for (std::size_t si = 0; si < deck.pattern_sets.size(); ++si) {
+    for (const PatternMatch& m : after.matches[si]) {
+      if (deck.pattern_sets[si].rules[m.rule_index].name ==
+          "DFM.VIA.BORDERLESS") {
+        ++borderless_hits;
+      }
+    }
+  }
+  EXPECT_EQ(borderless_hits, 0u);
+  (void)rules;
+}
+
+TEST(AutoFix, SkipsWhenRepairWouldViolateSpacing) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  add_via(c, t, {0, 0}, ViaStyle::kBorderless);
+  // A hostile neighbour too close to where the pad must grow (the
+  // neighbour also changes the window pattern, so aim the fixer by hand).
+  const Coord pad_edge = t.via_size / 2 + t.via_enclosure;
+  c.add(layers::kMetal1,
+        Rect{pad_edge + t.m1_space - 5, -100, pad_edge + t.m1_space + 95, 100});
+
+  LayerMap layers = layers_of(c);
+  const DrcPlusDeck deck = DrcPlusDeck::standard(t);
+  DrcPlusResult fake;
+  fake.matches.resize(deck.pattern_sets.size());
+  PatternMatch m;
+  m.rule_index = 0;  // DFM.VIA.BORDERLESS in the via set
+  m.window = Rect{-150, -150, 150, 150};
+  m.anchor = {0, 0};
+  fake.matches[1].push_back(m);
+
+  const Region m1_before = layers.at(layers::kMetal1);
+  const AutoFixResult fix = auto_fix(layers, deck, fake, t);
+  // The via fix must be refused; the layout stays untouched by it.
+  EXPECT_EQ(fix.skipped, 1);
+  EXPECT_EQ(fix.fixed, 0);
+  EXPECT_EQ(layers.at(layers::kMetal1), m1_before);
+}
+
+TEST(AutoFix, WidensPinchWhenRoomExists) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  // A pinch-like corridor with relaxed gaps (1.5x min space): room to
+  // widen the middle line.
+  const Coord w = t.m1_width;
+  const Coord s = t.m1_space + t.m1_space / 2;
+  const Coord len = 14 * w;
+  c.add(layers::kMetal1, Rect{0, 0, len, 3 * w});
+  c.add(layers::kMetal1, Rect{0, 3 * w + s, len, 4 * w + s});
+  c.add(layers::kMetal1, Rect{0, 4 * w + 2 * s, len, 7 * w + 2 * s});
+
+  LayerMap layers = layers_of(c);
+  const Region middle_before =
+      layers.at(layers::kMetal1).clipped(Rect{0, 3 * w + s, len, 4 * w + s});
+  // Build a match by hand (the relaxed corridor is not the exact deck
+  // pattern): aim the pinch fixer at the middle line's window.
+  DrcPlusDeck deck = DrcPlusDeck::standard(t);
+  DrcPlusResult fake;
+  fake.matches.resize(deck.pattern_sets.size());
+  PatternMatch m;
+  m.rule_index = 0;  // DFM.PINCH.1 is the first M1 rule
+  m.window = Rect{len / 2 - 400, 0, len / 2 + 400, 7 * w + 2 * s};
+  m.anchor = m.window.center();
+  fake.matches[0].push_back(m);
+
+  const AutoFixResult fix = auto_fix(layers, deck, fake, t);
+  EXPECT_EQ(fix.fixed, 1);
+  // The middle line is wider now.
+  const Region middle_after =
+      layers.at(layers::kMetal1).clipped(Rect{0, 2 * w, len, 5 * w + 2 * s});
+  EXPECT_GT(middle_after.area(), middle_before.area());
+  // And no new DRC spacing violation was created.
+  EXPECT_TRUE(
+      check_min_spacing(layers.at(layers::kMetal1), t.m1_space, "S").empty());
+}
+
+TEST(AutoFix, NoMatchesNoChanges) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  add_via(c, t, {0, 0}, ViaStyle::kSymmetric);
+  LayerMap layers = layers_of(c);
+  const DrcPlusDeck deck = DrcPlusDeck::standard(t);
+  const DrcPlusResult res = DrcPlusEngine{deck}.run(layers);
+  const AutoFixResult fix = auto_fix(layers, deck, res, t);
+  EXPECT_EQ(fix.attempted, 0);
+  EXPECT_EQ(fix.fixed, 0);
+}
+
+}  // namespace
+}  // namespace dfm

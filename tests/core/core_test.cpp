@@ -1,0 +1,214 @@
+#include "core/dfm_flow.h"
+
+#include "core/report.h"
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(Scorecard, WeightedComposite) {
+  DfmScorecard s;
+  s.add("a", 1.0, 1.0);
+  s.add("b", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.composite(), 0.5);
+  s.add("c", 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.composite(), 0.75);
+  EXPECT_DOUBLE_EQ(DfmScorecard{}.composite(), 0.0);
+}
+
+TEST(Scorecard, ValuesClamped) {
+  DfmScorecard s;
+  s.add("hot", 1.7);
+  s.add("cold", -0.3);
+  EXPECT_DOUBLE_EQ(s.metrics[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s.metrics[1].value, 0.0);
+}
+
+TEST(Scoring, CountScoreDecays) {
+  EXPECT_DOUBLE_EQ(score_from_count(0), 1.0);
+  EXPECT_DOUBLE_EQ(score_from_count(4, 4.0), 0.5);
+  EXPECT_GT(score_from_count(1), score_from_count(10));
+}
+
+TEST(TableFormat, AlignsColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Column alignment: both value entries start at the same offset.
+  const auto l1 = s.find("alpha  1");
+  EXPECT_NE(l1, std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(0.5), "50.0%");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+LayerMap layers_of_cell(const Cell& c) {
+  LayerMap m;
+  for (const LayerKey k : {layers::kMetal1, layers::kMetal2, layers::kVia1}) {
+    m.emplace(k, c.local_region(k));
+  }
+  return m;
+}
+
+TEST(DrcPlus, StandardDeckHasPatternRules) {
+  const DrcPlusDeck deck = DrcPlusDeck::standard(Tech::standard());
+  ASSERT_EQ(deck.pattern_sets.size(), 2u);
+  EXPECT_EQ(deck.pattern_sets[0].rules.size(), 2u);  // pinch + bridge
+  EXPECT_EQ(deck.pattern_sets[1].rules.size(), 1u);  // borderless via
+  for (const auto& set : deck.pattern_sets) {
+    for (const auto& rule : set.rules) {
+      EXPECT_FALSE(rule.pattern.empty());
+      EXPECT_FALSE(rule.guidance.empty());
+    }
+  }
+}
+
+TEST(DrcPlus, CatchesWhatDrcMisses) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  inject_pinch_candidate(c, t, {0, 0});
+  inject_bridge_candidate(c, t, {30000, 0});
+  add_via(c, t, {60000, 0}, ViaStyle::kBorderless);
+  add_via(c, t, {70000, 0}, ViaStyle::kSymmetric);
+
+  const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
+  const DrcPlusResult res = engine.run(layers_of_cell(c));
+
+  // Plain DRC: everything above is geometrically legal.
+  int geometric = 0;
+  for (const Violation& v : res.drc.violations) {
+    if (v.rule.find(".D.") == std::string::npos &&
+        v.rule.find(".A.") == std::string::npos) {
+      ++geometric;
+    }
+  }
+  EXPECT_EQ(geometric, 0);
+  // DRC-Plus: all three constructs found.
+  EXPECT_GE(res.pattern_match_count(), 3u);
+}
+
+TEST(DrcPlus, CleanDesignHasNoPatternHits) {
+  const Tech& t = Tech::standard();
+  Cell c{"c"};
+  add_via(c, t, {0, 0}, ViaStyle::kSymmetric);
+  c.add(layers::kMetal1, Rect{5000, 0, 5200, 2000});
+  const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
+  EXPECT_EQ(engine.run(layers_of_cell(c)).pattern_match_count(), 0u);
+}
+
+TEST(RecommendedRules, BorderlessViaViolatesFullEnclosure) {
+  const Tech& t = Tech::standard();
+  Cell good{"g"}, bad{"b"};
+  add_via(good, t, {0, 0}, ViaStyle::kSymmetric);
+  add_via(bad, t, {0, 0}, ViaStyle::kBorderless);
+  // Connect the pads to wires so the min-area recommendation is met and
+  // only the enclosure difference separates the two designs.
+  good.add(layers::kMetal1, Rect{0, -25, 2000, 25});
+  bad.add(layers::kMetal1, Rect{0, -25, 2000, 25});
+  const auto rules = standard_recommended_rules(t);
+  const RecommendedReport g = check_recommended(layers_of_cell(good), rules);
+  const RecommendedReport b = check_recommended(layers_of_cell(bad), rules);
+  EXPECT_GT(g.compliance(), b.compliance());
+  EXPECT_DOUBLE_EQ(g.compliance(), 1.0);
+}
+
+TEST(HotspotFlow, LearnsAndFindsInjectedHotspots) {
+  const Tech& t = Tech::standard();
+  OpticalModel model;
+  model.sigma = 30;
+  model.px = 5;
+
+  // Training design: two pinch corridors.
+  Cell train{"t"};
+  inject_pinch_candidate(train, t, {0, 0});
+  inject_pinch_candidate(train, t, {8000, 0});
+  const Region train_m1 = train.local_region(layers::kMetal1);
+
+  HotspotFlowParams params;
+  params.model = model;
+  params.snippet_radius = 350;
+  params.edge_tolerance = 12;
+  const HotspotLibrary lib =
+      build_hotspot_library(train_m1, train_m1.bbox().expanded(200), params);
+  ASSERT_GT(lib.training_hotspots, 0u);
+  ASSERT_FALSE(lib.classes.empty());
+  // Two identical corridors: their snippets share classes, so the class
+  // count stays well below the hotspot count.
+  EXPECT_LT(lib.classes.size(), lib.training_hotspots);
+
+  // Target design: one pinch corridor somewhere else + innocuous wiring.
+  Cell target{"x"};
+  inject_pinch_candidate(target, t, {500, 300});
+  target.add(layers::kMetal1, Rect{10000, 0, 10300, 3000});
+  const Region target_m1 = target.local_region(layers::kMetal1);
+  const auto matches = scan_for_hotspots(
+      target_m1, target_m1.bbox().expanded(200), lib, params);
+  ASSERT_FALSE(matches.empty()) << "the corridor must be re-found";
+  // All matches land on the corridor, not the fat innocuous wire.
+  for (const HotspotMatch& m : matches) {
+    EXPECT_LT(m.window.lo.x, 9000) << "false positive on clean wiring";
+  }
+}
+
+TEST(DfmFlow, RunsEndToEndOnGeneratedDesign) {
+  DesignParams p;
+  p.seed = 77;
+  p.rows = 2;
+  p.cells_per_row = 5;
+  p.routes = 12;
+  p.via_fields = 1;
+  p.vias_per_field = 24;
+  const Library lib = generate_design(p);
+
+  DfmFlowOptions opt;
+  opt.tech = p.tech;
+  opt.model.sigma = 30;
+  opt.model.px = 5;
+  opt.run_litho = false;  // keep the unit test fast; litho has own tests
+  const DfmFlowReport rep = run_dfm_flow(lib, lib.top_cells()[0], opt);
+
+  EXPECT_GT(rep.scorecard.metrics.size(), 4u);
+  EXPECT_GT(rep.scorecard.composite(), 0.0);
+  EXPECT_LE(rep.scorecard.composite(), 1.0);
+  EXPECT_GT(rep.vias.singles_before, 0);
+  EXPECT_GE(rep.via_yield_after, rep.via_yield_before);
+  EXPECT_GT(rep.defect_yield, 0.0);
+  EXPECT_LE(rep.defect_yield, 1.0);
+  EXPECT_GE(rep.lambda_shorts, 0.0);
+}
+
+TEST(DfmFlow, DirtyDesignScoresWorse) {
+  const Tech& t = Tech::standard();
+  DesignParams p;
+  p.seed = 78;
+  p.rows = 1;
+  p.cells_per_row = 4;
+  p.routes = 6;
+  p.via_fields = 0;
+  const Library clean = generate_design(p);
+
+  DesignParams p2 = p;
+  p2.name = "dirty";
+  Library dirty = generate_design(p2);
+  const auto top2 = dirty.top_cells()[0];
+  Cell& tc = dirty.cell(top2);
+  Rng rng(5);
+  inject_pathologies(tc, rng, t, Rect{0, -30000, 80000, -2000}, 8);
+
+  DfmFlowOptions opt;
+  opt.tech = t;
+  opt.run_litho = false;
+  const double sc_clean =
+      run_dfm_flow(clean, clean.top_cells()[0], opt).scorecard.composite();
+  const double sc_dirty = run_dfm_flow(dirty, top2, opt).scorecard.composite();
+  EXPECT_GT(sc_clean, sc_dirty);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,85 @@
+#include "core/fill.h"
+
+#include "layout/density.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+FillParams params() {
+  FillParams p;
+  p.square = 200;
+  p.spacing = 120;
+  p.tile = 2000;
+  p.target_min = 0.15;
+  return p;
+}
+
+TEST(Fill, EmptyExtentBecomesUniform) {
+  const Rect extent{0, 0, 8000, 8000};
+  const FillResult res = insert_fill(Region{}, extent, params());
+  EXPECT_EQ(res.tiles_below, 16);
+  EXPECT_EQ(res.tiles_fixed, 16);
+  const DensityMap after = density_map(res.fill, extent, 2000);
+  EXPECT_GE(after.min(), 0.15);
+}
+
+TEST(Fill, DenseTilesAreLeftAlone) {
+  Region layer{Rect{0, 0, 2000, 2000}};  // tile 0 fully covered
+  const Rect extent{0, 0, 4000, 2000};
+  const FillResult res = insert_fill(layer, extent, params());
+  EXPECT_EQ(res.tiles_below, 1);  // only the right tile
+  // No fill over the dense tile.
+  EXPECT_TRUE(res.fill.clipped(Rect{0, 0, 2000, 2000}).empty());
+  EXPECT_FALSE(res.fill.empty());
+}
+
+TEST(Fill, KeepsMoatFromRealGeometry) {
+  Region layer{Rect{3000, 3000, 3400, 3400}};  // a small island
+  const Rect extent{0, 0, 8000, 8000};
+  const FillParams p = params();
+  const FillResult res = insert_fill(layer, extent, p);
+  ASSERT_FALSE(res.fill.empty());
+  EXPECT_GE(region_distance(res.fill, layer, p.spacing + 10), p.spacing);
+}
+
+TEST(Fill, FillSquaresKeepSpacingFromEachOther) {
+  const Rect extent{0, 0, 6000, 6000};
+  const FillParams p = params();
+  const FillResult res = insert_fill(Region{}, extent, p);
+  // Every pair of fill squares is >= spacing apart: the merged fill must
+  // have exactly `squares` components (nothing merged).
+  EXPECT_EQ(res.fill.components().size(),
+            static_cast<std::size_t>(res.squares));
+  // And a closing at just under the moat must not connect anything.
+  EXPECT_EQ(res.fill.closed(p.spacing / 2 - 1).components().size(),
+            static_cast<std::size_t>(res.squares));
+}
+
+TEST(Fill, RespectsTargetWithoutFlooding) {
+  const Rect extent{0, 0, 4000, 4000};
+  FillParams p = params();
+  p.target_min = 0.10;
+  const FillResult res = insert_fill(Region{}, extent, p);
+  const DensityMap after = density_map(res.fill, extent, p.tile);
+  EXPECT_GE(after.min(), 0.0999);  // epsilon: fill stops exactly at target
+  // Fill stops near the target rather than maximizing.
+  EXPECT_LE(after.max(), 0.25);
+}
+
+TEST(Fill, CrowdedTileCanBeUnfixable) {
+  // A picket fence leaves no room for legal fill, but the tile is sparse.
+  Region layer;
+  for (Coord x = 0; x < 2000; x += 260) {
+    layer.add(Rect{x, 0, x + 30, 2000});  // thin pickets: ~11% density
+  }
+  const Rect extent{0, 0, 2000, 2000};
+  const FillResult res = insert_fill(layer, extent, params());
+  EXPECT_EQ(res.tiles_below, 1);
+  EXPECT_EQ(res.tiles_fixed, 0);
+  EXPECT_TRUE(res.fill.empty());
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,107 @@
+#include "core/pat.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+// A layer where small context is ambiguous: the "core" construct (a pair
+// of bars 60 apart) appears both as a hotspot (with a third bar above,
+// at hot sites) and as harmless wiring (no third bar, at clean sites).
+struct Scene {
+  Region layer;
+  std::vector<Point> hot;
+  std::vector<Point> clean;
+};
+
+Scene ambiguous_scene() {
+  Scene s;
+  auto add_core = [&s](Point at) {
+    s.layer.add(Rect{at.x - 100, at.y - 80, at.x + 100, at.y - 20});
+    s.layer.add(Rect{at.x - 100, at.y + 20, at.x + 100, at.y + 80});
+  };
+  // Hot sites: core + disambiguating neighbour at |y| ~ 150 (outside a
+  // 100-radius window, inside a 200-radius one).
+  for (int i = 0; i < 3; ++i) {
+    const Point at{i * 3000, 0};
+    add_core(at);
+    s.layer.add(Rect{at.x - 100, at.y + 120, at.x + 100, at.y + 180});
+    s.hot.push_back(at);
+  }
+  // Clean sites: bare core.
+  for (int i = 0; i < 3; ++i) {
+    const Point at{i * 3000, 20000};
+    add_core(at);
+    s.clean.push_back(at);
+  }
+  return s;
+}
+
+TEST(Pat, PicksTheSmallestDisambiguatingRadius) {
+  const Scene s = ambiguous_scene();
+  PatParams params;
+  params.radii = {100, 200, 400};
+  const auto optimized =
+      optimize_context(s.layer, s.hot, s.clean, params);
+  ASSERT_EQ(optimized.size(), 1u) << "identical hotspots share one rule";
+  EXPECT_EQ(optimized[0].radius, 200) << "100 is ambiguous, 400 wasteful";
+  EXPECT_DOUBLE_EQ(optimized[0].precision, 1.0);
+  EXPECT_EQ(optimized[0].true_positives, 3);
+  EXPECT_EQ(optimized[0].false_positives, 0);
+}
+
+TEST(Pat, SmallRadiusIsAmbiguousByConstruction) {
+  // Sanity-check the fixture: at radius 100 the hot pattern also appears
+  // at every clean site.
+  const Scene s = ambiguous_scene();
+  PatParams params;
+  params.radii = {100};
+  params.min_precision = 1.0;
+  const auto optimized = optimize_context(s.layer, s.hot, s.clean, params);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_LT(optimized[0].precision, 1.0);
+  EXPECT_EQ(optimized[0].false_positives, 3);
+}
+
+TEST(Pat, UniquePatternKeepsSmallestRadius) {
+  // A hotspot construct with nothing similar anywhere: radius 100 works.
+  Scene s;
+  s.layer.add(Rect{-80, -80, 80, 80});
+  s.hot.push_back({0, 0});
+  for (int i = 0; i < 3; ++i) {
+    s.layer.add(Rect{i * 2000 + 5000, 0, i * 2000 + 5400, 60});
+    s.clean.push_back({i * 2000 + 5200, 30});
+  }
+  PatParams params;
+  params.radii = {100, 200, 400};
+  const auto optimized = optimize_context(s.layer, s.hot, s.clean, params);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_EQ(optimized[0].radius, 100);
+  EXPECT_DOUBLE_EQ(optimized[0].precision, 1.0);
+}
+
+TEST(Pat, DistinctHotspotFamiliesGetOwnRules) {
+  Scene s;
+  // Family 1: squares. Family 2: bars. Both twice.
+  for (int i = 0; i < 2; ++i) {
+    const Point a{i * 4000, 0};
+    s.layer.add(Rect{a.x - 70, a.y - 70, a.x + 70, a.y + 70});
+    s.hot.push_back(a);
+    const Point b{i * 4000, 10000};
+    s.layer.add(Rect{b.x - 90, b.y - 30, b.x + 90, b.y + 30});
+    s.hot.push_back(b);
+  }
+  PatParams params;
+  params.radii = {150, 300};
+  const auto optimized = optimize_context(s.layer, s.hot, s.clean, params);
+  EXPECT_EQ(optimized.size(), 2u);
+}
+
+TEST(Pat, NoHotspotsNoRules) {
+  Scene s;
+  s.layer.add(Rect{0, 0, 100, 100});
+  EXPECT_TRUE(optimize_context(s.layer, {}, {{50, 50}}, {}).empty());
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,104 @@
+#include "core/rule_gen.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+RuleGenParams params() {
+  RuleGenParams p;
+  p.model.sigma = 30;
+  p.model.px = 5;
+  p.window = 400;
+  p.stride = 200;
+  return p;
+}
+
+TEST(RuleGen, GradesBadClassesWorseThanGood) {
+  const Tech& t = Tech::standard();
+  Cell c{"mix"};
+  // Bad content: a sub-resolution ladder (prints badly at sigma 30).
+  for (int i = 0; i < 6; ++i) {
+    c.add(layers::kMetal1, Rect{i * 100, 0, i * 100 + 40, 2000});
+  }
+  // Good content: fat well-spaced wires.
+  for (int i = 0; i < 6; ++i) {
+    c.add(layers::kMetal1, Rect{5000 + i * 500, 0, 5000 + i * 500 + 250, 2000});
+  }
+  (void)t;
+  const Region layer = c.local_region(layers::kMetal1);
+  const auto graded =
+      grade_pattern_classes(layer, layer.bbox().expanded(100), params());
+  ASSERT_GE(graded.size(), 2u);
+  // Worst-first ordering with genuinely bad content at the top.
+  EXPECT_GT(graded.front().severity, 0.0);
+  EXPECT_GE(graded.front().severity, graded.back().severity);
+  // The fat-wire classes grade clean.
+  bool some_clean = false;
+  for (const auto& g : graded) {
+    if (g.severity == 0.0) some_clean = true;
+  }
+  EXPECT_TRUE(some_clean);
+}
+
+TEST(RuleGen, EmitsOnlyBadClassesAsRules) {
+  Cell c{"mix"};
+  for (int i = 0; i < 6; ++i) {
+    c.add(layers::kMetal1, Rect{i * 100, 0, i * 100 + 40, 2000});
+    c.add(layers::kMetal1, Rect{5000 + i * 500, 0, 5000 + i * 500 + 250, 2000});
+  }
+  const Region layer = c.local_region(layers::kMetal1);
+  const auto rules =
+      generate_drcplus_rules(layer, layer.bbox().expanded(100), params());
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    EXPECT_EQ(r.name.rfind("DFMGEN.", 0), 0u);
+    EXPECT_FALSE(r.pattern.empty());
+  }
+
+  // The generated deck re-finds the bad construct via grid matching.
+  const PatternMatcher matcher{rules};
+  LayerMap layers;
+  layers.emplace(layers::kMetal1, layer);
+  const auto windows = capture_grid(layers, {layers::kMetal1},
+                                    layer.bbox().expanded(100), 400, 200);
+  const auto matches = matcher.scan(windows);
+  EXPECT_FALSE(matches.empty());
+  // Matches concentrate on the ladder side (x < 5000).
+  for (const auto& m : matches) {
+    EXPECT_LT(m.window.lo.x, 5000);
+  }
+}
+
+TEST(RuleGen, CleanLayoutYieldsNoRules) {
+  Cell c{"clean"};
+  for (int i = 0; i < 5; ++i) {
+    c.add(layers::kMetal1, Rect{i * 600, 0, i * 600 + 300, 3000});
+  }
+  const Region layer = c.local_region(layers::kMetal1);
+  const auto rules =
+      generate_drcplus_rules(layer, layer.bbox().expanded(100), params());
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(RuleGen, RespectsMaxRules) {
+  Cell c{"many"};
+  // Many distinct bad patterns: ladders at varying pitches.
+  for (int k = 0; k < 8; ++k) {
+    for (int i = 0; i < 4; ++i) {
+      const Coord x0 = k * 3000 + i * (80 + 5 * k);
+      c.add(layers::kMetal1, Rect{x0, 0, x0 + 35 + k, 1500});
+    }
+  }
+  const Region layer = c.local_region(layers::kMetal1);
+  RuleGenParams p = params();
+  p.max_rules = 3;
+  const auto rules =
+      generate_drcplus_rules(layer, layer.bbox().expanded(100), p);
+  EXPECT_LE(rules.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dfm

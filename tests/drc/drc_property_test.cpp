@@ -1,0 +1,96 @@
+// Property sweeps cross-checking the morphology-based DRC checks against
+// brute-force measurements on random rect soups.
+#include "drc/engine.h"
+
+#include "gen/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Region random_soup(Rng& rng, int shapes, Coord extent) {
+  Region r;
+  for (int i = 0; i < shapes; ++i) {
+    const Coord x = rng.uniform(0, extent);
+    const Coord y = rng.uniform(0, extent);
+    const Coord w = rng.uniform(20, extent / 4);
+    const Coord h = rng.uniform(20, extent / 4);
+    r.add(Rect{x, y, x + w, y + h});
+  }
+  return r;
+}
+
+// Brute-force minimum Chebyshev gap between distinct components.
+Coord min_component_gap(const Region& r, Coord cap) {
+  const auto comps = r.components();
+  Coord best = cap;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    for (std::size_t j = i + 1; j < comps.size(); ++j) {
+      best = std::min(best, region_distance(comps[i], comps[j], best));
+    }
+  }
+  return best;
+}
+
+class DrcProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DrcProperty, SpacingCheckAgreesWithBruteForceGap) {
+  Rng rng(GetParam());
+  const Region r = random_soup(rng, 8, 600);
+  const Coord rule = 50;
+  const Coord gap = min_component_gap(r, rule + 100);
+  const bool flagged = !check_min_spacing(r, rule, "S").empty();
+  if (gap < rule && gap > 0) {
+    EXPECT_TRUE(flagged) << "gap " << gap;
+  }
+  if (!flagged) {
+    // No violation reported: no inter-component gap below the rule.
+    // (Intra-component notches can still exist; they'd have been flagged.)
+    EXPECT_TRUE(gap >= rule || gap == 0) << "gap " << gap;
+  }
+}
+
+TEST_P(DrcProperty, WidthCheckNeverFlagsFatShapes) {
+  Rng rng(GetParam() * 17 + 2);
+  // Shapes all at least 80 wide in both axes.
+  Region r;
+  for (int i = 0; i < 6; ++i) {
+    const Coord x = rng.uniform(0, 800);
+    const Coord y = rng.uniform(0, 800);
+    r.add(Rect{x, y, x + rng.uniform(80, 300), y + rng.uniform(80, 300)});
+  }
+  EXPECT_TRUE(check_min_width(r, 80, "W").empty());
+}
+
+TEST_P(DrcProperty, ViolationMarkersLieNearTheGeometry) {
+  Rng rng(GetParam() * 23 + 9);
+  const Region r = random_soup(rng, 10, 500);
+  for (const Violation& v : check_min_spacing(r, 60, "S")) {
+    EXPECT_TRUE(v.marker.expanded(2).overlaps(r.bbox().expanded(60)));
+    EXPECT_FALSE(v.marker.is_empty());
+  }
+}
+
+TEST_P(DrcProperty, EnclosureCheckConsistentWithRegionAlgebra) {
+  Rng rng(GetParam() * 31 + 4);
+  Region inner, outer;
+  for (int i = 0; i < 5; ++i) {
+    const Coord x = rng.uniform(0, 1000);
+    const Coord y = rng.uniform(0, 1000);
+    inner.add(Rect{x, y, x + 50, y + 50});
+    if (rng.chance(0.7)) {
+      outer.add(Rect{x - 10, y - 10, x + 60, y + 60});  // full margin
+    } else {
+      outer.add(Rect{x, y, x + 50, y + 50});  // zero margin
+    }
+  }
+  const auto violations = check_enclosure(inner, outer, 10, "E");
+  const bool algebra_clean = (inner.bloated(10) - outer).empty();
+  EXPECT_EQ(violations.empty(), algebra_clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrcProperty, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace dfm

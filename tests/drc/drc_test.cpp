@@ -1,0 +1,224 @@
+#include "drc/engine.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(MinWidth, ExactMinimumIsLegal) {
+  const Region r{Rect{0, 0, 50, 500}};
+  EXPECT_TRUE(check_min_width(r, 50, "W").empty());
+}
+
+TEST(MinWidth, OneBelowMinimumFlags) {
+  const Region r{Rect{0, 0, 49, 500}};
+  const auto v = check_min_width(r, 50, "W");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "W");
+  EXPECT_EQ(v[0].measured, 49);
+}
+
+TEST(MinWidth, LocalizedNeckIsFlagged) {
+  // Dumbbell: two fat pads joined by a thin neck.
+  Region r;
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{100, 40, 200, 70});  // 30-wide neck
+  r.add(Rect{200, 0, 300, 100});
+  const auto v = check_min_width(r, 50, "W");
+  ASSERT_EQ(v.size(), 1u);
+  // Marker covers the neck, not the pads.
+  EXPECT_TRUE(v[0].marker.overlaps(Rect{100, 40, 200, 70}));
+  EXPECT_LT(v[0].marker.width(), 160);
+}
+
+class MinWidthSweep : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(MinWidthSweep, FlagsIffBelowRule) {
+  const Coord w = GetParam();
+  const Region r{Rect{0, 0, w, 1000}};
+  const auto v = check_min_width(r, 50, "W");
+  if (w < 50) {
+    ASSERT_EQ(v.size(), 1u) << "w=" << w;
+    EXPECT_EQ(v[0].measured, w);
+  } else {
+    EXPECT_TRUE(v.empty()) << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MinWidthSweep,
+                         ::testing::Values(10, 37, 48, 49, 50, 51, 52, 80));
+
+TEST(MinSpacing, ExactMinimumIsLegal) {
+  Region r;
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{150, 0, 250, 100});
+  EXPECT_TRUE(check_min_spacing(r, 50, "S").empty());
+}
+
+class MinSpacingSweep : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(MinSpacingSweep, FlagsIffBelowRule) {
+  const Coord gap = GetParam();
+  Region r;
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{100 + gap, 0, 200 + gap, 100});
+  const auto v = check_min_spacing(r, 50, "S");
+  if (gap < 50) {
+    ASSERT_EQ(v.size(), 1u) << "gap=" << gap;
+    EXPECT_EQ(v[0].measured, gap);
+  } else {
+    EXPECT_TRUE(v.empty()) << "gap=" << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, MinSpacingSweep,
+                         ::testing::Values(1, 25, 48, 49, 50, 51, 70));
+
+TEST(MinSpacing, DiagonalCornersUseChebyshev) {
+  Region r;
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{130, 130, 230, 230});  // Chebyshev gap 30
+  EXPECT_EQ(check_min_spacing(r, 50, "S").size(), 1u);
+  Region r2;
+  r2.add(Rect{0, 0, 100, 100});
+  r2.add(Rect{160, 160, 260, 260});  // Chebyshev gap 60
+  EXPECT_TRUE(check_min_spacing(r2, 50, "S").empty());
+}
+
+TEST(MinSpacing, NotchWithinOneShapeFlags) {
+  const Polygon u{{{0, 0}, {300, 0}, {300, 200}, {180, 200}, {180, 80},
+                   {120, 80}, {120, 200}, {0, 200}}};
+  const Region r{u};
+  const auto v = check_min_spacing(r, 100, "S");
+  ASSERT_EQ(v.size(), 1u);  // the 60-wide notch
+  EXPECT_EQ(v[0].measured, 60);
+}
+
+TEST(MinArea, SmallIslandFlags) {
+  Region r;
+  r.add(Rect{0, 0, 100, 100});    // area 10000
+  r.add(Rect{500, 500, 550, 520});  // area 1000 < 2000
+  const auto v = check_min_area(r, 2000, "A");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].measured, 1000);
+  EXPECT_EQ(v[0].marker, (Rect{500, 500, 550, 520}));
+}
+
+TEST(Enclosure, CoveredViaIsClean) {
+  const Region via{Rect{100, 100, 150, 150}};
+  const Region metal{Rect{90, 90, 160, 160}};
+  EXPECT_TRUE(check_enclosure(via, metal, 10, "E").empty());
+}
+
+TEST(Enclosure, InsufficientMarginFlags) {
+  const Region via{Rect{100, 100, 150, 150}};
+  const Region metal{Rect{95, 90, 160, 160}};  // only 5 on the left
+  const auto v = check_enclosure(via, metal, 10, "E");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "E");
+}
+
+TEST(Enclosure, OneViolationPerVia) {
+  Region vias, metal;
+  for (int i = 0; i < 4; ++i) {
+    const Coord x = i * 300;
+    vias.add(Rect{x, 0, x + 50, 50});
+    // Cover only the even vias adequately.
+    if (i % 2 == 0) {
+      metal.add(Rect{x - 10, -10, x + 60, 60});
+    } else {
+      metal.add(Rect{x, 0, x + 50, 50});  // zero margin
+    }
+  }
+  EXPECT_EQ(check_enclosure(vias, metal, 10, "E").size(), 2u);
+}
+
+TEST(DensityCheck, FlagsSparseAndDenseTiles) {
+  Region r;
+  // Left tile fully covered (dense), middle ~50%, right empty (sparse).
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{100, 0, 150, 100});
+  const auto v =
+      check_density(r, Rect{0, 0, 300, 100}, 100, 0.25, 0.75, "D");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].marker.lo.x, 0);    // 100% tile
+  EXPECT_EQ(v[1].marker.lo.x, 200);  // 0% tile
+}
+
+TEST(DrcEngine, CleanViaIsClean) {
+  const Tech& t = Tech::standard();
+  Library lib{"L"};
+  const auto c = lib.new_cell("c");
+  add_via(lib.cell(c), t, {1000, 1000}, ViaStyle::kSymmetric);
+  DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(lib, c);
+  // Ignore density (a lone via can never meet chip-level density).
+  int real = 0;
+  for (const auto& v : res.violations) {
+    if (v.rule.find(".D.") == std::string::npos) ++real;
+  }
+  EXPECT_EQ(real, 0) << "first: " << (res.violations.empty() ? "" : res.violations[0].rule);
+}
+
+TEST(DrcEngine, InjectedViolationsAreFound) {
+  const Tech& t = Tech::standard();
+  Library lib{"L"};
+  const auto c = lib.new_cell("c");
+  inject_spacing_violation(lib.cell(c), t, {0, 0});
+  inject_notch(lib.cell(c), t, {5000, 0});
+  const DrcEngine engine{RuleDeck::standard(t)};
+  const DrcResult res = engine.run(lib, c);
+  EXPECT_GE(res.count("M1.S.1"), 2);
+}
+
+TEST(DrcEngine, PinchAndBridgeCandidatesAreDrcClean) {
+  // These constructs are litho-marginal but must pass sign-off DRC:
+  // exactly the gap the DFM techniques exist to fill.
+  const Tech& t = Tech::standard();
+  Library lib{"L"};
+  const auto c = lib.new_cell("c");
+  inject_pinch_candidate(lib.cell(c), t, {0, 0});
+  inject_bridge_candidate(lib.cell(c), t, {20000, 0});
+  inject_odd_cycle(lib.cell(c), t, {40000, 0});
+  const DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(lib, c);
+  int geometric = 0;
+  for (const auto& v : res.violations) {
+    if (v.rule.find(".D.") == std::string::npos &&
+        v.rule.find(".A.") == std::string::npos) {
+      ++geometric;
+    }
+  }
+  EXPECT_EQ(geometric, 0);
+}
+
+TEST(DrcEngine, GeneratedDesignMostlyClean) {
+  DesignParams p;
+  p.seed = 21;
+  p.rows = 2;
+  p.cells_per_row = 6;
+  p.routes = 10;
+  const Library lib = generate_design(p);
+  const DrcResult res =
+      DrcEngine{RuleDeck::standard(p.tech)}.run(lib, lib.top_cells()[0]);
+  // Geometric rules must be clean by construction.
+  for (const auto& v : res.violations) {
+    EXPECT_TRUE(v.rule.find(".D.") != std::string::npos ||
+                v.rule.find(".A.") != std::string::npos)
+        << v.rule << " at " << to_string(v.marker);
+  }
+}
+
+TEST(DrcResult, Counting) {
+  DrcResult r;
+  r.violations = {{"A", {}, 0}, {"B", {}, 0}, {"A", {}, 0}};
+  EXPECT_EQ(r.count("A"), 2);
+  EXPECT_EQ(r.count("B"), 1);
+  EXPECT_EQ(r.count("C"), 0);
+  EXPECT_FALSE(r.clean());
+  const auto by_rule = r.count_by_rule();
+  EXPECT_EQ(by_rule.at("A"), 2);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,79 @@
+#include "drc/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+constexpr Coord kWide = 150;
+constexpr Coord kSpace = 80;
+
+TEST(WideSpacing, NarrowFeaturesAreExempt) {
+  Region r;
+  r.add(Rect{0, 0, 60, 1000});
+  r.add(Rect{120, 0, 180, 1000});  // 60 apart, both narrow
+  EXPECT_TRUE(check_wide_spacing(r, kWide, kSpace, "WS").empty());
+}
+
+TEST(WideSpacing, WideFeatureTooCloseToNarrowFlags) {
+  Region r;
+  r.add(Rect{0, 0, 300, 1000});    // wide (>= 150 both ways? 300x1000 yes)
+  r.add(Rect{360, 0, 420, 1000});  // 60 < 80 from the wide feature
+  const auto v = check_wide_spacing(r, kWide, kSpace, "WS");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].measured, 60);
+  EXPECT_TRUE(v[0].marker.overlaps(Rect{300, 0, 360, 1000}));
+}
+
+TEST(WideSpacing, ExactWideSpaceIsLegal) {
+  Region r;
+  r.add(Rect{0, 0, 300, 1000});
+  r.add(Rect{380, 0, 440, 1000});  // exactly 80
+  EXPECT_TRUE(check_wide_spacing(r, kWide, kSpace, "WS").empty());
+}
+
+TEST(WideSpacing, TwoWideFeaturesBothDirections) {
+  Region r;
+  r.add(Rect{0, 0, 300, 300});
+  r.add(Rect{360, 0, 660, 300});  // 60 apart, both wide
+  const auto v = check_wide_spacing(r, kWide, kSpace, "WS");
+  // Each wide feature reports the other intruding: two findings.
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(WideSpacing, ThinArmOfWideShapeDoesNotMakeItWideThere) {
+  // A wide body with a thin arm: a neighbour near the *arm* keeps plain
+  // spacing; only proximity to the wide body triggers the rule.
+  Region r;
+  r.add(Rect{0, 0, 300, 300});       // wide body
+  r.add(Rect{300, 120, 800, 180});   // 60-wide arm, same component
+  r.add(Rect{460, 240, 520, 600});   // near the arm only (60 above it)
+  const auto near_arm = check_wide_spacing(r, kWide, kSpace, "WS");
+  EXPECT_TRUE(near_arm.empty());
+
+  Region r2;
+  r2.add(Rect{0, 0, 300, 300});
+  r2.add(Rect{0, 360, 60, 700});  // 60 above the wide body
+  EXPECT_EQ(check_wide_spacing(r2, kWide, kSpace, "WS").size(), 1u);
+}
+
+TEST(WideSpacing, TouchingNeighboursAreSameFeature) {
+  Region r;
+  r.add(Rect{0, 0, 300, 300});
+  r.add(Rect{300, 100, 360, 200});  // abuts: merges, no violation
+  EXPECT_TRUE(check_wide_spacing(r, kWide, kSpace, "WS").empty());
+}
+
+TEST(WideSpacing, DiagonalProximityUsesChebyshev) {
+  Region r;
+  r.add(Rect{0, 0, 300, 300});
+  r.add(Rect{360, 360, 420, 420});  // Chebyshev gap 60
+  EXPECT_EQ(check_wide_spacing(r, kWide, kSpace, "WS").size(), 1u);
+  Region r2;
+  r2.add(Rect{0, 0, 300, 300});
+  r2.add(Rect{390, 390, 450, 450});  // Chebyshev gap 90
+  EXPECT_TRUE(check_wide_spacing(r2, kWide, kSpace, "WS").empty());
+}
+
+}  // namespace
+}  // namespace dfm

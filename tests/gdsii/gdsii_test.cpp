@@ -1,0 +1,185 @@
+#include "gdsii/gdsii.h"
+
+#include "gdsii/gds_records.h"
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dfm {
+namespace {
+
+TEST(GdsReal64, KnownEncodings) {
+  // 1.0 encodes as 0x41 0x10 00.. (exponent 65, mantissa 1/16).
+  std::uint8_t b[8];
+  gds::encode_real64(1.0, b);
+  EXPECT_EQ(b[0], 0x41);
+  EXPECT_EQ(b[1], 0x10);
+  EXPECT_DOUBLE_EQ(gds::decode_real64(b), 1.0);
+
+  gds::encode_real64(0.0, b);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(b[i], 0);
+  EXPECT_DOUBLE_EQ(gds::decode_real64(b), 0.0);
+}
+
+class GdsReal64RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(GdsReal64RoundTrip, Value) {
+  std::uint8_t b[8];
+  gds::encode_real64(GetParam(), b);
+  EXPECT_NEAR(gds::decode_real64(b), GetParam(),
+              std::abs(GetParam()) * 1e-12 + 1e-300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GdsReal64RoundTrip,
+                         ::testing::Values(1.0, -1.0, 0.001, 1e-9, 1e-6, 2.5,
+                                           3.14159265358979, 1e12, -42.0,
+                                           1.0 / 3.0));
+
+Library sample_lib() {
+  Library lib{"RT"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 100, 50});
+  lib.cell(leaf).add(layers::kMetal1,
+                     Polygon{{{0, 0}, {30, 0}, {30, 20}, {10, 20}, {10, 40}, {0, 40}}});
+  lib.cell(leaf).add(layers::kVia1, Rect{10, 10, 20, 20});
+  lib.cell(leaf).add_text(Text{LayerKey{10, 0}, Point{5, 5}, "net_a"});
+
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef sref;
+  sref.cell_index = leaf;
+  sref.transform = Transform{Orient::kMXR90, {500, -200}};
+  lib.cell(top).add_ref(sref);
+  CellRef aref;
+  aref.cell_index = leaf;
+  aref.cols = 3;
+  aref.rows = 2;
+  aref.col_step = {200, 0};
+  aref.row_step = {0, 300};
+  aref.transform = Transform{Orient::kR180, {-1000, 800}};
+  lib.cell(top).add_ref(aref);
+  return lib;
+}
+
+TEST(Gdsii, RoundTripPreservesEverything) {
+  const Library lib = sample_lib();
+  std::stringstream ss;
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+
+  EXPECT_EQ(back.name(), "RT");
+  ASSERT_EQ(back.cell_count(), 2u);
+  const Cell& leaf = back.cell("leaf");
+  EXPECT_EQ(leaf.shape_count(), 3u);
+  ASSERT_EQ(leaf.texts().size(), 1u);
+  EXPECT_EQ(leaf.texts()[0].value, "net_a");
+  EXPECT_EQ(leaf.texts()[0].position, (Point{5, 5}));
+
+  const Cell& top = back.cell("top");
+  ASSERT_EQ(top.refs().size(), 2u);
+  EXPECT_EQ(top.refs()[0], lib.cell("top").refs()[0]);
+  EXPECT_EQ(top.refs()[1], lib.cell("top").refs()[1]);
+
+  // Flattened geometry identical on every layer.
+  for (const LayerKey k : lib.layers()) {
+    EXPECT_EQ(back.flatten("top", k), lib.flatten("top", k))
+        << "layer " << to_string(k);
+  }
+}
+
+TEST(Gdsii, RoundTripGeneratedDesign) {
+  DesignParams p;
+  p.seed = 7;
+  p.rows = 3;
+  p.cells_per_row = 5;
+  p.routes = 10;
+  const Library lib = generate_design(p);
+  std::stringstream ss;
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+  EXPECT_EQ(back.cell_count(), lib.cell_count());
+  const auto tops = lib.top_cells();
+  ASSERT_FALSE(tops.empty());
+  const std::string top_name = lib.cell(tops[0]).name();
+  for (const LayerKey k : lib.layers()) {
+    EXPECT_EQ(back.flatten(top_name, k), lib.flatten(top_name, k))
+        << "layer " << to_string(k);
+  }
+}
+
+TEST(Gdsii, PathConversionStraight) {
+  const Polygon p = path_to_polygon({{0, 0}, {100, 0}}, 20, false);
+  EXPECT_EQ(p.bbox(), (Rect{0, -10, 100, 10}));
+  EXPECT_EQ(p.area(), 2000);
+}
+
+TEST(Gdsii, PathConversionExtendedEnds) {
+  const Polygon p = path_to_polygon({{0, 0}, {100, 0}}, 20, true);
+  EXPECT_EQ(p.bbox(), (Rect{-10, -10, 110, 10}));
+}
+
+TEST(Gdsii, PathConversionLBend) {
+  const Polygon p = path_to_polygon({{0, 0}, {100, 0}, {100, 80}}, 20, false);
+  EXPECT_TRUE(p.contains({100, 40}));
+  EXPECT_TRUE(p.contains({50, 0}));
+  // Area: horizontal 100x20 + vertical 80x20 + joint closure minus overlap.
+  const Region r{p};
+  EXPECT_EQ(r.area(),
+            (Region{Rect{0, -10, 110, 10}} | Region{Rect{90, -10, 110, 80}}).area());
+}
+
+TEST(Gdsii, NonManhattanPathRejected) {
+  EXPECT_THROW(path_to_polygon({{0, 0}, {50, 50}}, 10, false),
+               std::runtime_error);
+}
+
+TEST(Gdsii, MalformedStreamRejected) {
+  std::stringstream empty;
+  EXPECT_THROW(read_gdsii(empty), std::runtime_error);
+
+  std::stringstream garbage("\x00\x06\x01\x02XX");  // BGNLIB-ish then EOF
+  EXPECT_THROW(read_gdsii(garbage), std::runtime_error);
+}
+
+TEST(Gdsii, UnknownReferencedStructureRejected) {
+  // Build a stream with an SREF to a structure that never appears.
+  std::stringstream ss;
+  {
+    gds::RecordWriter w(ss);
+    w.write_int16(gds::RecordType::kHeader, {600});
+    w.write_int16(gds::RecordType::kBgnLib, std::vector<std::int16_t>(12, 0));
+    w.write_ascii(gds::RecordType::kLibName, "X");
+    w.write_real64(gds::RecordType::kUnits, {1e-3, 1e-9});
+    w.write_int16(gds::RecordType::kBgnStr, std::vector<std::int16_t>(12, 0));
+    w.write_ascii(gds::RecordType::kStrName, "top");
+    w.write_empty(gds::RecordType::kSref);
+    w.write_ascii(gds::RecordType::kSname, "ghost");
+    w.write_int32(gds::RecordType::kXy, {0, 0});
+    w.write_empty(gds::RecordType::kEndEl);
+    w.write_empty(gds::RecordType::kEndStr);
+    w.write_empty(gds::RecordType::kEndLib);
+  }
+  EXPECT_THROW(read_gdsii(ss), std::runtime_error);
+}
+
+TEST(Gdsii, FileRoundTrip) {
+  const Library lib = sample_lib();
+  const std::string path = ::testing::TempDir() + "/dfm_rt.gds";
+  write_gdsii_file(lib, path);
+  const Library back = read_gdsii_file(path);
+  EXPECT_EQ(back.cell_count(), lib.cell_count());
+  EXPECT_EQ(back.flatten("top", layers::kMetal1),
+            lib.flatten("top", layers::kMetal1));
+}
+
+TEST(Gdsii, DeterministicOutput) {
+  const Library lib = sample_lib();
+  std::stringstream a, b;
+  write_gdsii(lib, a);
+  write_gdsii(lib, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace dfm

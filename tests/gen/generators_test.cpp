@@ -1,0 +1,180 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Coord v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StdCell, HasExpectedLayers) {
+  const Cell c = make_stdcell(Tech::standard(), 0, "c0");
+  EXPECT_FALSE(c.shapes_on(layers::kMetal1).empty());
+  EXPECT_FALSE(c.shapes_on(layers::kPoly).empty());
+  EXPECT_FALSE(c.shapes_on(layers::kDiff).empty());
+  EXPECT_FALSE(c.shapes_on(layers::kContact).empty());
+  EXPECT_EQ(c.local_bbox().height(), Tech::standard().cell_height);
+}
+
+TEST(StdCell, VariantsDiffer) {
+  const Cell a = make_stdcell(Tech::standard(), 0, "a");
+  const Cell b = make_stdcell(Tech::standard(), 3, "b");
+  EXPECT_NE(a.local_bbox().width(), b.local_bbox().width());
+}
+
+TEST(StdCell, RailsSpanFullWidth) {
+  const Tech& t = Tech::standard();
+  const Cell c = make_stdcell(t, 2, "c");
+  const Region m1 = c.local_region(layers::kMetal1);
+  const Coord w = c.local_bbox().width();
+  // Bottom rail present across the width.
+  for (Coord x = 0; x < w; x += w / 7 + 1) {
+    EXPECT_TRUE(m1.contains({x, t.rail_width / 2})) << "x=" << x;
+  }
+}
+
+TEST(GenerateDesign, DeterministicForSeed) {
+  DesignParams p;
+  p.seed = 11;
+  p.rows = 2;
+  p.cells_per_row = 4;
+  p.routes = 8;
+  const Library a = generate_design(p);
+  const Library b = generate_design(p);
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  const auto ta = a.top_cells();
+  const auto tb = b.top_cells();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (const LayerKey k : a.layers()) {
+    EXPECT_EQ(a.flatten(ta[0], k), b.flatten(tb[0], k));
+  }
+}
+
+TEST(GenerateDesign, SeedsProduceDifferentDesigns) {
+  DesignParams p;
+  p.rows = 2;
+  p.cells_per_row = 6;
+  p.routes = 12;
+  p.seed = 1;
+  const Library a = generate_design(p);
+  p.seed = 2;
+  const Library b = generate_design(p);
+  const Region ra = a.flatten(a.top_cells()[0], layers::kMetal2);
+  const Region rb = b.flatten(b.top_cells()[0], layers::kMetal2);
+  EXPECT_NE(ra, rb);
+}
+
+TEST(GenerateDesign, HasAllExpectedContent) {
+  DesignParams p;
+  p.seed = 3;
+  p.rows = 3;
+  p.cells_per_row = 8;
+  p.routes = 20;
+  const Library lib = generate_design(p);
+  const auto top = lib.top_cells()[0];
+  EXPECT_FALSE(lib.flatten(top, layers::kMetal1).empty());
+  EXPECT_FALSE(lib.flatten(top, layers::kMetal2).empty());
+  EXPECT_FALSE(lib.flatten(top, layers::kVia1).empty());
+  EXPECT_FALSE(lib.flatten(top, layers::kPoly).empty());
+  EXPECT_GT(lib.flat_shape_count(top), 100u);
+}
+
+TEST(Router, WiresDoNotShortEachOther) {
+  // Routes on distinct tracks must remain distinct components unless they
+  // intentionally join at a bend.
+  Cell top{"t"};
+  Rng rng(5);
+  const Tech& t = Tech::standard();
+  route_metal2(top, rng, t, Rect{0, 0, 20000, 20000}, 30, 0.0, 0.0);
+  // With bends disabled every route is one horizontal bar plus its two
+  // via pads; distinct routes must stay distinct components (no shorts).
+  const Region m2 = top.local_region(layers::kMetal2);
+  EXPECT_EQ(m2.components().size(), 30u);
+}
+
+TEST(ViaField, EnclosureAlwaysCoversVia) {
+  Cell c{"v"};
+  Rng rng(9);
+  const Tech& t = Tech::standard();
+  add_via_field(c, rng, t, {0, 0}, 40);
+  const Region vias = c.local_region(layers::kVia1);
+  const Region m1 = c.local_region(layers::kMetal1);
+  const Region m2 = c.local_region(layers::kMetal2);
+  EXPECT_EQ(vias.components().size(), 40u);
+  EXPECT_TRUE((vias - m1).empty()) << "M1 must cover every via";
+  EXPECT_TRUE((vias - m2).empty()) << "M2 must cover every via";
+}
+
+TEST(ViaStyles, StylesProduceDistinctEnclosures) {
+  const Tech& t = Tech::standard();
+  Cell a{"a"}, b{"b"};
+  add_via(a, t, {0, 0}, ViaStyle::kSymmetric);
+  add_via(b, t, {0, 0}, ViaStyle::kEndOfLineX);
+  EXPECT_NE(a.local_region(layers::kMetal1), b.local_region(layers::kMetal1));
+}
+
+TEST(Pathologies, InjectionsAreLabelled) {
+  Cell c{"p"};
+  Rng rng(13);
+  const Tech& t = Tech::standard();
+  const auto inj =
+      inject_pathologies(c, rng, t, Rect{0, 0, 100000, 100000}, 20);
+  EXPECT_EQ(inj.size(), 20u);
+  for (const Injection& i : inj) {
+    EXPECT_FALSE(i.kind.empty());
+    EXPECT_FALSE(i.where.is_empty());
+    // Geometry actually landed inside the marker.
+    const Region m1 = c.local_region(layers::kMetal1).clipped(i.where);
+    EXPECT_FALSE(m1.empty()) << i.kind;
+  }
+}
+
+TEST(Pathologies, SpacingViolationIsActuallyTooClose) {
+  Cell c{"p"};
+  const Tech& t = Tech::standard();
+  const Injection i = inject_spacing_violation(c, t, {0, 0});
+  const Region m1 = c.local_region(layers::kMetal1);
+  // closed(min_space) must fill the illegal gap => area grows.
+  EXPECT_GT(m1.closed(t.m1_space / 2).area(), m1.area());
+  EXPECT_EQ(i.kind, "spacing");
+}
+
+TEST(Pathologies, OddCycleSpacingIsDrcCleanButDptDirty) {
+  Cell c{"p"};
+  const Tech& t = Tech::standard();
+  inject_odd_cycle(c, t, {0, 0});
+  const Region m1 = c.local_region(layers::kMetal1);
+  EXPECT_EQ(m1.components().size(), 3u);
+  // Pairwise gaps are >= m1_space (DRC-clean)...
+  EXPECT_EQ(m1.closed(t.m1_space / 2).components().size(), 3u);
+  // ...but below dpt_space (same-mask illegal): closing at dpt_space/2
+  // merges them.
+  EXPECT_LT(m1.closed(t.dpt_space / 2 + 1).components().size(), 3u);
+}
+
+}  // namespace
+}  // namespace dfm

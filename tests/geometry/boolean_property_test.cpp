@@ -1,0 +1,139 @@
+// Property-based checks of the Boolean engine: algebraic identities on
+// randomly generated rect soups, plus an exhaustive cross-check against a
+// brute-force bitmap rasterization on a small grid.
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace dfm {
+namespace {
+
+Region random_region(std::mt19937_64& rng, int n, Coord extent) {
+  std::uniform_int_distribution<Coord> pos(0, extent - 1);
+  std::uniform_int_distribution<Coord> len(1, extent / 3 + 1);
+  Region r;
+  for (int i = 0; i < n; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    r.add(Rect{x, y, x + len(rng), y + len(rng)});
+  }
+  return r;
+}
+
+// Rasterizes a region into a bitmap over [0, extent)^2.
+std::vector<bool> rasterize(const Region& r, Coord extent) {
+  std::vector<bool> img(static_cast<std::size_t>(extent * extent), false);
+  for (const Rect& b : r.rects()) {
+    for (Coord y = std::max<Coord>(0, b.lo.y); y < std::min(extent, b.hi.y); ++y) {
+      for (Coord x = std::max<Coord>(0, b.lo.x); x < std::min(extent, b.hi.x); ++x) {
+        img[static_cast<std::size_t>(y * extent + x)] = true;
+      }
+    }
+  }
+  return img;
+}
+
+class BooleanProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BooleanProperty, AlgebraicIdentities) {
+  std::mt19937_64 rng(GetParam());
+  const Coord extent = 60;
+  const Region a = random_region(rng, 12, extent);
+  const Region b = random_region(rng, 12, extent);
+
+  EXPECT_EQ(a | a, a) << "idempotent union";
+  EXPECT_EQ(a & a, a) << "idempotent intersection";
+  EXPECT_TRUE((a - a).empty()) << "self difference";
+  EXPECT_EQ((a | b) & a, a) << "absorption";
+  EXPECT_EQ(a | b, b | a) << "commutative union";
+  EXPECT_EQ(a & b, b & a) << "commutative intersection";
+  EXPECT_EQ((a ^ b), (a | b) - (a & b)) << "xor identity";
+  EXPECT_EQ((a - b) | (a & b), a) << "partition of a";
+  EXPECT_EQ(a.area() + b.area(), (a | b).area() + (a & b).area())
+      << "inclusion-exclusion";
+}
+
+TEST_P(BooleanProperty, MatchesBruteForceBitmap) {
+  std::mt19937_64 rng(GetParam() * 7919 + 1);
+  const Coord extent = 40;
+  const Region a = random_region(rng, 10, extent);
+  const Region b = random_region(rng, 10, extent);
+
+  const auto ia = rasterize(a, extent);
+  const auto ib = rasterize(b, extent);
+
+  const struct {
+    BoolOp op;
+    bool (*f)(bool, bool);
+  } cases[] = {
+      {BoolOp::kOr, [](bool x, bool y) { return x || y; }},
+      {BoolOp::kAnd, [](bool x, bool y) { return x && y; }},
+      {BoolOp::kSub, [](bool x, bool y) { return x && !y; }},
+      {BoolOp::kXor, [](bool x, bool y) { return x != y; }},
+  };
+  for (const auto& c : cases) {
+    const Region out = boolean_op(a, b, c.op);
+    const auto io = rasterize(out, extent);
+    for (Coord y = 0; y < extent; ++y) {
+      for (Coord x = 0; x < extent; ++x) {
+        const auto idx = static_cast<std::size_t>(y * extent + x);
+        ASSERT_EQ(io[idx], c.f(ia[idx], ib[idx]))
+            << "op=" << static_cast<int>(c.op) << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST_P(BooleanProperty, CanonicalRectsNeverOverlap) {
+  std::mt19937_64 rng(GetParam() * 104729 + 3);
+  const Region a = random_region(rng, 25, 80);
+  const auto& rects = a.rects();
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_FALSE(rects[i].is_empty());
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_FALSE(rects[i].overlaps(rects[j]));
+    }
+  }
+}
+
+TEST_P(BooleanProperty, ToPolygonsPreservesArea) {
+  std::mt19937_64 rng(GetParam() * 13 + 5);
+  const Region a = random_region(rng, 15, 50);
+  Area total = 0;
+  for (const Polygon& p : a.to_polygons()) {
+    EXPECT_TRUE(p.is_rectilinear());
+    total += p.area();
+  }
+  EXPECT_EQ(total, a.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BooleanProperty,
+                         ::testing::Range(1u, 21u));
+
+TEST(BooleanEdgeCases, DisjointAndNested) {
+  const Region a{Rect{0, 0, 10, 10}};
+  const Region b{Rect{20, 20, 30, 30}};
+  EXPECT_EQ((a | b).area(), 200);
+  EXPECT_TRUE((a & b).empty());
+  EXPECT_EQ(a - b, a);
+
+  const Region inner{Rect{2, 2, 8, 8}};
+  EXPECT_EQ(a | inner, a);
+  EXPECT_EQ(a & inner, inner);
+  EXPECT_EQ((a - inner).area(), 100 - 36);
+}
+
+TEST(BooleanEdgeCases, EmptyOperand) {
+  const Region a{Rect{0, 0, 10, 10}};
+  const Region none;
+  EXPECT_EQ(a | none, a);
+  EXPECT_TRUE((a & none).empty());
+  EXPECT_EQ(a - none, a);
+  EXPECT_EQ(a ^ none, a);
+  EXPECT_EQ(none - a, none);
+}
+
+}  // namespace
+}  // namespace dfm

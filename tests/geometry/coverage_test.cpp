@@ -1,0 +1,108 @@
+// Direct tests for covered_at_least and Region::scaled — load-bearing
+// pieces of the spacing and critical-area engines that the rest of the
+// suite only exercises indirectly.
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dfm {
+namespace {
+
+TEST(CoveredAtLeast, DisjointRectsNeverDoubleCover) {
+  const std::vector<Rect> rects = {{0, 0, 10, 10}, {20, 0, 30, 10}};
+  EXPECT_TRUE(covered_at_least(rects, 2).empty());
+  EXPECT_EQ(covered_at_least(rects, 1).area(), 200);
+}
+
+TEST(CoveredAtLeast, OverlapIsExact) {
+  const std::vector<Rect> rects = {{0, 0, 10, 10}, {5, 5, 15, 15}};
+  const Region twice = covered_at_least(rects, 2);
+  EXPECT_EQ(twice, Region(Rect{5, 5, 10, 10}));
+  EXPECT_TRUE(covered_at_least(rects, 3).empty());
+}
+
+TEST(CoveredAtLeast, TouchingDoesNotCount) {
+  // Half-open semantics: shared edges are not double coverage.
+  const std::vector<Rect> rects = {{0, 0, 10, 10}, {10, 0, 20, 10}};
+  EXPECT_TRUE(covered_at_least(rects, 2).empty());
+}
+
+TEST(CoveredAtLeast, MultiplicityCounts) {
+  // The same area three times over.
+  const std::vector<Rect> rects = {{0, 0, 10, 10}, {0, 0, 10, 10}, {0, 0, 10, 10}};
+  EXPECT_EQ(covered_at_least(rects, 3).area(), 100);
+  EXPECT_TRUE(covered_at_least(rects, 4).empty());
+}
+
+TEST(CoveredAtLeast, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(covered_at_least({}, 1).empty());
+  EXPECT_TRUE(covered_at_least({Rect::empty()}, 1).empty());
+  EXPECT_TRUE(covered_at_least({Rect{5, 5, 5, 10}}, 1).empty());
+}
+
+class CoverageProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CoverageProperty, MatchesBruteForceBitmap) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Coord> pos(0, 30);
+  std::uniform_int_distribution<Coord> len(1, 15);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 10; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    rects.push_back(Rect{x, y, x + len(rng), y + len(rng)});
+  }
+  const Coord extent = 50;
+  std::vector<int> counts(static_cast<std::size_t>(extent * extent), 0);
+  for (const Rect& r : rects) {
+    for (Coord y = r.lo.y; y < std::min(extent, r.hi.y); ++y) {
+      for (Coord x = r.lo.x; x < std::min(extent, r.hi.x); ++x) {
+        ++counts[static_cast<std::size_t>(y * extent + x)];
+      }
+    }
+  }
+  for (const int k : {1, 2, 3}) {
+    const Region cov = covered_at_least(rects, k);
+    for (Coord y = 0; y < extent; ++y) {
+      for (Coord x = 0; x < extent; ++x) {
+        const bool want =
+            counts[static_cast<std::size_t>(y * extent + x)] >= k;
+        ASSERT_EQ(cov.contains({x, y}), want)
+            << "k=" << k << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageProperty, ::testing::Range(1u, 9u));
+
+TEST(RegionScaled, ScalesAreasQuadratically) {
+  Region r;
+  r.add(Rect{-5, -5, 5, 5});
+  r.add(Rect{20, 0, 30, 10});
+  const Region s = r.scaled(3);
+  EXPECT_EQ(s.area(), r.area() * 9);
+  EXPECT_EQ(s.bbox(), (Rect{-15, -15, 90, 30}));
+  EXPECT_EQ(s.components().size(), r.components().size());
+}
+
+TEST(RegionScaled, ScaledMorphologyMatchesHalvedRadii) {
+  // The 2x-grid trick the DRC engine relies on: bloat by 2d at 2x equals
+  // bloat by d at 1x, scaled.
+  Region r;
+  r.add(Rect{0, 0, 40, 40});
+  r.add(Rect{100, 0, 140, 40});
+  EXPECT_EQ(r.scaled(2).bloated(14), r.bloated(7).scaled(2));
+  EXPECT_EQ(r.scaled(2).shrunk(10), r.shrunk(5).scaled(2));
+}
+
+TEST(RegionDistanceCap, CapIsRespected) {
+  const Region a{Rect{0, 0, 10, 10}};
+  const Region b{Rect{1000, 0, 1010, 10}};
+  EXPECT_EQ(region_distance(a, b, 50), 50);
+  EXPECT_EQ(region_distance(a, b, 5000), 990);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,93 @@
+#include "geometry/edge_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Coord seg_len(const Segment& s) { return s.length(); }
+
+TEST(BoundaryEdges, RectHasFourEdges) {
+  const Region r{Rect{0, 0, 10, 20}};
+  const auto edges = boundary_edges(r);
+  ASSERT_EQ(edges.size(), 4u);
+  Coord perimeter = 0;
+  for (const auto& e : edges) perimeter += seg_len(e.seg);
+  EXPECT_EQ(perimeter, 2 * (10 + 20));
+}
+
+TEST(BoundaryEdges, SharedEdgeCancels) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{10, 0, 20, 10});
+  const auto edges = boundary_edges(r);
+  Coord perimeter = 0;
+  for (const auto& e : edges) perimeter += seg_len(e.seg);
+  EXPECT_EQ(perimeter, 2 * (20 + 10));  // merged outline only
+}
+
+TEST(BoundaryEdges, InteriorSidesAreCorrect) {
+  const Region r{Rect{0, 0, 10, 10}};
+  for (const auto& e : boundary_edges(r)) {
+    if (e.seg.horizontal()) {
+      if (e.seg.a.y == 0) { EXPECT_EQ(e.inside, 1); }   // bottom: interior N
+      if (e.seg.a.y == 10) { EXPECT_EQ(e.inside, 3); }  // top: interior S
+    } else {
+      if (e.seg.a.x == 0) { EXPECT_EQ(e.inside, 0); }   // left: interior E
+      if (e.seg.a.x == 10) { EXPECT_EQ(e.inside, 2); }  // right: interior W
+    }
+  }
+}
+
+TEST(FacingPairs, SpacingBetweenTwoShapes) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{14, 0, 24, 10});  // horizontal gap of 4
+  const auto pairs = facing_pairs(r, 6, /*external=*/true);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].distance, 4);
+  EXPECT_EQ(pairs[0].marker, (Rect{10, 0, 14, 10}));
+}
+
+TEST(FacingPairs, NoSpacingWhenFarApart) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{30, 0, 40, 10});
+  EXPECT_TRUE(facing_pairs(r, 6, true).empty());
+}
+
+TEST(FacingPairs, WidthOfThinBar) {
+  const Region r{Rect{0, 0, 100, 5}};  // 5 wide bar
+  const auto pairs = facing_pairs(r, 8, /*external=*/false);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].distance, 5);
+}
+
+TEST(FacingPairs, VerticalGapDetected) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{0, 13, 10, 23});  // vertical gap of 3
+  const auto pairs = facing_pairs(r, 5, true);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].distance, 3);
+  EXPECT_EQ(pairs[0].marker, (Rect{0, 10, 10, 13}));
+}
+
+TEST(FacingPairs, NotchInsideOneShape) {
+  // U-shape: the notch creates facing external edges 4 apart.
+  const Polygon u{{{0, 0}, {20, 0}, {20, 20}, {12, 20}, {12, 8}, {8, 8}, {8, 20}, {0, 20}}};
+  const Region r{u};
+  const auto pairs = facing_pairs(r, 6, true);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].distance, 4);
+}
+
+TEST(FacingPairs, DiagonalNeighborsDoNotPair) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{12, 12, 22, 22});  // diagonal offset, no projection overlap
+  EXPECT_TRUE(facing_pairs(r, 5, true).empty());
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,129 @@
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dfm {
+namespace {
+
+TEST(Morphology, BloatSingleRect) {
+  const Region r{Rect{10, 10, 20, 20}};
+  const Region b = r.bloated(5);
+  EXPECT_EQ(b.bbox(), (Rect{5, 5, 25, 25}));
+  EXPECT_EQ(b.area(), 400);
+}
+
+TEST(Morphology, ShrinkSingleRect) {
+  const Region r{Rect{0, 0, 20, 20}};
+  const Region s = r.shrunk(5);
+  EXPECT_EQ(s.bbox(), (Rect{5, 5, 15, 15}));
+  EXPECT_EQ(s.area(), 100);
+}
+
+TEST(Morphology, ShrinkToNothing) {
+  const Region r{Rect{0, 0, 10, 10}};
+  EXPECT_TRUE(r.shrunk(5).empty());  // 10-wide rect dies at radius 5
+  EXPECT_FALSE(r.shrunk(4).empty());
+}
+
+TEST(Morphology, BloatShrinkRoundTripOnRect) {
+  const Region r{Rect{0, 0, 30, 40}};
+  EXPECT_EQ(r.bloated(7).shrunk(7), r);
+  EXPECT_EQ(r.shrunk(7).bloated(7), r);
+}
+
+TEST(Morphology, BloatMergesNearbyShapes) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{16, 0, 26, 10});  // gap of 6
+  EXPECT_EQ(r.bloated(3).components().size(), 1u);  // 3+3 bridges the gap
+  EXPECT_EQ(r.bloated(2).components().size(), 2u);
+}
+
+TEST(Morphology, ClosingFillsNarrowGap) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{14, 0, 24, 10});  // 4 wide gap
+  const Region closed = r.closed(4);
+  EXPECT_TRUE(closed.contains({12, 5}));
+  EXPECT_EQ(closed.components().size(), 1u);
+  // Closing never removes original material.
+  EXPECT_TRUE((r - closed).empty());
+}
+
+TEST(Morphology, OpeningRemovesThinSliver) {
+  Region r;
+  r.add(Rect{0, 0, 40, 20});   // fat body
+  r.add(Rect{40, 8, 60, 12});  // 4-wide whisker
+  const Region opened = r.opened(4);
+  EXPECT_FALSE(opened.contains({50, 10}));  // whisker gone
+  EXPECT_TRUE(opened.contains({20, 10}));   // body survives
+  // Opening never adds material.
+  EXPECT_TRUE((opened - r).empty());
+}
+
+TEST(Morphology, LShapeInnerCornerShrink) {
+  const Polygon l{{{0, 0}, {30, 0}, {30, 15}, {15, 15}, {15, 30}, {0, 30}}};
+  const Region r{l};
+  const Region s = r.shrunk(5);
+  // Interior points far from any boundary stay.
+  EXPECT_TRUE(s.contains({7, 7}));
+  // Points within 5 of the inner corner region are eaten.
+  EXPECT_FALSE(s.contains({17, 17}));
+  EXPECT_FALSE(s.contains({1, 1}));
+}
+
+TEST(Morphology, ZeroAndNegativeRadii) {
+  const Region r{Rect{0, 0, 10, 10}};
+  EXPECT_EQ(r.bloated(0), r);
+  EXPECT_EQ(r.shrunk(0), r);
+  EXPECT_EQ(r.bloated(-2), r.shrunk(2));
+  EXPECT_EQ(r.shrunk(-2), r.bloated(2));
+}
+
+class MorphologyProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MorphologyProperty, ContainmentChain) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Coord> pos(0, 99);
+  std::uniform_int_distribution<Coord> len(5, 30);
+  Region r;
+  for (int i = 0; i < 10; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    r.add(Rect{x, y, x + len(rng), y + len(rng)});
+  }
+  const Coord d = 3;
+  const Region shr = r.shrunk(d);
+  const Region blo = r.bloated(d);
+  const Region op = r.opened(d);
+  const Region cl = r.closed(d);
+  // shrink ⊆ opened ⊆ r ⊆ closed ⊆ bloat
+  EXPECT_TRUE((shr - op).empty());
+  EXPECT_TRUE((op - r).empty());
+  EXPECT_TRUE((r - cl).empty());
+  EXPECT_TRUE((cl - blo).empty());
+  // Area monotone in radius.
+  EXPECT_LE(r.bloated(2).area(), r.bloated(4).area());
+  EXPECT_GE(r.shrunk(2).area(), r.shrunk(4).area());
+}
+
+TEST_P(MorphologyProperty, BloatThenShrinkRecoversFatRegions) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  std::uniform_int_distribution<Coord> pos(0, 200);
+  Region r;
+  for (int i = 0; i < 6; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    r.add(Rect{x, y, x + 40, y + 40});  // all shapes fat vs radius
+  }
+  // closing ⊇ r always; for isolated fat shapes spaced > 2d the identity
+  // closed(d) == r holds only when no gaps under 2d exist, so just check
+  // the containment direction that is universally true.
+  EXPECT_TRUE((r - r.closed(6)).empty());
+  EXPECT_TRUE((r.opened(6) - r).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MorphologyProperty, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace dfm

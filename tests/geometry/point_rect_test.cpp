@@ -1,0 +1,94 @@
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, (Point{2, 6}));
+  EXPECT_EQ(a - b, (Point{4, 2}));
+  EXPECT_EQ(-a, (Point{-3, -4}));
+  EXPECT_EQ(a * 2, (Point{6, 8}));
+}
+
+TEST(Point, Distances) {
+  EXPECT_EQ(chebyshev({0, 0}, {3, -4}), 4);
+  EXPECT_EQ(manhattan({0, 0}, {3, -4}), 7);
+  EXPECT_EQ(chebyshev({5, 5}, {5, 5}), 0);
+}
+
+TEST(Point, Ordering) {
+  EXPECT_LT((Point{1, 5}), (Point{2, 0}));
+  EXPECT_LT((Point{1, 0}), (Point{1, 5}));
+}
+
+TEST(Rect, BasicsAndEmpty) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 50);
+  EXPECT_FALSE(r.is_empty());
+  EXPECT_TRUE(Rect::empty().is_empty());
+  EXPECT_TRUE((Rect{5, 0, 5, 10}).is_empty());
+  EXPECT_EQ(Rect::empty().area(), 0);
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_TRUE(r.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(r.contains(Rect{2, 2, 12, 8}));
+  EXPECT_TRUE(r.overlaps(Rect{9, 9, 20, 20}));
+  EXPECT_FALSE(r.overlaps(Rect{10, 0, 20, 10}));  // edge contact only
+  EXPECT_TRUE(r.touches(Rect{10, 0, 20, 10}));
+  EXPECT_TRUE(r.touches(Rect{10, 10, 20, 20}));  // corner contact
+  EXPECT_FALSE(r.touches(Rect{11, 11, 20, 20}));
+}
+
+TEST(Rect, IntersectJoin) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 10, 10}));
+  EXPECT_EQ(a.join(b), (Rect{0, 0, 15, 15}));
+  EXPECT_EQ(a.join(Rect::empty()), a);
+  EXPECT_EQ(Rect::empty().join(a), a);
+  EXPECT_TRUE(a.intersect(Rect{20, 20, 30, 30}).is_empty());
+}
+
+TEST(Rect, Distance) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.distance(Rect{15, 0, 20, 10}), 5);
+  EXPECT_EQ(a.distance(Rect{0, 12, 10, 20}), 2);
+  EXPECT_EQ(a.distance(Rect{13, 14, 20, 20}), 4);  // Chebyshev corner gap
+  EXPECT_EQ(a.distance(Rect{5, 5, 20, 20}), 0);
+}
+
+TEST(Rect, ExpandTranslate) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.expanded(3), (Rect{-3, -3, 13, 13}));
+  EXPECT_EQ(a.expanded(-3), (Rect{3, 3, 7, 7}));
+  EXPECT_EQ(a.translated({5, -5}), (Rect{5, -5, 15, 5}));
+}
+
+TEST(Rect, BoundingBox) {
+  EXPECT_TRUE(bounding_box({}).is_empty());
+  EXPECT_EQ(bounding_box({Rect{0, 0, 1, 1}, Rect{5, -2, 9, 3}}),
+            (Rect{0, -2, 9, 3}));
+}
+
+TEST(Area, LargeExtentsDoNotOverflow) {
+  // 2^40 nm on a side: area exceeds int64 but fits Area (__int128).
+  const Coord big = Coord{1} << 40;
+  const Rect r{0, 0, big, big};
+  const Area expect = static_cast<Area>(big) * big;
+  EXPECT_EQ(r.area(), expect);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,129 @@
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Polygon lshape() {
+  // L-shaped polygon: 10x10 square minus its upper-right 5x5 quadrant.
+  return Polygon{{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}}};
+}
+
+TEST(Polygon, RectConstruction) {
+  const Polygon p{Rect{0, 0, 4, 3}};
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.is_rect());
+  EXPECT_TRUE(p.is_rectilinear());
+  EXPECT_EQ(p.area(), 12);
+  EXPECT_EQ(p.bbox(), (Rect{0, 0, 4, 3}));
+}
+
+TEST(Polygon, EmptyAndDegenerate) {
+  EXPECT_TRUE(Polygon{}.empty());
+  EXPECT_TRUE(Polygon{Rect::empty()}.empty());
+  // Fewer than 3 distinct points collapses to empty.
+  EXPECT_TRUE((Polygon{{{0, 0}, {1, 0}, {1, 0}}}).empty());
+}
+
+TEST(Polygon, SignedAreaAndWinding) {
+  const Polygon p = lshape();
+  EXPECT_EQ(p.area(), 75);
+  EXPECT_GT(p.signed_area(), 0);  // normalized to CCW
+  // Feed in clockwise order; normalize must flip to CCW.
+  Polygon cw{{{0, 10}, {5, 10}, {5, 5}, {10, 5}, {10, 0}, {0, 0}}};
+  EXPECT_GT(cw.signed_area(), 0);
+  EXPECT_EQ(cw, p);
+}
+
+TEST(Polygon, NormalizeDropsCollinearAndDuplicates) {
+  Polygon p{{{0, 0}, {5, 0}, {10, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.is_rect());
+}
+
+TEST(Polygon, ContainsInteriorBoundaryExterior) {
+  const Polygon p = lshape();
+  EXPECT_TRUE(p.contains({2, 2}));    // interior
+  EXPECT_TRUE(p.contains({0, 0}));    // vertex
+  EXPECT_TRUE(p.contains({10, 3}));   // boundary edge
+  EXPECT_TRUE(p.contains({5, 7}));    // boundary of the notch
+  EXPECT_FALSE(p.contains({7, 7}));   // in the cut-out quadrant
+  EXPECT_FALSE(p.contains({11, 5}));  // outside
+}
+
+TEST(Polygon, TransformPreservesArea) {
+  const Polygon p = lshape();
+  for (Orient o : kAllOrients) {
+    const Polygon q = p.transformed(Transform{o, {100, -50}});
+    EXPECT_EQ(q.area(), p.area());
+    EXPECT_TRUE(q.is_rectilinear());
+  }
+}
+
+TEST(Polygon, TransformRoundTrip) {
+  const Polygon p = lshape();
+  const Transform t{Orient::kMXR90, {42, 17}};
+  EXPECT_EQ(p.transformed(t).transformed(t.inverted()), p);
+}
+
+TEST(Polygon, EdgesAlternateAndClose) {
+  const Polygon p = lshape();
+  const auto es = edges_of(p);
+  ASSERT_EQ(es.size(), 6u);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_TRUE(es[i].horizontal() || es[i].vertical());
+    EXPECT_EQ(es[i].b, es[(i + 1) % es.size()].a);  // chain closes
+    // Alternation.
+    EXPECT_NE(es[i].horizontal(), es[(i + 1) % es.size()].horizontal());
+  }
+}
+
+TEST(Polygon, DecomposeCoversExactArea) {
+  const Polygon p = lshape();
+  const std::vector<Rect> rects = decompose(p);
+  Area total = 0;
+  for (const Rect& r : rects) total += r.area();
+  EXPECT_EQ(total, p.area());
+  // No pairwise overlap.
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_FALSE(rects[i].overlaps(rects[j]));
+    }
+  }
+}
+
+TEST(Polygon, DecomposeRectFastPath) {
+  const Polygon p{Rect{3, 4, 9, 8}};
+  const auto rects = decompose(p);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{3, 4, 9, 8}));
+}
+
+// Staircase polygons of increasing step count: decomposition must cover
+// the exact area with non-overlapping rects.
+class StaircaseDecompose : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaircaseDecompose, ExactCover) {
+  const int steps = GetParam();
+  std::vector<Point> pts;
+  pts.push_back({0, 0});
+  pts.push_back({10 * steps, 0});
+  for (int i = steps; i >= 1; --i) {
+    pts.push_back({10 * i, 10 * (steps - i + 1)});
+    pts.push_back({10 * (i - 1), 10 * (steps - i + 1)});
+  }
+  const Polygon p{pts};
+  ASSERT_FALSE(p.empty());
+  const auto rects = decompose(p);
+  Area total = 0;
+  for (const Rect& r : rects) total += r.area();
+  EXPECT_EQ(total, p.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StaircaseDecompose,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace dfm

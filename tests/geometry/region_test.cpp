@@ -1,0 +1,142 @@
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(Region, EmptyBehaviour) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_EQ(r.rect_count(), 0u);
+  EXPECT_TRUE(r.bbox().is_empty());
+  EXPECT_TRUE(r.to_polygons().empty());
+}
+
+TEST(Region, SingleRect) {
+  Region r{Rect{0, 0, 10, 10}};
+  EXPECT_EQ(r.area(), 100);
+  EXPECT_EQ(r.rect_count(), 1u);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({9, 9}));
+  EXPECT_FALSE(r.contains({10, 10}));  // half-open
+}
+
+TEST(Region, OverlappingRectsMerge) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{5, 0, 15, 10});
+  EXPECT_EQ(r.area(), 150);
+  EXPECT_EQ(r.rect_count(), 1u);  // same y-band merges into one rect
+}
+
+TEST(Region, TouchingRectsMergeIntoOneComponent) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{10, 0, 20, 10});  // shares an edge
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.components().size(), 1u);
+}
+
+TEST(Region, CornerContactDoesNotConnect) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{10, 10, 20, 20});
+  EXPECT_EQ(r.components().size(), 2u);
+}
+
+TEST(Region, CanonicalFormIsUnique) {
+  // Build the same 20x10 area two different ways.
+  Region a;
+  a.add(Rect{0, 0, 10, 10});
+  a.add(Rect{10, 0, 20, 10});
+  Region b;
+  b.add(Rect{0, 0, 20, 5});
+  b.add(Rect{0, 5, 20, 10});
+  b.add(Rect{3, 2, 17, 9});  // fully covered, must vanish
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.rect_count(), 1u);
+}
+
+TEST(Region, PolygonAddRoundTrip) {
+  const Polygon l{{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}}};
+  Region r{l};
+  EXPECT_EQ(r.area(), l.area());
+  const auto polys = r.to_polygons();
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0], l);
+}
+
+TEST(Region, ToPolygonsMergesTouchingShapes) {
+  Region r;
+  r.add(Rect{0, 0, 10, 10});
+  r.add(Rect{10, 0, 20, 10});
+  const auto polys = r.to_polygons();
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0], Polygon(Rect{0, 0, 20, 10}));
+}
+
+TEST(Region, ToPolygonsSeparateIslands) {
+  Region r;
+  r.add(Rect{0, 0, 5, 5});
+  r.add(Rect{20, 20, 25, 25});
+  const auto polys = r.to_polygons();
+  EXPECT_EQ(polys.size(), 2u);
+}
+
+TEST(Region, DonutFallsBackToHoleFreeCover) {
+  // 30x30 frame with a 10x10 hole in the middle.
+  Region r{Rect{0, 0, 30, 30}};
+  r = r - Region{Rect{10, 10, 20, 20}};
+  EXPECT_EQ(r.area(), 900 - 100);
+  Area total = 0;
+  for (const Polygon& p : r.to_polygons()) {
+    EXPECT_FALSE(p.empty());
+    total += p.area();
+  }
+  EXPECT_EQ(total, r.area());
+}
+
+TEST(Region, ClipKeepsInsideOnly) {
+  Region r{Rect{0, 0, 100, 100}};
+  const Region c = r.clipped(Rect{50, 50, 200, 200});
+  EXPECT_EQ(c.area(), 2500);
+  EXPECT_EQ(c.bbox(), (Rect{50, 50, 100, 100}));
+}
+
+TEST(Region, TranslateAndTransform) {
+  Region r{Rect{0, 0, 10, 20}};
+  EXPECT_EQ(r.translated({5, 5}).bbox(), (Rect{5, 5, 15, 25}));
+  const Region rot = r.transformed(Transform{Orient::kR90, {0, 0}});
+  EXPECT_EQ(rot.area(), r.area());
+  EXPECT_EQ(rot.bbox(), (Rect{-20, 0, 0, 10}));
+}
+
+TEST(Region, ComponentsOfGrid) {
+  Region r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      r.add(Rect{i * 20, j * 20, i * 20 + 10, j * 20 + 10});
+    }
+  }
+  EXPECT_EQ(r.components().size(), 12u);
+  Area total = 0;
+  for (const Region& c : r.components()) total += c.area();
+  EXPECT_EQ(total, r.area());
+}
+
+TEST(Region, ComplexUnionContour) {
+  // A plus-sign shape from two crossing bars.
+  Region r;
+  r.add(Rect{0, 10, 30, 20});
+  r.add(Rect{10, 0, 20, 30});
+  EXPECT_EQ(r.area(), 300 + 300 - 100);
+  const auto polys = r.to_polygons();
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].size(), 12u);  // plus sign has 12 corners
+  EXPECT_EQ(polys[0].area(), r.area());
+}
+
+}  // namespace
+}  // namespace dfm

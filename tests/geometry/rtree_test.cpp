@@ -1,0 +1,69 @@
+#include "geometry/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace dfm {
+namespace {
+
+TEST(RTree, EmptyTree) {
+  RTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query(Rect{0, 0, 100, 100}).empty());
+}
+
+TEST(RTree, SingleBox) {
+  RTree t({Rect{10, 10, 20, 20}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.query(Rect{0, 0, 15, 15}).size(), 1u);
+  EXPECT_EQ(t.query(Rect{20, 20, 30, 30}).size(), 1u);  // closed touch
+  EXPECT_TRUE(t.query(Rect{21, 21, 30, 30}).empty());
+}
+
+class RTreeProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RTreeProperty, QueryMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<Coord> pos(0, 1000);
+  std::uniform_int_distribution<Coord> len(1, 80);
+
+  std::vector<Rect> boxes;
+  for (int i = 0; i < 300; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    boxes.push_back(Rect{x, y, x + len(rng), y + len(rng)});
+  }
+  const RTree tree(boxes);
+  ASSERT_EQ(tree.size(), boxes.size());
+
+  for (int q = 0; q < 50; ++q) {
+    const Coord x = pos(rng), y = pos(rng);
+    const Rect window{x, y, x + len(rng), y + len(rng)};
+    auto got = tree.query(window);
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].touches(window)) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "window " << to_string(window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeProperty, ::testing::Range(1u, 9u));
+
+TEST(RTree, LargeBulkLoad) {
+  std::vector<Rect> boxes;
+  for (Coord i = 0; i < 10000; ++i) {
+    const Coord x = (i % 100) * 10;
+    const Coord y = (i / 100) * 10;
+    boxes.push_back(Rect{x, y, x + 8, y + 8});
+  }
+  const RTree tree(boxes);
+  // Query one full row: boxes touch window when expanded query spans row.
+  const auto row = tree.query(Rect{0, 500, 1000, 508});
+  EXPECT_EQ(row.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dfm

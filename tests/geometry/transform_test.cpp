@@ -1,0 +1,65 @@
+#include "geometry/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TEST(Orient, RotationsActCorrectly) {
+  const Point p{2, 1};
+  EXPECT_EQ(apply_orient(Orient::kR0, p), (Point{2, 1}));
+  EXPECT_EQ(apply_orient(Orient::kR90, p), (Point{-1, 2}));
+  EXPECT_EQ(apply_orient(Orient::kR180, p), (Point{-2, -1}));
+  EXPECT_EQ(apply_orient(Orient::kR270, p), (Point{1, -2}));
+  EXPECT_EQ(apply_orient(Orient::kMX, p), (Point{2, -1}));
+  EXPECT_EQ(apply_orient(Orient::kMXR180, p), (Point{-2, 1}));
+}
+
+TEST(Orient, GroupClosure) {
+  // Composition of any two orientations is again one of the eight.
+  for (Orient a : kAllOrients) {
+    for (Orient b : kAllOrients) {
+      const Orient c = compose(a, b);
+      const Point probe{3, 7};
+      EXPECT_EQ(apply_orient(c, probe), apply_orient(a, apply_orient(b, probe)));
+    }
+  }
+}
+
+TEST(Orient, InverseRoundTrip) {
+  for (Orient o : kAllOrients) {
+    EXPECT_EQ(compose(inverse(o), o), Orient::kR0);
+    EXPECT_EQ(compose(o, inverse(o)), Orient::kR0);
+  }
+}
+
+TEST(Transform, ApplyAndInvertRoundTrip) {
+  for (Orient o : kAllOrients) {
+    const Transform t{o, Point{13, -7}};
+    const Transform inv = t.inverted();
+    for (const Point p : {Point{0, 0}, Point{5, 9}, Point{-3, 2}}) {
+      EXPECT_EQ(inv.apply(t.apply(p)), p);
+      EXPECT_EQ(t.apply(inv.apply(p)), p);
+    }
+  }
+}
+
+TEST(Transform, CompositionMatchesSequentialApplication) {
+  const Transform a{Orient::kR90, Point{10, 0}};
+  const Transform b{Orient::kMX, Point{-4, 6}};
+  const Transform ab = a.then_after(b);
+  for (const Point p : {Point{1, 2}, Point{-5, 3}, Point{0, 0}}) {
+    EXPECT_EQ(ab.apply(p), a.apply(b.apply(p)));
+  }
+}
+
+TEST(Transform, RectMapsToNormalizedRect) {
+  const Transform t{Orient::kR90, Point{0, 0}};
+  const Rect r{1, 2, 4, 6};
+  const Rect m = t.apply(r);
+  EXPECT_EQ(m, (Rect{-6, 1, -2, 4}));
+  EXPECT_EQ(m.area(), r.area());
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,110 @@
+#include "layout/connectivity.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+LayerMap stack_map(const Cell& c) {
+  LayerMap m;
+  for (const LayerKey k : {layers::kMetal1, layers::kVia1, layers::kMetal2}) {
+    m.emplace(k, c.local_region(k));
+  }
+  return m;
+}
+
+TEST(Connectivity, TwoMetalsJoinedByVia) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 1000, 60});
+  c.add(layers::kMetal2, Rect{0, -500, 60, 500});
+  c.add(layers::kVia1, Rect{5, 5, 55, 55});  // overlaps both
+  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_NE(nets.nets[0].on(layers::kMetal1), nullptr);
+  EXPECT_NE(nets.nets[0].on(layers::kMetal2), nullptr);
+  EXPECT_NE(nets.nets[0].on(layers::kVia1), nullptr);
+}
+
+TEST(Connectivity, CrossingWithoutViaStaysSeparate) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 1000, 60});
+  c.add(layers::kMetal2, Rect{0, -500, 60, 500});  // crosses above, no via
+  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  EXPECT_EQ(nets.size(), 2u);
+}
+
+TEST(Connectivity, ViaChainMergesManyShapes) {
+  Cell c{"c"};
+  // M1 bus, three stubs on M2, all strapped through vias onto the bus.
+  c.add(layers::kMetal1, Rect{0, 0, 3000, 60});
+  for (int i = 0; i < 3; ++i) {
+    const Coord x = 200 + i * 1000;
+    c.add(layers::kMetal2, Rect{x, -400, x + 60, 400});
+    c.add(layers::kVia1, Rect{x + 5, 5, x + 55, 55});
+  }
+  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_EQ(nets.nets[0].on(layers::kMetal2)->components().size(), 3u);
+}
+
+TEST(Connectivity, SeparateNetsStaySeparate) {
+  Cell c{"c"};
+  for (int i = 0; i < 4; ++i) {
+    const Coord y = i * 300;
+    c.add(layers::kMetal1, Rect{0, y, 800, y + 60});
+    c.add(layers::kMetal2, Rect{100, y, 160, y + 60});
+    c.add(layers::kVia1, Rect{105, y + 5, 155, y + 55});
+  }
+  EXPECT_EQ(extract_nets(stack_map(c), standard_stack()).size(), 4u);
+}
+
+TEST(Connectivity, GeneratedViaFieldNetCount) {
+  Cell c{"v"};
+  Rng rng(3);
+  add_via_field(c, rng, Tech::standard(), {0, 0}, 30);
+  // Every via has its own pads: 30 separate nets.
+  EXPECT_EQ(extract_nets(stack_map(c), standard_stack()).size(), 30u);
+}
+
+TEST(FloatingCuts, FullyLandedViaIsClean) {
+  Cell c{"c"};
+  add_via(c, Tech::standard(), {0, 0}, ViaStyle::kSymmetric);
+  EXPECT_TRUE(find_floating_cuts(stack_map(c), standard_stack()).empty());
+}
+
+TEST(FloatingCuts, ViaOffThePadIsFlagged) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 100, 100});
+  c.add(layers::kMetal2, Rect{0, 0, 100, 100});
+  c.add(layers::kVia1, Rect{80, 25, 130, 75});  // hangs off both pads
+  const auto floating = find_floating_cuts(stack_map(c), standard_stack());
+  ASSERT_EQ(floating.size(), 1u);
+  EXPECT_TRUE(floating[0].missing_below);
+  EXPECT_TRUE(floating[0].missing_above);
+}
+
+TEST(FloatingCuts, ViaMissingOnlyTopMetal) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 200, 200});
+  c.add(layers::kVia1, Rect{50, 50, 100, 100});  // no M2 at all
+  const auto floating = find_floating_cuts(stack_map(c), standard_stack());
+  ASSERT_EQ(floating.size(), 1u);
+  EXPECT_FALSE(floating[0].missing_below);
+  EXPECT_TRUE(floating[0].missing_above);
+}
+
+TEST(Net, AreaAccounting) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 100, 100});
+  c.add(layers::kMetal2, Rect{0, 0, 50, 50});
+  c.add(layers::kVia1, Rect{10, 10, 40, 40});
+  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_EQ(nets.nets[0].total_area(), 10000 + 2500 + 900);
+  EXPECT_EQ(nets.nets[0].on(LayerKey{99, 0}), nullptr);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,170 @@
+#include "layout/library.h"
+
+#include "layout/density.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Library two_level_lib() {
+  Library lib{"TEST"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 10, 10});
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef r1;
+  r1.cell_index = leaf;
+  r1.transform = Transform{Orient::kR0, {0, 0}};
+  lib.cell(top).add_ref(r1);
+  CellRef r2;
+  r2.cell_index = leaf;
+  r2.transform = Transform{Orient::kR0, {100, 0}};
+  lib.cell(top).add_ref(r2);
+  return lib;
+}
+
+TEST(Cell, ShapeBookkeeping) {
+  Cell c{"c"};
+  c.add(layers::kMetal1, Rect{0, 0, 10, 10});
+  c.add(layers::kMetal2, Rect{0, 0, 5, 5});
+  c.add(layers::kMetal1, Rect::empty());  // ignored
+  EXPECT_EQ(c.shape_count(), 2u);
+  EXPECT_EQ(c.layers().size(), 2u);
+  EXPECT_EQ(c.shapes_on(layers::kMetal1).size(), 1u);
+  EXPECT_TRUE(c.shapes_on(layers::kVia1).empty());
+  EXPECT_EQ(c.local_bbox(), (Rect{0, 0, 10, 10}));
+  EXPECT_EQ(c.local_region(layers::kMetal1).area(), 100);
+}
+
+TEST(Library, CellNamesAreUnique) {
+  Library lib{"L"};
+  lib.new_cell("a");
+  EXPECT_THROW(lib.new_cell("a"), std::invalid_argument);
+  EXPECT_THROW(lib.index_of("missing"), std::out_of_range);
+  EXPECT_TRUE(lib.has_cell("a"));
+  EXPECT_FALSE(lib.has_cell("b"));
+}
+
+TEST(Library, TopCellDetection) {
+  const Library lib = two_level_lib();
+  const auto tops = lib.top_cells();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(lib.cell(tops[0]).name(), "top");
+}
+
+TEST(Library, FlattenTwoInstances) {
+  const Library lib = two_level_lib();
+  const Region flat = lib.flatten("top", layers::kMetal1);
+  EXPECT_EQ(flat.area(), 200);
+  EXPECT_TRUE(flat.contains({5, 5}));
+  EXPECT_TRUE(flat.contains({105, 5}));
+  EXPECT_FALSE(flat.contains({50, 5}));
+}
+
+TEST(Library, FlattenRespectsOrientation) {
+  Library lib{"L"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 20, 10});
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef ref;
+  ref.cell_index = leaf;
+  ref.transform = Transform{Orient::kR90, {0, 0}};
+  lib.cell(top).add_ref(ref);
+  const Region flat = lib.flatten(top, layers::kMetal1);
+  EXPECT_EQ(flat.bbox(), (Rect{-10, 0, 0, 20}));
+}
+
+TEST(Library, FlattenArrayRef) {
+  Library lib{"L"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 10, 10});
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef ref;
+  ref.cell_index = leaf;
+  ref.cols = 4;
+  ref.rows = 3;
+  ref.col_step = {50, 0};
+  ref.row_step = {0, 40};
+  lib.cell(top).add_ref(ref);
+  const Region flat = lib.flatten(top, layers::kMetal1);
+  EXPECT_EQ(flat.area(), 100 * 12);
+  EXPECT_EQ(lib.flat_shape_count(top), 12u);
+  EXPECT_EQ(lib.bbox(top), (Rect{0, 0, 160, 90}));
+}
+
+TEST(Library, DeepHierarchyBBox) {
+  Library lib{"L"};
+  std::uint32_t prev = lib.new_cell("lvl0");
+  lib.cell(prev).add(layers::kMetal1, Rect{0, 0, 10, 10});
+  for (int i = 1; i < 5; ++i) {
+    const std::uint32_t cur = lib.new_cell("lvl" + std::to_string(i));
+    CellRef a;
+    a.cell_index = prev;
+    a.transform = Transform{Orient::kR0, {0, 0}};
+    CellRef b;
+    b.cell_index = prev;
+    b.transform = Transform{Orient::kR0, {Coord{20} << i, 0}};
+    lib.cell(cur).add_ref(a);
+    lib.cell(cur).add_ref(b);
+    prev = cur;
+  }
+  // Each level doubles the instance count.
+  EXPECT_EQ(lib.flat_shape_count(prev), 16u);
+  EXPECT_EQ(lib.flatten(prev, layers::kMetal1).area(), 100 * 16);
+}
+
+TEST(Library, ReferenceCycleIsDetected) {
+  Library lib{"L"};
+  const std::uint32_t a = lib.new_cell("a");
+  const std::uint32_t b = lib.new_cell("b");
+  CellRef ra;
+  ra.cell_index = b;
+  lib.cell(a).add_ref(ra);
+  CellRef rb;
+  rb.cell_index = a;
+  lib.cell(b).add_ref(rb);
+  EXPECT_THROW(lib.flatten(a, layers::kMetal1), std::runtime_error);
+}
+
+TEST(Library, FlattenWindowClipsAndPrunes) {
+  Library lib{"L"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 10, 10});
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef ref;
+  ref.cell_index = leaf;
+  ref.cols = 100;
+  ref.rows = 1;
+  ref.col_step = {20, 0};
+  lib.cell(top).add_ref(ref);
+  const Region r = lib.flatten_window(top, layers::kMetal1, Rect{95, 0, 145, 10});
+  // Instances at x=100,120,140 intersect; x=140 clipped to 5 wide.
+  EXPECT_EQ(r.area(), 100 + 100 + 50);
+}
+
+TEST(Density, UniformCoverage) {
+  Region r{Rect{0, 0, 100, 100}};
+  const DensityMap m = density_map(r, Rect{0, 0, 100, 100}, 25);
+  EXPECT_EQ(m.nx, 4);
+  EXPECT_EQ(m.ny, 4);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 1.0);
+}
+
+TEST(Density, HalfCoverage) {
+  Region r{Rect{0, 0, 50, 100}};
+  const DensityMap m = density_map(r, Rect{0, 0, 100, 100}, 50);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(Density, PartialTilesAtEdge) {
+  Region r{Rect{0, 0, 110, 110}};
+  const DensityMap m = density_map(r, Rect{0, 0, 110, 110}, 50);
+  EXPECT_EQ(m.nx, 3);  // 50, 50, 10
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);  // clipped tiles still fully covered
+}
+
+}  // namespace
+}  // namespace dfm

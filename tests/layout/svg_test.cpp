@@ -1,0 +1,100 @@
+#include "layout/svg.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dfm {
+namespace {
+
+TEST(Svg, BasicDocumentStructure) {
+  SvgWriter w(Rect{0, 0, 1000, 500}, 400);
+  w.add_layer(Region{Rect{100, 100, 400, 300}}, "#ff0000");
+  const std::string svg = w.to_string();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"400\""), std::string::npos);
+  // Aspect ratio preserved: 1000x500 at 400px wide -> 200px tall.
+  EXPECT_NE(svg.find("height=\"200\""), std::string::npos);
+}
+
+TEST(Svg, RectCountMatchesGeometry) {
+  SvgWriter w(Rect{0, 0, 1000, 1000});
+  Region r;
+  r.add(Rect{0, 0, 100, 100});
+  r.add(Rect{500, 500, 600, 600});
+  r.add(Rect{800, 0, 900, 100});
+  w.add_layer(r, "#00ff00");
+  const std::string svg = w.to_string();
+  std::size_t count = 0, pos = 0;
+  while ((pos = svg.find("  <rect", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  // A rect at the layout BOTTOM must render near the SVG bottom (large y).
+  SvgWriter w(Rect{0, 0, 100, 100}, 100);
+  w.add_layer(Region{Rect{0, 0, 100, 10}}, "#0000ff");
+  const std::string svg = w.to_string();
+  // The rect's SVG y is viewport_hi - hi = 90.
+  EXPECT_NE(svg.find("y=\"90\""), std::string::npos);
+}
+
+TEST(Svg, OverlaysAndLabels) {
+  SvgWriter w(Rect{0, 0, 1000, 1000});
+  SvgOverlay o;
+  o.box = Rect{100, 100, 300, 300};
+  o.label = "V1";
+  w.add_overlay(o);
+  const std::string svg = w.to_string();
+  EXPECT_NE(svg.find("stroke=\"#cc3311\""), std::string::npos);
+  EXPECT_NE(svg.find(">V1</text>"), std::string::npos);
+}
+
+TEST(Svg, EmptyViewportRejected) {
+  EXPECT_THROW(SvgWriter(Rect::empty(), 400), std::invalid_argument);
+  EXPECT_THROW(SvgWriter(Rect{0, 0, 100, 100}, 0), std::invalid_argument);
+}
+
+TEST(Svg, RenderHelperUsesStableColors) {
+  DesignParams p;
+  p.seed = 2;
+  p.rows = 1;
+  p.cells_per_row = 3;
+  p.routes = 3;
+  const Library lib = generate_design(p);
+  const auto top = lib.top_cells()[0];
+  LayerMap m;
+  for (const LayerKey k : {layers::kMetal1, layers::kMetal2}) {
+    m.emplace(k, lib.flatten(top, k));
+  }
+  const std::string svg =
+      render_svg(m, {layers::kMetal1, layers::kMetal2}, lib.bbox(top));
+  EXPECT_NE(svg.find(SvgWriter::default_color(layers::kMetal1)),
+            std::string::npos);
+  EXPECT_NE(svg.find(SvgWriter::default_color(layers::kMetal2)),
+            std::string::npos);
+  EXPECT_NE(SvgWriter::default_color(layers::kMetal1),
+            SvgWriter::default_color(layers::kMetal2));
+}
+
+TEST(Svg, FileWriting) {
+  const std::string path = ::testing::TempDir() + "/dfm_test.svg";
+  SvgWriter w(Rect{0, 0, 100, 100});
+  w.add_layer(Region{Rect{10, 10, 90, 90}}, "#123456");
+  w.write_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,202 @@
+#include "oasis/oasis.h"
+
+#include "gdsii/gdsii.h"
+#include "gen/generators.h"
+#include "oasis/oas_primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dfm {
+namespace {
+
+TEST(OasPrimitives, UintRoundTrip) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xFFFFFFFFFFull}) {
+    std::stringstream ss;
+    oas::write_uint(ss, v);
+    EXPECT_EQ(oas::read_uint(ss), v);
+  }
+}
+
+TEST(OasPrimitives, SintRoundTrip) {
+  for (const std::int64_t v : {0ll, 1ll, -1ll, 63ll, -64ll, 1000000ll,
+                               -1000000ll}) {
+    std::stringstream ss;
+    oas::write_sint(ss, v);
+    EXPECT_EQ(oas::read_sint(ss), v);
+  }
+}
+
+TEST(OasPrimitives, StringRoundTrip) {
+  const std::vector<std::string> cases = {"", "a", "cell_name_42",
+                                          std::string(300, 'x')};
+  for (const std::string& s : cases) {
+    std::stringstream ss;
+    oas::write_string(ss, s);
+    EXPECT_EQ(oas::read_string(ss), s);
+  }
+}
+
+TEST(OasPrimitives, GdeltaRoundTrip) {
+  for (const Point p : {Point{0, 0}, Point{5, 0}, Point{-7, 3}, Point{100, -200},
+                        Point{-1, -1}}) {
+    std::stringstream ss;
+    oas::write_gdelta(ss, p);
+    EXPECT_EQ(oas::read_gdelta(ss), p);
+  }
+}
+
+TEST(OasPrimitives, RealWhole) {
+  std::stringstream ss;
+  oas::write_real_whole(ss, 1000);
+  EXPECT_DOUBLE_EQ(oas::read_real(ss), 1000.0);
+  std::stringstream ss2;
+  oas::write_real_whole(ss2, -25);
+  EXPECT_DOUBLE_EQ(oas::read_real(ss2), -25.0);
+}
+
+TEST(OasPrimitives, TruncatedInputThrows) {
+  std::stringstream ss;
+  ss.str("\x80");  // continuation bit set but stream ends
+  EXPECT_THROW(oas::read_uint(ss), std::runtime_error);
+}
+
+Library sample_lib() {
+  Library lib{"OAS_RT"};
+  const std::uint32_t leaf = lib.new_cell("leaf");
+  lib.cell(leaf).add(layers::kMetal1, Rect{0, 0, 100, 50});
+  lib.cell(leaf).add(layers::kMetal1,
+                     Polygon{{{0, 0}, {30, 0}, {30, 20}, {10, 20}, {10, 40}, {0, 40}}});
+  lib.cell(leaf).add(layers::kVia1, Rect{10, 10, 20, 20});
+  lib.cell(leaf).add_text(Text{LayerKey{10, 0}, Point{5, 5}, "net_a"});
+
+  const std::uint32_t top = lib.new_cell("top");
+  CellRef sref;
+  sref.cell_index = leaf;
+  sref.transform = Transform{Orient::kMXR90, {500, -200}};
+  lib.cell(top).add_ref(sref);
+  CellRef aref;
+  aref.cell_index = leaf;
+  aref.cols = 3;
+  aref.rows = 2;
+  aref.col_step = {200, 0};
+  aref.row_step = {0, 300};
+  aref.transform = Transform{Orient::kR180, {-1000, 800}};
+  lib.cell(top).add_ref(aref);
+  CellRef row;
+  row.cell_index = leaf;
+  row.cols = 4;
+  row.rows = 1;
+  row.col_step = {250, 0};
+  row.transform = Transform{Orient::kR0, {4000, 0}};
+  lib.cell(top).add_ref(row);
+  return lib;
+}
+
+TEST(Oasis, RoundTripPreservesEverything) {
+  const Library lib = sample_lib();
+  std::stringstream ss;
+  write_oasis(lib, ss);
+  const Library back = read_oasis(ss);
+
+  ASSERT_EQ(back.cell_count(), 2u);
+  const Cell& leaf = back.cell("leaf");
+  EXPECT_EQ(leaf.shape_count(), 3u);
+  ASSERT_EQ(leaf.texts().size(), 1u);
+  EXPECT_EQ(leaf.texts()[0].value, "net_a");
+  EXPECT_EQ(leaf.texts()[0].position, (Point{5, 5}));
+
+  const Cell& top = back.cell("top");
+  ASSERT_EQ(top.refs().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top.refs()[i], lib.cell("top").refs()[i]) << "ref " << i;
+  }
+  for (const LayerKey k : lib.layers()) {
+    EXPECT_EQ(back.flatten("top", k), lib.flatten("top", k))
+        << "layer " << to_string(k);
+  }
+}
+
+TEST(Oasis, RoundTripGeneratedDesign) {
+  DesignParams p;
+  p.seed = 8;
+  p.rows = 2;
+  p.cells_per_row = 5;
+  p.routes = 8;
+  const Library lib = generate_design(p);
+  std::stringstream ss;
+  write_oasis(lib, ss);
+  const Library back = read_oasis(ss);
+  const std::string top = lib.cell(lib.top_cells()[0]).name();
+  for (const LayerKey k : lib.layers()) {
+    EXPECT_EQ(back.flatten(top, k), lib.flatten(top, k))
+        << "layer " << to_string(k);
+  }
+}
+
+TEST(Oasis, CrossFormatEquivalenceWithGdsii) {
+  // The same library through both writers reads back identical geometry.
+  DesignParams p;
+  p.seed = 9;
+  p.rows = 1;
+  p.cells_per_row = 4;
+  p.routes = 5;
+  const Library lib = generate_design(p);
+  std::stringstream gds, oasis_ss;
+  write_gdsii(lib, gds);
+  write_oasis(lib, oasis_ss);
+  const Library from_gds = read_gdsii(gds);
+  const Library from_oas = read_oasis(oasis_ss);
+  const std::string top = lib.cell(lib.top_cells()[0]).name();
+  for (const LayerKey k : lib.layers()) {
+    EXPECT_EQ(from_gds.flatten(top, k), from_oas.flatten(top, k));
+  }
+}
+
+TEST(Oasis, OasisIsSmallerThanGdsii) {
+  DesignParams p;
+  p.seed = 10;
+  p.rows = 3;
+  p.cells_per_row = 8;
+  p.routes = 20;
+  const Library lib = generate_design(p);
+  std::stringstream gds, oa;
+  write_gdsii(lib, gds);
+  write_oasis(lib, oa);
+  EXPECT_LT(oa.str().size(), gds.str().size())
+      << "variable-length integers must beat fixed GDSII records";
+}
+
+TEST(Oasis, BadMagicRejected) {
+  std::stringstream ss("not an oasis file at all..............");
+  EXPECT_THROW(read_oasis(ss), std::runtime_error);
+}
+
+TEST(Oasis, UnsupportedRecordRejected) {
+  // Valid header followed by a CBLOCK (34) record.
+  Library empty{"X"};
+  empty.new_cell("c");
+  std::stringstream ss;
+  write_oasis(empty, ss);
+  std::string bytes = ss.str();
+  // Remove the END record (last 256 bytes), splice in record 34.
+  bytes.resize(bytes.size() - 256);
+  bytes.push_back(34);
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_oasis(bad), std::runtime_error);
+}
+
+TEST(Oasis, FileRoundTrip) {
+  const Library lib = sample_lib();
+  const std::string path = ::testing::TempDir() + "/dfm_rt.oas";
+  write_oasis_file(lib, path);
+  const Library back = read_oasis_file(path);
+  EXPECT_EQ(back.flatten("top", layers::kMetal1),
+            lib.flatten("top", layers::kMetal1));
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,207 @@
+#include "opc/opc.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+OpticalModel model() {
+  OpticalModel m;
+  m.sigma = 30;
+  m.threshold = 0.5;
+  m.px = 5;
+  return m;
+}
+
+TEST(Fragmentation, CoversBoundaryExactly) {
+  const Region r{Rect{0, 0, 250, 100}};
+  const auto frags = fragment_edges(r, 80);
+  Coord total = 0;
+  for (const Fragment& f : frags) total += f.seg.length();
+  EXPECT_EQ(total, 2 * (250 + 100));
+  for (const Fragment& f : frags) {
+    EXPECT_LE(f.seg.length(), 80);
+    EXPECT_GT(f.seg.length(), 0);
+  }
+}
+
+TEST(Fragmentation, FragmentsBalanced) {
+  // 250 into 80-limit => 4 pieces of 62/63, not 80+80+80+10.
+  const Region r{Rect{0, 0, 250, 250}};
+  for (const Fragment& f : fragment_edges(r, 80)) {
+    EXPECT_GE(f.seg.length(), 62);
+  }
+}
+
+TEST(ApplyFragments, ZeroOffsetsIdentity) {
+  const Region r{Rect{0, 0, 100, 100}};
+  const auto frags = fragment_edges(r, 50);
+  EXPECT_EQ(apply_fragments(r, frags), r);
+}
+
+TEST(ApplyFragments, PositiveOffsetGrows) {
+  const Region r{Rect{0, 0, 100, 100}};
+  auto frags = fragment_edges(r, 1000);  // 4 whole edges
+  for (Fragment& f : frags) f.offset = 10;
+  const Region grown = apply_fragments(r, frags);
+  EXPECT_TRUE((r - grown).empty());
+  // Edges moved out by 10 but corners not filled (serif territory).
+  EXPECT_TRUE(grown.contains({-5, 50}));
+  EXPECT_TRUE(grown.contains({50, 105}));
+  EXPECT_FALSE(grown.contains({-5, -5}));
+}
+
+TEST(ApplyFragments, NegativeOffsetShrinks) {
+  const Region r{Rect{0, 0, 100, 100}};
+  auto frags = fragment_edges(r, 1000);
+  for (Fragment& f : frags) f.offset = -10;
+  const Region shrunk = apply_fragments(r, frags);
+  EXPECT_EQ(shrunk, (Region{Rect{10, 10, 90, 90}}));
+}
+
+TEST(ApplyFragments, MixedOffsetsPerEdge) {
+  const Region r{Rect{0, 0, 100, 100}};
+  auto frags = fragment_edges(r, 1000);
+  for (Fragment& f : frags) {
+    f.offset = (f.inside == 0) ? 20 : 0;  // grow only the left edge
+  }
+  const Region out = apply_fragments(r, frags);
+  EXPECT_EQ(out, (Region{Rect{-20, 0, 100, 100}}));
+}
+
+TEST(RuleOpc, AddsBiasSerifsAndHammerheads) {
+  const Region line{Rect{0, 0, 60, 600}};  // 60nm line: ends are "line ends"
+  RuleOpcParams p;
+  const Region mask = rule_opc(line, p);
+  EXPECT_TRUE((line - mask).empty()) << "never removes target";
+  // Bias grew the long edges.
+  EXPECT_TRUE(mask.contains({-p.bias + 1, 300}));
+  // Hammerhead extension on the short end edges.
+  EXPECT_TRUE(mask.contains({30, 600 + p.bias + p.line_end_ext - 1}));
+  // Serif material at corners.
+  EXPECT_TRUE(mask.contains({-p.serif / 2 + 1, 600 + p.serif / 2 - 1}));
+}
+
+TEST(RuleOpc, ImprovesLineEndPullback) {
+  const OpticalModel m = model();
+  const Region line{Rect{0, 0, 80, 800}};
+  const Rect w{-200, 400, 280, 1000};
+  const Region raw_print = simulate_print(line, w, m);
+  const Region opc_print = simulate_print(rule_opc(line, {}), w, m);
+  // Line-end pullback: distance from drawn end (y=800) to printed end.
+  auto printed_top = [](const Region& r) {
+    Coord top = std::numeric_limits<Coord>::min();
+    for (const Rect& b : r.rects()) top = std::max(top, b.hi.y);
+    return top;
+  };
+  EXPECT_GT(printed_top(opc_print), printed_top(raw_print));
+}
+
+TEST(Epe, StraightIsolatedEdgesHaveNearZeroEpe) {
+  const OpticalModel m = model();
+  // A wide stripe running through the window: only its long straight
+  // edges are measurable; line ends stay outside and are dropped.
+  const Region big{Rect{0, -1000, 300, 3000}};
+  const Rect w{-150, 400, 450, 1600};
+  const EpeStats st = evaluate_epe(big, big, w, m, 100);
+  // Straight isolated edges print at the half-intensity point ~ 0 EPE.
+  EXPECT_GT(st.measured, 0);
+  EXPECT_EQ(st.failed, 0);
+  EXPECT_LT(st.mean_abs, 4.0);
+}
+
+TEST(ModelOpc, ReducesMeanEpe) {
+  const OpticalModel m = model();
+  Region target;
+  target.add(Rect{0, 0, 90, 700});
+  target.add(Rect{200, 0, 290, 700});  // a neighbour for proximity effects
+  const Rect w{-150, -150, 440, 850};
+  ModelOpcParams p;
+  p.model = m;
+  p.iterations = 6;
+  const OpcResult res = model_opc(target, w, p);
+  EXPECT_GT(res.iterations_run, 0);
+  EXPECT_LE(res.after.mean_abs, res.before.mean_abs)
+      << "model OPC must never return a worse mask than the target";
+  EXPECT_LT(res.after.mean_abs, 0.7 * res.before.mean_abs)
+      << "and should cut mean |EPE| substantially";
+}
+
+TEST(ModelOpc, CorrectedMaskPrintsCloserToTarget) {
+  const OpticalModel m = model();
+  const Region target{Rect{0, 0, 90, 700}};
+  const Rect w{-150, -150, 240, 850};
+  ModelOpcParams p;
+  p.model = m;
+  const OpcResult res = model_opc(target, w, p);
+  const Area raw_miss =
+      ((simulate_print(target, w, m) ^ target.clipped(w))).area();
+  const Area opc_miss =
+      ((simulate_print(res.mask, w, m) ^ target.clipped(w))).area();
+  EXPECT_LT(opc_miss, raw_miss);
+}
+
+TEST(Sraf, InsertedOnlyOnIsolatedEdges) {
+  SrafParams p;
+  Region dense;
+  dense.add(Rect{0, 0, 60, 600});
+  dense.add(Rect{120, 0, 180, 600});  // 60nm apart: not isolated
+  const Region sr_dense = insert_srafs(dense, p);
+  // The two facing edges get no SRAF; the outer edges do.
+  for (const Rect& bar : sr_dense.rects()) {
+    EXPECT_FALSE((bar.lo.x >= 60 && bar.hi.x <= 120))
+        << "no SRAF inside the dense gap";
+  }
+  const Region iso{Rect{0, 0, 60, 600}};
+  const Region sr_iso = insert_srafs(iso, p);
+  EXPECT_FALSE(sr_iso.empty());
+  // Bars sit at the prescribed offset.
+  bool left_bar = false;
+  for (const Rect& bar : sr_iso.rects()) {
+    if (bar.hi.x == -p.offset) left_bar = true;
+  }
+  EXPECT_TRUE(left_bar);
+}
+
+TEST(Sraf, BarsDoNotPrint) {
+  const OpticalModel m = model();
+  const Region target{Rect{0, 0, 100, 900}};
+  SrafParams p;
+  const Region srafs = insert_srafs(target, p);
+  ASSERT_FALSE(srafs.empty());
+  const Rect w{-300, 200, 400, 700};
+  const Region printed = simulate_print(target | srafs, w, m);
+  EXPECT_TRUE((printed & (srafs - target.bloated(30)).clipped(w)).empty())
+      << "sub-resolution bars must stay below threshold";
+}
+
+TEST(Orc, CleanAfterOpcOnSimpleTarget) {
+  const OpticalModel m = model();
+  const Region target{Rect{0, 0, 120, 800}};
+  const Rect w{-200, -100, 320, 900};
+  ModelOpcParams p;
+  p.model = m;
+  const OpcResult res = model_opc(target, w, p);
+  const OrcReport rep = run_orc(target, res.mask, Region{}, w, m, 30,
+                                {{0.95, 0}, {1.05, 0}});
+  EXPECT_TRUE(rep.hotspots.empty());
+  EXPECT_FALSE(rep.sraf_prints);
+  EXPECT_GT(rep.pv_band_area, 0);
+}
+
+TEST(Orc, FlagsPinchOnHopelessTarget) {
+  const OpticalModel m = model();
+  const Region target{Rect{0, 0, 20, 800}};  // 20nm line cannot print
+  const Rect w{-200, -100, 220, 900};
+  const OrcReport rep =
+      run_orc(target, target, Region{}, w, m, 8, {});
+  bool pinch = false;
+  for (const Hotspot& h : rep.hotspots) {
+    if (h.kind == HotspotKind::kPinch) pinch = true;
+  }
+  EXPECT_TRUE(pinch);
+  EXPECT_GT(rep.epe.failed, 0);
+}
+
+}  // namespace
+}  // namespace dfm

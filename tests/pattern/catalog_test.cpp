@@ -1,0 +1,176 @@
+#include "pattern/catalog.h"
+
+#include "pattern/divergence.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+
+LayerMap via_field_layers(std::uint64_t seed, int count) {
+  Library lib{"vf" + std::to_string(seed)};
+  const auto c = lib.new_cell("c");
+  Rng rng(seed);
+  add_via_field(lib.cell(c), rng, Tech::standard(), {0, 0}, count);
+  LayerMap m;
+  for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
+    m.emplace(k, lib.flatten(c, k));
+  }
+  return m;
+}
+
+TEST(Catalog, CountsSumToWindows) {
+  const LayerMap m = via_field_layers(1, 50);
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  EXPECT_EQ(cat.total_windows(), 50u);
+  std::uint64_t sum = 0;
+  for (const CatalogEntry* e : cat.entries()) sum += e->count;
+  EXPECT_EQ(sum, 50u);
+  EXPECT_GE(cat.class_count(), 2u);   // several via styles present
+  EXPECT_LE(cat.class_count(), 10u);  // but only ~5 styles exist
+}
+
+TEST(Catalog, ViaStylesFormDistinctClasses) {
+  const Tech& t = Tech::standard();
+  Library lib{"v"};
+  const auto c = lib.new_cell("c");
+  add_via(lib.cell(c), t, {0, 0}, ViaStyle::kSymmetric);
+  add_via(lib.cell(c), t, {1000, 0}, ViaStyle::kEndOfLineX);
+  add_via(lib.cell(c), t, {2000, 0}, ViaStyle::kCornerL);
+  add_via(lib.cell(c), t, {3000, 0}, ViaStyle::kSymmetric);
+  LayerMap m;
+  for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
+    m.emplace(k, lib.flatten(c, k));
+  }
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  EXPECT_EQ(cat.total_windows(), 4u);
+  EXPECT_EQ(cat.class_count(), 3u);  // symmetric counted twice
+  const auto sorted = cat.by_frequency();
+  EXPECT_EQ(sorted[0]->count, 2u);
+}
+
+TEST(Catalog, TopKCoverageMonotone) {
+  const LayerMap m = via_field_layers(2, 80);
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= cat.class_count(); ++k) {
+    const double cov = cat.top_k_coverage(k);
+    EXPECT_GE(cov, prev);
+    prev = cov;
+  }
+  EXPECT_DOUBLE_EQ(cat.top_k_coverage(cat.class_count()), 1.0);
+  EXPECT_DOUBLE_EQ(cat.top_k_coverage(cat.class_count() + 5), 1.0);
+}
+
+TEST(Catalog, ClassesForCoverageInverse) {
+  const LayerMap m = via_field_layers(3, 60);
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  const std::size_t k90 = cat.classes_for_coverage(0.9);
+  EXPECT_GE(cat.top_k_coverage(k90), 0.9);
+  if (k90 > 1) {
+    EXPECT_LT(cat.top_k_coverage(k90 - 1), 0.9);
+  }
+}
+
+TEST(Catalog, HeavyTailOnViaFields) {
+  // The style mix is heavy-tailed by construction; the catalog must see
+  // it: symmetric dominates, top-2 classes cover >= 70%.
+  const LayerMap m = via_field_layers(4, 200);
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  EXPECT_GE(cat.top_k_coverage(2), 0.7);
+}
+
+TEST(Divergence, SelfIsZero) {
+  const LayerMap m = via_field_layers(5, 60);
+  const PatternCatalog cat = build_catalog(
+      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+  EXPECT_NEAR(kl_divergence(cat, cat), 0.0, 1e-12);
+  EXPECT_NEAR(js_divergence(cat, cat), 0.0, 1e-12);
+}
+
+TEST(Divergence, NonNegativeAndSensibleOrdering) {
+  const LayerMap ma = via_field_layers(6, 100);
+  const LayerMap mb = via_field_layers(7, 100);  // same process, new seed
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  const PatternCatalog a = build_catalog(ma, on, layers::kVia1, 120);
+  const PatternCatalog b = build_catalog(mb, on, layers::kVia1, 120);
+
+  // A genuinely different "product": vias on a much denser tech.
+  Tech dense = Tech::standard();
+  dense.via_enclosure = 30;
+  Library lib{"odd"};
+  const auto c = lib.new_cell("c");
+  Rng rng(8);
+  add_via_field(lib.cell(c), rng, dense, {0, 0}, 100);
+  LayerMap mc;
+  for (const LayerKey k : on) mc.emplace(k, lib.flatten(c, k));
+  const PatternCatalog outlier = build_catalog(mc, on, layers::kVia1, 120);
+
+  const double same_process = js_divergence(a, b);
+  const double diff_process = js_divergence(a, outlier);
+  EXPECT_GE(same_process, 0.0);
+  EXPECT_GT(diff_process, same_process)
+      << "outlier product must diverge more than a reseeded twin";
+  EXPECT_GT(kl_divergence(a, outlier), kl_divergence(a, b));
+}
+
+TEST(Divergence, JsIsSymmetricKlIsNot) {
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  const PatternCatalog a =
+      build_catalog(via_field_layers(9, 40), on, layers::kVia1, 120);
+  const PatternCatalog b =
+      build_catalog(via_field_layers(10, 140), on, layers::kVia1, 120);
+  EXPECT_NEAR(js_divergence(a, b), js_divergence(b, a), 1e-12);
+  // KL is generally asymmetric; just require both directions finite & >= 0.
+  EXPECT_GE(kl_divergence(a, b), 0.0);
+  EXPECT_GE(kl_divergence(b, a), 0.0);
+}
+
+TEST(Catalog, AssociationEdgesPointToCoarserInCatalogPatterns) {
+  PatternCatalog cat;
+  // Insert a fine pattern and its own generalizations explicitly.
+  Region r;
+  r.add(Rect{20, 20, 40, 80});
+  r.add(Rect{60, 20, 80, 80});
+  const Rect w{0, 0, 100, 100};
+  const TopologicalPattern fine =
+      TopologicalPattern::capture({{layers::kMetal1, r.clipped(w)}}, w);
+  cat.insert(fine, {0, 0});
+  for (const TopologicalPattern& g : fine.generalizations()) {
+    cat.insert(g, {0, 0});
+  }
+  const auto edges = cat.association_edges();
+  // Every generalization of `fine` that landed in the catalog produces an
+  // edge from fine.
+  int from_fine = 0;
+  for (const auto& [child, parent] : edges) {
+    if (child == fine.hash()) ++from_fine;
+  }
+  EXPECT_GT(from_fine, 0);
+}
+
+TEST(Catalog, ExemplarsAreCapped) {
+  PatternCatalog cat;
+  const TopologicalPattern p = TopologicalPattern::capture(
+      {{layers::kMetal1, Region{Rect{10, 10, 20, 20}}}}, Rect{0, 0, 100, 100});
+  for (int i = 0; i < 100; ++i) {
+    cat.insert(p, Point{i, i});
+  }
+  const CatalogEntry* e = cat.find(p);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 100u);
+  EXPECT_EQ(e->exemplars.size(), PatternCatalog::kMaxExemplars);
+}
+
+}  // namespace
+}  // namespace dfm

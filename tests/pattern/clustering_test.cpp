@@ -1,0 +1,124 @@
+#include "pattern/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Snippet make_snippet(const Region& r, Point at) {
+  return Snippet{r.translated(at), at};
+}
+
+TEST(SnippetDistance, IdenticalIsZero) {
+  const Region a{Rect{0, 0, 50, 50}};
+  EXPECT_DOUBLE_EQ(snippet_distance(a, a), 0.0);
+  // Translation-invariant.
+  EXPECT_DOUBLE_EQ(snippet_distance(a, a.translated({1000, -300})), 0.0);
+}
+
+TEST(SnippetDistance, DisjointAfterAlignmentIsHigh) {
+  // Same bbox center but opposite quadrant content.
+  Region a;
+  a.add(Rect{0, 0, 40, 40});
+  a.add(Rect{90, 90, 100, 100});  // pins the bbox
+  Region b;
+  b.add(Rect{60, 60, 100, 100});
+  b.add(Rect{0, 0, 10, 10});
+  const double d = snippet_distance(a, b);
+  EXPECT_GT(d, 0.8);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(SnippetDistance, EmptyCases) {
+  const Region none;
+  const Region some{Rect{0, 0, 10, 10}};
+  EXPECT_DOUBLE_EQ(snippet_distance(none, none), 0.0);
+  EXPECT_DOUBLE_EQ(snippet_distance(none, some), 1.0);
+  EXPECT_DOUBLE_EQ(snippet_distance(some, none), 1.0);
+}
+
+TEST(SnippetDistance, SymmetricAndBounded) {
+  Region a;
+  a.add(Rect{0, 0, 30, 60});
+  Region b;
+  b.add(Rect{0, 0, 30, 50});
+  b.add(Rect{40, 0, 60, 20});
+  EXPECT_NEAR(snippet_distance(a, b), snippet_distance(b, a), 1e-12);
+  EXPECT_GE(snippet_distance(a, b), 0.0);
+  EXPECT_LE(snippet_distance(a, b), 1.0);
+}
+
+std::vector<Snippet> three_families() {
+  std::vector<Snippet> s;
+  const Region bar{Rect{0, 0, 100, 20}};
+  const Region square{Rect{0, 0, 50, 50}};
+  Region ell;
+  ell.add(Rect{0, 0, 80, 20});
+  ell.add(Rect{0, 20, 20, 80});
+  for (int i = 0; i < 4; ++i) {
+    s.push_back(make_snippet(bar, {i * 1000, 0}));
+    s.push_back(make_snippet(square, {i * 1000, 5000}));
+    s.push_back(make_snippet(ell, {i * 1000, 9000}));
+  }
+  return s;
+}
+
+TEST(LeaderCluster, GroupsIdenticalFamilies) {
+  const auto snippets = three_families();
+  const auto clusters = leader_cluster(snippets, 0.1);
+  ASSERT_EQ(clusters.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.members.size(), 4u);
+    total += c.members.size();
+  }
+  EXPECT_EQ(total, snippets.size());
+}
+
+TEST(LeaderCluster, ThresholdOneMergesEverything) {
+  const auto snippets = three_families();
+  EXPECT_EQ(leader_cluster(snippets, 1.0).size(), 1u);
+}
+
+TEST(LeaderCluster, ThresholdZeroKeepsOnlyExactDuplicatesTogether) {
+  const auto snippets = three_families();
+  EXPECT_EQ(leader_cluster(snippets, 0.0).size(), 3u);  // exact copies merge
+}
+
+TEST(LeaderCluster, EmptyInput) {
+  EXPECT_TRUE(leader_cluster({}, 0.5).empty());
+}
+
+TEST(Agglomerative, MatchesLeaderOnWellSeparatedFamilies) {
+  const auto snippets = three_families();
+  const auto clusters = agglomerative_cluster(snippets, 0.1);
+  ASSERT_EQ(clusters.size(), 3u);
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.members.size(), 4u);
+    // Representative is a member.
+    EXPECT_NE(std::find(c.members.begin(), c.members.end(), c.representative),
+              c.members.end());
+  }
+}
+
+TEST(Agglomerative, NearDuplicatesMergeNoiseStaysOut) {
+  std::vector<Snippet> s;
+  const Region bar{Rect{0, 0, 100, 20}};
+  Region bar_jitter;
+  bar_jitter.add(Rect{0, 0, 100, 21});  // tiny variation
+  s.push_back(make_snippet(bar, {0, 0}));
+  s.push_back(make_snippet(bar_jitter, {1000, 0}));
+  s.push_back(make_snippet(Region{Rect{0, 0, 20, 100}}, {2000, 0}));  // rotated bar
+  const auto clusters = agglomerative_cluster(s, 0.2);
+  ASSERT_EQ(clusters.size(), 2u);
+}
+
+TEST(Agglomerative, SingleSnippet) {
+  std::vector<Snippet> s{make_snippet(Region{Rect{0, 0, 10, 10}}, {0, 0})};
+  const auto clusters = agglomerative_cluster(s, 0.5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].representative, 0u);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,129 @@
+#include "pattern/matcher.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TopologicalPattern single(const Region& r, const Rect& w) {
+  return TopologicalPattern::capture({{layers::kMetal1, r.clipped(w)}}, w);
+}
+
+TEST(Matcher, ExactMatchFires) {
+  Region r;
+  r.add(Rect{20, 40, 80, 60});
+  const Rect w{0, 0, 100, 100};
+  PatternMatcher m({PatternRule{"bar", single(r, w), 0, "widen the bar"}});
+
+  std::vector<CapturedPattern> windows;
+  windows.push_back(CapturedPattern{single(r.translated({500, 0}),
+                                           w.translated({500, 0})),
+                                    w.translated({500, 0}),
+                                    Point{550, 50}});
+  const auto matches = m.scan(windows);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule_index, 0u);
+  EXPECT_TRUE(matches[0].exact);
+}
+
+TEST(Matcher, NoFalsePositives) {
+  const Rect w{0, 0, 100, 100};
+  PatternMatcher m(
+      {PatternRule{"bar", single(Region{Rect{20, 40, 80, 60}}, w), 0, ""}});
+  std::vector<CapturedPattern> windows;
+  windows.push_back(
+      CapturedPattern{single(Region{Rect{20, 20, 40, 80}}, w), w, {50, 50}});
+  EXPECT_TRUE(m.scan(windows).empty());
+}
+
+TEST(Matcher, MatchesRotatedInstances) {
+  Region l;
+  l.add(Rect{10, 10, 80, 30});
+  l.add(Rect{10, 30, 30, 90});
+  const Rect w{0, 0, 100, 100};
+  PatternMatcher m({PatternRule{"L", single(l, w), 0, ""}});
+  for (Orient o : kAllOrients) {
+    const Transform t{o, {300, 700}};
+    const Rect tw = t.apply(w);
+    std::vector<CapturedPattern> windows{{single(l.transformed(t), tw), tw,
+                                          tw.center()}};
+    EXPECT_EQ(m.scan(windows).size(), 1u) << static_cast<int>(o);
+  }
+}
+
+TEST(Matcher, ToleranceAcceptsNearbyDimensions) {
+  const Rect w{0, 0, 100, 100};
+  const TopologicalPattern rule = single(Region{Rect{40, 40, 60, 60}}, w);
+  PatternMatcher exact({PatternRule{"sq", rule, 0, ""}});
+  PatternMatcher tol({PatternRule{"sq", rule, 5, ""}});
+
+  std::vector<CapturedPattern> windows{
+      {single(Region{Rect{42, 40, 62, 60}}, w), w, {50, 50}}};  // shifted 2
+  EXPECT_TRUE(exact.scan(windows).empty());
+  const auto matches = tol.scan(windows);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_FALSE(matches[0].exact);
+}
+
+TEST(Matcher, ToleranceRejectsBeyondBound) {
+  const Rect w{0, 0, 100, 100};
+  const TopologicalPattern rule = single(Region{Rect{40, 40, 60, 60}}, w);
+  PatternMatcher tol({PatternRule{"sq", rule, 5, ""}});
+  std::vector<CapturedPattern> windows{
+      {single(Region{Rect{20, 40, 40, 60}}, w), w, {50, 50}}};  // shifted 20
+  EXPECT_TRUE(tol.scan(windows).empty());
+}
+
+TEST(Matcher, ToleranceRequiresSameTopology) {
+  const Rect w{0, 0, 100, 100};
+  const TopologicalPattern rule = single(Region{Rect{40, 40, 60, 60}}, w);
+  PatternMatcher tol({PatternRule{"sq", rule, 50, ""}});
+  Region two;
+  two.add(Rect{10, 40, 30, 60});
+  two.add(Rect{70, 40, 90, 60});
+  std::vector<CapturedPattern> windows{{single(two, w), w, {50, 50}}};
+  EXPECT_TRUE(tol.scan(windows).empty());
+}
+
+TEST(Matcher, ScanAnchorsFindsInjectedViaStyle) {
+  // Library rule: the borderless via pattern; target: a via field.
+  const Tech& t = Tech::standard();
+  Library ref{"ref"};
+  const auto rc = ref.new_cell("c");
+  add_via(ref.cell(rc), t, {0, 0}, ViaStyle::kBorderless);
+  LayerMap rm;
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  for (const LayerKey k : on) rm.emplace(k, ref.flatten(rc, k));
+  const auto ref_caps = capture_at_anchors(rm, on, layers::kVia1, 120);
+  ASSERT_EQ(ref_caps.size(), 1u);
+  PatternMatcher m({PatternRule{"borderless", ref_caps[0].pattern, 0,
+                                "add metal enclosure"}});
+
+  Library tgt{"tgt"};
+  const auto tc = tgt.new_cell("c");
+  int expected = 0;
+  for (int i = 0; i < 12; ++i) {
+    const ViaStyle s = (i % 4 == 0) ? ViaStyle::kBorderless : ViaStyle::kSymmetric;
+    if (i % 4 == 0) ++expected;
+    add_via(tgt.cell(tc), t, {i * 1000, 0}, s);
+  }
+  LayerMap tm;
+  for (const LayerKey k : on) tm.emplace(k, tgt.flatten(tc, k));
+  const auto matches = m.scan_anchors(tm, on, layers::kVia1, 120);
+  EXPECT_EQ(static_cast<int>(matches.size()), expected);
+}
+
+TEST(Matcher, MultipleRulesOneWindow) {
+  const Rect w{0, 0, 100, 100};
+  const TopologicalPattern p = single(Region{Rect{40, 40, 60, 60}}, w);
+  PatternMatcher m({PatternRule{"a", p, 0, ""}, PatternRule{"b", p, 5, ""}});
+  std::vector<CapturedPattern> windows{{p, w, {50, 50}}};
+  const auto matches = m.scan(windows);
+  EXPECT_EQ(matches.size(), 2u);  // exact on both ("b" via exact index)
+}
+
+}  // namespace
+}  // namespace dfm

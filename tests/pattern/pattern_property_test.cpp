@@ -1,0 +1,87 @@
+// Property sweeps for the pattern engine on random layout windows.
+#include "pattern/capture.h"
+
+#include "gen/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+Region random_clip(Rng& rng, const Rect& window, int shapes) {
+  Region r;
+  for (int i = 0; i < shapes; ++i) {
+    const Coord x = rng.uniform(window.lo.x, window.hi.x - 10);
+    const Coord y = rng.uniform(window.lo.y, window.hi.y - 10);
+    const Coord w = rng.uniform(10, window.width() / 3);
+    const Coord h = rng.uniform(10, window.height() / 3);
+    r.add(Rect{x, y, std::min(x + w, window.hi.x), std::min(y + h, window.hi.y)});
+  }
+  return r;
+}
+
+class PatternProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PatternProperty, CanonicalFormInvariantUnderD4AndTranslation) {
+  Rng rng(GetParam());
+  const Rect window{0, 0, 400, 400};
+  const Region clip = random_clip(rng, window, 6);
+  const TopologicalPattern base =
+      TopologicalPattern::capture({{layers::kMetal1, clip}}, window);
+
+  for (const Orient o : kAllOrients) {
+    for (const Point shift : {Point{0, 0}, Point{1234, -777}}) {
+      const Transform t{o, shift};
+      const Region moved = clip.transformed(t);
+      const Rect mwindow = t.apply(window);
+      const TopologicalPattern p =
+          TopologicalPattern::capture({{layers::kMetal1, moved}}, mwindow);
+      ASSERT_EQ(p, base) << "orient " << static_cast<int>(o);
+      ASSERT_EQ(p.hash(), base.hash());
+    }
+  }
+}
+
+TEST_P(PatternProperty, CoverageMatchesGeometry) {
+  Rng rng(GetParam() * 13 + 5);
+  const Rect window{0, 0, 300, 300};
+  const Region clip = random_clip(rng, window, 5);
+  const TopologicalPattern p =
+      TopologicalPattern::capture({{layers::kMetal1, clip}}, window);
+  const double expect = static_cast<double>(clip.area()) /
+                        static_cast<double>(window.area());
+  EXPECT_NEAR(p.coverage(0), expect, 1e-12);
+}
+
+TEST_P(PatternProperty, GeneralizationNeverLosesCoverage) {
+  Rng rng(GetParam() * 101 + 3);
+  const Rect window{0, 0, 300, 300};
+  const Region clip = random_clip(rng, window, 4);
+  const TopologicalPattern p =
+      TopologicalPattern::capture({{layers::kMetal1, clip}}, window);
+  for (const TopologicalPattern& g : p.generalizations()) {
+    // OR-merging cells can only grow covered area.
+    EXPECT_GE(g.coverage(0), p.coverage(0) - 1e-12);
+    EXPECT_EQ(g.cell_count() < p.cell_count(), true);
+  }
+}
+
+TEST_P(PatternProperty, GridCaptureWindowsAreDeterministic) {
+  Rng rng(GetParam() * 7 + 1);
+  const Rect extent{0, 0, 1200, 1200};
+  const Region clip = random_clip(rng, extent, 10);
+  LayerMap layers;
+  layers.emplace(layers::kMetal1, clip);
+  const auto a = capture_grid(layers, {layers::kMetal1}, extent, 300, 150);
+  const auto b = capture_grid(layers, {layers::kMetal1}, extent, 300, 150);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pattern.hash(), b[i].pattern.hash());
+    EXPECT_EQ(a[i].window, b[i].window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternProperty, ::testing::Range(1u, 11u));
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,167 @@
+#include "pattern/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+TopologicalPattern capture_single(const Region& r, const Rect& window) {
+  return TopologicalPattern::capture({{layers::kMetal1, r.clipped(window)}},
+                                     window);
+}
+
+TEST(Topology, EmptyWindow) {
+  const TopologicalPattern p = capture_single(Region{}, Rect{0, 0, 100, 100});
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.cell_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.coverage(0), 0.0);
+}
+
+TEST(Topology, FullWindow) {
+  const TopologicalPattern p =
+      capture_single(Region{Rect{-10, -10, 200, 200}}, Rect{0, 0, 100, 100});
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.cell_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.coverage(0), 1.0);
+}
+
+TEST(Topology, CentralSquareMakesNineCells) {
+  const TopologicalPattern p =
+      capture_single(Region{Rect{40, 40, 60, 60}}, Rect{0, 0, 100, 100});
+  EXPECT_EQ(p.cell_count(), 9u);
+  EXPECT_DOUBLE_EQ(p.coverage(0), 0.04);  // 20x20 in 100x100
+}
+
+TEST(Topology, TranslationInvariance) {
+  const Region r{Rect{40, 40, 60, 60}};
+  const TopologicalPattern a = capture_single(r, Rect{0, 0, 100, 100});
+  const TopologicalPattern b =
+      capture_single(r.translated({1000, -500}), Rect{1000, -500, 1100, -400});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Topology, AllOrientationsCanonicalizeIdentically) {
+  // An asymmetric L in the window.
+  Region r;
+  r.add(Rect{10, 10, 80, 30});
+  r.add(Rect{10, 30, 30, 90});
+  const Rect window{0, 0, 100, 100};
+  const TopologicalPattern base = capture_single(r, window);
+  for (Orient o : kAllOrients) {
+    const Transform t{o, {0, 0}};
+    const Region moved = r.transformed(t);
+    const Rect w = t.apply(window);
+    const TopologicalPattern rotated = capture_single(moved, w);
+    EXPECT_EQ(base, rotated) << "orient " << static_cast<int>(o);
+  }
+}
+
+TEST(Topology, DifferentTopologyDifferentPattern) {
+  const TopologicalPattern one =
+      capture_single(Region{Rect{40, 40, 60, 60}}, Rect{0, 0, 100, 100});
+  Region two;
+  two.add(Rect{10, 40, 30, 60});
+  two.add(Rect{70, 40, 90, 60});
+  const TopologicalPattern twop = capture_single(two, Rect{0, 0, 100, 100});
+  EXPECT_NE(one, twop);
+}
+
+TEST(Topology, SameTopologyDifferentDimsDifferentPattern) {
+  const TopologicalPattern a =
+      capture_single(Region{Rect{40, 40, 60, 60}}, Rect{0, 0, 100, 100});
+  const TopologicalPattern b =
+      capture_single(Region{Rect{30, 30, 70, 70}}, Rect{0, 0, 100, 100});
+  EXPECT_NE(a, b);
+  // But their topology hashes agree.
+  EXPECT_EQ(topology_hash(a.canonical()), topology_hash(b.canonical()));
+}
+
+TEST(Topology, MultiLayerAlignmentMatters) {
+  const Rect window{0, 0, 100, 100};
+  const Region via{Rect{40, 40, 60, 60}};
+  const Region m1a{Rect{30, 30, 70, 70}};   // centered enclosure
+  const Region m1b{Rect{40, 30, 80, 70}};   // shifted enclosure
+  const TopologicalPattern a = TopologicalPattern::capture(
+      {{layers::kVia1, via}, {layers::kMetal1, m1a}}, window);
+  const TopologicalPattern b = TopologicalPattern::capture(
+      {{layers::kVia1, via}, {layers::kMetal1, m1b}}, window);
+  EXPECT_NE(a, b);
+}
+
+TEST(Topology, GeneralizationReducesCells) {
+  const TopologicalPattern p =
+      capture_single(Region{Rect{40, 40, 60, 60}}, Rect{0, 0, 100, 100});
+  const auto gens = p.generalizations();
+  // 3x3 grid: two interior x-cuts + two interior y-cuts = 4 merges.
+  ASSERT_EQ(gens.size(), 4u);
+  for (const TopologicalPattern& g : gens) {
+    EXPECT_LT(g.cell_count(), p.cell_count());
+    EXPECT_FALSE(g.empty());  // OR-merge keeps material
+  }
+}
+
+TEST(Topology, GeneralizationOfUniformWindowIsEmptySet) {
+  const TopologicalPattern p =
+      capture_single(Region{Rect{0, 0, 100, 100}}, Rect{0, 0, 100, 100});
+  EXPECT_TRUE(p.generalizations().empty());  // single cell, nothing to merge
+}
+
+TEST(Topology, AsciiArtShowsBitmap) {
+  const TopologicalPattern p =
+      capture_single(Region{Rect{40, 40, 60, 60}}, Rect{0, 0, 100, 100});
+  const std::string art = p.to_ascii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Topology, OrientationEnumerationHas8Unique) {
+  Region r;
+  r.add(Rect{10, 10, 80, 30});
+  r.add(Rect{10, 30, 30, 90});
+  const TopologicalPattern p = capture_single(r, Rect{0, 0, 100, 100});
+  const auto os = all_orientations(p.canonical());
+  ASSERT_EQ(os.size(), 8u);
+  // The asymmetric L has 8 distinct orientation encodings.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      EXPECT_NE(os[i], os[j]) << i << "," << j;
+    }
+  }
+  // The canonical form is the minimum.
+  for (const auto& o : os) {
+    EXPECT_LE(p.canonical(), o);
+  }
+}
+
+class TopologyHashStability : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TopologyHashStability, HashCollisionFreeOnDistinctSmallPatterns) {
+  // Enumerate 2x2-cell patterns with varying fills; all must have
+  // distinct canonical hashes unless D4-equivalent.
+  std::vector<TopologicalPattern> pats;
+  const unsigned mask = GetParam();
+  for (unsigned m = 0; m <= 0xF; ++m) {
+    Region r;
+    if (m & 1) r.add(Rect{0, 0, 50, 50});
+    if (m & 2) r.add(Rect{50, 0, 100, 50});
+    if (m & 4) r.add(Rect{0, 50, 50, 100});
+    if (m & 8) r.add(Rect{50, 50, 100, 100});
+    pats.push_back(capture_single(r, Rect{0, 0, 100, 100}));
+    (void)mask;
+  }
+  for (std::size_t i = 0; i < pats.size(); ++i) {
+    for (std::size_t j = i + 1; j < pats.size(); ++j) {
+      if (pats[i] == pats[j]) {
+        EXPECT_EQ(pats[i].hash(), pats[j].hash());
+      } else {
+        EXPECT_NE(pats[i].hash(), pats[j].hash());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(One, TopologyHashStability, ::testing::Values(0u));
+
+}  // namespace
+}  // namespace dfm

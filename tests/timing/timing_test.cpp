@@ -1,0 +1,155 @@
+#include "timing/timing.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace dfm {
+namespace {
+
+OpticalModel optics() {
+  OpticalModel m;
+  m.sigma = 25;
+  m.px = 5;
+  return m;
+}
+
+// One vertical poly gate (length 60) over a horizontal diffusion band.
+struct Fixture {
+  Region poly;
+  Region diff;
+};
+
+Fixture one_gate() {
+  Fixture f;
+  f.poly.add(Rect{500, 0, 560, 1000});      // vertical stripe, L = 60
+  f.diff.add(Rect{200, 300, 900, 700});     // W = 400
+  return f;
+}
+
+TEST(ExtractGates, FindsChannel) {
+  const Fixture f = one_gate();
+  const auto gates = extract_gates(f.poly, f.diff);
+  ASSERT_EQ(gates.size(), 1u);
+  EXPECT_EQ(gates[0].drawn_length, 60);
+  EXPECT_EQ(gates[0].width, 400);
+  EXPECT_TRUE(gates[0].vertical_poly);
+  EXPECT_EQ(gates[0].bbox, (Rect{500, 300, 560, 700}));
+}
+
+TEST(ExtractGates, MultipleFingers) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    f.poly.add(Rect{300 + i * 200, 0, 340 + i * 200, 1000});
+  }
+  f.diff.add(Rect{0, 300, 1200, 700});
+  EXPECT_EQ(extract_gates(f.poly, f.diff).size(), 3u);
+}
+
+TEST(ExtractGates, HorizontalPolyDetected) {
+  Fixture f;
+  f.poly.add(Rect{0, 500, 1000, 560});   // horizontal stripe
+  f.diff.add(Rect{300, 200, 700, 900});
+  const auto gates = extract_gates(f.poly, f.diff);
+  ASSERT_EQ(gates.size(), 1u);
+  EXPECT_FALSE(gates[0].vertical_poly);
+  EXPECT_EQ(gates[0].drawn_length, 60);
+  EXPECT_EQ(gates[0].width, 400);
+}
+
+TEST(EffectiveLength, RectangularChannelIsExact) {
+  const Fixture f = one_gate();
+  const auto gates = extract_gates(f.poly, f.diff);
+  const EffectiveLength e = effective_length(f.poly, gates[0], 5, 6.0);
+  EXPECT_FALSE(e.open);
+  EXPECT_NEAR(e.l_drive, 60.0, 1e-9);
+  EXPECT_NEAR(e.l_leak, 60.0, 1e-9);
+}
+
+TEST(EffectiveLength, NeckedGateDrivesFasterAndLeaksMore) {
+  const Fixture f = one_gate();
+  const auto gates = extract_gates(f.poly, f.diff);
+  // Hand-made "printed" poly with a necked middle: 60 -> 40 over 100nm.
+  Region printed;
+  printed.add(Rect{500, 0, 560, 450});
+  printed.add(Rect{510, 450, 550, 550});  // neck: L = 40
+  printed.add(Rect{500, 550, 560, 1000});
+  const EffectiveLength e = effective_length(printed, gates[0], 5, 6.0);
+  EXPECT_FALSE(e.open);
+  EXPECT_LT(e.l_drive, 60.0);
+  EXPECT_GT(e.l_drive, 40.0);
+  // Leakage dominated by the short slices: equivalent length closer to 40.
+  EXPECT_LT(e.l_leak, e.l_drive);
+}
+
+TEST(EffectiveLength, BrokenGateIsFlagged) {
+  const Fixture f = one_gate();
+  const auto gates = extract_gates(f.poly, f.diff);
+  Region printed;
+  printed.add(Rect{500, 0, 560, 400});  // poly missing over 400..600
+  printed.add(Rect{500, 600, 560, 1000});
+  const EffectiveLength e = effective_length(printed, gates[0], 5, 6.0);
+  EXPECT_TRUE(e.open);
+}
+
+TEST(DelayModel, MonotoneInLength) {
+  DelayModel m;
+  m.l_nominal = 60;
+  EXPECT_DOUBLE_EQ(m.stage_delay_ps(60.0), m.tau0_ps);
+  EXPECT_LT(m.stage_delay_ps(55.0), m.stage_delay_ps(60.0));
+  EXPECT_GT(m.stage_delay_ps(65.0), m.stage_delay_ps(60.0));
+  EXPECT_DOUBLE_EQ(m.leakage_rel(60.0), 1.0);
+  EXPECT_GT(m.leakage_rel(54.0), 2.0);  // one e-fold per 6nm
+  EXPECT_LT(m.leakage_rel(66.0), 0.5);
+}
+
+TEST(AnalyzeTiming, DrawnEqualsNominalModel) {
+  const Fixture f = one_gate();
+  DelayModel m;
+  m.l_nominal = 60;
+  const TimingReport rep = analyze_timing_drawn(f.poly, f.diff, m);
+  ASSERT_EQ(rep.gates.size(), 1u);
+  EXPECT_EQ(rep.open_gates, 0);
+  EXPECT_NEAR(rep.chain_delay_ps, m.tau0_ps, 1e-9);
+  EXPECT_NEAR(rep.total_leakage, 1.0, 1e-9);
+}
+
+TEST(AnalyzeTiming, PrintedDiffersFromDrawnAndDoseMatters) {
+  const Fixture f = one_gate();
+  DelayModel m;
+  m.l_nominal = 60;
+  const Rect w = f.poly.bbox().expanded(300);
+  const TimingReport nominal =
+      analyze_timing(f.poly, f.diff, w, optics(), {1.0, 0}, m);
+  ASSERT_EQ(nominal.gates.size(), 1u);
+  EXPECT_EQ(nominal.open_gates, 0);
+
+  // Dark-field Gaussian model: higher dose prints the poly line wider ->
+  // longer channel -> slower, less leaky.
+  const TimingReport overdose =
+      analyze_timing(f.poly, f.diff, w, optics(), {1.15, 0}, m);
+  const TimingReport underdose =
+      analyze_timing(f.poly, f.diff, w, optics(), {0.85, 0}, m);
+  EXPECT_GT(overdose.chain_delay_ps, underdose.chain_delay_ps);
+  EXPECT_GT(underdose.total_leakage, overdose.total_leakage);
+}
+
+TEST(AnalyzeTiming, GeneratedCellGatesAllFunctional) {
+  // The standard-cell generator's gates must survive nominal litho.
+  const Cell c = make_stdcell(Tech::standard(), 1, "c");
+  const Region poly = c.local_region(layers::kPoly);
+  const Region diff = c.local_region(layers::kDiff);
+  DelayModel m;
+  m.l_nominal = Tech::standard().poly_width;
+  const Rect w = c.local_bbox().expanded(200);
+  OpticalModel gentle;
+  gentle.sigma = 15;
+  gentle.px = 5;
+  const TimingReport rep = analyze_timing(poly, diff, w, gentle, {1.0, 0}, m);
+  EXPECT_GT(rep.gates.size(), 2u);
+  EXPECT_EQ(rep.open_gates, 0);
+  EXPECT_GT(rep.chain_delay_ps, 0.0);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -1,0 +1,206 @@
+// dfmkit — command-line driver for the library.
+//
+//   dfmkit gen <out.gds> [seed]        generate a demo design
+//   dfmkit info <in.gds>               library summary
+//   dfmkit drc <in.gds> [top]          run the standard DRC deck
+//   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
+//   dfmkit flow <in.gds> [top]         full DFM flow + scoreboard
+//   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
+//   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
+#include "core/dfm_flow.h"
+#include "core/report.h"
+#include "gdsii/gdsii.h"
+#include "oasis/oasis.h"
+#include "gen/generators.h"
+#include "layout/svg.h"
+#include "pattern/catalog.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using namespace dfm;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Reads .gds or .oas by extension.
+Library read_layout(const std::string& path) {
+  if (ends_with(path, ".oas") || ends_with(path, ".oasis")) {
+    return read_oasis_file(path);
+  }
+  return read_gdsii_file(path);
+}
+
+void write_layout(const Library& lib, const std::string& path) {
+  if (ends_with(path, ".oas") || ends_with(path, ".oasis")) {
+    write_oasis_file(lib, path);
+  } else {
+    write_gdsii_file(lib, path);
+  }
+}
+
+std::uint32_t pick_top(const Library& lib, int argc, char** argv, int index) {
+  if (argc > index) return lib.index_of(argv[index]);
+  const auto tops = lib.top_cells();
+  if (tops.empty()) throw std::runtime_error("library has no cells");
+  return tops.front();
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) throw std::runtime_error("usage: dfmkit gen <out.gds> [seed]");
+  DesignParams p;
+  p.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  p.name = "dfmkit_demo";
+  p.rows = 4;
+  p.cells_per_row = 10;
+  p.routes = 30;
+  const Library lib = generate_design(p);
+  write_layout(lib, argv[2]);
+  std::printf("wrote %s: %zu cells, %zu flat shapes\n", argv[2],
+              lib.cell_count(),
+              lib.flat_shape_count(lib.top_cells().front()));
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) throw std::runtime_error("usage: dfmkit info <in.gds>");
+  const Library lib = read_layout(argv[2]);
+  std::printf("library '%s'  dbu/uu=%.0f\n", lib.name().c_str(),
+              lib.dbu_per_uu());
+  Table t("cells");
+  t.set_header({"cell", "shapes", "refs", "bbox"});
+  for (const Cell& c : lib.cells()) {
+    t.add_row({c.name(), std::to_string(c.shape_count()),
+               std::to_string(c.refs().size()),
+               to_string(lib.bbox(lib.index_of(c.name())))});
+  }
+  t.print();
+  std::printf("layers:");
+  for (const LayerKey k : lib.layers()) std::printf(" %s", to_string(k).c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_drc(int argc, char** argv, bool plus) {
+  if (argc < 3) throw std::runtime_error("usage: dfmkit drc <in.gds> [top]");
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 3);
+  const Tech& tech = Tech::standard();
+  if (!plus) {
+    const DrcEngine engine{RuleDeck::standard(tech)};
+    const DrcResult res = engine.run(lib, top);
+    Table t("DRC: " + lib.cell(top).name());
+    t.set_header({"rule", "violations"});
+    for (const auto& [rule, n] : res.count_by_rule()) {
+      t.add_row({rule, std::to_string(n)});
+    }
+    t.print();
+    std::printf("total: %zu\n", res.violations.size());
+    return res.clean() ? 0 : 1;
+  }
+  const DrcPlusEngine engine{DrcPlusDeck::standard(tech)};
+  const DrcPlusResult res = engine.run(lib, top);
+  Table t("DRC-Plus: " + lib.cell(top).name());
+  t.set_header({"check", "hits"});
+  for (const auto& [rule, n] : res.drc.count_by_rule()) {
+    t.add_row({rule, std::to_string(n)});
+  }
+  for (std::size_t i = 0; i < engine.deck().pattern_sets.size(); ++i) {
+    for (const PatternMatch& m : res.matches[i]) {
+      t.add_row({engine.deck().pattern_sets[i].rules[m.rule_index].name, "1"});
+    }
+  }
+  t.print();
+  std::printf("pattern hits: %zu\n", res.pattern_match_count());
+  return 0;
+}
+
+int cmd_flow(int argc, char** argv) {
+  if (argc < 3) throw std::runtime_error("usage: dfmkit flow <in.gds> [top]");
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 3);
+  DfmFlowOptions opt;
+  opt.tech = Tech::standard();
+  opt.model.sigma = 25;
+  opt.model.px = 5;
+  const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
+  Table t("DFM scoreboard: " + lib.cell(top).name());
+  t.set_header({"technique", "score", "signal"});
+  for (const MetricScore& m : rep.scorecard.metrics) {
+    t.add_row({m.name, Table::num(m.value), m.detail});
+  }
+  t.print();
+  std::printf("composite: %.3f\n", rep.scorecard.composite());
+  return 0;
+}
+
+int cmd_catalog(int argc, char** argv) {
+  if (argc < 3) throw std::runtime_error("usage: dfmkit catalog <in.gds> [top]");
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 3);
+  LayerMap m;
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  for (const LayerKey k : on) m.emplace(k, lib.flatten(top, k));
+  const PatternCatalog cat = build_catalog(m, on, layers::kVia1, 120);
+  std::printf("windows=%llu classes=%zu top-10=%.1f%%\n",
+              static_cast<unsigned long long>(cat.total_windows()),
+              cat.class_count(), 100.0 * cat.top_k_coverage(10));
+  int rank = 0;
+  for (const CatalogEntry* e : cat.by_frequency()) {
+    if (++rank > 5) break;
+    std::printf("#%d count=%llu\n%s", rank,
+                static_cast<unsigned long long>(e->count),
+                e->pattern.to_ascii().c_str());
+  }
+  return 0;
+}
+
+int cmd_svg(int argc, char** argv) {
+  if (argc < 4) {
+    throw std::runtime_error("usage: dfmkit svg <in.gds> <out.svg> [top]");
+  }
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 4);
+  LayerMap m;
+  std::vector<LayerKey> order = lib.layers();
+  for (const LayerKey k : order) m.emplace(k, lib.flatten(top, k));
+  SvgWriter w(lib.bbox(top), 1200);
+  for (const LayerKey k : order) {
+    w.add_layer(m.at(k), SvgWriter::default_color(k));
+  }
+  w.write_file(argv[3]);
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::fprintf(stderr,
+                   "usage: dfmkit <gen|info|drc|drcplus|flow|catalog|svg> ...\n");
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "drc") return cmd_drc(argc, argv, false);
+    if (cmd == "drcplus") return cmd_drc(argc, argv, true);
+    if (cmd == "flow") return cmd_flow(argc, argv);
+    if (cmd == "catalog") return cmd_catalog(argc, argv);
+    if (cmd == "svg") return cmd_svg(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dfmkit: %s\n", e.what());
+    return 2;
+  }
+}
