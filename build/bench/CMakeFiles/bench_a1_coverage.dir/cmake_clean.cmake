@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_coverage.dir/bench_a1_coverage.cpp.o"
+  "CMakeFiles/bench_a1_coverage.dir/bench_a1_coverage.cpp.o.d"
+  "bench_a1_coverage"
+  "bench_a1_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_rule_doe.dir/bench_a3_rule_doe.cpp.o"
+  "CMakeFiles/bench_a3_rule_doe.dir/bench_a3_rule_doe.cpp.o.d"
+  "bench_a3_rule_doe"
+  "bench_a3_rule_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_rule_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

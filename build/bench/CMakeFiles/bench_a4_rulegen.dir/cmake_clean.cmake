@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_rulegen.dir/bench_a4_rulegen.cpp.o"
+  "CMakeFiles/bench_a4_rulegen.dir/bench_a4_rulegen.cpp.o.d"
+  "bench_a4_rulegen"
+  "bench_a4_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

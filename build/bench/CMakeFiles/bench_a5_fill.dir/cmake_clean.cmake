@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_fill.dir/bench_a5_fill.cpp.o"
+  "CMakeFiles/bench_a5_fill.dir/bench_a5_fill.cpp.o.d"
+  "bench_a5_fill"
+  "bench_a5_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

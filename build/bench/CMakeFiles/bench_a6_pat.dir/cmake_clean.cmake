@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_pat.dir/bench_a6_pat.cpp.o"
+  "CMakeFiles/bench_a6_pat.dir/bench_a6_pat.cpp.o.d"
+  "bench_a6_pat"
+  "bench_a6_pat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_pat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

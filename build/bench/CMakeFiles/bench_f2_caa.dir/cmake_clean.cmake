@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_caa.dir/bench_f2_caa.cpp.o"
+  "CMakeFiles/bench_f2_caa.dir/bench_f2_caa.cpp.o.d"
+  "bench_f2_caa"
+  "bench_f2_caa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_caa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

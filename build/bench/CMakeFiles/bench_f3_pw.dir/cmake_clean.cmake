@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_pw.dir/bench_f3_pw.cpp.o"
+  "CMakeFiles/bench_f3_pw.dir/bench_f3_pw.cpp.o.d"
+  "bench_f3_pw"
+  "bench_f3_pw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_pw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_drcplus.dir/bench_t1_drcplus.cpp.o"
+  "CMakeFiles/bench_t1_drcplus.dir/bench_t1_drcplus.cpp.o.d"
+  "bench_t1_drcplus"
+  "bench_t1_drcplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_drcplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_catalog.dir/bench_t2_catalog.cpp.o"
+  "CMakeFiles/bench_t2_catalog.dir/bench_t2_catalog.cpp.o.d"
+  "bench_t2_catalog"
+  "bench_t2_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_via.dir/bench_t3_via.cpp.o"
+  "CMakeFiles/bench_t3_via.dir/bench_t3_via.cpp.o.d"
+  "bench_t3_via"
+  "bench_t3_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

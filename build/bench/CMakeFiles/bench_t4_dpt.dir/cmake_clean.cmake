@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_dpt.dir/bench_t4_dpt.cpp.o"
+  "CMakeFiles/bench_t4_dpt.dir/bench_t4_dpt.cpp.o.d"
+  "bench_t4_dpt"
+  "bench_t4_dpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_dpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

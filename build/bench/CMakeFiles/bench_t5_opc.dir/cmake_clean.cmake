@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_opc.dir/bench_t5_opc.cpp.o"
+  "CMakeFiles/bench_t5_opc.dir/bench_t5_opc.cpp.o.d"
+  "bench_t5_opc"
+  "bench_t5_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_hotspot.dir/bench_t6_hotspot.cpp.o"
+  "CMakeFiles/bench_t6_hotspot.dir/bench_t6_hotspot.cpp.o.d"
+  "bench_t6_hotspot"
+  "bench_t6_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

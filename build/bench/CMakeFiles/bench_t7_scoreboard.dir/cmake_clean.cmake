@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_scoreboard.dir/bench_t7_scoreboard.cpp.o"
+  "CMakeFiles/bench_t7_scoreboard.dir/bench_t7_scoreboard.cpp.o.d"
+  "bench_t7_scoreboard"
+  "bench_t7_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

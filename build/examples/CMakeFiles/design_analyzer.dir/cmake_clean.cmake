@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_analyzer.dir/design_analyzer.cpp.o"
+  "CMakeFiles/design_analyzer.dir/design_analyzer.cpp.o.d"
+  "design_analyzer"
+  "design_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpt_flow.dir/dpt_flow.cpp.o"
+  "CMakeFiles/dpt_flow.dir/dpt_flow.cpp.o.d"
+  "dpt_flow"
+  "dpt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

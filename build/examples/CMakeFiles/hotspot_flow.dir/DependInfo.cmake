@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hotspot_flow.cpp" "examples/CMakeFiles/hotspot_flow.dir/hotspot_flow.cpp.o" "gcc" "examples/CMakeFiles/hotspot_flow.dir/hotspot_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_dpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_gdsii.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_oasis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

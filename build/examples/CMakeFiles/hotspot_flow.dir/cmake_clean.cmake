@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_flow.dir/hotspot_flow.cpp.o"
+  "CMakeFiles/hotspot_flow.dir/hotspot_flow.cpp.o.d"
+  "hotspot_flow"
+  "hotspot_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_catalog.dir/pattern_catalog.cpp.o"
+  "CMakeFiles/pattern_catalog.dir/pattern_catalog.cpp.o.d"
+  "pattern_catalog"
+  "pattern_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_flow.dir/yield_flow.cpp.o"
+  "CMakeFiles/yield_flow.dir/yield_flow.cpp.o.d"
+  "yield_flow"
+  "yield_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

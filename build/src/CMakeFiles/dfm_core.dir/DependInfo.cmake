@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/CMakeFiles/dfm_core.dir/core/analyzer.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/analyzer.cpp.o.d"
+  "/root/repo/src/core/autofix.cpp" "src/CMakeFiles/dfm_core.dir/core/autofix.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/autofix.cpp.o.d"
+  "/root/repo/src/core/dfm_flow.cpp" "src/CMakeFiles/dfm_core.dir/core/dfm_flow.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/dfm_flow.cpp.o.d"
+  "/root/repo/src/core/drc_plus.cpp" "src/CMakeFiles/dfm_core.dir/core/drc_plus.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/drc_plus.cpp.o.d"
+  "/root/repo/src/core/fill.cpp" "src/CMakeFiles/dfm_core.dir/core/fill.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/fill.cpp.o.d"
+  "/root/repo/src/core/hotspot_flow.cpp" "src/CMakeFiles/dfm_core.dir/core/hotspot_flow.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/hotspot_flow.cpp.o.d"
+  "/root/repo/src/core/pat.cpp" "src/CMakeFiles/dfm_core.dir/core/pat.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/pat.cpp.o.d"
+  "/root/repo/src/core/recommended_rules.cpp" "src/CMakeFiles/dfm_core.dir/core/recommended_rules.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/recommended_rules.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/dfm_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/rule_gen.cpp" "src/CMakeFiles/dfm_core.dir/core/rule_gen.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/rule_gen.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/CMakeFiles/dfm_core.dir/core/scoring.cpp.o" "gcc" "src/CMakeFiles/dfm_core.dir/core/scoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_dpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_gdsii.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_oasis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_core.dir/core/analyzer.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/analyzer.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/autofix.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/autofix.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/dfm_flow.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/dfm_flow.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/drc_plus.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/drc_plus.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/fill.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/fill.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/hotspot_flow.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/hotspot_flow.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/pat.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/pat.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/recommended_rules.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/recommended_rules.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/report.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/rule_gen.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/rule_gen.cpp.o.d"
+  "CMakeFiles/dfm_core.dir/core/scoring.cpp.o"
+  "CMakeFiles/dfm_core.dir/core/scoring.cpp.o.d"
+  "libdfm_core.a"
+  "libdfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

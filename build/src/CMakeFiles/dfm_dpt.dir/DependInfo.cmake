@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpt/coloring.cpp" "src/CMakeFiles/dfm_dpt.dir/dpt/coloring.cpp.o" "gcc" "src/CMakeFiles/dfm_dpt.dir/dpt/coloring.cpp.o.d"
+  "/root/repo/src/dpt/conflict_graph.cpp" "src/CMakeFiles/dfm_dpt.dir/dpt/conflict_graph.cpp.o" "gcc" "src/CMakeFiles/dfm_dpt.dir/dpt/conflict_graph.cpp.o.d"
+  "/root/repo/src/dpt/rebalance.cpp" "src/CMakeFiles/dfm_dpt.dir/dpt/rebalance.cpp.o" "gcc" "src/CMakeFiles/dfm_dpt.dir/dpt/rebalance.cpp.o.d"
+  "/root/repo/src/dpt/score.cpp" "src/CMakeFiles/dfm_dpt.dir/dpt/score.cpp.o" "gcc" "src/CMakeFiles/dfm_dpt.dir/dpt/score.cpp.o.d"
+  "/root/repo/src/dpt/stitch.cpp" "src/CMakeFiles/dfm_dpt.dir/dpt/stitch.cpp.o" "gcc" "src/CMakeFiles/dfm_dpt.dir/dpt/stitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

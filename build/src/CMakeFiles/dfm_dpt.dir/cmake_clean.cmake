@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_dpt.dir/dpt/coloring.cpp.o"
+  "CMakeFiles/dfm_dpt.dir/dpt/coloring.cpp.o.d"
+  "CMakeFiles/dfm_dpt.dir/dpt/conflict_graph.cpp.o"
+  "CMakeFiles/dfm_dpt.dir/dpt/conflict_graph.cpp.o.d"
+  "CMakeFiles/dfm_dpt.dir/dpt/rebalance.cpp.o"
+  "CMakeFiles/dfm_dpt.dir/dpt/rebalance.cpp.o.d"
+  "CMakeFiles/dfm_dpt.dir/dpt/score.cpp.o"
+  "CMakeFiles/dfm_dpt.dir/dpt/score.cpp.o.d"
+  "CMakeFiles/dfm_dpt.dir/dpt/stitch.cpp.o"
+  "CMakeFiles/dfm_dpt.dir/dpt/stitch.cpp.o.d"
+  "libdfm_dpt.a"
+  "libdfm_dpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_dpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drc/density_check.cpp" "src/CMakeFiles/dfm_drc.dir/drc/density_check.cpp.o" "gcc" "src/CMakeFiles/dfm_drc.dir/drc/density_check.cpp.o.d"
+  "/root/repo/src/drc/edge_checks.cpp" "src/CMakeFiles/dfm_drc.dir/drc/edge_checks.cpp.o" "gcc" "src/CMakeFiles/dfm_drc.dir/drc/edge_checks.cpp.o.d"
+  "/root/repo/src/drc/engine.cpp" "src/CMakeFiles/dfm_drc.dir/drc/engine.cpp.o" "gcc" "src/CMakeFiles/dfm_drc.dir/drc/engine.cpp.o.d"
+  "/root/repo/src/drc/rules.cpp" "src/CMakeFiles/dfm_drc.dir/drc/rules.cpp.o" "gcc" "src/CMakeFiles/dfm_drc.dir/drc/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_drc.dir/drc/density_check.cpp.o"
+  "CMakeFiles/dfm_drc.dir/drc/density_check.cpp.o.d"
+  "CMakeFiles/dfm_drc.dir/drc/edge_checks.cpp.o"
+  "CMakeFiles/dfm_drc.dir/drc/edge_checks.cpp.o.d"
+  "CMakeFiles/dfm_drc.dir/drc/engine.cpp.o"
+  "CMakeFiles/dfm_drc.dir/drc/engine.cpp.o.d"
+  "CMakeFiles/dfm_drc.dir/drc/rules.cpp.o"
+  "CMakeFiles/dfm_drc.dir/drc/rules.cpp.o.d"
+  "libdfm_drc.a"
+  "libdfm_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

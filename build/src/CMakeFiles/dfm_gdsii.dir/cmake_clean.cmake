@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_reader.cpp.o"
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_reader.cpp.o.d"
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_records.cpp.o"
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_records.cpp.o.d"
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_writer.cpp.o"
+  "CMakeFiles/dfm_gdsii.dir/gdsii/gds_writer.cpp.o.d"
+  "libdfm_gdsii.a"
+  "libdfm_gdsii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_gdsii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfm_gdsii.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/pathological.cpp" "src/CMakeFiles/dfm_gen.dir/gen/pathological.cpp.o" "gcc" "src/CMakeFiles/dfm_gen.dir/gen/pathological.cpp.o.d"
+  "/root/repo/src/gen/rng.cpp" "src/CMakeFiles/dfm_gen.dir/gen/rng.cpp.o" "gcc" "src/CMakeFiles/dfm_gen.dir/gen/rng.cpp.o.d"
+  "/root/repo/src/gen/router.cpp" "src/CMakeFiles/dfm_gen.dir/gen/router.cpp.o" "gcc" "src/CMakeFiles/dfm_gen.dir/gen/router.cpp.o.d"
+  "/root/repo/src/gen/stdcell.cpp" "src/CMakeFiles/dfm_gen.dir/gen/stdcell.cpp.o" "gcc" "src/CMakeFiles/dfm_gen.dir/gen/stdcell.cpp.o.d"
+  "/root/repo/src/gen/viafield.cpp" "src/CMakeFiles/dfm_gen.dir/gen/viafield.cpp.o" "gcc" "src/CMakeFiles/dfm_gen.dir/gen/viafield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

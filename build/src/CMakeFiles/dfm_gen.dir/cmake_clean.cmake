@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_gen.dir/gen/pathological.cpp.o"
+  "CMakeFiles/dfm_gen.dir/gen/pathological.cpp.o.d"
+  "CMakeFiles/dfm_gen.dir/gen/rng.cpp.o"
+  "CMakeFiles/dfm_gen.dir/gen/rng.cpp.o.d"
+  "CMakeFiles/dfm_gen.dir/gen/router.cpp.o"
+  "CMakeFiles/dfm_gen.dir/gen/router.cpp.o.d"
+  "CMakeFiles/dfm_gen.dir/gen/stdcell.cpp.o"
+  "CMakeFiles/dfm_gen.dir/gen/stdcell.cpp.o.d"
+  "CMakeFiles/dfm_gen.dir/gen/viafield.cpp.o"
+  "CMakeFiles/dfm_gen.dir/gen/viafield.cpp.o.d"
+  "libdfm_gen.a"
+  "libdfm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

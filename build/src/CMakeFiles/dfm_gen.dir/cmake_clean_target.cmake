@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfm_gen.a"
+)

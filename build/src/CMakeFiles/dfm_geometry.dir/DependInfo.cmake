@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/boolean.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/boolean.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/boolean.cpp.o.d"
+  "/root/repo/src/geometry/edge_ops.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/edge_ops.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/edge_ops.cpp.o.d"
+  "/root/repo/src/geometry/morphology.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/morphology.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/morphology.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/polygon.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/polygon.cpp.o.d"
+  "/root/repo/src/geometry/region.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/region.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/region.cpp.o.d"
+  "/root/repo/src/geometry/rtree.cpp" "src/CMakeFiles/dfm_geometry.dir/geometry/rtree.cpp.o" "gcc" "src/CMakeFiles/dfm_geometry.dir/geometry/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_geometry.dir/geometry/boolean.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/boolean.cpp.o.d"
+  "CMakeFiles/dfm_geometry.dir/geometry/edge_ops.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/edge_ops.cpp.o.d"
+  "CMakeFiles/dfm_geometry.dir/geometry/morphology.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/morphology.cpp.o.d"
+  "CMakeFiles/dfm_geometry.dir/geometry/polygon.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/polygon.cpp.o.d"
+  "CMakeFiles/dfm_geometry.dir/geometry/region.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/region.cpp.o.d"
+  "CMakeFiles/dfm_geometry.dir/geometry/rtree.cpp.o"
+  "CMakeFiles/dfm_geometry.dir/geometry/rtree.cpp.o.d"
+  "libdfm_geometry.a"
+  "libdfm_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/cell.cpp" "src/CMakeFiles/dfm_layout.dir/layout/cell.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/cell.cpp.o.d"
+  "/root/repo/src/layout/connectivity.cpp" "src/CMakeFiles/dfm_layout.dir/layout/connectivity.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/connectivity.cpp.o.d"
+  "/root/repo/src/layout/density.cpp" "src/CMakeFiles/dfm_layout.dir/layout/density.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/density.cpp.o.d"
+  "/root/repo/src/layout/flatten.cpp" "src/CMakeFiles/dfm_layout.dir/layout/flatten.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/flatten.cpp.o.d"
+  "/root/repo/src/layout/library.cpp" "src/CMakeFiles/dfm_layout.dir/layout/library.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/library.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "src/CMakeFiles/dfm_layout.dir/layout/svg.cpp.o" "gcc" "src/CMakeFiles/dfm_layout.dir/layout/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

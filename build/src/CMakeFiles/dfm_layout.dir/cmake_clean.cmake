@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_layout.dir/layout/cell.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/cell.cpp.o.d"
+  "CMakeFiles/dfm_layout.dir/layout/connectivity.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/connectivity.cpp.o.d"
+  "CMakeFiles/dfm_layout.dir/layout/density.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/density.cpp.o.d"
+  "CMakeFiles/dfm_layout.dir/layout/flatten.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/flatten.cpp.o.d"
+  "CMakeFiles/dfm_layout.dir/layout/library.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/library.cpp.o.d"
+  "CMakeFiles/dfm_layout.dir/layout/svg.cpp.o"
+  "CMakeFiles/dfm_layout.dir/layout/svg.cpp.o.d"
+  "libdfm_layout.a"
+  "libdfm_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

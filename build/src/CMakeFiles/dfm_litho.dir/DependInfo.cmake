@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/aerial.cpp" "src/CMakeFiles/dfm_litho.dir/litho/aerial.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/aerial.cpp.o.d"
+  "/root/repo/src/litho/gauge.cpp" "src/CMakeFiles/dfm_litho.dir/litho/gauge.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/gauge.cpp.o.d"
+  "/root/repo/src/litho/hotspot.cpp" "src/CMakeFiles/dfm_litho.dir/litho/hotspot.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/hotspot.cpp.o.d"
+  "/root/repo/src/litho/kernel.cpp" "src/CMakeFiles/dfm_litho.dir/litho/kernel.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/kernel.cpp.o.d"
+  "/root/repo/src/litho/process_window.cpp" "src/CMakeFiles/dfm_litho.dir/litho/process_window.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/process_window.cpp.o.d"
+  "/root/repo/src/litho/raster.cpp" "src/CMakeFiles/dfm_litho.dir/litho/raster.cpp.o" "gcc" "src/CMakeFiles/dfm_litho.dir/litho/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_litho.dir/litho/aerial.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/aerial.cpp.o.d"
+  "CMakeFiles/dfm_litho.dir/litho/gauge.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/gauge.cpp.o.d"
+  "CMakeFiles/dfm_litho.dir/litho/hotspot.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/hotspot.cpp.o.d"
+  "CMakeFiles/dfm_litho.dir/litho/kernel.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/kernel.cpp.o.d"
+  "CMakeFiles/dfm_litho.dir/litho/process_window.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/process_window.cpp.o.d"
+  "CMakeFiles/dfm_litho.dir/litho/raster.cpp.o"
+  "CMakeFiles/dfm_litho.dir/litho/raster.cpp.o.d"
+  "libdfm_litho.a"
+  "libdfm_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

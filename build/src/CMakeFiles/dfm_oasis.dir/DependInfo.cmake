@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oasis/oas_primitives.cpp" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_primitives.cpp.o" "gcc" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_primitives.cpp.o.d"
+  "/root/repo/src/oasis/oas_reader.cpp" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_reader.cpp.o" "gcc" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_reader.cpp.o.d"
+  "/root/repo/src/oasis/oas_writer.cpp" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_writer.cpp.o" "gcc" "src/CMakeFiles/dfm_oasis.dir/oasis/oas_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

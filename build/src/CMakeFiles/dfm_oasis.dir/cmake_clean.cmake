@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_primitives.cpp.o"
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_primitives.cpp.o.d"
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_reader.cpp.o"
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_reader.cpp.o.d"
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_writer.cpp.o"
+  "CMakeFiles/dfm_oasis.dir/oasis/oas_writer.cpp.o.d"
+  "libdfm_oasis.a"
+  "libdfm_oasis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_oasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opc/fragment.cpp" "src/CMakeFiles/dfm_opc.dir/opc/fragment.cpp.o" "gcc" "src/CMakeFiles/dfm_opc.dir/opc/fragment.cpp.o.d"
+  "/root/repo/src/opc/model_opc.cpp" "src/CMakeFiles/dfm_opc.dir/opc/model_opc.cpp.o" "gcc" "src/CMakeFiles/dfm_opc.dir/opc/model_opc.cpp.o.d"
+  "/root/repo/src/opc/orc.cpp" "src/CMakeFiles/dfm_opc.dir/opc/orc.cpp.o" "gcc" "src/CMakeFiles/dfm_opc.dir/opc/orc.cpp.o.d"
+  "/root/repo/src/opc/rule_opc.cpp" "src/CMakeFiles/dfm_opc.dir/opc/rule_opc.cpp.o" "gcc" "src/CMakeFiles/dfm_opc.dir/opc/rule_opc.cpp.o.d"
+  "/root/repo/src/opc/sraf.cpp" "src/CMakeFiles/dfm_opc.dir/opc/sraf.cpp.o" "gcc" "src/CMakeFiles/dfm_opc.dir/opc/sraf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_opc.dir/opc/fragment.cpp.o"
+  "CMakeFiles/dfm_opc.dir/opc/fragment.cpp.o.d"
+  "CMakeFiles/dfm_opc.dir/opc/model_opc.cpp.o"
+  "CMakeFiles/dfm_opc.dir/opc/model_opc.cpp.o.d"
+  "CMakeFiles/dfm_opc.dir/opc/orc.cpp.o"
+  "CMakeFiles/dfm_opc.dir/opc/orc.cpp.o.d"
+  "CMakeFiles/dfm_opc.dir/opc/rule_opc.cpp.o"
+  "CMakeFiles/dfm_opc.dir/opc/rule_opc.cpp.o.d"
+  "CMakeFiles/dfm_opc.dir/opc/sraf.cpp.o"
+  "CMakeFiles/dfm_opc.dir/opc/sraf.cpp.o.d"
+  "libdfm_opc.a"
+  "libdfm_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

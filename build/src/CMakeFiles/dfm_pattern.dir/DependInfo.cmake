@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/capture.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/capture.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/capture.cpp.o.d"
+  "/root/repo/src/pattern/catalog.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/catalog.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/catalog.cpp.o.d"
+  "/root/repo/src/pattern/clustering.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/clustering.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/clustering.cpp.o.d"
+  "/root/repo/src/pattern/divergence.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/divergence.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/divergence.cpp.o.d"
+  "/root/repo/src/pattern/matcher.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/matcher.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/matcher.cpp.o.d"
+  "/root/repo/src/pattern/topology.cpp" "src/CMakeFiles/dfm_pattern.dir/pattern/topology.cpp.o" "gcc" "src/CMakeFiles/dfm_pattern.dir/pattern/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

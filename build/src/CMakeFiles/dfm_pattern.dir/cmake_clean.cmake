@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_pattern.dir/pattern/capture.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/capture.cpp.o.d"
+  "CMakeFiles/dfm_pattern.dir/pattern/catalog.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/catalog.cpp.o.d"
+  "CMakeFiles/dfm_pattern.dir/pattern/clustering.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/clustering.cpp.o.d"
+  "CMakeFiles/dfm_pattern.dir/pattern/divergence.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/divergence.cpp.o.d"
+  "CMakeFiles/dfm_pattern.dir/pattern/matcher.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/matcher.cpp.o.d"
+  "CMakeFiles/dfm_pattern.dir/pattern/topology.cpp.o"
+  "CMakeFiles/dfm_pattern.dir/pattern/topology.cpp.o.d"
+  "libdfm_pattern.a"
+  "libdfm_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_timing.dir/timing/timing.cpp.o"
+  "CMakeFiles/dfm_timing.dir/timing/timing.cpp.o.d"
+  "libdfm_timing.a"
+  "libdfm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

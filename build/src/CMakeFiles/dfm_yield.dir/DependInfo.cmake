@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yield/critical_area.cpp" "src/CMakeFiles/dfm_yield.dir/yield/critical_area.cpp.o" "gcc" "src/CMakeFiles/dfm_yield.dir/yield/critical_area.cpp.o.d"
+  "/root/repo/src/yield/defect_model.cpp" "src/CMakeFiles/dfm_yield.dir/yield/defect_model.cpp.o" "gcc" "src/CMakeFiles/dfm_yield.dir/yield/defect_model.cpp.o.d"
+  "/root/repo/src/yield/via_doubling.cpp" "src/CMakeFiles/dfm_yield.dir/yield/via_doubling.cpp.o" "gcc" "src/CMakeFiles/dfm_yield.dir/yield/via_doubling.cpp.o.d"
+  "/root/repo/src/yield/yield_model.cpp" "src/CMakeFiles/dfm_yield.dir/yield/yield_model.cpp.o" "gcc" "src/CMakeFiles/dfm_yield.dir/yield/yield_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfm_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_yield.dir/yield/critical_area.cpp.o"
+  "CMakeFiles/dfm_yield.dir/yield/critical_area.cpp.o.d"
+  "CMakeFiles/dfm_yield.dir/yield/defect_model.cpp.o"
+  "CMakeFiles/dfm_yield.dir/yield/defect_model.cpp.o.d"
+  "CMakeFiles/dfm_yield.dir/yield/via_doubling.cpp.o"
+  "CMakeFiles/dfm_yield.dir/yield/via_doubling.cpp.o.d"
+  "CMakeFiles/dfm_yield.dir/yield/yield_model.cpp.o"
+  "CMakeFiles/dfm_yield.dir/yield/yield_model.cpp.o.d"
+  "libdfm_yield.a"
+  "libdfm_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analyzer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analyzer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/autofix_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/autofix_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/core_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/core_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fill_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fill_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pat_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pat_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rule_gen_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rule_gen_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

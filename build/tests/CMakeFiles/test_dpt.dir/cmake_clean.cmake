@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpt.dir/dpt/dpt_test.cpp.o"
+  "CMakeFiles/test_dpt.dir/dpt/dpt_test.cpp.o.d"
+  "test_dpt"
+  "test_dpt.pdb"
+  "test_dpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

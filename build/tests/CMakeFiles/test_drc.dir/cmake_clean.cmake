@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drc.dir/drc/drc_property_test.cpp.o"
+  "CMakeFiles/test_drc.dir/drc/drc_property_test.cpp.o.d"
+  "CMakeFiles/test_drc.dir/drc/drc_test.cpp.o"
+  "CMakeFiles/test_drc.dir/drc/drc_test.cpp.o.d"
+  "CMakeFiles/test_drc.dir/drc/wide_spacing_test.cpp.o"
+  "CMakeFiles/test_drc.dir/drc/wide_spacing_test.cpp.o.d"
+  "test_drc"
+  "test_drc.pdb"
+  "test_drc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

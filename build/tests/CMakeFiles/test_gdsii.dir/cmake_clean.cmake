@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gdsii.dir/gdsii/gdsii_fuzz_test.cpp.o"
+  "CMakeFiles/test_gdsii.dir/gdsii/gdsii_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_gdsii.dir/gdsii/gdsii_test.cpp.o"
+  "CMakeFiles/test_gdsii.dir/gdsii/gdsii_test.cpp.o.d"
+  "test_gdsii"
+  "test_gdsii.pdb"
+  "test_gdsii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gdsii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

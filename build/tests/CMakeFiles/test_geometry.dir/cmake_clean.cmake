@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/boolean_property_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/boolean_property_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/coverage_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/coverage_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/edge_ops_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/edge_ops_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/morphology_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/morphology_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/point_rect_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/point_rect_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/polygon_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/polygon_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/region_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/region_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/rtree_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/rtree_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/transform_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/transform_test.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+  "test_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho.dir/litho/litho_property_test.cpp.o"
+  "CMakeFiles/test_litho.dir/litho/litho_property_test.cpp.o.d"
+  "CMakeFiles/test_litho.dir/litho/litho_test.cpp.o"
+  "CMakeFiles/test_litho.dir/litho/litho_test.cpp.o.d"
+  "test_litho"
+  "test_litho.pdb"
+  "test_litho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

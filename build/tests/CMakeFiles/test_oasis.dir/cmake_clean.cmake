@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oasis.dir/oasis/oasis_fuzz_test.cpp.o"
+  "CMakeFiles/test_oasis.dir/oasis/oasis_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_oasis.dir/oasis/oasis_test.cpp.o"
+  "CMakeFiles/test_oasis.dir/oasis/oasis_test.cpp.o.d"
+  "test_oasis"
+  "test_oasis.pdb"
+  "test_oasis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

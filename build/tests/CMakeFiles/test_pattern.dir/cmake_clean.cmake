@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern.dir/pattern/catalog_test.cpp.o"
+  "CMakeFiles/test_pattern.dir/pattern/catalog_test.cpp.o.d"
+  "CMakeFiles/test_pattern.dir/pattern/clustering_test.cpp.o"
+  "CMakeFiles/test_pattern.dir/pattern/clustering_test.cpp.o.d"
+  "CMakeFiles/test_pattern.dir/pattern/matcher_test.cpp.o"
+  "CMakeFiles/test_pattern.dir/pattern/matcher_test.cpp.o.d"
+  "CMakeFiles/test_pattern.dir/pattern/pattern_property_test.cpp.o"
+  "CMakeFiles/test_pattern.dir/pattern/pattern_property_test.cpp.o.d"
+  "CMakeFiles/test_pattern.dir/pattern/topology_test.cpp.o"
+  "CMakeFiles/test_pattern.dir/pattern/topology_test.cpp.o.d"
+  "test_pattern"
+  "test_pattern.pdb"
+  "test_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_gdsii[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_drc[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_litho[1]_include.cmake")
+include("/root/repo/build/tests/test_opc[1]_include.cmake")
+include("/root/repo/build/tests/test_dpt[1]_include.cmake")
+include("/root/repo/build/tests/test_yield[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_oasis[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmkit.dir/dfmkit_cli.cpp.o"
+  "CMakeFiles/dfmkit.dir/dfmkit_cli.cpp.o.d"
+  "dfmkit"
+  "dfmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen "/root/repo/build/tools/dfmkit" "gen" "cli_demo.gds" "3")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/dfmkit" "info" "cli_demo.gds")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_drcplus "/root/repo/build/tools/dfmkit" "drcplus" "cli_demo.gds")
+set_tests_properties(cli_drcplus PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_catalog "/root/repo/build/tools/dfmkit" "catalog" "cli_demo.gds")
+set_tests_properties(cli_catalog PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_svg "/root/repo/build/tools/dfmkit" "svg" "cli_demo.gds" "cli_demo.svg")
+set_tests_properties(cli_svg PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/dfmkit")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_oas "/root/repo/build/tools/dfmkit" "gen" "cli_demo.oas" "3")
+set_tests_properties(cli_gen_oas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info_oas "/root/repo/build/tools/dfmkit" "info" "cli_demo.oas")
+set_tests_properties(cli_info_oas PROPERTIES  DEPENDS "cli_gen_oas" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
