@@ -6,6 +6,7 @@
 // classes >= 90% of all vias) and KL divergence spotting the outlier.
 #include "bench_common.h"
 
+#include "core/parallel.h"
 #include "pattern/catalog.h"
 #include "pattern/divergence.h"
 
@@ -55,6 +56,25 @@ int main() {
                                              on, layers::kVia1, radius)});
   const double build_ms = t_build.ms();
 
+  // Same four builds on the 4-thread pool: capture fans out per anchor,
+  // the catalog itself is filled in anchor order — histogram must match.
+  ThreadPool pool(4);
+  Stopwatch t_build_par;
+  std::vector<PatternCatalog> par;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    par.push_back(build_catalog(make_product(seed, Tech::standard(), 600), on,
+                                layers::kVia1, radius, &pool));
+  }
+  par.push_back(build_catalog(make_product(14, outlier_tech, 600), on,
+                              layers::kVia1, radius, &pool));
+  const double build_par_ms = t_build_par.ms();
+  for (std::size_t i = 0; i < products.size(); ++i) {
+    if (par[i].histogram() != products[i].catalog.histogram()) {
+      std::printf("DETERMINISM VIOLATION: parallel catalog diverged\n");
+      return 1;
+    }
+  }
+
   Table stats("Table 2a: via-enclosure catalog statistics per product");
   stats.set_header({"product", "windows", "classes", "top-10 coverage",
                     "classes for 90%", "assoc. edges"});
@@ -81,11 +101,13 @@ int main() {
   kl.print();
 
   std::printf(
-      "\ncatalogs built in %.0f ms.\n"
+      "\ncatalogs built in %.0f ms serial, %.0f ms on 4 threads (%.2fx, "
+      "identical histograms).\n"
       "verdict: catalog analysis is a HIT when (a) top-10 coverage >= 90%% "
       "on every product\n(the heavy tail the 28nm studies report) and (b) "
       "the P_out row/column stands out by an\norder of magnitude in KL — "
       "the divergence finds the styled outlier without any simulation.\n",
-      build_ms);
+      build_ms, build_par_ms,
+      build_par_ms > 0 ? build_ms / build_par_ms : 0.0);
   return 0;
 }

@@ -4,9 +4,14 @@
 // representatives scan design B geometrically (no simulation). Ground
 // truth on B comes from the labelled injections; the table sweeps the
 // cluster/match threshold and reports precision and recall.
+// The training column also doubles as the parallel-scheduler benchmark:
+// the tiled simulation runs once serially and once on a 4-thread
+// work-stealing pool, and the table reports the wall-clock speedup (the
+// outputs are bit-identical by the deterministic-merge contract).
 #include "bench_common.h"
 
 #include "core/hotspot_flow.h"
+#include "core/parallel.h"
 
 using namespace dfm;
 using namespace dfm::bench;
@@ -49,7 +54,9 @@ int main() {
 
   Table table("Table 6: hotspot classification, train on A / scan B");
   table.set_header({"threshold", "train hotspots", "classes", "matches",
-                    "recall", "precision", "train ms", "scan ms"});
+                    "recall", "precision", "train ms", "train ms 4T",
+                    "speedup", "scan ms"});
+  ThreadPool pool(4);
 
   for (const double threshold : {0.15, 0.25, 0.35}) {
     HotspotFlowParams params;
@@ -65,9 +72,19 @@ int main() {
         build_hotspot_library(train.m1, train.m1.bbox().expanded(300), params);
     const double train_ms = t_train.ms();
 
+    Stopwatch t_train_par;
+    const HotspotLibrary lib_par = build_hotspot_library(
+        train.m1, train.m1.bbox().expanded(300), params, &pool);
+    const double train_par_ms = t_train_par.ms();
+    if (lib_par.classes.size() != lib.classes.size() ||
+        lib_par.training_hotspots != lib.training_hotspots) {
+      std::printf("DETERMINISM VIOLATION: parallel training diverged\n");
+      return 1;
+    }
+
     Stopwatch t_scan;
     const auto matches = scan_for_hotspots(
-        target.m1, target.m1.bbox().expanded(300), lib, params);
+        target.m1, target.m1.bbox().expanded(300), lib, params, &pool);
     const double scan_ms = t_scan.ms();
 
     // Recall: labelled constructs hit by at least one match window.
@@ -97,13 +114,17 @@ int main() {
          matches.empty() ? "-"
                          : Table::percent(static_cast<double>(good) /
                                           static_cast<double>(matches.size())),
-         Table::num(train_ms, 0), Table::num(scan_ms, 0)});
+         Table::num(train_ms, 0), Table::num(train_par_ms, 0),
+         train_par_ms > 0 ? Table::num(train_ms / train_par_ms, 2) + "x" : "-",
+         Table::num(scan_ms, 0)});
   }
   table.print();
   std::printf(
       "\nverdict: the classification flow is a HIT at moderate thresholds — "
       "near-total recall of\nthe repeated weak constructs with high "
       "precision, and the scan column shows why: matching\nis orders of "
-      "magnitude cheaper than simulating the target design.\n");
+      "magnitude cheaper than simulating the target design. The speedup "
+      "column is the\ntile scheduler at 4 threads on the same training "
+      "simulation (1.0x on a single core).\n");
   return 0;
 }

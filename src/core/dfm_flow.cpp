@@ -1,18 +1,29 @@
 #include "core/dfm_flow.h"
 
+#include "core/parallel.h"
+
 namespace dfm {
 
 DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const Tech& t = options.tech;
+  ThreadPool pool(options.threads);
+  ThreadPool* const pp = &pool;
 
-  // Flatten every layer once.
+  // Flatten every layer once, one task per layer.
+  const std::vector<LayerKey> flow_layers = {layers::kMetal1, layers::kMetal2,
+                                             layers::kVia1,   layers::kPoly,
+                                             layers::kContact, layers::kDiff};
+  std::vector<Region> flattened =
+      parallel_map(pp, flow_layers.size(), [&](std::size_t i) {
+        Region r = lib.flatten(top, flow_layers[i]);
+        r.rects();  // normalize before the layer is shared across passes
+        return r;
+      });
   LayerMap layers;
-  for (const LayerKey k :
-       {layers::kMetal1, layers::kMetal2, layers::kVia1, layers::kPoly,
-        layers::kContact, layers::kDiff}) {
-    layers.emplace(k, lib.flatten(top, k));
+  for (std::size_t i = 0; i < flow_layers.size(); ++i) {
+    layers.emplace(flow_layers[i], std::move(flattened[i]));
   }
   const Region& m1 = layers.at(layers::kMetal1);
   const Region& m2 = layers.at(layers::kMetal2);
@@ -20,7 +31,7 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
 
   // 1. DRC + DRC-Plus.
   const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
-  rep.drcplus = engine.run(layers);
+  rep.drcplus = engine.run(layers, pp);
   int geometric = 0;
   for (const Violation& v : rep.drcplus.drc.violations) {
     if (v.rule.find(".D.") == std::string::npos) ++geometric;
@@ -40,7 +51,7 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
   if (options.run_litho && !m1.empty()) {
     rep.hotspots = simulate_hotspots(m1, m1.bbox(), options.model,
                                      options.litho_edge_tolerance,
-                                     options.litho_tile);
+                                     options.litho_tile, pp);
     rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
                       std::to_string(rep.hotspots.size()) + " hotspots");
   }

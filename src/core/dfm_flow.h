@@ -22,6 +22,11 @@ struct DfmFlowOptions {
   Coord litho_tile = 20000;
   Coord litho_edge_tolerance = 12;
   double via_fail_rate = 1e-4;
+  /// Total parallelism for the heavy passes (litho tiles, DRC rules,
+  /// pattern windows); 0 = hardware concurrency, 1 = fully serial. Every
+  /// parallel pass merges deterministically, so the report is identical
+  /// for any value.
+  unsigned threads = 0;
 };
 
 struct DfmFlowReport {

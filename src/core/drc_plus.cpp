@@ -115,18 +115,20 @@ DrcPlusEngine::DrcPlusEngine(DrcPlusDeck deck) : deck_(std::move(deck)) {
   }
 }
 
-DrcPlusResult DrcPlusEngine::run(const LayerMap& layers) const {
+DrcPlusResult DrcPlusEngine::run(const LayerMap& layers,
+                                 ThreadPool* pool) const {
   DrcPlusResult res;
-  res.drc = DrcEngine{deck_.drc}.run(layers);
+  res.drc = DrcEngine{deck_.drc}.run(layers, pool);
   for (std::size_t i = 0; i < deck_.pattern_sets.size(); ++i) {
     const PatternRuleSet& set = deck_.pattern_sets[i];
     res.matches.push_back(matchers_[i].scan_anchors(
-        layers, set.capture_layers, set.anchor_layer, set.radius));
+        layers, set.capture_layers, set.anchor_layer, set.radius, pool));
   }
   return res;
 }
 
-DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top) const {
+DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top,
+                                 ThreadPool* pool) const {
   LayerMap layers = flatten_for_deck(lib, top, deck_.drc);
   for (const PatternRuleSet& set : deck_.pattern_sets) {
     for (const LayerKey k : set.capture_layers) {
@@ -136,7 +138,7 @@ DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top) const {
       layers.emplace(set.anchor_layer, lib.flatten(top, set.anchor_layer));
     }
   }
-  return run(layers);
+  return run(layers, pool);
 }
 
 }  // namespace dfm

@@ -45,8 +45,12 @@ class DrcPlusEngine {
 
   const DrcPlusDeck& deck() const { return deck_; }
 
-  DrcPlusResult run(const LayerMap& layers) const;
-  DrcPlusResult run(const Library& lib, std::uint32_t top) const;
+  /// Pool-aware like DrcEngine::run: dimensional rules and pattern-set
+  /// window scans fan out, and matches stay aligned with
+  /// deck.pattern_sets in capture order.
+  DrcPlusResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
+  DrcPlusResult run(const Library& lib, std::uint32_t top,
+                    ThreadPool* pool = nullptr) const;
 
  private:
   DrcPlusDeck deck_;

@@ -1,51 +1,64 @@
 #include "core/hotspot_flow.h"
 
+#include "core/parallel.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
 
 std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
                                        const OpticalModel& model,
-                                       Coord edge_tolerance, Coord tile) {
+                                       Coord edge_tolerance, Coord tile,
+                                       ThreadPool* pool) {
   std::vector<Hotspot> out;
   if (extent.is_empty() || layer.empty()) return out;
-  const Coord margin = 6 * model.sigma;  // simulate with halo, report core
-  for (Coord y = extent.lo.y; y < extent.hi.y; y += tile) {
-    for (Coord x = extent.lo.x; x < extent.hi.x; x += tile) {
-      const Rect core{x, y, std::min(x + tile, extent.hi.x),
-                      std::min(y + tile, extent.hi.y)};
-      const Rect window = core.expanded(margin);
-      const Region local = layer.clipped(window);
-      if (local.empty()) continue;
-      const Region printed = simulate_print(local, window, model);
-      for (Hotspot h : find_hotspots(local.clipped(core.expanded(margin / 2)),
-                                     printed, edge_tolerance)) {
-        // Keep hotspots whose marker center is in this tile's core so
-        // tiling does not double-report.
-        if (core.contains(h.marker.center())) out.push_back(std::move(h));
-      }
-    }
+  layer.rects();  // normalize before tiles read the region concurrently
+  const Coord margin = 6 * model.sigma;
+  const std::vector<Rect> tiles = make_tiles(extent, tile);
+  // Tiles are independent simulations; the core-ownership rule below
+  // already makes their hotspot sets disjoint, so merging in row-major
+  // tile order reproduces the serial scan exactly.
+  std::vector<std::vector<Hotspot>> per_tile =
+      parallel_map(pool, tiles.size(), [&](std::size_t ti) {
+        const Rect& core = tiles[ti];
+        std::vector<Hotspot> local;
+        const Rect window = core.expanded(margin);
+        const Region clip = layer.clipped(window);
+        if (clip.empty()) return local;
+        const Region printed = simulate_print(clip, window, model, {}, pool);
+        for (Hotspot h : find_hotspots(clip.clipped(core.expanded(margin / 2)),
+                                       printed, edge_tolerance)) {
+          // Keep hotspots whose marker center is in this tile's core so
+          // tiling does not double-report.
+          if (core.contains(h.marker.center())) local.push_back(std::move(h));
+        }
+        return local;
+      });
+  for (std::vector<Hotspot>& v : per_tile) {
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
   }
   return out;
 }
 
 HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
-                                     const HotspotFlowParams& params) {
+                                     const HotspotFlowParams& params,
+                                     ThreadPool* pool) {
   HotspotLibrary lib;
-  const auto hotspots =
-      simulate_hotspots(layer, extent, params.model, params.edge_tolerance);
+  const auto hotspots = simulate_hotspots(layer, extent, params.model,
+                                          params.edge_tolerance, 20000, pool);
   lib.training_hotspots = hotspots.size();
 
-  std::vector<Snippet> snippets;
+  std::vector<Snippet> snippets(hotspots.size());
   std::vector<HotspotKind> kinds;
-  snippets.reserve(hotspots.size());
-  for (const Hotspot& h : hotspots) {
-    const Point c = h.marker.center();
+  kinds.reserve(hotspots.size());
+  for (const Hotspot& h : hotspots) kinds.push_back(h.kind);
+  parallel_map(pool, hotspots.size(), [&](std::size_t i) {
+    const Point c = hotspots[i].marker.center();
     const Rect clip{c.x - params.snippet_radius, c.y - params.snippet_radius,
                     c.x + params.snippet_radius, c.y + params.snippet_radius};
-    snippets.push_back(Snippet{layer.clipped(clip), c});
-    kinds.push_back(h.kind);
-  }
+    snippets[i] = Snippet{layer.clipped(clip), c};
+    return 0;
+  });
 
   for (const SnippetCluster& cluster :
        leader_cluster(snippets, params.cluster_threshold)) {
@@ -62,7 +75,8 @@ HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
 std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
                                             const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params) {
+                                            const HotspotFlowParams& params,
+                                            ThreadPool* pool) {
   std::vector<HotspotMatch> out;
   if (library.classes.empty() || layer.empty()) return out;
 
@@ -70,27 +84,43 @@ std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
   const std::vector<Rect>& rects = layer.rects();
   const RTree tree(rects);
   const Coord r = params.snippet_radius;
+  for (const HotspotClass& cls : library.classes) {
+    cls.representative.rects();  // normalize before concurrent reads
+  }
 
+  // Enumerate windows in scan order, match them concurrently, and keep
+  // the matches grouped by window index: identical output to the serial
+  // sliding scan.
+  std::vector<Rect> windows;
   for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + params.scan_stride;
        y += params.scan_stride) {
     for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + params.scan_stride;
          x += params.scan_stride) {
-      const Rect window{x, y, x + 2 * r, y + 2 * r};
-      Region clip;
-      tree.visit(window, [&](std::uint32_t i) {
-        const Rect c = rects[i].intersect(window);
-        if (!c.is_empty()) clip.add(c);
-      });
-      if (clip.empty()) continue;
-      const Region centered = clip.translated(-window.center());
-      for (std::size_t ci = 0; ci < library.classes.size(); ++ci) {
-        const double d =
-            snippet_distance(library.classes[ci].representative, centered);
-        if (d <= params.match_threshold) {
-          out.push_back(HotspotMatch{ci, window, d});
-        }
-      }
+      windows.push_back(Rect{x, y, x + 2 * r, y + 2 * r});
     }
+  }
+  std::vector<std::vector<HotspotMatch>> per_window =
+      parallel_map(pool, windows.size(), [&](std::size_t wi) {
+        const Rect& window = windows[wi];
+        std::vector<HotspotMatch> local;
+        Region clip;
+        tree.visit(window, [&](std::uint32_t i) {
+          const Rect c = rects[i].intersect(window);
+          if (!c.is_empty()) clip.add(c);
+        });
+        if (clip.empty()) return local;
+        const Region centered = clip.translated(-window.center());
+        for (std::size_t ci = 0; ci < library.classes.size(); ++ci) {
+          const double d =
+              snippet_distance(library.classes[ci].representative, centered);
+          if (d <= params.match_threshold) {
+            local.push_back(HotspotMatch{ci, window, d});
+          }
+        }
+        return local;
+      });
+  for (std::vector<HotspotMatch>& v : per_window) {
+    out.insert(out.end(), v.begin(), v.end());
   }
   return out;
 }

@@ -13,6 +13,8 @@
 
 namespace dfm {
 
+class ThreadPool;  // core/parallel.h
+
 struct HotspotFlowParams {
   OpticalModel model;
   Coord snippet_radius = 400;    // clip half-size around a hotspot
@@ -36,7 +38,8 @@ struct HotspotLibrary {
 /// Training: simulate `layer` over `extent` tile by tile, harvest
 /// hotspot snippets, cluster, and keep one representative per class.
 HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
-                                     const HotspotFlowParams& params);
+                                     const HotspotFlowParams& params,
+                                     ThreadPool* pool = nullptr);
 
 struct HotspotMatch {
   std::size_t class_index;
@@ -50,12 +53,16 @@ struct HotspotMatch {
 std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
                                             const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params);
+                                            const HotspotFlowParams& params,
+                                            ThreadPool* pool = nullptr);
 
 /// Simulates in tiles (bounded raster size) and returns all hotspots.
+/// Tiles run concurrently on the pool; per-tile results are merged in
+/// row-major tile order, so the list is identical to the serial scan.
 std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
                                        const OpticalModel& model,
                                        Coord edge_tolerance,
-                                       Coord tile = 20000);
+                                       Coord tile = 20000,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace dfm

@@ -1,5 +1,7 @@
 #include "drc/engine.h"
 
+#include "core/parallel.h"
+
 #include <set>
 
 namespace dfm {
@@ -32,7 +34,7 @@ LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
   return out;
 }
 
-DrcResult DrcEngine::run(const LayerMap& layers) const {
+DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
   DrcResult result;
   static const Region kEmpty;
   auto layer_of = [&layers](LayerKey k) -> const Region& {
@@ -40,11 +42,13 @@ DrcResult DrcEngine::run(const LayerMap& layers) const {
     return it == layers.end() ? kEmpty : it->second;
   };
 
-  // Density window: the joint bbox of everything under check.
+  // Density window: the joint bbox of everything under check. bbox()
+  // also normalizes each layer, which rules sharing a Region across
+  // tasks rely on.
   Rect chip = Rect::empty();
   for (const auto& [k, r] : layers) chip = chip.join(r.bbox());
 
-  for (const Rule& rule : deck_.rules) {
+  const auto run_rule = [&](const Rule& rule) {
     const Region& primary = layer_of(rule.layer);
     std::vector<Violation> found;
     switch (rule.kind) {
@@ -72,14 +76,22 @@ DrcResult DrcEngine::run(const LayerMap& layers) const {
         }
         break;
     }
-    result.violations.insert(result.violations.end(), found.begin(),
-                             found.end());
+    return found;
+  };
+  std::vector<std::vector<Violation>> per_rule = parallel_map(
+      pool, deck_.rules.size(),
+      [&](std::size_t ri) { return run_rule(deck_.rules[ri]); });
+  for (std::vector<Violation>& found : per_rule) {
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(found.begin()),
+                             std::make_move_iterator(found.end()));
   }
   return result;
 }
 
-DrcResult DrcEngine::run(const Library& lib, std::uint32_t top) const {
-  return run(flatten_for_deck(lib, top, deck_));
+DrcResult DrcEngine::run(const Library& lib, std::uint32_t top,
+                         ThreadPool* pool) const {
+  return run(flatten_for_deck(lib, top, deck_), pool);
 }
 
 }  // namespace dfm

@@ -18,6 +18,8 @@
 
 namespace dfm {
 
+class ThreadPool;  // core/parallel.h
+
 struct Violation {
   std::string rule;
   Rect marker;        // bounding box of the offending area
@@ -42,8 +44,12 @@ class DrcEngine {
 
   const RuleDeck& deck() const { return deck_; }
 
-  DrcResult run(const LayerMap& layers) const;
-  DrcResult run(const Library& lib, std::uint32_t top) const;
+  /// Rules execute concurrently on the pool (each rule is an independent
+  /// read-only pass over the layers); violations are merged in deck
+  /// order, so the result is identical to the serial run.
+  DrcResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
+  DrcResult run(const Library& lib, std::uint32_t top,
+                ThreadPool* pool = nullptr) const;
 
  private:
   RuleDeck deck_;

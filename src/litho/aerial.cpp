@@ -1,17 +1,31 @@
 #include "litho/kernel_detail.h"
 #include "litho/litho.h"
 
+#include "core/parallel.h"
+
 #include <algorithm>
 
 namespace dfm {
 namespace {
 
-// Separable convolution with clamp-to-zero borders (dark field).
-Raster convolve(const Raster& in, const std::vector<float>& taps) {
+// Separable convolution with clamp-to-zero borders (dark field). Every
+// output pixel depends only on the input raster, so both passes schedule
+// rows independently onto the pool with bit-identical results.
+Raster convolve(const Raster& in, const std::vector<float>& taps,
+                ThreadPool* pool) {
   const int radius = static_cast<int>(taps.size() / 2);
+  const auto rows = [&](int ny, const std::function<void(int)>& row_fn) {
+    if (pool != nullptr && pool->concurrency() > 1 && ny > 1) {
+      pool->parallel_for(static_cast<std::size_t>(ny), [&](std::size_t y) {
+        row_fn(static_cast<int>(y));
+      });
+    } else {
+      for (int y = 0; y < ny; ++y) row_fn(y);
+    }
+  };
   Raster tmp = in;
   // Horizontal pass.
-  for (int y = 0; y < in.ny; ++y) {
+  rows(in.ny, [&](int y) {
     for (int x = 0; x < in.nx; ++x) {
       float acc = 0;
       for (int k = -radius; k <= radius; ++k) {
@@ -21,10 +35,10 @@ Raster convolve(const Raster& in, const std::vector<float>& taps) {
       }
       tmp.at(x, y) = acc;
     }
-  }
+  });
   // Vertical pass.
   Raster out = tmp;
-  for (int y = 0; y < in.ny; ++y) {
+  rows(in.ny, [&](int y) {
     for (int x = 0; x < in.nx; ++x) {
       float acc = 0;
       for (int k = -radius; k <= radius; ++k) {
@@ -34,22 +48,23 @@ Raster convolve(const Raster& in, const std::vector<float>& taps) {
       }
       out.at(x, y) = acc;
     }
-  }
+  });
   return out;
 }
 
 }  // namespace
 
 Raster aerial_image(const Region& mask, const Rect& window,
-                    const OpticalModel& model, Coord defocus) {
+                    const OpticalModel& model, Coord defocus,
+                    ThreadPool* pool) {
   // Pad the window by the kernel reach so features just outside still
   // contribute, then crop back.
   const Coord s = model.sigma_at(defocus);
   const Coord pad = 3 * s + model.px;
   const Rect padded = window.expanded(pad);
-  Raster img = rasterize(mask, padded, model.px);
+  Raster img = rasterize(mask, padded, model.px, pool);
   const double sigma_px = static_cast<double>(s) / static_cast<double>(model.px);
-  img = convolve(img, detail::gaussian_taps(sigma_px));
+  img = convolve(img, detail::gaussian_taps(sigma_px), pool);
 
   // Crop to the requested window.
   Raster out;
@@ -93,9 +108,10 @@ Region printed_region(const Raster& aerial, const OpticalModel& model,
 }
 
 Region simulate_print(const Region& mask, const Rect& window,
-                      const OpticalModel& model, const ProcessCondition& cond) {
-  return printed_region(aerial_image(mask, window, model, cond.defocus), model,
-                        cond);
+                      const OpticalModel& model, const ProcessCondition& cond,
+                      ThreadPool* pool) {
+  return printed_region(aerial_image(mask, window, model, cond.defocus, pool),
+                        model, cond);
 }
 
 }  // namespace dfm

@@ -18,6 +18,8 @@
 
 namespace dfm {
 
+class ThreadPool;  // core/parallel.h
+
 /// Sampled scalar field over a window (row-major, origin at window.lo).
 struct Raster {
   Rect window;
@@ -38,8 +40,11 @@ struct Raster {
 };
 
 /// Area-weighted rasterization of a region: each pixel holds its covered
-/// fraction in [0, 1].
-Raster rasterize(const Region& r, const Rect& window, Coord px);
+/// fraction in [0, 1]. With a pool, row bands fill concurrently; each
+/// pixel still accumulates its rects in canonical order, so the image is
+/// bit-identical to the serial one.
+Raster rasterize(const Region& r, const Rect& window, Coord px,
+                 ThreadPool* pool = nullptr);
 
 struct OpticalModel {
   Coord sigma = 30;        // PSF sigma at best focus, nm
@@ -55,9 +60,11 @@ struct ProcessCondition {
   Coord defocus = 0;   // nm
 };
 
-/// Aerial image: Gaussian-convolved rasterized mask.
+/// Aerial image: Gaussian-convolved rasterized mask. Row-parallel with a
+/// pool (each output pixel is independent), deterministic either way.
 Raster aerial_image(const Region& mask, const Rect& window,
-                    const OpticalModel& model, Coord defocus = 0);
+                    const OpticalModel& model, Coord defocus = 0,
+                    ThreadPool* pool = nullptr);
 
 /// Printed contours at a process condition: pixels with dose*I >= threshold,
 /// returned as a merged region (pixel-grid resolution).
@@ -67,7 +74,8 @@ Region printed_region(const Raster& aerial, const OpticalModel& model,
 /// One-call simulate: mask -> printed region inside `window`.
 Region simulate_print(const Region& mask, const Rect& window,
                       const OpticalModel& model,
-                      const ProcessCondition& cond = {});
+                      const ProcessCondition& cond = {},
+                      ThreadPool* pool = nullptr);
 
 // ---- CD gauges -----------------------------------------------------------
 

@@ -1,5 +1,7 @@
 #include "litho/litho.h"
 
+#include "core/parallel.h"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -25,7 +27,8 @@ double Raster::sample(Point p) const {
          (1 - tx) * ty * at(ix, iy1) + tx * ty * at(ix1, iy1);
 }
 
-Raster rasterize(const Region& r, const Rect& window, Coord px) {
+Raster rasterize(const Region& r, const Rect& window, Coord px,
+                 ThreadPool* pool) {
   if (px <= 0) throw std::invalid_argument("pixel size must be positive");
   Raster img;
   img.window = window;
@@ -42,25 +45,45 @@ Raster rasterize(const Region& r, const Rect& window, Coord px) {
 
   // Exact area-weighted coverage: for each canonical rect, distribute its
   // overlap over the pixel grid with fractional rows/columns at edges.
+  // Parallel fill splits the image into row bands; a band accumulates its
+  // rows from every rect in canonical order, so each pixel sees the same
+  // additions in the same order as the serial loop (bit-identical), and
+  // no two bands touch the same row.
+  const std::vector<Rect>& rects = r.rects();
   const double pxd = static_cast<double>(px);
-  for (const Rect& box : r.rects()) {
-    const Rect c = box.intersect(window);
-    if (c.is_empty()) continue;
-    const int ix0 = static_cast<int>((c.lo.x - window.lo.x) / px);
-    const int ix1 = static_cast<int>((c.hi.x - 1 - window.lo.x) / px);
-    const int iy0 = static_cast<int>((c.lo.y - window.lo.y) / px);
-    const int iy1 = static_cast<int>((c.hi.y - 1 - window.lo.y) / px);
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const double py0 = static_cast<double>(window.lo.y) + iy * pxd;
-      const double oy = std::min<double>(static_cast<double>(c.hi.y), py0 + pxd) -
-                        std::max<double>(static_cast<double>(c.lo.y), py0);
-      for (int ix = ix0; ix <= ix1; ++ix) {
-        const double px0 = static_cast<double>(window.lo.x) + ix * pxd;
-        const double ox = std::min<double>(static_cast<double>(c.hi.x), px0 + pxd) -
-                          std::max<double>(static_cast<double>(c.lo.x), px0);
-        img.at(ix, iy) += static_cast<float>((ox * oy) / (pxd * pxd));
+  const auto fill_rows = [&](int row_lo, int row_hi) {
+    for (const Rect& box : rects) {
+      const Rect c = box.intersect(window);
+      if (c.is_empty()) continue;
+      const int ix0 = static_cast<int>((c.lo.x - window.lo.x) / px);
+      const int ix1 = static_cast<int>((c.hi.x - 1 - window.lo.x) / px);
+      const int iy0 = std::max(static_cast<int>((c.lo.y - window.lo.y) / px),
+                               row_lo);
+      const int iy1 = std::min(
+          static_cast<int>((c.hi.y - 1 - window.lo.y) / px), row_hi - 1);
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        const double py0 = static_cast<double>(window.lo.y) + iy * pxd;
+        const double oy = std::min<double>(static_cast<double>(c.hi.y), py0 + pxd) -
+                          std::max<double>(static_cast<double>(c.lo.y), py0);
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const double px0 = static_cast<double>(window.lo.x) + ix * pxd;
+          const double ox = std::min<double>(static_cast<double>(c.hi.x), px0 + pxd) -
+                            std::max<double>(static_cast<double>(c.lo.x), px0);
+          img.at(ix, iy) += static_cast<float>((ox * oy) / (pxd * pxd));
+        }
       }
     }
+  };
+  if (pool != nullptr && pool->concurrency() > 1 && img.ny > 1) {
+    const int bands = std::min<int>(static_cast<int>(pool->concurrency()) * 4,
+                                    img.ny);
+    const int rows_per = (img.ny + bands - 1) / bands;
+    pool->parallel_for(static_cast<std::size_t>(bands), [&](std::size_t b) {
+      const int lo = static_cast<int>(b) * rows_per;
+      fill_rows(lo, std::min(lo + rows_per, img.ny));
+    });
+  } else {
+    fill_rows(0, img.ny);
   }
   // Canonical rects never overlap, but numerical accumulation can nudge a
   // pixel past 1.

@@ -1,5 +1,6 @@
 #include "pattern/capture.h"
 
+#include "core/parallel.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
@@ -46,40 +47,57 @@ TopologicalPattern capture_window(const LayerMap& layers,
 
 std::vector<CapturedPattern> capture_at_anchors(
     const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius) {
-  std::vector<CapturedPattern> out;
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
   std::vector<IndexedLayer> indexed;
   indexed.reserve(on.size());
   for (const LayerKey k : on) indexed.emplace_back(layer_of(layers, k));
 
+  // Anchor centers in component order; each window then captures
+  // independently (the indexed layers are read-only) and parallel_map
+  // keeps the results in that same order.
+  std::vector<Point> centers;
   for (const Region& comp : layer_of(layers, anchor_layer).components()) {
-    const Point c = comp.bbox().center();
+    centers.push_back(comp.bbox().center());
+  }
+  return parallel_map(pool, centers.size(), [&](std::size_t i) {
+    const Point c = centers[i];
     const Rect window{c.x - radius, c.y - radius, c.x + radius, c.y + radius};
     std::vector<LayerClip> clips;
     clips.reserve(on.size());
-    for (std::size_t i = 0; i < on.size(); ++i) {
-      clips.push_back(LayerClip{on[i], indexed[i].clip(window)});
+    for (std::size_t li = 0; li < on.size(); ++li) {
+      clips.push_back(LayerClip{on[li], indexed[li].clip(window)});
     }
-    out.push_back(CapturedPattern{TopologicalPattern::capture(clips, window),
-                                  window, c});
-  }
-  return out;
+    return CapturedPattern{TopologicalPattern::capture(clips, window), window,
+                           c};
+  });
 }
 
 std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
-                                          Coord stride, bool keep_empty) {
+                                          Coord stride, bool keep_empty,
+                                          ThreadPool* pool) {
   std::vector<CapturedPattern> out;
   if (extent.is_empty() || size <= 0 || stride <= 0) return out;
+  for (const LayerKey k : on) {
+    layer_of(layers, k).rects();  // normalize before concurrent clipping
+  }
+  std::vector<Rect> windows;
   for (Coord y = extent.lo.y; y + size <= extent.hi.y; y += stride) {
     for (Coord x = extent.lo.x; x + size <= extent.hi.x; x += stride) {
-      const Rect window{x, y, x + size, y + size};
-      TopologicalPattern p = capture_window(layers, on, window);
-      if (!keep_empty && p.empty()) continue;
-      out.push_back(
-          CapturedPattern{std::move(p), window, window.center()});
+      windows.push_back(Rect{x, y, x + size, y + size});
     }
+  }
+  std::vector<CapturedPattern> captured =
+      parallel_map(pool, windows.size(), [&](std::size_t i) {
+        return CapturedPattern{capture_window(layers, on, windows[i]),
+                               windows[i], windows[i].center()};
+      });
+  // Filter empties after the fact so the surviving scan order matches the
+  // serial loop.
+  for (CapturedPattern& c : captured) {
+    if (!keep_empty && c.pattern.empty()) continue;
+    out.push_back(std::move(c));
   }
   return out;
 }

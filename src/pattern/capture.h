@@ -13,6 +13,8 @@
 
 namespace dfm {
 
+class ThreadPool;  // core/parallel.h
+
 struct CapturedPattern {
   TopologicalPattern pattern;
   Rect window;   // where it was captured
@@ -25,17 +27,21 @@ TopologicalPattern capture_window(const LayerMap& layers,
                                   const Rect& window);
 
 /// One window per connected component of `anchor_layer`, centered on the
-/// component bbox center, of half-size `radius`.
+/// component bbox center, of half-size `radius`. Windows capture
+/// concurrently on the pool but the returned vector is always in
+/// component order — identical to the serial scan.
 std::vector<CapturedPattern> capture_at_anchors(
     const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius);
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
 
 /// Sliding-window capture over `extent` at `stride`; windows of edge
-/// `size`. Empty windows are skipped unless keep_empty.
+/// `size`. Empty windows are skipped unless keep_empty. Parallel capture
+/// preserves scan order, like capture_at_anchors.
 std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride,
-                                          bool keep_empty = false);
+                                          bool keep_empty = false,
+                                          ThreadPool* pool = nullptr);
 
 }  // namespace dfm

@@ -87,9 +87,10 @@ std::vector<const CatalogEntry*> PatternCatalog::entries() const {
 
 PatternCatalog build_catalog(const LayerMap& layers,
                              const std::vector<LayerKey>& on,
-                             LayerKey anchor_layer, Coord radius) {
+                             LayerKey anchor_layer, Coord radius,
+                             ThreadPool* pool) {
   PatternCatalog cat;
-  cat.insert(capture_at_anchors(layers, on, anchor_layer, radius));
+  cat.insert(capture_at_anchors(layers, on, anchor_layer, radius, pool));
   return cat;
 }
 

@@ -57,9 +57,12 @@ class PatternCatalog {
 };
 
 /// Builds a via-style catalog: windows centered on every component of
-/// `anchor_layer` capturing `on` layers.
+/// `anchor_layer` capturing `on` layers. Capture fans out on the pool;
+/// insertion stays in window order, so counts *and* exemplars match the
+/// serial build exactly.
 PatternCatalog build_catalog(const LayerMap& layers,
                              const std::vector<LayerKey>& on,
-                             LayerKey anchor_layer, Coord radius);
+                             LayerKey anchor_layer, Coord radius,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace dfm

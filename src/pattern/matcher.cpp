@@ -1,5 +1,7 @@
 #include "pattern/matcher.h"
 
+#include "core/parallel.h"
+
 #include <cstdlib>
 
 namespace dfm {
@@ -45,14 +47,14 @@ PatternMatcher::PatternMatcher(std::vector<PatternRule> rules)
 }
 
 std::vector<PatternMatch> PatternMatcher::scan(
-    const std::vector<CapturedPattern>& windows) const {
-  std::vector<PatternMatch> out;
-  for (const CapturedPattern& w : windows) {
+    const std::vector<CapturedPattern>& windows, ThreadPool* pool) const {
+  const auto scan_window = [&](const CapturedPattern& w) {
+    std::vector<PatternMatch> local;
     const std::uint64_t h = w.pattern.hash();
     std::vector<bool> already(rules_.size(), false);
     if (const auto it = exact_.find(h); it != exact_.end()) {
       for (const std::size_t ri : it->second) {
-        out.push_back(PatternMatch{ri, w.window, w.anchor, true});
+        local.push_back(PatternMatch{ri, w.window, w.anchor, true});
         already[ri] = true;
       }
     }
@@ -60,20 +62,28 @@ std::vector<PatternMatch> PatternMatcher::scan(
     if (const auto it = by_topology_.find(th); it != by_topology_.end()) {
       for (const std::size_t ri : it->second) {
         if (already[ri]) continue;
-        if (tolerance_match(w.pattern.canonical(), rules_[ri].pattern.canonical(),
+        if (tolerance_match(w.pattern.canonical(),
+                            rules_[ri].pattern.canonical(),
                             rules_[ri].dim_tolerance)) {
-          out.push_back(PatternMatch{ri, w.window, w.anchor, false});
+          local.push_back(PatternMatch{ri, w.window, w.anchor, false});
         }
       }
     }
+    return local;
+  };
+  std::vector<std::vector<PatternMatch>> per_window = parallel_map(
+      pool, windows.size(), [&](std::size_t i) { return scan_window(windows[i]); });
+  std::vector<PatternMatch> out;
+  for (std::vector<PatternMatch>& v : per_window) {
+    out.insert(out.end(), v.begin(), v.end());
   }
   return out;
 }
 
 std::vector<PatternMatch> PatternMatcher::scan_anchors(
     const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius) const {
-  return scan(capture_at_anchors(layers, on, anchor_layer, radius));
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) const {
+  return scan(capture_at_anchors(layers, on, anchor_layer, radius, pool), pool);
 }
 
 }  // namespace dfm

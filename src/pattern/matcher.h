@@ -34,14 +34,16 @@ class PatternMatcher {
   const std::vector<PatternRule>& rules() const { return rules_; }
 
   /// Scans pre-captured windows; each window can match several rules.
-  std::vector<PatternMatch> scan(
-      const std::vector<CapturedPattern>& windows) const;
+  /// Windows scan concurrently on the pool; matches are reported in
+  /// window order either way.
+  std::vector<PatternMatch> scan(const std::vector<CapturedPattern>& windows,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Convenience: anchor-capture the target and scan.
   std::vector<PatternMatch> scan_anchors(const LayerMap& layers,
                                          const std::vector<LayerKey>& on,
-                                         LayerKey anchor_layer,
-                                         Coord radius) const;
+                                         LayerKey anchor_layer, Coord radius,
+                                         ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<PatternRule> rules_;

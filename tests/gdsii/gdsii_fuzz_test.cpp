@@ -70,6 +70,132 @@ TEST_P(GdsiiFuzz, TruncationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GdsiiFuzz, ::testing::Range(1u, 6u));
 
+// Walks the record framing ([u16 len BE][u8 rectype][u8 datatype][payload])
+// of a valid stream and returns each record's start offset.
+std::vector<std::size_t> record_offsets(const std::string& stream) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = 0;
+  while (pos + 4 <= stream.size()) {
+    offsets.push_back(pos);
+    const std::size_t len =
+        (static_cast<std::size_t>(static_cast<unsigned char>(stream[pos]))
+         << 8) |
+        static_cast<unsigned char>(stream[pos + 1]);
+    if (len < 4) break;  // malformed framing; stop walking
+    pos += len;
+  }
+  return offsets;
+}
+
+TEST_P(GdsiiFuzz, CorruptedRecordStreamsFailCleanly) {
+  // Seeded corpus of structured corruptions: record length fields blown
+  // up, shrunk below the header size, streams cut mid-record and
+  // mid-header. Every mutant must either parse to a consistent library
+  // or throw — never crash, hang, or leak (the suite runs under the
+  // sanitizer builds, see tools/run_tsan.sh).
+  const std::string good = reference_stream();
+  const std::vector<std::size_t> offsets = record_offsets(good);
+  ASSERT_GT(offsets.size(), 8u);
+
+  std::mt19937_64 rng(GetParam() * 977 + 13);
+  std::uniform_int_distribution<std::size_t> pick(0, offsets.size() - 1);
+
+  const auto must_not_crash = [](const std::string& bad) {
+    std::stringstream ss(bad);
+    try {
+      const Library lib = read_gdsii(ss);
+      for (const Cell& c : lib.cells()) {
+        for (const CellRef& r : c.refs()) {
+          ASSERT_LT(r.cell_index, lib.cell_count());
+        }
+      }
+    } catch (const std::exception&) {
+      // Clean rejection is the expected outcome.
+    }
+  };
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t at = offsets[pick(rng)];
+    {
+      // Length far beyond the remaining stream: reader must not trust it.
+      std::string bad = good;
+      bad[at] = '\x7f';
+      bad[at + 1] = '\xff';
+      must_not_crash(bad);
+    }
+    {
+      // Length below the 4-byte header: a record that frames nothing.
+      std::string bad = good;
+      bad[at] = 0;
+      bad[at + 1] = static_cast<char>(trial % 4);
+      must_not_crash(bad);
+    }
+    {
+      // Truncation mid-record: keep the header, cut the payload short.
+      must_not_crash(good.substr(0, at + 4 + static_cast<std::size_t>(trial % 3)));
+    }
+    {
+      // Truncation mid-header.
+      must_not_crash(good.substr(0, at + 1 + static_cast<std::size_t>(trial % 3)));
+    }
+  }
+}
+
+TEST(GdsiiFuzz, AbsurdElementCountsAreRejected) {
+  // Structurally valid streams whose payloads declare nonsense sizes: an
+  // XY record with an odd byte count and an AREF with zero columns.
+  {
+    std::stringstream ss;
+    {
+      gds::RecordWriter w(ss);
+      w.write_int16(gds::RecordType::kHeader, {600});
+      w.write_int16(gds::RecordType::kBgnLib, std::vector<std::int16_t>(24, 0));
+      w.write_ascii(gds::RecordType::kLibName, "lib");
+      w.write_real64(gds::RecordType::kUnits, {1e-3, 1e-9});
+      w.write_int16(gds::RecordType::kBgnStr, std::vector<std::int16_t>(24, 0));
+      w.write_ascii(gds::RecordType::kStrName, "top");
+      w.write_empty(gds::RecordType::kBoundary);
+      w.write_int16(gds::RecordType::kLayer, {1});
+      w.write_int16(gds::RecordType::kDatatype, {0});
+      w.write(gds::RecordType::kXy, 3, {0, 0, 0});  // not a multiple of 8
+      w.write_empty(gds::RecordType::kEndEl);
+      w.write_empty(gds::RecordType::kEndStr);
+      w.write_empty(gds::RecordType::kEndLib);
+    }
+    try {
+      (void)read_gdsii(ss);  // tolerated parse is fine; crash is not
+    } catch (const std::exception&) {
+    }
+  }
+  {
+    std::stringstream ss;
+    {
+      gds::RecordWriter w(ss);
+      w.write_int16(gds::RecordType::kHeader, {600});
+      w.write_int16(gds::RecordType::kBgnLib, std::vector<std::int16_t>(24, 0));
+      w.write_ascii(gds::RecordType::kLibName, "lib");
+      w.write_real64(gds::RecordType::kUnits, {1e-3, 1e-9});
+      w.write_int16(gds::RecordType::kBgnStr, std::vector<std::int16_t>(24, 0));
+      w.write_ascii(gds::RecordType::kStrName, "top");
+      w.write_empty(gds::RecordType::kSref);
+      w.write_ascii(gds::RecordType::kSname, "missing");  // dangling ref
+      w.write_int32(gds::RecordType::kXy, {0, 0});
+      w.write_empty(gds::RecordType::kEndEl);
+      w.write_empty(gds::RecordType::kEndStr);
+      w.write_empty(gds::RecordType::kEndLib);
+    }
+    try {
+      const Library lib = read_gdsii(ss);
+      for (const Cell& c : lib.cells()) {
+        for (const CellRef& r : c.refs()) {
+          ASSERT_LT(r.cell_index, lib.cell_count());
+        }
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
 TEST(GdsiiFuzz, RecordSoupIsRejected) {
   // Structurally valid records in a nonsensical order.
   std::stringstream ss;

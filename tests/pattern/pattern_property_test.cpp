@@ -1,9 +1,15 @@
 // Property sweeps for the pattern engine on random layout windows.
 #include "pattern/capture.h"
 
+#include "core/parallel.h"
 #include "gen/rng.h"
+#include "pattern/catalog.h"
+#include "pattern/divergence.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
 
 namespace dfm {
 namespace {
@@ -78,6 +84,77 @@ TEST_P(PatternProperty, GridCaptureWindowsAreDeterministic) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].pattern.hash(), b[i].pattern.hash());
     EXPECT_EQ(a[i].window, b[i].window);
+  }
+}
+
+TEST_P(PatternProperty, CatalogIsInvariantUnderCaptureOrder) {
+  // Randomized stress: a catalog built from N windows inserted in
+  // shuffled order must equal the serially built one in every
+  // order-independent statistic (the class histogram is the canonical
+  // key -> count map, and a distribution identical to itself has zero
+  // divergence).
+  Rng rng(GetParam() * 17 + 11);
+  const Rect extent{0, 0, 2400, 2400};
+  const Region clip = random_clip(rng, extent, 40);
+  LayerMap layers;
+  layers.emplace(layers::kMetal1, clip);
+  const auto captured =
+      capture_grid(layers, {layers::kMetal1}, extent, 300, 120);
+  ASSERT_GT(captured.size(), 10u);
+
+  PatternCatalog serial;
+  serial.insert(captured);
+
+  auto shuffled = captured;
+  std::mt19937_64 shuffle_rng(GetParam());
+  std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+  PatternCatalog reordered;
+  reordered.insert(shuffled);
+
+  EXPECT_EQ(reordered.total_windows(), serial.total_windows());
+  EXPECT_EQ(reordered.class_count(), serial.class_count());
+  EXPECT_EQ(reordered.histogram(), serial.histogram());
+  EXPECT_EQ(reordered.top_k_coverage(10), serial.top_k_coverage(10));
+  EXPECT_DOUBLE_EQ(kl_divergence(serial, reordered), 0.0);
+  EXPECT_DOUBLE_EQ(kl_divergence(reordered, serial), 0.0);
+  EXPECT_DOUBLE_EQ(kl_divergence(serial, serial), 0.0);
+}
+
+TEST_P(PatternProperty, ParallelCaptureEqualsSerialCapture) {
+  // The pool-driven capture must not just be statistically equal — the
+  // deterministic merge keeps window order, so the captured vectors and
+  // the resulting catalogs (exemplars included) are identical.
+  Rng rng(GetParam() * 29 + 7);
+  const Rect extent{0, 0, 2000, 2000};
+  const Region clip = random_clip(rng, extent, 30);
+  LayerMap layers;
+  layers.emplace(layers::kMetal1, clip);
+
+  ThreadPool pool(4);
+  const auto serial =
+      capture_grid(layers, {layers::kMetal1}, extent, 250, 125);
+  const auto parallel =
+      capture_grid(layers, {layers::kMetal1}, extent, 250, 125,
+                   /*keep_empty=*/false, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(parallel[i].pattern.hash(), serial[i].pattern.hash());
+    ASSERT_EQ(parallel[i].window, serial[i].window);
+    ASSERT_EQ(parallel[i].anchor, serial[i].anchor);
+  }
+
+  PatternCatalog cat_serial;
+  cat_serial.insert(serial);
+  PatternCatalog cat_parallel;
+  cat_parallel.insert(parallel);
+  EXPECT_EQ(cat_parallel.histogram(), cat_serial.histogram());
+  EXPECT_DOUBLE_EQ(kl_divergence(cat_serial, cat_parallel), 0.0);
+  const auto es = cat_serial.by_frequency();
+  const auto ep = cat_parallel.by_frequency();
+  ASSERT_EQ(ep.size(), es.size());
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(ep[i]->count, es[i]->count);
+    EXPECT_EQ(ep[i]->exemplars, es[i]->exemplars);  // order-exact merge
   }
 }
 

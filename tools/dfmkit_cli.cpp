@@ -1,5 +1,7 @@
 // dfmkit — command-line driver for the library.
 //
+//   dfmkit [--threads N] <command> ...
+//
 //   dfmkit gen <out.gds> [seed]        generate a demo design
 //   dfmkit info <in.gds>               library summary
 //   dfmkit drc <in.gds> [top]          run the standard DRC deck
@@ -7,7 +9,12 @@
 //   dfmkit flow <in.gds> [top]         full DFM flow + scoreboard
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
+//
+// --threads N caps the parallelism of the heavy passes (0, the default,
+// means hardware concurrency; 1 forces the serial path). Results are
+// bit-identical for every N.
 #include "core/dfm_flow.h"
+#include "core/parallel.h"
 #include "core/report.h"
 #include "gdsii/gdsii.h"
 #include "oasis/oasis.h"
@@ -23,6 +30,8 @@
 namespace {
 
 using namespace dfm;
+
+unsigned g_threads = 0;  // --threads; 0 = hardware concurrency
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -92,9 +101,10 @@ int cmd_drc(int argc, char** argv, bool plus) {
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
   const Tech& tech = Tech::standard();
+  ThreadPool pool(g_threads);
   if (!plus) {
     const DrcEngine engine{RuleDeck::standard(tech)};
-    const DrcResult res = engine.run(lib, top);
+    const DrcResult res = engine.run(lib, top, &pool);
     Table t("DRC: " + lib.cell(top).name());
     t.set_header({"rule", "violations"});
     for (const auto& [rule, n] : res.count_by_rule()) {
@@ -105,7 +115,7 @@ int cmd_drc(int argc, char** argv, bool plus) {
     return res.clean() ? 0 : 1;
   }
   const DrcPlusEngine engine{DrcPlusDeck::standard(tech)};
-  const DrcPlusResult res = engine.run(lib, top);
+  const DrcPlusResult res = engine.run(lib, top, &pool);
   Table t("DRC-Plus: " + lib.cell(top).name());
   t.set_header({"check", "hits"});
   for (const auto& [rule, n] : res.drc.count_by_rule()) {
@@ -129,6 +139,7 @@ int cmd_flow(int argc, char** argv) {
   opt.tech = Tech::standard();
   opt.model.sigma = 25;
   opt.model.px = 5;
+  opt.threads = g_threads;
   const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
   Table t("DFM scoreboard: " + lib.cell(top).name());
   t.set_header({"technique", "score", "signal"});
@@ -148,7 +159,8 @@ int cmd_catalog(int argc, char** argv) {
   const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
                                     layers::kMetal2};
   for (const LayerKey k : on) m.emplace(k, lib.flatten(top, k));
-  const PatternCatalog cat = build_catalog(m, on, layers::kVia1, 120);
+  ThreadPool pool(g_threads);
+  const PatternCatalog cat = build_catalog(m, on, layers::kVia1, 120, &pool);
   std::printf("windows=%llu classes=%zu top-10=%.1f%%\n",
               static_cast<unsigned long long>(cat.total_windows()),
               cat.class_count(), 100.0 * cat.top_k_coverage(10));
@@ -184,9 +196,40 @@ int cmd_svg(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    // Strip global options (accepted anywhere) before command dispatch.
+    for (int i = 1; i < argc;) {
+      if (std::strncmp(argv[i], "--threads", 9) != 0) {
+        ++i;
+        continue;
+      }
+      const char* val = nullptr;
+      int eat = 0;
+      if (argv[i][9] == '=') {
+        val = argv[i] + 10;
+        eat = 1;
+      } else if (argv[i][9] == '\0' && i + 1 < argc) {
+        val = argv[i + 1];
+        eat = 2;
+      } else if (argv[i][9] == '\0') {
+        throw std::runtime_error("--threads needs a value");
+      } else {
+        ++i;  // some other --threads* token; leave it for the subcommand
+        continue;
+      }
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(val, &end, 10);
+      if (end == val || *end != '\0') {
+        throw std::runtime_error(std::string("--threads: not a number: '") +
+                                 val + "'");
+      }
+      g_threads = static_cast<unsigned>(n);
+      for (int j = i; j + eat < argc; ++j) argv[j] = argv[j + eat];
+      argc -= eat;
+    }
     if (argc < 2) {
       std::fprintf(stderr,
-                   "usage: dfmkit <gen|info|drc|drcplus|flow|catalog|svg> ...\n");
+                   "usage: dfmkit [--threads N] "
+                   "<gen|info|drc|drcplus|flow|catalog|svg> ...\n");
       return 2;
     }
     const std::string cmd = argv[1];
