@@ -23,7 +23,9 @@ Region product_m2(std::uint64_t seed, double wide_ratio) {
   p.routes = 40;
   p.wide_wire_ratio = wide_ratio;
   const Library lib = generate_design(p);
-  return lib.flatten(lib.top_cells()[0], layers::kMetal2);
+  const LayoutSnapshot snap =
+      make_snapshot(lib, lib.top_cells()[0], {layers::kMetal2});
+  return snap.layer(layers::kMetal2).region();
 }
 
 }  // namespace

@@ -21,8 +21,10 @@ int main() {
   p.via_fields = 0;
   const Library lib = generate_design(p);
   const auto top = lib.top_cells()[0];
-  const Region poly = lib.flatten(top, layers::kPoly);
-  const Region diff = lib.flatten(top, layers::kDiff);
+  const LayoutSnapshot snap =
+      make_snapshot(lib, top, {layers::kPoly, layers::kDiff});
+  const NormalizedRegion poly = snap.layer(layers::kPoly);
+  const NormalizedRegion diff = snap.layer(layers::kDiff);
   const Rect window = lib.bbox(top).expanded(200);
 
   DelayModel model;

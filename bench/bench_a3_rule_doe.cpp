@@ -37,7 +37,8 @@ int main() {
     p.tech.poly_pitch = 140 + 2 * (space - 50);
     const Library lib = generate_design(p);
     const auto top = lib.top_cells()[0];
-    const Region m1 = lib.flatten(top, layers::kMetal1);
+    const LayoutSnapshot snap = make_snapshot(lib, top, {layers::kMetal1});
+    const NormalizedRegion m1 = snap.layer(layers::kMetal1);
     const double area =
         static_cast<double>(lib.bbox(top).area()) / 1e6;  // um^2
     const double lambda = layer_lambda(m1, defects, /*shorts=*/true, 16);

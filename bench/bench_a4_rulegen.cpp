@@ -66,10 +66,11 @@ int main() {
   // Apply to a fresh design: matches without any simulation.
   const Region target = sample_layout(2);
   const PatternMatcher matcher{rules};
-  LayerMap layers;
-  layers.emplace(layers::kMetal1, target);
+  LayerMap target_layers;
+  target_layers.emplace(layers::kMetal1, target);
+  const LayoutSnapshot target_snap(std::move(target_layers));
   Stopwatch t_scan;
-  const auto windows = capture_grid(layers, {layers::kMetal1},
+  const auto windows = capture_grid(target_snap, {layers::kMetal1},
                                     target.bbox().expanded(100), params.window,
                                     params.stride);
   const auto matches = matcher.scan(windows);

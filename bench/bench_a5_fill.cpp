@@ -20,7 +20,8 @@ int main() {
   p.via_fields = 1;
   const Library lib = generate_design(p);
   const auto top = lib.top_cells()[0];
-  const Region m2 = lib.flatten(top, layers::kMetal2);
+  const LayoutSnapshot snap = make_snapshot(lib, top, {layers::kMetal2});
+  const Region& m2 = snap.layer(layers::kMetal2);
   const Rect extent = lib.bbox(top);
 
   FillParams fp;

@@ -1,14 +1,17 @@
 // Shared helpers for the bench binaries: timing, design construction
-// with labelled injected defects, and layer flattening.
+// with labelled injected defects, and snapshot construction (the shared
+// flatten/normalize/index substrate every bench routes through).
 #pragma once
 
 #include "core/report.h"
+#include "core/snapshot.h"
 #include "drc/engine.h"
 #include "gen/generators.h"
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dfm::bench {
@@ -56,14 +59,20 @@ inline TestDesign make_design_with_defects(std::uint64_t seed, int rows,
   return d;
 }
 
-inline LayerMap flatten_all(const Library& lib, std::uint32_t top) {
-  LayerMap m;
-  for (const LayerKey k :
-       {layers::kMetal1, layers::kMetal2, layers::kVia1, layers::kPoly,
-        layers::kContact, layers::kDiff}) {
-    m.emplace(k, lib.flatten(top, k));
-  }
-  return m;
+/// The standard flow snapshot of a design: flattened + normalized once,
+/// derived products memoized. LayoutSnapshot is immovable, so bind the
+/// result directly (`const LayoutSnapshot snap = make_snapshot(...)`) —
+/// guaranteed copy elision constructs it in place.
+inline LayoutSnapshot make_snapshot(const Library& lib, std::uint32_t top,
+                                    ThreadPool* pool = nullptr) {
+  return LayoutSnapshot(lib, top, pool);
+}
+
+/// Same over an explicit layer set.
+inline LayoutSnapshot make_snapshot(const Library& lib, std::uint32_t top,
+                                    std::vector<LayerKey> keys,
+                                    ThreadPool* pool = nullptr) {
+  return LayoutSnapshot(lib, top, std::move(keys), pool);
 }
 
 /// True when any marker in `markers` overlaps `where`.

@@ -3,6 +3,7 @@
 // google-benchmark series over design size: flatten + anchor capture +
 // catalog build, and the match scan, at 1e3..1e5 flat shapes. The claim
 // under test: pattern extraction scales ~linearly in layout size.
+#include "core/snapshot.h"
 #include "gen/generators.h"
 #include "pattern/catalog.h"
 #include "pattern/matcher.h"
@@ -10,13 +11,19 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 
 namespace {
 
 using namespace dfm;
 
+const std::vector<LayerKey> kOn = {layers::kVia1, layers::kMetal1,
+                                   layers::kMetal2};
+
+// LayoutSnapshot is immovable (memoization primitives pin its address),
+// so the per-scale cache holds each workload behind a unique_ptr.
 struct Workload {
-  LayerMap layers;
+  std::unique_ptr<LayoutSnapshot> snap;
   std::size_t flat_shapes = 0;
 };
 
@@ -36,23 +43,18 @@ const Workload& workload_for(int scale) {
     const auto top = lib.top_cells()[0];
     Workload w;
     w.flat_shapes = lib.flat_shape_count(top);
-    for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
-      w.layers.emplace(k, lib.flatten(top, k));
-    }
+    w.snap = std::make_unique<LayoutSnapshot>(lib, top, kOn);
     it = cache.emplace(scale, std::move(w)).first;
   }
   return it->second;
 }
-
-const std::vector<LayerKey> kOn = {layers::kVia1, layers::kMetal1,
-                                   layers::kMetal2};
 
 void BM_CatalogBuild(benchmark::State& state) {
   const Workload& w = workload_for(static_cast<int>(state.range(0)));
   std::size_t windows = 0;
   for (auto _ : state) {
     const PatternCatalog cat =
-        build_catalog(w.layers, kOn, layers::kVia1, 120);
+        build_catalog(*w.snap, kOn, layers::kVia1, 120);
     windows = cat.total_windows();
     benchmark::DoNotOptimize(windows);
   }
@@ -66,14 +68,14 @@ void BM_CatalogBuild(benchmark::State& state) {
 void BM_PatternScan(benchmark::State& state) {
   const Workload& w = workload_for(static_cast<int>(state.range(0)));
   // A one-rule deck: the most frequent via pattern of this design.
-  const PatternCatalog cat = build_catalog(w.layers, kOn, layers::kVia1, 120);
+  const PatternCatalog cat = build_catalog(*w.snap, kOn, layers::kVia1, 120);
   PatternRule rule;
   rule.name = "top";
   rule.pattern = cat.by_frequency().front()->pattern;
   const PatternMatcher matcher{{rule}};
   std::size_t matches = 0;
   for (auto _ : state) {
-    matches = matcher.scan_anchors(w.layers, kOn, layers::kVia1, 120).size();
+    matches = matcher.scan_anchors(*w.snap, kOn, layers::kVia1, 120).size();
     benchmark::DoNotOptimize(matches);
   }
   state.counters["flat_shapes"] = static_cast<double>(w.flat_shapes);

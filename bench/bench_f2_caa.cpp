@@ -18,7 +18,9 @@ int main() {
   p.cells_per_row = 10;
   p.routes = 40;
   const Library lib = generate_design(p);
-  const Region m2 = lib.flatten(lib.top_cells()[0], layers::kMetal2);
+  const LayoutSnapshot snap =
+      make_snapshot(lib, lib.top_cells()[0], {layers::kMetal2});
+  const Region& m2 = snap.layer(layers::kMetal2);
   const Area extent = m2.bbox().area();
 
   Table fig_a("Figure 2a: critical area vs defect size (Metal 2)");

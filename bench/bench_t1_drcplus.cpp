@@ -27,14 +27,14 @@ int main() {
   for (const auto& [rows, cols] : sizes) {
     const TestDesign d = make_design_with_defects(
         100 + static_cast<std::uint64_t>(rows), rows, cols, rows * 5, 15);
-    const LayerMap layers = flatten_all(d.lib, d.top);
+    const LayoutSnapshot snap = make_snapshot(d.lib, d.top);
 
     Stopwatch t_drc;
-    const DrcResult drc = DrcEngine{deck.drc}.run(layers);
+    const DrcResult drc = DrcEngine{deck.drc}.run(snap);
     const double drc_ms = t_drc.ms();
 
     Stopwatch t_plus;
-    const DrcPlusResult plus = engine.run(layers);
+    const DrcPlusResult plus = engine.run(snap);
     const double plus_ms = t_plus.ms();
 
     // Collect all violation / match markers.

@@ -15,7 +15,7 @@ using namespace dfm::bench;
 
 namespace {
 
-LayerMap make_product(std::uint64_t seed, const Tech& tech, int vias) {
+Library make_product(std::uint64_t seed, const Tech& tech, int vias) {
   Library lib{"prod" + std::to_string(seed)};
   Cell& c = lib.cell(lib.new_cell("c"));
   Rng rng(seed);
@@ -23,11 +23,16 @@ LayerMap make_product(std::uint64_t seed, const Tech& tech, int vias) {
   for (int f = 0; f < 4; ++f) {
     add_via_field(c, rng, tech, {f * 40000, (f % 2) * 20000}, vias / 4);
   }
-  LayerMap m;
-  for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
-    m.emplace(k, lib.flatten(0, k));
-  }
-  return m;
+  return lib;
+}
+
+// One product's catalog, built through the shared snapshot substrate.
+PatternCatalog catalog_product(std::uint64_t seed, const Tech& tech, int vias,
+                               const std::vector<LayerKey>& on, Coord radius,
+                               ThreadPool* pool = nullptr) {
+  const Library lib = make_product(seed, tech, vias);
+  const LayoutSnapshot snap = make_snapshot(lib, 0, on, pool);
+  return build_catalog(snap, on, layers::kVia1, radius, pool);
 }
 
 }  // namespace
@@ -47,13 +52,12 @@ int main() {
   std::vector<Product> products;
   Stopwatch t_build;
   for (const std::uint64_t seed : {11u, 12u, 13u}) {
-    products.push_back(
-        {"P" + std::to_string(seed),
-         build_catalog(make_product(seed, Tech::standard(), 600), on,
-                       layers::kVia1, radius)});
+    products.push_back({"P" + std::to_string(seed),
+                        catalog_product(seed, Tech::standard(), 600, on,
+                                        radius)});
   }
-  products.push_back({"P_out", build_catalog(make_product(14, outlier_tech, 600),
-                                             on, layers::kVia1, radius)});
+  products.push_back(
+      {"P_out", catalog_product(14, outlier_tech, 600, on, radius)});
   const double build_ms = t_build.ms();
 
   // Same four builds on the 4-thread pool: capture fans out per anchor,
@@ -62,11 +66,10 @@ int main() {
   Stopwatch t_build_par;
   std::vector<PatternCatalog> par;
   for (const std::uint64_t seed : {11u, 12u, 13u}) {
-    par.push_back(build_catalog(make_product(seed, Tech::standard(), 600), on,
-                                layers::kVia1, radius, &pool));
+    par.push_back(catalog_product(seed, Tech::standard(), 600, on, radius,
+                                  &pool));
   }
-  par.push_back(build_catalog(make_product(14, outlier_tech, 600), on,
-                              layers::kVia1, radius, &pool));
+  par.push_back(catalog_product(14, outlier_tech, 600, on, radius, &pool));
   const double build_par_ms = t_build_par.ms();
   for (std::size_t i = 0; i < products.size(); ++i) {
     if (par[i].histogram() != products[i].catalog.histogram()) {

@@ -24,13 +24,11 @@ int main() {
       add_via_field(c, rng, Tech::standard(), {0, f * 25000},
                     std::min(64, count - f * 64));
     }
-    LayerMap layers;
-    for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
-      layers.emplace(k, lib.flatten(0, k));
-    }
+    const LayoutSnapshot snap = make_snapshot(
+        lib, 0, {layers::kVia1, layers::kMetal1, layers::kMetal2});
 
     Stopwatch sw;
-    const ViaDoublingResult r = double_vias(layers, Tech::standard());
+    const ViaDoublingResult r = double_vias(snap, Tech::standard());
     const double ms = sw.ms();
 
     const double before = via_yield(r.singles_before, 0, fail);

@@ -41,7 +41,9 @@ Region cell_row_m1(std::uint64_t seed, int cols) {
   p.routes = 0;
   p.via_fields = 0;
   const Library lib = generate_design(p);
-  return lib.flatten(lib.top_cells()[0], layers::kMetal1);
+  const LayoutSnapshot snap =
+      make_snapshot(lib, lib.top_cells()[0], {layers::kMetal1});
+  return snap.layer(layers::kMetal1).region();
 }
 
 }  // namespace

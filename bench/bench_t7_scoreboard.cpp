@@ -33,6 +33,7 @@ int main() {
                    m.detail});
   }
   table.print();
+  flow_trace_table(rep.trace).print();
 
   std::printf("\ncomposite manufacturability score: %.3f (flow: %.0f ms)\n",
               rep.scorecard.composite(), total_ms);

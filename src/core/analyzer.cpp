@@ -1,5 +1,6 @@
 #include "core/analyzer.h"
 
+#include "core/snapshot.h"
 #include "geometry/edge_ops.h"
 
 #include <algorithm>
@@ -40,20 +41,21 @@ Coord overlap_length(const EdgePair& p) {
                                          : p.marker.height();
 }
 
-}  // namespace
-
-LayerProfile profile_layer(const Region& layer, Coord max_dim,
-                           Coord bin_width) {
+LayerProfile profile_impl(const Region& layer,
+                          const std::vector<BoundaryEdge>& edges,
+                          Coord max_dim, Coord bin_width) {
   LayerProfile prof;
   prof.widths = DimensionHistogram{bin_width};
   prof.spacings = DimensionHistogram{bin_width};
   prof.component_areas = DimensionHistogram{bin_width};
   if (layer.empty()) return prof;
 
-  for (const EdgePair& p : facing_pairs(layer, max_dim, /*external=*/false)) {
+  for (const EdgePair& p :
+       facing_pairs(layer, edges, max_dim, /*external=*/false)) {
     prof.widths.add(p.distance, static_cast<std::uint64_t>(overlap_length(p)));
   }
-  for (const EdgePair& p : facing_pairs(layer, max_dim, /*external=*/true)) {
+  for (const EdgePair& p :
+       facing_pairs(layer, edges, max_dim, /*external=*/true)) {
     prof.spacings.add(p.distance,
                       static_cast<std::uint64_t>(overlap_length(p)));
   }
@@ -68,6 +70,20 @@ LayerProfile profile_layer(const Region& layer, Coord max_dim,
                               static_cast<double>(bb)
                         : 0.0;
   return prof;
+}
+
+}  // namespace
+
+LayerProfile profile_layer(const Region& layer, Coord max_dim,
+                           Coord bin_width) {
+  return profile_impl(layer, boundary_edges(layer), max_dim, bin_width);
+}
+
+LayerProfile profile_layer(const LayoutSnapshot& snap, LayerKey layer,
+                           Coord max_dim, Coord bin_width) {
+  if (!snap.has(layer)) return profile_layer(Region{}, max_dim, bin_width);
+  return profile_impl(snap.layer(layer), snap.edges(layer), max_dim,
+                      bin_width);
 }
 
 void CoverageMap::add(Coord width, Coord space, std::uint64_t weight) {
@@ -104,8 +120,11 @@ std::vector<CoverageMap::Bin> CoverageMap::uncovered(
   return out;
 }
 
-CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
-                                 Coord bin_width) {
+namespace {
+
+CoverageMap coverage_impl(const Region& layer,
+                          const std::vector<BoundaryEdge>& edges,
+                          Coord max_dim, Coord bin_width) {
   CoverageMap map{bin_width};
   if (layer.empty()) return map;
 
@@ -125,7 +144,7 @@ CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
   };
 
   std::map<Key, Coord> width_of, space_of;
-  for (const EdgePair& p : facing_pairs(layer, max_dim, false)) {
+  for (const EdgePair& p : facing_pairs(layer, edges, max_dim, false)) {
     for (const Segment& seg : {p.a, p.b}) {
       const Key k = key_of(seg);
       const auto it = width_of.find(k);
@@ -134,7 +153,7 @@ CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
       }
     }
   }
-  for (const EdgePair& p : facing_pairs(layer, max_dim, true)) {
+  for (const EdgePair& p : facing_pairs(layer, edges, max_dim, true)) {
     for (const Segment& seg : {p.a, p.b}) {
       const Key k = key_of(seg);
       const auto it = space_of.find(k);
@@ -149,6 +168,20 @@ CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
     map.add(w, it->second, static_cast<std::uint64_t>(k.hi - k.lo));
   }
   return map;
+}
+
+}  // namespace
+
+CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
+                                 Coord bin_width) {
+  return coverage_impl(layer, boundary_edges(layer), max_dim, bin_width);
+}
+
+CoverageMap dimensional_coverage(const LayoutSnapshot& snap, LayerKey layer,
+                                 Coord max_dim, Coord bin_width) {
+  if (!snap.has(layer)) return CoverageMap{bin_width};
+  return coverage_impl(snap.layer(layer), snap.edges(layer), max_dim,
+                       bin_width);
 }
 
 }  // namespace dfm

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "geometry/region.h"
+#include "layout/layer.h"
 
 #include <cstdint>
 #include <map>
@@ -16,6 +17,8 @@
 #include <vector>
 
 namespace dfm {
+
+class LayoutSnapshot;  // core/snapshot.h
 
 /// Fixed-bin histogram over nm dimensions.
 class DimensionHistogram {
@@ -57,6 +60,11 @@ struct LayerProfile {
 LayerProfile profile_layer(const Region& layer, Coord max_dim,
                            Coord bin_width = 5);
 
+/// Same over a snapshot layer, reading the memoized boundary-edge list
+/// instead of re-extracting it for each facing-pair search.
+LayerProfile profile_layer(const LayoutSnapshot& snap, LayerKey layer,
+                           Coord max_dim, Coord bin_width = 5);
+
 /// Dimensional coverage: the set of (width_bin, space_bin) cells the
 /// layout exercises. Each boundary edge contributes the pair (its local
 /// width, its local spacing) when both are within `max_dim`.
@@ -90,5 +98,9 @@ class CoverageMap {
 
 CoverageMap dimensional_coverage(const Region& layer, Coord max_dim,
                                  Coord bin_width = 5);
+
+/// Same over a snapshot layer (memoized edges, see profile_layer).
+CoverageMap dimensional_coverage(const LayoutSnapshot& snap, LayerKey layer,
+                                 Coord max_dim, Coord bin_width = 5);
 
 }  // namespace dfm

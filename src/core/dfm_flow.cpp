@@ -1,37 +1,58 @@
 #include "core/dfm_flow.h"
 
 #include "core/parallel.h"
+#include "core/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
 
 namespace dfm {
+namespace {
 
-DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
-                           const DfmFlowOptions& options) {
-  DfmFlowReport rep;
-  const Tech& t = options.tech;
-  ThreadPool pool(options.threads);
-  ThreadPool* const pp = &pool;
+using Clock = std::chrono::steady_clock;
 
-  // Flatten every layer once, one task per layer.
-  const std::vector<LayerKey> flow_layers = {layers::kMetal1, layers::kMetal2,
-                                             layers::kVia1,   layers::kPoly,
-                                             layers::kContact, layers::kDiff};
-  std::vector<Region> flattened =
-      parallel_map(pp, flow_layers.size(), [&](std::size_t i) {
-        Region r = lib.flatten(top, flow_layers[i]);
-        r.rects();  // normalize before the layer is shared across passes
-        return r;
-      });
-  LayerMap layers;
-  for (std::size_t i = 0; i < flow_layers.size(); ++i) {
-    layers.emplace(flow_layers[i], std::move(flattened[i]));
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Scope-free pass timer: start() then finish(name, items) appends one
+// PassTrace, attributing the snapshot cache activity in between to the
+// pass. Builds happen at most once per derived product, so the recorded
+// hit/miss split is deterministic at any thread count.
+class PassTimer {
+ public:
+  PassTimer(FlowTrace& trace, const LayoutSnapshot& snap)
+      : trace_(trace), snap_(snap) {}
+
+  void start() {
+    t0_ = Clock::now();
+    stats0_ = snap_.cache_stats();
   }
-  const Region& m1 = layers.at(layers::kMetal1);
-  const Region& m2 = layers.at(layers::kMetal2);
-  const Region& v1 = layers.at(layers::kVia1);
+
+  void finish(std::string name, std::size_t items) {
+    const SnapshotCacheStats d = snap_.cache_stats() - stats0_;
+    trace_.passes.push_back(
+        PassTrace{std::move(name), ms_since(t0_), items, d.hits(), d.builds()});
+  }
+
+ private:
+  FlowTrace& trace_;
+  const LayoutSnapshot& snap_;
+  Clock::time_point t0_;
+  SnapshotCacheStats stats0_;
+};
+
+void flow_over_snapshot(DfmFlowReport& rep, const LayoutSnapshot& snap,
+                        const DfmFlowOptions& options, ThreadPool* pp) {
+  const Tech& t = options.tech;
+  PassTimer pass(rep.trace, snap);
 
   // 1. DRC + DRC-Plus.
+  pass.start();
   const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
-  rep.drcplus = engine.run(layers, pp);
+  rep.drcplus = engine.run(snap, pp);
   int geometric = 0;
   for (const Violation& v : rep.drcplus.drc.violations) {
     if (v.rule.find(".D.") == std::string::npos) ++geometric;
@@ -41,30 +62,40 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
   rep.scorecard.add(
       "drc_plus", score_from_count(rep.drcplus.pattern_match_count()), 2.0,
       std::to_string(rep.drcplus.pattern_match_count()) + " pattern hits");
+  pass.finish("drc_plus", rep.drcplus.drc.violations.size() +
+                              rep.drcplus.pattern_match_count());
 
   // 2. Recommended rules.
-  rep.recommended = check_recommended(layers, standard_recommended_rules(t));
+  pass.start();
+  rep.recommended = check_recommended(snap.layers(), standard_recommended_rules(t));
   rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
                     "rule compliance");
+  pass.finish("recommended", rep.recommended.counts.size());
 
   // 3. Litho hotspots (tile-simulated).
+  const NormalizedRegion m1 = snap.layer(layers::kMetal1);
   if (options.run_litho && !m1.empty()) {
+    pass.start();
     rep.hotspots = simulate_hotspots(m1, m1.bbox(), options.model,
                                      options.litho_edge_tolerance,
                                      options.litho_tile, pp);
     rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
                       std::to_string(rep.hotspots.size()) + " hotspots");
+    pass.finish("litho", rep.hotspots.size());
   }
 
   // 4. Double patterning on Metal 1.
-  rep.dpt = decompose_dpt(m1, t);
+  pass.start();
+  rep.dpt = decompose_dpt(snap, layers::kMetal1, t);
   rep.dpt_score = score_decomposition(rep.dpt, t);
   rep.scorecard.add("dpt", rep.dpt.compliant ? rep.dpt_score.composite : 0.0,
                     2.0,
                     rep.dpt.compliant ? "compliant" : "odd cycles remain");
+  pass.finish("dpt", static_cast<std::size_t>(rep.dpt.nodes));
 
-  // 5. Redundant vias.
-  rep.vias = double_vias(layers, t);
+  // 5. Redundant vias (reads the via layer plus both metals).
+  pass.start();
+  rep.vias = double_vias(snap, t);
   const auto singles = static_cast<std::int64_t>(rep.vias.singles_before);
   const auto doubled = static_cast<std::int64_t>(rep.vias.inserted);
   rep.via_yield_before = via_yield(singles, 0, options.via_fail_rate);
@@ -76,19 +107,23 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                                 : 1.0,
                     1.0, std::to_string(doubled) + "/" +
                              std::to_string(singles) + " doubled");
+  pass.finish("via_doubling", static_cast<std::size_t>(singles));
 
   // 6. Connectivity: extracted nets and floating (misaligned) vias.
-  rep.nets = extract_nets(layers, standard_stack());
-  rep.floating_cuts = find_floating_cuts(layers, standard_stack());
+  pass.start();
+  rep.nets = extract_nets(snap, standard_stack());
+  rep.floating_cuts = find_floating_cuts(snap, standard_stack());
   rep.scorecard.add("connectivity",
                     score_from_count(rep.floating_cuts.size(), 2.0), 1.0,
                     std::to_string(rep.nets.size()) + " nets, " +
                         std::to_string(rep.floating_cuts.size()) +
                         " floating vias");
+  pass.finish("connectivity", rep.nets.size());
 
   // 7. Critical area / defect-limited yield. Shorts on M2 are net-aware
   // (stubs strapped through vias are not shorts); M1 uses the
   // conservative layer-local estimate.
+  pass.start();
   {
     std::vector<Region> pieces;
     std::vector<int> net_of;
@@ -106,13 +141,135 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
     rep.lambda_shorts = layer_lambda(m1, options.defects, /*shorts=*/true) +
                         options.defects.d0 * (eca_nm2 / 1e14);
   }
-  rep.lambda_opens = layer_lambda(m2, options.defects, /*shorts=*/false);
+  rep.lambda_opens =
+      layer_lambda(snap.layer(layers::kMetal2), options.defects,
+                   /*shorts=*/false);
   rep.defect_yield = poisson_yield(rep.lambda_shorts + rep.lambda_opens);
   rep.scorecard.add("defect_yield", rep.defect_yield, 2.0,
                     "Poisson over CAA lambda");
+  pass.finish("caa_yield", rep.nets.size());
 
-  (void)v1;
+  rep.trace.cache = snap.cache_stats();
+}
+
+// JSON string escaping for the small set that can appear in rule names
+// and scorecard details.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+double FlowTrace::passes_ms() const {
+  double sum = 0;
+  for (const PassTrace& p : passes) sum += p.ms;
+  return sum;
+}
+
+const PassTrace* FlowTrace::find(const std::string& name) const {
+  for (const PassTrace& p : passes) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
+                           const DfmFlowOptions& options) {
+  DfmFlowReport rep;
+  const auto t0 = Clock::now();
+  ThreadPool pool(options.threads);
+
+  // Build the shared substrate once: flatten every flow layer (one task
+  // per layer) and normalize by construction.
+  const auto snap_t0 = Clock::now();
+  const LayoutSnapshot snap(lib, top, &pool);
+  rep.trace.passes.push_back(PassTrace{
+      "snapshot", ms_since(snap_t0), snap.layer_keys().size(), 0, 0});
+
+  flow_over_snapshot(rep, snap, options, &pool);
+  rep.trace.total_ms = ms_since(t0);
   return rep;
+}
+
+DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
+                           const DfmFlowOptions& options) {
+  DfmFlowReport rep;
+  const auto t0 = Clock::now();
+  ThreadPool pool(options.threads);
+  rep.trace.passes.push_back(
+      PassTrace{"snapshot", 0.0, snap.layer_keys().size(), 0, 0});
+  flow_over_snapshot(rep, snap, options, &pool);
+  rep.trace.total_ms = ms_since(t0);
+  return rep;
+}
+
+Table flow_trace_table(const FlowTrace& trace) {
+  Table t("flow trace");
+  t.set_header({"pass", "ms", "items", "cache hit/miss"});
+  for (const PassTrace& p : trace.passes) {
+    t.add_row({p.name, Table::num(p.ms),
+               Table::num(static_cast<std::int64_t>(p.items)),
+               Table::num(static_cast<std::int64_t>(p.cache_hits)) + "/" +
+                   Table::num(static_cast<std::int64_t>(p.cache_misses))});
+  }
+  t.add_row({"(total)", Table::num(trace.total_ms), "", ""});
+  return t;
+}
+
+std::string flow_trace_json(const DfmFlowReport& rep) {
+  std::string out = "{\n";
+  out += "  \"total_ms\": " + json_num(rep.trace.total_ms) + ",\n";
+  out += "  \"passes\": [\n";
+  for (std::size_t i = 0; i < rep.trace.passes.size(); ++i) {
+    const PassTrace& p = rep.trace.passes[i];
+    out += "    {\"name\": \"" + json_escape(p.name) +
+           "\", \"ms\": " + json_num(p.ms) +
+           ", \"items\": " + std::to_string(p.items) +
+           ", \"cache_hits\": " + std::to_string(p.cache_hits) +
+           ", \"cache_misses\": " + std::to_string(p.cache_misses) + "}";
+    out += i + 1 < rep.trace.passes.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  const SnapshotCacheStats& c = rep.trace.cache;
+  out += "  \"cache\": {\"reads\": " + std::to_string(c.reads()) +
+         ", \"builds\": " + std::to_string(c.builds()) +
+         ", \"hits\": " + std::to_string(c.hits()) + "},\n";
+  out += "  \"scorecard\": {\n    \"composite\": " +
+         json_num(rep.scorecard.composite()) + ",\n    \"metrics\": [\n";
+  for (std::size_t i = 0; i < rep.scorecard.metrics.size(); ++i) {
+    const MetricScore& m = rep.scorecard.metrics[i];
+    out += "      {\"name\": \"" + json_escape(m.name) +
+           "\", \"value\": " + json_num(m.value) +
+           ", \"weight\": " + json_num(m.weight) + ", \"detail\": \"" +
+           json_escape(m.detail) + "\"}";
+    out += i + 1 < rep.scorecard.metrics.size() ? ",\n" : "\n";
+  }
+  out += "    ]\n  }\n}\n";
+  return out;
 }
 
 }  // namespace dfm

@@ -2,17 +2,46 @@
 // design, collects their raw results, and folds them into one composite
 // manufacturability scorecard — the "hit or hype" scoreboard that puts a
 // number on what each technique sees.
+//
+// Every pass reads one shared LayoutSnapshot, so flatten/normalize/index
+// work happens once per flow, and a FlowTrace records what each pass
+// cost (wall time, result items, snapshot cache hits/misses) for the
+// report writer and the --json machine output.
 #pragma once
 
 #include "core/drc_plus.h"
 #include "core/hotspot_flow.h"
 #include "core/recommended_rules.h"
 #include "core/scoring.h"
+#include "core/snapshot.h"
 #include "dpt/dpt.h"
 #include "layout/connectivity.h"
 #include "yield/yield.h"
 
 namespace dfm {
+
+class Table;  // core/report.h
+
+/// One timed pass of the flow.
+struct PassTrace {
+  std::string name;
+  double ms = 0;                   // wall time of the pass
+  std::size_t items = 0;           // result items (violations, hotspots, ...)
+  std::uint64_t cache_hits = 0;    // snapshot derived products reused
+  std::uint64_t cache_misses = 0;  // snapshot derived products built
+};
+
+/// Per-pass observability for one flow run.
+struct FlowTrace {
+  std::vector<PassTrace> passes;
+  double total_ms = 0;       // wall time of the whole flow
+  SnapshotCacheStats cache;  // snapshot cache totals at the end
+
+  /// Sum of per-pass wall times (close to total_ms by construction:
+  /// everything the flow does happens inside some pass).
+  double passes_ms() const;
+  const PassTrace* find(const std::string& name) const;
+};
 
 struct DfmFlowOptions {
   Tech tech;
@@ -44,9 +73,24 @@ struct DfmFlowReport {
   double via_yield_before = 1;  // all vias single
   double via_yield_after = 1;   // after redundant insertion
   DfmScorecard scorecard;
+  FlowTrace trace;
 };
 
 DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options);
+
+/// Runs the flow over a snapshot the caller already built (its "snapshot"
+/// pass then records zero time). The snapshot must contain
+/// LayoutSnapshot::standard_flow_layers().
+DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
+                           const DfmFlowOptions& options);
+
+/// Renders the trace as an aligned timing table.
+Table flow_trace_table(const FlowTrace& trace);
+
+/// Machine-readable flow output: the trace (per-pass ms/items/cache), the
+/// snapshot cache totals, and the scorecard — what `dfmkit_cli flow
+/// --json` writes and tools/run_benches.sh consumes.
+std::string flow_trace_json(const DfmFlowReport& rep);
 
 }  // namespace dfm

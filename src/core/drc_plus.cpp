@@ -1,6 +1,9 @@
 #include "core/drc_plus.h"
 
+#include "core/snapshot.h"
 #include "gen/generators.h"
+
+#include <set>
 
 namespace dfm {
 
@@ -115,30 +118,39 @@ DrcPlusEngine::DrcPlusEngine(DrcPlusDeck deck) : deck_(std::move(deck)) {
   }
 }
 
-DrcPlusResult DrcPlusEngine::run(const LayerMap& layers,
+std::vector<LayerKey> DrcPlusEngine::layers_used() const {
+  std::set<LayerKey> needed;
+  for (const Rule& r : deck_.drc.rules) {
+    needed.insert(r.layer);
+    if (r.kind == RuleKind::kMinEnclosure) needed.insert(r.inner);
+  }
+  for (const PatternRuleSet& set : deck_.pattern_sets) {
+    needed.insert(set.capture_layers.begin(), set.capture_layers.end());
+    needed.insert(set.anchor_layer);
+  }
+  return {needed.begin(), needed.end()};
+}
+
+DrcPlusResult DrcPlusEngine::run(const LayoutSnapshot& snap,
                                  ThreadPool* pool) const {
   DrcPlusResult res;
-  res.drc = DrcEngine{deck_.drc}.run(layers, pool);
+  res.drc = DrcEngine{deck_.drc}.run(snap, pool);
   for (std::size_t i = 0; i < deck_.pattern_sets.size(); ++i) {
     const PatternRuleSet& set = deck_.pattern_sets[i];
     res.matches.push_back(matchers_[i].scan_anchors(
-        layers, set.capture_layers, set.anchor_layer, set.radius, pool));
+        snap, set.capture_layers, set.anchor_layer, set.radius, pool));
   }
   return res;
 }
 
+DrcPlusResult DrcPlusEngine::run(const LayerMap& layers,
+                                 ThreadPool* pool) const {
+  return run(LayoutSnapshot(layers), pool);
+}
+
 DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top,
                                  ThreadPool* pool) const {
-  LayerMap layers = flatten_for_deck(lib, top, deck_.drc);
-  for (const PatternRuleSet& set : deck_.pattern_sets) {
-    for (const LayerKey k : set.capture_layers) {
-      if (layers.count(k) == 0) layers.emplace(k, lib.flatten(top, k));
-    }
-    if (layers.count(set.anchor_layer) == 0) {
-      layers.emplace(set.anchor_layer, lib.flatten(top, set.anchor_layer));
-    }
-  }
-  return run(layers, pool);
+  return run(LayoutSnapshot(lib, top, layers_used(), pool), pool);
 }
 
 }  // namespace dfm

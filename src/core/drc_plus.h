@@ -47,10 +47,18 @@ class DrcPlusEngine {
 
   /// Pool-aware like DrcEngine::run: dimensional rules and pattern-set
   /// window scans fan out, and matches stay aligned with
-  /// deck.pattern_sets in capture order.
+  /// deck.pattern_sets in capture order. The snapshot run is the native
+  /// path — DRC and every pattern scan read the same memoized substrate.
+  DrcPlusResult run(const LayoutSnapshot& snap,
+                    ThreadPool* pool = nullptr) const;
+  /// Compatibility overloads; both route through a LayoutSnapshot.
   DrcPlusResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
   DrcPlusResult run(const Library& lib, std::uint32_t top,
                     ThreadPool* pool = nullptr) const;
+
+  /// Every layer the deck reads (DRC layers + capture + anchor layers) —
+  /// the layer set to build a snapshot from.
+  std::vector<LayerKey> layers_used() const;
 
  private:
   DrcPlusDeck deck_;

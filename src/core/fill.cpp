@@ -1,5 +1,6 @@
 #include "core/fill.h"
 
+#include "core/snapshot.h"
 #include "geometry/rtree.h"
 #include "layout/density.h"
 
@@ -59,6 +60,11 @@ FillResult insert_fill(const Region& layer, const Rect& extent,
     }
   }
   return res;
+}
+
+FillResult insert_fill(const LayoutSnapshot& snap, LayerKey layer,
+                       const Rect& extent, const FillParams& params) {
+  return insert_fill(snap.layer(layer), extent, params);
 }
 
 }  // namespace dfm

@@ -6,9 +6,12 @@
 #pragma once
 
 #include "geometry/region.h"
+#include "layout/layer.h"
 #include "layout/tech.h"
 
 namespace dfm {
+
+class LayoutSnapshot;  // core/snapshot.h
 
 struct FillParams {
   Coord square = 200;      // fill square edge
@@ -26,5 +29,8 @@ struct FillResult {
 
 FillResult insert_fill(const Region& layer, const Rect& extent,
                        const FillParams& params);
+/// Same over one layer of a snapshot (empty layer when absent).
+FillResult insert_fill(const LayoutSnapshot& snap, LayerKey layer,
+                       const Rect& extent, const FillParams& params);
 
 }  // namespace dfm

@@ -1,17 +1,73 @@
 #include "core/hotspot_flow.h"
 
 #include "core/parallel.h"
+#include "core/snapshot.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
+namespace {
 
-std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
+// Shared core of both scan overloads: clip each window through the given
+// index, center it, and measure against every class representative.
+// Windows are enumerated in scan order, matched concurrently, and kept
+// grouped by window index: identical output to the serial sliding scan.
+std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
+                                    const RTree& tree, const Rect& extent,
+                                    const HotspotLibrary& library,
+                                    const HotspotFlowParams& params,
+                                    ThreadPool* pool) {
+  // Normalization by construction: viewing each representative
+  // canonicalizes it before the windows read it concurrently.
+  std::vector<NormalizedRegion> reps;
+  reps.reserve(library.classes.size());
+  for (const HotspotClass& cls : library.classes) {
+    reps.emplace_back(cls.representative);
+  }
+
+  const Coord r = params.snippet_radius;
+  std::vector<Rect> windows;
+  for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + params.scan_stride;
+       y += params.scan_stride) {
+    for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + params.scan_stride;
+         x += params.scan_stride) {
+      windows.push_back(Rect{x, y, x + 2 * r, y + 2 * r});
+    }
+  }
+  std::vector<std::vector<HotspotMatch>> per_window =
+      parallel_map(pool, windows.size(), [&](std::size_t wi) {
+        const Rect& window = windows[wi];
+        std::vector<HotspotMatch> local;
+        Region clip;
+        tree.visit(window, [&](std::uint32_t i) {
+          const Rect c = rects[i].intersect(window);
+          if (!c.is_empty()) clip.add(c);
+        });
+        if (clip.empty()) return local;
+        const Region centered = clip.translated(-window.center());
+        for (std::size_t ci = 0; ci < reps.size(); ++ci) {
+          const double d = snippet_distance(reps[ci], centered);
+          if (d <= params.match_threshold) {
+            local.push_back(HotspotMatch{ci, window, d});
+          }
+        }
+        return local;
+      });
+  std::vector<HotspotMatch> out;
+  for (std::vector<HotspotMatch>& v : per_window) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Hotspot> simulate_hotspots(NormalizedRegion layer,
+                                       const Rect& extent,
                                        const OpticalModel& model,
                                        Coord edge_tolerance, Coord tile,
                                        ThreadPool* pool) {
   std::vector<Hotspot> out;
   if (extent.is_empty() || layer.empty()) return out;
-  layer.rects();  // normalize before tiles read the region concurrently
   const Coord margin = 6 * model.sigma;
   const std::vector<Rect> tiles = make_tiles(extent, tile);
   // Tiles are independent simulations; the core-ownership rule below
@@ -40,7 +96,7 @@ std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
   return out;
 }
 
-HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
+HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
                                      const HotspotFlowParams& params,
                                      ThreadPool* pool) {
   HotspotLibrary lib;
@@ -72,57 +128,28 @@ HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
   return lib;
 }
 
-std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
+std::vector<HotspotMatch> scan_for_hotspots(NormalizedRegion layer,
                                             const Rect& extent,
                                             const HotspotLibrary& library,
                                             const HotspotFlowParams& params,
                                             ThreadPool* pool) {
-  std::vector<HotspotMatch> out;
-  if (library.classes.empty() || layer.empty()) return out;
-
+  if (library.classes.empty() || layer.empty()) return {};
   // Index layer rects once; clip per window via the tree.
   const std::vector<Rect>& rects = layer.rects();
   const RTree tree(rects);
-  const Coord r = params.snippet_radius;
-  for (const HotspotClass& cls : library.classes) {
-    cls.representative.rects();  // normalize before concurrent reads
-  }
+  return scan_impl(rects, tree, extent, library, params, pool);
+}
 
-  // Enumerate windows in scan order, match them concurrently, and keep
-  // the matches grouped by window index: identical output to the serial
-  // sliding scan.
-  std::vector<Rect> windows;
-  for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + params.scan_stride;
-       y += params.scan_stride) {
-    for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + params.scan_stride;
-         x += params.scan_stride) {
-      windows.push_back(Rect{x, y, x + 2 * r, y + 2 * r});
-    }
+std::vector<HotspotMatch> scan_for_hotspots(const LayoutSnapshot& snap,
+                                            LayerKey layer, const Rect& extent,
+                                            const HotspotLibrary& library,
+                                            const HotspotFlowParams& params,
+                                            ThreadPool* pool) {
+  if (library.classes.empty() || !snap.has(layer) || snap.layer(layer).empty()) {
+    return {};
   }
-  std::vector<std::vector<HotspotMatch>> per_window =
-      parallel_map(pool, windows.size(), [&](std::size_t wi) {
-        const Rect& window = windows[wi];
-        std::vector<HotspotMatch> local;
-        Region clip;
-        tree.visit(window, [&](std::uint32_t i) {
-          const Rect c = rects[i].intersect(window);
-          if (!c.is_empty()) clip.add(c);
-        });
-        if (clip.empty()) return local;
-        const Region centered = clip.translated(-window.center());
-        for (std::size_t ci = 0; ci < library.classes.size(); ++ci) {
-          const double d =
-              snippet_distance(library.classes[ci].representative, centered);
-          if (d <= params.match_threshold) {
-            local.push_back(HotspotMatch{ci, window, d});
-          }
-        }
-        return local;
-      });
-  for (std::vector<HotspotMatch>& v : per_window) {
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  return out;
+  return scan_impl(snap.layer(layer).rects(), snap.rtree(layer), extent,
+                   library, params, pool);
 }
 
 }  // namespace dfm

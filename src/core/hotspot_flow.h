@@ -5,6 +5,7 @@
 // designs without running simulation there.
 #pragma once
 
+#include "geometry/normalized_region.h"
 #include "litho/litho.h"
 #include "pattern/clustering.h"
 
@@ -13,7 +14,8 @@
 
 namespace dfm {
 
-class ThreadPool;  // core/parallel.h
+class LayoutSnapshot;  // core/snapshot.h
+class ThreadPool;      // core/parallel.h
 
 struct HotspotFlowParams {
   OpticalModel model;
@@ -37,7 +39,9 @@ struct HotspotLibrary {
 
 /// Training: simulate `layer` over `extent` tile by tile, harvest
 /// hotspot snippets, cluster, and keep one representative per class.
-HotspotLibrary build_hotspot_library(const Region& layer, const Rect& extent,
+/// Taking a NormalizedRegion canonicalizes the layer at the call
+/// boundary, so the tiles can read it concurrently.
+HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
                                      const HotspotFlowParams& params,
                                      ThreadPool* pool = nullptr);
 
@@ -50,8 +54,17 @@ struct HotspotMatch {
 /// Scanning: slide a window over the target and report windows whose
 /// geometry is within match_threshold of a class representative. No
 /// simulation happens here — that is the point of the flow.
-std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
+std::vector<HotspotMatch> scan_for_hotspots(NormalizedRegion layer,
                                             const Rect& extent,
+                                            const HotspotLibrary& library,
+                                            const HotspotFlowParams& params,
+                                            ThreadPool* pool = nullptr);
+
+/// Snapshot-native scan: reuses the snapshot's memoized R-tree for the
+/// scanned layer instead of indexing from scratch. Bit-identical to the
+/// region overload.
+std::vector<HotspotMatch> scan_for_hotspots(const LayoutSnapshot& snap,
+                                            LayerKey layer, const Rect& extent,
                                             const HotspotLibrary& library,
                                             const HotspotFlowParams& params,
                                             ThreadPool* pool = nullptr);
@@ -59,7 +72,8 @@ std::vector<HotspotMatch> scan_for_hotspots(const Region& layer,
 /// Simulates in tiles (bounded raster size) and returns all hotspots.
 /// Tiles run concurrently on the pool; per-tile results are merged in
 /// row-major tile order, so the list is identical to the serial scan.
-std::vector<Hotspot> simulate_hotspots(const Region& layer, const Rect& extent,
+std::vector<Hotspot> simulate_hotspots(NormalizedRegion layer,
+                                       const Rect& extent,
                                        const OpticalModel& model,
                                        Coord edge_tolerance,
                                        Coord tile = 20000,

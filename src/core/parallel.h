@@ -10,11 +10,14 @@
 // itself computed serially, the merged output is bit-identical to the
 // serial pass regardless of thread count or scheduling order.
 //
-// Concurrency caveat: Region normalizes lazily through `mutable` state,
-// so a Region shared across tasks must be normalized (call `rects()`)
-// before the fan-out. The toolkit's parallel entry points do this
-// unconditionally so serial and parallel paths see identical canonical
-// geometry.
+// Concurrency note: Region normalizes lazily through `mutable` state,
+// so a raw Region shared across tasks would race on its first query.
+// The toolkit closes this by construction: shared geometry travels as a
+// LayoutSnapshot (core/snapshot.h), whose layers are normalized when the
+// snapshot is built, or as a NormalizedRegion view
+// (geometry/normalized_region.h), which performs the one mutating step
+// in its constructor. Everything a task can reach through either is a
+// pure read.
 #pragma once
 
 #include "geometry/rect.h"

@@ -1,0 +1,105 @@
+#include "core/snapshot.h"
+
+#include "core/parallel.h"
+#include "layout/library.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dfm {
+
+std::vector<LayerKey> LayoutSnapshot::standard_flow_layers() {
+  return {layers::kMetal1, layers::kMetal2, layers::kVia1,
+          layers::kPoly,   layers::kContact, layers::kDiff};
+}
+
+LayoutSnapshot::LayoutSnapshot(const Library& lib, std::uint32_t top,
+                               std::vector<LayerKey> layer_keys,
+                               ThreadPool* pool) {
+  // One flatten task per layer; parallel_map keeps the results in key
+  // order so the map contents are identical at any thread count.
+  std::vector<Region> flats =
+      parallel_map(pool, layer_keys.size(), [&](std::size_t i) {
+        return lib.flatten(top, layer_keys[i]);
+      });
+  for (std::size_t i = 0; i < layer_keys.size(); ++i) {
+    layers_.emplace(layer_keys[i], std::move(flats[i]));
+  }
+  finalize();
+}
+
+LayoutSnapshot::LayoutSnapshot(const Library& lib, std::uint32_t top,
+                               ThreadPool* pool)
+    : LayoutSnapshot(lib, top, standard_flow_layers(), pool) {}
+
+LayoutSnapshot::LayoutSnapshot(const LayerMap& layers) : layers_(layers) {
+  finalize();
+}
+
+LayoutSnapshot::LayoutSnapshot(LayerMap&& layers) : layers_(std::move(layers)) {
+  finalize();
+}
+
+void LayoutSnapshot::finalize() {
+  keys_.reserve(layers_.size());
+  for (auto& [key, region] : layers_) {
+    // The one normalization point for the whole flow: the view's
+    // constructor materializes the canonical form.
+    (void)NormalizedRegion{region};
+    keys_.push_back(key);
+    bbox_ = bbox_.join(region.bbox());
+    derived_[key];  // create the memoization slot
+  }
+}
+
+LayoutSnapshot::Derived* LayoutSnapshot::derived_of(LayerKey k) const {
+  const auto it = derived_.find(k);
+  if (it == derived_.end()) {
+    throw std::out_of_range("LayoutSnapshot: no layer " + to_string(k));
+  }
+  return &it->second;
+}
+
+const RTree& LayoutSnapshot::rtree(LayerKey k) const {
+  Derived* d = derived_of(k);
+  rtree_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::call_once(d->rtree_once, [&] {
+    rtree_builds_.fetch_add(1, std::memory_order_relaxed);
+    d->rtree.build(layers_.at(k).rects());
+  });
+  return d->rtree;
+}
+
+const std::vector<BoundaryEdge>& LayoutSnapshot::edges(LayerKey k) const {
+  Derived* d = derived_of(k);
+  edge_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::call_once(d->edges_once, [&] {
+    edge_builds_.fetch_add(1, std::memory_order_relaxed);
+    d->edges = boundary_edges(layers_.at(k));
+  });
+  return d->edges;
+}
+
+const DensityMap& LayoutSnapshot::density(LayerKey k, Coord tile) const {
+  Derived* d = derived_of(k);
+  density_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(d->density_mu);
+  const auto it = d->density.find(tile);
+  if (it != d->density.end()) return it->second;
+  density_builds_.fetch_add(1, std::memory_order_relaxed);
+  return d->density.emplace(tile, density_map(layers_.at(k), bbox_, tile))
+      .first->second;
+}
+
+SnapshotCacheStats LayoutSnapshot::cache_stats() const {
+  SnapshotCacheStats s;
+  s.rtree_reads = rtree_reads_.load(std::memory_order_relaxed);
+  s.rtree_builds = rtree_builds_.load(std::memory_order_relaxed);
+  s.edge_reads = edge_reads_.load(std::memory_order_relaxed);
+  s.edge_builds = edge_builds_.load(std::memory_order_relaxed);
+  s.density_reads = density_reads_.load(std::memory_order_relaxed);
+  s.density_builds = density_builds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dfm

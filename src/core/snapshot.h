@@ -1,0 +1,131 @@
+// LayoutSnapshot: the immutable, cached analysis substrate every DFM
+// pass shares. Built once per flow from a Library + top cell (or from an
+// existing LayerMap), it holds eagerly-normalized layer regions — so the
+// "call rects() before fan-out" ritual disappears by construction — plus
+// memoized, thread-safe derived products (per-layer R-tree, boundary
+// edge list, density grids, joint bbox) that are computed at most once
+// per flow instead of once per pass.
+//
+// Thread safety: the layer map and bbox are finalized in the
+// constructor; derived products initialize through std::call_once, so
+// concurrent first access from any number of passes is race-free and
+// every caller sees the same object. Cache accounting (reads vs builds)
+// uses relaxed atomics and is deterministic for a deterministic call
+// pattern, which the flow tracer relies on.
+//
+// The snapshot owns its geometry: the source Library may be destroyed
+// after construction.
+#pragma once
+
+#include "geometry/edge_ops.h"
+#include "geometry/normalized_region.h"
+#include "geometry/rtree.h"
+#include "layout/density.h"
+#include "layout/layer_map.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dfm {
+
+class Library;
+class ThreadPool;  // core/parallel.h
+
+/// Cumulative cache accounting for one snapshot. A "read" is any derived-
+/// product access; a "build" is the one that actually computed it, so
+/// hits = reads - builds.
+struct SnapshotCacheStats {
+  std::uint64_t rtree_reads = 0, rtree_builds = 0;
+  std::uint64_t edge_reads = 0, edge_builds = 0;
+  std::uint64_t density_reads = 0, density_builds = 0;
+
+  std::uint64_t reads() const {
+    return rtree_reads + edge_reads + density_reads;
+  }
+  std::uint64_t builds() const {
+    return rtree_builds + edge_builds + density_builds;
+  }
+  std::uint64_t hits() const { return reads() - builds(); }
+
+  SnapshotCacheStats operator-(const SnapshotCacheStats& o) const {
+    return {rtree_reads - o.rtree_reads,     rtree_builds - o.rtree_builds,
+            edge_reads - o.edge_reads,       edge_builds - o.edge_builds,
+            density_reads - o.density_reads, density_builds - o.density_builds};
+  }
+};
+
+class LayoutSnapshot {
+ public:
+  /// The layer set the full DFM flow consumes.
+  static std::vector<LayerKey> standard_flow_layers();
+
+  /// Flattens `layer_keys` of `top` (one task per layer on `pool`) and
+  /// normalizes each region. Empty layers are kept so every pass sees the
+  /// same key set.
+  LayoutSnapshot(const Library& lib, std::uint32_t top,
+                 std::vector<LayerKey> layer_keys, ThreadPool* pool = nullptr);
+  /// Same over standard_flow_layers().
+  LayoutSnapshot(const Library& lib, std::uint32_t top,
+                 ThreadPool* pool = nullptr);
+  /// Normalizing copy of an existing layer map — the compatibility path
+  /// the LayerMap engine overloads route through.
+  explicit LayoutSnapshot(const LayerMap& layers);
+  /// Takes ownership of `layers` (no copy) and normalizes in place.
+  explicit LayoutSnapshot(LayerMap&& layers);
+
+  LayoutSnapshot(const LayoutSnapshot&) = delete;
+  LayoutSnapshot& operator=(const LayoutSnapshot&) = delete;
+
+  /// The normalized layer regions, keyed as requested at construction.
+  const LayerMap& layers() const { return layers_; }
+  const std::vector<LayerKey>& layer_keys() const { return keys_; }
+  bool has(LayerKey k) const { return layers_.count(k) != 0; }
+  /// View of one layer; a shared empty region when the key is absent.
+  NormalizedRegion layer(LayerKey k) const {
+    const auto it = layers_.find(k);
+    return it == layers_.end() ? NormalizedRegion{}
+                               : NormalizedRegion{it->second};
+  }
+
+  /// Joint bbox of every layer (computed eagerly at construction).
+  Rect bbox() const { return bbox_; }
+
+  /// R-tree over the layer's canonical rects; built on first access.
+  const RTree& rtree(LayerKey k) const;
+  /// Merged boundary edges of the layer; built on first access.
+  const std::vector<BoundaryEdge>& edges(LayerKey k) const;
+  /// Density grid of the layer over bbox() with square tiles of edge
+  /// `tile`; one grid per (layer, tile) pair, built on first access.
+  const DensityMap& density(LayerKey k, Coord tile) const;
+
+  SnapshotCacheStats cache_stats() const;
+
+ private:
+  struct Derived {
+    std::once_flag rtree_once;
+    RTree rtree;
+    std::once_flag edges_once;
+    std::vector<BoundaryEdge> edges;
+    std::mutex density_mu;
+    std::map<Coord, DensityMap> density;  // keyed by tile edge
+  };
+
+  /// Normalizes every region, records keys_ and bbox_, and creates the
+  /// per-layer derived-product slots. Called once, from constructors.
+  void finalize();
+  Derived* derived_of(LayerKey k) const;
+
+  LayerMap layers_;
+  std::vector<LayerKey> keys_;
+  Rect bbox_ = Rect::empty();
+  mutable std::map<LayerKey, Derived> derived_;
+
+  mutable std::atomic<std::uint64_t> rtree_reads_{0}, rtree_builds_{0};
+  mutable std::atomic<std::uint64_t> edge_reads_{0}, edge_builds_{0};
+  mutable std::atomic<std::uint64_t> density_reads_{0}, density_builds_{0};
+};
+
+}  // namespace dfm

@@ -5,12 +5,15 @@
 #pragma once
 
 #include "geometry/region.h"
+#include "layout/layer.h"
 #include "layout/tech.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace dfm {
+
+class LayoutSnapshot;  // core/snapshot.h
 
 struct ConflictGraph {
   std::vector<Region> nodes;                            // mergeable features
@@ -53,6 +56,9 @@ struct Decomposition {
 /// Full decomposition flow: color, split odd-cycle nodes at conflict-
 /// separating cuts (bounded retries), emit masks with stitch overlap.
 Decomposition decompose_dpt(const Region& layer, const Tech& tech);
+/// Same over one layer of a snapshot (empty layer when absent).
+Decomposition decompose_dpt(const LayoutSnapshot& snap, LayerKey layer,
+                            const Tech& tech);
 
 struct DptScore {
   double density_balance = 0;  // 1 - |areaA-areaB| / (areaA+areaB)

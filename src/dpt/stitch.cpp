@@ -3,6 +3,8 @@
 // halves land on different masks and share an overlap strip (the stitch).
 #include "dpt/dpt.h"
 
+#include "core/snapshot.h"
+
 #include <algorithm>
 
 namespace dfm {
@@ -125,6 +127,11 @@ Decomposition decompose_dpt(const Region& layer, const Tech& tech) {
     }
   }
   return out;
+}
+
+Decomposition decompose_dpt(const LayoutSnapshot& snap, LayerKey layer,
+                            const Tech& tech) {
+  return decompose_dpt(snap.layer(layer), tech);
 }
 
 }  // namespace dfm

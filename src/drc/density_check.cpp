@@ -4,27 +4,31 @@
 
 namespace dfm {
 
-std::vector<Violation> check_density(const Region& r, const Rect& window,
-                                     Coord tile, double lo, double hi,
-                                     const std::string& rule) {
+std::vector<Violation> density_violations(const DensityMap& m, double lo,
+                                          double hi, const std::string& rule) {
   std::vector<Violation> out;
-  const DensityMap m = density_map(r, window, tile);
   for (int iy = 0; iy < m.ny; ++iy) {
     for (int ix = 0; ix < m.nx; ++ix) {
       const double d = m.at(ix, iy);
       if (d < lo || d > hi) {
-        const Coord x0 = window.lo.x + tile * ix;
-        const Coord y0 = window.lo.y + tile * iy;
+        const Coord x0 = m.window.lo.x + m.tile * ix;
+        const Coord y0 = m.window.lo.y + m.tile * iy;
         Violation v;
         v.rule = rule;
-        v.marker = Rect{x0, y0, std::min(x0 + tile, window.hi.x),
-                        std::min(y0 + tile, window.hi.y)};
+        v.marker = Rect{x0, y0, std::min(x0 + m.tile, m.window.hi.x),
+                        std::min(y0 + m.tile, m.window.hi.y)};
         v.measured = static_cast<Coord>(d * 1000);  // per-mille coverage
         out.push_back(std::move(v));
       }
     }
   }
   return out;
+}
+
+std::vector<Violation> check_density(const Region& r, const Rect& window,
+                                     Coord tile, double lo, double hi,
+                                     const std::string& rule) {
+  return density_violations(density_map(r, window, tile), lo, hi, rule);
 }
 
 }  // namespace dfm

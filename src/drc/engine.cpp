@@ -1,6 +1,7 @@
 #include "drc/engine.h"
 
 #include "core/parallel.h"
+#include "core/snapshot.h"
 
 #include <set>
 
@@ -34,22 +35,15 @@ LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
   return out;
 }
 
-DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
+DrcResult DrcEngine::run(const LayoutSnapshot& snap, ThreadPool* pool) const {
   DrcResult result;
-  static const Region kEmpty;
-  auto layer_of = [&layers](LayerKey k) -> const Region& {
-    const auto it = layers.find(k);
-    return it == layers.end() ? kEmpty : it->second;
-  };
-
-  // Density window: the joint bbox of everything under check. bbox()
-  // also normalizes each layer, which rules sharing a Region across
-  // tasks rely on.
-  Rect chip = Rect::empty();
-  for (const auto& [k, r] : layers) chip = chip.join(r.bbox());
+  // Density window: the joint bbox of everything under check. The
+  // snapshot's regions are canonical by construction, so sharing them
+  // across rule tasks is safe without any pre-normalization step here.
+  const Rect chip = snap.bbox();
 
   const auto run_rule = [&](const Rule& rule) {
-    const Region& primary = layer_of(rule.layer);
+    const NormalizedRegion primary = snap.layer(rule.layer);
     std::vector<Violation> found;
     switch (rule.kind) {
       case RuleKind::kMinWidth:
@@ -62,7 +56,7 @@ DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
         found = check_min_area(primary, rule.value, rule.name);
         break;
       case RuleKind::kMinEnclosure:
-        found = check_enclosure(layer_of(rule.inner), primary, rule.value,
+        found = check_enclosure(snap.layer(rule.inner), primary, rule.value,
                                 rule.name);
         break;
       case RuleKind::kWideSpacing:
@@ -71,8 +65,14 @@ DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
         break;
       case RuleKind::kDensity:
         if (!chip.is_empty()) {
-          found = check_density(primary, chip, rule.value, rule.min_value,
-                                rule.max_value, rule.name);
+          if (snap.has(rule.layer)) {
+            found = density_violations(snap.density(rule.layer, rule.value),
+                                       rule.min_value, rule.max_value,
+                                       rule.name);
+          } else {
+            found = check_density(primary, chip, rule.value, rule.min_value,
+                                  rule.max_value, rule.name);
+          }
         }
         break;
     }
@@ -89,9 +89,13 @@ DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
   return result;
 }
 
+DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
+  return run(LayoutSnapshot(layers), pool);
+}
+
 DrcResult DrcEngine::run(const Library& lib, std::uint32_t top,
                          ThreadPool* pool) const {
-  return run(flatten_for_deck(lib, top, deck_), pool);
+  return run(LayoutSnapshot(flatten_for_deck(lib, top, deck_)), pool);
 }
 
 }  // namespace dfm

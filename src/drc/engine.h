@@ -18,7 +18,9 @@
 
 namespace dfm {
 
-class ThreadPool;  // core/parallel.h
+class LayoutSnapshot;  // core/snapshot.h
+class ThreadPool;      // core/parallel.h
+struct DensityMap;     // layout/density.h
 
 struct Violation {
   std::string rule;
@@ -45,8 +47,12 @@ class DrcEngine {
   const RuleDeck& deck() const { return deck_; }
 
   /// Rules execute concurrently on the pool (each rule is an independent
-  /// read-only pass over the layers); violations are merged in deck
-  /// order, so the result is identical to the serial run.
+  /// read-only pass over the snapshot); violations are merged in deck
+  /// order, so the result is identical to the serial run. Density rules
+  /// read the snapshot's memoized grid, so a repeated tile size costs one
+  /// rasterization per flow.
+  DrcResult run(const LayoutSnapshot& snap, ThreadPool* pool = nullptr) const;
+  /// Compatibility overloads; both route through a LayoutSnapshot.
   DrcResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
   DrcResult run(const Library& lib, std::uint32_t top,
                 ThreadPool* pool = nullptr) const;
@@ -79,5 +85,11 @@ std::vector<Violation> check_wide_spacing(const Region& r, Coord wide_w,
 std::vector<Violation> check_density(const Region& r, const Rect& window,
                                      Coord tile, double lo, double hi,
                                      const std::string& rule);
+
+/// Thresholds an already-computed density grid (e.g. a LayoutSnapshot's
+/// memoized one) — the marker geometry comes from the map's own
+/// window/tile, so this is exactly check_density minus the rasterization.
+std::vector<Violation> density_violations(const DensityMap& m, double lo,
+                                          double hi, const std::string& rule);
 
 }  // namespace dfm

@@ -72,7 +72,12 @@ std::vector<BoundaryEdge> boundary_edges(const Region& r) {
 }
 
 std::vector<EdgePair> facing_pairs(const Region& r, Coord limit, bool external) {
-  const std::vector<BoundaryEdge> edges = boundary_edges(r);
+  return facing_pairs(r, boundary_edges(r), limit, external);
+}
+
+std::vector<EdgePair> facing_pairs(const Region& r,
+                                   const std::vector<BoundaryEdge>& edges,
+                                   Coord limit, bool external) {
   // Strip verifier: the whole gap/width strip must be empty (external)
   // or fully covered (internal) — a midpoint probe can be fooled by a
   // third shape sitting between the two edges.

@@ -33,4 +33,10 @@ struct EdgePair {
 /// interior-facing (width) pairs.
 std::vector<EdgePair> facing_pairs(const Region& r, Coord limit, bool external);
 
+/// Same, over edges the caller already extracted (e.g. a LayoutSnapshot's
+/// memoized edge list). `edges` must be boundary_edges(r).
+std::vector<EdgePair> facing_pairs(const Region& r,
+                                   const std::vector<BoundaryEdge>& edges,
+                                   Coord limit, bool external);
+
 }  // namespace dfm

@@ -1,5 +1,8 @@
 #include "layout/connectivity.h"
 
+// Note: dfm_layout sits below dfm_snapshot in the library graph, so this
+// file may only use LayoutSnapshot's inline members (layers()).
+#include "core/snapshot.h"
 #include "geometry/rtree.h"
 
 #include <numeric>
@@ -138,6 +141,16 @@ std::vector<FloatingCut> find_floating_cuts(
     }
   }
   return out;
+}
+
+Netlist extract_nets(const LayoutSnapshot& snap,
+                     const std::vector<StackLayer>& stack) {
+  return extract_nets(snap.layers(), stack);
+}
+
+std::vector<FloatingCut> find_floating_cuts(
+    const LayoutSnapshot& snap, const std::vector<StackLayer>& stack) {
+  return find_floating_cuts(snap.layers(), stack);
 }
 
 }  // namespace dfm

@@ -11,6 +11,8 @@
 
 namespace dfm {
 
+class LayoutSnapshot;  // core/snapshot.h
+
 /// One conductor layer or cut (via) layer in the stack, bottom-up.
 /// Cut layers connect the conductor below to the conductor above.
 struct StackLayer {
@@ -42,6 +44,10 @@ struct Netlist {
 Netlist extract_nets(const LayerMap& layers,
                      const std::vector<StackLayer>& stack);
 
+/// Same over a snapshot's (already canonical) layers.
+Netlist extract_nets(const LayoutSnapshot& snap,
+                     const std::vector<StackLayer>& stack);
+
 /// Cut shapes not fully covered by both adjacent conductors: open-circuit
 /// risks (manufacturing) or outright extraction errors (design).
 struct FloatingCut {
@@ -53,5 +59,9 @@ struct FloatingCut {
 
 std::vector<FloatingCut> find_floating_cuts(
     const LayerMap& layers, const std::vector<StackLayer>& stack);
+
+/// Same over a snapshot's (already canonical) layers.
+std::vector<FloatingCut> find_floating_cuts(
+    const LayoutSnapshot& snap, const std::vector<StackLayer>& stack);
 
 }  // namespace dfm

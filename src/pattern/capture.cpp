@@ -1,35 +1,61 @@
 #include "pattern/capture.h"
 
 #include "core/parallel.h"
+#include "core/snapshot.h"
+#include "geometry/normalized_region.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
 namespace {
 
-// Window clipping against a pre-built spatial index: O(log n + k) per
-// window instead of O(n), which matters for full-design anchor scans.
-class IndexedLayer {
- public:
-  explicit IndexedLayer(const Region& r) : rects_(r.rects()), tree_(rects_) {}
+// Window clipping against a spatial index: O(log n + k) per window
+// instead of O(n), which matters for full-design anchor scans. The view
+// does not own the rects or the tree — the LayerMap path points it at
+// locally-built copies, the snapshot path at the memoized products.
+struct LayerIndex {
+  const std::vector<Rect>* rects = nullptr;
+  const RTree* tree = nullptr;
 
   Region clip(const Rect& window) const {
     Region out;
-    tree_.visit(window, [&](std::uint32_t i) {
-      const Rect c = rects_[i].intersect(window);
+    tree->visit(window, [&](std::uint32_t i) {
+      const Rect c = (*rects)[i].intersect(window);
       if (!c.is_empty()) out.add(c);
     });
     return out;
   }
-
- private:
-  std::vector<Rect> rects_;
-  RTree tree_;
 };
 
 const Region& layer_of(const LayerMap& layers, LayerKey k) {
   static const Region kEmpty;
   const auto it = layers.find(k);
   return it == layers.end() ? kEmpty : it->second;
+}
+
+// Shared core of both capture_at_anchors overloads: one window per
+// connected component of `anchor`, centered on the component bbox
+// center. Windows capture concurrently (the indices are read-only) and
+// parallel_map keeps the results in component order — identical to the
+// serial scan.
+std::vector<CapturedPattern> anchors_impl(const std::vector<LayerIndex>& index,
+                                          const std::vector<LayerKey>& on,
+                                          const Region& anchor, Coord radius,
+                                          ThreadPool* pool) {
+  std::vector<Point> centers;
+  for (const Region& comp : anchor.components()) {
+    centers.push_back(comp.bbox().center());
+  }
+  return parallel_map(pool, centers.size(), [&](std::size_t i) {
+    const Point c = centers[i];
+    const Rect window{c.x - radius, c.y - radius, c.x + radius, c.y + radius};
+    std::vector<LayerClip> clips;
+    clips.reserve(on.size());
+    for (std::size_t li = 0; li < on.size(); ++li) {
+      clips.push_back(LayerClip{on[li], index[li].clip(window)});
+    }
+    return CapturedPattern{TopologicalPattern::capture(clips, window), window,
+                           c};
+  });
 }
 
 }  // namespace
@@ -48,28 +74,39 @@ TopologicalPattern capture_window(const LayerMap& layers,
 std::vector<CapturedPattern> capture_at_anchors(
     const LayerMap& layers, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
-  std::vector<IndexedLayer> indexed;
-  indexed.reserve(on.size());
-  for (const LayerKey k : on) indexed.emplace_back(layer_of(layers, k));
-
-  // Anchor centers in component order; each window then captures
-  // independently (the indexed layers are read-only) and parallel_map
-  // keeps the results in that same order.
-  std::vector<Point> centers;
-  for (const Region& comp : layer_of(layers, anchor_layer).components()) {
-    centers.push_back(comp.bbox().center());
+  // Locally-owned copies of each layer's canonical rects + an R-tree over
+  // them; the snapshot overload shares these products across passes.
+  std::vector<std::vector<Rect>> rects;
+  std::vector<RTree> trees;
+  std::vector<LayerIndex> index;
+  rects.reserve(on.size());
+  trees.reserve(on.size());
+  index.reserve(on.size());
+  for (const LayerKey k : on) {
+    rects.push_back(layer_of(layers, k).rects());
+    trees.emplace_back(rects.back());
+    index.push_back(LayerIndex{&rects.back(), &trees.back()});
   }
-  return parallel_map(pool, centers.size(), [&](std::size_t i) {
-    const Point c = centers[i];
-    const Rect window{c.x - radius, c.y - radius, c.x + radius, c.y + radius};
-    std::vector<LayerClip> clips;
-    clips.reserve(on.size());
-    for (std::size_t li = 0; li < on.size(); ++li) {
-      clips.push_back(LayerClip{on[li], indexed[li].clip(window)});
+  return anchors_impl(index, on, layer_of(layers, anchor_layer), radius, pool);
+}
+
+std::vector<CapturedPattern> capture_at_anchors(
+    const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
+  // Hoist the memoized products out of the parallel region so each is
+  // touched exactly once per call regardless of thread count.
+  static const std::vector<Rect> kNoRects;
+  static const RTree kEmptyTree;
+  std::vector<LayerIndex> index;
+  index.reserve(on.size());
+  for (const LayerKey k : on) {
+    if (snap.has(k)) {
+      index.push_back(LayerIndex{&snap.layer(k).rects(), &snap.rtree(k)});
+    } else {
+      index.push_back(LayerIndex{&kNoRects, &kEmptyTree});
     }
-    return CapturedPattern{TopologicalPattern::capture(clips, window), window,
-                           c};
-  });
+  }
+  return anchors_impl(index, on, snap.layer(anchor_layer), radius, pool);
 }
 
 std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
@@ -79,9 +116,11 @@ std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
                                           ThreadPool* pool) {
   std::vector<CapturedPattern> out;
   if (extent.is_empty() || size <= 0 || stride <= 0) return out;
-  for (const LayerKey k : on) {
-    layer_of(layers, k).rects();  // normalize before concurrent clipping
-  }
+  // Normalization by construction: building the views canonicalizes each
+  // layer before the windows fan out across threads.
+  std::vector<NormalizedRegion> views;
+  views.reserve(on.size());
+  for (const LayerKey k : on) views.emplace_back(layer_of(layers, k));
   std::vector<Rect> windows;
   for (Coord y = extent.lo.y; y + size <= extent.hi.y; y += stride) {
     for (Coord x = extent.lo.x; x + size <= extent.hi.x; x += stride) {
@@ -100,6 +139,15 @@ std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
     out.push_back(std::move(c));
   }
   return out;
+}
+
+std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
+                                          const std::vector<LayerKey>& on,
+                                          const Rect& extent, Coord size,
+                                          Coord stride, bool keep_empty,
+                                          ThreadPool* pool) {
+  return capture_grid(snap.layers(), on, extent, size, stride, keep_empty,
+                      pool);
 }
 
 }  // namespace dfm

@@ -13,7 +13,8 @@
 
 namespace dfm {
 
-class ThreadPool;  // core/parallel.h
+class LayoutSnapshot;  // core/snapshot.h
+class ThreadPool;      // core/parallel.h
 
 struct CapturedPattern {
   TopologicalPattern pattern;
@@ -34,10 +35,26 @@ std::vector<CapturedPattern> capture_at_anchors(
     const LayerMap& layers, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
 
+/// Snapshot-native anchor capture: reuses the snapshot's memoized per-
+/// layer R-trees instead of indexing from scratch, so repeated scans of
+/// one layout (DRC-Plus pattern sets, catalogs) pay the indexing cost
+/// once. Output is bit-identical to the LayerMap overload.
+std::vector<CapturedPattern> capture_at_anchors(
+    const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
+
 /// Sliding-window capture over `extent` at `stride`; windows of edge
 /// `size`. Empty windows are skipped unless keep_empty. Parallel capture
 /// preserves scan order, like capture_at_anchors.
 std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
+                                          const std::vector<LayerKey>& on,
+                                          const Rect& extent, Coord size,
+                                          Coord stride,
+                                          bool keep_empty = false,
+                                          ThreadPool* pool = nullptr);
+
+/// Grid capture over a snapshot's (already canonical) layers.
+std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride,

@@ -94,4 +94,13 @@ PatternCatalog build_catalog(const LayerMap& layers,
   return cat;
 }
 
+PatternCatalog build_catalog(const LayoutSnapshot& snap,
+                             const std::vector<LayerKey>& on,
+                             LayerKey anchor_layer, Coord radius,
+                             ThreadPool* pool) {
+  PatternCatalog cat;
+  cat.insert(capture_at_anchors(snap, on, anchor_layer, radius, pool));
+  return cat;
+}
+
 }  // namespace dfm

@@ -65,4 +65,10 @@ PatternCatalog build_catalog(const LayerMap& layers,
                              LayerKey anchor_layer, Coord radius,
                              ThreadPool* pool = nullptr);
 
+/// Same over a snapshot (shares its memoized R-trees across builds).
+PatternCatalog build_catalog(const LayoutSnapshot& snap,
+                             const std::vector<LayerKey>& on,
+                             LayerKey anchor_layer, Coord radius,
+                             ThreadPool* pool = nullptr);
+
 }  // namespace dfm

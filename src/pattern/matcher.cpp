@@ -86,4 +86,10 @@ std::vector<PatternMatch> PatternMatcher::scan_anchors(
   return scan(capture_at_anchors(layers, on, anchor_layer, radius, pool), pool);
 }
 
+std::vector<PatternMatch> PatternMatcher::scan_anchors(
+    const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) const {
+  return scan(capture_at_anchors(snap, on, anchor_layer, radius, pool), pool);
+}
+
 }  // namespace dfm

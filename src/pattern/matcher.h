@@ -44,6 +44,11 @@ class PatternMatcher {
                                          const std::vector<LayerKey>& on,
                                          LayerKey anchor_layer, Coord radius,
                                          ThreadPool* pool = nullptr) const;
+  /// Same over a snapshot (shares its memoized R-trees across scans).
+  std::vector<PatternMatch> scan_anchors(const LayoutSnapshot& snap,
+                                         const std::vector<LayerKey>& on,
+                                         LayerKey anchor_layer, Coord radius,
+                                         ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<PatternRule> rules_;

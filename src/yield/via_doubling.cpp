@@ -3,6 +3,7 @@
 // landing-pad extensions do not create new metal spacing violations.
 #include "yield/yield.h"
 
+#include "core/snapshot.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
@@ -105,6 +106,10 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
     if (!placed) ++res.blocked;
   }
   return res;
+}
+
+ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech) {
+  return double_vias(snap.layers(), tech);
 }
 
 }  // namespace dfm

@@ -13,6 +13,8 @@
 
 namespace dfm {
 
+class LayoutSnapshot;  // core/snapshot.h
+
 /// Power-law defect size distribution f(s) ~ 1/s^k on [x0, xmax] — the
 /// standard model in the critical-area literature (k = 3 typical).
 struct DefectModel {
@@ -79,6 +81,8 @@ struct ViaDoublingResult {
 /// every other via is kept and the pad extension creates no new
 /// metal-spacing violation.
 ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech);
+/// Same over a snapshot's (already canonical) layers.
+ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech);
 
 /// Via-limited yield: singles fail at `fail_rate`, doubled pairs at
 /// fail_rate^2.

@@ -1,0 +1,267 @@
+// LayoutSnapshot: the shared analysis substrate. The contract under test:
+// (a) layers are normalized by construction and identical to a fresh
+// flatten, (b) every memoized derived product is bit-identical to the
+// same computation done from scratch, (c) concurrent first access from
+// many threads is race-free and returns one shared object, with exact
+// cache accounting, and (d) the flow run over a snapshot reproduces the
+// Library-path flow field for field.
+#include "core/snapshot.h"
+
+#include "core/dfm_flow.h"
+#include "core/parallel.h"
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dfm {
+namespace {
+
+Library small_design(std::uint64_t seed) {
+  DesignParams p;
+  p.seed = seed;
+  p.rows = 2;
+  p.cells_per_row = 6;
+  p.routes = 12;
+  return generate_design(p);
+}
+
+TEST(LayoutSnapshot, LayersMatchFreshFlattenAndAreNormalized) {
+  const Library lib = small_design(501);
+  const auto top = lib.top_cells().front();
+  const LayoutSnapshot snap(lib, top);
+
+  // keys_ is recorded in layer-map (sorted) order; compare as a set.
+  std::vector<LayerKey> expected = LayoutSnapshot::standard_flow_layers();
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(snap.layer_keys(), expected);
+  Rect joined = Rect::empty();
+  for (const LayerKey k : snap.layer_keys()) {
+    ASSERT_TRUE(snap.has(k)) << to_string(k);
+    const Region fresh = lib.flatten(top, k);
+    EXPECT_TRUE(snap.layer(k).region() == fresh) << to_string(k);
+    // Canonical form: identical rect lists, not just equal coverage.
+    EXPECT_EQ(snap.layer(k).rects(), fresh.rects()) << to_string(k);
+    joined = joined.join(snap.layer(k).bbox());
+  }
+  EXPECT_EQ(snap.bbox(), joined);
+}
+
+TEST(LayoutSnapshot, AbsentLayerIsEmptyViewAndDerivedAccessThrows) {
+  const Library lib = small_design(502);
+  const LayoutSnapshot snap(lib, lib.top_cells().front(),
+                            {layers::kMetal1});
+  EXPECT_FALSE(snap.has(layers::kMetal2));
+  EXPECT_TRUE(snap.layer(layers::kMetal2).empty());
+  EXPECT_THROW(snap.rtree(layers::kMetal2), std::out_of_range);
+  EXPECT_THROW(snap.edges(layers::kMetal2), std::out_of_range);
+  EXPECT_THROW(snap.density(layers::kMetal2, 2000), std::out_of_range);
+}
+
+TEST(LayoutSnapshot, DerivedProductsAreBitIdenticalToFreshComputation) {
+  const Library lib = small_design(503);
+  const auto top = lib.top_cells().front();
+  const LayoutSnapshot snap(lib, top);
+
+  for (const LayerKey k : snap.layer_keys()) {
+    SCOPED_TRACE(to_string(k));
+    const Region& layer = snap.layer(k);
+
+    // R-tree: same query answers as a tree built from scratch.
+    const RTree fresh_tree(layer.rects());
+    const RTree& memo_tree = snap.rtree(k);
+    ASSERT_EQ(memo_tree.size(), fresh_tree.size());
+    const Rect chip = snap.bbox();
+    const std::vector<Rect> windows = {
+        chip, Rect{chip.lo.x, chip.lo.y, chip.lo.x + 3000, chip.lo.y + 3000},
+        Rect{(chip.lo.x + chip.hi.x) / 2, (chip.lo.y + chip.hi.y) / 2,
+             chip.hi.x, chip.hi.y},
+        Rect{chip.hi.x + 100, chip.hi.y + 100, chip.hi.x + 200,
+             chip.hi.y + 200}};
+    for (const Rect& w : windows) {
+      EXPECT_EQ(memo_tree.query(w), fresh_tree.query(w));
+    }
+
+    // Boundary edges: identical list, same order.
+    const auto fresh_edges = boundary_edges(layer);
+    const auto& memo_edges = snap.edges(k);
+    ASSERT_EQ(memo_edges.size(), fresh_edges.size());
+    for (std::size_t i = 0; i < memo_edges.size(); ++i) {
+      EXPECT_EQ(memo_edges[i].seg, fresh_edges[i].seg);
+      EXPECT_EQ(memo_edges[i].inside, fresh_edges[i].inside);
+    }
+
+    // Density grid: identical values over the snapshot bbox.
+    for (const Coord tile : {2000, 5000}) {
+      const DensityMap fresh_map = density_map(layer, snap.bbox(), tile);
+      const DensityMap& memo_map = snap.density(k, tile);
+      EXPECT_EQ(memo_map.window, fresh_map.window);
+      EXPECT_EQ(memo_map.nx, fresh_map.nx);
+      EXPECT_EQ(memo_map.ny, fresh_map.ny);
+      EXPECT_EQ(memo_map.values, fresh_map.values);
+    }
+  }
+}
+
+TEST(LayoutSnapshot, CacheStatsCountEveryReadAndBuildOnce) {
+  const Library lib = small_design(504);
+  const LayoutSnapshot snap(lib, lib.top_cells().front(),
+                            {layers::kMetal1, layers::kMetal2});
+  EXPECT_EQ(snap.cache_stats().reads(), 0u);
+  EXPECT_EQ(snap.cache_stats().builds(), 0u);
+
+  snap.rtree(layers::kMetal1);
+  snap.rtree(layers::kMetal1);
+  snap.rtree(layers::kMetal2);
+  snap.edges(layers::kMetal1);
+  snap.edges(layers::kMetal1);
+  snap.density(layers::kMetal1, 2000);
+  snap.density(layers::kMetal1, 2000);  // hit: same (layer, tile)
+  snap.density(layers::kMetal1, 4000);  // miss: new tile size
+
+  const SnapshotCacheStats s = snap.cache_stats();
+  EXPECT_EQ(s.rtree_reads, 3u);
+  EXPECT_EQ(s.rtree_builds, 2u);
+  EXPECT_EQ(s.edge_reads, 2u);
+  EXPECT_EQ(s.edge_builds, 1u);
+  EXPECT_EQ(s.density_reads, 3u);
+  EXPECT_EQ(s.density_builds, 2u);
+  EXPECT_EQ(s.hits(), s.reads() - s.builds());
+}
+
+TEST(LayoutSnapshot, ConcurrentFirstAccessYieldsOneSharedObject) {
+  const Library lib = small_design(505);
+  const LayoutSnapshot snap(lib, lib.top_cells().front());
+  const LayerKey k = layers::kMetal1;
+
+  constexpr int kThreads = 8;
+  std::vector<const RTree*> trees(kThreads, nullptr);
+  std::vector<const std::vector<BoundaryEdge>*> edges(kThreads, nullptr);
+  std::vector<const DensityMap*> grids(kThreads, nullptr);
+  {
+    std::vector<std::thread> pack;
+    pack.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      pack.emplace_back([&, i] {
+        trees[static_cast<std::size_t>(i)] = &snap.rtree(k);
+        edges[static_cast<std::size_t>(i)] = &snap.edges(k);
+        grids[static_cast<std::size_t>(i)] = &snap.density(k, 3000);
+      });
+    }
+    for (std::thread& t : pack) t.join();
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(trees[static_cast<std::size_t>(i)], trees[0]);
+    EXPECT_EQ(edges[static_cast<std::size_t>(i)], edges[0]);
+    EXPECT_EQ(grids[static_cast<std::size_t>(i)], grids[0]);
+  }
+
+  // Exactly one build per product no matter how many racers.
+  const SnapshotCacheStats s = snap.cache_stats();
+  EXPECT_EQ(s.rtree_builds, 1u);
+  EXPECT_EQ(s.edge_builds, 1u);
+  EXPECT_EQ(s.density_builds, 1u);
+  EXPECT_EQ(s.rtree_reads, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.edge_reads, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.density_reads, static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(LayoutSnapshot, LayerMapConstructorsMatchLibraryConstructor) {
+  const Library lib = small_design(506);
+  const auto top = lib.top_cells().front();
+  LayerMap copy;
+  for (const LayerKey k : LayoutSnapshot::standard_flow_layers()) {
+    copy.emplace(k, lib.flatten(top, k));
+  }
+  const LayoutSnapshot from_lib(lib, top);
+  const LayoutSnapshot from_copy(copy);
+  const LayoutSnapshot from_move(std::move(copy));
+  EXPECT_EQ(from_copy.bbox(), from_lib.bbox());
+  EXPECT_EQ(from_move.bbox(), from_lib.bbox());
+  for (const LayerKey k : from_lib.layer_keys()) {
+    EXPECT_TRUE(from_copy.layer(k).region() == from_lib.layer(k).region());
+    EXPECT_TRUE(from_move.layer(k).region() == from_lib.layer(k).region());
+  }
+}
+
+// ---- Flow over a snapshot -------------------------------------------------
+
+DfmFlowOptions flow_options(unsigned threads) {
+  DfmFlowOptions opt;
+  opt.tech = Tech::standard();
+  opt.model.sigma = 25;
+  opt.model.px = 5;
+  opt.litho_tile = 4000;
+  opt.threads = threads;
+  return opt;
+}
+
+void expect_same_report(const DfmFlowReport& a, const DfmFlowReport& b) {
+  ASSERT_EQ(a.scorecard.metrics.size(), b.scorecard.metrics.size());
+  for (std::size_t i = 0; i < a.scorecard.metrics.size(); ++i) {
+    EXPECT_EQ(a.scorecard.metrics[i].name, b.scorecard.metrics[i].name);
+    EXPECT_EQ(a.scorecard.metrics[i].value, b.scorecard.metrics[i].value)
+        << a.scorecard.metrics[i].name;
+    EXPECT_EQ(a.scorecard.metrics[i].detail, b.scorecard.metrics[i].detail)
+        << a.scorecard.metrics[i].name;
+  }
+  EXPECT_EQ(a.scorecard.composite(), b.scorecard.composite());
+  EXPECT_EQ(a.drcplus.drc.violations.size(), b.drcplus.drc.violations.size());
+  EXPECT_EQ(a.drcplus.pattern_match_count(), b.drcplus.pattern_match_count());
+  EXPECT_EQ(a.hotspots.size(), b.hotspots.size());
+  EXPECT_EQ(a.nets.size(), b.nets.size());
+  EXPECT_EQ(a.floating_cuts.size(), b.floating_cuts.size());
+  EXPECT_EQ(a.lambda_shorts, b.lambda_shorts);
+  EXPECT_EQ(a.lambda_opens, b.lambda_opens);
+  EXPECT_EQ(a.defect_yield, b.defect_yield);
+  EXPECT_EQ(a.via_yield_before, b.via_yield_before);
+  EXPECT_EQ(a.via_yield_after, b.via_yield_after);
+}
+
+TEST(FlowOverSnapshot, MatchesLibraryPathAtEveryThreadCount) {
+  const Library lib = small_design(507);
+  const auto top = lib.top_cells().front();
+  const DfmFlowReport via_lib = run_dfm_flow(lib, top, flow_options(1));
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const LayoutSnapshot snap(lib, top, &pool);
+    const DfmFlowReport via_snap = run_dfm_flow(snap, flow_options(threads));
+    expect_same_report(via_lib, via_snap);
+  }
+}
+
+TEST(FlowTraceTest, AccountsForEveryPassAndCacheActivity) {
+  const Library lib = small_design(508);
+  const DfmFlowReport rep =
+      run_dfm_flow(lib, lib.top_cells().front(), flow_options(2));
+  const FlowTrace& trace = rep.trace;
+
+  ASSERT_FALSE(trace.passes.empty());
+  for (const char* name : {"snapshot", "drc_plus", "recommended", "dpt",
+                           "via_doubling", "connectivity", "caa_yield"}) {
+    EXPECT_NE(trace.find(name), nullptr) << name;
+  }
+  EXPECT_GT(trace.total_ms, 0.0);
+  // Passes nest inside the total; allow scheduling jitter headroom.
+  EXPECT_LE(trace.passes_ms(), trace.total_ms * 1.10);
+
+  // The shared substrate paid off: more reads than builds.
+  EXPECT_GT(trace.cache.builds(), 0u);
+  EXPECT_GT(trace.cache.hits(), 0u);
+  EXPECT_EQ(trace.cache.reads(), trace.cache.hits() + trace.cache.builds());
+
+  // The JSON emitter covers every pass and stays parseable-by-eye.
+  const std::string json = flow_trace_json(rep);
+  EXPECT_NE(json.find("\"total_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"drc_plus\""), std::string::npos);
+  EXPECT_NE(json.find("\"scorecard\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -6,7 +6,10 @@
 //   dfmkit info <in.gds>               library summary
 //   dfmkit drc <in.gds> [top]          run the standard DRC deck
 //   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
-//   dfmkit flow <in.gds> [top]         full DFM flow + scoreboard
+//   dfmkit flow [--json <path>] <in.gds> [top]
+//                                      full DFM flow + scoreboard; --json
+//                                      writes the per-pass trace +
+//                                      scorecard as machine-readable JSON
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
 //
@@ -16,6 +19,7 @@
 #include "core/dfm_flow.h"
 #include "core/parallel.h"
 #include "core/report.h"
+#include "core/snapshot.h"
 #include "gdsii/gdsii.h"
 #include "oasis/oasis.h"
 #include "gen/generators.h"
@@ -24,6 +28,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
@@ -132,7 +137,20 @@ int cmd_drc(int argc, char** argv, bool plus) {
 }
 
 int cmd_flow(int argc, char** argv) {
-  if (argc < 3) throw std::runtime_error("usage: dfmkit flow <in.gds> [top]");
+  // Strip the flow-local --json <path> option.
+  std::string json_path;
+  for (int i = 2; i < argc;) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else {
+      ++i;
+    }
+  }
+  if (argc < 3) {
+    throw std::runtime_error("usage: dfmkit flow [--json <path>] <in.gds> [top]");
+  }
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
   DfmFlowOptions opt;
@@ -147,7 +165,14 @@ int cmd_flow(int argc, char** argv) {
     t.add_row({m.name, Table::num(m.value), m.detail});
   }
   t.print();
+  flow_trace_table(rep.trace).print();
   std::printf("composite: %.3f\n", rep.scorecard.composite());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+    out << flow_trace_json(rep);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -155,12 +180,11 @@ int cmd_catalog(int argc, char** argv) {
   if (argc < 3) throw std::runtime_error("usage: dfmkit catalog <in.gds> [top]");
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
-  LayerMap m;
   const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
                                     layers::kMetal2};
-  for (const LayerKey k : on) m.emplace(k, lib.flatten(top, k));
   ThreadPool pool(g_threads);
-  const PatternCatalog cat = build_catalog(m, on, layers::kVia1, 120, &pool);
+  const LayoutSnapshot snap(lib, top, on, &pool);
+  const PatternCatalog cat = build_catalog(snap, on, layers::kVia1, 120, &pool);
   std::printf("windows=%llu classes=%zu top-10=%.1f%%\n",
               static_cast<unsigned long long>(cat.total_windows()),
               cat.class_count(), 100.0 * cat.top_k_coverage(10));
@@ -180,12 +204,11 @@ int cmd_svg(int argc, char** argv) {
   }
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 4);
-  LayerMap m;
-  std::vector<LayerKey> order = lib.layers();
-  for (const LayerKey k : order) m.emplace(k, lib.flatten(top, k));
+  const std::vector<LayerKey> order = lib.layers();
+  const LayoutSnapshot snap(lib, top, order);
   SvgWriter w(lib.bbox(top), 1200);
   for (const LayerKey k : order) {
-    w.add_layer(m.at(k), SvgWriter::default_color(k));
+    w.add_layer(snap.layer(k), SvgWriter::default_color(k));
   }
   w.write_file(argv[3]);
   std::printf("wrote %s\n", argv[3]);

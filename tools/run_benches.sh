@@ -1,0 +1,71 @@
+#!/bin/sh
+# Run every bench binary and consolidate the results.
+#
+# Usage: tools/run_benches.sh [build-dir]   (default: build)
+#
+# Each bench's stdout goes to <build>/bench_logs/<name>.log; the script
+# then runs `dfmkit flow --json` on a generated demo design and writes
+# BENCH_flow.json at the repository root: the flow's per-pass trace +
+# scorecard under "flow", plus per-bench wall time and exit status under
+# "benches". Requires an existing build (cmake --build <build-dir>).
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+build="${1:-build}"
+if [ ! -d "$build/bench" ]; then
+  echo "error: $build/bench not found — build the project first" >&2
+  exit 2
+fi
+
+logdir="$build/bench_logs"
+mkdir -p "$logdir"
+
+# Wall time in milliseconds. %N is GNU date; busybox fallback is seconds.
+now_ms() {
+  if date +%s%N | grep -qv N; then
+    echo $(( $(date +%s%N) / 1000000 ))
+  else
+    echo $(( $(date +%s) * 1000 ))
+  fi
+}
+
+bench_rows=""
+for bin in "$build"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  log="$logdir/$name.log"
+  printf '== %s\n' "$name"
+  t0=$(now_ms)
+  status=0
+  "$bin" >"$log" 2>&1 || status=$?
+  t1=$(now_ms)
+  if [ "$status" -ne 0 ]; then
+    echo "   FAILED (exit $status) — see $log" >&2
+  fi
+  row="    {\"name\": \"$name\", \"ms\": $((t1 - t0)), \"exit\": $status}"
+  bench_rows="${bench_rows:+$bench_rows,
+}$row"
+done
+
+# The flow trace on a fresh demo design, via the CLI's --json emitter.
+demo="$logdir/bench_demo.gds"
+flow_json="$logdir/flow_trace.json"
+"$build/tools/dfmkit" gen "$demo" 42 >"$logdir/dfmkit_gen.log"
+"$build/tools/dfmkit" flow --json "$flow_json" "$demo" \
+  >"$logdir/dfmkit_flow.log"
+
+{
+  echo '{'
+  echo '  "benches": ['
+  printf '%s\n' "$bench_rows"
+  echo '  ],'
+  printf '  "flow": '
+  # Indent the flow object to nest cleanly.
+  sed -e '1s/^/ /' -e '2,$s/^/  /' "$flow_json"
+  echo '}'
+} > BENCH_flow.json
+
+echo "wrote BENCH_flow.json ($(grep -c '"name"' BENCH_flow.json) entries);" \
+     "logs in $logdir/"
