@@ -24,7 +24,7 @@ int main() {
   const Region& m2 = snap.layer(layers::kMetal2);
   const Rect extent = lib.bbox(top);
 
-  FillParams fp;
+  FillOptions fp;
   fp.square = 200;
   fp.spacing = 150;
   fp.tile = 4000;

@@ -65,7 +65,7 @@ int main() {
   const LayoutSnapshot target_snap(std::move(target_layers));
 
   for (const double threshold : {0.15, 0.25, 0.35}) {
-    HotspotFlowParams params;
+    HotspotFlowOptions params;
     params.model.sigma = 30;
     params.model.px = 5;
     params.snippet_radius = 350;
@@ -78,9 +78,11 @@ int main() {
         build_hotspot_library(train.m1, train.m1.bbox().expanded(300), params);
     const double train_ms = t_train.ms();
 
+    HotspotFlowOptions params_par = params;
+    params_par.pool = &pool;
     Stopwatch t_train_par;
     const HotspotLibrary lib_par = build_hotspot_library(
-        train.m1, train.m1.bbox().expanded(300), params, &pool);
+        train.m1, train.m1.bbox().expanded(300), params_par);
     const double train_par_ms = t_train_par.ms();
     if (lib_par.classes.size() != lib.classes.size() ||
         lib_par.training_hotspots != lib.training_hotspots) {
@@ -91,7 +93,7 @@ int main() {
     Stopwatch t_scan;
     const auto matches = scan_for_hotspots(
         target_snap, layers::kMetal1, target.m1.bbox().expanded(300), lib,
-        params, &pool);
+        params_par);
     const double scan_ms = t_scan.ms();
 
     // Recall: labelled constructs hit by at least one match window.

@@ -19,7 +19,7 @@ int main() {
   inject_bridge_candidate(train, t, {12000, 0});
   const Region train_m1 = train.local_region(layers::kMetal1);
 
-  HotspotFlowParams params;
+  HotspotFlowOptions params;
   params.model.sigma = 30;
   params.model.px = 5;
   params.snippet_radius = 350;

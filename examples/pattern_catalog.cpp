@@ -3,6 +3,7 @@
 // coverage statistics and the divergence between the products.
 #include "core/report.h"
 #include "gen/generators.h"
+#include "core/snapshot.h"
 #include "pattern/catalog.h"
 #include "pattern/divergence.h"
 
@@ -32,9 +33,11 @@ int main() {
   const Coord radius = 120;
 
   const PatternCatalog a =
-      build_catalog(make_product(1, 300), on, layers::kVia1, radius);
+      build_catalog(LayoutSnapshot(make_product(1, 300)), on,
+                    layers::kVia1, radius);
   const PatternCatalog b =
-      build_catalog(make_product(2, 300), on, layers::kVia1, radius);
+      build_catalog(LayoutSnapshot(make_product(2, 300)), on,
+                    layers::kVia1, radius);
 
   Table stats("via-enclosure pattern catalog");
   stats.set_header({"product", "windows", "classes", "top-2 coverage",

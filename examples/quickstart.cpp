@@ -3,6 +3,7 @@
 //
 //   ./quickstart [seed]
 #include "core/report.h"
+#include "core/snapshot.h"
 #include "drc/engine.h"
 #include "gdsii/gdsii.h"
 #include "gen/generators.h"
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
 
   // 3. Run the standard DRC deck.
   const DrcEngine engine{RuleDeck::standard(params.tech)};
-  const DrcResult result = engine.run(back, back.top_cells()[0]);
+  const LayoutSnapshot snap(back, back.top_cells()[0]);
+  const DrcResult result = engine.run(snap);
 
   Table table("DRC summary");
   table.set_header({"rule", "violations", "description"});

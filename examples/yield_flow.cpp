@@ -2,6 +2,7 @@
 // redundant via insertion, and the before/after yield estimate.
 #include "core/report.h"
 #include "gen/generators.h"
+#include "core/snapshot.h"
 #include "yield/yield.h"
 
 #include <cstdio>
@@ -41,7 +42,7 @@ int main() {
   std::printf("\nMetal-2 defect lambda = %.3e -> Poisson yield %.4f\n", lam,
               poisson_yield(lam));
 
-  const ViaDoublingResult vd = double_vias(layers, p.tech);
+  const ViaDoublingResult vd = double_vias(LayoutSnapshot(layers), p.tech);
   const double f = 5e-4;
   const double y_before = via_yield(vd.singles_before, 0, f);
   const double y_after =

@@ -1,5 +1,7 @@
 #include "core/autofix.h"
 
+#include "core/delta.h"
+
 namespace dfm {
 namespace {
 
@@ -94,6 +96,13 @@ AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
     }
   }
   return res;
+}
+
+LayoutDelta to_delta(const AutoFixResult& result) {
+  LayoutDelta delta;
+  delta.add(layers::kMetal1, result.added_m1);
+  delta.add(layers::kMetal2, result.added_m2);
+  return delta;
 }
 
 }  // namespace dfm

@@ -12,12 +12,16 @@
 
 namespace dfm {
 
+class LayoutDelta;  // core/delta.h
+
 struct AutoFixResult {
   int attempted = 0;
   int fixed = 0;
   int skipped = 0;     // no legal repair at this site
   Region added_m1;     // material added per layer
   Region added_m2;
+
+  friend bool operator==(const AutoFixResult&, const AutoFixResult&) = default;
 };
 
 /// Applies repairs for the standard-deck pattern matches in-place on
@@ -25,5 +29,9 @@ struct AutoFixResult {
 /// before being committed.
 AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
                        const DrcPlusResult& result, const Tech& tech);
+
+/// The layout edit a repair run applied (metal added on M1/M2), as a
+/// delta incremental re-analysis can apply to the pre-fix snapshot.
+LayoutDelta to_delta(const AutoFixResult& result);
 
 }  // namespace dfm

@@ -1,0 +1,102 @@
+// Deprecated Library/LayerMap engine entry points. The snapshot-first
+// API (one run/scan per engine over a LayoutSnapshot) is canonical;
+// every overload here is a thin shim that builds a snapshot — or calls
+// the shared detail:: implementation — and produces bit-identical
+// results. The declarations carry [[deprecated]] in their own headers;
+// the definitions live here so code that never includes this header
+// cannot even link against the legacy surface by accident.
+//
+// Migration: construct a LayoutSnapshot once (it memoizes the canonical
+// regions, R-trees, edge lists and density grids every pass reads) and
+// pass it to the snapshot overloads.
+#pragma once
+
+#include "core/drc_plus.h"
+#include "core/recommended_rules.h"
+#include "core/snapshot.h"
+#include "drc/engine.h"
+#include "layout/connectivity.h"
+#include "pattern/catalog.h"
+#include "pattern/matcher.h"
+#include "yield/yield.h"
+
+namespace dfm {
+
+// The shims necessarily name deprecated entities when defining them;
+// that must not warn (or break -Werror=deprecated-declarations builds).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+inline DrcResult DrcEngine::run(const LayerMap& layers,
+                                ThreadPool* pool) const {
+  return run(LayoutSnapshot(layers), DrcOptions{pool});
+}
+
+inline DrcResult DrcEngine::run(const Library& lib, std::uint32_t top,
+                                ThreadPool* pool) const {
+  return run(LayoutSnapshot(flatten_for_deck(lib, top, deck())),
+             DrcOptions{pool});
+}
+
+inline DrcPlusResult DrcPlusEngine::run(const LayerMap& layers,
+                                        ThreadPool* pool) const {
+  return run(LayoutSnapshot(layers), DrcPlusOptions{pool});
+}
+
+inline DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top,
+                                        ThreadPool* pool) const {
+  return run(LayoutSnapshot(lib, top, layers_used(), pool),
+             DrcPlusOptions{pool});
+}
+
+inline std::vector<CapturedPattern> capture_at_anchors(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
+  return capture_at_anchors(LayoutSnapshot(layers), on, anchor_layer, radius,
+                            pool);
+}
+
+inline std::vector<CapturedPattern> capture_grid(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
+    const Rect& extent, Coord size, Coord stride, bool keep_empty,
+    ThreadPool* pool) {
+  return capture_grid(LayoutSnapshot(layers), on, extent, size, stride,
+                      keep_empty, pool);
+}
+
+inline std::vector<PatternMatch> PatternMatcher::scan_anchors(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool) const {
+  return scan_anchors(LayoutSnapshot(layers), on, anchor_layer, radius, pool);
+}
+
+inline Netlist extract_nets(const LayerMap& layers,
+                            const std::vector<StackLayer>& stack) {
+  return detail::extract_nets_impl(layers, stack);
+}
+
+inline std::vector<FloatingCut> find_floating_cuts(
+    const LayerMap& layers, const std::vector<StackLayer>& stack) {
+  return detail::find_floating_cuts_impl(layers, stack);
+}
+
+inline ViaDoublingResult double_vias(const LayerMap& layers,
+                                     const Tech& tech) {
+  return detail::double_vias_impl(layers, tech);
+}
+
+inline RecommendedResult check_recommended(
+    const LayerMap& layers, const std::vector<RecommendedRule>& rules) {
+  return check_recommended(LayoutSnapshot(layers), rules);
+}
+
+inline PatternCatalog build_catalog(const LayerMap& layers,
+                                    const std::vector<LayerKey>& on,
+                                    LayerKey anchor_layer, Coord radius,
+                                    ThreadPool* pool) {
+  return build_catalog(LayoutSnapshot(layers), on, anchor_layer, radius, pool);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace dfm

@@ -1,10 +1,12 @@
 #include "core/dfm_flow.h"
 
+#include "core/incremental.h"
 #include "core/parallel.h"
 #include "core/report.h"
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <utility>
 
 namespace dfm {
@@ -17,10 +19,10 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-// Scope-free pass timer: start() then finish(name, items) appends one
-// PassTrace, attributing the snapshot cache activity in between to the
-// pass. Builds happen at most once per derived product, so the recorded
-// hit/miss split is deterministic at any thread count.
+// Scope-free pass timer: start() then finish(...) appends one PassTrace,
+// attributing the snapshot cache activity in between to the pass. Builds
+// happen at most once per derived product, so the recorded hit/miss
+// split is deterministic at any thread count.
 class PassTimer {
  public:
   PassTimer(FlowTrace& trace, const LayoutSnapshot& snap)
@@ -31,10 +33,19 @@ class PassTimer {
     stats0_ = snap_.cache_stats();
   }
 
-  void finish(std::string name, std::size_t items) {
+  void finish(std::string name, std::size_t items, std::size_t total_units,
+              std::size_t dirty_units, bool incremental) {
     const SnapshotCacheStats d = snap_.cache_stats() - stats0_;
-    trace_.passes.push_back(
-        PassTrace{std::move(name), ms_since(t0_), items, d.hits(), d.builds()});
+    PassTrace p;
+    p.name = std::move(name);
+    p.ms = ms_since(t0_);
+    p.items = items;
+    p.cache_hits = d.hits();
+    p.cache_misses = d.builds();
+    p.total_units = total_units;
+    p.dirty_units = dirty_units;
+    p.incremental = incremental;
+    trace_.passes.push_back(std::move(p));
   }
 
  private:
@@ -44,112 +55,47 @@ class PassTimer {
   SnapshotCacheStats stats0_;
 };
 
-void flow_over_snapshot(DfmFlowReport& rep, const LayoutSnapshot& snap,
-                        const DfmFlowOptions& options, ThreadPool* pp) {
-  const Tech& t = options.tech;
-  PassTimer pass(rep.trace, snap);
+/// Which of the seven flow passes the options enable. caa_yield reads
+/// the extracted netlist, so requesting it pulls connectivity in.
+struct EnabledPasses {
+  bool drc_plus = true;
+  bool recommended = true;
+  bool litho = true;
+  bool dpt = true;
+  bool vias = true;
+  bool connectivity = true;
+  bool caa = true;
+};
 
-  // 1. DRC + DRC-Plus.
-  pass.start();
-  const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
-  rep.drcplus = engine.run(snap, pp);
-  int geometric = 0;
-  for (const Violation& v : rep.drcplus.drc.violations) {
-    if (v.rule.find(".D.") == std::string::npos) ++geometric;
+EnabledPasses enabled_passes(const DfmFlowOptions& options) {
+  if (options.passes.empty()) return EnabledPasses{};
+  EnabledPasses e{};
+  e.drc_plus = e.recommended = e.litho = e.dpt = e.vias = e.connectivity =
+      e.caa = false;
+  for (const std::string& p : options.passes) {
+    const std::string c = canonical_flow_pass(p);
+    if (c == "drc_plus") e.drc_plus = true;
+    else if (c == "recommended") e.recommended = true;
+    else if (c == "litho") e.litho = true;
+    else if (c == "dpt") e.dpt = true;
+    else if (c == "via_doubling") e.vias = true;
+    else if (c == "connectivity") e.connectivity = true;
+    else if (c == "caa_yield") e.caa = e.connectivity = true;
   }
-  rep.scorecard.add("drc", score_from_count(static_cast<std::size_t>(geometric)),
-                    3.0, std::to_string(geometric) + " violations");
-  rep.scorecard.add(
-      "drc_plus", score_from_count(rep.drcplus.pattern_match_count()), 2.0,
-      std::to_string(rep.drcplus.pattern_match_count()) + " pattern hits");
-  pass.finish("drc_plus", rep.drcplus.drc.violations.size() +
-                              rep.drcplus.pattern_match_count());
+  return e;
+}
 
-  // 2. Recommended rules.
-  pass.start();
-  rep.recommended = check_recommended(snap.layers(), standard_recommended_rules(t));
-  rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
-                    "rule compliance");
-  pass.finish("recommended", rep.recommended.counts.size());
-
-  // 3. Litho hotspots (tile-simulated).
-  const NormalizedRegion m1 = snap.layer(layers::kMetal1);
-  if (options.run_litho && !m1.empty()) {
-    pass.start();
-    rep.hotspots = simulate_hotspots(m1, m1.bbox(), options.model,
-                                     options.litho_edge_tolerance,
-                                     options.litho_tile, pp);
-    rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
-                      std::to_string(rep.hotspots.size()) + " hotspots");
-    pass.finish("litho", rep.hotspots.size());
-  }
-
-  // 4. Double patterning on Metal 1.
-  pass.start();
-  rep.dpt = decompose_dpt(snap, layers::kMetal1, t);
-  rep.dpt_score = score_decomposition(rep.dpt, t);
-  rep.scorecard.add("dpt", rep.dpt.compliant ? rep.dpt_score.composite : 0.0,
-                    2.0,
-                    rep.dpt.compliant ? "compliant" : "odd cycles remain");
-  pass.finish("dpt", static_cast<std::size_t>(rep.dpt.nodes));
-
-  // 5. Redundant vias (reads the via layer plus both metals).
-  pass.start();
-  rep.vias = double_vias(snap, t);
-  const auto singles = static_cast<std::int64_t>(rep.vias.singles_before);
-  const auto doubled = static_cast<std::int64_t>(rep.vias.inserted);
-  rep.via_yield_before = via_yield(singles, 0, options.via_fail_rate);
-  rep.via_yield_after =
-      via_yield(singles - doubled, doubled, options.via_fail_rate);
-  rep.scorecard.add("via_redundancy",
-                    singles > 0 ? static_cast<double>(doubled) /
-                                      static_cast<double>(singles)
-                                : 1.0,
-                    1.0, std::to_string(doubled) + "/" +
-                             std::to_string(singles) + " doubled");
-  pass.finish("via_doubling", static_cast<std::size_t>(singles));
-
-  // 6. Connectivity: extracted nets and floating (misaligned) vias.
-  pass.start();
-  rep.nets = extract_nets(snap, standard_stack());
-  rep.floating_cuts = find_floating_cuts(snap, standard_stack());
-  rep.scorecard.add("connectivity",
-                    score_from_count(rep.floating_cuts.size(), 2.0), 1.0,
-                    std::to_string(rep.nets.size()) + " nets, " +
-                        std::to_string(rep.floating_cuts.size()) +
-                        " floating vias");
-  pass.finish("connectivity", rep.nets.size());
-
-  // 7. Critical area / defect-limited yield. Shorts on M2 are net-aware
-  // (stubs strapped through vias are not shorts); M1 uses the
-  // conservative layer-local estimate.
-  pass.start();
-  {
-    std::vector<Region> pieces;
-    std::vector<int> net_of;
-    for (std::size_t ni = 0; ni < rep.nets.nets.size(); ++ni) {
-      if (const Region* piece = rep.nets.nets[ni].on(layers::kMetal2)) {
-        pieces.push_back(*piece);
-        net_of.push_back(static_cast<int>(ni));
-      }
+/// True when the edit's dirty region on any of `on` has positive-area
+/// overlap with `window` — i.e. the clipped geometry the window reads
+/// may have changed. Requires damage.inc.
+bool window_touched(const FlowDamage& damage, const std::vector<LayerKey>& on,
+                    const Rect& window) {
+  for (const LayerKey k : on) {
+    for (const Rect& d : damage.inc->dirty_region(k).rects()) {
+      if (d.overlaps(window)) return true;
     }
-    const auto m2_shorts = [&](Coord s) {
-      return short_critical_area_nets(pieces, net_of, s);
-    };
-    const double eca_nm2 =
-        average_critical_area(m2_shorts, options.defects, 16);
-    rep.lambda_shorts = layer_lambda(m1, options.defects, /*shorts=*/true) +
-                        options.defects.d0 * (eca_nm2 / 1e14);
   }
-  rep.lambda_opens =
-      layer_lambda(snap.layer(layers::kMetal2), options.defects,
-                   /*shorts=*/false);
-  rep.defect_yield = poisson_yield(rep.lambda_shorts + rep.lambda_opens);
-  rep.scorecard.add("defect_yield", rep.defect_yield, 2.0,
-                    "Poisson over CAA lambda");
-  pass.finish("caa_yield", rep.nets.size());
-
-  rep.trace.cache = snap.cache_stats();
+  return false;
 }
 
 // JSON string escaping for the small set that can appear in rule names
@@ -184,6 +130,318 @@ std::string json_num(double v) {
 
 }  // namespace
 
+namespace detail {
+
+void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
+                     const DfmFlowOptions& options, ThreadPool* pool,
+                     FlowCaches& caches, const FlowDamage& damage,
+                     const DfmFlowReport* prev) {
+  const Tech& t = options.tech;
+  const EnabledPasses enabled = enabled_passes(options);
+  PassTimer pass(rep.trace, snap);
+
+  // An incremental run may splice cached units only when the damage is
+  // partial AND the caches describe the immediately preceding snapshot.
+  const bool inc = !damage.full() && caches.valid && prev != nullptr;
+
+  if (!caches.engine) {
+    caches.engine = std::make_shared<DrcPlusEngine>(DrcPlusDeck::standard(t));
+  }
+  const DrcPlusEngine& engine = *caches.engine;
+
+  // 1. DRC + DRC-Plus. Splice units: one per DRC rule (stale iff any of
+  // rule_layers(rule) is dirty) and one per pattern capture window
+  // (stale iff the dirty region touches the window on a capture layer).
+  if (enabled.drc_plus) {
+    pass.start();
+    const RuleDeck& deck = engine.deck().drc;
+    std::size_t total_units = deck.rules.size();
+    std::size_t dirty_units = 0;
+
+    // Dimensional rules, spliced per rule in deck order.
+    const bool have_rules = inc && caches.drc_rules.size() == deck.rules.size();
+    std::vector<std::size_t> stale_rules;
+    for (std::size_t ri = 0; ri < deck.rules.size(); ++ri) {
+      if (!have_rules || damage.dirty_any(rule_layers(deck.rules[ri]))) {
+        stale_rules.push_back(ri);
+      }
+    }
+    std::vector<std::vector<Violation>> fresh = parallel_map(
+        pool, stale_rules.size(), [&](std::size_t i) {
+          return DrcEngine::run_rule(snap, deck.rules[stale_rules[i]]);
+        });
+    if (!have_rules) caches.drc_rules.assign(deck.rules.size(), {});
+    for (std::size_t i = 0; i < stale_rules.size(); ++i) {
+      caches.drc_rules[stale_rules[i]] = std::move(fresh[i]);
+    }
+    dirty_units += stale_rules.size();
+    rep.drcplus.drc.violations.clear();
+    for (const std::vector<Violation>& vs : caches.drc_rules) {
+      rep.drcplus.drc.violations.insert(rep.drcplus.drc.violations.end(),
+                                        vs.begin(), vs.end());
+    }
+
+    // Pattern sets: anchor sites re-enumerate from the edited layer every
+    // run (so windows appear/move/vanish exactly as they would cold);
+    // a site reuses its cached match list iff the same window was scanned
+    // last run and no capture layer changed inside it.
+    const std::vector<PatternRuleSet>& sets = engine.deck().pattern_sets;
+    if (caches.pattern_windows.size() != sets.size()) {
+      caches.pattern_windows.assign(sets.size(), {});
+    }
+    rep.drcplus.matches.clear();
+    rep.drcplus.matches.reserve(sets.size());
+    for (std::size_t si = 0; si < sets.size(); ++si) {
+      const PatternRuleSet& set = sets[si];
+      const std::vector<AnchorWindow> sites =
+          anchor_windows(snap.layer(set.anchor_layer).region(), set.radius);
+      const auto& cache = caches.pattern_windows[si];
+      std::vector<const std::vector<PatternMatch>*> reused(sites.size(),
+                                                           nullptr);
+      std::vector<std::size_t> stale_sites;
+      for (std::size_t w = 0; w < sites.size(); ++w) {
+        const std::vector<PatternMatch>* hit = nullptr;
+        if (inc) {
+          const auto it = cache.find(sites[w]);
+          if (it != cache.end() &&
+              !window_touched(damage, set.capture_layers, sites[w].window)) {
+            hit = &it->second;
+          }
+        }
+        if (hit) {
+          reused[w] = hit;
+        } else {
+          stale_sites.push_back(w);
+        }
+      }
+      const std::vector<CapturedPattern> captured = parallel_map(
+          pool, stale_sites.size(), [&](std::size_t i) {
+            return capture_window_at(snap, set.capture_layers,
+                                     sites[stale_sites[i]]);
+          });
+      const std::vector<std::vector<PatternMatch>> scanned =
+          engine.matcher(si).scan_per_window(captured, pool);
+      std::map<AnchorWindow, std::vector<PatternMatch>> next;
+      std::vector<PatternMatch> flat;
+      std::size_t j = 0;
+      for (std::size_t w = 0; w < sites.size(); ++w) {
+        const std::vector<PatternMatch>& m =
+            reused[w] != nullptr ? *reused[w] : scanned[j++];
+        flat.insert(flat.end(), m.begin(), m.end());
+        next.emplace(sites[w], m);
+      }
+      caches.pattern_windows[si] = std::move(next);
+      rep.drcplus.matches.push_back(std::move(flat));
+      total_units += sites.size();
+      dirty_units += stale_sites.size();
+    }
+
+    int geometric = 0;
+    for (const Violation& v : rep.drcplus.drc.violations) {
+      if (v.rule.find(".D.") == std::string::npos) ++geometric;
+    }
+    rep.scorecard.add("drc",
+                      score_from_count(static_cast<std::size_t>(geometric)),
+                      3.0, std::to_string(geometric) + " violations");
+    rep.scorecard.add(
+        "drc_plus", score_from_count(rep.drcplus.pattern_match_count()), 2.0,
+        std::to_string(rep.drcplus.pattern_match_count()) + " pattern hits");
+    pass.finish("drc_plus",
+                rep.drcplus.drc.violations.size() +
+                    rep.drcplus.pattern_match_count(),
+                total_units, dirty_units, inc);
+  }
+
+  // 2. Recommended rules, spliced per rule like DRC.
+  if (enabled.recommended) {
+    pass.start();
+    if (caches.recommended_rules.empty()) {
+      caches.recommended_rules = standard_recommended_rules(t);
+    }
+    const std::vector<RecommendedRule>& rules = caches.recommended_rules;
+    const bool have = inc && caches.recommended_hits.size() == rules.size();
+    std::vector<std::size_t> stale;
+    for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+      if (!have || damage.dirty_any(rule_layers(rules[ri].rule))) {
+        stale.push_back(ri);
+      }
+    }
+    const std::vector<std::size_t> fresh = parallel_map(
+        pool, stale.size(), [&](std::size_t i) {
+          return check_recommended_rule(snap, rules[stale[i]]);
+        });
+    if (!have) caches.recommended_hits.assign(rules.size(), 0);
+    for (std::size_t i = 0; i < stale.size(); ++i) {
+      caches.recommended_hits[stale[i]] = fresh[i];
+    }
+    rep.recommended = assemble_recommended(rules, caches.recommended_hits);
+    rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
+                      "rule compliance");
+    pass.finish("recommended", rep.recommended.counts.size(), rules.size(),
+                stale.size(), inc);
+  }
+
+  // 3. Litho hotspots (tile-simulated). Splice unit: one simulation
+  // tile; a tile is stale when the dirty region touches its core
+  // expanded by the optical halo. The cache is valid only while every
+  // run refreshes it, so a skipped pass invalidates it.
+  const NormalizedRegion m1 = snap.layer(layers::kMetal1);
+  if (enabled.litho && options.run_litho && !m1.empty()) {
+    pass.start();
+    HotspotSimOptions sim{pool};
+    sim.model = options.model;
+    sim.edge_tolerance = options.litho_edge_tolerance;
+    sim.tile = options.litho_tile;
+    const bool have = inc && caches.litho_valid;
+    caches.litho =
+        have ? resimulate_hotspots(m1, m1.bbox(), sim, caches.litho,
+                                   damage.inc->dirty_region(layers::kMetal1))
+             : simulate_hotspots_tiled(m1, m1.bbox(), sim);
+    caches.litho_valid = true;
+    rep.hotspots = caches.litho.merged();
+    rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
+                      std::to_string(rep.hotspots.size()) + " hotspots");
+    pass.finish("litho", rep.hotspots.size(), caches.litho.tiles.size(),
+                caches.litho.recomputed, have);
+  } else {
+    caches.litho_valid = false;
+  }
+
+  // 4. Double patterning on Metal 1. Whole-pass splice: reads m1 only.
+  if (enabled.dpt) {
+    pass.start();
+    const bool reuse = inc && !damage.dirty(layers::kMetal1);
+    if (reuse) {
+      rep.dpt = prev->dpt;
+      rep.dpt_score = prev->dpt_score;
+    } else {
+      rep.dpt = decompose_dpt(snap, layers::kMetal1, t);
+      rep.dpt_score = score_decomposition(rep.dpt, t);
+    }
+    rep.scorecard.add("dpt", rep.dpt.compliant ? rep.dpt_score.composite : 0.0,
+                      2.0,
+                      rep.dpt.compliant ? "compliant" : "odd cycles remain");
+    pass.finish("dpt", static_cast<std::size_t>(rep.dpt.nodes), 1,
+                reuse ? 0 : 1, inc);
+  }
+
+  // 5. Redundant vias (reads the via layer plus both metals). The
+  // derived yield scalars are pure functions of the counts, so they
+  // recompute bit-identically either way.
+  if (enabled.vias) {
+    pass.start();
+    const bool reuse =
+        inc && !damage.dirty_any(
+                   {layers::kVia1, layers::kMetal1, layers::kMetal2});
+    rep.vias = reuse ? prev->vias : double_vias(snap, t);
+    const auto singles = static_cast<std::int64_t>(rep.vias.singles_before);
+    const auto doubled = static_cast<std::int64_t>(rep.vias.inserted);
+    rep.via_yield_before = via_yield(singles, 0, options.via_fail_rate);
+    rep.via_yield_after =
+        via_yield(singles - doubled, doubled, options.via_fail_rate);
+    rep.scorecard.add("via_redundancy",
+                      singles > 0 ? static_cast<double>(doubled) /
+                                        static_cast<double>(singles)
+                                  : 1.0,
+                      1.0, std::to_string(doubled) + "/" +
+                               std::to_string(singles) + " doubled");
+    pass.finish("via_doubling", static_cast<std::size_t>(singles), 1,
+                reuse ? 0 : 1, inc);
+  }
+
+  // 6. Connectivity: extracted nets and floating (misaligned) vias.
+  // Whole-pass splice over the full stack.
+  if (enabled.connectivity) {
+    pass.start();
+    const bool reuse =
+        inc && !damage.dirty_any(
+                   {layers::kMetal1, layers::kVia1, layers::kMetal2});
+    if (reuse) {
+      rep.nets = prev->nets;
+      rep.floating_cuts = prev->floating_cuts;
+    } else {
+      rep.nets = extract_nets(snap, standard_stack());
+      rep.floating_cuts = find_floating_cuts(snap, standard_stack());
+    }
+    rep.scorecard.add("connectivity",
+                      score_from_count(rep.floating_cuts.size(), 2.0), 1.0,
+                      std::to_string(rep.nets.size()) + " nets, " +
+                          std::to_string(rep.floating_cuts.size()) +
+                          " floating vias");
+    pass.finish("connectivity", rep.nets.size(), 1, reuse ? 0 : 1, inc);
+  }
+
+  // 7. Critical area / defect-limited yield. Shorts on M2 are net-aware
+  // (stubs strapped through vias are not shorts); M1 uses the
+  // conservative layer-local estimate. Reads the same layers as
+  // connectivity, so it reuses exactly when connectivity did.
+  if (enabled.caa) {
+    pass.start();
+    const bool reuse =
+        inc && !damage.dirty_any(
+                   {layers::kMetal1, layers::kVia1, layers::kMetal2});
+    if (reuse) {
+      rep.lambda_shorts = prev->lambda_shorts;
+      rep.lambda_opens = prev->lambda_opens;
+      rep.defect_yield = prev->defect_yield;
+    } else {
+      std::vector<Region> pieces;
+      std::vector<int> net_of;
+      for (std::size_t ni = 0; ni < rep.nets.nets.size(); ++ni) {
+        if (const Region* piece = rep.nets.nets[ni].on(layers::kMetal2)) {
+          pieces.push_back(*piece);
+          net_of.push_back(static_cast<int>(ni));
+        }
+      }
+      const auto m2_shorts = [&](Coord s) {
+        return short_critical_area_nets(pieces, net_of, s);
+      };
+      const double eca_nm2 =
+          average_critical_area(m2_shorts, options.defects, 16);
+      rep.lambda_shorts = layer_lambda(m1, options.defects, /*shorts=*/true) +
+                          options.defects.d0 * (eca_nm2 / 1e14);
+      rep.lambda_opens =
+          layer_lambda(snap.layer(layers::kMetal2), options.defects,
+                       /*shorts=*/false);
+      rep.defect_yield = poisson_yield(rep.lambda_shorts + rep.lambda_opens);
+    }
+    rep.scorecard.add("defect_yield", rep.defect_yield, 2.0,
+                      "Poisson over CAA lambda");
+    pass.finish("caa_yield", rep.nets.size(), 1, reuse ? 0 : 1, inc);
+  }
+
+  caches.valid = true;
+  rep.trace.cache = snap.cache_stats();
+}
+
+}  // namespace detail
+
+std::string canonical_flow_pass(const std::string& name) {
+  static const std::map<std::string, std::string> kNames = {
+      {"drc_plus", "drc_plus"},       {"drc", "drc_plus"},
+      {"drcplus", "drc_plus"},        {"recommended", "recommended"},
+      {"rec", "recommended"},         {"litho", "litho"},
+      {"hotspots", "litho"},          {"dpt", "dpt"},
+      {"via_doubling", "via_doubling"}, {"vias", "via_doubling"},
+      {"connectivity", "connectivity"}, {"nets", "connectivity"},
+      {"caa_yield", "caa_yield"},     {"caa", "caa_yield"},
+      {"yield", "caa_yield"},
+  };
+  const auto it = kNames.find(name);
+  return it == kNames.end() ? std::string{} : it->second;
+}
+
+bool reports_equivalent(const DfmFlowReport& a, const DfmFlowReport& b) {
+  return a.drcplus == b.drcplus && a.nets == b.nets &&
+         a.floating_cuts == b.floating_cuts && a.recommended == b.recommended &&
+         a.hotspots == b.hotspots && a.dpt == b.dpt &&
+         a.dpt_score == b.dpt_score && a.vias == b.vias &&
+         a.lambda_shorts == b.lambda_shorts &&
+         a.lambda_opens == b.lambda_opens && a.defect_yield == b.defect_yield &&
+         a.via_yield_before == b.via_yield_before &&
+         a.via_yield_after == b.via_yield_after && a.scorecard == b.scorecard;
+}
+
 double FlowTrace::passes_ms() const {
   double sum = 0;
   for (const PassTrace& p : passes) sum += p.ms;
@@ -201,16 +459,18 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const auto t0 = Clock::now();
-  ThreadPool pool(options.threads);
+  const PassPool pool(options);
 
   // Build the shared substrate once: flatten every flow layer (one task
   // per layer) and normalize by construction.
   const auto snap_t0 = Clock::now();
-  const LayoutSnapshot snap(lib, top, &pool);
-  rep.trace.passes.push_back(PassTrace{
-      "snapshot", ms_since(snap_t0), snap.layer_keys().size(), 0, 0});
+  const LayoutSnapshot snap(lib, top, pool);
+  rep.trace.passes.push_back(
+      PassTrace{"snapshot", ms_since(snap_t0), snap.layer_keys().size()});
 
-  flow_over_snapshot(rep, snap, options, &pool);
+  FlowCaches caches;
+  detail::run_flow_passes(rep, snap, options, pool, caches, FlowDamage{},
+                          nullptr);
   rep.trace.total_ms = ms_since(t0);
   return rep;
 }
@@ -219,24 +479,31 @@ DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const auto t0 = Clock::now();
-  ThreadPool pool(options.threads);
+  const PassPool pool(options);
   rep.trace.passes.push_back(
-      PassTrace{"snapshot", 0.0, snap.layer_keys().size(), 0, 0});
-  flow_over_snapshot(rep, snap, options, &pool);
+      PassTrace{"snapshot", 0.0, snap.layer_keys().size()});
+  FlowCaches caches;
+  detail::run_flow_passes(rep, snap, options, pool, caches, FlowDamage{},
+                          nullptr);
   rep.trace.total_ms = ms_since(t0);
   return rep;
 }
 
 Table flow_trace_table(const FlowTrace& trace) {
   Table t("flow trace");
-  t.set_header({"pass", "ms", "items", "cache hit/miss"});
+  t.set_header({"pass", "ms", "items", "dirty/total", "cache hit/miss"});
   for (const PassTrace& p : trace.passes) {
     t.add_row({p.name, Table::num(p.ms),
                Table::num(static_cast<std::int64_t>(p.items)),
+               p.total_units == 0
+                   ? std::string{}
+                   : Table::num(static_cast<std::int64_t>(p.dirty_units)) +
+                         "/" +
+                         Table::num(static_cast<std::int64_t>(p.total_units)),
                Table::num(static_cast<std::int64_t>(p.cache_hits)) + "/" +
                    Table::num(static_cast<std::int64_t>(p.cache_misses))});
   }
-  t.add_row({"(total)", Table::num(trace.total_ms), "", ""});
+  t.add_row({"(total)", Table::num(trace.total_ms), "", "", ""});
   return t;
 }
 
@@ -249,6 +516,9 @@ std::string flow_trace_json(const DfmFlowReport& rep) {
     out += "    {\"name\": \"" + json_escape(p.name) +
            "\", \"ms\": " + json_num(p.ms) +
            ", \"items\": " + std::to_string(p.items) +
+           ", \"total_units\": " + std::to_string(p.total_units) +
+           ", \"dirty_units\": " + std::to_string(p.dirty_units) +
+           ", \"incremental\": " + (p.incremental ? "true" : "false") +
            ", \"cache_hits\": " + std::to_string(p.cache_hits) +
            ", \"cache_misses\": " + std::to_string(p.cache_misses) + "}";
     out += i + 1 < rep.trace.passes.size() ? ",\n" : "\n";

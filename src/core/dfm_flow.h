@@ -29,6 +29,21 @@ struct PassTrace {
   std::size_t items = 0;           // result items (violations, hotspots, ...)
   std::uint64_t cache_hits = 0;    // snapshot derived products reused
   std::uint64_t cache_misses = 0;  // snapshot derived products built
+  // Incremental accounting. A "unit" is the pass's splice granule (DRC
+  // rule, capture window, litho tile, whole pass for the global ones);
+  // a cold run recomputes all of them, an incremental run only the
+  // dirty ones.
+  std::size_t total_units = 0;
+  std::size_t dirty_units = 0;
+  bool incremental = false;  // ran against an IncrementalSnapshot
+
+  /// Fraction of units spliced from the previous run (0 on a cold pass).
+  double reuse_ratio() const {
+    return total_units == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(dirty_units) /
+                           static_cast<double>(total_units);
+  }
 };
 
 /// Per-pass observability for one flow run.
@@ -43,7 +58,14 @@ struct FlowTrace {
   const PassTrace* find(const std::string& name) const;
 };
 
-struct DfmFlowOptions {
+/// Inherits `threads`/`pool` from PassOptions like every engine's
+/// options struct; `threads` defaults to 0 here (hardware concurrency)
+/// because the flow is the outermost entry point. Every parallel pass
+/// merges deterministically, so the report is identical for any value.
+struct DfmFlowOptions : PassOptions {
+  DfmFlowOptions() { threads = 0; }
+  DfmFlowOptions(ThreadPool* p) : PassOptions(p) { threads = 0; }  // NOLINT
+
   Tech tech;
   OpticalModel model;
   DefectModel defects;
@@ -51,18 +73,21 @@ struct DfmFlowOptions {
   Coord litho_tile = 20000;
   Coord litho_edge_tolerance = 12;
   double via_fail_rate = 1e-4;
-  /// Total parallelism for the heavy passes (litho tiles, DRC rules,
-  /// pattern windows); 0 = hardware concurrency, 1 = fully serial. Every
-  /// parallel pass merges deterministically, so the report is identical
-  /// for any value.
-  unsigned threads = 0;
+  /// Pass subset to run (canonical names or their aliases, see
+  /// canonical_flow_pass); empty = every pass. caa_yield reads the
+  /// extracted nets, so requesting it pulls connectivity in with it.
+  std::vector<std::string> passes;
 };
+
+/// Resolves a user-facing pass name ("drc", "vias", "caa", ...) to its
+/// canonical flow pass name; empty when unknown.
+std::string canonical_flow_pass(const std::string& name);
 
 struct DfmFlowReport {
   DrcPlusResult drcplus;
   Netlist nets;
   std::vector<FloatingCut> floating_cuts;
-  RecommendedReport recommended;
+  RecommendedResult recommended;
   std::vector<Hotspot> hotspots;
   Decomposition dpt;
   DptScore dpt_score;
@@ -75,6 +100,11 @@ struct DfmFlowReport {
   DfmScorecard scorecard;
   FlowTrace trace;
 };
+
+/// Field-for-field equality of every analysis result (doubles compared
+/// bitwise), ignoring the trace — the equivalence the incremental flow
+/// guarantees against a cold run.
+bool reports_equivalent(const DfmFlowReport& a, const DfmFlowReport& b);
 
 DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options);

@@ -91,8 +91,9 @@ DrcPlusDeck DrcPlusDeck::standard(const Tech& tech) {
     for (const LayerKey k : set.capture_layers) {
       lm.emplace(k, c.local_region(k));
     }
-    const auto caps =
-        capture_at_anchors(lm, set.capture_layers, layers::kVia1, set.radius);
+    const LayoutSnapshot ref_snap(lm);
+    const auto caps = capture_at_anchors(ref_snap, set.capture_layers,
+                                         layers::kVia1, set.radius);
     if (!caps.empty()) {
       PatternRule rule;
       rule.name = "DFM.VIA.BORDERLESS";
@@ -132,25 +133,16 @@ std::vector<LayerKey> DrcPlusEngine::layers_used() const {
 }
 
 DrcPlusResult DrcPlusEngine::run(const LayoutSnapshot& snap,
-                                 ThreadPool* pool) const {
+                                 const DrcPlusOptions& options) const {
+  const PassPool pool(options);
   DrcPlusResult res;
-  res.drc = DrcEngine{deck_.drc}.run(snap, pool);
+  res.drc = DrcEngine{deck_.drc}.run(snap, pool.get());
   for (std::size_t i = 0; i < deck_.pattern_sets.size(); ++i) {
     const PatternRuleSet& set = deck_.pattern_sets[i];
     res.matches.push_back(matchers_[i].scan_anchors(
-        snap, set.capture_layers, set.anchor_layer, set.radius, pool));
+        snap, set.capture_layers, set.anchor_layer, set.radius, pool.get()));
   }
   return res;
-}
-
-DrcPlusResult DrcPlusEngine::run(const LayerMap& layers,
-                                 ThreadPool* pool) const {
-  return run(LayoutSnapshot(layers), pool);
-}
-
-DrcPlusResult DrcPlusEngine::run(const Library& lib, std::uint32_t top,
-                                 ThreadPool* pool) const {
-  return run(LayoutSnapshot(lib, top, layers_used(), pool), pool);
 }
 
 }  // namespace dfm

@@ -37,6 +37,12 @@ struct DrcPlusResult {
   std::vector<std::vector<PatternMatch>> matches;
 
   std::size_t pattern_match_count() const;
+
+  friend bool operator==(const DrcPlusResult&, const DrcPlusResult&) = default;
+};
+
+struct DrcPlusOptions : PassOptions {
+  using PassOptions::PassOptions;
 };
 
 class DrcPlusEngine {
@@ -50,15 +56,22 @@ class DrcPlusEngine {
   /// deck.pattern_sets in capture order. The snapshot run is the native
   /// path — DRC and every pattern scan read the same memoized substrate.
   DrcPlusResult run(const LayoutSnapshot& snap,
-                    ThreadPool* pool = nullptr) const;
-  /// Compatibility overloads; both route through a LayoutSnapshot.
-  DrcPlusResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
-  DrcPlusResult run(const Library& lib, std::uint32_t top,
-                    ThreadPool* pool = nullptr) const;
+                    const DrcPlusOptions& options = {}) const;
+
+  /// The matcher for pattern set `i` — incremental re-analysis rescans
+  /// individual capture windows against it and splices the results.
+  const PatternMatcher& matcher(std::size_t i) const { return matchers_[i]; }
 
   /// Every layer the deck reads (DRC layers + capture + anchor layers) —
   /// the layer set to build a snapshot from.
   std::vector<LayerKey> layers_used() const;
+
+  /// Deprecated Library/LayerMap shims live in core/compat.h.
+  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
+  DrcPlusResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
+  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
+  DrcPlusResult run(const Library& lib, std::uint32_t top,
+                    ThreadPool* pool = nullptr) const;
 
  private:
   DrcPlusDeck deck_;

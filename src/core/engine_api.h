@@ -1,0 +1,58 @@
+// The unified engine calling convention: every analysis engine exposes
+// one snapshot-first entry point, `run(const LayoutSnapshot&, const
+// XxxOptions&)`, where XxxOptions derives from PassOptions and the
+// result type is named XxxResult. Parallelism is part of the options —
+// either a `threads` count (the engine owns a pool for the call) or a
+// borrowed `pool` (the flow shares one pool across every pass).
+//
+// Legacy Library/LayerMap overloads live in core/compat.h as
+// [[deprecated]] shims; new code should build a LayoutSnapshot once and
+// hand it to each engine.
+#pragma once
+
+#include "core/parallel.h"
+
+#include <memory>
+
+namespace dfm {
+
+/// Base of every engine options struct. `threads` follows the
+/// DfmFlowOptions convention: 0 = hardware concurrency, 1 = fully
+/// serial. A non-null `pool` overrides `threads` — the engine schedules
+/// onto the borrowed pool instead of creating its own.
+struct PassOptions {
+  unsigned threads = 1;
+  ThreadPool* pool = nullptr;
+
+  constexpr PassOptions() = default;
+  // Implicit on purpose: `engine.run(snap, &pool)` is the common
+  // flow-side call shape, and every XxxOptions inherits this ctor.
+  constexpr PassOptions(ThreadPool* p) : pool(p) {}  // NOLINT
+};
+
+/// RAII pool resolution for one engine call: borrows options.pool when
+/// set, otherwise owns a ThreadPool(options.threads) — except threads ==
+/// 1, which stays pool-free so the engine takes its plain serial path.
+class PassPool {
+ public:
+  explicit PassPool(const PassOptions& options) {
+    if (options.pool != nullptr) {
+      pool_ = options.pool;
+    } else if (options.threads != 1) {
+      owned_ = std::make_unique<ThreadPool>(options.threads);
+      pool_ = owned_.get();
+    }
+  }
+
+  PassPool(const PassPool&) = delete;
+  PassPool& operator=(const PassPool&) = delete;
+
+  ThreadPool* get() const { return pool_; }
+  operator ThreadPool*() const { return pool_; }  // NOLINT
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
+};
+
+}  // namespace dfm

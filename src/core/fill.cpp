@@ -1,5 +1,6 @@
 #include "core/fill.h"
 
+#include "core/delta.h"
 #include "core/snapshot.h"
 #include "geometry/rtree.h"
 #include "layout/density.h"
@@ -7,7 +8,7 @@
 namespace dfm {
 
 FillResult insert_fill(const Region& layer, const Rect& extent,
-                       const FillParams& p) {
+                       const FillOptions& p) {
   FillResult res;
   if (extent.is_empty() || p.square <= 0 || p.tile <= 0) return res;
 
@@ -63,8 +64,14 @@ FillResult insert_fill(const Region& layer, const Rect& extent,
 }
 
 FillResult insert_fill(const LayoutSnapshot& snap, LayerKey layer,
-                       const Rect& extent, const FillParams& params) {
-  return insert_fill(snap.layer(layer), extent, params);
+                       const Rect& extent, const FillOptions& options) {
+  return insert_fill(snap.layer(layer), extent, options);
+}
+
+LayoutDelta to_delta(const FillResult& result, LayerKey layer) {
+  LayoutDelta delta;
+  delta.add(layer, result.fill);
+  return delta;
 }
 
 }  // namespace dfm

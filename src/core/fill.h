@@ -11,26 +11,35 @@
 
 namespace dfm {
 
+class LayoutDelta;     // core/delta.h
 class LayoutSnapshot;  // core/snapshot.h
 
-struct FillParams {
+struct FillOptions {
   Coord square = 200;      // fill square edge
   Coord spacing = 120;     // moat to real geometry and other fill
   Coord tile = 5000;       // density window size
   double target_min = 0.15;  // bring every tile up to at least this
 };
 
+using FillParams [[deprecated("renamed FillOptions")]] = FillOptions;
+
 struct FillResult {
   Region fill;
   int tiles_below = 0;     // tiles initially under the target
   int tiles_fixed = 0;     // tiles that reached the target after fill
   int squares = 0;
+
+  friend bool operator==(const FillResult&, const FillResult&) = default;
 };
 
 FillResult insert_fill(const Region& layer, const Rect& extent,
-                       const FillParams& params);
+                       const FillOptions& options);
 /// Same over one layer of a snapshot (empty layer when absent).
 FillResult insert_fill(const LayoutSnapshot& snap, LayerKey layer,
-                       const Rect& extent, const FillParams& params);
+                       const Rect& extent, const FillOptions& options);
+
+/// The layout edit a fill result represents (squares added to `layer`),
+/// as a delta incremental re-analysis can apply.
+LayoutDelta to_delta(const FillResult& result, LayerKey layer);
 
 }  // namespace dfm

@@ -14,7 +14,7 @@ namespace {
 std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
                                     const RTree& tree, const Rect& extent,
                                     const HotspotLibrary& library,
-                                    const HotspotFlowParams& params,
+                                    const HotspotFlowOptions& options,
                                     ThreadPool* pool) {
   // Normalization by construction: viewing each representative
   // canonicalizes it before the windows read it concurrently.
@@ -24,12 +24,12 @@ std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
     reps.emplace_back(cls.representative);
   }
 
-  const Coord r = params.snippet_radius;
+  const Coord r = options.snippet_radius;
   std::vector<Rect> windows;
-  for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + params.scan_stride;
-       y += params.scan_stride) {
-    for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + params.scan_stride;
-         x += params.scan_stride) {
+  for (Coord y = extent.lo.y; y + 2 * r <= extent.hi.y + options.scan_stride;
+       y += options.scan_stride) {
+    for (Coord x = extent.lo.x; x + 2 * r <= extent.hi.x + options.scan_stride;
+         x += options.scan_stride) {
       windows.push_back(Rect{x, y, x + 2 * r, y + 2 * r});
     }
   }
@@ -46,7 +46,7 @@ std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
         const Region centered = clip.translated(-window.center());
         for (std::size_t ci = 0; ci < reps.size(); ++ci) {
           const double d = snippet_distance(reps[ci], centered);
-          if (d <= params.match_threshold) {
+          if (d <= options.match_threshold) {
             local.push_back(HotspotMatch{ci, window, d});
           }
         }
@@ -59,49 +59,107 @@ std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
   return out;
 }
 
+// One tile of the tiled simulation: clip the layer to the 6-sigma halo
+// window around the core, simulate, and keep only the hotspots this core
+// owns (marker center inside the core) so tiling never double-reports.
+std::vector<Hotspot> simulate_tile(const NormalizedRegion& layer,
+                                   const Rect& core,
+                                   const HotspotSimOptions& options,
+                                   ThreadPool* pool) {
+  const Coord margin = 6 * options.model.sigma;
+  std::vector<Hotspot> local;
+  const Rect window = core.expanded(margin);
+  const Region clip = layer.clipped(window);
+  if (clip.empty()) return local;
+  const Region printed = simulate_print(clip, window, options.model, {}, pool);
+  for (Hotspot h : find_hotspots(clip.clipped(core.expanded(margin / 2)),
+                                 printed, options.edge_tolerance)) {
+    if (core.contains(h.marker.center())) local.push_back(std::move(h));
+  }
+  return local;
+}
+
 }  // namespace
+
+std::vector<Hotspot> HotspotTileSim::merged() const {
+  std::vector<Hotspot> out;
+  for (const std::vector<Hotspot>& v : per_tile) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
+                                       const Rect& extent,
+                                       const HotspotSimOptions& options) {
+  HotspotTileSim sim;
+  sim.extent = extent;
+  sim.tile = options.tile;
+  if (extent.is_empty()) return sim;
+  sim.tiles = make_tiles(extent, options.tile);
+  const PassPool pool(options);
+  sim.per_tile = parallel_map(pool, sim.tiles.size(), [&](std::size_t ti) {
+    return simulate_tile(layer, sim.tiles[ti], options, pool);
+  });
+  sim.recomputed = sim.tiles.size();
+  return sim;
+}
+
+HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
+                                   const HotspotSimOptions& options,
+                                   const HotspotTileSim& prev,
+                                   const Region& dirty) {
+  if (prev.extent != extent || prev.tile != options.tile ||
+      prev.per_tile.size() != prev.tiles.size()) {
+    return simulate_hotspots_tiled(std::move(layer), extent, options);
+  }
+  HotspotTileSim sim;
+  sim.extent = extent;
+  sim.tile = options.tile;
+  sim.tiles = prev.tiles;
+  sim.per_tile = prev.per_tile;
+  const Coord margin = 6 * options.model.sigma;
+  std::vector<std::size_t> stale;
+  for (std::size_t ti = 0; ti < sim.tiles.size(); ++ti) {
+    const Rect window = sim.tiles[ti].expanded(margin);
+    for (const Rect& d : dirty.rects()) {
+      if (d.overlaps(window)) {
+        stale.push_back(ti);
+        break;
+      }
+    }
+  }
+  const PassPool pool(options);
+  std::vector<std::vector<Hotspot>> redone =
+      parallel_map(pool, stale.size(), [&](std::size_t si) {
+        return simulate_tile(layer, sim.tiles[stale[si]], options, pool);
+      });
+  for (std::size_t si = 0; si < stale.size(); ++si) {
+    sim.per_tile[stale[si]] = std::move(redone[si]);
+  }
+  sim.recomputed = stale.size();
+  return sim;
+}
 
 std::vector<Hotspot> simulate_hotspots(NormalizedRegion layer,
                                        const Rect& extent,
                                        const OpticalModel& model,
                                        Coord edge_tolerance, Coord tile,
                                        ThreadPool* pool) {
-  std::vector<Hotspot> out;
-  if (extent.is_empty() || layer.empty()) return out;
-  const Coord margin = 6 * model.sigma;
-  const std::vector<Rect> tiles = make_tiles(extent, tile);
-  // Tiles are independent simulations; the core-ownership rule below
-  // already makes their hotspot sets disjoint, so merging in row-major
-  // tile order reproduces the serial scan exactly.
-  std::vector<std::vector<Hotspot>> per_tile =
-      parallel_map(pool, tiles.size(), [&](std::size_t ti) {
-        const Rect& core = tiles[ti];
-        std::vector<Hotspot> local;
-        const Rect window = core.expanded(margin);
-        const Region clip = layer.clipped(window);
-        if (clip.empty()) return local;
-        const Region printed = simulate_print(clip, window, model, {}, pool);
-        for (Hotspot h : find_hotspots(clip.clipped(core.expanded(margin / 2)),
-                                       printed, edge_tolerance)) {
-          // Keep hotspots whose marker center is in this tile's core so
-          // tiling does not double-report.
-          if (core.contains(h.marker.center())) local.push_back(std::move(h));
-        }
-        return local;
-      });
-  for (std::vector<Hotspot>& v : per_tile) {
-    out.insert(out.end(), std::make_move_iterator(v.begin()),
-               std::make_move_iterator(v.end()));
-  }
-  return out;
+  if (extent.is_empty() || layer.empty()) return {};
+  HotspotSimOptions options{pool};
+  options.model = model;
+  options.edge_tolerance = edge_tolerance;
+  options.tile = tile;
+  return simulate_hotspots_tiled(std::move(layer), extent, options).merged();
 }
 
 HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
-                                     const HotspotFlowParams& params,
-                                     ThreadPool* pool) {
+                                     const HotspotFlowOptions& options) {
+  const PassPool pool(options);
   HotspotLibrary lib;
-  const auto hotspots = simulate_hotspots(layer, extent, params.model,
-                                          params.edge_tolerance, 20000, pool);
+  const auto hotspots = simulate_hotspots(layer, extent, options.model,
+                                          options.edge_tolerance, 20000, pool);
   lib.training_hotspots = hotspots.size();
 
   std::vector<Snippet> snippets(hotspots.size());
@@ -110,14 +168,14 @@ HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
   for (const Hotspot& h : hotspots) kinds.push_back(h.kind);
   parallel_map(pool, hotspots.size(), [&](std::size_t i) {
     const Point c = hotspots[i].marker.center();
-    const Rect clip{c.x - params.snippet_radius, c.y - params.snippet_radius,
-                    c.x + params.snippet_radius, c.y + params.snippet_radius};
+    const Rect clip{c.x - options.snippet_radius, c.y - options.snippet_radius,
+                    c.x + options.snippet_radius, c.y + options.snippet_radius};
     snippets[i] = Snippet{layer.clipped(clip), c};
     return 0;
   });
 
   for (const SnippetCluster& cluster :
-       leader_cluster(snippets, params.cluster_threshold)) {
+       leader_cluster(snippets, options.cluster_threshold)) {
     HotspotClass cls;
     cls.representative = snippets[cluster.representative].geometry.translated(
         -snippets[cluster.representative].center);
@@ -131,25 +189,25 @@ HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
 std::vector<HotspotMatch> scan_for_hotspots(NormalizedRegion layer,
                                             const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params,
-                                            ThreadPool* pool) {
+                                            const HotspotFlowOptions& options) {
   if (library.classes.empty() || layer.empty()) return {};
   // Index layer rects once; clip per window via the tree.
   const std::vector<Rect>& rects = layer.rects();
   const RTree tree(rects);
-  return scan_impl(rects, tree, extent, library, params, pool);
+  const PassPool pool(options);
+  return scan_impl(rects, tree, extent, library, options, pool);
 }
 
 std::vector<HotspotMatch> scan_for_hotspots(const LayoutSnapshot& snap,
                                             LayerKey layer, const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params,
-                                            ThreadPool* pool) {
+                                            const HotspotFlowOptions& options) {
   if (library.classes.empty() || !snap.has(layer) || snap.layer(layer).empty()) {
     return {};
   }
+  const PassPool pool(options);
   return scan_impl(snap.layer(layer).rects(), snap.rtree(layer), extent,
-                   library, params, pool);
+                   library, options, pool);
 }
 
 }  // namespace dfm

@@ -5,6 +5,7 @@
 // designs without running simulation there.
 #pragma once
 
+#include "core/engine_api.h"
 #include "geometry/normalized_region.h"
 #include "litho/litho.h"
 #include "pattern/clustering.h"
@@ -15,9 +16,10 @@
 namespace dfm {
 
 class LayoutSnapshot;  // core/snapshot.h
-class ThreadPool;      // core/parallel.h
 
-struct HotspotFlowParams {
+struct HotspotFlowOptions : PassOptions {
+  using PassOptions::PassOptions;
+
   OpticalModel model;
   Coord snippet_radius = 400;    // clip half-size around a hotspot
   Coord edge_tolerance = 12;     // litho hotspot sensitivity
@@ -25,6 +27,9 @@ struct HotspotFlowParams {
   double match_threshold = 0.25;    // scan-side distance threshold
   Coord scan_stride = 200;          // sliding-scan stride
 };
+
+using HotspotFlowParams [[deprecated("renamed HotspotFlowOptions")]] =
+    HotspotFlowOptions;
 
 struct HotspotClass {
   Region representative;  // geometry of the defining snippet
@@ -42,8 +47,7 @@ struct HotspotLibrary {
 /// Taking a NormalizedRegion canonicalizes the layer at the call
 /// boundary, so the tiles can read it concurrently.
 HotspotLibrary build_hotspot_library(NormalizedRegion layer, const Rect& extent,
-                                     const HotspotFlowParams& params,
-                                     ThreadPool* pool = nullptr);
+                                     const HotspotFlowOptions& options);
 
 struct HotspotMatch {
   std::size_t class_index;
@@ -57,8 +61,7 @@ struct HotspotMatch {
 std::vector<HotspotMatch> scan_for_hotspots(NormalizedRegion layer,
                                             const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params,
-                                            ThreadPool* pool = nullptr);
+                                            const HotspotFlowOptions& options);
 
 /// Snapshot-native scan: reuses the snapshot's memoized R-tree for the
 /// scanned layer instead of indexing from scratch. Bit-identical to the
@@ -66,8 +69,47 @@ std::vector<HotspotMatch> scan_for_hotspots(NormalizedRegion layer,
 std::vector<HotspotMatch> scan_for_hotspots(const LayoutSnapshot& snap,
                                             LayerKey layer, const Rect& extent,
                                             const HotspotLibrary& library,
-                                            const HotspotFlowParams& params,
-                                            ThreadPool* pool = nullptr);
+                                            const HotspotFlowOptions& options);
+
+/// Litho simulation knobs shared by the cold and incremental tiled runs.
+struct HotspotSimOptions : PassOptions {
+  using PassOptions::PassOptions;
+
+  OpticalModel model;
+  Coord edge_tolerance = 12;
+  Coord tile = 20000;  // core edge of one simulation tile
+};
+
+/// A tiled simulation with its per-tile hotspot lists kept separate —
+/// the splice unit of incremental litho. merged() is exactly the
+/// row-major tile-order concatenation simulate_hotspots returns.
+struct HotspotTileSim {
+  Rect extent;
+  Coord tile = 0;
+  std::vector<Rect> tiles;  // row-major cores, make_tiles(extent, tile)
+  std::vector<std::vector<Hotspot>> per_tile;  // aligned with tiles
+  std::size_t recomputed = 0;  // tiles simulated by the producing call
+
+  std::vector<Hotspot> merged() const;
+};
+
+/// Simulates every tile of `extent`. Tiles run concurrently on the
+/// options pool; each tile's hotspot list is independent of the others
+/// (core-ownership rule), so the structure is thread-count invariant.
+HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
+                                       const Rect& extent,
+                                       const HotspotSimOptions& options);
+
+/// Re-simulates only the tiles whose simulation window — the tile core
+/// expanded by the 6-sigma optical halo — intersects `dirty`; every
+/// other tile's list is carried over from `prev`. A tile's output
+/// depends only on the layer clipped to that window, so the result is
+/// bit-identical to simulate_hotspots_tiled over the edited layer.
+/// Falls back to a full run when extent or tile size changed.
+HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
+                                   const HotspotSimOptions& options,
+                                   const HotspotTileSim& prev,
+                                   const Region& dirty);
 
 /// Simulates in tiles (bounded raster size) and returns all hotspots.
 /// Tiles run concurrently on the pool; per-tile results are merged in

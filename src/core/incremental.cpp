@@ -1,0 +1,70 @@
+#include "core/incremental.h"
+
+#include <chrono>
+#include <utility>
+
+namespace dfm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+DfmFlowSession::DfmFlowSession(const Library& lib, std::uint32_t top,
+                               DfmFlowOptions options)
+    : options_(std::move(options)), pool_(options_) {
+  const auto t0 = Clock::now();
+  snap_ = std::make_unique<LayoutSnapshot>(lib, top, pool_.get());
+  report_.trace.passes.push_back(
+      PassTrace{"snapshot", ms_since(t0), snap_->layer_keys().size()});
+  run_cold();
+  report_.trace.total_ms = ms_since(t0);
+}
+
+DfmFlowSession::DfmFlowSession(LayerMap layers, DfmFlowOptions options)
+    : options_(std::move(options)), pool_(options_) {
+  const auto t0 = Clock::now();
+  snap_ = std::make_unique<LayoutSnapshot>(std::move(layers));
+  report_.trace.passes.push_back(
+      PassTrace{"snapshot", ms_since(t0), snap_->layer_keys().size()});
+  run_cold();
+  report_.trace.total_ms = ms_since(t0);
+}
+
+void DfmFlowSession::run_cold() {
+  detail::run_flow_passes(report_, *snap_, options_, pool_.get(), caches_,
+                          FlowDamage{}, nullptr);
+}
+
+const DfmFlowReport& DfmFlowSession::apply(const LayoutDelta& delta) {
+  const auto t0 = Clock::now();
+  auto next = std::make_unique<IncrementalSnapshot>(*snap_, delta);
+
+  DfmFlowReport rep;
+  PassTrace snap_pass;
+  snap_pass.name = "snapshot";
+  snap_pass.ms = ms_since(t0);
+  snap_pass.items = next->layer_keys().size();
+  snap_pass.total_units = next->layer_keys().size();
+  for (const LayerKey k : next->layer_keys()) {
+    if (next->layer_dirty(k)) ++snap_pass.dirty_units;
+  }
+  snap_pass.incremental = true;
+  rep.trace.passes.push_back(std::move(snap_pass));
+
+  const FlowDamage damage{next.get()};
+  detail::run_flow_passes(rep, *next, options_, pool_.get(), caches_, damage,
+                          &report_);
+  rep.trace.total_ms = ms_since(t0);
+
+  report_ = std::move(rep);
+  snap_ = std::move(next);
+  return report_;
+}
+
+}  // namespace dfm

@@ -1,0 +1,116 @@
+// Incremental re-analysis: dirty-region deltas over LayoutSnapshot.
+//
+// A DfmFlowSession runs the full DFM flow cold once, keeps the per-unit
+// intermediate results of every pass (per-rule violation lists, per-
+// window pattern matches, per-tile litho hotspots, whole-pass outputs of
+// the global passes), and on each applied LayoutDelta re-runs only the
+// units whose inputs the edit dirtied — splicing the cached results in
+// for everything else. The spliced report is bit-identical to running
+// the flow cold on the edited layout, at every thread count: each unit
+// is a deterministic function of canonical layer geometry, and a unit is
+// reused only when that geometry is provably unchanged inside the unit's
+// interaction halo.
+//
+// Damage model (what makes a unit dirty):
+//  * DRC / recommended rule: any layer in rule_layers(rule) dirtied.
+//    Density rules also read the joint bbox; a bbox-moving edit forces a
+//    full cold run (IncrementalSnapshot::bbox_changed).
+//  * Pattern window: the edit's dirty region intersects the window on
+//    any capture layer. Anchor sites are re-enumerated from the edited
+//    anchor layer every run, so windows appear/move/vanish exactly as
+//    they would cold.
+//  * Litho tile: the dirty region intersects the tile core expanded by
+//    the 6-sigma optical halo (the exact window the tile simulates).
+//  * Global passes (dpt, via_doubling, connectivity, caa_yield): any
+//    input layer dirtied re-runs the whole pass.
+#pragma once
+
+#include "core/delta.h"
+#include "core/dfm_flow.h"
+
+#include <map>
+#include <memory>
+
+namespace dfm {
+
+/// What an incremental run may reuse from the previous one. Populated by
+/// every run (cold runs fill it from scratch); `valid` says the unit
+/// caches describe the snapshot the previous report was computed on.
+struct FlowCaches {
+  // Deck-derived state, deterministic in the Tech: rebuilt only when
+  // absent so repeated runs skip deck construction entirely.
+  std::shared_ptr<const DrcPlusEngine> engine;
+  std::vector<RecommendedRule> recommended_rules;
+
+  // Per-unit results, aligned with the deck.
+  std::vector<std::vector<Violation>> drc_rules;  // per DRC rule
+  std::vector<std::map<AnchorWindow, std::vector<PatternMatch>>>
+      pattern_windows;                      // per pattern set
+  std::vector<std::size_t> recommended_hits;  // per recommended rule
+  HotspotTileSim litho;
+  bool litho_valid = false;
+
+  bool valid = false;
+};
+
+/// Which layers an edit dirtied, as the passes consume it. A null
+/// snapshot (cold run) or a bbox-moving edit damages everything.
+struct FlowDamage {
+  const IncrementalSnapshot* inc = nullptr;
+
+  bool full() const { return inc == nullptr || inc->bbox_changed(); }
+  bool dirty(LayerKey k) const { return full() || inc->layer_dirty(k); }
+  bool dirty_any(const std::vector<LayerKey>& on) const {
+    return full() || inc->any_dirty(on);
+  }
+};
+
+namespace detail {
+/// The one flow implementation cold and incremental runs share: damage
+/// decides which units recompute, `caches`/`prev` supply the rest, and
+/// both are updated for the next run. A cold run is exactly
+/// run_flow_passes with full damage and empty caches.
+void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
+                     const DfmFlowOptions& options, ThreadPool* pool,
+                     FlowCaches& caches, const FlowDamage& damage,
+                     const DfmFlowReport* prev);
+}  // namespace detail
+
+/// The fix -> recheck loop: build once, edit cheaply.
+///
+///   DfmFlowSession session(lib, top, options);
+///   ... inspect session.report() ...
+///   const ViaDoublingResult& vias = session.report().vias;
+///   session.apply(to_delta(vias));        // re-analyzes only the damage
+///
+/// Options are fixed for the session's lifetime (the unit caches are
+/// only comparable across runs of the same deck, model and pass set).
+class DfmFlowSession {
+ public:
+  /// Flattens, snapshots and runs the flow cold.
+  DfmFlowSession(const Library& lib, std::uint32_t top,
+                 DfmFlowOptions options);
+  /// Same from an explicit layer map (testing / in-memory edits).
+  DfmFlowSession(LayerMap layers, DfmFlowOptions options);
+
+  const DfmFlowOptions& options() const { return options_; }
+  const LayoutSnapshot& snapshot() const { return *snap_; }
+  const DfmFlowReport& report() const { return report_; }
+
+  /// Applies `delta`, derives an IncrementalSnapshot, and re-runs the
+  /// flow over the damage. Returns the updated report (bit-identical to
+  /// a cold run over the edited layout). An empty delta still re-splices
+  /// (cheaply); a bbox-moving delta degrades to a full re-run.
+  const DfmFlowReport& apply(const LayoutDelta& delta);
+
+ private:
+  void run_cold();
+
+  DfmFlowOptions options_;
+  PassPool pool_;
+  std::unique_ptr<LayoutSnapshot> snap_;
+  DfmFlowReport report_;
+  FlowCaches caches_;
+};
+
+}  // namespace dfm

@@ -1,5 +1,7 @@
 #include "core/recommended_rules.h"
 
+#include "core/parallel.h"
+
 namespace dfm {
 namespace {
 
@@ -51,43 +53,34 @@ std::vector<RecommendedRule> standard_recommended_rules(const Tech& t) {
   return out;
 }
 
-RecommendedReport check_recommended(const LayerMap& layers,
-                                    const std::vector<RecommendedRule>& rules) {
-  RecommendedReport rep;
-  static const Region kEmpty;
-  auto layer_of = [&layers](LayerKey k) -> const Region& {
-    const auto it = layers.find(k);
-    return it == layers.end() ? kEmpty : it->second;
-  };
-  for (const RecommendedRule& rr : rules) {
-    const Rule& rule = rr.rule;
-    std::vector<Violation> found;
-    switch (rule.kind) {
-      case RuleKind::kMinWidth:
-        found = check_min_width(layer_of(rule.layer), rule.value, rule.name);
-        break;
-      case RuleKind::kMinSpacing:
-        found = check_min_spacing(layer_of(rule.layer), rule.value, rule.name);
-        break;
-      case RuleKind::kMinArea:
-        found = check_min_area(layer_of(rule.layer), rule.value, rule.name);
-        break;
-      case RuleKind::kMinEnclosure:
-        found = check_enclosure(layer_of(rule.inner), layer_of(rule.layer),
-                                rule.value, rule.name);
-        break;
-      case RuleKind::kWideSpacing:
-        found = check_wide_spacing(layer_of(rule.layer), rule.wide_width,
-                                   rule.value, rule.name);
-        break;
-      case RuleKind::kDensity:
-        break;  // not used in the recommended set
-    }
-    rep.counts.emplace_back(rule.name, static_cast<int>(found.size()));
-    rep.scorecard.add(rule.name, score_from_count(found.size()), rr.weight,
-                      std::to_string(found.size()) + " hits");
+std::size_t check_recommended_rule(const LayoutSnapshot& snap,
+                                   const RecommendedRule& rr) {
+  if (rr.rule.kind == RuleKind::kDensity) return 0;
+  return DrcEngine::run_rule(snap, rr.rule).size();
+}
+
+RecommendedResult assemble_recommended(
+    const std::vector<RecommendedRule>& rules,
+    const std::vector<std::size_t>& hits) {
+  RecommendedResult rep;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const std::size_t n = i < hits.size() ? hits[i] : 0;
+    rep.counts.emplace_back(rules[i].rule.name, static_cast<int>(n));
+    rep.scorecard.add(rules[i].rule.name, score_from_count(n),
+                      rules[i].weight, std::to_string(n) + " hits");
   }
   return rep;
+}
+
+RecommendedResult check_recommended(const LayoutSnapshot& snap,
+                                    const std::vector<RecommendedRule>& rules,
+                                    const RecommendedOptions& options) {
+  const PassPool pool(options);
+  const std::vector<std::size_t> hits =
+      parallel_map(pool, rules.size(), [&](std::size_t i) {
+        return check_recommended_rule(snap, rules[i]);
+      });
+  return assemble_recommended(rules, hits);
 }
 
 }  // namespace dfm

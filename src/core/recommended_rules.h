@@ -18,13 +18,43 @@ struct RecommendedRule {
 /// (min + 20%), and relaxed minimum area (2x sign-off).
 std::vector<RecommendedRule> standard_recommended_rules(const Tech& tech);
 
-struct RecommendedReport {
+struct RecommendedResult {
   std::vector<std::pair<std::string, int>> counts;  // rule name -> hits
   DfmScorecard scorecard;                           // one metric per rule
   double compliance() const { return scorecard.composite(); }
+
+  friend bool operator==(const RecommendedResult&,
+                         const RecommendedResult&) = default;
 };
 
-RecommendedReport check_recommended(const LayerMap& layers,
+using RecommendedReport [[deprecated("renamed RecommendedResult")]] =
+    RecommendedResult;
+
+struct RecommendedOptions : PassOptions {
+  using PassOptions::PassOptions;
+};
+
+/// Hit count for one recommended rule — the splice unit of incremental
+/// recommended-rule checking. Density rules are not part of the
+/// recommended concept and always count zero.
+std::size_t check_recommended_rule(const LayoutSnapshot& snap,
+                                   const RecommendedRule& rule);
+
+/// Builds the result (counts + weighted scorecard) from per-rule hit
+/// counts aligned with `rules`. Deterministic assembly: check_recommended
+/// is exactly this over check_recommended_rule outputs.
+RecommendedResult assemble_recommended(const std::vector<RecommendedRule>& rules,
+                                       const std::vector<std::size_t>& hits);
+
+/// Rules execute concurrently on the options pool; the report is
+/// assembled in rule order, so the result is identical to the serial run.
+RecommendedResult check_recommended(const LayoutSnapshot& snap,
+                                    const std::vector<RecommendedRule>& rules,
+                                    const RecommendedOptions& options = {});
+
+/// Deprecated LayerMap shim; lives in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+RecommendedResult check_recommended(const LayerMap& layers,
                                     const std::vector<RecommendedRule>& rules);
 
 }  // namespace dfm

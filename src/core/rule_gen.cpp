@@ -1,5 +1,7 @@
 #include "core/rule_gen.h"
 
+#include "core/snapshot.h"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -10,7 +12,8 @@ std::vector<GradedPatternClass> grade_pattern_classes(
   // 1. Enumerate classes on the sample with grid capture.
   LayerMap layers;
   layers.emplace(layers::kMetal1, layer);
-  const auto captured = capture_grid(layers, {layers::kMetal1}, extent,
+  const LayoutSnapshot snap(std::move(layers));
+  const auto captured = capture_grid(snap, {layers::kMetal1}, extent,
                                      params.window, params.stride);
 
   struct ClassAccum {

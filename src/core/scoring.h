@@ -13,6 +13,8 @@ struct MetricScore {
   double value = 0;   // in [0, 1]
   double weight = 1;  // relative importance
   std::string detail; // human-readable basis ("3 violations", "λ=0.02")
+
+  friend bool operator==(const MetricScore&, const MetricScore&) = default;
 };
 
 struct DfmScorecard {
@@ -22,6 +24,8 @@ struct DfmScorecard {
            std::string detail = "");
   /// Weighted mean of metric values (0 if empty).
   double composite() const;
+
+  friend bool operator==(const DfmScorecard&, const DfmScorecard&) = default;
 };
 
 /// Maps a violation/defect count to a score: 1 at zero, decaying with

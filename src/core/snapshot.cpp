@@ -1,5 +1,6 @@
 #include "core/snapshot.h"
 
+#include "core/delta.h"
 #include "core/parallel.h"
 #include "layout/library.h"
 
@@ -48,7 +49,8 @@ void LayoutSnapshot::finalize() {
     (void)NormalizedRegion{region};
     keys_.push_back(key);
     bbox_ = bbox_.join(region.bbox());
-    derived_[key];  // create the memoization slot
+    auto& slot = derived_[key];  // create the memoization slot
+    if (!slot) slot = std::make_shared<Derived>();
   }
 }
 
@@ -57,7 +59,7 @@ LayoutSnapshot::Derived* LayoutSnapshot::derived_of(LayerKey k) const {
   if (it == derived_.end()) {
     throw std::out_of_range("LayoutSnapshot: no layer " + to_string(k));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 const RTree& LayoutSnapshot::rtree(LayerKey k) const {
@@ -89,6 +91,64 @@ const DensityMap& LayoutSnapshot::density(LayerKey k, Coord tile) const {
   density_builds_.fetch_add(1, std::memory_order_relaxed);
   return d->density.emplace(tile, density_map(layers_.at(k), bbox_, tile))
       .first->second;
+}
+
+IncrementalSnapshot::IncrementalSnapshot(const LayoutSnapshot& base,
+                                         const LayoutDelta& delta) {
+  for (const auto& [key, old_region] : base.layers_) {
+    const LayerDelta* d = delta.find(key);
+    if (d == nullptr || d->empty()) {
+      // Clean layer: the copy carries the base's canonical rects, so
+      // finalize()'s normalization below is a no-op for it.
+      layers_.emplace(key, old_region);
+      continue;
+    }
+    // Dirty layer: boolean results are canonical by construction and
+    // equal what a cold flatten+normalize of the edited design yields.
+    layers_.emplace(key, (old_region - d->removed) | d->added);
+    dirty_.emplace(key, d->added | d->removed);
+  }
+  // Layers the delta introduces that the base never had.
+  for (const auto& [key, d] : delta.layers()) {
+    if (d.empty() || layers_.count(key) != 0) continue;
+    layers_.emplace(key, d.added);  // (empty - removed) | added
+    dirty_.emplace(key, d.added | d.removed);
+  }
+  finalize();
+  bbox_changed_ = bbox_ != base.bbox_;
+  if (!bbox_changed_) {
+    // Share the base's memoized products for clean layers. Density grids
+    // anchor at bbox(), which is unchanged, so every shared product is
+    // exactly what this snapshot would compute itself.
+    for (const auto& [key, slot] : base.derived_) {
+      if (dirty_.count(key) == 0 && derived_.count(key) != 0) {
+        derived_[key] = slot;
+      }
+    }
+  }
+}
+
+const Region& IncrementalSnapshot::dirty_region(LayerKey k) const {
+  static const Region kClean;
+  const auto it = dirty_.find(k);
+  return it == dirty_.end() ? kClean : it->second;
+}
+
+bool IncrementalSnapshot::any_dirty(const std::vector<LayerKey>& on) const {
+  for (const LayerKey k : on) {
+    if (layer_dirty(k)) return true;
+  }
+  return false;
+}
+
+Rect IncrementalSnapshot::damage_bbox(const std::vector<LayerKey>& on,
+                                      Coord halo) const {
+  Rect box = Rect::empty();
+  for (const LayerKey k : on) {
+    const Region& d = dirty_region(k);
+    if (!d.empty()) box = box.join(d.bbox());
+  }
+  return box.is_empty() ? box : box.expanded(halo);
 }
 
 SnapshotCacheStats LayoutSnapshot::cache_stats() const {

@@ -26,13 +26,15 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 namespace dfm {
 
 class Library;
-class ThreadPool;  // core/parallel.h
+class LayoutDelta;  // core/delta.h
+class ThreadPool;   // core/parallel.h
 
 /// Cumulative cache accounting for one snapshot. A "read" is any derived-
 /// product access; a "build" is the one that actually computed it, so
@@ -103,7 +105,16 @@ class LayoutSnapshot {
 
   SnapshotCacheStats cache_stats() const;
 
- private:
+ protected:
+  // Protected-member access rules bar a derived class from reaching
+  // another instance's state through a base reference; the incremental
+  // constructor reads its base snapshot, so it is a friend.
+  friend class IncrementalSnapshot;
+
+  // Derived-product slots are heap-allocated and shared: an
+  // IncrementalSnapshot aliases its base's slots for clean layers, so an
+  // R-tree (or edge list, or density grid) built under either snapshot
+  // is visible — and built at most once — under both.
   struct Derived {
     std::once_flag rtree_once;
     RTree rtree;
@@ -113,19 +124,62 @@ class LayoutSnapshot {
     std::map<Coord, DensityMap> density;  // keyed by tile edge
   };
 
+  /// For IncrementalSnapshot, which fills layers_ itself.
+  LayoutSnapshot() = default;
+
   /// Normalizes every region, records keys_ and bbox_, and creates the
-  /// per-layer derived-product slots. Called once, from constructors.
+  /// per-layer derived-product slots (where not already shared in).
+  /// Called once, from constructors.
   void finalize();
   Derived* derived_of(LayerKey k) const;
 
   LayerMap layers_;
   std::vector<LayerKey> keys_;
   Rect bbox_ = Rect::empty();
-  mutable std::map<LayerKey, Derived> derived_;
+  mutable std::map<LayerKey, std::shared_ptr<Derived>> derived_;
 
   mutable std::atomic<std::uint64_t> rtree_reads_{0}, rtree_builds_{0};
   mutable std::atomic<std::uint64_t> edge_reads_{0}, edge_builds_{0};
   mutable std::atomic<std::uint64_t> density_reads_{0}, density_builds_{0};
+};
+
+/// A LayoutSnapshot derived from a previous one by a LayoutDelta, paying
+/// only for what the edit touched:
+///
+///  * clean layers copy the base's already-canonical region (cheap rect
+///    vector copy; no re-normalization) and *share* the base's memoized
+///    derived products, so an R-tree the base already built is a cache
+///    hit here too;
+///  * dirty layers are recomputed as (base - removed) | added — whose
+///    canonical decomposition equals a from-scratch flatten+normalize of
+///    the edited design — and get fresh derived slots.
+///
+/// When the edit moves the joint bbox, density grids (anchored at
+/// bbox()) would shift for every layer, so sharing is disabled and all
+/// derived products rebuild lazily; bbox_changed() reports this so the
+/// flow can fall back to a full re-run.
+///
+/// The shared slots keep the base's products alive independently of the
+/// base snapshot itself, so a chain of IncrementalSnapshots may drop
+/// each predecessor after deriving from it.
+class IncrementalSnapshot : public LayoutSnapshot {
+ public:
+  IncrementalSnapshot(const LayoutSnapshot& base, const LayoutDelta& delta);
+
+  bool layer_dirty(LayerKey k) const { return dirty_.count(k) != 0; }
+  /// added | removed of the edit on layer `k` — every point whose
+  /// membership may have changed. Canonical; empty when clean.
+  const Region& dirty_region(LayerKey k) const;
+  bool any_dirty(const std::vector<LayerKey>& on) const;
+  /// Joint bbox of the dirty regions across `on`, expanded by `halo` —
+  /// the damage window a pass with interaction radius `halo` must
+  /// recheck. Empty when every listed layer is clean.
+  Rect damage_bbox(const std::vector<LayerKey>& on, Coord halo) const;
+  bool bbox_changed() const { return bbox_changed_; }
+
+ private:
+  std::map<LayerKey, Region> dirty_;
+  bool bbox_changed_ = false;
 };
 
 }  // namespace dfm

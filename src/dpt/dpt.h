@@ -42,6 +42,8 @@ ColoringResult two_color(const ConflictGraph& g);
 struct Stitch {
   Rect cut;        // the overlap strip shared by both masks
   Point location;  // cut line center
+
+  friend bool operator==(const Stitch&, const Stitch&) = default;
 };
 
 struct Decomposition {
@@ -51,6 +53,8 @@ struct Decomposition {
   bool compliant = false;    // no same-mask spacing violation remains
   int unresolved = 0;        // odd cycles no stitch could break
   int nodes = 0;
+
+  friend bool operator==(const Decomposition&, const Decomposition&) = default;
 };
 
 /// Full decomposition flow: color, split odd-cycle nodes at conflict-
@@ -66,6 +70,8 @@ struct DptScore {
   double overlay_score = 0;    // min stitch overlap / required overlap, capped
   double spacing_score = 0;    // 1 when both masks meet dpt_space
   double composite = 0;        // equal-weight mean of the above
+
+  friend bool operator==(const DptScore&, const DptScore&) = default;
 };
 
 DptScore score_decomposition(const Decomposition& d, const Tech& tech);

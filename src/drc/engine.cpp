@@ -35,67 +35,70 @@ LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
   return out;
 }
 
-DrcResult DrcEngine::run(const LayoutSnapshot& snap, ThreadPool* pool) const {
-  DrcResult result;
+std::vector<LayerKey> rule_layers(const Rule& rule) {
+  std::vector<LayerKey> out{rule.layer};
+  if (rule.kind == RuleKind::kMinEnclosure) out.push_back(rule.inner);
+  return out;
+}
+
+std::vector<Violation> DrcEngine::run_rule(const LayoutSnapshot& snap,
+                                           const Rule& rule) {
   // Density window: the joint bbox of everything under check. The
   // snapshot's regions are canonical by construction, so sharing them
   // across rule tasks is safe without any pre-normalization step here.
-  const Rect chip = snap.bbox();
-
-  const auto run_rule = [&](const Rule& rule) {
-    const NormalizedRegion primary = snap.layer(rule.layer);
-    std::vector<Violation> found;
-    switch (rule.kind) {
-      case RuleKind::kMinWidth:
-        found = check_min_width(primary, rule.value, rule.name);
-        break;
-      case RuleKind::kMinSpacing:
-        found = check_min_spacing(primary, rule.value, rule.name);
-        break;
-      case RuleKind::kMinArea:
-        found = check_min_area(primary, rule.value, rule.name);
-        break;
-      case RuleKind::kMinEnclosure:
-        found = check_enclosure(snap.layer(rule.inner), primary, rule.value,
-                                rule.name);
-        break;
-      case RuleKind::kWideSpacing:
-        found = check_wide_spacing(primary, rule.wide_width, rule.value,
-                                   rule.name);
-        break;
-      case RuleKind::kDensity:
-        if (!chip.is_empty()) {
-          if (snap.has(rule.layer)) {
-            found = density_violations(snap.density(rule.layer, rule.value),
-                                       rule.min_value, rule.max_value,
-                                       rule.name);
-          } else {
-            found = check_density(primary, chip, rule.value, rule.min_value,
-                                  rule.max_value, rule.name);
-          }
+  const NormalizedRegion primary = snap.layer(rule.layer);
+  std::vector<Violation> found;
+  switch (rule.kind) {
+    case RuleKind::kMinWidth:
+      found = check_min_width(primary, rule.value, rule.name);
+      break;
+    case RuleKind::kMinSpacing:
+      found = check_min_spacing(primary, rule.value, rule.name);
+      break;
+    case RuleKind::kMinArea:
+      found = check_min_area(primary, rule.value, rule.name);
+      break;
+    case RuleKind::kMinEnclosure:
+      found = check_enclosure(snap.layer(rule.inner), primary, rule.value,
+                              rule.name);
+      break;
+    case RuleKind::kWideSpacing:
+      found = check_wide_spacing(primary, rule.wide_width, rule.value,
+                                 rule.name);
+      break;
+    case RuleKind::kDensity:
+      if (const Rect chip = snap.bbox(); !chip.is_empty()) {
+        if (snap.has(rule.layer)) {
+          found = density_violations(snap.density(rule.layer, rule.value),
+                                     rule.min_value, rule.max_value,
+                                     rule.name);
+        } else {
+          found = check_density(primary, chip, rule.value, rule.min_value,
+                                rule.max_value, rule.name);
         }
-        break;
-    }
-    return found;
-  };
-  std::vector<std::vector<Violation>> per_rule = parallel_map(
-      pool, deck_.rules.size(),
-      [&](std::size_t ri) { return run_rule(deck_.rules[ri]); });
-  for (std::vector<Violation>& found : per_rule) {
+      }
+      break;
+  }
+  return found;
+}
+
+std::vector<std::vector<Violation>> DrcEngine::run_per_rule(
+    const LayoutSnapshot& snap, const DrcOptions& options) const {
+  const PassPool pool(options);
+  return parallel_map(pool, deck_.rules.size(), [&](std::size_t ri) {
+    return run_rule(snap, deck_.rules[ri]);
+  });
+}
+
+DrcResult DrcEngine::run(const LayoutSnapshot& snap,
+                         const DrcOptions& options) const {
+  DrcResult result;
+  for (std::vector<Violation>& found : run_per_rule(snap, options)) {
     result.violations.insert(result.violations.end(),
                              std::make_move_iterator(found.begin()),
                              std::make_move_iterator(found.end()));
   }
   return result;
-}
-
-DrcResult DrcEngine::run(const LayerMap& layers, ThreadPool* pool) const {
-  return run(LayoutSnapshot(layers), pool);
-}
-
-DrcResult DrcEngine::run(const Library& lib, std::uint32_t top,
-                         ThreadPool* pool) const {
-  return run(LayoutSnapshot(flatten_for_deck(lib, top, deck_)), pool);
 }
 
 }  // namespace dfm

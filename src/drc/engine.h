@@ -7,6 +7,7 @@
 // enclosure use region algebra; density uses the tile map.
 #pragma once
 
+#include "core/engine_api.h"
 #include "drc/rules.h"
 #include "geometry/region.h"
 #include "layout/layer_map.h"
@@ -19,13 +20,14 @@
 namespace dfm {
 
 class LayoutSnapshot;  // core/snapshot.h
-class ThreadPool;      // core/parallel.h
 struct DensityMap;     // layout/density.h
 
 struct Violation {
   std::string rule;
   Rect marker;        // bounding box of the offending area
   Coord measured = -1;  // measured dimension when known, -1 otherwise
+
+  friend bool operator==(const Violation&, const Violation&) = default;
 };
 
 struct DrcResult {
@@ -34,11 +36,22 @@ struct DrcResult {
   bool clean() const { return violations.empty(); }
   std::map<std::string, int> count_by_rule() const;
   int count(const std::string& rule) const;
+
+  friend bool operator==(const DrcResult&, const DrcResult&) = default;
+};
+
+struct DrcOptions : PassOptions {
+  using PassOptions::PassOptions;
 };
 
 /// Flattens every layer a deck needs from a cell.
 LayerMap flatten_for_deck(const Library& lib, std::uint32_t top,
                           const RuleDeck& deck);
+
+/// Every layer one rule reads (primary layer, plus the inner layer of an
+/// enclosure rule) — the dependency set incremental re-analysis keys a
+/// rule's staleness on.
+std::vector<LayerKey> rule_layers(const Rule& rule);
 
 class DrcEngine {
  public:
@@ -46,14 +59,29 @@ class DrcEngine {
 
   const RuleDeck& deck() const { return deck_; }
 
-  /// Rules execute concurrently on the pool (each rule is an independent
-  /// read-only pass over the snapshot); violations are merged in deck
-  /// order, so the result is identical to the serial run. Density rules
-  /// read the snapshot's memoized grid, so a repeated tile size costs one
+  /// Rules execute concurrently (each rule is an independent read-only
+  /// pass over the snapshot); violations are merged in deck order, so
+  /// the result is identical to the serial run. Density rules read the
+  /// snapshot's memoized grid, so a repeated tile size costs one
   /// rasterization per flow.
-  DrcResult run(const LayoutSnapshot& snap, ThreadPool* pool = nullptr) const;
-  /// Compatibility overloads; both route through a LayoutSnapshot.
+  DrcResult run(const LayoutSnapshot& snap,
+                const DrcOptions& options = {}) const;
+
+  /// Violations grouped by rule, aligned with deck().rules — the splice
+  /// unit of incremental DRC. run() is exactly the deck-order
+  /// concatenation of these groups.
+  std::vector<std::vector<Violation>> run_per_rule(
+      const LayoutSnapshot& snap, const DrcOptions& options = {}) const;
+
+  /// Executes one rule against the snapshot (density rules window over
+  /// snap.bbox()). Pure; safe to call concurrently for distinct rules.
+  static std::vector<Violation> run_rule(const LayoutSnapshot& snap,
+                                         const Rule& rule);
+
+  /// Deprecated Library/LayerMap shims live in core/compat.h.
+  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
   DrcResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
+  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
   DrcResult run(const Library& lib, std::uint32_t top,
                 ThreadPool* pool = nullptr) const;
 

@@ -6,6 +6,7 @@
 #include "geometry/rtree.h"
 
 #include <numeric>
+#include <optional>
 
 namespace dfm {
 
@@ -44,8 +45,10 @@ struct Vertex {
 
 }  // namespace
 
-Netlist extract_nets(const LayerMap& layers,
-                     const std::vector<StackLayer>& stack) {
+namespace detail {
+
+Netlist extract_nets_impl(const LayerMap& layers,
+                          const std::vector<StackLayer>& stack) {
   // Vertices: components of every stack layer.
   std::vector<Vertex> verts;
   std::vector<std::vector<std::uint32_t>> per_layer(stack.size());
@@ -120,37 +123,58 @@ Netlist extract_nets(const LayerMap& layers,
   return out;
 }
 
-std::vector<FloatingCut> find_floating_cuts(
+std::vector<FloatingCut> find_floating_cuts_impl(
     const LayerMap& layers, const std::vector<StackLayer>& stack) {
+  // Coverage of one cut depends only on the conductor geometry inside the
+  // cut's own bbox (anything outside cannot cover it), so each test
+  // gathers the overlapping conductor rects through an R-tree instead of
+  // differencing against the full layer — same verdicts, local cost.
+  struct CondIndex {
+    const std::vector<Rect>* rects = nullptr;
+    RTree tree;
+
+    explicit CondIndex(const Region& layer)
+        : rects(&layer.rects()), tree(*rects) {}
+
+    bool leaves_uncovered(const Region& cut) const {
+      Region local;
+      tree.visit(cut.bbox(), [&](std::uint32_t i) { local.add((*rects)[i]); });
+      return !(cut - local).empty();
+    }
+  };
   std::vector<FloatingCut> out;
   for (std::size_t li = 0; li < stack.size(); ++li) {
     if (!stack[li].is_cut) continue;
-    const Region* below =
-        li > 0 && !stack[li - 1].is_cut ? &layer_of(layers, stack[li - 1].key)
-                                        : nullptr;
-    const Region* above = li + 1 < stack.size() && !stack[li + 1].is_cut
-                              ? &layer_of(layers, stack[li + 1].key)
-                              : nullptr;
+    std::optional<CondIndex> below;
+    if (li > 0 && !stack[li - 1].is_cut) {
+      below.emplace(layer_of(layers, stack[li - 1].key));
+    }
+    std::optional<CondIndex> above;
+    if (li + 1 < stack.size() && !stack[li + 1].is_cut) {
+      above.emplace(layer_of(layers, stack[li + 1].key));
+    }
     for (const Region& cut : layer_of(layers, stack[li].key).components()) {
       FloatingCut f;
       f.layer = stack[li].key;
       f.where = cut.bbox();
-      f.missing_below = below != nullptr && !(cut - *below).empty();
-      f.missing_above = above != nullptr && !(cut - *above).empty();
+      f.missing_below = below && below->leaves_uncovered(cut);
+      f.missing_above = above && above->leaves_uncovered(cut);
       if (f.missing_below || f.missing_above) out.push_back(std::move(f));
     }
   }
   return out;
 }
 
+}  // namespace detail
+
 Netlist extract_nets(const LayoutSnapshot& snap,
                      const std::vector<StackLayer>& stack) {
-  return extract_nets(snap.layers(), stack);
+  return detail::extract_nets_impl(snap.layers(), stack);
 }
 
 std::vector<FloatingCut> find_floating_cuts(
     const LayoutSnapshot& snap, const std::vector<StackLayer>& stack) {
-  return find_floating_cuts(snap.layers(), stack);
+  return detail::find_floating_cuts_impl(snap.layers(), stack);
 }
 
 }  // namespace dfm

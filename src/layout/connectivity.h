@@ -29,24 +29,17 @@ struct Net {
 
   const Region* on(LayerKey k) const;
   Area total_area() const;
+
+  friend bool operator==(const Net&, const Net&) = default;
 };
 
 struct Netlist {
   std::vector<Net> nets;
 
   std::size_t size() const { return nets.size(); }
+
+  friend bool operator==(const Netlist&, const Netlist&) = default;
 };
-
-/// Extracts nets: per-layer components are vertices; a cut component
-/// that overlaps a conductor component on the layer below and above
-/// unions them. Cut shapes overlapping no conductor (or only one side)
-/// are still assigned to the net of whatever they touch.
-Netlist extract_nets(const LayerMap& layers,
-                     const std::vector<StackLayer>& stack);
-
-/// Same over a snapshot's (already canonical) layers.
-Netlist extract_nets(const LayoutSnapshot& snap,
-                     const std::vector<StackLayer>& stack);
 
 /// Cut shapes not fully covered by both adjacent conductors: open-circuit
 /// risks (manufacturing) or outright extraction errors (design).
@@ -55,13 +48,36 @@ struct FloatingCut {
   Rect where;
   bool missing_below = false;
   bool missing_above = false;
+
+  friend bool operator==(const FloatingCut&, const FloatingCut&) = default;
 };
 
-std::vector<FloatingCut> find_floating_cuts(
+namespace detail {
+// Non-deprecated implementations the snapshot overloads and the
+// core/compat.h shims both route through.
+Netlist extract_nets_impl(const LayerMap& layers,
+                          const std::vector<StackLayer>& stack);
+std::vector<FloatingCut> find_floating_cuts_impl(
     const LayerMap& layers, const std::vector<StackLayer>& stack);
+}  // namespace detail
 
-/// Same over a snapshot's (already canonical) layers.
+/// Extracts nets over a snapshot's (already canonical) layers: per-layer
+/// components are vertices; a cut component that overlaps a conductor
+/// component on the layer below and above unions them. Cut shapes
+/// overlapping no conductor (or only one side) are still assigned to the
+/// net of whatever they touch.
+Netlist extract_nets(const LayoutSnapshot& snap,
+                     const std::vector<StackLayer>& stack);
+
 std::vector<FloatingCut> find_floating_cuts(
     const LayoutSnapshot& snap, const std::vector<StackLayer>& stack);
+
+/// Deprecated LayerMap shims; live in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+Netlist extract_nets(const LayerMap& layers,
+                     const std::vector<StackLayer>& stack);
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+std::vector<FloatingCut> find_floating_cuts(
+    const LayerMap& layers, const std::vector<StackLayer>& stack);
 
 }  // namespace dfm

@@ -126,6 +126,8 @@ struct Hotspot {
   HotspotKind kind;
   Rect marker;
   double severity = 0;  // area-based badness, larger is worse
+
+  friend bool operator==(const Hotspot&, const Hotspot&) = default;
 };
 
 /// Compares printed vs drawn target: pinches are target areas that fail

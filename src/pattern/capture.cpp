@@ -32,30 +32,35 @@ const Region& layer_of(const LayerMap& layers, LayerKey k) {
   return it == layers.end() ? kEmpty : it->second;
 }
 
-// Shared core of both capture_at_anchors overloads: one window per
-// connected component of `anchor`, centered on the component bbox
-// center. Windows capture concurrently (the indices are read-only) and
-// parallel_map keeps the results in component order — identical to the
-// serial scan.
-std::vector<CapturedPattern> anchors_impl(const std::vector<LayerIndex>& index,
-                                          const std::vector<LayerKey>& on,
-                                          const Region& anchor, Coord radius,
-                                          ThreadPool* pool) {
-  std::vector<Point> centers;
-  for (const Region& comp : anchor.components()) {
-    centers.push_back(comp.bbox().center());
-  }
-  return parallel_map(pool, centers.size(), [&](std::size_t i) {
-    const Point c = centers[i];
-    const Rect window{c.x - radius, c.y - radius, c.x + radius, c.y + radius};
-    std::vector<LayerClip> clips;
-    clips.reserve(on.size());
-    for (std::size_t li = 0; li < on.size(); ++li) {
-      clips.push_back(LayerClip{on[li], index[li].clip(window)});
+// The snapshot's per-layer index, as a LayerIndex view. Hoisting the
+// memoized products out of the parallel region means each is touched
+// exactly once per call regardless of thread count.
+std::vector<LayerIndex> snapshot_index(const LayoutSnapshot& snap,
+                                       const std::vector<LayerKey>& on) {
+  static const std::vector<Rect> kNoRects;
+  static const RTree kEmptyTree;
+  std::vector<LayerIndex> index;
+  index.reserve(on.size());
+  for (const LayerKey k : on) {
+    if (snap.has(k)) {
+      index.push_back(LayerIndex{&snap.layer(k).rects(), &snap.rtree(k)});
+    } else {
+      index.push_back(LayerIndex{&kNoRects, &kEmptyTree});
     }
-    return CapturedPattern{TopologicalPattern::capture(clips, window), window,
-                           c};
-  });
+  }
+  return index;
+}
+
+CapturedPattern capture_site(const std::vector<LayerIndex>& index,
+                             const std::vector<LayerKey>& on,
+                             const AnchorWindow& site) {
+  std::vector<LayerClip> clips;
+  clips.reserve(on.size());
+  for (std::size_t li = 0; li < on.size(); ++li) {
+    clips.push_back(LayerClip{on[li], index[li].clip(site.window)});
+  }
+  return CapturedPattern{TopologicalPattern::capture(clips, site.window),
+                         site.window, site.anchor};
 }
 
 }  // namespace
@@ -71,56 +76,44 @@ TopologicalPattern capture_window(const LayerMap& layers,
   return TopologicalPattern::capture(clips, window);
 }
 
-std::vector<CapturedPattern> capture_at_anchors(
-    const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
-  // Locally-owned copies of each layer's canonical rects + an R-tree over
-  // them; the snapshot overload shares these products across passes.
-  std::vector<std::vector<Rect>> rects;
-  std::vector<RTree> trees;
-  std::vector<LayerIndex> index;
-  rects.reserve(on.size());
-  trees.reserve(on.size());
-  index.reserve(on.size());
-  for (const LayerKey k : on) {
-    rects.push_back(layer_of(layers, k).rects());
-    trees.emplace_back(rects.back());
-    index.push_back(LayerIndex{&rects.back(), &trees.back()});
+std::vector<AnchorWindow> anchor_windows(const Region& anchor_layer,
+                                         Coord radius) {
+  std::vector<AnchorWindow> out;
+  for (const Region& comp : anchor_layer.components()) {
+    const Point c = comp.bbox().center();
+    out.push_back(AnchorWindow{
+        c, Rect{c.x - radius, c.y - radius, c.x + radius, c.y + radius}});
   }
-  return anchors_impl(index, on, layer_of(layers, anchor_layer), radius, pool);
+  return out;
+}
+
+CapturedPattern capture_window_at(const LayoutSnapshot& snap,
+                                  const std::vector<LayerKey>& on,
+                                  const AnchorWindow& site) {
+  return capture_site(snapshot_index(snap, on), on, site);
 }
 
 std::vector<CapturedPattern> capture_at_anchors(
     const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool) {
-  // Hoist the memoized products out of the parallel region so each is
-  // touched exactly once per call regardless of thread count.
-  static const std::vector<Rect> kNoRects;
-  static const RTree kEmptyTree;
-  std::vector<LayerIndex> index;
-  index.reserve(on.size());
-  for (const LayerKey k : on) {
-    if (snap.has(k)) {
-      index.push_back(LayerIndex{&snap.layer(k).rects(), &snap.rtree(k)});
-    } else {
-      index.push_back(LayerIndex{&kNoRects, &kEmptyTree});
-    }
-  }
-  return anchors_impl(index, on, snap.layer(anchor_layer), radius, pool);
+  const std::vector<LayerIndex> index = snapshot_index(snap, on);
+  const std::vector<AnchorWindow> sites =
+      anchor_windows(snap.layer(anchor_layer), radius);
+  // Sites capture concurrently (the indices are read-only); parallel_map
+  // keeps the results in component order — identical to the serial scan.
+  return parallel_map(pool, sites.size(), [&](std::size_t i) {
+    return capture_site(index, on, sites[i]);
+  });
 }
 
-std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
+std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride, bool keep_empty,
                                           ThreadPool* pool) {
   std::vector<CapturedPattern> out;
   if (extent.is_empty() || size <= 0 || stride <= 0) return out;
-  // Normalization by construction: building the views canonicalizes each
-  // layer before the windows fan out across threads.
-  std::vector<NormalizedRegion> views;
-  views.reserve(on.size());
-  for (const LayerKey k : on) views.emplace_back(layer_of(layers, k));
+  const std::vector<LayerIndex> index = snapshot_index(snap, on);
   std::vector<Rect> windows;
   for (Coord y = extent.lo.y; y + size <= extent.hi.y; y += stride) {
     for (Coord x = extent.lo.x; x + size <= extent.hi.x; x += stride) {
@@ -129,8 +122,8 @@ std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
   }
   std::vector<CapturedPattern> captured =
       parallel_map(pool, windows.size(), [&](std::size_t i) {
-        return CapturedPattern{capture_window(layers, on, windows[i]),
-                               windows[i], windows[i].center()};
+        return capture_site(index, on,
+                            AnchorWindow{windows[i].center(), windows[i]});
       });
   // Filter empties after the fact so the surviving scan order matches the
   // serial loop.
@@ -139,15 +132,6 @@ std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
     out.push_back(std::move(c));
   }
   return out;
-}
-
-std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
-                                          const std::vector<LayerKey>& on,
-                                          const Rect& extent, Coord size,
-                                          Coord stride, bool keep_empty,
-                                          ThreadPool* pool) {
-  return capture_grid(snap.layers(), on, extent, size, stride, keep_empty,
-                      pool);
 }
 
 }  // namespace dfm

@@ -22,39 +22,65 @@ struct CapturedPattern {
   Point anchor;  // anchor center (window center for grid capture)
 };
 
-/// Captures one window: clips every requested layer and encodes.
+/// Captures one window: clips every requested layer and encodes. The
+/// construction-time primitive reference decks are built from; full-
+/// design scans go through capture_at_anchors / capture_grid instead.
 TopologicalPattern capture_window(const LayerMap& layers,
                                   const std::vector<LayerKey>& on,
                                   const Rect& window);
 
+/// One anchor-capture site: the window a scan will clip and encode,
+/// centered on a connected component of the anchor layer.
+struct AnchorWindow {
+  Point anchor;  // component bbox center
+  Rect window;   // anchor expanded by the capture radius
+
+  friend bool operator==(const AnchorWindow&, const AnchorWindow&) = default;
+  friend auto operator<=>(const AnchorWindow&, const AnchorWindow&) = default;
+};
+
+/// The site list capture_at_anchors scans, in component order, without
+/// capturing anything — incremental re-analysis enumerates this cheaply
+/// and captures only the sites its damage regions touch.
+std::vector<AnchorWindow> anchor_windows(const Region& anchor_layer,
+                                         Coord radius);
+
+/// Captures one anchor site over the snapshot's memoized indexes.
+/// capture_at_anchors(snap, ...) == capture_window_at mapped over
+/// anchor_windows(...).
+CapturedPattern capture_window_at(const LayoutSnapshot& snap,
+                                  const std::vector<LayerKey>& on,
+                                  const AnchorWindow& site);
+
 /// One window per connected component of `anchor_layer`, centered on the
 /// component bbox center, of half-size `radius`. Windows capture
 /// concurrently on the pool but the returned vector is always in
-/// component order — identical to the serial scan.
-std::vector<CapturedPattern> capture_at_anchors(
-    const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
-
-/// Snapshot-native anchor capture: reuses the snapshot's memoized per-
-/// layer R-trees instead of indexing from scratch, so repeated scans of
-/// one layout (DRC-Plus pattern sets, catalogs) pay the indexing cost
-/// once. Output is bit-identical to the LayerMap overload.
+/// component order — identical to the serial scan. Reuses the snapshot's
+/// memoized per-layer R-trees, so repeated scans of one layout (DRC-Plus
+/// pattern sets, catalogs) pay the indexing cost once.
 std::vector<CapturedPattern> capture_at_anchors(
     const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
+    LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
+
+/// Deprecated LayerMap shim; lives in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+std::vector<CapturedPattern> capture_at_anchors(
+    const LayerMap& layers, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
 
 /// Sliding-window capture over `extent` at `stride`; windows of edge
 /// `size`. Empty windows are skipped unless keep_empty. Parallel capture
 /// preserves scan order, like capture_at_anchors.
-std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
+std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride,
                                           bool keep_empty = false,
                                           ThreadPool* pool = nullptr);
 
-/// Grid capture over a snapshot's (already canonical) layers.
-std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
+/// Deprecated LayerMap shim; lives in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride,

@@ -85,15 +85,6 @@ std::vector<const CatalogEntry*> PatternCatalog::entries() const {
   return out;
 }
 
-PatternCatalog build_catalog(const LayerMap& layers,
-                             const std::vector<LayerKey>& on,
-                             LayerKey anchor_layer, Coord radius,
-                             ThreadPool* pool) {
-  PatternCatalog cat;
-  cat.insert(capture_at_anchors(layers, on, anchor_layer, radius, pool));
-  return cat;
-}
-
 PatternCatalog build_catalog(const LayoutSnapshot& snap,
                              const std::vector<LayerKey>& on,
                              LayerKey anchor_layer, Coord radius,

@@ -59,14 +59,16 @@ class PatternCatalog {
 /// Builds a via-style catalog: windows centered on every component of
 /// `anchor_layer` capturing `on` layers. Capture fans out on the pool;
 /// insertion stays in window order, so counts *and* exemplars match the
-/// serial build exactly.
-PatternCatalog build_catalog(const LayerMap& layers,
+/// serial build exactly. Shares the snapshot's memoized R-trees across
+/// builds.
+PatternCatalog build_catalog(const LayoutSnapshot& snap,
                              const std::vector<LayerKey>& on,
                              LayerKey anchor_layer, Coord radius,
                              ThreadPool* pool = nullptr);
 
-/// Same over a snapshot (shares its memoized R-trees across builds).
-PatternCatalog build_catalog(const LayoutSnapshot& snap,
+/// Deprecated LayerMap shim; lives in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+PatternCatalog build_catalog(const LayerMap& layers,
                              const std::vector<LayerKey>& on,
                              LayerKey anchor_layer, Coord radius,
                              ThreadPool* pool = nullptr);

@@ -46,7 +46,7 @@ PatternMatcher::PatternMatcher(std::vector<PatternRule> rules)
   }
 }
 
-std::vector<PatternMatch> PatternMatcher::scan(
+std::vector<std::vector<PatternMatch>> PatternMatcher::scan_per_window(
     const std::vector<CapturedPattern>& windows, ThreadPool* pool) const {
   const auto scan_window = [&](const CapturedPattern& w) {
     std::vector<PatternMatch> local;
@@ -71,19 +71,17 @@ std::vector<PatternMatch> PatternMatcher::scan(
     }
     return local;
   };
-  std::vector<std::vector<PatternMatch>> per_window = parallel_map(
-      pool, windows.size(), [&](std::size_t i) { return scan_window(windows[i]); });
+  return parallel_map(pool, windows.size(),
+                      [&](std::size_t i) { return scan_window(windows[i]); });
+}
+
+std::vector<PatternMatch> PatternMatcher::scan(
+    const std::vector<CapturedPattern>& windows, ThreadPool* pool) const {
   std::vector<PatternMatch> out;
-  for (std::vector<PatternMatch>& v : per_window) {
+  for (std::vector<PatternMatch>& v : scan_per_window(windows, pool)) {
     out.insert(out.end(), v.begin(), v.end());
   }
   return out;
-}
-
-std::vector<PatternMatch> PatternMatcher::scan_anchors(
-    const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius, ThreadPool* pool) const {
-  return scan(capture_at_anchors(layers, on, anchor_layer, radius, pool), pool);
 }
 
 std::vector<PatternMatch> PatternMatcher::scan_anchors(

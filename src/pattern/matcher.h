@@ -25,6 +25,8 @@ struct PatternMatch {
   Rect window;
   Point anchor;
   bool exact = true;
+
+  friend bool operator==(const PatternMatch&, const PatternMatch&) = default;
 };
 
 class PatternMatcher {
@@ -39,13 +41,23 @@ class PatternMatcher {
   std::vector<PatternMatch> scan(const std::vector<CapturedPattern>& windows,
                                  ThreadPool* pool = nullptr) const;
 
-  /// Convenience: anchor-capture the target and scan.
-  std::vector<PatternMatch> scan_anchors(const LayerMap& layers,
+  /// Matches grouped by window, aligned with `windows` — the splice unit
+  /// of incremental pattern scans. scan() is exactly the window-order
+  /// concatenation of these groups.
+  std::vector<std::vector<PatternMatch>> scan_per_window(
+      const std::vector<CapturedPattern>& windows,
+      ThreadPool* pool = nullptr) const;
+
+  /// Convenience: anchor-capture the target and scan. Shares the
+  /// snapshot's memoized R-trees across scans.
+  std::vector<PatternMatch> scan_anchors(const LayoutSnapshot& snap,
                                          const std::vector<LayerKey>& on,
                                          LayerKey anchor_layer, Coord radius,
                                          ThreadPool* pool = nullptr) const;
-  /// Same over a snapshot (shares its memoized R-trees across scans).
-  std::vector<PatternMatch> scan_anchors(const LayoutSnapshot& snap,
+
+  /// Deprecated LayerMap shim; lives in core/compat.h.
+  [[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+  std::vector<PatternMatch> scan_anchors(const LayerMap& layers,
                                          const std::vector<LayerKey>& on,
                                          LayerKey anchor_layer, Coord radius,
                                          ThreadPool* pool = nullptr) const;

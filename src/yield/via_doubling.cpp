@@ -3,6 +3,7 @@
 // landing-pad extensions do not create new metal spacing violations.
 #include "yield/yield.h"
 
+#include "core/delta.h"
 #include "core/snapshot.h"
 #include "geometry/rtree.h"
 
@@ -15,13 +16,38 @@ const Region& layer_of(const LayerMap& layers, LayerKey k) {
   return it == layers.end() ? kEmpty : it->second;
 }
 
-}  // namespace
+// A metal layer's canonical rects plus a spatial index over them. Every
+// legality probe below reads only the rects near one candidate pad, so
+// gathering them through the tree gives the same geometry as the
+// full-layer boolean at local cost.
+struct MetalIndex {
+  const std::vector<Rect>* rects = nullptr;
+  const RTree* tree = nullptr;
 
-ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
+  // Metal inside `window`: identical point set (hence identical canonical
+  // form) to clipping the whole layer, since rects not touching the
+  // window contribute nothing.
+  Region clip(const Rect& window) const {
+    Region out;
+    tree->visit(window, [&](std::uint32_t i) {
+      const Rect c = (*rects)[i].intersect(window);
+      if (!c.is_empty()) out.add(c);
+    });
+    return out;
+  }
+
+  // `pad` minus the metal: metal outside the pad cannot shrink the
+  // difference, so only the overlapping rects matter.
+  Region uncovered(const Rect& pad) const {
+    Region local;
+    tree->visit(pad, [&](std::uint32_t i) { local.add((*rects)[i]); });
+    return Region{pad} - local;
+  }
+};
+
+ViaDoublingResult double_vias_core(const Region& vias, const MetalIndex& m1,
+                                   const MetalIndex& m2, const Tech& tech) {
   ViaDoublingResult res;
-  const Region& vias = layer_of(layers, layers::kVia1);
-  const Region& m1 = layer_of(layers, layers::kMetal1);
-  const Region& m2 = layer_of(layers, layers::kMetal2);
 
   const std::vector<Region> nets = vias.components();
   std::vector<Rect> via_boxes;
@@ -33,7 +59,7 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
   const Coord sp = tech.via_space;
   const Coord enc = tech.via_enclosure / 2;  // sign-off (borderless) minimum
 
-  Region accepted;  // newly inserted vias, for self-spacing checks
+  std::vector<Rect> accepted;  // newly inserted vias, for self-spacing
 
   for (std::size_t i = 0; i < nets.size(); ++i) {
     // Only single vias (exactly one via-sized component) get doubled.
@@ -61,7 +87,7 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
       });
       if (!ok) continue;
       // Spacing to vias we have already inserted.
-      for (const Rect& r : accepted.rects()) {
+      for (const Rect& r : accepted) {
         if (r.distance(nv) < sp) {
           ok = false;
           break;
@@ -75,17 +101,17 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
       // is missing, but only when the extension introduces no new
       // spacing violation against other nets.
       const Rect pad = nv.hull(vb).expanded(enc);
-      const Region need1 = Region{pad} - m1;
-      const Region need2 = Region{pad} - m2;
+      const Region need1 = m1.uncovered(pad);
+      const Region need2 = m2.uncovered(pad);
       // The extension may not come closer than min spacing to any metal
       // it does not merge with: probe with a bloat-overlap test against
       // everything outside the pad's own merged island.
-      auto extension_legal = [&](const Region& need, const Region& metal,
+      auto extension_legal = [&](const Region& need, const MetalIndex& metal,
                                  Coord space) {
         if (need.empty()) return true;
         // Neighbouring metal within `space` of the extension that does
         // NOT touch the extension would become a spacing violation.
-        const Region near = metal.clipped(pad.expanded(space + 1));
+        const Region near = metal.clip(pad.expanded(space + 1));
         for (const Region& comp : near.components()) {
           const Coord d = region_distance(comp, need, space + 1);
           if (d > 0 && d < space) return false;
@@ -95,7 +121,7 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
       if (!extension_legal(need1, m1, tech.m1_space)) continue;
       if (!extension_legal(need2, m2, tech.m2_space)) continue;
 
-      accepted.add(nv);
+      accepted.push_back(nv);
       res.new_vias.add(nv);
       res.new_metal1.add(need1);
       res.new_metal2.add(need2);
@@ -108,8 +134,41 @@ ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech) {
   return res;
 }
 
+}  // namespace
+
+namespace detail {
+
+ViaDoublingResult double_vias_impl(const LayerMap& layers, const Tech& tech) {
+  const std::vector<Rect>& m1_rects = layer_of(layers, layers::kMetal1).rects();
+  const std::vector<Rect>& m2_rects = layer_of(layers, layers::kMetal2).rects();
+  const RTree m1_tree(m1_rects);
+  const RTree m2_tree(m2_rects);
+  return double_vias_core(layer_of(layers, layers::kVia1),
+                          MetalIndex{&m1_rects, &m1_tree},
+                          MetalIndex{&m2_rects, &m2_tree}, tech);
+}
+
+}  // namespace detail
+
 ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech) {
-  return double_vias(snap.layers(), tech);
+  static const Region kEmpty;
+  static const std::vector<Rect> kNoRects;
+  static const RTree kEmptyTree;
+  auto index = [&](LayerKey k) {
+    return snap.has(k) ? MetalIndex{&snap.layer(k).rects(), &snap.rtree(k)}
+                       : MetalIndex{&kNoRects, &kEmptyTree};
+  };
+  return double_vias_core(
+      snap.has(layers::kVia1) ? snap.layer(layers::kVia1).region() : kEmpty,
+      index(layers::kMetal1), index(layers::kMetal2), tech);
+}
+
+LayoutDelta to_delta(const ViaDoublingResult& result) {
+  LayoutDelta delta;
+  delta.add(layers::kVia1, result.new_vias);
+  delta.add(layers::kMetal1, result.new_metal1);
+  delta.add(layers::kMetal2, result.new_metal2);
+  return delta;
 }
 
 }  // namespace dfm

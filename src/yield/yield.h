@@ -13,6 +13,7 @@
 
 namespace dfm {
 
+class LayoutDelta;     // core/delta.h
 class LayoutSnapshot;  // core/snapshot.h
 
 /// Power-law defect size distribution f(s) ~ 1/s^k on [x0, xmax] — the
@@ -74,15 +75,30 @@ struct ViaDoublingResult {
   Region new_vias;          // the added via shapes
   Region new_metal1;        // landing-pad extensions added
   Region new_metal2;
+
+  friend bool operator==(const ViaDoublingResult&,
+                         const ViaDoublingResult&) = default;
 };
+
+namespace detail {
+// Non-deprecated implementation the core/compat.h shim routes through.
+ViaDoublingResult double_vias_impl(const LayerMap& layers, const Tech& tech);
+}  // namespace detail
 
 /// Attempts to add a redundant via beside every isolated via, extending
 /// the landing pads when needed; a position is legal when via spacing to
 /// every other via is kept and the pad extension creates no new
-/// metal-spacing violation.
-ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech);
-/// Same over a snapshot's (already canonical) layers.
+/// metal-spacing violation. Reads the snapshot's memoized metal R-trees,
+/// so every legality probe is local to the candidate pad.
 ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech);
+
+/// Deprecated LayerMap shim; lives in core/compat.h.
+[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
+ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech);
+
+/// The layout edit a doubling result represents (new vias + pad
+/// extensions), as a delta incremental re-analysis can apply.
+LayoutDelta to_delta(const ViaDoublingResult& result);
 
 /// Via-limited yield: singles fail at `fail_rate`, doubled pairs at
 /// fail_rate^2.

@@ -1,6 +1,7 @@
 #include "core/autofix.h"
 
 #include "core/recommended_rules.h"
+#include "core/snapshot.h"
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -24,7 +25,7 @@ TEST(AutoFix, RepairsBorderlessVia) {
   LayerMap layers = layers_of(c);
   const DrcPlusDeck deck = DrcPlusDeck::standard(t);
   const DrcPlusEngine engine{deck};
-  const DrcPlusResult before = engine.run(layers);
+  const DrcPlusResult before = engine.run(LayoutSnapshot(layers));
   ASSERT_GE(before.pattern_match_count(), 1u);
 
   const AutoFixResult fix = auto_fix(layers, deck, before, t);
@@ -38,7 +39,7 @@ TEST(AutoFix, RepairsBorderlessVia) {
   EXPECT_TRUE((via.bloated(t.via_enclosure) - layers.at(layers::kMetal2)).empty());
 
   // And the matcher no longer fires on it.
-  const DrcPlusResult after = engine.run(layers);
+  const DrcPlusResult after = engine.run(LayoutSnapshot(layers));
   std::size_t borderless_hits = 0;
   for (std::size_t si = 0; si < deck.pattern_sets.size(); ++si) {
     for (const PatternMatch& m : after.matches[si]) {
@@ -123,7 +124,7 @@ TEST(AutoFix, NoMatchesNoChanges) {
   add_via(c, t, {0, 0}, ViaStyle::kSymmetric);
   LayerMap layers = layers_of(c);
   const DrcPlusDeck deck = DrcPlusDeck::standard(t);
-  const DrcPlusResult res = DrcPlusEngine{deck}.run(layers);
+  const DrcPlusResult res = DrcPlusEngine{deck}.run(LayoutSnapshot(layers));
   const AutoFixResult fix = auto_fix(layers, deck, res, t);
   EXPECT_EQ(fix.attempted, 0);
   EXPECT_EQ(fix.fixed, 0);

@@ -1,0 +1,111 @@
+// The deprecated Library/LayerMap shims (core/compat.h) must keep
+// producing bit-identical results to the canonical snapshot-first API
+// until they are removed. No other in-tree code includes compat.h — the
+// strict build (-Werror=deprecated-declarations) enforces that — so
+// this suite is the shims' only exercise and deliberately silences the
+// deprecation warnings it triggers.
+#include "core/compat.h"
+
+#include "core/drc_plus.h"
+#include "core/recommended_rules.h"
+#include "core/snapshot.h"
+#include "drc/engine.h"
+#include "gen/generators.h"
+#include "layout/connectivity.h"
+#include "pattern/catalog.h"
+#include "yield/yield.h"
+
+#include <gtest/gtest.h>
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace dfm {
+namespace {
+
+LayerMap flow_layers(const Library& lib, std::uint32_t top) {
+  LayerMap m;
+  for (const LayerKey k : LayoutSnapshot::standard_flow_layers()) {
+    m.emplace(k, lib.flatten(top, k));
+  }
+  return m;
+}
+
+struct Fixture {
+  Library lib;
+  std::uint32_t top;
+  LayerMap layers;
+
+  Fixture() : lib(make()), top(lib.top_cells()[0]), layers(flow_layers(lib, top)) {}
+
+  static Library make() {
+    DesignParams p;
+    p.seed = 99;
+    p.rows = 2;
+    p.cells_per_row = 4;
+    p.routes = 8;
+    p.via_fields = 1;
+    p.vias_per_field = 16;
+    return generate_design(p);
+  }
+};
+
+TEST(CompatShims, DrcMatchesSnapshotPath) {
+  const Fixture f;
+  const DrcEngine engine{RuleDeck::standard(Tech::standard())};
+  const DrcResult via_map = engine.run(f.layers);
+  const DrcResult via_lib = engine.run(f.lib, f.top);
+  const DrcResult canon = engine.run(LayoutSnapshot(f.layers));
+  ASSERT_EQ(via_map.violations.size(), canon.violations.size());
+  ASSERT_EQ(via_lib.violations.size(), canon.violations.size());
+  for (std::size_t i = 0; i < canon.violations.size(); ++i) {
+    EXPECT_EQ(via_map.violations[i].rule, canon.violations[i].rule);
+    EXPECT_EQ(via_map.violations[i].marker, canon.violations[i].marker);
+    EXPECT_EQ(via_lib.violations[i].rule, canon.violations[i].rule);
+    EXPECT_EQ(via_lib.violations[i].marker, canon.violations[i].marker);
+  }
+}
+
+TEST(CompatShims, DrcPlusMatchesSnapshotPath) {
+  const Fixture f;
+  const DrcPlusEngine engine{DrcPlusDeck::standard(Tech::standard())};
+  const DrcPlusResult legacy = engine.run(f.layers);
+  const DrcPlusResult canon = engine.run(LayoutSnapshot(f.layers));
+  EXPECT_EQ(legacy.drc.violations.size(), canon.drc.violations.size());
+  ASSERT_EQ(legacy.matches.size(), canon.matches.size());
+  for (std::size_t i = 0; i < canon.matches.size(); ++i) {
+    EXPECT_EQ(legacy.matches[i].size(), canon.matches[i].size());
+  }
+}
+
+TEST(CompatShims, NetExtractionAndViasMatchSnapshotPath) {
+  const Fixture f;
+  const auto stack = standard_stack();
+  const Netlist legacy = extract_nets(f.layers, stack);
+  const LayoutSnapshot snap(f.layers);
+  const Netlist canon = extract_nets(snap, stack);
+  EXPECT_EQ(legacy.nets.size(), canon.nets.size());
+  EXPECT_EQ(find_floating_cuts(f.layers, stack).size(),
+            find_floating_cuts(snap, stack).size());
+  const ViaDoublingResult va = double_vias(f.layers, Tech::standard());
+  const ViaDoublingResult vb = double_vias(snap, Tech::standard());
+  EXPECT_EQ(va, vb);
+}
+
+TEST(CompatShims, CatalogAndRecommendedMatchSnapshotPath) {
+  const Fixture f;
+  const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
+                                    layers::kMetal2};
+  const PatternCatalog legacy = build_catalog(f.layers, on, layers::kVia1, 120);
+  const LayoutSnapshot snap(f.layers);
+  const PatternCatalog canon = build_catalog(snap, on, layers::kVia1, 120);
+  EXPECT_EQ(legacy.total_windows(), canon.total_windows());
+  EXPECT_EQ(legacy.class_count(), canon.class_count());
+
+  const auto rules = standard_recommended_rules(Tech::standard());
+  const RecommendedResult ra = check_recommended(f.layers, rules);
+  const RecommendedResult rb = check_recommended(snap, rules);
+  EXPECT_EQ(ra, rb);
+}
+
+}  // namespace
+}  // namespace dfm

@@ -78,7 +78,7 @@ TEST(DrcPlus, CatchesWhatDrcMisses) {
   add_via(c, t, {70000, 0}, ViaStyle::kSymmetric);
 
   const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
-  const DrcPlusResult res = engine.run(layers_of_cell(c));
+  const DrcPlusResult res = engine.run(LayoutSnapshot(layers_of_cell(c)));
 
   // Plain DRC: everything above is geometrically legal.
   int geometric = 0;
@@ -99,7 +99,8 @@ TEST(DrcPlus, CleanDesignHasNoPatternHits) {
   add_via(c, t, {0, 0}, ViaStyle::kSymmetric);
   c.add(layers::kMetal1, Rect{5000, 0, 5200, 2000});
   const DrcPlusEngine engine{DrcPlusDeck::standard(t)};
-  EXPECT_EQ(engine.run(layers_of_cell(c)).pattern_match_count(), 0u);
+  EXPECT_EQ(engine.run(LayoutSnapshot(layers_of_cell(c))).pattern_match_count(),
+            0u);
 }
 
 TEST(RecommendedRules, BorderlessViaViolatesFullEnclosure) {
@@ -112,8 +113,10 @@ TEST(RecommendedRules, BorderlessViaViolatesFullEnclosure) {
   good.add(layers::kMetal1, Rect{0, -25, 2000, 25});
   bad.add(layers::kMetal1, Rect{0, -25, 2000, 25});
   const auto rules = standard_recommended_rules(t);
-  const RecommendedReport g = check_recommended(layers_of_cell(good), rules);
-  const RecommendedReport b = check_recommended(layers_of_cell(bad), rules);
+  const RecommendedResult g =
+      check_recommended(LayoutSnapshot(layers_of_cell(good)), rules);
+  const RecommendedResult b =
+      check_recommended(LayoutSnapshot(layers_of_cell(bad)), rules);
   EXPECT_GT(g.compliance(), b.compliance());
   EXPECT_DOUBLE_EQ(g.compliance(), 1.0);
 }
@@ -130,7 +133,7 @@ TEST(HotspotFlow, LearnsAndFindsInjectedHotspots) {
   inject_pinch_candidate(train, t, {8000, 0});
   const Region train_m1 = train.local_region(layers::kMetal1);
 
-  HotspotFlowParams params;
+  HotspotFlowOptions params;
   params.model = model;
   params.snippet_radius = 350;
   params.edge_tolerance = 12;

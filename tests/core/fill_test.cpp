@@ -7,8 +7,8 @@
 namespace dfm {
 namespace {
 
-FillParams params() {
-  FillParams p;
+FillOptions params() {
+  FillOptions p;
   p.square = 200;
   p.spacing = 120;
   p.tile = 2000;
@@ -38,7 +38,7 @@ TEST(Fill, DenseTilesAreLeftAlone) {
 TEST(Fill, KeepsMoatFromRealGeometry) {
   Region layer{Rect{3000, 3000, 3400, 3400}};  // a small island
   const Rect extent{0, 0, 8000, 8000};
-  const FillParams p = params();
+  const FillOptions p = params();
   const FillResult res = insert_fill(layer, extent, p);
   ASSERT_FALSE(res.fill.empty());
   EXPECT_GE(region_distance(res.fill, layer, p.spacing + 10), p.spacing);
@@ -46,7 +46,7 @@ TEST(Fill, KeepsMoatFromRealGeometry) {
 
 TEST(Fill, FillSquaresKeepSpacingFromEachOther) {
   const Rect extent{0, 0, 6000, 6000};
-  const FillParams p = params();
+  const FillOptions p = params();
   const FillResult res = insert_fill(Region{}, extent, p);
   // Every pair of fill squares is >= spacing apart: the merged fill must
   // have exactly `squares` components (nothing merged).
@@ -59,7 +59,7 @@ TEST(Fill, FillSquaresKeepSpacingFromEachOther) {
 
 TEST(Fill, RespectsTargetWithoutFlooding) {
   const Rect extent{0, 0, 4000, 4000};
-  FillParams p = params();
+  FillOptions p = params();
   p.target_min = 0.10;
   const FillResult res = insert_fill(Region{}, extent, p);
   const DensityMap after = density_map(res.fill, extent, p.tile);

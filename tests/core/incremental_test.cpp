@@ -1,0 +1,367 @@
+// Incremental re-analysis: LayoutDelta / IncrementalSnapshot semantics
+// and the hard flow guarantee — a DfmFlowSession report after any edit
+// sequence is bit-identical to a cold run over the edited layout, at
+// every thread count.
+#include "core/incremental.h"
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dfm {
+namespace {
+
+LayerMap flow_layers(const Library& lib, std::uint32_t top) {
+  LayerMap m;
+  for (const LayerKey k : LayoutSnapshot::standard_flow_layers()) {
+    m.emplace(k, lib.flatten(top, k));
+  }
+  return m;
+}
+
+LayerMap small_design(std::uint64_t seed) {
+  DesignParams p;
+  p.seed = seed;
+  p.rows = 2;
+  p.cells_per_row = 4;
+  p.routes = 8;
+  p.via_fields = 1;
+  p.vias_per_field = 16;
+  const Library lib = generate_design(p);
+  return flow_layers(lib, lib.top_cells()[0]);
+}
+
+DfmFlowOptions fast_options(unsigned threads, bool litho = false) {
+  DfmFlowOptions o;
+  o.threads = threads;
+  o.tech = Tech::standard();
+  o.model.sigma = 20;
+  o.model.px = 10;  // coarse raster: litho correctness, not resolution
+  o.litho_tile = 6000;
+  o.run_litho = litho;
+  return o;
+}
+
+/// Shrinks `bb` towards its centre, by at most `d` per side but never
+/// past a quarter of the extent, so the result stays a valid rect even
+/// on small designs.
+Rect interior(const Rect& bb, Coord d = 1500) {
+  const Coord dx = std::min(d, (bb.hi.x - bb.lo.x) / 4);
+  const Coord dy = std::min(d, (bb.hi.y - bb.lo.y) / 4);
+  return Rect{bb.lo.x + dx, bb.lo.y + dy, bb.hi.x - dx, bb.hi.y - dy};
+}
+
+/// A random edit strictly inside `core` (so the joint bbox is stable and
+/// the incremental path never falls back to a full re-run).
+LayoutDelta random_edit(Rng& rng, const Rect& core) {
+  static const std::vector<LayerKey> kEditable = {
+      layers::kMetal1, layers::kMetal2, layers::kVia1};
+  const LayerKey layer = rng.pick(kEditable);
+  const Coord w = rng.uniform(40, 400);
+  const Coord h = rng.uniform(40, 400);
+  const Coord x = rng.uniform(core.lo.x, core.hi.x - w);
+  const Coord y = rng.uniform(core.lo.y, core.hi.y - h);
+  LayoutDelta d;
+  if (rng.chance(0.3)) {
+    d.remove(layer, Rect{x, y, x + w, y + h});
+  } else {
+    d.add(layer, Rect{x, y, x + w, y + h});
+  }
+  return d;
+}
+
+TEST(LayoutDelta, ApplyMatchesSetAlgebra) {
+  LayerMap m;
+  m.emplace(layers::kMetal1, Region{Rect{0, 0, 100, 100}});
+  LayoutDelta d;
+  d.add(layers::kMetal1, Rect{50, 0, 150, 100});
+  d.remove(layers::kMetal1, Rect{0, 0, 20, 100});
+  d.add(layers::kMetal2, Rect{0, 0, 10, 10});  // creates the layer
+  d.apply(m);
+  const Region want_m1 = (Region{Rect{0, 0, 100, 100}} -
+                          Region{Rect{0, 0, 20, 100}}) |
+                         Region{Rect{50, 0, 150, 100}};
+  const Region want_m2{Rect{0, 0, 10, 10}};
+  EXPECT_EQ(m.at(layers::kMetal1), want_m1);
+  EXPECT_EQ(m.at(layers::kMetal2), want_m2);
+}
+
+TEST(LayoutDelta, EmptyEditsDirtyNothing) {
+  LayoutDelta d;
+  d.add(layers::kMetal1, Region{});
+  d.remove(layers::kMetal2, Rect::empty());
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.dirties(layers::kMetal1));
+}
+
+TEST(IncrementalSnapshot, CleanLayersShareDerivedProducts) {
+  LayerMap m = small_design(3);
+  const LayoutSnapshot base(std::move(m));
+  // Build the base's M2 R-tree, then derive with an M1-only edit: the
+  // M2 tree must be a cache hit under the derived snapshot too.
+  (void)base.rtree(layers::kMetal2);
+  LayoutDelta d;
+  const Rect inside = base.bbox().expanded(-1000);
+  d.add(layers::kMetal1, Rect{inside.lo.x, inside.lo.y, inside.lo.x + 100,
+                              inside.lo.y + 100});
+  const IncrementalSnapshot inc(base, d);
+  EXPECT_TRUE(inc.layer_dirty(layers::kMetal1));
+  EXPECT_FALSE(inc.layer_dirty(layers::kMetal2));
+  EXPECT_FALSE(inc.bbox_changed());
+  const auto before = inc.cache_stats();
+  (void)inc.rtree(layers::kMetal2);
+  const auto after = inc.cache_stats();
+  EXPECT_EQ(after.builds() - before.builds(), 0u)
+      << "clean layer must reuse the base's memoized R-tree";
+}
+
+TEST(IncrementalSnapshot, DirtyLayerEqualsColdNormalization) {
+  LayerMap m = small_design(4);
+  const Rect inside = interior(Region(m.at(layers::kMetal1)).bbox(), 2000);
+  LayoutDelta d;
+  d.add(layers::kMetal1,
+        Rect{inside.lo.x, inside.lo.y, inside.lo.x + 500, inside.lo.y + 60});
+  d.remove(layers::kMetal1, Rect{inside.hi.x - 400, inside.hi.y - 400,
+                                 inside.hi.x, inside.hi.y});
+
+  const LayoutSnapshot base(m);
+  const IncrementalSnapshot inc(base, d);
+  d.apply(m);
+  const LayoutSnapshot cold(std::move(m));
+  EXPECT_EQ(inc.layer(layers::kMetal1).region(),
+            cold.layer(layers::kMetal1).region());
+  EXPECT_EQ(inc.layer(layers::kMetal1).rects(),
+            cold.layer(layers::kMetal1).rects())
+      << "canonical decomposition must match a from-scratch normalize";
+}
+
+TEST(IncrementalSnapshot, BboxMovingEditReportsIt) {
+  LayerMap m;
+  m.emplace(layers::kMetal1, Region{Rect{0, 0, 1000, 1000}});
+  const LayoutSnapshot base(std::move(m));
+  LayoutDelta grow;
+  grow.add(layers::kMetal1, Rect{2000, 0, 3000, 1000});
+  EXPECT_TRUE(IncrementalSnapshot(base, grow).bbox_changed());
+  LayoutDelta inner;
+  inner.add(layers::kMetal1, Rect{100, 100, 200, 200});
+  EXPECT_FALSE(IncrementalSnapshot(base, inner).bbox_changed());
+}
+
+TEST(CanonicalFlowPass, ResolvesAliases) {
+  EXPECT_EQ(canonical_flow_pass("drc"), "drc_plus");
+  EXPECT_EQ(canonical_flow_pass("vias"), "via_doubling");
+  EXPECT_EQ(canonical_flow_pass("caa"), "caa_yield");
+  EXPECT_EQ(canonical_flow_pass("nets"), "connectivity");
+  EXPECT_EQ(canonical_flow_pass("litho"), "litho");
+  EXPECT_EQ(canonical_flow_pass("bogus"), "");
+}
+
+TEST(DfmFlow, PassSubsetRunsOnlyRequestedPasses) {
+  LayerMap m = small_design(5);
+  DfmFlowOptions opt = fast_options(1);
+  opt.passes = {"drc", "vias"};
+  const DfmFlowReport rep = run_dfm_flow(LayoutSnapshot(std::move(m)), opt);
+  EXPECT_NE(rep.trace.find("drc_plus"), nullptr);
+  EXPECT_NE(rep.trace.find("via_doubling"), nullptr);
+  EXPECT_EQ(rep.trace.find("dpt"), nullptr);
+  EXPECT_EQ(rep.trace.find("connectivity"), nullptr);
+  EXPECT_TRUE(rep.nets.nets.empty());
+}
+
+TEST(DfmFlow, CaaPullsInConnectivity) {
+  LayerMap m = small_design(5);
+  DfmFlowOptions opt = fast_options(1);
+  opt.passes = {"caa"};
+  const DfmFlowReport rep = run_dfm_flow(LayoutSnapshot(std::move(m)), opt);
+  EXPECT_NE(rep.trace.find("connectivity"), nullptr);
+  EXPECT_NE(rep.trace.find("caa_yield"), nullptr);
+  EXPECT_GT(rep.defect_yield, 0.0);
+}
+
+TEST(ReportsEquivalent, DetectsDifferences) {
+  LayerMap m = small_design(6);
+  const DfmFlowReport a =
+      run_dfm_flow(LayoutSnapshot(LayerMap(m)), fast_options(1));
+  DfmFlowReport b = run_dfm_flow(LayoutSnapshot(std::move(m)), fast_options(1));
+  EXPECT_TRUE(reports_equivalent(a, b));
+  b.defect_yield += 1e-9;
+  EXPECT_FALSE(reports_equivalent(a, b));
+}
+
+TEST(DfmFlowSession, EmptyDeltaReusesEverything) {
+  const LayerMap m = small_design(7);
+  DfmFlowSession session(m, fast_options(2));
+  const DfmFlowReport cold = session.report();
+  const DfmFlowReport& warm = session.apply(LayoutDelta{});
+  EXPECT_TRUE(reports_equivalent(cold, warm));
+  for (const PassTrace& p : warm.trace.passes) {
+    EXPECT_EQ(p.dirty_units, 0u) << p.name;
+    EXPECT_TRUE(p.incremental) << p.name;
+    if (p.total_units > 0) {
+      EXPECT_DOUBLE_EQ(p.reuse_ratio(), 1.0) << p.name;
+    }
+  }
+}
+
+TEST(DfmFlowSession, TraceRecordsPartialDamage) {
+  const LayerMap m = small_design(8);
+  DfmFlowSession session(m, fast_options(1));
+  const Rect inside =
+      interior(Region(m.at(layers::kMetal1)).bbox(), 2000);
+  LayoutDelta d;
+  d.add(layers::kMetal2,
+        Rect{inside.lo.x, inside.lo.y, inside.lo.x + 300, inside.lo.y + 60});
+  const DfmFlowReport& rep = session.apply(d);
+  const PassTrace* drc = rep.trace.find("drc_plus");
+  ASSERT_NE(drc, nullptr);
+  EXPECT_TRUE(drc->incremental);
+  EXPECT_GT(drc->total_units, 0u);
+  EXPECT_LT(drc->dirty_units, drc->total_units)
+      << "an M2-only edit must not recheck every unit";
+  // M1-only dpt must be spliced wholesale.
+  const PassTrace* dpt = rep.trace.find("dpt");
+  ASSERT_NE(dpt, nullptr);
+  EXPECT_EQ(dpt->dirty_units, 0u);
+}
+
+// The tentpole property: 100 random edits, sessions at 1/2/8 threads,
+// every report bit-identical across thread counts, and identical to a
+// cold run over the shadow layout at checkpoints.
+TEST(DfmFlowSession, HundredRandomEditsMatchColdAtEveryThreadCount) {
+  const LayerMap base = small_design(11);
+  LayerMap shadow = base;
+  DfmFlowSession s1(base, fast_options(1));
+  DfmFlowSession s2(base, fast_options(2));
+  DfmFlowSession s8(base, fast_options(8));
+  ASSERT_TRUE(reports_equivalent(s1.report(), s2.report()));
+  ASSERT_TRUE(reports_equivalent(s1.report(), s8.report()));
+  {
+    const DfmFlowReport cold =
+        run_dfm_flow(LayoutSnapshot(LayerMap(shadow)), fast_options(1));
+    ASSERT_TRUE(reports_equivalent(s1.report(), cold));
+  }
+
+  Rng rng(20260806);
+  const Rect core = interior(s1.snapshot().bbox());
+  for (int i = 0; i < 100; ++i) {
+    const LayoutDelta d = random_edit(rng, core);
+    d.apply(shadow);
+    const DfmFlowReport& r1 = s1.apply(d);
+    const DfmFlowReport& r2 = s2.apply(d);
+    const DfmFlowReport& r8 = s8.apply(d);
+    ASSERT_TRUE(reports_equivalent(r1, r2)) << "edit " << i;
+    ASSERT_TRUE(reports_equivalent(r1, r8)) << "edit " << i;
+    if (i % 10 == 9) {
+      const DfmFlowReport cold =
+          run_dfm_flow(LayoutSnapshot(LayerMap(shadow)), fast_options(1));
+      ASSERT_TRUE(reports_equivalent(r1, cold)) << "after edit " << i;
+    }
+  }
+}
+
+// Same property with the litho pass on: per-tile splicing must stay
+// bit-identical to the cold tiled simulation. Fewer edits — every cold
+// checkpoint re-simulates the whole layout.
+TEST(DfmFlowSession, LithoTileSplicingMatchesCold) {
+  const LayerMap base = small_design(12);
+  LayerMap shadow = base;
+  DfmFlowSession s1(base, fast_options(1, /*litho=*/true));
+  DfmFlowSession s2(base, fast_options(2, /*litho=*/true));
+  Rng rng(77);
+  const Rect core = interior(s1.snapshot().bbox());
+  for (int i = 0; i < 9; ++i) {
+    LayoutDelta d = random_edit(rng, core);
+    // Bias towards M1 so the litho pass sees real damage. The stripe
+    // spans core's full height and steps across its width, wrapping so
+    // it never escapes the joint bbox.
+    if (i % 3 == 0) {
+      d = LayoutDelta{};
+      const Coord span = core.hi.x - core.lo.x - 200;
+      const Coord x = core.lo.x + (i * 800) % span;
+      d.add(layers::kMetal1, Rect{x, core.lo.y, x + 200, core.hi.y});
+    }
+    d.apply(shadow);
+    const DfmFlowReport& r1 = s1.apply(d);
+    const DfmFlowReport& r2 = s2.apply(d);
+    ASSERT_TRUE(reports_equivalent(r1, r2)) << "edit " << i;
+    if (i % 3 == 2) {
+      const DfmFlowReport cold = run_dfm_flow(
+          LayoutSnapshot(LayerMap(shadow)), fast_options(1, /*litho=*/true));
+      ASSERT_TRUE(reports_equivalent(r1, cold)) << "after edit " << i;
+    }
+  }
+  const PassTrace* litho = s1.report().trace.find("litho");
+  ASSERT_NE(litho, nullptr);
+  EXPECT_TRUE(litho->incremental);
+}
+
+TEST(DfmFlowSession, BboxMovingEditFallsBackToFullRun) {
+  const LayerMap base = small_design(13);
+  LayerMap shadow = base;
+  DfmFlowSession session(base, fast_options(2));
+  LayoutDelta d;
+  const Rect bb = session.snapshot().bbox();
+  d.add(layers::kMetal1, Rect{bb.hi.x + 5000, bb.lo.y, bb.hi.x + 5400,
+                              bb.lo.y + 2000});
+  d.apply(shadow);
+  const DfmFlowReport& rep = session.apply(d);
+  const DfmFlowReport cold =
+      run_dfm_flow(LayoutSnapshot(std::move(shadow)), fast_options(1));
+  EXPECT_TRUE(reports_equivalent(rep, cold));
+  const PassTrace* drc = rep.trace.find("drc_plus");
+  ASSERT_NE(drc, nullptr);
+  EXPECT_EQ(drc->dirty_units, drc->total_units)
+      << "a bbox-moving edit must degrade to a full re-run";
+}
+
+// Concurrent delta application over one shared base: each thread derives
+// its own IncrementalSnapshot and runs real passes on it. Clean layers
+// share the base's lazily built derived products across threads, which
+// is exactly the surface the TSan suite must exercise.
+TEST(DfmFlowSession, ConcurrentDeltaApplicationIsRaceFree) {
+  LayerMap m = small_design(14);
+  const LayoutSnapshot base(std::move(m));
+  const Rect core = interior(base.bbox());
+  const Tech& t = Tech::standard();
+
+  std::vector<std::vector<Violation>> serial(8);
+  std::vector<std::vector<Violation>> threaded(8);
+  Rule rule;
+  rule.name = "M1.S.1";
+  rule.kind = RuleKind::kMinSpacing;
+  rule.layer = layers::kMetal1;
+  rule.value = t.m1_space;
+  const auto delta_for = [&](int i) {
+    LayoutDelta d;
+    const Coord x = core.lo.x + i * 600;
+    d.add(layers::kMetal1, Rect{x, core.lo.y, x + 80, core.lo.y + 900});
+    return d;
+  };
+  for (int i = 0; i < 8; ++i) {
+    const IncrementalSnapshot inc(base, delta_for(i));
+    serial[static_cast<std::size_t>(i)] = DrcEngine::run_rule(inc, rule);
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    workers.emplace_back([&, i] {
+      const IncrementalSnapshot inc(base, delta_for(i));
+      (void)inc.rtree(layers::kMetal2);   // shared slot, built once
+      (void)inc.edges(layers::kMetal1);   // fresh slot per delta
+      threaded[static_cast<std::size_t>(i)] = DrcEngine::run_rule(inc, rule);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(threaded[static_cast<std::size_t>(i)],
+              serial[static_cast<std::size_t>(i)])
+        << "delta " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dfm

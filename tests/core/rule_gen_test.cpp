@@ -1,5 +1,7 @@
 #include "core/rule_gen.h"
 
+#include "core/snapshot.h"
+
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -62,7 +64,8 @@ TEST(RuleGen, EmitsOnlyBadClassesAsRules) {
   const PatternMatcher matcher{rules};
   LayerMap layers;
   layers.emplace(layers::kMetal1, layer);
-  const auto windows = capture_grid(layers, {layers::kMetal1},
+  const LayoutSnapshot snap(std::move(layers));
+  const auto windows = capture_grid(snap, {layers::kMetal1},
                                     layer.bbox().expanded(100), 400, 200);
   const auto matches = matcher.scan(windows);
   EXPECT_FALSE(matches.empty());

@@ -1,5 +1,7 @@
 #include "drc/engine.h"
 
+#include "core/snapshot.h"
+
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -152,7 +154,7 @@ TEST(DrcEngine, CleanViaIsClean) {
   Library lib{"L"};
   const auto c = lib.new_cell("c");
   add_via(lib.cell(c), t, {1000, 1000}, ViaStyle::kSymmetric);
-  DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(lib, c);
+  DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(LayoutSnapshot(lib, c));
   // Ignore density (a lone via can never meet chip-level density).
   int real = 0;
   for (const auto& v : res.violations) {
@@ -168,7 +170,7 @@ TEST(DrcEngine, InjectedViolationsAreFound) {
   inject_spacing_violation(lib.cell(c), t, {0, 0});
   inject_notch(lib.cell(c), t, {5000, 0});
   const DrcEngine engine{RuleDeck::standard(t)};
-  const DrcResult res = engine.run(lib, c);
+  const DrcResult res = engine.run(LayoutSnapshot(lib, c));
   EXPECT_GE(res.count("M1.S.1"), 2);
 }
 
@@ -181,7 +183,7 @@ TEST(DrcEngine, PinchAndBridgeCandidatesAreDrcClean) {
   inject_pinch_candidate(lib.cell(c), t, {0, 0});
   inject_bridge_candidate(lib.cell(c), t, {20000, 0});
   inject_odd_cycle(lib.cell(c), t, {40000, 0});
-  const DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(lib, c);
+  const DrcResult res = DrcEngine{RuleDeck::standard(t)}.run(LayoutSnapshot(lib, c));
   int geometric = 0;
   for (const auto& v : res.violations) {
     if (v.rule.find(".D.") == std::string::npos &&
@@ -199,8 +201,8 @@ TEST(DrcEngine, GeneratedDesignMostlyClean) {
   p.cells_per_row = 6;
   p.routes = 10;
   const Library lib = generate_design(p);
-  const DrcResult res =
-      DrcEngine{RuleDeck::standard(p.tech)}.run(lib, lib.top_cells()[0]);
+  const DrcResult res = DrcEngine{RuleDeck::standard(p.tech)}.run(
+      LayoutSnapshot(lib, lib.top_cells()[0]));
   // Geometric rules must be clean by construction.
   for (const auto& v : res.violations) {
     EXPECT_TRUE(v.rule.find(".D.") != std::string::npos ||

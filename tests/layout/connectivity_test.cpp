@@ -1,5 +1,7 @@
 #include "layout/connectivity.h"
 
+#include "core/snapshot.h"
+
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -20,7 +22,7 @@ TEST(Connectivity, TwoMetalsJoinedByVia) {
   c.add(layers::kMetal1, Rect{0, 0, 1000, 60});
   c.add(layers::kMetal2, Rect{0, -500, 60, 500});
   c.add(layers::kVia1, Rect{5, 5, 55, 55});  // overlaps both
-  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  const Netlist nets = extract_nets(LayoutSnapshot(stack_map(c)), standard_stack());
   ASSERT_EQ(nets.size(), 1u);
   EXPECT_NE(nets.nets[0].on(layers::kMetal1), nullptr);
   EXPECT_NE(nets.nets[0].on(layers::kMetal2), nullptr);
@@ -31,7 +33,7 @@ TEST(Connectivity, CrossingWithoutViaStaysSeparate) {
   Cell c{"c"};
   c.add(layers::kMetal1, Rect{0, 0, 1000, 60});
   c.add(layers::kMetal2, Rect{0, -500, 60, 500});  // crosses above, no via
-  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  const Netlist nets = extract_nets(LayoutSnapshot(stack_map(c)), standard_stack());
   EXPECT_EQ(nets.size(), 2u);
 }
 
@@ -44,7 +46,7 @@ TEST(Connectivity, ViaChainMergesManyShapes) {
     c.add(layers::kMetal2, Rect{x, -400, x + 60, 400});
     c.add(layers::kVia1, Rect{x + 5, 5, x + 55, 55});
   }
-  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  const Netlist nets = extract_nets(LayoutSnapshot(stack_map(c)), standard_stack());
   ASSERT_EQ(nets.size(), 1u);
   EXPECT_EQ(nets.nets[0].on(layers::kMetal2)->components().size(), 3u);
 }
@@ -57,7 +59,7 @@ TEST(Connectivity, SeparateNetsStaySeparate) {
     c.add(layers::kMetal2, Rect{100, y, 160, y + 60});
     c.add(layers::kVia1, Rect{105, y + 5, 155, y + 55});
   }
-  EXPECT_EQ(extract_nets(stack_map(c), standard_stack()).size(), 4u);
+  EXPECT_EQ(extract_nets(LayoutSnapshot(stack_map(c)), standard_stack()).size(), 4u);
 }
 
 TEST(Connectivity, GeneratedViaFieldNetCount) {
@@ -65,13 +67,13 @@ TEST(Connectivity, GeneratedViaFieldNetCount) {
   Rng rng(3);
   add_via_field(c, rng, Tech::standard(), {0, 0}, 30);
   // Every via has its own pads: 30 separate nets.
-  EXPECT_EQ(extract_nets(stack_map(c), standard_stack()).size(), 30u);
+  EXPECT_EQ(extract_nets(LayoutSnapshot(stack_map(c)), standard_stack()).size(), 30u);
 }
 
 TEST(FloatingCuts, FullyLandedViaIsClean) {
   Cell c{"c"};
   add_via(c, Tech::standard(), {0, 0}, ViaStyle::kSymmetric);
-  EXPECT_TRUE(find_floating_cuts(stack_map(c), standard_stack()).empty());
+  EXPECT_TRUE(find_floating_cuts(LayoutSnapshot(stack_map(c)), standard_stack()).empty());
 }
 
 TEST(FloatingCuts, ViaOffThePadIsFlagged) {
@@ -79,7 +81,7 @@ TEST(FloatingCuts, ViaOffThePadIsFlagged) {
   c.add(layers::kMetal1, Rect{0, 0, 100, 100});
   c.add(layers::kMetal2, Rect{0, 0, 100, 100});
   c.add(layers::kVia1, Rect{80, 25, 130, 75});  // hangs off both pads
-  const auto floating = find_floating_cuts(stack_map(c), standard_stack());
+  const auto floating = find_floating_cuts(LayoutSnapshot(stack_map(c)), standard_stack());
   ASSERT_EQ(floating.size(), 1u);
   EXPECT_TRUE(floating[0].missing_below);
   EXPECT_TRUE(floating[0].missing_above);
@@ -89,7 +91,7 @@ TEST(FloatingCuts, ViaMissingOnlyTopMetal) {
   Cell c{"c"};
   c.add(layers::kMetal1, Rect{0, 0, 200, 200});
   c.add(layers::kVia1, Rect{50, 50, 100, 100});  // no M2 at all
-  const auto floating = find_floating_cuts(stack_map(c), standard_stack());
+  const auto floating = find_floating_cuts(LayoutSnapshot(stack_map(c)), standard_stack());
   ASSERT_EQ(floating.size(), 1u);
   EXPECT_FALSE(floating[0].missing_below);
   EXPECT_TRUE(floating[0].missing_above);
@@ -100,7 +102,7 @@ TEST(Net, AreaAccounting) {
   c.add(layers::kMetal1, Rect{0, 0, 100, 100});
   c.add(layers::kMetal2, Rect{0, 0, 50, 50});
   c.add(layers::kVia1, Rect{10, 10, 40, 40});
-  const Netlist nets = extract_nets(stack_map(c), standard_stack());
+  const Netlist nets = extract_nets(LayoutSnapshot(stack_map(c)), standard_stack());
   ASSERT_EQ(nets.size(), 1u);
   EXPECT_EQ(nets.nets[0].total_area(), 10000 + 2500 + 900);
   EXPECT_EQ(nets.nets[0].on(LayerKey{99, 0}), nullptr);

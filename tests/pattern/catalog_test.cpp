@@ -1,5 +1,7 @@
 #include "pattern/catalog.h"
 
+#include "core/snapshot.h"
+
 #include "pattern/divergence.h"
 
 #include "gen/generators.h"
@@ -25,7 +27,8 @@ LayerMap via_field_layers(std::uint64_t seed, int count) {
 TEST(Catalog, CountsSumToWindows) {
   const LayerMap m = via_field_layers(1, 50);
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   EXPECT_EQ(cat.total_windows(), 50u);
   std::uint64_t sum = 0;
   for (const CatalogEntry* e : cat.entries()) sum += e->count;
@@ -47,7 +50,8 @@ TEST(Catalog, ViaStylesFormDistinctClasses) {
     m.emplace(k, lib.flatten(c, k));
   }
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   EXPECT_EQ(cat.total_windows(), 4u);
   EXPECT_EQ(cat.class_count(), 3u);  // symmetric counted twice
   const auto sorted = cat.by_frequency();
@@ -57,7 +61,8 @@ TEST(Catalog, ViaStylesFormDistinctClasses) {
 TEST(Catalog, TopKCoverageMonotone) {
   const LayerMap m = via_field_layers(2, 80);
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   double prev = 0.0;
   for (std::size_t k = 0; k <= cat.class_count(); ++k) {
     const double cov = cat.top_k_coverage(k);
@@ -71,7 +76,8 @@ TEST(Catalog, TopKCoverageMonotone) {
 TEST(Catalog, ClassesForCoverageInverse) {
   const LayerMap m = via_field_layers(3, 60);
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   const std::size_t k90 = cat.classes_for_coverage(0.9);
   EXPECT_GE(cat.top_k_coverage(k90), 0.9);
   if (k90 > 1) {
@@ -84,14 +90,16 @@ TEST(Catalog, HeavyTailOnViaFields) {
   // it: symmetric dominates, top-2 classes cover >= 70%.
   const LayerMap m = via_field_layers(4, 200);
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   EXPECT_GE(cat.top_k_coverage(2), 0.7);
 }
 
 TEST(Divergence, SelfIsZero) {
   const LayerMap m = via_field_layers(5, 60);
   const PatternCatalog cat = build_catalog(
-      m, {layers::kVia1, layers::kMetal1, layers::kMetal2}, layers::kVia1, 120);
+      LayoutSnapshot(m), {layers::kVia1, layers::kMetal1, layers::kMetal2},
+      layers::kVia1, 120);
   EXPECT_NEAR(kl_divergence(cat, cat), 0.0, 1e-12);
   EXPECT_NEAR(js_divergence(cat, cat), 0.0, 1e-12);
 }
@@ -101,8 +109,10 @@ TEST(Divergence, NonNegativeAndSensibleOrdering) {
   const LayerMap mb = via_field_layers(7, 100);  // same process, new seed
   const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
                                     layers::kMetal2};
-  const PatternCatalog a = build_catalog(ma, on, layers::kVia1, 120);
-  const PatternCatalog b = build_catalog(mb, on, layers::kVia1, 120);
+  const PatternCatalog a =
+      build_catalog(LayoutSnapshot(ma), on, layers::kVia1, 120);
+  const PatternCatalog b =
+      build_catalog(LayoutSnapshot(mb), on, layers::kVia1, 120);
 
   // A genuinely different "product": vias on a much denser tech.
   Tech dense = Tech::standard();
@@ -113,7 +123,8 @@ TEST(Divergence, NonNegativeAndSensibleOrdering) {
   add_via_field(lib.cell(c), rng, dense, {0, 0}, 100);
   LayerMap mc;
   for (const LayerKey k : on) mc.emplace(k, lib.flatten(c, k));
-  const PatternCatalog outlier = build_catalog(mc, on, layers::kVia1, 120);
+  const PatternCatalog outlier =
+      build_catalog(LayoutSnapshot(mc), on, layers::kVia1, 120);
 
   const double same_process = js_divergence(a, b);
   const double diff_process = js_divergence(a, outlier);
@@ -127,9 +138,11 @@ TEST(Divergence, JsIsSymmetricKlIsNot) {
   const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
                                     layers::kMetal2};
   const PatternCatalog a =
-      build_catalog(via_field_layers(9, 40), on, layers::kVia1, 120);
+      build_catalog(LayoutSnapshot(via_field_layers(9, 40)), on,
+                    layers::kVia1, 120);
   const PatternCatalog b =
-      build_catalog(via_field_layers(10, 140), on, layers::kVia1, 120);
+      build_catalog(LayoutSnapshot(via_field_layers(10, 140)), on,
+                    layers::kVia1, 120);
   EXPECT_NEAR(js_divergence(a, b), js_divergence(b, a), 1e-12);
   // KL is generally asymmetric; just require both directions finite & >= 0.
   EXPECT_GE(kl_divergence(a, b), 0.0);

@@ -1,5 +1,7 @@
 #include "pattern/matcher.h"
 
+#include "core/snapshot.h"
+
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -97,7 +99,8 @@ TEST(Matcher, ScanAnchorsFindsInjectedViaStyle) {
   const std::vector<LayerKey> on = {layers::kVia1, layers::kMetal1,
                                     layers::kMetal2};
   for (const LayerKey k : on) rm.emplace(k, ref.flatten(rc, k));
-  const auto ref_caps = capture_at_anchors(rm, on, layers::kVia1, 120);
+  const auto ref_caps =
+      capture_at_anchors(LayoutSnapshot(rm), on, layers::kVia1, 120);
   ASSERT_EQ(ref_caps.size(), 1u);
   PatternMatcher m({PatternRule{"borderless", ref_caps[0].pattern, 0,
                                 "add metal enclosure"}});
@@ -112,7 +115,8 @@ TEST(Matcher, ScanAnchorsFindsInjectedViaStyle) {
   }
   LayerMap tm;
   for (const LayerKey k : on) tm.emplace(k, tgt.flatten(tc, k));
-  const auto matches = m.scan_anchors(tm, on, layers::kVia1, 120);
+  const auto matches =
+      m.scan_anchors(LayoutSnapshot(tm), on, layers::kVia1, 120);
   EXPECT_EQ(static_cast<int>(matches.size()), expected);
 }
 

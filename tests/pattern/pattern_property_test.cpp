@@ -6,7 +6,11 @@
 #include "pattern/catalog.h"
 #include "pattern/divergence.h"
 
+#include "core/snapshot.h"
+
 #include <gtest/gtest.h>
+
+#include <utility>
 
 #include <algorithm>
 #include <random>
@@ -78,8 +82,9 @@ TEST_P(PatternProperty, GridCaptureWindowsAreDeterministic) {
   const Region clip = random_clip(rng, extent, 10);
   LayerMap layers;
   layers.emplace(layers::kMetal1, clip);
-  const auto a = capture_grid(layers, {layers::kMetal1}, extent, 300, 150);
-  const auto b = capture_grid(layers, {layers::kMetal1}, extent, 300, 150);
+  const LayoutSnapshot snap(std::move(layers));
+  const auto a = capture_grid(snap, {layers::kMetal1}, extent, 300, 150);
+  const auto b = capture_grid(snap, {layers::kMetal1}, extent, 300, 150);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].pattern.hash(), b[i].pattern.hash());
@@ -98,8 +103,8 @@ TEST_P(PatternProperty, CatalogIsInvariantUnderCaptureOrder) {
   const Region clip = random_clip(rng, extent, 40);
   LayerMap layers;
   layers.emplace(layers::kMetal1, clip);
-  const auto captured =
-      capture_grid(layers, {layers::kMetal1}, extent, 300, 120);
+  const auto captured = capture_grid(LayoutSnapshot(std::move(layers)),
+                                     {layers::kMetal1}, extent, 300, 120);
   ASSERT_GT(captured.size(), 10u);
 
   PatternCatalog serial;
@@ -131,11 +136,10 @@ TEST_P(PatternProperty, ParallelCaptureEqualsSerialCapture) {
   layers.emplace(layers::kMetal1, clip);
 
   ThreadPool pool(4);
-  const auto serial =
-      capture_grid(layers, {layers::kMetal1}, extent, 250, 125);
-  const auto parallel =
-      capture_grid(layers, {layers::kMetal1}, extent, 250, 125,
-                   /*keep_empty=*/false, &pool);
+  const LayoutSnapshot snap(std::move(layers));
+  const auto serial = capture_grid(snap, {layers::kMetal1}, extent, 250, 125);
+  const auto parallel = capture_grid(snap, {layers::kMetal1}, extent, 250, 125,
+                                     /*keep_empty=*/false, &pool);
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(parallel[i].pattern.hash(), serial[i].pattern.hash());

@@ -1,5 +1,7 @@
 #include "yield/yield.h"
 
+#include "core/snapshot.h"
+
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
@@ -147,7 +149,8 @@ LayerMap via_design(std::uint64_t seed, int count) {
 
 TEST(ViaDoubling, InsertsBesideIsolatedVias) {
   const LayerMap m = via_design(17, 30);
-  const ViaDoublingResult res = double_vias(m, Tech::standard());
+  const ViaDoublingResult res =
+      double_vias(LayoutSnapshot(m), Tech::standard());
   EXPECT_EQ(res.singles_before, 30);
   EXPECT_GT(res.inserted, 15) << "open field: most vias must double";
   EXPECT_EQ(res.inserted + res.blocked, res.singles_before);
@@ -176,7 +179,7 @@ TEST(ViaDoubling, RespectsCrowdedNeighbours) {
   for (const LayerKey k : {layers::kVia1, layers::kMetal1, layers::kMetal2}) {
     m.emplace(k, lib.flatten(c, k));
   }
-  const ViaDoublingResult res = double_vias(m, t);
+  const ViaDoublingResult res = double_vias(LayoutSnapshot(m), t);
   // Only outer ring positions can work; the centre via must be blocked.
   EXPECT_LT(res.inserted, 9);
 }
@@ -184,7 +187,7 @@ TEST(ViaDoubling, RespectsCrowdedNeighbours) {
 TEST(ViaDoubling, InsertedViasAreEnclosed) {
   const LayerMap m = via_design(23, 20);
   const Tech& t = Tech::standard();
-  const ViaDoublingResult res = double_vias(m, t);
+  const ViaDoublingResult res = double_vias(LayoutSnapshot(m), t);
   ASSERT_GT(res.inserted, 0);
   const Region m1 = m.at(layers::kMetal1) | res.new_metal1;
   const Region m2 = m.at(layers::kMetal2) | res.new_metal2;

@@ -6,10 +6,17 @@
 //   dfmkit info <in.gds>               library summary
 //   dfmkit drc <in.gds> [top]          run the standard DRC deck
 //   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
-//   dfmkit flow [--json <path>] <in.gds> [top]
+//   dfmkit flow [--json <path>] [--passes a,b,...] [--edit <spec>]...
+//               <in.gds> [top]
 //                                      full DFM flow + scoreboard; --json
 //                                      writes the per-pass trace +
-//                                      scorecard as machine-readable JSON
+//                                      scorecard as machine-readable JSON.
+//                                      --passes runs a subset (drc, litho,
+//                                      vias, nets, caa, ...); --edit
+//                                      <layer>:<x0>,<y0>,<x1>,<y1>[:remove]
+//                                      applies rect edits one by one
+//                                      through the incremental session
+//                                      and re-analyzes only the damage
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
 //
@@ -17,6 +24,7 @@
 // means hardware concurrency; 1 forces the serial path). Results are
 // bit-identical for every N.
 #include "core/dfm_flow.h"
+#include "core/incremental.h"
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/snapshot.h"
@@ -107,9 +115,10 @@ int cmd_drc(int argc, char** argv, bool plus) {
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
   const Tech& tech = Tech::standard();
   ThreadPool pool(g_threads);
+  const LayoutSnapshot snap(lib, top, &pool);
   if (!plus) {
     const DrcEngine engine{RuleDeck::standard(tech)};
-    const DrcResult res = engine.run(lib, top, &pool);
+    const DrcResult res = engine.run(snap, DrcOptions{&pool});
     Table t("DRC: " + lib.cell(top).name());
     t.set_header({"rule", "violations"});
     for (const auto& [rule, n] : res.count_by_rule()) {
@@ -120,7 +129,7 @@ int cmd_drc(int argc, char** argv, bool plus) {
     return res.clean() ? 0 : 1;
   }
   const DrcPlusEngine engine{DrcPlusDeck::standard(tech)};
-  const DrcPlusResult res = engine.run(lib, top, &pool);
+  const DrcPlusResult res = engine.run(snap, DrcPlusOptions{&pool});
   Table t("DRC-Plus: " + lib.cell(top).name());
   t.set_header({"check", "hits"});
   for (const auto& [rule, n] : res.drc.count_by_rule()) {
@@ -136,20 +145,96 @@ int cmd_drc(int argc, char** argv, bool plus) {
   return 0;
 }
 
+LayerKey layer_by_name(const std::string& name) {
+  if (name == "m1") return layers::kMetal1;
+  if (name == "m2") return layers::kMetal2;
+  if (name == "via1") return layers::kVia1;
+  if (name == "poly") return layers::kPoly;
+  if (name == "contact") return layers::kContact;
+  if (name == "diff") return layers::kDiff;
+  throw std::runtime_error("unknown layer '" + name +
+                           "' (m1|m2|via1|poly|contact|diff)");
+}
+
+struct CliEdit {
+  LayerKey layer{};
+  Rect rect = Rect::empty();
+  bool remove = false;
+};
+
+/// Parses --edit <layer>:<x0>,<y0>,<x1>,<y1>[:remove].
+CliEdit parse_edit(const std::string& spec) {
+  const auto bad = [&] {
+    return std::runtime_error("--edit: expected "
+                              "<layer>:<x0>,<y0>,<x1>,<y1>[:remove], got '" +
+                              spec + "'");
+  };
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) throw bad();
+  CliEdit e;
+  e.layer = layer_by_name(spec.substr(0, colon));
+  std::string rest = spec.substr(colon + 1);
+  const std::size_t colon2 = rest.find(':');
+  if (colon2 != std::string::npos) {
+    if (rest.substr(colon2 + 1) != "remove") throw bad();
+    e.remove = true;
+    rest = rest.substr(0, colon2);
+  }
+  Coord c[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t comma = i < 3 ? rest.find(',', pos) : rest.size();
+    if (comma == std::string::npos) throw bad();
+    try {
+      c[i] = std::stoll(rest.substr(pos, comma - pos));
+    } catch (const std::exception&) {
+      throw bad();
+    }
+    pos = comma + 1;
+  }
+  e.rect = Rect{c[0], c[1], c[2], c[3]};
+  if (e.rect.is_empty()) throw std::runtime_error("--edit: empty rect");
+  return e;
+}
+
+void print_flow_report(const std::string& title, const DfmFlowReport& rep) {
+  Table t(title);
+  t.set_header({"technique", "score", "signal"});
+  for (const MetricScore& m : rep.scorecard.metrics) {
+    t.add_row({m.name, Table::num(m.value), m.detail});
+  }
+  t.print();
+  flow_trace_table(rep.trace).print();
+  std::printf("composite: %.3f\n", rep.scorecard.composite());
+}
+
 int cmd_flow(int argc, char** argv) {
-  // Strip the flow-local --json <path> option.
+  // Strip the flow-local options.
   std::string json_path;
+  std::string passes_arg;
+  std::vector<CliEdit> edits;
   for (int i = 2; i < argc;) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[i + 1];
+    const auto eat2 = [&](std::string& into) {
+      into = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
+    };
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      eat2(json_path);
+    } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+      eat2(passes_arg);
+    } else if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
+      std::string spec;
+      eat2(spec);
+      edits.push_back(parse_edit(spec));
     } else {
       ++i;
     }
   }
   if (argc < 3) {
-    throw std::runtime_error("usage: dfmkit flow [--json <path>] <in.gds> [top]");
+    throw std::runtime_error(
+        "usage: dfmkit flow [--json <path>] [--passes a,b,...] "
+        "[--edit <layer>:<x0>,<y0>,<x1>,<y1>[:remove]]... <in.gds> [top]");
   }
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
@@ -158,19 +243,51 @@ int cmd_flow(int argc, char** argv) {
   opt.model.sigma = 25;
   opt.model.px = 5;
   opt.threads = g_threads;
-  const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
-  Table t("DFM scoreboard: " + lib.cell(top).name());
-  t.set_header({"technique", "score", "signal"});
-  for (const MetricScore& m : rep.scorecard.metrics) {
-    t.add_row({m.name, Table::num(m.value), m.detail});
+  for (std::size_t pos = 0; pos < passes_arg.size();) {
+    std::size_t comma = passes_arg.find(',', pos);
+    if (comma == std::string::npos) comma = passes_arg.size();
+    const std::string name = passes_arg.substr(pos, comma - pos);
+    if (!name.empty()) {
+      if (canonical_flow_pass(name).empty()) {
+        throw std::runtime_error("--passes: unknown pass '" + name + "'");
+      }
+      opt.passes.push_back(name);
+    }
+    pos = comma + 1;
   }
-  t.print();
-  flow_trace_table(rep.trace).print();
-  std::printf("composite: %.3f\n", rep.scorecard.composite());
+
+  if (edits.empty()) {
+    const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
+    print_flow_report("DFM scoreboard: " + lib.cell(top).name(), rep);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot write " + json_path);
+      out << flow_trace_json(rep);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  }
+
+  // Edit mode: run cold once, then push each edit through the
+  // incremental session — every report is bit-identical to a cold
+  // re-run over the edited layout, but only the damage recomputes.
+  DfmFlowSession session(lib, top, opt);
+  print_flow_report("DFM scoreboard: " + lib.cell(top).name(),
+                    session.report());
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    LayoutDelta delta;
+    if (edits[i].remove) {
+      delta.remove(edits[i].layer, edits[i].rect);
+    } else {
+      delta.add(edits[i].layer, edits[i].rect);
+    }
+    const DfmFlowReport& rep = session.apply(delta);
+    print_flow_report("after edit " + std::to_string(i + 1), rep);
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) throw std::runtime_error("cannot write " + json_path);
-    out << flow_trace_json(rep);
+    out << flow_trace_json(session.report());
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

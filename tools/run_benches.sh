@@ -56,8 +56,19 @@ flow_json="$logdir/flow_trace.json"
 "$build/tools/dfmkit" flow --json "$flow_json" "$demo" \
   >"$logdir/dfmkit_flow.log"
 
+# Stamp the exact tree the numbers came from: commit hash, plus "-dirty"
+# when the working tree has local edits. Degrades to "unknown" outside git.
+revision="unknown"
+if rev="$(git -C "$root" rev-parse --short HEAD 2>/dev/null)"; then
+  revision="$rev"
+  if ! git -C "$root" diff --quiet HEAD 2>/dev/null; then
+    revision="$revision-dirty"
+  fi
+fi
+
 {
   echo '{'
+  printf '  "revision": "%s",\n' "$revision"
   echo '  "benches": ['
   printf '%s\n' "$bench_rows"
   echo '  ],'
