@@ -3,6 +3,7 @@
 #include "core/incremental.h"
 #include "core/parallel.h"
 #include "core/report.h"
+#include "core/telemetry.h"
 
 #include <chrono>
 #include <cstdio>
@@ -19,25 +20,35 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-// Scope-free pass timer: start() then finish(...) appends one PassTrace,
-// attributing the snapshot cache activity in between to the pass. Builds
-// happen at most once per derived product, so the recorded hit/miss
-// split is deterministic at any thread count.
+// Scope-free pass timer: start(name) then finish(...) appends one
+// PassTrace, attributing the snapshot cache activity in between to the
+// pass. Builds happen at most once per derived product, so the recorded
+// hit/miss split is deterministic at any thread count. Each
+// start/finish pair also opens a telemetry span "flow/<name>", so the
+// per-item child spans the passes record nest under it in the trace.
 class PassTimer {
  public:
   PassTimer(FlowTrace& trace, const LayoutSnapshot& snap)
       : trace_(trace), snap_(snap) {}
 
-  void start() {
+  /// `name` must be a string literal (it outlives the flow trace and is
+  /// exported by pointer from the telemetry ring).
+  void start(const char* name) {
+    name_ = name;
     t0_ = Clock::now();
     stats0_ = snap_.cache_stats();
+    span_ = telemetry::enabled()
+                ? std::make_unique<telemetry::Span>(
+                      telemetry::intern(std::string("flow/") + name))
+                : nullptr;
   }
 
-  void finish(std::string name, std::size_t items, std::size_t total_units,
+  void finish(std::size_t items, std::size_t total_units,
               std::size_t dirty_units, bool incremental) {
+    span_.reset();  // close "flow/<name>" before the trace row is built
     const SnapshotCacheStats d = snap_.cache_stats() - stats0_;
     PassTrace p;
-    p.name = std::move(name);
+    p.name = name_;
     p.ms = ms_since(t0_);
     p.items = items;
     p.cache_hits = d.hits();
@@ -46,13 +57,18 @@ class PassTimer {
     p.dirty_units = dirty_units;
     p.incremental = incremental;
     trace_.passes.push_back(std::move(p));
+    TELEM_COUNTER_ADD("flow.units_total", total_units);
+    TELEM_COUNTER_ADD("flow.units_dirty", dirty_units);
+    TELEM_COUNTER_ADD("flow.units_reused", total_units - dirty_units);
   }
 
  private:
   FlowTrace& trace_;
   const LayoutSnapshot& snap_;
+  const char* name_ = "";
   Clock::time_point t0_;
   SnapshotCacheStats stats0_;
+  std::unique_ptr<telemetry::Span> span_;
 };
 
 /// Which of the seven flow passes the options enable. caa_yield reads
@@ -153,7 +169,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // rule_layers(rule) is dirty) and one per pattern capture window
   // (stale iff the dirty region touches the window on a capture layer).
   if (enabled.drc_plus) {
-    pass.start();
+    pass.start("drc_plus");
     const RuleDeck& deck = engine.deck().drc;
     std::size_t total_units = deck.rules.size();
     std::size_t dirty_units = 0;
@@ -246,15 +262,14 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     rep.scorecard.add(
         "drc_plus", score_from_count(rep.drcplus.pattern_match_count()), 2.0,
         std::to_string(rep.drcplus.pattern_match_count()) + " pattern hits");
-    pass.finish("drc_plus",
-                rep.drcplus.drc.violations.size() +
+    pass.finish(rep.drcplus.drc.violations.size() +
                     rep.drcplus.pattern_match_count(),
                 total_units, dirty_units, inc);
   }
 
   // 2. Recommended rules, spliced per rule like DRC.
   if (enabled.recommended) {
-    pass.start();
+    pass.start("recommended");
     if (caches.recommended_rules.empty()) {
       caches.recommended_rules = standard_recommended_rules(t);
     }
@@ -277,7 +292,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     rep.recommended = assemble_recommended(rules, caches.recommended_hits);
     rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
                       "rule compliance");
-    pass.finish("recommended", rep.recommended.counts.size(), rules.size(),
+    pass.finish(rep.recommended.counts.size(), rules.size(),
                 stale.size(), inc);
   }
 
@@ -287,7 +302,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // run refreshes it, so a skipped pass invalidates it.
   const NormalizedRegion m1 = snap.layer(layers::kMetal1);
   if (enabled.litho && options.run_litho && !m1.empty()) {
-    pass.start();
+    pass.start("litho");
     HotspotSimOptions sim{pool};
     sim.model = options.model;
     sim.edge_tolerance = options.litho_edge_tolerance;
@@ -301,7 +316,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     rep.hotspots = caches.litho.merged();
     rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,
                       std::to_string(rep.hotspots.size()) + " hotspots");
-    pass.finish("litho", rep.hotspots.size(), caches.litho.tiles.size(),
+    pass.finish(rep.hotspots.size(), caches.litho.tiles.size(),
                 caches.litho.recomputed, have);
   } else {
     caches.litho_valid = false;
@@ -309,7 +324,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
 
   // 4. Double patterning on Metal 1. Whole-pass splice: reads m1 only.
   if (enabled.dpt) {
-    pass.start();
+    pass.start("dpt");
     const bool reuse = inc && !damage.dirty(layers::kMetal1);
     if (reuse) {
       rep.dpt = prev->dpt;
@@ -321,7 +336,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     rep.scorecard.add("dpt", rep.dpt.compliant ? rep.dpt_score.composite : 0.0,
                       2.0,
                       rep.dpt.compliant ? "compliant" : "odd cycles remain");
-    pass.finish("dpt", static_cast<std::size_t>(rep.dpt.nodes), 1,
+    pass.finish(static_cast<std::size_t>(rep.dpt.nodes), 1,
                 reuse ? 0 : 1, inc);
   }
 
@@ -329,7 +344,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // derived yield scalars are pure functions of the counts, so they
   // recompute bit-identically either way.
   if (enabled.vias) {
-    pass.start();
+    pass.start("via_doubling");
     const bool reuse =
         inc && !damage.dirty_any(
                    {layers::kVia1, layers::kMetal1, layers::kMetal2});
@@ -345,14 +360,14 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
                                   : 1.0,
                       1.0, std::to_string(doubled) + "/" +
                                std::to_string(singles) + " doubled");
-    pass.finish("via_doubling", static_cast<std::size_t>(singles), 1,
+    pass.finish(static_cast<std::size_t>(singles), 1,
                 reuse ? 0 : 1, inc);
   }
 
   // 6. Connectivity: extracted nets and floating (misaligned) vias.
   // Whole-pass splice over the full stack.
   if (enabled.connectivity) {
-    pass.start();
+    pass.start("connectivity");
     const bool reuse =
         inc && !damage.dirty_any(
                    {layers::kMetal1, layers::kVia1, layers::kMetal2});
@@ -368,7 +383,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
                       std::to_string(rep.nets.size()) + " nets, " +
                           std::to_string(rep.floating_cuts.size()) +
                           " floating vias");
-    pass.finish("connectivity", rep.nets.size(), 1, reuse ? 0 : 1, inc);
+    pass.finish(rep.nets.size(), 1, reuse ? 0 : 1, inc);
   }
 
   // 7. Critical area / defect-limited yield. Shorts on M2 are net-aware
@@ -376,7 +391,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // conservative layer-local estimate. Reads the same layers as
   // connectivity, so it reuses exactly when connectivity did.
   if (enabled.caa) {
-    pass.start();
+    pass.start("caa_yield");
     const bool reuse =
         inc && !damage.dirty_any(
                    {layers::kMetal1, layers::kVia1, layers::kMetal2});
@@ -407,7 +422,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     }
     rep.scorecard.add("defect_yield", rep.defect_yield, 2.0,
                       "Poisson over CAA lambda");
-    pass.finish("caa_yield", rep.nets.size(), 1, reuse ? 0 : 1, inc);
+    pass.finish(rep.nets.size(), 1, reuse ? 0 : 1, inc);
   }
 
   caches.valid = true;
@@ -459,12 +474,15 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const auto t0 = Clock::now();
+  telemetry::Span flow_span("flow");
   const PassPool pool(options);
 
   // Build the shared substrate once: flatten every flow layer (one task
   // per layer) and normalize by construction.
   const auto snap_t0 = Clock::now();
+  const std::uint64_t snap_t0_ns = telemetry::now_ns();
   const LayoutSnapshot snap(lib, top, pool);
+  telemetry::record_span("flow/snapshot", snap_t0_ns, telemetry::now_ns());
   rep.trace.passes.push_back(
       PassTrace{"snapshot", ms_since(snap_t0), snap.layer_keys().size()});
 
@@ -479,6 +497,7 @@ DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const auto t0 = Clock::now();
+  telemetry::Span flow_span("flow");
   const PassPool pool(options);
   rep.trace.passes.push_back(
       PassTrace{"snapshot", 0.0, snap.layer_keys().size()});
@@ -491,24 +510,31 @@ DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
 
 Table flow_trace_table(const FlowTrace& trace) {
   Table t("flow trace");
-  t.set_header({"pass", "ms", "items", "dirty/total", "cache hit/miss"});
+  t.set_header({"pass", "ms", "items", "dirty/total", "reuse", "cache hit/miss"});
   for (const PassTrace& p : trace.passes) {
+    // A skipped pass has no units at all: its reuse column renders as
+    // "-" (reuse_ratio() itself clamps the 0/0 case to 1.0).
     t.add_row({p.name, Table::num(p.ms),
                Table::num(static_cast<std::int64_t>(p.items)),
                p.total_units == 0
-                   ? std::string{}
+                   ? std::string{"-"}
                    : Table::num(static_cast<std::int64_t>(p.dirty_units)) +
                          "/" +
                          Table::num(static_cast<std::int64_t>(p.total_units)),
+               p.total_units == 0 ? std::string{"-"}
+                                  : Table::percent(p.reuse_ratio()),
                Table::num(static_cast<std::int64_t>(p.cache_hits)) + "/" +
                    Table::num(static_cast<std::int64_t>(p.cache_misses))});
   }
-  t.add_row({"(total)", Table::num(trace.total_ms), "", "", ""});
+  t.add_row({"(total)", Table::num(trace.total_ms), "", "", "", ""});
   return t;
 }
 
-std::string flow_trace_json(const DfmFlowReport& rep) {
+std::string flow_trace_json(const DfmFlowReport& rep,
+                            const telemetry::MetricsSnapshot* metrics) {
   std::string out = "{\n";
+  out += "  \"schema_version\": " + std::to_string(kFlowJsonSchemaVersion) +
+         ",\n";
   out += "  \"total_ms\": " + json_num(rep.trace.total_ms) + ",\n";
   out += "  \"passes\": [\n";
   for (std::size_t i = 0; i < rep.trace.passes.size(); ++i) {
@@ -518,6 +544,7 @@ std::string flow_trace_json(const DfmFlowReport& rep) {
            ", \"items\": " + std::to_string(p.items) +
            ", \"total_units\": " + std::to_string(p.total_units) +
            ", \"dirty_units\": " + std::to_string(p.dirty_units) +
+           ", \"reuse_ratio\": " + json_num(p.reuse_ratio()) +
            ", \"incremental\": " + (p.incremental ? "true" : "false") +
            ", \"cache_hits\": " + std::to_string(p.cache_hits) +
            ", \"cache_misses\": " + std::to_string(p.cache_misses) + "}";
@@ -528,6 +555,9 @@ std::string flow_trace_json(const DfmFlowReport& rep) {
   out += "  \"cache\": {\"reads\": " + std::to_string(c.reads()) +
          ", \"builds\": " + std::to_string(c.builds()) +
          ", \"hits\": " + std::to_string(c.hits()) + "},\n";
+  if (metrics != nullptr) {
+    out += "  \"telemetry\": " + telemetry::metrics_json(*metrics) + ",\n";
+  }
   out += "  \"scorecard\": {\n    \"composite\": " +
          json_num(rep.scorecard.composite()) + ",\n    \"metrics\": [\n";
   for (std::size_t i = 0; i < rep.scorecard.metrics.size(); ++i) {

@@ -21,6 +21,9 @@
 namespace dfm {
 
 class Table;  // core/report.h
+namespace telemetry {
+struct MetricsSnapshot;  // core/telemetry.h
+}
 
 /// One timed pass of the flow.
 struct PassTrace {
@@ -38,9 +41,12 @@ struct PassTrace {
   bool incremental = false;  // ran against an IncrementalSnapshot
 
   /// Fraction of units spliced from the previous run (0 on a cold pass).
+  /// A skipped pass has 0/0 units; that clamps to 1.0 — nothing was
+  /// recomputed — rather than the literal 0/0 = nan (the CLI table
+  /// renders such passes as "-").
   double reuse_ratio() const {
     return total_units == 0
-               ? 0.0
+               ? 1.0
                : 1.0 - static_cast<double>(dirty_units) /
                            static_cast<double>(total_units);
   }
@@ -120,7 +126,15 @@ Table flow_trace_table(const FlowTrace& trace);
 
 /// Machine-readable flow output: the trace (per-pass ms/items/cache), the
 /// snapshot cache totals, and the scorecard — what `dfmkit_cli flow
-/// --json` writes and tools/run_benches.sh consumes.
-std::string flow_trace_json(const DfmFlowReport& rep);
+/// --json` writes and tools/run_benches.sh consumes. The document
+/// carries a "schema_version" field (currently 2); the full schema is
+/// documented in DESIGN.md. When `metrics` is non-null the telemetry
+/// metrics snapshot is merged in under a "telemetry" key.
+std::string flow_trace_json(const DfmFlowReport& rep,
+                            const telemetry::MetricsSnapshot* metrics =
+                                nullptr);
+
+/// The --json schema version flow_trace_json emits.
+constexpr int kFlowJsonSchemaVersion = 2;
 
 }  // namespace dfm

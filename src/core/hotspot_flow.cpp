@@ -2,6 +2,7 @@
 
 #include "core/parallel.h"
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
@@ -35,6 +36,7 @@ std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
   }
   std::vector<std::vector<HotspotMatch>> per_window =
       parallel_map(pool, windows.size(), [&](std::size_t wi) {
+        TELEM_SPAN_ARG("hotspot/scan_window", wi);
         const Rect& window = windows[wi];
         std::vector<HotspotMatch> local;
         Region clip;
@@ -99,6 +101,7 @@ HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
   sim.tiles = make_tiles(extent, options.tile);
   const PassPool pool(options);
   sim.per_tile = parallel_map(pool, sim.tiles.size(), [&](std::size_t ti) {
+    TELEM_SPAN_ARG("litho/tile", ti);
     return simulate_tile(layer, sim.tiles[ti], options, pool);
   });
   sim.recomputed = sim.tiles.size();
@@ -132,6 +135,7 @@ HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
   const PassPool pool(options);
   std::vector<std::vector<Hotspot>> redone =
       parallel_map(pool, stale.size(), [&](std::size_t si) {
+        TELEM_SPAN_ARG("litho/tile", stale[si]);
         return simulate_tile(layer, sim.tiles[stale[si]], options, pool);
       });
   for (std::size_t si = 0; si < stale.size(); ++si) {

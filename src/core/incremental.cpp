@@ -1,5 +1,7 @@
 #include "core/incremental.h"
 
+#include "core/telemetry.h"
+
 #include <chrono>
 #include <utility>
 
@@ -19,7 +21,10 @@ DfmFlowSession::DfmFlowSession(const Library& lib, std::uint32_t top,
                                DfmFlowOptions options)
     : options_(std::move(options)), pool_(options_) {
   const auto t0 = Clock::now();
+  telemetry::Span flow_span("flow");
+  const std::uint64_t snap_t0 = telemetry::now_ns();
   snap_ = std::make_unique<LayoutSnapshot>(lib, top, pool_.get());
+  telemetry::record_span("flow/snapshot", snap_t0, telemetry::now_ns());
   report_.trace.passes.push_back(
       PassTrace{"snapshot", ms_since(t0), snap_->layer_keys().size()});
   run_cold();
@@ -29,7 +34,10 @@ DfmFlowSession::DfmFlowSession(const Library& lib, std::uint32_t top,
 DfmFlowSession::DfmFlowSession(LayerMap layers, DfmFlowOptions options)
     : options_(std::move(options)), pool_(options_) {
   const auto t0 = Clock::now();
+  telemetry::Span flow_span("flow");
+  const std::uint64_t snap_t0 = telemetry::now_ns();
   snap_ = std::make_unique<LayoutSnapshot>(std::move(layers));
+  telemetry::record_span("flow/snapshot", snap_t0, telemetry::now_ns());
   report_.trace.passes.push_back(
       PassTrace{"snapshot", ms_since(t0), snap_->layer_keys().size()});
   run_cold();

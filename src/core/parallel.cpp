@@ -1,5 +1,7 @@
 #include "core/parallel.h"
 
+#include "core/telemetry.h"
+
 #include <algorithm>
 
 namespace dfm {
@@ -53,11 +55,15 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth = pending_.fetch_add(1, std::memory_order_release);
+  TELEM_COUNTER_ADD("pool.tasks_submitted", 1);
+  TELEM_HIST_OBSERVE("pool.queue_depth", ({0, 1, 2, 4, 8, 16, 32, 64}),
+                     depth + 1);
   sleep_cv_.notify_one();
 }
 
-bool ThreadPool::try_get(std::size_t self, std::function<void()>& out) {
+bool ThreadPool::try_get(std::size_t self, std::function<void()>& out,
+                         bool& stolen) {
   const std::size_t n = queues_.size();
   if (n == 0) return false;
   // Own deque from the back (LIFO: depth-first on nested work)...
@@ -66,6 +72,7 @@ bool ThreadPool::try_get(std::size_t self, std::function<void()>& out) {
     if (!queues_[self]->tasks.empty()) {
       out = std::move(queues_[self]->tasks.back());
       queues_[self]->tasks.pop_back();
+      stolen = false;
       return true;
     }
   }
@@ -76,6 +83,8 @@ bool ThreadPool::try_get(std::size_t self, std::function<void()>& out) {
     if (!queues_[victim]->tasks.empty()) {
       out = std::move(queues_[victim]->tasks.front());
       queues_[victim]->tasks.pop_front();
+      stolen = true;
+      TELEM_COUNTER_ADD("pool.steals", 1);
       return true;
     }
   }
@@ -84,9 +93,12 @@ bool ThreadPool::try_get(std::size_t self, std::function<void()>& out) {
 
 bool ThreadPool::run_one() {
   std::function<void()> task;
+  bool stolen = false;
   const std::size_t self = (tl_pool == this) ? tl_worker : queues_.size();
-  if (!try_get(self, task)) return false;
+  if (!try_get(self, task, stolen)) return false;
   pending_.fetch_sub(1, std::memory_order_acquire);
+  TELEM_SPAN_ARG("pool/task", stolen ? 1 : 0);
+  TELEM_COUNTER_ADD("pool.tasks_run", 1);
   task();
   return true;
 }
@@ -94,18 +106,30 @@ bool ThreadPool::run_one() {
 void ThreadPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker = self;
+  telemetry::set_thread_name("pool worker " + std::to_string(self));
   for (;;) {
     std::function<void()> task;
-    if (try_get(self, task)) {
+    bool stolen = false;
+    if (try_get(self, task, stolen)) {
       pending_.fetch_sub(1, std::memory_order_acquire);
-      task();
+      {
+        // Busy span: one per executed task, arg 1 when work-stolen, so
+        // the trace shows each worker's busy/steal mix between idles.
+        TELEM_SPAN_ARG("pool/task", stolen ? 1 : 0);
+        TELEM_COUNTER_ADD("pool.tasks_run", 1);
+        task();
+      }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) > 0 ||
-             stop_.load(std::memory_order_relaxed);
-    });
+    {
+      // Idle span: brackets exactly the sleep on the shared condition.
+      TELEM_SPAN("pool/idle");
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) > 0 ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
     if (stop_.load(std::memory_order_relaxed) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
@@ -120,6 +144,7 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  TELEM_SPAN_ARG("pool/parallel_for", n);
 
   struct Shared {
     std::atomic<std::size_t> next{0};

@@ -93,7 +93,9 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t self);
-  bool try_get(std::size_t self, std::function<void()>& out);
+  /// `stolen` reports whether the task came off a victim's deque rather
+  /// than the caller's own (telemetry: per-worker steal accounting).
+  bool try_get(std::size_t self, std::function<void()>& out, bool& stolen);
 
   unsigned concurrency_ = 1;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;

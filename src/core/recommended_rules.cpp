@@ -1,6 +1,7 @@
 #include "core/recommended_rules.h"
 
 #include "core/parallel.h"
+#include "core/telemetry.h"
 
 namespace dfm {
 namespace {
@@ -56,6 +57,7 @@ std::vector<RecommendedRule> standard_recommended_rules(const Tech& t) {
 std::size_t check_recommended_rule(const LayoutSnapshot& snap,
                                    const RecommendedRule& rr) {
   if (rr.rule.kind == RuleKind::kDensity) return 0;
+  TELEM_SPAN("rec/rule");
   return DrcEngine::run_rule(snap, rr.rule).size();
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/delta.h"
 #include "core/parallel.h"
+#include "core/telemetry.h"
 #include "layout/library.h"
 
 #include <stdexcept>
@@ -21,6 +22,7 @@ LayoutSnapshot::LayoutSnapshot(const Library& lib, std::uint32_t top,
   // order so the map contents are identical at any thread count.
   std::vector<Region> flats =
       parallel_map(pool, layer_keys.size(), [&](std::size_t i) {
+        TELEM_SPAN_ARG("snapshot/flatten", i);
         return lib.flatten(top, layer_keys[i]);
       });
   for (std::size_t i = 0; i < layer_keys.size(); ++i) {
@@ -67,7 +69,11 @@ const RTree& LayoutSnapshot::rtree(LayerKey k) const {
   rtree_reads_.fetch_add(1, std::memory_order_relaxed);
   std::call_once(d->rtree_once, [&] {
     rtree_builds_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t0 = telemetry::now_ns();
     d->rtree.build(layers_.at(k).rects());
+    telemetry::record_span("snapshot/rtree_build", t0, telemetry::now_ns(),
+                           d->rtree.size());
+    TELEM_GAUGE_ADD("snapshot.rtree_bytes", d->rtree.memory_bytes());
   });
   return d->rtree;
 }
@@ -77,7 +83,12 @@ const std::vector<BoundaryEdge>& LayoutSnapshot::edges(LayerKey k) const {
   edge_reads_.fetch_add(1, std::memory_order_relaxed);
   std::call_once(d->edges_once, [&] {
     edge_builds_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t0 = telemetry::now_ns();
     d->edges = boundary_edges(layers_.at(k));
+    telemetry::record_span("snapshot/edges_build", t0, telemetry::now_ns(),
+                           d->edges.size());
+    TELEM_GAUGE_ADD("snapshot.edge_bytes",
+                    d->edges.capacity() * sizeof(BoundaryEdge));
   });
   return d->edges;
 }
@@ -89,8 +100,15 @@ const DensityMap& LayoutSnapshot::density(LayerKey k, Coord tile) const {
   const auto it = d->density.find(tile);
   if (it != d->density.end()) return it->second;
   density_builds_.fetch_add(1, std::memory_order_relaxed);
-  return d->density.emplace(tile, density_map(layers_.at(k), bbox_, tile))
-      .first->second;
+  const std::uint64_t t0 = telemetry::now_ns();
+  const DensityMap& built =
+      d->density.emplace(tile, density_map(layers_.at(k), bbox_, tile))
+          .first->second;
+  telemetry::record_span("snapshot/density_build", t0, telemetry::now_ns(),
+                         built.values.size());
+  TELEM_GAUGE_ADD("snapshot.density_bytes",
+                  built.values.capacity() * sizeof(double));
+  return built;
 }
 
 IncrementalSnapshot::IncrementalSnapshot(const LayoutSnapshot& base,

@@ -1,0 +1,334 @@
+// Low-overhead observability for the whole toolkit: hierarchical RAII
+// spans, a named metrics registry, and exporters (Chrome trace-event
+// JSON for Perfetto/chrome://tracing, flat metrics JSON for the flow's
+// --json report).
+//
+// Span model: a Span is an RAII scope recorded on the thread that runs
+// it. Closing a span appends one fixed-size SpanEvent (static name
+// pointer, start/end nanosecond timestamps, an integer arg, the nesting
+// depth) to the recording thread's ring buffer — no allocation, no
+// locks, one release-store. Buffers are bounded: when full, further
+// events are dropped and counted, never overwritten, so a concurrent
+// drain can read every published slot race-free. Span names must have
+// static storage duration (string literals); dynamic names go through
+// intern(), which is cold-path only.
+//
+// Recording is off by default. set_enabled(true) opens a recording
+// epoch; Span construction checks one relaxed atomic load when disabled,
+// which is the entire disabled-path cost. Compiling with
+// -DDFMKIT_TELEMETRY_OFF (CMake: -DDFMKIT_TELEMETRY=OFF) turns every
+// TELEM_* macro into nothing and pins enabled() to false, so shipped
+// binaries can drop the subsystem outright.
+//
+// Metrics: counters (monotonic), gauges (set/add), and fixed-bucket
+// histograms, all atomics, registered by name on first use. The TELEM_*
+// macros cache the registry lookup in a function-local static, so the
+// steady state is a single relaxed RMW. Out-of-range histogram values
+// clamp into the edge buckets (the last bucket is an explicit overflow
+// bucket); nothing is silently lost.
+//
+// Threading contract: record-side calls (Span, record_span, metric
+// updates) are safe from any thread at any time. drain() is safe while
+// threads are still recording — it snapshots each buffer's published
+// prefix and may miss events still in flight. clear() and
+// set_ring_capacity() require quiescence: no concurrently open spans
+// (call them between flows, after worker pools have been joined).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dfm::telemetry {
+
+/// False when the subsystem was compiled out (-DDFMKIT_TELEMETRY_OFF).
+constexpr bool compiled_in() {
+#ifdef DFMKIT_TELEMETRY_OFF
+  return false;
+#else
+  return true;
+#endif
+}
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True while a recording epoch is open. One relaxed load.
+inline bool enabled() {
+#ifdef DFMKIT_TELEMETRY_OFF
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Opens (true) or closes (false) a recording epoch. Opening stamps the
+/// epoch origin all exported timestamps are relative to. No-op when
+/// compiled out.
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds (steady clock).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One closed span. `name` points at interned/static storage; `depth` is
+/// the span's nesting level on its thread (0 = outermost); `arg` is a
+/// free integer payload (tile index, rule index, ...).
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t arg = 0;
+  std::uint32_t depth = 0;
+};
+
+namespace detail {
+extern thread_local std::uint32_t tl_depth;
+/// Appends a closed span to the calling thread's ring (registering the
+/// thread on first use). Cold parts (registration) are out of line; the
+/// steady state is bounds-check + slot write + release-store.
+void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::uint32_t depth, std::uint64_t arg);
+}  // namespace detail
+
+/// RAII span. Construction samples the clock and opens a nesting level;
+/// destruction samples again and records the closed event. When
+/// telemetry is disabled at construction the span is inert (a single
+/// relaxed load), even if recording is enabled before it closes.
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t arg = 0) {
+    if (!enabled()) return;
+    name_ = name;
+    arg_ = arg;
+    depth_ = detail::tl_depth++;
+    start_ = now_ns();
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    --detail::tl_depth;
+    detail::record(name_, start_, now_ns(), depth_, arg_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint64_t arg_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Records an already-timed interval (for scope-free timers that bracket
+/// start/finish manually). The event closes at the *current* nesting
+/// depth of the calling thread. No-op while disabled.
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint64_t arg = 0);
+
+/// Interns a dynamic name, returning a pointer that stays valid for the
+/// process lifetime. Cold path (mutex + map); never call per-item.
+const char* intern(const std::string& name);
+
+/// Names the calling thread's track in exported traces. Takes effect
+/// whenever the thread registers (first recorded event); cheap enough to
+/// call unconditionally from thread entry points.
+void set_thread_name(const std::string& name);
+
+/// Ring capacity (events per thread) for buffers registered after the
+/// call. Requires quiescence. Default: 1 << 16.
+void set_ring_capacity(std::size_t events);
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar, with an accumulate helper for byte totals.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts values <= bounds[i]; one
+/// extra overflow bucket counts everything above the last bound, so
+/// out-of-range observations clamp into the edges instead of vanishing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts() has bounds().size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+/// Looks up (registering on first use) a metric. References stay valid
+/// for the process lifetime — cache them at call sites (the TELEM_*
+/// macros do). Each metric kind has its own namespace: counter("x") and
+/// gauge("x") are distinct metrics. A histogram's bounds are fixed by
+/// its first registration; later calls with different bounds get the
+/// original (first registration wins).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  std::uint64_t total = 0;
+};
+
+/// Point-in-time copy of every registered metric (name-sorted maps, so
+/// exports are deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+MetricsSnapshot metrics_snapshot();
+/// Zeroes every metric's value; registrations (and cached references)
+/// survive.
+void reset_metrics();
+
+// ---------------------------------------------------------------------------
+// Trace collection + export
+
+/// One thread's recorded events, in record (close-time) order.
+struct ThreadTrace {
+  std::uint32_t tid = 0;
+  std::string name;
+  std::uint64_t dropped = 0;  // events lost to ring overflow
+  std::vector<SpanEvent> events;
+};
+
+struct TraceSnapshot {
+  std::uint64_t epoch_ns = 0;  // origin exported timestamps are relative to
+  std::vector<ThreadTrace> threads;
+
+  std::size_t total_events() const;
+  /// Deepest nesting level across all threads, as a span count (a single
+  /// unnested span has depth 1); 0 when empty.
+  std::uint32_t max_depth() const;
+};
+
+/// Snapshots every thread's published events (threads sorted by tid).
+/// Safe concurrently with recording; does not reset anything.
+TraceSnapshot drain();
+
+/// Drops all recorded events, resets live threads' rings, and frees the
+/// buffers of threads that have exited. Requires quiescence.
+void clear();
+
+/// Chrome trace-event JSON ("trace event format", JSON-object flavor):
+/// thread_name metadata + one complete ("X") event per span, timestamps
+/// in microseconds relative to the snapshot epoch. Loadable in Perfetto
+/// and chrome://tracing. Metrics ride along under a top-level "metrics"
+/// key, which viewers ignore.
+std::string chrome_trace_json(const TraceSnapshot& trace,
+                              const MetricsSnapshot& metrics);
+
+/// The metrics snapshot as one flat JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+std::string metrics_json(const MetricsSnapshot& metrics);
+
+}  // namespace dfm::telemetry
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros — the only API call sites should use. All of
+// them compile to nothing under DFMKIT_TELEMETRY_OFF.
+
+#ifdef DFMKIT_TELEMETRY_OFF
+
+#define TELEM_SPAN(name) ((void)0)
+#define TELEM_SPAN_ARG(name, arg) ((void)0)
+#define TELEM_COUNTER_ADD(name, n) ((void)0)
+#define TELEM_GAUGE_SET(name, v) ((void)0)
+#define TELEM_GAUGE_ADD(name, v) ((void)0)
+#define TELEM_HIST_OBSERVE(name, bounds, v) ((void)0)
+
+#else
+
+#define DFM_TELEM_CAT2(a, b) a##b
+#define DFM_TELEM_CAT(a, b) DFM_TELEM_CAT2(a, b)
+
+/// Scoped span named by a string literal.
+#define TELEM_SPAN(name) \
+  ::dfm::telemetry::Span DFM_TELEM_CAT(telem_span_, __LINE__)(name)
+/// Scoped span with an integer payload (tile/rule/window index).
+#define TELEM_SPAN_ARG(name, arg)                       \
+  ::dfm::telemetry::Span DFM_TELEM_CAT(telem_span_,     \
+                                       __LINE__)(name,  \
+                                                 static_cast<std::uint64_t>( \
+                                                     arg))
+
+#define TELEM_COUNTER_ADD(name, n)                                    \
+  do {                                                                \
+    static ::dfm::telemetry::Counter& telem_c_ =                      \
+        ::dfm::telemetry::counter(name);                              \
+    telem_c_.add(static_cast<std::uint64_t>(n));                      \
+  } while (0)
+
+#define TELEM_GAUGE_SET(name, v)                                      \
+  do {                                                                \
+    static ::dfm::telemetry::Gauge& telem_g_ =                        \
+        ::dfm::telemetry::gauge(name);                                \
+    telem_g_.set(static_cast<double>(v));                             \
+  } while (0)
+
+#define TELEM_GAUGE_ADD(name, v)                                      \
+  do {                                                                \
+    static ::dfm::telemetry::Gauge& telem_g_ =                        \
+        ::dfm::telemetry::gauge(name);                                \
+    telem_g_.add(static_cast<double>(v));                             \
+  } while (0)
+
+/// `bounds` is a braced initializer list of doubles, e.g.
+/// TELEM_HIST_OBSERVE("pool.queue_depth", ({0, 1, 2, 4, 8, 16}), depth).
+#define TELEM_HIST_OBSERVE(name, bounds, v)                           \
+  do {                                                                \
+    static ::dfm::telemetry::Histogram& telem_h_ =                    \
+        ::dfm::telemetry::histogram(name, std::vector<double> bounds); \
+    telem_h_.observe(static_cast<double>(v));                         \
+  } while (0)
+
+#endif  // DFMKIT_TELEMETRY_OFF

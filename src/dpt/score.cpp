@@ -3,6 +3,7 @@
 // composite score.
 #include "dpt/dpt.h"
 
+#include "core/telemetry.h"
 #include "drc/engine.h"
 
 #include <algorithm>
@@ -11,6 +12,7 @@
 namespace dfm {
 
 DptScore score_decomposition(const Decomposition& d, const Tech& tech) {
+  TELEM_SPAN("dpt/score");
   DptScore s;
 
   // Mask density balance: equal-area masks expose most evenly.

@@ -4,6 +4,7 @@
 #include "dpt/dpt.h"
 
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 
 #include <algorithm>
 
@@ -64,6 +65,7 @@ bool split_node(const Region& node, const std::vector<Region>& neighbours,
 }  // namespace
 
 Decomposition decompose_dpt(const Region& layer, const Tech& tech) {
+  TELEM_SPAN("dpt/decompose");
   Decomposition out;
   std::vector<Region> nodes = layer.components();
   // Track which node pairs are split halves (stitch partners).

@@ -2,6 +2,7 @@
 
 #include "core/parallel.h"
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 
 #include <set>
 
@@ -43,6 +44,7 @@ std::vector<LayerKey> rule_layers(const Rule& rule) {
 
 std::vector<Violation> DrcEngine::run_rule(const LayoutSnapshot& snap,
                                            const Rule& rule) {
+  TELEM_SPAN_ARG("drc/rule", static_cast<std::uint64_t>(rule.kind));
   // Density window: the joint bbox of everything under check. The
   // snapshot's regions are canonical by construction, so sharing them
   // across rule tasks is safe without any pre-normalization step here.

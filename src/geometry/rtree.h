@@ -22,6 +22,14 @@ class RTree {
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  /// Heap footprint of the built index (nodes + entry permutation + box
+  /// copies) — what the snapshot cache gauges report.
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           entries_.capacity() * sizeof(std::uint32_t) +
+           boxes_.capacity() * sizeof(Rect);
+  }
+
   /// Indices of all boxes whose closed extent touches `window`.
   std::vector<std::uint32_t> query(const Rect& window) const;
   void query(const Rect& window, std::vector<std::uint32_t>& out) const;

@@ -3,6 +3,7 @@
 // Note: dfm_layout sits below dfm_snapshot in the library graph, so this
 // file may only use LayoutSnapshot's inline members (layers()).
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 #include "geometry/rtree.h"
 
 #include <numeric>
@@ -49,6 +50,7 @@ namespace detail {
 
 Netlist extract_nets_impl(const LayerMap& layers,
                           const std::vector<StackLayer>& stack) {
+  TELEM_SPAN("connectivity/extract");
   // Vertices: components of every stack layer.
   std::vector<Vertex> verts;
   std::vector<std::vector<std::uint32_t>> per_layer(stack.size());

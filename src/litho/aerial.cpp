@@ -2,6 +2,7 @@
 #include "litho/litho.h"
 
 #include "core/parallel.h"
+#include "core/telemetry.h"
 
 #include <algorithm>
 
@@ -13,6 +14,8 @@ namespace {
 // rows independently onto the pool with bit-identical results.
 Raster convolve(const Raster& in, const std::vector<float>& taps,
                 ThreadPool* pool) {
+  TELEM_SPAN_ARG("litho/convolve", static_cast<std::uint64_t>(in.nx) *
+                                       static_cast<std::uint64_t>(in.ny));
   const int radius = static_cast<int>(taps.size() / 2);
   const auto rows = [&](int ny, const std::function<void(int)>& row_fn) {
     if (pool != nullptr && pool->concurrency() > 1 && ny > 1) {
@@ -62,7 +65,11 @@ Raster aerial_image(const Region& mask, const Rect& window,
   const Coord s = model.sigma_at(defocus);
   const Coord pad = 3 * s + model.px;
   const Rect padded = window.expanded(pad);
-  Raster img = rasterize(mask, padded, model.px, pool);
+  Raster img;
+  {
+    TELEM_SPAN("litho/raster");
+    img = rasterize(mask, padded, model.px, pool);
+  }
   const double sigma_px = static_cast<double>(s) / static_cast<double>(model.px);
   img = convolve(img, detail::gaussian_taps(sigma_px), pool);
 

@@ -2,6 +2,7 @@
 
 #include "core/parallel.h"
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 #include "geometry/normalized_region.h"
 #include "geometry/rtree.h"
 
@@ -102,6 +103,7 @@ std::vector<CapturedPattern> capture_at_anchors(
   // Sites capture concurrently (the indices are read-only); parallel_map
   // keeps the results in component order — identical to the serial scan.
   return parallel_map(pool, sites.size(), [&](std::size_t i) {
+    TELEM_SPAN_ARG("pattern/capture", i);
     return capture_site(index, on, sites[i]);
   });
 }
@@ -122,6 +124,7 @@ std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
   }
   std::vector<CapturedPattern> captured =
       parallel_map(pool, windows.size(), [&](std::size_t i) {
+        TELEM_SPAN_ARG("pattern/capture", i);
         return capture_site(index, on,
                             AnchorWindow{windows[i].center(), windows[i]});
       });

@@ -1,6 +1,7 @@
 #include "pattern/matcher.h"
 
 #include "core/parallel.h"
+#include "core/telemetry.h"
 
 #include <cstdlib>
 
@@ -71,8 +72,10 @@ std::vector<std::vector<PatternMatch>> PatternMatcher::scan_per_window(
     }
     return local;
   };
-  return parallel_map(pool, windows.size(),
-                      [&](std::size_t i) { return scan_window(windows[i]); });
+  return parallel_map(pool, windows.size(), [&](std::size_t i) {
+    TELEM_SPAN_ARG("pattern/match", i);
+    return scan_window(windows[i]);
+  });
 }
 
 std::vector<PatternMatch> PatternMatcher::scan(

@@ -1,5 +1,6 @@
 #include "yield/yield.h"
 
+#include "core/telemetry.h"
 #include "gen/rng.h"
 
 #include <map>
@@ -8,6 +9,7 @@ namespace dfm {
 
 Area short_critical_area(const Region& layer, Coord s) {
   if (s <= 0 || layer.empty()) return 0;
+  TELEM_SPAN_ARG("caa/short", static_cast<std::uint64_t>(s));
   // A square defect of side s centered at p touches a net iff p lies in
   // the net bloated by s/2 (Chebyshev). It shorts iff it touches two or
   // more distinct nets, i.e. p is covered by >= 2 bloated nets. Work on
@@ -39,6 +41,7 @@ Area short_critical_area_nets(const std::vector<Region>& pieces,
 
 Area open_critical_area(const Region& layer, Coord s) {
   if (s <= 0 || layer.empty()) return 0;
+  TELEM_SPAN_ARG("caa/open", static_cast<std::uint64_t>(s));
   // Band approximation: each canonical rect of cross-section h (its
   // shorter side) can be severed by defects spanning that side; centers
   // form a strip of (s - h) x length. Junction effects are ignored.

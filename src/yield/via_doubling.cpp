@@ -5,6 +5,7 @@
 
 #include "core/delta.h"
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 #include "geometry/rtree.h"
 
 namespace dfm {
@@ -47,6 +48,7 @@ struct MetalIndex {
 
 ViaDoublingResult double_vias_core(const Region& vias, const MetalIndex& m1,
                                    const MetalIndex& m2, const Tech& tech) {
+  TELEM_SPAN("vias/double");
   ViaDoublingResult res;
 
   const std::vector<Region> nets = vias.components();

@@ -1,0 +1,287 @@
+// The telemetry subsystem's contracts: span nesting stays consistent
+// under multi-thread contention (with a concurrent drain — the TSan
+// target), the Chrome-trace exporter's output is byte-stable, rings drop
+// (and count) instead of wrapping, histograms clamp into their edge
+// buckets, and — the one that matters for sign-off — recording never
+// changes the flow's answer.
+#include "core/telemetry.h"
+
+#include "core/dfm_flow.h"
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dfm {
+namespace {
+
+namespace telem = ::dfm::telemetry;
+
+/// Every test leaves the registry the way it found it: recording off,
+/// rings empty, default capacity.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telem::set_enabled(false);
+    telem::clear();
+    telem::reset_metrics();
+  }
+  void TearDown() override {
+    telem::set_enabled(false);
+    telem::set_ring_capacity(std::size_t{1} << 16);
+    telem::clear();
+    telem::reset_metrics();
+  }
+};
+
+constexpr const char* kDepthName[] = {"nest/d0", "nest/d1", "nest/d2",
+                                      "nest/d3"};
+
+void nested_spans(int depth) {
+  if (depth >= 4) return;
+  telem::Span s(kDepthName[depth]);
+  nested_spans(depth + 1);
+}
+
+TEST_F(TelemetryTest, SpanNestingUnderContention) {
+  if (!telem::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  telem::set_enabled(true);
+
+  // 8 recording threads, each running the same 4-deep recursion, while
+  // a drainer snapshots mid-flight: drain() must only ever see fully
+  // published events (this is the TSan hot spot).
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const telem::TraceSnapshot mid = telem::drain();
+      for (const telem::ThreadTrace& t : mid.threads) {
+        for (const telem::SpanEvent& e : t.events) {
+          ASSERT_NE(e.name, nullptr);
+          ASSERT_LE(e.start_ns, e.end_ns);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      telem::set_thread_name("worker " + std::to_string(w));
+      for (int i = 0; i < kIters; ++i) nested_spans(0);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  drainer.join();
+  telem::set_enabled(false);
+
+  const telem::TraceSnapshot trace = telem::drain();
+  EXPECT_EQ(trace.max_depth(), 4u);
+  int worker_tracks = 0;
+  for (const telem::ThreadTrace& t : trace.threads) {
+    if (t.name.rfind("worker ", 0) != 0) continue;
+    ++worker_tracks;
+    EXPECT_EQ(t.dropped, 0u);
+    ASSERT_EQ(t.events.size(), std::size_t{4} * kIters);
+    for (const telem::SpanEvent& e : t.events) {
+      // The recorded depth must agree with the name's nesting level.
+      for (std::uint32_t d = 0; d < 4; ++d) {
+        if (std::string(e.name) == kDepthName[d]) EXPECT_EQ(e.depth, d);
+      }
+    }
+    // Spans close inner-first, so within each recursion the ring holds
+    // d3, d2, d1, d0 — and every parent's interval contains its child's.
+    for (std::size_t i = 0; i + 3 < t.events.size(); i += 4) {
+      for (int d = 0; d < 3; ++d) {
+        const telem::SpanEvent& child = t.events[i + static_cast<std::size_t>(d)];
+        const telem::SpanEvent& parent =
+            t.events[i + static_cast<std::size_t>(d) + 1];
+        EXPECT_LE(parent.start_ns, child.start_ns);
+        EXPECT_GE(parent.end_ns, child.end_ns);
+        EXPECT_EQ(parent.depth + 1, child.depth);
+      }
+    }
+  }
+  EXPECT_EQ(worker_tracks, kThreads);
+}
+
+TEST_F(TelemetryTest, ChromeTraceExporterGoldenFile) {
+  // Hand-built snapshot -> exact bytes. If this breaks, the exporter's
+  // format changed: update the golden string only after loading the new
+  // output in Perfetto.
+  telem::TraceSnapshot trace;
+  trace.epoch_ns = 1000;
+  telem::ThreadTrace t;
+  t.tid = 0;
+  t.name = "main";
+  t.dropped = 2;
+  t.events.push_back(telem::SpanEvent{"flow", 1000, 501000, 0, 0});
+  t.events.push_back(telem::SpanEvent{"flow/litho", 2500, 400000, 7, 1});
+  trace.threads.push_back(std::move(t));
+
+  telem::MetricsSnapshot metrics;
+  metrics.counters["pool.steals"] = 3;
+  metrics.gauges["snapshot.rtree_bytes"] = 45528;
+  metrics.histograms["pool.queue_depth"] =
+      telem::HistogramSnapshot{{0, 1, 2}, {4, 2, 1, 0}, 7};
+
+  const std::string expected =
+      "{\n"
+      "\"traceEvents\": [\n"
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"dfmkit\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"main\"}},\n"
+      "{\"name\": \"flow\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, "
+      "\"ts\": 0.000, \"dur\": 500.000, \"args\": {\"arg\": 0, "
+      "\"depth\": 0}},\n"
+      "{\"name\": \"flow/litho\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, "
+      "\"ts\": 1.500, \"dur\": 397.500, \"args\": {\"arg\": 7, "
+      "\"depth\": 1}}\n"
+      "],\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"otherData\": {\"tool\": \"dfmkit\", \"dropped_events\": 2},\n"
+      "\"metrics\": {\"counters\": {\"pool.steals\": 3}, "
+      "\"gauges\": {\"snapshot.rtree_bytes\": 45528}, "
+      "\"histograms\": {\"pool.queue_depth\": {\"bounds\": [0, 1, 2], "
+      "\"counts\": [4, 2, 1, 0], \"total\": 7}}}\n"
+      "}\n";
+  EXPECT_EQ(telem::chrome_trace_json(trace, metrics), expected);
+}
+
+TEST_F(TelemetryTest, ExporterOrdersParentsBeforeChildren) {
+  // Events arrive in close order (children first); the exporter must
+  // re-sort by start time so viewers nest them correctly.
+  telem::TraceSnapshot trace;
+  telem::ThreadTrace t;
+  t.tid = 3;
+  t.name = "w";
+  t.events.push_back(telem::SpanEvent{"child", 200, 300, 0, 1});
+  t.events.push_back(telem::SpanEvent{"parent", 100, 400, 0, 0});
+  trace.threads.push_back(std::move(t));
+  const std::string json =
+      telem::chrome_trace_json(trace, telem::MetricsSnapshot{});
+  EXPECT_LT(json.find("\"parent\""), json.find("\"child\""));
+}
+
+TEST_F(TelemetryTest, RingOverflowDropsAndCounts) {
+  if (!telem::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  telem::set_ring_capacity(8);
+  telem::set_enabled(true);
+  // A fresh thread registers a fresh (8-slot) ring.
+  std::thread rec([] {
+    telem::set_thread_name("overflow");
+    for (int i = 0; i < 20; ++i) {
+      telem::Span s("ring/span");
+    }
+  });
+  rec.join();
+  telem::set_enabled(false);
+
+  const telem::TraceSnapshot trace = telem::drain();
+  const telem::ThreadTrace* t = nullptr;
+  for (const telem::ThreadTrace& tt : trace.threads) {
+    if (tt.name == "overflow") t = &tt;
+  }
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->events.size(), 8u);  // never wraps: first 8 survive
+  EXPECT_EQ(t->dropped, 12u);
+}
+
+TEST_F(TelemetryTest, DisabledSpansRecordNothing) {
+  if (!telem::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  {
+    TELEM_SPAN("off/span");
+  }
+  EXPECT_EQ(telem::drain().total_events(), 0u);
+
+  // A span born disabled stays inert even if recording starts before it
+  // closes — half-open epochs never leak partial scopes.
+  {
+    telem::Span s("off/straddler");
+    telem::set_enabled(true);
+  }
+  EXPECT_EQ(telem::drain().total_events(), 0u);
+  {
+    TELEM_SPAN("on/span");
+  }
+  telem::set_enabled(false);
+  EXPECT_EQ(telem::drain().total_events(), 1u);
+}
+
+TEST_F(TelemetryTest, HistogramClampsIntoEdgeBuckets) {
+  telem::Histogram h({0.0, 1.0, 4.0});
+  h.observe(-100.0);  // below every bound: first bucket
+  h.observe(0.0);     // at a bound: that bucket (v <= bounds[i])
+  h.observe(3.0);
+  h.observe(4.0);
+  h.observe(1e9);  // above every bound: overflow bucket
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST_F(TelemetryTest, MetricsRegistrySemantics) {
+  // Kinds are separate namespaces; lookups are stable references.
+  telem::Counter& c = telem::counter("reg/x");
+  telem::Gauge& g = telem::gauge("reg/x");
+  c.add(2);
+  g.set(1.5);
+  EXPECT_EQ(&telem::counter("reg/x"), &c);
+  EXPECT_EQ(telem::counter("reg/x").value(), 2u);
+  EXPECT_DOUBLE_EQ(telem::gauge("reg/x").value(), 1.5);
+
+  // First registration fixes histogram bounds.
+  telem::Histogram& h = telem::histogram("reg/h", {1.0, 2.0});
+  telem::Histogram& h2 = telem::histogram("reg/h", {99.0});
+  EXPECT_EQ(&h, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+
+  // reset_metrics zeroes values but keeps registrations (and cached
+  // references, which the TELEM_* macros hold in function statics).
+  telem::reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  const telem::MetricsSnapshot snap = telem::metrics_snapshot();
+  EXPECT_EQ(snap.counters.count("reg/x"), 1u);
+  EXPECT_EQ(snap.gauges.count("reg/x"), 1u);
+  EXPECT_EQ(snap.histograms.count("reg/h"), 1u);
+}
+
+TEST_F(TelemetryTest, RecordingDoesNotChangeTheFlowReport) {
+  DesignParams p;
+  p.seed = 7;
+  p.rows = 2;
+  p.cells_per_row = 4;
+  p.routes = 8;
+  const Library lib = generate_design(p);
+  LayerMap layers;
+  for (const LayerKey k : LayoutSnapshot::standard_flow_layers()) {
+    layers.emplace(k, lib.flatten(lib.top_cells()[0], k));
+  }
+  DfmFlowOptions opt;
+  opt.threads = 2;
+  opt.run_litho = false;  // keep the suite fast; litho is covered by o1
+
+  const DfmFlowReport off = run_dfm_flow(LayoutSnapshot{layers}, opt);
+  telem::set_enabled(true);
+  const DfmFlowReport on = run_dfm_flow(LayoutSnapshot{layers}, opt);
+  telem::set_enabled(false);
+  EXPECT_TRUE(reports_equivalent(off, on));
+  if (telem::compiled_in()) {
+    EXPECT_GT(telem::drain().total_events(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dfm

@@ -6,11 +6,16 @@
 //   dfmkit info <in.gds>               library summary
 //   dfmkit drc <in.gds> [top]          run the standard DRC deck
 //   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
-//   dfmkit flow [--json <path>] [--passes a,b,...] [--edit <spec>]...
-//               <in.gds> [top]
+//   dfmkit flow [--json <path>] [--trace-out <path>] [--passes a,b,...]
+//               [--edit <spec>]... <in.gds> [top]
 //                                      full DFM flow + scoreboard; --json
 //                                      writes the per-pass trace +
-//                                      scorecard as machine-readable JSON.
+//                                      scorecard as machine-readable JSON
+//                                      (schema documented in DESIGN.md).
+//                                      --trace-out records hierarchical
+//                                      telemetry spans and writes a
+//                                      Chrome trace-event file (open in
+//                                      Perfetto / chrome://tracing).
 //                                      --passes runs a subset (drc, litho,
 //                                      vias, nets, caa, ...); --edit
 //                                      <layer>:<x0>,<y0>,<x1>,<y1>[:remove]
@@ -28,6 +33,7 @@
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/snapshot.h"
+#include "core/telemetry.h"
 #include "gdsii/gdsii.h"
 #include "oasis/oasis.h"
 #include "gen/generators.h"
@@ -211,6 +217,7 @@ void print_flow_report(const std::string& title, const DfmFlowReport& rep) {
 int cmd_flow(int argc, char** argv) {
   // Strip the flow-local options.
   std::string json_path;
+  std::string trace_path;
   std::string passes_arg;
   std::vector<CliEdit> edits;
   for (int i = 2; i < argc;) {
@@ -221,6 +228,8 @@ int cmd_flow(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       eat2(json_path);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      eat2(trace_path);
     } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
       eat2(passes_arg);
     } else if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
@@ -233,8 +242,20 @@ int cmd_flow(int argc, char** argv) {
   }
   if (argc < 3) {
     throw std::runtime_error(
-        "usage: dfmkit flow [--json <path>] [--passes a,b,...] "
+        "usage: dfmkit flow [--json <path>] [--trace-out <path>] "
+        "[--passes a,b,...] "
         "[--edit <layer>:<x0>,<y0>,<x1>,<y1>[:remove]]... <in.gds> [top]");
+  }
+  if (!trace_path.empty() && !telemetry::compiled_in()) {
+    std::fprintf(stderr,
+                 "dfmkit: --trace-out: telemetry was compiled out "
+                 "(DFMKIT_TELEMETRY=OFF); the trace will be empty\n");
+  }
+  // Span recording only pays for itself when someone asked for output;
+  // metrics counters are always live (they are the cheap part).
+  if (!trace_path.empty()) {
+    telemetry::set_thread_name("main");
+    telemetry::set_enabled(true);
   }
   const Library lib = read_layout(argv[2]);
   const std::uint32_t top = pick_top(lib, argc, argv, 3);
@@ -256,15 +277,33 @@ int cmd_flow(int argc, char** argv) {
     pos = comma + 1;
   }
 
-  if (edits.empty()) {
-    const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
-    print_flow_report("DFM scoreboard: " + lib.cell(top).name(), rep);
+  // Shared tail for both modes: the metrics snapshot rides along in the
+  // --json document, and --trace-out gets the drained span timeline.
+  const auto write_outputs = [&](const DfmFlowReport& rep) {
+    const telemetry::MetricsSnapshot metrics = telemetry::metrics_snapshot();
     if (!json_path.empty()) {
       std::ofstream out(json_path);
       if (!out) throw std::runtime_error("cannot write " + json_path);
-      out << flow_trace_json(rep);
+      out << flow_trace_json(rep, metrics.empty() ? nullptr : &metrics);
       std::printf("wrote %s\n", json_path.c_str());
     }
+    if (!trace_path.empty()) {
+      telemetry::set_enabled(false);
+      const telemetry::TraceSnapshot trace = telemetry::drain();
+      std::ofstream out(trace_path);
+      if (!out) throw std::runtime_error("cannot write " + trace_path);
+      out << telemetry::chrome_trace_json(trace, metrics);
+      std::printf("wrote %s (%zu spans, %u threads, max depth %u)\n",
+                  trace_path.c_str(), trace.total_events(),
+                  static_cast<unsigned>(trace.threads.size()),
+                  trace.max_depth());
+    }
+  };
+
+  if (edits.empty()) {
+    const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
+    print_flow_report("DFM scoreboard: " + lib.cell(top).name(), rep);
+    write_outputs(rep);
     return 0;
   }
 
@@ -284,12 +323,7 @@ int cmd_flow(int argc, char** argv) {
     const DfmFlowReport& rep = session.apply(delta);
     print_flow_report("after edit " + std::to_string(i + 1), rep);
   }
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) throw std::runtime_error("cannot write " + json_path);
-    out << flow_trace_json(session.report());
-    std::printf("wrote %s\n", json_path.c_str());
-  }
+  write_outputs(session.report());
   return 0;
 }
 

@@ -6,8 +6,11 @@
 # Each bench's stdout goes to <build>/bench_logs/<name>.log; the script
 # then runs `dfmkit flow --json` on a generated demo design and writes
 # BENCH_flow.json at the repository root: the flow's per-pass trace +
-# scorecard under "flow", plus per-bench wall time and exit status under
-# "benches". Requires an existing build (cmake --build <build-dir>).
+# scorecard under "flow", per-bench wall time and exit status under
+# "benches", the machine the numbers came from under "host", and the
+# telemetry overhead series (parsed from bench_o1_telemetry's TELEM
+# lines) under "telemetry_overhead". Requires an existing build
+# (cmake --build <build-dir>).
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -66,11 +69,58 @@ if rev="$(git -C "$root" rev-parse --short HEAD 2>/dev/null)"; then
   fi
 fi
 
+# Benchmarks without the machine are noise: record CPU model, core count
+# and RAM next to the numbers. /proc is Linux; everything degrades to
+# "unknown"/0 elsewhere.
+cpu_model="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null \
+             | head -n 1)"
+[ -n "$cpu_model" ] || cpu_model="unknown"
+cores="$(nproc 2>/dev/null || echo 0)"
+mem_kb="$(sed -n 's/^MemTotal: *\([0-9]*\).*/\1/p' /proc/meminfo 2>/dev/null)"
+[ -n "$mem_kb" ] || mem_kb=0
+os="$(uname -sr 2>/dev/null || echo unknown)"
+
+# The telemetry overhead series: bench_o1_telemetry prints one parseable
+# "TELEM key=value ..." line per thread count.
+telem_rows=""
+telem_log="$logdir/bench_o1_telemetry.log"
+if [ -f "$telem_log" ]; then
+  while IFS= read -r line; do
+    case "$line" in TELEM\ *) ;; *) continue ;; esac
+    threads=0 base=0 telem=0 over=0 spans=0 depth=0 ident=0
+    for tok in $line; do
+      case "$tok" in
+        threads=*)      threads="${tok#threads=}" ;;
+        base_ms=*)      base="${tok#base_ms=}" ;;
+        telem_ms=*)     telem="${tok#telem_ms=}" ;;
+        overhead_pct=*) over="${tok#overhead_pct=}" ;;
+        spans=*)        spans="${tok#spans=}" ;;
+        depth=*)        depth="${tok#depth=}" ;;
+        identical=*)    ident="${tok#identical=}" ;;
+      esac
+    done
+    row="    {\"threads\": $threads, \"base_ms\": $base,"
+    row="$row \"telem_ms\": $telem, \"overhead_pct\": $over,"
+    row="$row \"spans\": $spans, \"depth\": $depth, \"identical\": $ident}"
+    telem_rows="${telem_rows:+$telem_rows,
+}$row"
+  done < "$telem_log"
+fi
+
 {
   echo '{'
   printf '  "revision": "%s",\n' "$revision"
+  echo '  "host": {'
+  printf '    "cpu": "%s",\n' "$cpu_model"
+  printf '    "cores": %s,\n' "$cores"
+  printf '    "mem_total_kb": %s,\n' "$mem_kb"
+  printf '    "os": "%s"\n' "$os"
+  echo '  },'
   echo '  "benches": ['
   printf '%s\n' "$bench_rows"
+  echo '  ],'
+  echo '  "telemetry_overhead": ['
+  printf '%s\n' "$telem_rows"
   echo '  ],'
   printf '  "flow": '
   # Indent the flow object to nest cleanly.
