@@ -572,4 +572,11 @@ std::string flow_trace_json(const DfmFlowReport& rep,
   return out;
 }
 
+std::string flow_report_canonical_json(const DfmFlowReport& rep) {
+  DfmFlowReport copy = rep;
+  copy.trace.total_ms = 0;
+  for (PassTrace& p : copy.trace.passes) p.ms = 0;
+  return flow_trace_json(copy);
+}
+
 }  // namespace dfm

@@ -137,4 +137,11 @@ std::string flow_trace_json(const DfmFlowReport& rep,
 /// The --json schema version flow_trace_json emits.
 constexpr int kFlowJsonSchemaVersion = 2;
 
+/// flow_trace_json with every wall-clock field zeroed: the canonical,
+/// byte-stable serialization of an analysis result. Two reports that are
+/// reports_equivalent() and ran the same pass schedule serialize to
+/// identical bytes at any thread count, so the service returns this form
+/// and the tests diff a served flow against the direct library call.
+std::string flow_report_canonical_json(const DfmFlowReport& rep);
+
 }  // namespace dfm

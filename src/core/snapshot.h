@@ -81,6 +81,10 @@ class LayoutSnapshot {
   LayoutSnapshot(const LayoutSnapshot&) = delete;
   LayoutSnapshot& operator=(const LayoutSnapshot&) = delete;
 
+  // DfmFlowSession owns an IncrementalSnapshot through a LayoutSnapshot
+  // pointer; destruction through the base must reach the derived dtor.
+  virtual ~LayoutSnapshot() = default;
+
   /// The normalized layer regions, keyed as requested at construction.
   const LayerMap& layers() const { return layers_; }
   const std::vector<LayerKey>& layer_keys() const { return keys_; }

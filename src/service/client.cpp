@@ -1,0 +1,189 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dfm::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ProtocolError(errc::kInternal, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(int fd) : fd_(fd) {
+  // The server greets every connection with a hello frame.
+  std::string payload;
+  try {
+    if (!read_frame(fd_, payload, max_frame_bytes_)) {
+      throw ProtocolError(errc::kBadFrame, "connection closed before hello");
+    }
+    hello_ = Json::parse(payload);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw ProtocolError(errc::kBadRequest, "bad unix socket path: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect " + path);
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      max_frame_bytes_(other.max_frame_bytes_),
+      hello_(std::move(other.hello_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    hello_ = std::move(other.hello_);
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Json ServiceClient::call(Json request) {
+  if (fd_ < 0) {
+    throw ProtocolError(errc::kInternal, "client is not connected");
+  }
+  if (request.find("id") == nullptr) {
+    request.set("id", Json(++next_id_));
+  }
+  write_frame(fd_, request.dump());
+  std::string payload;
+  if (!read_frame(fd_, payload, max_frame_bytes_)) {
+    throw ProtocolError(errc::kBadFrame, "connection closed awaiting reply");
+  }
+  return Json::parse(payload);
+}
+
+Json ServiceClient::call_ok(Json request) {
+  Json reply = call(std::move(request));
+  if (!reply.get_bool("ok", false)) {
+    throw ServiceError(reply.get_string("error", errc::kInternal),
+                       reply.get_string("message", "request failed"));
+  }
+  return reply;
+}
+
+Json ServiceClient::open(const std::string& layout_path,
+                         const std::string& top,
+                         const std::vector<std::string>& passes,
+                         std::int64_t litho_tile) {
+  Json::Object req;
+  req["op"] = Json("open");
+  req["path"] = Json(layout_path);
+  if (!top.empty()) req["top"] = Json(top);
+  if (!passes.empty()) {
+    Json::Array arr;
+    arr.reserve(passes.size());
+    for (const std::string& p : passes) arr.emplace_back(p);
+    req["passes"] = Json(std::move(arr));
+  }
+  if (litho_tile > 0) req["litho_tile"] = Json(litho_tile);
+  return call_ok(Json(std::move(req)));
+}
+
+Json ServiceClient::edit(const std::string& session, Json::Array edits) {
+  Json::Object req;
+  req["op"] = Json("edit");
+  req["session"] = Json(session);
+  req["edits"] = Json(std::move(edits));
+  return call_ok(Json(std::move(req)));
+}
+
+Json ServiceClient::flow(const std::string& session) {
+  Json::Object req;
+  req["op"] = Json("flow");
+  req["session"] = Json(session);
+  return call_ok(Json(std::move(req)));
+}
+
+Json ServiceClient::close_session(const std::string& session) {
+  Json::Object req;
+  req["op"] = Json("close");
+  req["session"] = Json(session);
+  return call_ok(Json(std::move(req)));
+}
+
+Json ServiceClient::ping() {
+  return call_ok(Json(Json::Object{{"op", Json("ping")}}));
+}
+
+Json ServiceClient::stats() {
+  return call_ok(Json(Json::Object{{"op", Json("stats")}}));
+}
+
+Json ServiceClient::version() {
+  return call_ok(Json(Json::Object{{"op", Json("version")}}));
+}
+
+Json ServiceClient::shutdown_server() {
+  return call_ok(Json(Json::Object{{"op", Json("shutdown")}}));
+}
+
+Json ServiceClient::make_edit(const std::string& layer, std::int64_t x0,
+                              std::int64_t y0, std::int64_t x1,
+                              std::int64_t y1, bool remove) {
+  Json::Object e;
+  e["layer"] = Json(layer);
+  e["rect"] = Json(Json::Array{Json(x0), Json(y0), Json(x1), Json(y1)});
+  if (remove) e["remove"] = Json(true);
+  return Json(std::move(e));
+}
+
+}  // namespace dfm::service

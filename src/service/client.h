@@ -1,0 +1,83 @@
+// Synchronous client for the dfmkit service protocol: one socket, one
+// outstanding request at a time (the protocol replies in order; a client
+// that wants pipelining opens more connections, which is exactly what
+// the load generator does). Used by the `dfmkit client` subcommand, the
+// service tests, and bench_s2_service.
+#pragma once
+
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dfm::service {
+
+/// An error *reply* from the server (ok=false), as opposed to a
+/// transport/framing failure, which is a ProtocolError.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : std::runtime_error(code + ": " + message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class ServiceClient {
+ public:
+  /// Disconnected client; connect_* are the real constructors.
+  ServiceClient() = default;
+  static ServiceClient connect_unix(const std::string& path);
+  static ServiceClient connect_tcp(int port);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// The unsolicited hello frame the server sent on connect (carries its
+  /// revision, build config, and protocol version).
+  const Json& hello() const { return hello_; }
+
+  /// Sends `request` (fills in "id" when absent) and blocks for the
+  /// reply. Throws ProtocolError on transport failure; error *replies*
+  /// come back as the returned Json with ok=false.
+  Json call(Json request);
+  /// call(), then throws ServiceError unless the reply has ok=true.
+  Json call_ok(Json request);
+
+  // Convenience wrappers over call_ok().
+  Json open(const std::string& layout_path, const std::string& top = "",
+            const std::vector<std::string>& passes = {},
+            std::int64_t litho_tile = 0);
+  Json edit(const std::string& session, Json::Array edits);
+  Json flow(const std::string& session);
+  Json close_session(const std::string& session);
+  Json ping();
+  Json stats();
+  Json version();
+  /// Asks the server to begin graceful shutdown.
+  Json shutdown_server();
+
+  /// One entry for an "edit" request's edits array.
+  static Json make_edit(const std::string& layer, std::int64_t x0,
+                        std::int64_t y0, std::int64_t x1, std::int64_t y1,
+                        bool remove = false);
+
+ private:
+  explicit ServiceClient(int fd);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 0;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  Json hello_;
+};
+
+}  // namespace dfm::service

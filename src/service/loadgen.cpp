@@ -1,0 +1,178 @@
+#include "service/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace dfm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+ServiceClient connect(const LoadGenOptions& options) {
+  if (!options.unix_path.empty()) {
+    return ServiceClient::connect_unix(options.unix_path);
+  }
+  if (options.tcp_port >= 0) {
+    return ServiceClient::connect_tcp(options.tcp_port);
+  }
+  throw std::runtime_error("loadgen: no server address configured");
+}
+
+/// Runs one request closure, retrying on backpressure (the server's
+/// queue_full reply is flow control, not failure). Returns the latency
+/// of the attempt that succeeded, or a negative value on error.
+template <typename Fn>
+double timed(Fn&& fn, std::uint64_t& backpressure, std::uint64_t& errors) {
+  for (;;) {
+    const Clock::time_point start = Clock::now();
+    try {
+      fn();
+      return ms_since(start);
+    } catch (const ServiceError& e) {
+      if (e.code() == errc::kQueueFull) {
+        ++backpressure;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      ++errors;
+      return -1;
+    } catch (const ProtocolError&) {
+      ++errors;
+      return -1;
+    }
+  }
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t errors = 0;
+  std::uint64_t backpressure = 0;
+};
+
+ClientResult run_client(const LoadGenOptions& options, unsigned index) {
+  ClientResult out;
+  ServiceClient client = connect(options);
+
+  const auto do_requests = [&](auto&& fn) {
+    for (unsigned i = 0; i < options.requests_per_client; ++i) {
+      const double ms = timed(fn, out.backpressure, out.errors);
+      if (ms >= 0) out.latencies_ms.push_back(ms);
+    }
+  };
+
+  if (options.mode == "cold") {
+    do_requests([&] {
+      const Json reply = client.open(options.layout_path, options.top,
+                                     options.passes, options.litho_tile);
+      client.close_session(reply.get_string("session", ""));
+    });
+    return out;
+  }
+
+  // "inc" and "flow" share a per-client session (the open is untimed
+  // setup, like the cold run a DfmFlowSession pays before apply()).
+  const Json open_reply = client.open(options.layout_path, options.top,
+                                      options.passes, options.litho_tile);
+  const std::string session = open_reply.get_string("session", "");
+  const Json* bbox = open_reply.find("bbox");
+  if (session.empty() || bbox == nullptr || bbox->as_array().size() != 4) {
+    throw std::runtime_error("loadgen: malformed open reply");
+  }
+  // Each client edits its own patch so concurrent storms against one
+  // shared session stay geometrically disjoint.
+  const std::int64_t x0 = bbox->as_array()[0].as_int();
+  const std::int64_t y0 = bbox->as_array()[1].as_int();
+  const std::int64_t x1 = bbox->as_array()[2].as_int();
+  const std::int64_t y1 = bbox->as_array()[3].as_int();
+  const std::int64_t patch = std::max<std::int64_t>(options.patch, 2);
+  const std::int64_t cx =
+      std::clamp((x0 + x1) / 2 + static_cast<std::int64_t>(index) * patch * 2,
+                 x0, std::max(x0, x1 - patch));
+  const std::int64_t cy = std::clamp((y0 + y1) / 2, y0,
+                                     std::max(y0, y1 - patch));
+
+  if (options.mode == "flow") {
+    do_requests([&] { client.flow(session); });
+  } else if (options.mode == "inc") {
+    bool add = true;
+    do_requests([&] {
+      client.edit(session,
+                  Json::Array{ServiceClient::make_edit(
+                      options.patch_layer, cx, cy, cx + patch, cy + patch,
+                      /*remove=*/!add)});
+      add = !add;
+    });
+  } else {
+    throw std::runtime_error("loadgen: unknown mode '" + options.mode + "'");
+  }
+  client.close_session(session);
+  return out;
+}
+
+}  // namespace
+
+LoadGenReport run_load(const LoadGenOptions& options) {
+  LoadGenReport report;
+  const unsigned clients = std::max(1u, options.clients);
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  std::mutex first_error_mu;
+  std::exception_ptr first_error;
+
+  const Clock::time_point start = Clock::now();
+  for (unsigned i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        results[i] = run_client(options, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(first_error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_ms = ms_since(start);
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (ClientResult& r : results) {
+    report.errors += r.errors;
+    report.backpressure += r.backpressure;
+    report.latencies_ms.insert(report.latencies_ms.end(),
+                               r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  report.requests = report.latencies_ms.size();
+
+  if (!report.latencies_ms.empty()) {
+    std::vector<double> sorted = report.latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    report.p50_ms = at(0.50);
+    report.p95_ms = at(0.95);
+    // Interquartile-trimmed mean, same trim bench_o1 uses.
+    const std::size_t trim = sorted.size() / 4;
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t i = trim; i < sorted.size() - trim; ++i, ++n) {
+      sum += sorted[i];
+    }
+    report.trimmed_mean_ms = n == 0 ? 0 : sum / static_cast<double>(n);
+  }
+  return report;
+}
+
+}  // namespace dfm::service

@@ -1,0 +1,56 @@
+// Load generator for the dfmkit service: N concurrent client
+// connections driving an open/edit/flow mix against a running server,
+// measuring per-request latency. Shared by `dfmkit client --bench` and
+// bench_s2_service.
+#pragma once
+
+#include "service/client.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfm::service {
+
+struct LoadGenOptions {
+  /// Where the server listens (exactly one must be set).
+  std::string unix_path;
+  int tcp_port = -1;
+
+  unsigned clients = 4;
+  unsigned requests_per_client = 16;
+
+  /// "inc":  open once per client, then timed incremental edits
+  ///         (alternating add/remove of a small patch, so the session
+  ///         geometry is restored after every pair);
+  /// "cold": every timed request is a fresh open (cold flow) + close;
+  /// "flow": open once per client, then timed report fetches.
+  std::string mode = "inc";
+
+  std::string layout_path;
+  std::string top;
+  std::vector<std::string> passes;
+  std::int64_t litho_tile = 0;
+  /// Edge of the square edit patch, in database units.
+  std::int64_t patch = 400;
+  std::string patch_layer = "m1";
+};
+
+struct LoadGenReport {
+  std::uint64_t requests = 0;     // timed requests that returned ok
+  std::uint64_t errors = 0;       // error replies other than queue_full
+  std::uint64_t backpressure = 0; // queue_full replies (retried)
+  double wall_ms = 0;             // whole storm, all clients
+  double p50_ms = 0;
+  double p95_ms = 0;
+  /// Interquartile-trimmed mean (middle half) of the latencies.
+  double trimmed_mean_ms = 0;
+  std::vector<double> latencies_ms;  // every ok-request latency, unsorted
+};
+
+/// Runs the storm. Throws ProtocolError/ServiceError when setup (the
+/// untimed opens) fails; per-request failures during the storm are
+/// counted, not thrown.
+LoadGenReport run_load(const LoadGenOptions& options);
+
+}  // namespace dfm::service

@@ -1,0 +1,761 @@
+#include "service/server.h"
+
+#include "core/telemetry.h"
+#include "core/version.h"
+#include "gdsii/gdsii.h"
+#include "oasis/oasis.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dfm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Library read_layout(const std::string& path) {
+  if (ends_with(path, ".oas") || ends_with(path, ".oasis")) {
+    return read_oasis_file(path);
+  }
+  return read_gdsii_file(path);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+/// One accepted connection. The reader thread owns the receive side; any
+/// executor may write a response, serialized by `write_mu`. The fd stays
+/// open (only shutdown(2), never close(2)) until the Conn is destroyed,
+/// so a late writer can never hit a recycled descriptor.
+struct ServiceServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+  std::atomic<bool> done{false};  // reader thread exited
+
+  void shut() {
+    if (open.exchange(false)) ::shutdown(fd, SHUT_RDWR);
+  }
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One open design. `mu` is the session's strand: an executor holds it
+/// for the duration of an op, so ops on one session serialize while
+/// different sessions run concurrently.
+struct ServiceServer::Session {
+  std::string id;
+  std::mutex mu;
+  std::unique_ptr<DfmFlowSession> flow;
+  std::atomic<std::int64_t> last_used_ns{0};
+
+  void touch() {
+    last_used_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+};
+
+/// An admitted request waiting for an executor.
+struct ServiceServer::Job {
+  std::shared_ptr<Conn> conn;
+  Json request;
+  std::uint64_t id = 0;
+  std::string op;
+  Clock::time_point arrival;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+};
+
+ServiceServer::ServiceServer(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.pool_threads) {
+  options_.workers = std::max(1u, options_.workers);
+}
+
+ServiceServer::~ServiceServer() {
+  request_shutdown();
+  wait();
+}
+
+void ServiceServer::start() {
+  if (started_) throw std::runtime_error("service: already started");
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    throw std::runtime_error("service: no listener configured");
+  }
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("service: unix path too long: " +
+                               options_.unix_path);
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (unix_fd_ < 0) {
+      throw std::runtime_error(std::string("service: socket: ") +
+                               std::strerror(errno));
+    }
+    ::unlink(options_.unix_path.c_str());  // stale socket from a past run
+    if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(unix_fd_, 64) != 0) {
+      const std::string why = std::strerror(errno);
+      close_fd(unix_fd_);
+      throw std::runtime_error("service: bind " + options_.unix_path + ": " +
+                               why);
+    }
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (tcp_fd_ < 0) {
+      close_fd(unix_fd_);
+      throw std::runtime_error(std::string("service: socket: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(tcp_fd_, 64) != 0) {
+      const std::string why = std::strerror(errno);
+      close_fd(unix_fd_);
+      close_fd(tcp_fd_);
+      throw std::runtime_error("service: bind tcp 127.0.0.1:" +
+                               std::to_string(options_.tcp_port) + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      resolved_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    close_fd(unix_fd_);
+    close_fd(tcp_fd_);
+    throw std::runtime_error(std::string("service: pipe: ") +
+                             std::strerror(errno));
+  }
+
+  started_ = true;
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  executors_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    executors_.emplace_back([this, i] { executor_loop(i); });
+  }
+}
+
+void ServiceServer::request_shutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Best-effort wake; the acceptor also polls with a timeout.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  queue_cv_.notify_all();
+}
+
+void ServiceServer::wait() {
+  std::lock_guard<std::mutex> wlock(wait_mu_);
+  if (joined_ || !started_) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  // Queue fully drained; now cut the connections so their readers exit.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [thread, conn] : conns_) conn->shut();
+  }
+  reap_finished_conns(/*join_all=*/true);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  joined_ = true;
+}
+
+ServiceStats ServiceServer::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.active_sessions = sessions_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
+  s.rejected_backpressure =
+      rejected_backpressure_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_acquire);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+void ServiceServer::acceptor_loop() {
+  telemetry::set_thread_name("service acceptor");
+  for (;;) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    const auto add = [&](int fd) {
+      if (fd >= 0) {
+        fds[n].fd = fd;
+        fds[n].events = POLLIN;
+        fds[n].revents = 0;
+        ++n;
+      }
+    };
+    add(unix_fd_);
+    add(tcp_fd_);
+    add(wake_pipe_[0]);
+    // The timeout doubles as the housekeeping tick (eviction, reaping).
+    const int rc = ::poll(fds, n, 200);
+    if (draining_.load(std::memory_order_acquire)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (nfds_t i = 0; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      if (fds[i].fd == wake_pipe_[0]) continue;  // handled by the flag check
+      const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      auto conn = std::make_shared<Conn>();
+      conn->fd = cfd;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = ++conn_seq_;
+      conns_.emplace_back(std::thread([this, conn] { conn_loop(conn); }),
+                          conn);
+    }
+    evict_idle_sessions();
+    reap_finished_conns(/*join_all=*/false);
+  }
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+}
+
+void ServiceServer::evict_idle_sessions() {
+  if (options_.idle_timeout_ms == 0) return;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  const std::int64_t limit_ns =
+      static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000000;
+  std::vector<std::shared_ptr<Session>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      // use_count 1 = no executor holds it, so nothing is in flight.
+      const bool idle =
+          it->second.use_count() == 1 &&
+          now_ns - it->second->last_used_ns.load(std::memory_order_relaxed) >
+              limit_ns;
+      if (idle) {
+        evicted.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    TELEM_GAUGE_SET("service.active_sessions", sessions_.size());
+  }
+  if (!evicted.empty()) {
+    sessions_evicted_.fetch_add(evicted.size(), std::memory_order_relaxed);
+    TELEM_COUNTER_ADD("service.sessions_evicted", evicted.size());
+  }
+  // Session destruction (snapshots, caches) happens here, outside the
+  // registry lock.
+}
+
+void ServiceServer::reap_finished_conns(bool join_all) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || it->second->done.load(std::memory_order_acquire)) {
+        to_join.push_back(std::move(it->first));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection reader
+
+Json ServiceServer::hello_payload() const {
+  Json::Object out;
+  out["op"] = Json("hello");
+  out["ok"] = Json(true);
+  out["server"] = Json("dfmkit");
+  out["protocol"] = Json(kProtocolVersion);
+  out["revision"] = Json(std::string(git_revision()));
+  out["build"] = Json(std::string(build_config()));
+  return Json(std::move(out));
+}
+
+void ServiceServer::send(const std::shared_ptr<Conn>& conn,
+                         const Json& response) {
+  const std::string payload = response.dump();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  try {
+    write_frame(conn->fd, payload);
+  } catch (const ProtocolError&) {
+    conn->shut();  // peer is gone; reader will notice and exit
+  }
+}
+
+void ServiceServer::conn_loop(std::shared_ptr<Conn> conn) {
+  telemetry::set_thread_name("service conn " + std::to_string(conn->id));
+  send(conn, hello_payload());
+  std::string payload;
+  while (conn->open.load(std::memory_order_acquire)) {
+    try {
+      if (!read_frame(conn->fd, payload, options_.max_frame_bytes)) break;
+    } catch (const ProtocolError& pe) {
+      // Framing is unrecoverable (the length prefix can no longer be
+      // trusted): structured error, then drop the connection. Sessions
+      // are server-scoped, so nothing leaks — an abandoned session is
+      // reclaimed by idle eviction.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      TELEM_COUNTER_ADD("service.protocol_errors", 1);
+      send(conn, make_error(0, pe.code(), pe.what()));
+      break;
+    }
+    handle_request(conn, payload);
+  }
+  conn->shut();
+  conn->done.store(true, std::memory_order_release);
+}
+
+void ServiceServer::handle_request(const std::shared_ptr<Conn>& conn,
+                                   const std::string& payload) {
+  Json req;
+  try {
+    req = Json::parse(payload);
+    if (!req.is_object()) throw JsonError("request is not a JSON object");
+  } catch (const JsonError& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    TELEM_COUNTER_ADD("service.protocol_errors", 1);
+    send(conn, make_error(0, errc::kBadJson, e.what()));
+    return;
+  }
+
+  std::uint64_t id = 0;
+  std::string op;
+  std::int64_t deadline_ms = 0;
+  try {
+    id = static_cast<std::uint64_t>(req.get_int("id", 0));
+    op = req.get_string("op", "");
+    deadline_ms = req.get_int(
+        "deadline_ms", static_cast<std::int64_t>(options_.default_deadline_ms));
+  } catch (const JsonError& e) {
+    send(conn, make_error(id, errc::kBadRequest, e.what()));
+    return;
+  }
+  if (op.empty()) {
+    send(conn, make_error(id, errc::kBadRequest, "missing \"op\""));
+    return;
+  }
+
+  // Control ops answer inline from the reader thread: they touch no
+  // session and must stay responsive even when the queue is full or the
+  // server is draining.
+  if (op == "ping") {
+    send(conn, make_ok(id));
+    return;
+  }
+  if (op == "version") {
+    Json::Object fields;
+    fields["revision"] = Json(std::string(git_revision()));
+    fields["build"] = Json(std::string(build_config()));
+    fields["protocol"] = Json(kProtocolVersion);
+    send(conn, make_ok(id, std::move(fields)));
+    return;
+  }
+  if (op == "stats") {
+    send(conn, inline_stats(id));
+    return;
+  }
+  if (op == "shutdown") {
+    send(conn, make_ok(id));
+    request_shutdown();
+    return;
+  }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    TELEM_COUNTER_ADD("service.rejected_shutdown", 1);
+    send(conn,
+         make_error(id, errc::kShuttingDown, "server is shutting down"));
+    return;
+  }
+
+  Job job;
+  job.conn = conn;
+  job.request = std::move(req);
+  job.id = id;
+  job.op = op;
+  job.arrival = Clock::now();
+  if (deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline = job.arrival + std::chrono::milliseconds(deadline_ms);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.max_queue) {
+      const std::size_t depth = queue_.size();
+      lock.unlock();
+      rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      TELEM_COUNTER_ADD("service.rejected_backpressure", 1);
+      send(conn, make_error(id, errc::kQueueFull,
+                            "admission queue full (" + std::to_string(depth) +
+                                "/" + std::to_string(options_.max_queue) +
+                                "); retry later"));
+      return;
+    }
+    queue_.push_back(std::move(job));
+    const auto depth = static_cast<std::uint64_t>(queue_.size());
+    std::uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen && !max_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+    TELEM_GAUGE_SET("service.queue_depth", depth);
+    TELEM_HIST_OBSERVE("service.queue_depth", ({0, 1, 2, 4, 8, 16, 32, 64}),
+                       depth);
+  }
+  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  TELEM_COUNTER_ADD("service.requests", 1);
+  queue_cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+
+void ServiceServer::executor_loop(unsigned index) {
+  telemetry::set_thread_name("service executor " + std::to_string(index));
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        // Draining and nothing left: in-flight work is done, exit.
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      TELEM_GAUGE_SET("service.queue_depth", queue_.size());
+    }
+
+    Json response;
+    {
+      TELEM_SPAN_ARG("service/request", job.id);
+      if (job.has_deadline && Clock::now() > job.deadline) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        TELEM_COUNTER_ADD("service.deadline_exceeded", 1);
+        response = make_error(job.id, errc::kDeadlineExceeded,
+                              "request spent its deadline in the queue");
+      } else {
+        try {
+          response = execute(job);
+        } catch (const ProtocolError& pe) {
+          response = make_error(job.id, pe.code(), pe.what());
+        } catch (const JsonError& je) {
+          response = make_error(job.id, errc::kBadRequest, je.what());
+        } catch (const std::exception& e) {
+          response = make_error(job.id, errc::kInternal, e.what());
+        }
+      }
+    }
+    send(job.conn, response);
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    TELEM_HIST_OBSERVE("service.request_ms",
+                       ({1, 5, 10, 50, 100, 500, 1000, 5000}),
+                       ms_since(job.arrival));
+  }
+}
+
+Json ServiceServer::execute(Job& job) {
+  if (job.op == "open") return op_open(job.id, job.request);
+  if (job.op == "edit") return op_edit(job.id, job.request);
+  if (job.op == "flow") return op_flow(job.id, job.request);
+  if (job.op == "close") return op_close(job.id, job.request);
+  if (job.op == "sleep" && options_.enable_debug_ops) {
+    const std::int64_t ms =
+        std::clamp<std::int64_t>(job.request.get_int("ms", 0), 0, 10000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return make_ok(job.id);
+  }
+  throw ProtocolError(errc::kUnknownOp, "unknown op '" + job.op + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Analysis ops
+
+std::shared_ptr<ServiceServer::Session> ServiceServer::find_session(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Json ServiceServer::op_open(std::uint64_t id, const Json& req) {
+  const std::string path = req.get_string("path", "");
+  if (path.empty()) {
+    throw ProtocolError(errc::kBadRequest, "open: missing \"path\"");
+  }
+  const std::string top_name = req.get_string("top", "");
+  std::vector<std::string> passes;
+  if (const Json* p = req.find("passes")) {
+    for (const Json& e : p->as_array()) {
+      const std::string& name = e.as_string();
+      if (canonical_flow_pass(name).empty()) {
+        throw ProtocolError(errc::kBadRequest,
+                            "open: unknown pass '" + name + "'");
+      }
+      passes.push_back(name);
+    }
+  }
+  const std::int64_t litho_tile = req.get_int("litho_tile", 0);
+
+  // Reserve the registry slot up front: the max-sessions limit is
+  // enforced before any expensive work, and concurrent opens cannot
+  // overshoot it.
+  auto session = std::make_shared<Session>();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      throw ProtocolError(errc::kTooManySessions,
+                          "open: session limit reached (" +
+                              std::to_string(options_.max_sessions) + ")");
+    }
+    session->id = "s" + std::to_string(++session_seq_);
+    sessions_[session->id] = session;
+    TELEM_GAUGE_SET("service.active_sessions", sessions_.size());
+  }
+
+  std::string report;
+  Rect bbox = Rect::empty();
+  try {
+    std::lock_guard<std::mutex> slock(session->mu);
+    Library lib = [&] {
+      try {
+        return read_layout(path);
+      } catch (const std::exception& e) {
+        throw ProtocolError(errc::kBadRequest,
+                            "open: " + path + ": " + e.what());
+      }
+    }();
+    std::uint32_t top = 0;
+    try {
+      if (top_name.empty()) {
+        const auto tops = lib.top_cells();
+        if (tops.empty()) throw std::runtime_error("library has no cells");
+        top = tops.front();
+      } else {
+        top = lib.index_of(top_name);
+      }
+    } catch (const std::exception& e) {
+      throw ProtocolError(errc::kBadRequest, "open: " + std::string(e.what()));
+    }
+    DfmFlowOptions fo = options_.flow;
+    fo.pool = &pool_;  // all sessions share the server's compute pool
+    if (!passes.empty()) fo.passes = std::move(passes);
+    if (litho_tile > 0) fo.litho_tile = litho_tile;
+    session->flow = std::make_unique<DfmFlowSession>(lib, top, fo);
+    report = flow_report_canonical_json(session->flow->report());
+    bbox = session->flow->snapshot().bbox();
+    session->touch();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session->id);
+    TELEM_GAUGE_SET("service.active_sessions", sessions_.size());
+    throw;
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  TELEM_COUNTER_ADD("service.sessions_opened", 1);
+
+  Json::Object fields;
+  fields["session"] = Json(session->id);
+  fields["report"] = Json(std::move(report));
+  fields["bbox"] = Json(Json::Array{Json(bbox.lo.x), Json(bbox.lo.y),
+                                    Json(bbox.hi.x), Json(bbox.hi.y)});
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::op_edit(std::uint64_t id, const Json& req) {
+  const std::string sid = req.get_string("session", "");
+  const auto session = find_session(sid);
+  if (!session) {
+    throw ProtocolError(errc::kUnknownSession,
+                        "edit: unknown session '" + sid + "'");
+  }
+  const Json* edits = req.find("edits");
+  if (edits == nullptr) {
+    throw ProtocolError(errc::kBadRequest, "edit: missing \"edits\"");
+  }
+  // One edit request = one LayoutDelta = one incremental splice, exactly
+  // like one DfmFlowSession::apply() call.
+  LayoutDelta delta;
+  for (const Json& item : edits->as_array()) {
+    const LayerKey layer = layer_from_name(item.get_string("layer", ""));
+    const Json* r = item.find("rect");
+    if (r == nullptr || !r->is_array() || r->as_array().size() != 4) {
+      throw ProtocolError(errc::kBadRequest,
+                          "edit: \"rect\" must be [x0,y0,x1,y1]");
+    }
+    const Json::Array& c = r->as_array();
+    const Rect rect{c[0].as_int(), c[1].as_int(), c[2].as_int(),
+                    c[3].as_int()};
+    if (rect.is_empty()) {
+      throw ProtocolError(errc::kBadRequest, "edit: empty rect");
+    }
+    if (item.get_bool("remove", false)) {
+      delta.remove(layer, rect);
+    } else {
+      delta.add(layer, rect);
+    }
+  }
+
+  std::string report;
+  {
+    std::lock_guard<std::mutex> slock(session->mu);
+    if (!session->flow) {
+      throw ProtocolError(errc::kUnknownSession,
+                          "edit: session '" + sid + "' is gone");
+    }
+    const DfmFlowReport& rep = session->flow->apply(delta);
+    report = flow_report_canonical_json(rep);
+    session->touch();
+  }
+  Json::Object fields;
+  fields["session"] = Json(sid);
+  fields["report"] = Json(std::move(report));
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::op_flow(std::uint64_t id, const Json& req) {
+  const std::string sid = req.get_string("session", "");
+  const auto session = find_session(sid);
+  if (!session) {
+    throw ProtocolError(errc::kUnknownSession,
+                        "flow: unknown session '" + sid + "'");
+  }
+  std::string report;
+  {
+    std::lock_guard<std::mutex> slock(session->mu);
+    if (!session->flow) {
+      throw ProtocolError(errc::kUnknownSession,
+                          "flow: session '" + sid + "' is gone");
+    }
+    report = flow_report_canonical_json(session->flow->report());
+    session->touch();
+  }
+  Json::Object fields;
+  fields["session"] = Json(sid);
+  fields["report"] = Json(std::move(report));
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::op_close(std::uint64_t id, const Json& req) {
+  const std::string sid = req.get_string("session", "");
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) {
+      throw ProtocolError(errc::kUnknownSession,
+                          "close: unknown session '" + sid + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+    TELEM_GAUGE_SET("service.active_sessions", sessions_.size());
+  }
+  // In-flight ops on this session hold their own shared_ptr; the state
+  // is destroyed when the last one finishes.
+  return make_ok(id, {{"session", Json(sid)}});
+}
+
+Json ServiceServer::inline_stats(std::uint64_t id) const {
+  const ServiceStats s = stats();
+  Json::Object fields;
+  fields["active_sessions"] = Json(s.active_sessions);
+  fields["queue_depth"] = Json(s.queue_depth);
+  fields["max_queue_depth"] = Json(s.max_queue_depth);
+  fields["requests_admitted"] = Json(s.requests_admitted);
+  fields["requests_completed"] = Json(s.requests_completed);
+  fields["rejected_backpressure"] = Json(s.rejected_backpressure);
+  fields["rejected_shutdown"] = Json(s.rejected_shutdown);
+  fields["deadline_exceeded"] = Json(s.deadline_exceeded);
+  fields["sessions_opened"] = Json(s.sessions_opened);
+  fields["sessions_evicted"] = Json(s.sessions_evicted);
+  fields["protocol_errors"] = Json(s.protocol_errors);
+  fields["draining"] = Json(s.draining);
+  return make_ok(id, std::move(fields));
+}
+
+}  // namespace dfm::service

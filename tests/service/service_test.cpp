@@ -1,0 +1,374 @@
+// ServiceServer behavior: served reports byte-identical to the direct
+// library call (at 1 and 8 server workers), admission-queue
+// backpressure, session limits, deadlines, idle eviction, the version
+// handshake, and an 8-client mixed storm with a mid-storm graceful
+// shutdown. Runs under the tsan/asan presets like every other tier-1
+// test.
+#include "service/server.h"
+
+#include "core/incremental.h"
+#include "core/version.h"
+#include "gdsii/gdsii.h"
+#include "gen/generators.h"
+#include "service/client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace dfm::service {
+namespace {
+
+const std::vector<std::string> kFastPasses = {"drc", "nets", "vias", "caa"};
+
+std::string demo_gds() {
+  static const std::string path = [] {
+    DesignParams p;
+    p.seed = 3;
+    p.rows = 2;
+    p.cells_per_row = 5;
+    p.routes = 10;
+    // pid-suffixed: concurrent test processes each write their own copy.
+    const std::string out = ::testing::TempDir() + "dfm_service_demo_" +
+                            std::to_string(::getpid()) + ".gds";
+    write_gdsii_file(generate_design(p), out);
+    return out;
+  }();
+  return path;
+}
+
+ServiceOptions base_options(const std::string& tag) {
+  ServiceOptions opt;
+  // pid-suffixed: parallel ctest runs each test as its own process.
+  opt.unix_path = ::testing::TempDir() + "dfm_svc_" + tag + "_" +
+                  std::to_string(::getpid()) + ".sock";
+  opt.workers = 2;
+  opt.pool_threads = 2;
+  opt.flow.passes = kFastPasses;
+  return opt;
+}
+
+Json edit_patch(bool remove) {
+  return ServiceClient::make_edit("m1", 1000, 1000, 1400, 1400, remove);
+}
+
+// --------------------------------------------------------------------------
+
+TEST(Service, HelloCarriesVersionHandshake) {
+  ServiceServer server(base_options("hello"));
+  server.start();
+  ServiceClient client = ServiceClient::connect_unix(
+      server.options().unix_path);
+  const Json& hello = client.hello();
+  EXPECT_EQ(hello.get_string("op", ""), "hello");
+  EXPECT_EQ(hello.get_string("server", ""), "dfmkit");
+  EXPECT_EQ(hello.get_int("protocol", 0), kProtocolVersion);
+  EXPECT_EQ(hello.get_string("revision", ""), git_revision());
+  EXPECT_EQ(hello.get_string("build", ""), build_config());
+  // The "version" op reports the same stamp.
+  const Json v = client.version();
+  EXPECT_EQ(v.get_string("revision", ""), git_revision());
+}
+
+TEST(Service, TcpLoopbackWorks) {
+  ServiceOptions opt = base_options("tcp");
+  opt.unix_path.clear();
+  opt.tcp_port = 0;  // ephemeral
+  ServiceServer server(std::move(opt));
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  ServiceClient client = ServiceClient::connect_tcp(server.tcp_port());
+  EXPECT_TRUE(client.ping().get_bool("ok", false));
+}
+
+/// The tentpole equivalence gate: a served open + edits must return the
+/// exact bytes the direct library path produces, with 1 and with 8
+/// server workers.
+class ServedEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ServedEquivalence, ReportsBitIdenticalToDirectSession) {
+  // Direct library run.
+  const Library lib = read_gdsii_file(demo_gds());
+  DfmFlowOptions direct_opt;
+  direct_opt.passes = kFastPasses;
+  direct_opt.threads = 2;
+  DfmFlowSession direct(lib, lib.top_cells().front(), direct_opt);
+  const std::string direct_cold = flow_report_canonical_json(direct.report());
+
+  LayoutDelta add;
+  add.add(layers::kMetal1, Rect{1000, 1000, 1400, 1400});
+  const std::string direct_after_add =
+      flow_report_canonical_json(direct.apply(add));
+  LayoutDelta remove;
+  remove.remove(layers::kMetal1, Rect{1000, 1000, 1400, 1400});
+  const std::string direct_after_remove =
+      flow_report_canonical_json(direct.apply(remove));
+
+  // Served run, same schedule.
+  ServiceOptions opt = base_options("equiv" + std::to_string(GetParam()));
+  opt.workers = GetParam();
+  ServiceServer server(std::move(opt));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+  const Json opened = client.open(demo_gds());
+  const std::string session = opened.get_string("session", "");
+  ASSERT_FALSE(session.empty());
+  EXPECT_EQ(opened.get_string("report", ""), direct_cold);
+
+  const Json after_add = client.edit(session, {edit_patch(false)});
+  EXPECT_EQ(after_add.get_string("report", ""), direct_after_add);
+  const Json after_remove = client.edit(session, {edit_patch(true)});
+  EXPECT_EQ(after_remove.get_string("report", ""), direct_after_remove);
+
+  // "flow" re-serves the current report without recomputing.
+  EXPECT_EQ(client.flow(session).get_string("report", ""),
+            direct_after_remove);
+  client.close_session(session);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ServedEquivalence,
+                         ::testing::Values(1u, 8u));
+
+TEST(Service, BackpressureRepliesWhenQueueFull) {
+  ServiceOptions opt = base_options("backpressure");
+  opt.workers = 1;
+  opt.max_queue = 1;
+  opt.enable_debug_ops = true;
+  ServiceServer server(std::move(opt));
+  server.start();
+
+  // One sleeper occupies the single worker, one more fills the queue;
+  // everything past that must get an immediate queue_full error.
+  ServiceClient blocker =
+      ServiceClient::connect_unix(server.options().unix_path);
+  std::thread sleeper([&] {
+    blocker.call(Json::parse("{\"op\":\"sleep\",\"ms\":400,\"id\":1}"));
+  });
+  // Wait until the sleeper is actually running (queue drained to 0).
+  ServiceClient prober =
+      ServiceClient::connect_unix(server.options().unix_path);
+  for (int i = 0; i < 200; ++i) {
+    const Json s = prober.stats();
+    if (s.get_int("requests_admitted", 0) >= 1 &&
+        s.get_int("queue_depth", 1) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Six concurrent floods: the single worker is busy, the queue holds
+  // one, so at least four must bounce with queue_full immediately.
+  std::atomic<unsigned> queue_full{0};
+  std::vector<std::thread> flood;
+  for (int i = 0; i < 6; ++i) {
+    flood.emplace_back([&] {
+      ServiceClient c =
+          ServiceClient::connect_unix(server.options().unix_path);
+      const Json reply =
+          c.call(Json::parse("{\"op\":\"sleep\",\"ms\":400}"));
+      if (!reply.get_bool("ok", true) &&
+          reply.get_string("error", "") == errc::kQueueFull) {
+        queue_full.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : flood) t.join();
+  EXPECT_GE(queue_full.load(), 4u) << "full queue must reject, not block";
+  sleeper.join();
+  EXPECT_GE(prober.stats().get_int("rejected_backpressure", 0), 4);
+}
+
+TEST(Service, SessionLimitYieldsStructuredError) {
+  ServiceOptions opt = base_options("maxsessions");
+  opt.max_sessions = 1;
+  ServiceServer server(std::move(opt));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+  const std::string first =
+      client.open(demo_gds()).get_string("session", "");
+  try {
+    client.open(demo_gds());
+    FAIL() << "second open should hit the session limit";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), errc::kTooManySessions);
+  }
+  // Closing frees the slot.
+  client.close_session(first);
+  EXPECT_FALSE(client.open(demo_gds()).get_string("session", "").empty());
+}
+
+TEST(Service, QueuedPastDeadlineIsRefused) {
+  ServiceOptions opt = base_options("deadline");
+  opt.workers = 1;
+  opt.enable_debug_ops = true;
+  ServiceServer server(std::move(opt));
+  server.start();
+  ServiceClient blocker =
+      ServiceClient::connect_unix(server.options().unix_path);
+  std::thread sleeper([&] {
+    blocker.call(Json::parse("{\"op\":\"sleep\",\"ms\":300,\"id\":1}"));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+  // Will sit behind the 300ms sleeper but only has a 10ms budget.
+  const Json reply = client.call(
+      Json::parse("{\"op\":\"sleep\",\"ms\":1,\"deadline_ms\":10}"));
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_string("error", ""), errc::kDeadlineExceeded);
+  sleeper.join();
+}
+
+TEST(Service, IdleSessionsAreEvicted) {
+  ServiceOptions opt = base_options("evict");
+  opt.idle_timeout_ms = 50;  // housekeeping tick is 200ms
+  ServiceServer server(std::move(opt));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+  const std::string session =
+      client.open(demo_gds()).get_string("session", "");
+  ASSERT_FALSE(session.empty());
+  Json stats = client.stats();
+  EXPECT_EQ(stats.get_int("active_sessions", -1), 1);
+  for (int i = 0; i < 100 && stats.get_int("active_sessions", -1) != 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stats = client.stats();
+  }
+  EXPECT_EQ(stats.get_int("active_sessions", -1), 0);
+  EXPECT_EQ(stats.get_int("sessions_evicted", -1), 1);
+  try {
+    client.flow(session);
+    FAIL() << "evicted session should be unknown";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), errc::kUnknownSession);
+  }
+}
+
+TEST(Service, ShutdownOpDrainsAndRefusesNewWork) {
+  ServiceServer server(base_options("shutdownop"));
+  server.start();
+  const std::string path = server.options().unix_path;
+  {
+    ServiceClient client = ServiceClient::connect_unix(path);
+    client.shutdown_server();
+  }
+  server.wait();  // returns because the op triggered the drain
+  EXPECT_TRUE(server.draining());
+  EXPECT_THROW(ServiceClient::connect_unix(path), ProtocolError);
+}
+
+TEST(Service, EightClientStormWithMidStormShutdown) {
+  ServiceOptions opt = base_options("storm");
+  opt.workers = 4;
+  opt.pool_threads = 4;
+  opt.max_sessions = 12;
+  opt.max_queue = 8;
+  ServiceServer server(std::move(opt));
+  server.start();
+  const std::string path = server.options().unix_path;
+
+  // A session every client hammers concurrently, besides its own.
+  ServiceClient setup = ServiceClient::connect_unix(path);
+  const std::string shared =
+      setup.open(demo_gds()).get_string("session", "");
+  ASSERT_FALSE(shared.empty());
+
+  std::atomic<std::uint64_t> ok_replies{0};
+  std::atomic<std::uint64_t> rejections{0};
+  std::atomic<bool> invariant_broken{false};
+  std::vector<std::thread> clients;
+  clients.reserve(8);
+  for (unsigned c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ServiceClient client = ServiceClient::connect_unix(path);
+        std::string own;
+        for (int i = 0; i < 40; ++i) {
+          Json reply;
+          switch ((i + static_cast<int>(c)) % 4) {
+            case 0:
+              if (own.empty()) {
+                reply = client.call(Json::parse(
+                    "{\"op\":\"open\",\"path\":\"" + demo_gds() + "\"}"));
+                if (reply.get_bool("ok", false)) {
+                  own = reply.get_string("session", "");
+                }
+                break;
+              }
+              [[fallthrough]];
+            case 1:
+              reply = client.call(Json(Json::Object{
+                  {"op", Json("edit")},
+                  {"session", Json(own.empty() ? shared : own)},
+                  {"edits", Json(Json::Array{edit_patch(i % 2 == 1)})}}));
+              break;
+            case 2:
+              reply = client.call(Json(Json::Object{
+                  {"op", Json("flow")}, {"session", Json(shared)}}));
+              break;
+            default:
+              reply = client.stats();
+              break;
+          }
+          if (reply.get_bool("ok", false)) {
+            ok_replies.fetch_add(1);
+          } else {
+            const std::string code = reply.get_string("error", "");
+            // Under storm + shutdown these are the only legal failures.
+            if (code != errc::kShuttingDown && code != errc::kQueueFull &&
+                code != errc::kTooManySessions &&
+                code != errc::kUnknownSession) {
+              invariant_broken.store(true);
+            }
+            rejections.fetch_add(1);
+          }
+        }
+      } catch (const ProtocolError&) {
+        // Connection cut by shutdown: expected for late clients.
+      } catch (const JsonError&) {
+        invariant_broken.store(true);
+      }
+    });
+  }
+
+  // Let the storm develop, then pull the plug while requests are in
+  // flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server.request_shutdown();
+  for (std::thread& t : clients) t.join();
+  server.wait();
+
+  EXPECT_FALSE(invariant_broken.load());
+  EXPECT_GT(ok_replies.load(), 0u);
+  const ServiceStats stats = server.stats();
+  // Graceful: everything admitted was answered, nothing abandoned.
+  EXPECT_EQ(stats.requests_admitted, stats.requests_completed);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(Service, StatsOpMatchesServerStats) {
+  ServiceServer server(base_options("stats"));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+  client.ping();
+  const Json s = client.stats();
+  EXPECT_EQ(s.get_int("active_sessions", -1), 0);
+  EXPECT_FALSE(s.get_bool("draining", true));
+  EXPECT_EQ(static_cast<std::uint64_t>(s.get_int("requests_admitted", -1)),
+            server.stats().requests_admitted);
+}
+
+}  // namespace
+}  // namespace dfm::service

@@ -1,0 +1,358 @@
+#include "cli_service.h"
+
+#include "core/telemetry.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <unistd.h>
+
+namespace dfm::cli {
+
+namespace {
+
+using service::Json;
+using service::LoadGenOptions;
+using service::LoadGenReport;
+using service::ServiceClient;
+using service::ServiceOptions;
+using service::ServiceServer;
+
+/// Tiny argv walker: collects positionals, resolves --flag / --flag value.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  static Args parse(int argc, char** argv, int start,
+                    const std::vector<std::string>& value_flags) {
+    Args out;
+    for (int i = start; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        out.positional.push_back(a);
+        continue;
+      }
+      const bool takes_value =
+          std::find(value_flags.begin(), value_flags.end(), a) !=
+          value_flags.end();
+      if (takes_value) {
+        if (i + 1 >= argc) throw std::runtime_error(a + " needs a value");
+        out.flags.emplace_back(a, argv[++i]);
+      } else {
+        out.flags.emplace_back(a, "");
+      }
+    }
+    return out;
+  }
+
+  const std::string* get(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& name) const { return get(name) != nullptr; }
+  std::string str(const std::string& name, const std::string& dflt) const {
+    const std::string* v = get(name);
+    return v ? *v : dflt;
+  }
+  long num(const std::string& name, long dflt) const {
+    const std::string* v = get(name);
+    if (!v) return dflt;
+    char* end = nullptr;
+    const long n = std::strtol(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') {
+      throw std::runtime_error(name + ": not a number: '" + *v + "'");
+    }
+    return n;
+  }
+};
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > pos) out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// SIGTERM/SIGINT land on a self-pipe (the only async-signal-safe way to
+// reach the server's shutdown path); a watcher thread turns the byte
+// into a request_shutdown().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+void print_loadgen(const LoadGenReport& rep, const LoadGenOptions& opt) {
+  // Parseable: tools/run_benches.sh greps these SERVICE lines.
+  std::printf(
+      "SERVICE clients=%u mode=%s requests=%llu p50_ms=%.3f p95_ms=%.3f "
+      "trimmed_mean_ms=%.3f backpressure=%llu errors=%llu wall_ms=%.1f\n",
+      opt.clients, opt.mode.c_str(),
+      static_cast<unsigned long long>(rep.requests), rep.p50_ms, rep.p95_ms,
+      rep.trimmed_mean_ms, static_cast<unsigned long long>(rep.backpressure),
+      static_cast<unsigned long long>(rep.errors), rep.wall_ms);
+}
+
+}  // namespace
+
+int cmd_serve(int argc, char** argv, unsigned threads) {
+  const Args args = Args::parse(
+      argc, argv, 2,
+      {"--socket", "--tcp", "--workers", "--pool-threads", "--max-sessions",
+       "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
+       "--litho-tile", "--trace-out"});
+  if (!args.positional.empty()) {
+    throw std::runtime_error(
+        "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
+        "[--pool-threads N] [--max-sessions N] [--max-queue N] "
+        "[--idle-timeout-ms N] [--deadline-ms N] [--passes a,b,...] "
+        "[--litho-tile N] [--trace-out <path>] [--debug-ops]");
+  }
+
+  ServiceOptions opt;
+  opt.unix_path = args.str("--socket", "");
+  opt.tcp_port = args.has("--tcp")
+                     ? static_cast<int>(args.num("--tcp", 0))
+                     : -1;
+  if (opt.unix_path.empty() && opt.tcp_port < 0) {
+    opt.unix_path = "dfmkit.sock";  // default: unix socket in the cwd
+  }
+  opt.workers = static_cast<unsigned>(args.num("--workers", 2));
+  opt.pool_threads = static_cast<unsigned>(
+      args.num("--pool-threads", static_cast<long>(threads)));
+  opt.max_sessions = static_cast<std::size_t>(args.num("--max-sessions", 8));
+  opt.max_queue = static_cast<std::size_t>(args.num("--max-queue", 16));
+  opt.idle_timeout_ms =
+      static_cast<std::uint64_t>(args.num("--idle-timeout-ms", 0));
+  opt.default_deadline_ms =
+      static_cast<std::uint64_t>(args.num("--deadline-ms", 0));
+  opt.enable_debug_ops = args.has("--debug-ops");
+  opt.flow.tech = Tech::standard();
+  opt.flow.model.sigma = 25;
+  opt.flow.model.px = 5;
+  for (const std::string& name : split_commas(args.str("--passes", ""))) {
+    if (canonical_flow_pass(name).empty()) {
+      throw std::runtime_error("--passes: unknown pass '" + name + "'");
+    }
+    opt.flow.passes.push_back(name);
+  }
+  const long litho_tile = args.num("--litho-tile", 0);
+  if (litho_tile > 0) opt.flow.litho_tile = litho_tile;
+
+  const std::string trace_path = args.str("--trace-out", "");
+  if (!trace_path.empty() && !telemetry::compiled_in()) {
+    std::fprintf(stderr,
+                 "dfmkit: --trace-out: telemetry was compiled out "
+                 "(DFMKIT_TELEMETRY=OFF); the trace will be empty\n");
+  }
+  if (!trace_path.empty()) {
+    telemetry::set_thread_name("main");
+    telemetry::set_enabled(true);
+  }
+
+  ServiceServer server(std::move(opt));
+  server.start();
+  if (!server.options().unix_path.empty()) {
+    std::printf("dfmkit serve: listening on unix:%s\n",
+                server.options().unix_path.c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("dfmkit serve: listening on tcp:127.0.0.1:%d\n",
+                server.tcp_port());
+  }
+  std::fflush(stdout);  // readiness marker for scripts tailing the log
+
+  if (::pipe(g_signal_pipe) != 0) {
+    throw std::runtime_error("serve: cannot create signal pipe");
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::thread watcher([&server] {
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.request_shutdown();
+  });
+
+  // Blocks until a SIGTERM/SIGINT or a client "shutdown" op drains the
+  // server.
+  server.wait();
+  std::printf("dfmkit serve: drained, exiting\n");
+
+  // Unblock the watcher if shutdown came from a client op.
+  on_signal(0);
+  watcher.join();
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+
+  if (!trace_path.empty()) {
+    telemetry::set_enabled(false);
+    const telemetry::MetricsSnapshot metrics = telemetry::metrics_snapshot();
+    const telemetry::TraceSnapshot trace = telemetry::drain();
+    std::ofstream out(trace_path);
+    if (!out) throw std::runtime_error("cannot write " + trace_path);
+    out << telemetry::chrome_trace_json(trace, metrics);
+    std::printf("wrote %s (%zu spans, %u threads)\n", trace_path.c_str(),
+                trace.total_events(),
+                static_cast<unsigned>(trace.threads.size()));
+  }
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv, 2,
+      {"--socket", "--tcp", "--json", "--top", "--passes", "--litho-tile",
+       "--clients", "--requests", "--mode", "--patch"});
+  const auto usage = [] {
+    return std::runtime_error(
+        "usage: dfmkit client [--socket <path> | --tcp <port>] <action>\n"
+        "  actions:\n"
+        "    ping | version | stats | shutdown\n"
+        "    open <layout> [--top <cell>] [--passes a,b,...] "
+        "[--litho-tile N]\n"
+        "    edit <session> <layer>:<x0>,<y0>,<x1>,<y1>[:remove]...\n"
+        "    flow <session> [--json <path>]\n"
+        "    close <session>\n"
+        "    bench <layout> [--clients N] [--requests N] "
+        "[--mode inc|cold|flow] [--patch N] [--top <cell>] "
+        "[--passes a,b,...] [--litho-tile N]");
+  };
+  if (args.positional.empty()) throw usage();
+  const std::string action = args.positional[0];
+  const std::string socket = args.str("--socket", "");
+  const int tcp = args.has("--tcp")
+                      ? static_cast<int>(args.num("--tcp", 0))
+                      : -1;
+
+  const auto connect = [&]() -> ServiceClient {
+    if (!socket.empty()) return ServiceClient::connect_unix(socket);
+    if (tcp >= 0) return ServiceClient::connect_tcp(tcp);
+    return ServiceClient::connect_unix("dfmkit.sock");
+  };
+
+  if (action == "bench") {
+    if (args.positional.size() < 2) throw usage();
+    LoadGenOptions opt;
+    opt.unix_path = (socket.empty() && tcp < 0) ? "dfmkit.sock" : socket;
+    opt.tcp_port = tcp;
+    opt.layout_path = args.positional[1];
+    opt.top = args.str("--top", "");
+    opt.passes = split_commas(args.str("--passes", ""));
+    opt.litho_tile = args.num("--litho-tile", 0);
+    opt.clients = static_cast<unsigned>(args.num("--clients", 4));
+    opt.requests_per_client =
+        static_cast<unsigned>(args.num("--requests", 16));
+    opt.mode = args.str("--mode", "inc");
+    opt.patch = args.num("--patch", 400);
+    const LoadGenReport rep = service::run_load(opt);
+    print_loadgen(rep, opt);
+    return rep.errors == 0 ? 0 : 1;
+  }
+
+  ServiceClient client = connect();
+  if (action == "ping") {
+    client.ping();
+    std::printf("ok\n");
+    return 0;
+  }
+  if (action == "version") {
+    const Json reply = client.version();
+    std::printf("server %s (%s) protocol %lld\n",
+                reply.get_string("revision", "?").c_str(),
+                reply.get_string("build", "?").c_str(),
+                static_cast<long long>(reply.get_int("protocol", 0)));
+    return 0;
+  }
+  if (action == "stats") {
+    std::printf("%s\n", client.stats().dump().c_str());
+    return 0;
+  }
+  if (action == "shutdown") {
+    client.shutdown_server();
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  if (action == "open") {
+    if (args.positional.size() < 2) throw usage();
+    const Json reply =
+        client.open(args.positional[1], args.str("--top", ""),
+                    split_commas(args.str("--passes", "")),
+                    args.num("--litho-tile", 0));
+    std::printf("session %s\n", reply.get_string("session", "?").c_str());
+    return 0;
+  }
+  if (action == "edit") {
+    if (args.positional.size() < 3) throw usage();
+    Json::Array edits;
+    for (std::size_t i = 2; i < args.positional.size(); ++i) {
+      // <layer>:<x0>,<y0>,<x1>,<y1>[:remove] — same spec as flow --edit.
+      const std::string& spec = args.positional[i];
+      const std::size_t c1 = spec.find(':');
+      if (c1 == std::string::npos) throw usage();
+      const std::size_t c2 = spec.find(':', c1 + 1);
+      const std::string layer = spec.substr(0, c1);
+      const std::string coords = spec.substr(
+          c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+      const bool remove =
+          c2 != std::string::npos && spec.substr(c2 + 1) == "remove";
+      std::vector<std::int64_t> xy;
+      for (const std::string& tok : split_commas(coords)) {
+        xy.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+      }
+      if (xy.size() != 4) throw usage();
+      edits.push_back(
+          ServiceClient::make_edit(layer, xy[0], xy[1], xy[2], xy[3], remove));
+    }
+    const Json reply = client.edit(args.positional[1], std::move(edits));
+    std::printf("ok %s\n", reply.get_string("session", "?").c_str());
+    return 0;
+  }
+  if (action == "flow") {
+    if (args.positional.size() < 2) throw usage();
+    const Json reply = client.flow(args.positional[1]);
+    const std::string report = reply.get_string("report", "");
+    const std::string json_path = args.str("--json", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot write " + json_path);
+      out << report;
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("%s\n", report.c_str());
+    }
+    return 0;
+  }
+  if (action == "close") {
+    if (args.positional.size() < 2) throw usage();
+    client.close_session(args.positional[1]);
+    std::printf("closed %s\n", args.positional[1].c_str());
+    return 0;
+  }
+  throw usage();
+}
+
+}  // namespace dfm::cli

@@ -1,0 +1,15 @@
+// The service-facing dfmkit subcommands, split out of dfmkit_cli.cpp:
+//   dfmkit serve   — run the resident analysis daemon
+//   dfmkit client  — drive a running daemon (one-shot ops or load gen)
+#pragma once
+
+namespace dfm::cli {
+
+/// `dfmkit serve ...`; argv/argc are main()'s (argv[1] == "serve").
+/// `threads` is the global --threads value (compute pool size).
+int cmd_serve(int argc, char** argv, unsigned threads);
+
+/// `dfmkit client ...`.
+int cmd_client(int argc, char** argv);
+
+}  // namespace dfm::cli

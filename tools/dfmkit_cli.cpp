@@ -24,12 +24,23 @@
 //                                      and re-analyzes only the damage
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
+//   dfmkit serve ...                   resident analysis daemon (sessions,
+//                                      incremental edits, backpressure)
+//                                      over a unix socket / loopback TCP;
+//                                      see tools/cli_service.cpp
+//   dfmkit client ...                  drive a running daemon: one-shot
+//                                      ops (open/edit/flow/close/stats/
+//                                      shutdown) or `bench` load storms
+//   dfmkit --version                   build stamp: git revision +
+//                                      build configuration
 //
 // --threads N caps the parallelism of the heavy passes (0, the default,
 // means hardware concurrency; 1 forces the serial path). Results are
 // bit-identical for every N.
+#include "cli_service.h"
 #include "core/dfm_flow.h"
 #include "core/incremental.h"
+#include "core/version.h"
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/snapshot.h"
@@ -403,10 +414,15 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       std::fprintf(stderr,
                    "usage: dfmkit [--threads N] "
-                   "<gen|info|drc|drcplus|flow|catalog|svg> ...\n");
+                   "<gen|info|drc|drcplus|flow|catalog|svg|serve|client> "
+                   "...\n");
       return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+      std::printf("%s\n", dfm::version_string().c_str());
+      return 0;
+    }
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "drc") return cmd_drc(argc, argv, false);
@@ -414,6 +430,8 @@ int main(int argc, char** argv) {
     if (cmd == "flow") return cmd_flow(argc, argv);
     if (cmd == "catalog") return cmd_catalog(argc, argv);
     if (cmd == "svg") return cmd_svg(argc, argv);
+    if (cmd == "serve") return dfm::cli::cmd_serve(argc, argv, g_threads);
+    if (cmd == "client") return dfm::cli::cmd_client(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -9,7 +9,10 @@
 # scorecard under "flow", per-bench wall time and exit status under
 # "benches", the machine the numbers came from under "host", and the
 # telemetry overhead series (parsed from bench_o1_telemetry's TELEM
-# lines) under "telemetry_overhead". Requires an existing build
+# lines) under "telemetry_overhead", and the served-flow latency series
+# (parsed from bench_s2_service's SERVICE lines) under "service". The
+# revision stamp comes from `dfmkit --version` (embedded at build time),
+# not from git at bench time. Requires an existing build
 # (cmake --build <build-dir>).
 set -eu
 
@@ -59,14 +62,17 @@ flow_json="$logdir/flow_trace.json"
 "$build/tools/dfmkit" flow --json "$flow_json" "$demo" \
   >"$logdir/dfmkit_flow.log"
 
-# Stamp the exact tree the numbers came from: commit hash, plus "-dirty"
-# when the working tree has local edits. Degrades to "unknown" outside git.
+# Stamp the exact build the numbers came from, via the binary itself:
+# `dfmkit --version` prints "dfmkit <rev> (<config>)" with the revision
+# (plus "-dirty" for local edits) embedded at build time by
+# cmake/GenerateVersion.cmake. That ties the numbers to the bits that
+# produced them — a stale build can no longer report a fresh hash.
 revision="unknown"
-if rev="$(git -C "$root" rev-parse --short HEAD 2>/dev/null)"; then
-  revision="$rev"
-  if ! git -C "$root" diff --quiet HEAD 2>/dev/null; then
-    revision="$revision-dirty"
-  fi
+build_config=""
+if ver="$("$build/tools/dfmkit" --version 2>/dev/null)"; then
+  rev="$(printf '%s' "$ver" | sed -n 's/^dfmkit \([^ ]*\).*/\1/p')"
+  [ -z "$rev" ] || revision="$rev"
+  build_config="$(printf '%s' "$ver" | sed -n 's/^[^(]*(\(.*\))$/\1/p')"
 fi
 
 # Benchmarks without the machine are noise: record CPU model, core count
@@ -107,9 +113,43 @@ if [ -f "$telem_log" ]; then
   done < "$telem_log"
 fi
 
+# Served-flow latency series: bench_s2_service prints one parseable
+# "SERVICE key=value ..." line per (clients, mode) cell.
+service_rows=""
+service_log="$logdir/bench_s2_service.log"
+if [ -f "$service_log" ]; then
+  while IFS= read -r line; do
+    case "$line" in SERVICE\ *) ;; *) continue ;; esac
+    clients=0 mode=unknown requests=0 p50=0 p95=0 trim=0
+    direct=0 qmax=0 bp=0 errs=0
+    for tok in $line; do
+      case "$tok" in
+        clients=*)         clients="${tok#clients=}" ;;
+        mode=*)            mode="${tok#mode=}" ;;
+        requests=*)        requests="${tok#requests=}" ;;
+        p50_ms=*)          p50="${tok#p50_ms=}" ;;
+        p95_ms=*)          p95="${tok#p95_ms=}" ;;
+        trimmed_mean_ms=*) trim="${tok#trimmed_mean_ms=}" ;;
+        direct_ms=*)       direct="${tok#direct_ms=}" ;;
+        queue_max=*)       qmax="${tok#queue_max=}" ;;
+        backpressure=*)    bp="${tok#backpressure=}" ;;
+        errors=*)          errs="${tok#errors=}" ;;
+      esac
+    done
+    row="    {\"clients\": $clients, \"mode\": \"$mode\","
+    row="$row \"requests\": $requests, \"p50_ms\": $p50, \"p95_ms\": $p95,"
+    row="$row \"trimmed_mean_ms\": $trim, \"direct_ms\": $direct,"
+    row="$row \"queue_max\": $qmax, \"backpressure\": $bp,"
+    row="$row \"errors\": $errs}"
+    service_rows="${service_rows:+$service_rows,
+}$row"
+  done < "$service_log"
+fi
+
 {
   echo '{'
   printf '  "revision": "%s",\n' "$revision"
+  printf '  "build_config": "%s",\n' "$build_config"
   echo '  "host": {'
   printf '    "cpu": "%s",\n' "$cpu_model"
   printf '    "cores": %s,\n' "$cores"
@@ -121,6 +161,9 @@ fi
   echo '  ],'
   echo '  "telemetry_overhead": ['
   printf '%s\n' "$telem_rows"
+  echo '  ],'
+  echo '  "service": ['
+  printf '%s\n' "$service_rows"
   echo '  ],'
   printf '  "flow": '
   # Indent the flow object to nest cleanly.
