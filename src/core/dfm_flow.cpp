@@ -4,6 +4,7 @@
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/telemetry.h"
+#include "litho/fft.h"
 
 #include <chrono>
 #include <cstdio>
@@ -307,11 +308,17 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     sim.model = options.model;
     sim.edge_tolerance = options.litho_edge_tolerance;
     sim.tile = options.litho_tile;
+    sim.fast = options.litho_fast;
+    if (caches.kernels == nullptr) {
+      caches.kernels = std::make_shared<KernelSpectrumCache>();
+    }
+    sim.kernels = caches.kernels;
     const bool have = inc && caches.litho_valid;
     caches.litho =
-        have ? resimulate_hotspots(m1, m1.bbox(), sim, caches.litho,
+        have ? resimulate_hotspots(snap, layers::kMetal1, m1.bbox(), sim,
+                                   caches.litho,
                                    damage.inc->dirty_region(layers::kMetal1))
-             : simulate_hotspots_tiled(m1, m1.bbox(), sim);
+             : simulate_hotspots_tiled(snap, layers::kMetal1, m1.bbox(), sim);
     caches.litho_valid = true;
     rep.hotspots = caches.litho.merged();
     rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,

@@ -4,6 +4,10 @@
 #include "core/snapshot.h"
 #include "core/telemetry.h"
 #include "geometry/rtree.h"
+#include "litho/fft.h"
+#include "litho/prefilter.h"
+
+#include <algorithm>
 
 namespace dfm {
 namespace {
@@ -61,19 +65,71 @@ std::vector<HotspotMatch> scan_impl(const std::vector<Rect>& rects,
   return out;
 }
 
+// Resolves the prefilter calibration a tiled run should use; an invalid
+// calibration (returned when the prefilter is off, forced off by kOff,
+// or unprovable for this model) disables skipping entirely.
+PrefilterCalibration resolve_calibration(const HotspotSimOptions& options) {
+  if (!options.prefilter || options.fast == LithoFastMode::kOff) return {};
+  return prefilter_calibration(options.model, options.edge_tolerance,
+                               options.prefilter_window.empty()
+                                   ? default_process_window()
+                                   : options.prefilter_window);
+}
+
+// Density-grid gate (snapshot path only): true when every grid cell the
+// simulation window touches has zero coverage, i.e. the clip is provably
+// empty before it is even built. Cells outside the analysed area hold no
+// geometry by construction (the grid spans the snapshot bbox).
+bool density_gate_empty(const DensityMap& dm, const Rect& window) {
+  if (dm.tile <= 0 || dm.nx <= 0 || dm.ny <= 0) return false;
+  const Rect overlap = window.intersect(dm.window);
+  if (overlap.is_empty()) return true;
+  const auto cell = [&](Coord v, Coord lo, int n) {
+    return std::clamp(static_cast<int>((v - lo) / dm.tile), 0, n - 1);
+  };
+  const int ix0 = cell(overlap.lo.x, dm.window.lo.x, dm.nx);
+  const int ix1 = cell(overlap.hi.x - 1, dm.window.lo.x, dm.nx);
+  const int iy0 = cell(overlap.lo.y, dm.window.lo.y, dm.ny);
+  const int iy1 = cell(overlap.hi.y - 1, dm.window.lo.y, dm.ny);
+  for (int iy = iy0; iy <= iy1; ++iy) {
+    for (int ix = ix0; ix <= ix1; ++ix) {
+      if (dm.at(ix, iy) > 0.0) return false;
+    }
+  }
+  return true;
+}
+
 // One tile of the tiled simulation: clip the layer to the 6-sigma halo
 // window around the core, simulate, and keep only the hotspots this core
 // owns (marker center inside the core) so tiling never double-reports.
+// With a valid calibration, tiles the prefilter proves hotspot-free skip
+// the simulation (their owned-hotspot list is provably empty, so the
+// merged output is unchanged); `skipped` reports that outcome.
 std::vector<Hotspot> simulate_tile(const NormalizedRegion& layer,
                                    const Rect& core,
                                    const HotspotSimOptions& options,
-                                   ThreadPool* pool) {
+                                   ThreadPool* pool,
+                                   const PrefilterCalibration* cal,
+                                   const DensityMap* dm, bool& skipped) {
   const Coord margin = 6 * options.model.sigma;
   std::vector<Hotspot> local;
   const Rect window = core.expanded(margin);
+  if (dm != nullptr && density_gate_empty(*dm, window)) return local;
   const Region clip = layer.clipped(window);
   if (clip.empty()) return local;
-  const Region printed = simulate_print(clip, window, options.model, {}, pool);
+  if (cal != nullptr) {
+    TELEM_SPAN("litho/prefilter");
+    const TileFeatures f =
+        tile_features(clip, window, *cal, core.expanded(margin / 2));
+    if (prefilter_safe(f, *cal)) {
+      TELEM_COUNTER_ADD("litho.prefilter_skip", 1);
+      skipped = true;
+      return local;
+    }
+  }
+  const Region printed = simulate_print_ex(clip, window, options.model, {},
+                                           pool, options.fast,
+                                           options.kernels.get());
   for (Hotspot h : find_hotspots(clip.clipped(core.expanded(margin / 2)),
                                  printed, options.edge_tolerance)) {
     if (core.contains(h.marker.center())) local.push_back(std::move(h));
@@ -81,40 +137,40 @@ std::vector<Hotspot> simulate_tile(const NormalizedRegion& layer,
   return local;
 }
 
-}  // namespace
-
-std::vector<Hotspot> HotspotTileSim::merged() const {
-  std::vector<Hotspot> out;
-  for (const std::vector<Hotspot>& v : per_tile) {
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  return out;
-}
-
-HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
-                                       const Rect& extent,
-                                       const HotspotSimOptions& options) {
+// Shared core of the region/snapshot overloads of the cold tiled run.
+HotspotTileSim tiled_impl(const NormalizedRegion& layer, const DensityMap* dm,
+                          const Rect& extent,
+                          const HotspotSimOptions& options) {
   HotspotTileSim sim;
   sim.extent = extent;
   sim.tile = options.tile;
   if (extent.is_empty()) return sim;
   sim.tiles = make_tiles(extent, options.tile);
+  const PrefilterCalibration cal = resolve_calibration(options);
+  const PrefilterCalibration* calp = cal.valid ? &cal : nullptr;
   const PassPool pool(options);
+  std::vector<char> skipped(sim.tiles.size(), 0);
   sim.per_tile = parallel_map(pool, sim.tiles.size(), [&](std::size_t ti) {
     TELEM_SPAN_ARG("litho/tile", ti);
-    return simulate_tile(layer, sim.tiles[ti], options, pool);
+    bool skip = false;
+    auto local =
+        simulate_tile(layer, sim.tiles[ti], options, pool, calp, dm, skip);
+    skipped[ti] = skip ? 1 : 0;
+    return local;
   });
   sim.recomputed = sim.tiles.size();
+  sim.skipped = static_cast<std::size_t>(
+      std::count(skipped.begin(), skipped.end(), 1));
   return sim;
 }
 
-HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
-                                   const HotspotSimOptions& options,
-                                   const HotspotTileSim& prev,
-                                   const Region& dirty) {
+// Shared core of the region/snapshot overloads of the incremental run.
+HotspotTileSim resim_impl(const NormalizedRegion& layer, const DensityMap* dm,
+                          const Rect& extent, const HotspotSimOptions& options,
+                          const HotspotTileSim& prev, const Region& dirty) {
   if (prev.extent != extent || prev.tile != options.tile ||
       prev.per_tile.size() != prev.tiles.size()) {
-    return simulate_hotspots_tiled(std::move(layer), extent, options);
+    return tiled_impl(layer, dm, extent, options);
   }
   HotspotTileSim sim;
   sim.extent = extent;
@@ -132,17 +188,74 @@ HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
       }
     }
   }
+  const PrefilterCalibration cal = resolve_calibration(options);
+  const PrefilterCalibration* calp = cal.valid ? &cal : nullptr;
   const PassPool pool(options);
+  std::vector<char> skipped(stale.size(), 0);
   std::vector<std::vector<Hotspot>> redone =
       parallel_map(pool, stale.size(), [&](std::size_t si) {
         TELEM_SPAN_ARG("litho/tile", stale[si]);
-        return simulate_tile(layer, sim.tiles[stale[si]], options, pool);
+        bool skip = false;
+        auto local = simulate_tile(layer, sim.tiles[stale[si]], options, pool,
+                                   calp, dm, skip);
+        skipped[si] = skip ? 1 : 0;
+        return local;
       });
   for (std::size_t si = 0; si < stale.size(); ++si) {
     sim.per_tile[stale[si]] = std::move(redone[si]);
   }
   sim.recomputed = stale.size();
+  sim.skipped = static_cast<std::size_t>(
+      std::count(skipped.begin(), skipped.end(), 1));
   return sim;
+}
+
+// The snapshot overloads gate on the memoized density grid only when the
+// prefilter is active: kOff must stay byte-for-byte the historical path.
+const DensityMap* density_for(const LayoutSnapshot& snap, LayerKey layer,
+                              const HotspotSimOptions& options) {
+  if (!options.prefilter || options.fast == LithoFastMode::kOff) return nullptr;
+  if (!snap.has(layer)) return nullptr;
+  return &snap.density(layer, options.tile);
+}
+
+}  // namespace
+
+std::vector<Hotspot> HotspotTileSim::merged() const {
+  std::vector<Hotspot> out;
+  for (const std::vector<Hotspot>& v : per_tile) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
+                                       const Rect& extent,
+                                       const HotspotSimOptions& options) {
+  return tiled_impl(layer, nullptr, extent, options);
+}
+
+HotspotTileSim simulate_hotspots_tiled(const LayoutSnapshot& snap,
+                                       LayerKey layer, const Rect& extent,
+                                       const HotspotSimOptions& options) {
+  return tiled_impl(snap.layer(layer), density_for(snap, layer, options),
+                    extent, options);
+}
+
+HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
+                                   const HotspotSimOptions& options,
+                                   const HotspotTileSim& prev,
+                                   const Region& dirty) {
+  return resim_impl(layer, nullptr, extent, options, prev, dirty);
+}
+
+HotspotTileSim resimulate_hotspots(const LayoutSnapshot& snap, LayerKey layer,
+                                   const Rect& extent,
+                                   const HotspotSimOptions& options,
+                                   const HotspotTileSim& prev,
+                                   const Region& dirty) {
+  return resim_impl(snap.layer(layer), density_for(snap, layer, options),
+                    extent, options, prev, dirty);
 }
 
 std::vector<Hotspot> simulate_hotspots(NormalizedRegion layer,

@@ -10,6 +10,7 @@
 #include "litho/litho.h"
 #include "pattern/clustering.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,21 @@ struct HotspotSimOptions : PassOptions {
   OpticalModel model;
   Coord edge_tolerance = 12;
   Coord tile = 20000;  // core edge of one simulation tile
+
+  /// Convolution strategy per tile (litho fast path). kOff restores the
+  /// historical behaviour exactly: direct convolution, no prefilter.
+  LithoFastMode fast = LithoFastMode::kAuto;
+  /// Conservative prefilter: tiles whose geometry provably cannot print
+  /// a hotspot anywhere in `prefilter_window` bypass simulation
+  /// entirely. Only removes provably-empty tile results, so the merged
+  /// hotspot set is unchanged. Forced off by fast == kOff.
+  bool prefilter = true;
+  /// Process window the prefilter must be safe across; empty means
+  /// default_process_window() (litho/prefilter.h).
+  std::vector<ProcessCondition> prefilter_window;
+  /// Shared kernel-spectrum memo for the FFT path; null falls back to
+  /// the process-global cache. FlowCaches keeps one per session.
+  std::shared_ptr<KernelSpectrumCache> kernels;
 };
 
 /// A tiled simulation with its per-tile hotspot lists kept separate —
@@ -89,6 +105,7 @@ struct HotspotTileSim {
   std::vector<Rect> tiles;  // row-major cores, make_tiles(extent, tile)
   std::vector<std::vector<Hotspot>> per_tile;  // aligned with tiles
   std::size_t recomputed = 0;  // tiles simulated by the producing call
+  std::size_t skipped = 0;  // tiles the prefilter proved hotspot-free
 
   std::vector<Hotspot> merged() const;
 };
@@ -100,6 +117,15 @@ HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
                                        const Rect& extent,
                                        const HotspotSimOptions& options);
 
+/// Snapshot-native tiled simulation: additionally consults the
+/// snapshot's memoized density grid (at the simulation tile pitch) as a
+/// zero-cost first prefilter stage — tiles whose halo window covers
+/// only zero-density cells are provably empty and skip even the clip.
+/// Hotspot output is bit-identical to the region overload.
+HotspotTileSim simulate_hotspots_tiled(const LayoutSnapshot& snap,
+                                       LayerKey layer, const Rect& extent,
+                                       const HotspotSimOptions& options);
+
 /// Re-simulates only the tiles whose simulation window — the tile core
 /// expanded by the 6-sigma optical halo — intersects `dirty`; every
 /// other tile's list is carried over from `prev`. A tile's output
@@ -107,6 +133,16 @@ HotspotTileSim simulate_hotspots_tiled(NormalizedRegion layer,
 /// bit-identical to simulate_hotspots_tiled over the edited layer.
 /// Falls back to a full run when extent or tile size changed.
 HotspotTileSim resimulate_hotspots(NormalizedRegion layer, const Rect& extent,
+                                   const HotspotSimOptions& options,
+                                   const HotspotTileSim& prev,
+                                   const Region& dirty);
+
+/// Snapshot-native incremental re-simulation: stale tiles go through the
+/// same density-gate + prefilter + convolution path as the snapshot
+/// overload of simulate_hotspots_tiled, so a splice is bit-identical to
+/// the cold snapshot run under every LithoFastMode.
+HotspotTileSim resimulate_hotspots(const LayoutSnapshot& snap, LayerKey layer,
+                                   const Rect& extent,
                                    const HotspotSimOptions& options,
                                    const HotspotTileSim& prev,
                                    const Region& dirty);

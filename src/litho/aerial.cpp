@@ -1,3 +1,4 @@
+#include "litho/fft.h"
 #include "litho/kernel_detail.h"
 #include "litho/litho.h"
 
@@ -5,6 +6,7 @@
 #include "core/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dfm {
 namespace {
@@ -57,21 +59,30 @@ Raster convolve(const Raster& in, const std::vector<float>& taps,
 
 }  // namespace
 
-Raster aerial_image(const Region& mask, const Rect& window,
-                    const OpticalModel& model, Coord defocus,
-                    ThreadPool* pool) {
+Raster aerial_image_ex(const Region& mask, const Rect& window,
+                       const OpticalModel& model, Coord defocus,
+                       ThreadPool* pool, LithoFastMode mode,
+                       KernelSpectrumCache* kernels) {
   // Pad the window by the kernel reach so features just outside still
-  // contribute, then crop back.
-  const Coord s = model.sigma_at(defocus);
-  const Coord pad = 3 * s + model.px;
+  // contribute, then crop back. The taps come from the unrounded
+  // effective sigma; at defocus 0 it equals `sigma` exactly, so the
+  // best-focus image is unchanged from the historical rounded form.
+  const double s = model.sigma_at_nm(defocus);
+  const Coord pad = static_cast<Coord>(std::ceil(3.0 * s)) + model.px;
   const Rect padded = window.expanded(pad);
   Raster img;
   {
     TELEM_SPAN("litho/raster");
     img = rasterize(mask, padded, model.px, pool);
   }
-  const double sigma_px = static_cast<double>(s) / static_cast<double>(model.px);
-  img = convolve(img, detail::gaussian_taps(sigma_px), pool);
+  const double sigma_px = s / static_cast<double>(model.px);
+  const std::vector<float> taps = detail::gaussian_taps(sigma_px);
+  const bool use_fft =
+      mode == LithoFastMode::kFft ||
+      (mode == LithoFastMode::kAuto &&
+       fftconv::fft_beats_direct(taps.size(), img.nx, img.ny));
+  img = use_fft ? fftconv::fft_convolve_separable(img, taps, kernels, pool)
+                : convolve(img, taps, pool);
 
   // Crop to the requested window.
   Raster out;
@@ -88,6 +99,13 @@ Raster aerial_image(const Region& mask, const Rect& window,
     }
   }
   return out;
+}
+
+Raster aerial_image(const Region& mask, const Rect& window,
+                    const OpticalModel& model, Coord defocus,
+                    ThreadPool* pool) {
+  return aerial_image_ex(mask, window, model, defocus, pool,
+                         LithoFastMode::kOff);
 }
 
 Region printed_region(const Raster& aerial, const OpticalModel& model,
@@ -119,6 +137,15 @@ Region simulate_print(const Region& mask, const Rect& window,
                       ThreadPool* pool) {
   return printed_region(aerial_image(mask, window, model, cond.defocus, pool),
                         model, cond);
+}
+
+Region simulate_print_ex(const Region& mask, const Rect& window,
+                         const OpticalModel& model,
+                         const ProcessCondition& cond, ThreadPool* pool,
+                         LithoFastMode mode, KernelSpectrumCache* kernels) {
+  return printed_region(
+      aerial_image_ex(mask, window, model, cond.defocus, pool, mode, kernels),
+      model, cond);
 }
 
 }  // namespace dfm

@@ -6,14 +6,24 @@
 
 namespace dfm {
 
-Coord OpticalModel::sigma_at(Coord defocus) const {
+double OpticalModel::sigma_at_nm(Coord defocus) const {
   // Quadrature growth: a defocus of z adds ~0.5z of blur. The constant is
   // a fit knob, not physics; it gives Bossung curvature of sensible shape.
+  // At defocus 0 this is exactly `sigma`, so best-focus behaviour is
+  // unchanged by the unrounded form.
   const double extra = 0.5 * static_cast<double>(defocus);
-  const double s = std::sqrt(static_cast<double>(sigma) * static_cast<double>(sigma) +
-                             extra * extra);
-  return static_cast<Coord>(std::lround(s));
+  return std::sqrt(static_cast<double>(sigma) * static_cast<double>(sigma) +
+                   extra * extra);
 }
+
+// Deprecated shim: the historical API rounded to integer nm, collapsing
+// nearby defocus values onto the same kernel.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Coord OpticalModel::sigma_at(Coord defocus) const {
+  return static_cast<Coord>(std::lround(sigma_at_nm(defocus)));
+}
+#pragma GCC diagnostic pop
 
 namespace detail {
 // defined here, declared in kernel_detail.h

@@ -18,7 +18,15 @@
 
 namespace dfm {
 
-class ThreadPool;  // core/parallel.h
+class ThreadPool;           // core/parallel.h
+class KernelSpectrumCache;  // litho/fft.h
+
+/// Convolution strategy for the litho fast path (PR: litho fast path).
+/// kAuto picks FFT vs the direct separable loop per tile by the
+/// kernel-radius/raster-size crossover; kOff is the conservative
+/// everything-direct, no-prefilter mode matching the historical
+/// behaviour bit for bit.
+enum class LithoFastMode { kAuto, kFft, kDirect, kOff };
 
 /// Sampled scalar field over a window (row-major, origin at window.lo).
 struct Raster {
@@ -52,6 +60,14 @@ struct OpticalModel {
   Coord px = 5;            // simulation pixel, nm
 
   /// Effective PSF sigma at a given defocus (nm): quadrature growth.
+  /// Unrounded — kernel taps built from this value track defocus
+  /// smoothly instead of quantizing to integer-nm sigma steps.
+  double sigma_at_nm(Coord defocus) const;
+
+  /// Deprecated: rounds the effective sigma to integer nm, which
+  /// quantizes the defocus response (Bossung curves develop flat
+  /// steps). Kept as a shim; use sigma_at_nm.
+  [[deprecated("use sigma_at_nm; rounding quantizes the defocus response")]]
   Coord sigma_at(Coord defocus) const;
 };
 
@@ -62,9 +78,21 @@ struct ProcessCondition {
 
 /// Aerial image: Gaussian-convolved rasterized mask. Row-parallel with a
 /// pool (each output pixel is independent), deterministic either way.
+/// Always uses the direct separable convolution.
 Raster aerial_image(const Region& mask, const Rect& window,
                     const OpticalModel& model, Coord defocus = 0,
                     ThreadPool* pool = nullptr);
+
+/// aerial_image with an explicit convolution strategy. kFft (or kAuto
+/// past the crossover) computes the same separable convolution through
+/// per-row FFTs — equal to the direct path within float round-off, and
+/// bit-identical to itself at any thread count. `kernels` memoizes the
+/// kernel spectra across tiles/corners; null falls back to a process
+/// global cache.
+Raster aerial_image_ex(const Region& mask, const Rect& window,
+                       const OpticalModel& model, Coord defocus,
+                       ThreadPool* pool, LithoFastMode mode,
+                       KernelSpectrumCache* kernels = nullptr);
 
 /// Printed contours at a process condition: pixels with dose*I >= threshold,
 /// returned as a merged region (pixel-grid resolution).
@@ -76,6 +104,14 @@ Region simulate_print(const Region& mask, const Rect& window,
                       const OpticalModel& model,
                       const ProcessCondition& cond = {},
                       ThreadPool* pool = nullptr);
+
+/// simulate_print with an explicit convolution strategy (see
+/// aerial_image_ex).
+Region simulate_print_ex(const Region& mask, const Rect& window,
+                         const OpticalModel& model,
+                         const ProcessCondition& cond, ThreadPool* pool,
+                         LithoFastMode mode,
+                         KernelSpectrumCache* kernels = nullptr);
 
 // ---- CD gauges -----------------------------------------------------------
 

@@ -1,0 +1,106 @@
+// Conservative hotspot prefilter: decides, from cheap geometric
+// features alone, that a simulation tile cannot contain an owned
+// hotspot at any process condition in the window — letting the tiled
+// litho pass skip rasterize/convolve/contour entirely for that tile.
+//
+// The decision must only ever err towards simulating. The Gaussian
+// model makes that tractable analytically: the aerial image of a
+// rectangle is a separable product of erf terms, intensity is monotone
+// in mask area (more neighbours only add light), and find_hotspots
+// forgives any miss/extra component smaller than edge_tolerance^2. A
+// tile is skipped only when every canonical rect the simulation would
+// see is "fat" (min side >= a calibrated safe dimension, so its eroded
+// interior provably prints and its corner-rounding residue stays below
+// the forgiveness area) and "isolated" (no rect touches another — merged
+// unions have step corners the single-rect bound does not cover — and
+// every pairwise gap is either small enough that the tolerance bloat
+// covers it or wide enough that the two-plate bridge intensity provably
+// stays under threshold).
+//
+// The proof has two legs. Closed forms from the erf model handle what
+// is monotone and phase-free: dose extremes dominate interior doses
+// exactly (same raster, moving threshold), the two-plate bound covers
+// bridging, and a worst-point bound covers deep edge cells at every
+// raster phase. The corner-rounding residue is NOT provable that way —
+// its pixelized area interacts with the raster grid non-monotonically
+// in defocus — so the calibration proves it by exhaustive simulation:
+// layout coordinates are integer nm, hence a rect corner takes exactly
+// px^2 distinct phases against the raster grid, and the calibration
+// sweeps all of them at every guarded defocus with dose derated 5% both
+// ways. tests/litho/prefilter_test.cpp re-simulates every skipped tile
+// exhaustively at all window corners and asserts it hotspot-free, and
+// pins just-safe/just-unsafe boundary geometry.
+#pragma once
+
+#include "litho/litho.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace dfm {
+
+/// The default process window the prefilter guards against: +-5% dose
+/// at best focus and at 20nm defocus. Covers the nominal condition the
+/// tiled flow simulates, with slack on every axis. The guarded set is
+/// the listed conditions (plus nominal): defocus interacts with the
+/// pixel grid non-monotonically, so intermediate defoci are not implied.
+std::vector<ProcessCondition> default_process_window();
+
+/// Calibrated safety thresholds for one (model, tolerance, window).
+struct PrefilterCalibration {
+  bool valid = false;       // false: optics too soft for any proof; never skip
+  Coord safe_min_dim = 0;   // rects at least this wide provably print
+  Coord safe_min_gap = 0;   // gaps at least this wide provably never bridge
+  Coord small_gap_max = 0;  // gaps at most this are covered by the bloat
+  Coord edge_tolerance = 0; // the tolerance this calibration guards
+};
+
+/// Calibration from the erf closed forms plus the exhaustive-phase
+/// corner simulation (see the header comment): deterministic, a few
+/// hundred small simulations on the first call. Use
+/// prefilter_calibration() for the memoized form.
+PrefilterCalibration calibrate_prefilter(
+    const OpticalModel& model, Coord edge_tolerance,
+    const std::vector<ProcessCondition>& window);
+
+/// Memoized calibrate_prefilter (process-global, thread-safe): the tiled
+/// pass calls this per tile, the math runs once per distinct key.
+PrefilterCalibration prefilter_calibration(
+    const OpticalModel& model, Coord edge_tolerance,
+    const std::vector<ProcessCondition>& window);
+
+/// The per-tile feature vector the skip decision reads. Extracted from
+/// the canonical rects of the clipped mask the simulation would
+/// rasterize, so the analysis object and the simulation object coincide.
+struct TileFeatures {
+  Coord min_dim = 0;        // min over rects of min(width, height)
+  Coord min_gap = 0;        // min positive pairwise Chebyshev separation
+  double density = 0;       // clip area / window area
+  std::size_t rect_count = 0;
+  bool touching = false;    // some pair abuts/overlaps (multi-rect union)
+  bool risky_gap = false;   // some gap in (small_gap_max, safe_min_gap)
+  bool corner_wrap = false; // print may wrap a target-zone corner
+  bool overflow = false;    // more rects than the analysis cap; never skip
+
+  std::size_t edge_count() const { return 4 * rect_count; }
+};
+
+/// Extracts the feature vector of `clip` over `window`. `zone` is the
+/// target zone of the tile (the core expanded by the half halo): the
+/// hotspot comparison clips the target there but not the print, so
+/// geometry crossing TWO adjacent zone edges leaves an L of print
+/// outside the bloated target that wraps the zone corner as a single
+/// connected component whose marker center can land in the core.
+/// Clusters of print-connected rects whose inflated bbox reaches a zone
+/// corner therefore set corner_wrap and are never skipped. O(n^2) in
+/// the rect count, bailing out (overflow) beyond `max_rects` — dense
+/// tiles are exactly the ones worth simulating anyway.
+TileFeatures tile_features(const Region& clip, const Rect& window,
+                           const PrefilterCalibration& cal, const Rect& zone,
+                           std::size_t max_rects = 256);
+
+/// True when the calibration proves this tile hotspot-free at every
+/// process condition in the calibrated window.
+bool prefilter_safe(const TileFeatures& f, const PrefilterCalibration& cal);
+
+}  // namespace dfm

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace dfm {
 namespace {
 
@@ -97,6 +99,44 @@ TEST_P(LithoProperty, HotspotsOnlyWhereGeometryIs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LithoProperty, ::testing::Range(1u, 9u));
+
+TEST(LithoBossung, CdRespondsSmoothlyToDefocus) {
+  // Pins the sigma_at_nm fix: the old integer-rounded sigma_at mapped
+  // defoci 0 and 6 to the same 25nm sigma, so the Bossung curve had flat
+  // steps. With the unrounded sigma every defocus step must blur a
+  // sub-sigma line strictly further, shrinking its printed CD
+  // monotonically. (A wide line would not do: at the 0.5 threshold its
+  // edge sits at the mask edge for any blur, so its CD is defocus-flat.)
+  const OpticalModel m = model();
+  Region mask;
+  mask.add(Rect{-600, -20, 600, 20});  // 40nm line, gauge across it
+  const Rect window{-800, -400, 800, 400};
+  const Gauge g{{0, -300}, {0, 300}, "across"};
+  const std::vector<BossungPoint> pts =
+      bossung(mask, window, m, g, {1.0}, {0, 6, 12, 18, 24});
+  ASSERT_EQ(pts.size(), 5u);
+  for (const BossungPoint& p : pts) {
+    ASSERT_GT(p.cd, 0) << "defocus " << p.cond.defocus;
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].cd, pts[i - 1].cd)
+        << "CD must strictly shrink from defocus " << pts[i - 1].cond.defocus
+        << " to " << pts[i].cond.defocus;
+  }
+}
+
+TEST(LithoBossung, UnroundedSigmaGrowsInQuadrature) {
+  const OpticalModel m = model();
+  EXPECT_DOUBLE_EQ(m.sigma_at_nm(0), 25.0);  // best focus is untouched
+  EXPECT_NEAR(m.sigma_at_nm(6), std::sqrt(625.0 + 9.0), 1e-12);
+  EXPECT_NEAR(m.sigma_at_nm(40), std::sqrt(625.0 + 400.0), 1e-12);
+  // The deprecated shim still answers, rounded to integer nm.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(m.sigma_at(6), 25);
+  EXPECT_EQ(m.sigma_at(40), 32);
+#pragma GCC diagnostic pop
+}
 
 }  // namespace
 }  // namespace dfm

@@ -119,13 +119,14 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
       argc, argv, 2,
       {"--socket", "--tcp", "--workers", "--pool-threads", "--max-sessions",
        "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
-       "--litho-tile", "--trace-out"});
+       "--litho-tile", "--litho-fast", "--trace-out"});
   if (!args.positional.empty()) {
     throw std::runtime_error(
         "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
         "[--pool-threads N] [--max-sessions N] [--max-queue N] "
         "[--idle-timeout-ms N] [--deadline-ms N] [--passes a,b,...] "
-        "[--litho-tile N] [--trace-out <path>] [--debug-ops]");
+        "[--litho-tile N] [--litho-fast auto|fft|direct|off] "
+        "[--trace-out <path>] [--debug-ops]");
   }
 
   ServiceOptions opt;
@@ -157,6 +158,22 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
   }
   const long litho_tile = args.num("--litho-tile", 0);
   if (litho_tile > 0) opt.flow.litho_tile = litho_tile;
+  const std::string litho_fast = args.str("--litho-fast", "");
+  if (!litho_fast.empty()) {
+    if (litho_fast == "auto") {
+      opt.flow.litho_fast = LithoFastMode::kAuto;
+    } else if (litho_fast == "fft") {
+      opt.flow.litho_fast = LithoFastMode::kFft;
+    } else if (litho_fast == "direct") {
+      opt.flow.litho_fast = LithoFastMode::kDirect;
+    } else if (litho_fast == "off") {
+      opt.flow.litho_fast = LithoFastMode::kOff;
+    } else {
+      throw std::runtime_error(
+          "--litho-fast: expected auto|fft|direct|off, got '" + litho_fast +
+          "'");
+    }
+  }
 
   const std::string trace_path = args.str("--trace-out", "");
   if (!trace_path.empty() && !telemetry::compiled_in()) {

@@ -7,6 +7,7 @@
 //   dfmkit drc <in.gds> [top]          run the standard DRC deck
 //   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
 //   dfmkit flow [--json <path>] [--trace-out <path>] [--passes a,b,...]
+//               [--litho-fast auto|fft|direct|off]
 //               [--edit <spec>]... <in.gds> [top]
 //                                      full DFM flow + scoreboard; --json
 //                                      writes the per-pass trace +
@@ -17,7 +18,12 @@
 //                                      Chrome trace-event file (open in
 //                                      Perfetto / chrome://tracing).
 //                                      --passes runs a subset (drc, litho,
-//                                      vias, nets, caa, ...); --edit
+//                                      vias, nets, caa, ...); --litho-fast
+//                                      picks the litho convolution: auto
+//                                      (default) chooses FFT vs direct per
+//                                      tile and enables the conservative
+//                                      hotspot prefilter, off is the
+//                                      historical path bit for bit; --edit
 //                                      <layer>:<x0>,<y0>,<x1>,<y1>[:remove]
 //                                      applies rect edits one by one
 //                                      through the incremental session
@@ -214,6 +220,15 @@ CliEdit parse_edit(const std::string& spec) {
   return e;
 }
 
+LithoFastMode parse_litho_fast(const std::string& s) {
+  if (s == "auto") return LithoFastMode::kAuto;
+  if (s == "fft") return LithoFastMode::kFft;
+  if (s == "direct") return LithoFastMode::kDirect;
+  if (s == "off") return LithoFastMode::kOff;
+  throw std::runtime_error("--litho-fast: expected auto|fft|direct|off, got '" +
+                           s + "'");
+}
+
 void print_flow_report(const std::string& title, const DfmFlowReport& rep) {
   Table t(title);
   t.set_header({"technique", "score", "signal"});
@@ -230,6 +245,7 @@ int cmd_flow(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   std::string passes_arg;
+  std::string litho_fast_arg;
   std::vector<CliEdit> edits;
   for (int i = 2; i < argc;) {
     const auto eat2 = [&](std::string& into) {
@@ -243,6 +259,8 @@ int cmd_flow(int argc, char** argv) {
       eat2(trace_path);
     } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
       eat2(passes_arg);
+    } else if (std::strcmp(argv[i], "--litho-fast") == 0 && i + 1 < argc) {
+      eat2(litho_fast_arg);
     } else if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
       std::string spec;
       eat2(spec);
@@ -254,7 +272,7 @@ int cmd_flow(int argc, char** argv) {
   if (argc < 3) {
     throw std::runtime_error(
         "usage: dfmkit flow [--json <path>] [--trace-out <path>] "
-        "[--passes a,b,...] "
+        "[--passes a,b,...] [--litho-fast auto|fft|direct|off] "
         "[--edit <layer>:<x0>,<y0>,<x1>,<y1>[:remove]]... <in.gds> [top]");
   }
   if (!trace_path.empty() && !telemetry::compiled_in()) {
@@ -275,6 +293,7 @@ int cmd_flow(int argc, char** argv) {
   opt.model.sigma = 25;
   opt.model.px = 5;
   opt.threads = g_threads;
+  if (!litho_fast_arg.empty()) opt.litho_fast = parse_litho_fast(litho_fast_arg);
   for (std::size_t pos = 0; pos < passes_arg.size();) {
     std::size_t comma = passes_arg.find(',', pos);
     if (comma == std::string::npos) comma = passes_arg.size();

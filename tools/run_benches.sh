@@ -9,8 +9,11 @@
 # scorecard under "flow", per-bench wall time and exit status under
 # "benches", the machine the numbers came from under "host", and the
 # telemetry overhead series (parsed from bench_o1_telemetry's TELEM
-# lines) under "telemetry_overhead", and the served-flow latency series
-# (parsed from bench_s2_service's SERVICE lines) under "service". The
+# lines) under "telemetry_overhead", the litho fast-path numbers
+# (parsed from bench_t6_hotspot's LITHO line: direct vs FFT vs
+# FFT+prefilter ms, skip ratio, speedups) under "litho", and the
+# served-flow latency series (parsed from bench_s2_service's SERVICE
+# lines) under "service". The
 # revision stamp comes from `dfmkit --version` (embedded at build time),
 # not from git at bench time. Requires an existing build
 # (cmake --build <build-dir>).
@@ -113,6 +116,38 @@ if [ -f "$telem_log" ]; then
   done < "$telem_log"
 fi
 
+# Litho fast-path numbers: bench_t6_hotspot prints one parseable
+# "LITHO key=value ..." line (direct vs FFT vs FFT+prefilter, skip
+# ratio, speedups).
+litho_rows=""
+litho_log="$logdir/bench_t6_hotspot.log"
+if [ -f "$litho_log" ]; then
+  while IFS= read -r line; do
+    case "$line" in LITHO\ *) ;; *) continue ;; esac
+    tiles=0 hotspots=0 direct=0 fft=0 fast=0 skipped=0
+    ratio=0 fft_sp=0 fast_sp=0
+    for tok in $line; do
+      case "$tok" in
+        tiles=*)        tiles="${tok#tiles=}" ;;
+        hotspots=*)     hotspots="${tok#hotspots=}" ;;
+        direct_ms=*)    direct="${tok#direct_ms=}" ;;
+        fft_ms=*)       fft="${tok#fft_ms=}" ;;
+        fast_ms=*)      fast="${tok#fast_ms=}" ;;
+        skipped=*)      skipped="${tok#skipped=}" ;;
+        skip_ratio=*)   ratio="${tok#skip_ratio=}" ;;
+        fft_speedup=*)  fft_sp="${tok#fft_speedup=}" ;;
+        fast_speedup=*) fast_sp="${tok#fast_speedup=}" ;;
+      esac
+    done
+    row="    {\"tiles\": $tiles, \"hotspots\": $hotspots,"
+    row="$row \"direct_ms\": $direct, \"fft_ms\": $fft, \"fast_ms\": $fast,"
+    row="$row \"skipped\": $skipped, \"skip_ratio\": $ratio,"
+    row="$row \"fft_speedup\": $fft_sp, \"fast_speedup\": $fast_sp}"
+    litho_rows="${litho_rows:+$litho_rows,
+}$row"
+  done < "$litho_log"
+fi
+
 # Served-flow latency series: bench_s2_service prints one parseable
 # "SERVICE key=value ..." line per (clients, mode) cell.
 service_rows=""
@@ -161,6 +196,9 @@ fi
   echo '  ],'
   echo '  "telemetry_overhead": ['
   printf '%s\n' "$telem_rows"
+  echo '  ],'
+  echo '  "litho": ['
+  printf '%s\n' "$litho_rows"
   echo '  ],'
   echo '  "service": ['
   printf '%s\n' "$service_rows"
