@@ -6,15 +6,37 @@
 #include "core/telemetry.h"
 #include "litho/fft.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace dfm {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Peak resident set size of this process in KiB, via getrusage (0 where
+// that is unavailable). macOS reports ru_maxrss in bytes, Linux in KiB.
+[[maybe_unused]] std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -157,6 +179,21 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   const EnabledPasses enabled = enabled_passes(options);
   PassTimer pass(rep.trace, snap);
 
+  // Out-of-core scheduling: with a byte budget on the snapshot, evict
+  // hydrated state down to the budget at every pass (and rule-group)
+  // boundary, keeping only the next working set's geometry. Eviction and
+  // re-hydration are deterministic and never change what a pass
+  // computes, so the report is bit-identical at any budget. Boundaries
+  // are quiescent (single-threaded driver code), which the eviction API
+  // requires.
+  const bool budgeted = snap.budget().limit() != 0;
+  const auto evict_keeping = [&](std::vector<LayerKey> keep) {
+    // Headroom: release down to half the limit so the next working set
+    // hydrates into slack instead of starting at the ceiling and
+    // overshooting mid-pass (eviction cannot run inside a pass).
+    if (budgeted) snap.evict_to_budget(keep, snap.budget().limit() / 2);
+  };
+
   // An incremental run may splice cached units only when the damage is
   // partial AND the caches describe the immediately preceding snapshot.
   const bool inc = !damage.full() && caches.valid && prev != nullptr;
@@ -183,13 +220,42 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
         stale_rules.push_back(ri);
       }
     }
-    std::vector<std::vector<Violation>> fresh = parallel_map(
-        pool, stale_rules.size(), [&](std::size_t i) {
-          return DrcEngine::run_rule(snap, deck.rules[stale_rules[i]]);
-        });
     if (!have_rules) caches.drc_rules.assign(deck.rules.size(), {});
-    for (std::size_t i = 0; i < stale_rules.size(); ++i) {
-      caches.drc_rules[stale_rules[i]] = std::move(fresh[i]);
+    const auto run_rule_batch = [&](const std::vector<std::size_t>& batch) {
+      std::vector<std::vector<Violation>> fresh = parallel_map(
+          pool, batch.size(), [&](std::size_t i) {
+            return DrcEngine::run_rule(snap, deck.rules[batch[i]]);
+          });
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        caches.drc_rules[batch[i]] = std::move(fresh[i]);
+      }
+    };
+    if (!budgeted) {
+      run_rule_batch(stale_rules);
+    } else {
+      // Group the stale rules by their layer working set (deck order of
+      // first appearance); hydrate one group at a time, evicting down to
+      // the budget between groups. Each rule's result lands at its deck
+      // index, so the assembled violation list is identical to the
+      // single-batch path.
+      std::vector<std::pair<std::vector<LayerKey>, std::vector<std::size_t>>>
+          groups;
+      for (const std::size_t ri : stale_rules) {
+        std::vector<LayerKey> ls = rule_layers(deck.rules[ri]);
+        std::sort(ls.begin(), ls.end());
+        const auto it =
+            std::find_if(groups.begin(), groups.end(),
+                         [&](const auto& g) { return g.first == ls; });
+        if (it == groups.end()) {
+          groups.emplace_back(std::move(ls), std::vector<std::size_t>{ri});
+        } else {
+          it->second.push_back(ri);
+        }
+      }
+      for (const auto& [group_layers, batch] : groups) {
+        evict_keeping(group_layers);
+        run_rule_batch(batch);
+      }
     }
     dirty_units += stale_rules.size();
     rep.drcplus.drc.violations.clear();
@@ -210,6 +276,12 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     rep.drcplus.matches.reserve(sets.size());
     for (std::size_t si = 0; si < sets.size(); ++si) {
       const PatternRuleSet& set = sets[si];
+      if (budgeted) {
+        // Streamed capture below reads capture layers per window straight
+        // from the source, so only the anchor layer needs to be resident
+        // for site enumeration.
+        evict_keeping({set.anchor_layer});
+      }
       const std::vector<AnchorWindow> sites =
           anchor_windows(snap.layer(set.anchor_layer).region(), set.radius);
       const auto& cache = caches.pattern_windows[si];
@@ -231,10 +303,17 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
           stale_sites.push_back(w);
         }
       }
+      // Budgeted runs clip capture layers per window straight off the
+      // source (transient, uncharged) instead of hydrating full layers
+      // and their R-trees; both paths feed identical canonical clips to
+      // the encoder, so the matches are bit-identical.
       const std::vector<CapturedPattern> captured = parallel_map(
           pool, stale_sites.size(), [&](std::size_t i) {
-            return capture_window_at(snap, set.capture_layers,
-                                     sites[stale_sites[i]]);
+            return budgeted
+                       ? capture_window_streamed(snap, set.capture_layers,
+                                                 sites[stale_sites[i]])
+                       : capture_window_at(snap, set.capture_layers,
+                                           sites[stale_sites[i]]);
           });
       const std::vector<std::vector<PatternMatch>> scanned =
           engine.matcher(si).scan_per_window(captured, pool);
@@ -282,13 +361,38 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
         stale.push_back(ri);
       }
     }
-    const std::vector<std::size_t> fresh = parallel_map(
-        pool, stale.size(), [&](std::size_t i) {
-          return check_recommended_rule(snap, rules[stale[i]]);
-        });
     if (!have) caches.recommended_hits.assign(rules.size(), 0);
-    for (std::size_t i = 0; i < stale.size(); ++i) {
-      caches.recommended_hits[stale[i]] = fresh[i];
+    const auto run_rec_batch = [&](const std::vector<std::size_t>& batch) {
+      const std::vector<std::size_t> fresh = parallel_map(
+          pool, batch.size(), [&](std::size_t i) {
+            return check_recommended_rule(snap, rules[batch[i]]);
+          });
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        caches.recommended_hits[batch[i]] = fresh[i];
+      }
+    };
+    if (!budgeted) {
+      run_rec_batch(stale);
+    } else {
+      // Same layer-set grouping as the DRC rules above.
+      std::vector<std::pair<std::vector<LayerKey>, std::vector<std::size_t>>>
+          groups;
+      for (const std::size_t ri : stale) {
+        std::vector<LayerKey> ls = rule_layers(rules[ri].rule);
+        std::sort(ls.begin(), ls.end());
+        const auto it =
+            std::find_if(groups.begin(), groups.end(),
+                         [&](const auto& g) { return g.first == ls; });
+        if (it == groups.end()) {
+          groups.emplace_back(std::move(ls), std::vector<std::size_t>{ri});
+        } else {
+          it->second.push_back(ri);
+        }
+      }
+      for (const auto& [group_layers, batch] : groups) {
+        evict_keeping(group_layers);
+        run_rec_batch(batch);
+      }
     }
     rep.recommended = assemble_recommended(rules, caches.recommended_hits);
     rep.scorecard.add("recommended", rep.recommended.compliance(), 1.0,
@@ -301,6 +405,9 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // tile; a tile is stale when the dirty region touches its core
   // expanded by the optical halo. The cache is valid only while every
   // run refreshes it, so a skipped pass invalidates it.
+  // From here on the m1 view below stays live, so every keep set through
+  // the caa pass includes kMetal1.
+  evict_keeping({layers::kMetal1});
   const NormalizedRegion m1 = snap.layer(layers::kMetal1);
   if (enabled.litho && options.run_litho && !m1.empty()) {
     pass.start("litho");
@@ -331,6 +438,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
 
   // 4. Double patterning on Metal 1. Whole-pass splice: reads m1 only.
   if (enabled.dpt) {
+    evict_keeping({layers::kMetal1});
     pass.start("dpt");
     const bool reuse = inc && !damage.dirty(layers::kMetal1);
     if (reuse) {
@@ -351,6 +459,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // derived yield scalars are pure functions of the counts, so they
   // recompute bit-identically either way.
   if (enabled.vias) {
+    evict_keeping({layers::kMetal1, layers::kVia1, layers::kMetal2});
     pass.start("via_doubling");
     const bool reuse =
         inc && !damage.dirty_any(
@@ -374,6 +483,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // 6. Connectivity: extracted nets and floating (misaligned) vias.
   // Whole-pass splice over the full stack.
   if (enabled.connectivity) {
+    evict_keeping({layers::kMetal1, layers::kVia1, layers::kMetal2});
     pass.start("connectivity");
     const bool reuse =
         inc && !damage.dirty_any(
@@ -398,6 +508,7 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   // conservative layer-local estimate. Reads the same layers as
   // connectivity, so it reuses exactly when connectivity did.
   if (enabled.caa) {
+    evict_keeping({layers::kMetal1, layers::kMetal2});
     pass.start("caa_yield");
     const bool reuse =
         inc && !damage.dirty_any(
@@ -433,6 +544,13 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
   }
 
   caches.valid = true;
+  TELEM_GAUGE_SET("snapshot.current_bytes",
+                  static_cast<std::int64_t>(snap.budget().current()));
+  TELEM_GAUGE_SET("snapshot.peak_bytes",
+                  static_cast<std::int64_t>(snap.budget().peak()));
+  TELEM_GAUGE_SET("snapshot.limit_bytes",
+                  static_cast<std::int64_t>(snap.budget().limit()));
+  TELEM_GAUGE_SET("process.peak_rss_kb", peak_rss_kb());
   rep.trace.cache = snap.cache_stats();
 }
 
@@ -477,8 +595,29 @@ const PassTrace* FlowTrace::find(const std::string& name) const {
   return nullptr;
 }
 
+std::size_t resolved_memory_budget(const DfmFlowOptions& options) {
+  if (options.memory_budget != 0) return options.memory_budget;
+  if (const char* env = std::getenv("DFMKIT_SNAPSHOT_BUDGET")) {
+    std::size_t bytes = 0;
+    if (parse_byte_size(env, &bytes)) return bytes;
+  }
+  return 0;
+}
+
 DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options) {
+  const std::size_t budget = resolved_memory_budget(options);
+  if (budget != 0) {
+    // Out-of-core path over the in-memory library. The source only
+    // aliases `lib` (the caller keeps it alive for the duration of the
+    // call), so the shared_ptr carries no ownership.
+    return run_dfm_flow(
+        std::make_shared<LibrarySource>(
+            std::shared_ptr<const Library>(std::shared_ptr<void>{}, &lib),
+            top),
+        options);
+  }
+
   DfmFlowReport rep;
   const auto t0 = Clock::now();
   telemetry::Span flow_span("flow");
@@ -500,12 +639,41 @@ DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
   return rep;
 }
 
+DfmFlowReport run_dfm_flow(std::shared_ptr<const SnapshotSource> source,
+                           const DfmFlowOptions& options) {
+  DfmFlowReport rep;
+  const auto t0 = Clock::now();
+  telemetry::Span flow_span("flow");
+  const PassPool pool(options);
+
+  // The lazy snapshot only scans per-layer bboxes up front; geometry
+  // hydrates on first touch inside the passes, so the "snapshot" row
+  // records just the index scan.
+  const auto snap_t0 = Clock::now();
+  const std::uint64_t snap_t0_ns = telemetry::now_ns();
+  const LayoutSnapshot snap(std::move(source),
+                            LayoutSnapshot::standard_flow_layers());
+  snap.budget().set_limit(resolved_memory_budget(options));
+  telemetry::record_span("flow/snapshot", snap_t0_ns, telemetry::now_ns());
+  rep.trace.passes.push_back(
+      PassTrace{"snapshot", ms_since(snap_t0), snap.layer_keys().size()});
+
+  FlowCaches caches;
+  detail::run_flow_passes(rep, snap, options, pool, caches, FlowDamage{},
+                          nullptr);
+  rep.trace.total_ms = ms_since(t0);
+  return rep;
+}
+
 DfmFlowReport run_dfm_flow(const LayoutSnapshot& snap,
                            const DfmFlowOptions& options) {
   DfmFlowReport rep;
   const auto t0 = Clock::now();
   telemetry::Span flow_span("flow");
   const PassPool pool(options);
+  if (const std::size_t budget = resolved_memory_budget(options)) {
+    snap.budget().set_limit(budget);
+  }
   rep.trace.passes.push_back(
       PassTrace{"snapshot", 0.0, snap.layer_keys().size()});
   FlowCaches caches;
@@ -582,7 +750,16 @@ std::string flow_trace_json(const DfmFlowReport& rep,
 std::string flow_report_canonical_json(const DfmFlowReport& rep) {
   DfmFlowReport copy = rep;
   copy.trace.total_ms = 0;
-  for (PassTrace& p : copy.trace.passes) p.ms = 0;
+  // Wall clock and cache activity are run artifacts, not analysis
+  // content: a budgeted run re-hydrates (and a streamed capture skips
+  // index builds entirely) without changing any result, so both are
+  // zeroed for the canonical form.
+  for (PassTrace& p : copy.trace.passes) {
+    p.ms = 0;
+    p.cache_hits = 0;
+    p.cache_misses = 0;
+  }
+  copy.trace.cache = SnapshotCacheStats{};
   return flow_trace_json(copy);
 }
 

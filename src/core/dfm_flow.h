@@ -87,7 +87,18 @@ struct DfmFlowOptions : PassOptions {
   /// canonical_flow_pass); empty = every pass. caa_yield reads the
   /// extracted nets, so requesting it pulls connectivity in with it.
   std::vector<std::string> passes;
+  /// Byte budget hydrated snapshot state (geometry + derived products)
+  /// should stay under; 0 falls back to the DFMKIT_SNAPSHOT_BUDGET
+  /// environment variable, else unlimited. With a budget the flow runs
+  /// over a lazily-hydrated snapshot, schedules DRC/recommended rules in
+  /// per-layer-set groups, and evicts at pass boundaries; the report is
+  /// bit-identical at any budget and thread count.
+  std::size_t memory_budget = 0;
 };
+
+/// options.memory_budget, or the parsed DFMKIT_SNAPSHOT_BUDGET
+/// environment variable when that is 0; 0 = unlimited.
+std::size_t resolved_memory_budget(const DfmFlowOptions& options);
 
 /// Resolves a user-facing pass name ("drc", "vias", "caa", ...) to its
 /// canonical flow pass name; empty when unknown.
@@ -119,6 +130,14 @@ bool reports_equivalent(const DfmFlowReport& a, const DfmFlowReport& b);
 DfmFlowReport run_dfm_flow(const Library& lib, std::uint32_t top,
                            const DfmFlowOptions& options);
 
+/// Out-of-core entry point: runs the flow over a lazily-hydrated
+/// snapshot of `source` (e.g. a GdsStreamSource over an mmap'd file, or
+/// a ShmSnapshotSource over a published segment), under
+/// resolved_memory_budget(options). The report is byte-identical to the
+/// in-memory path over the same design.
+DfmFlowReport run_dfm_flow(std::shared_ptr<const SnapshotSource> source,
+                           const DfmFlowOptions& options);
+
 /// Runs the flow over a snapshot the caller already built (its "snapshot"
 /// pass then records zero time). The snapshot must contain
 /// LayoutSnapshot::standard_flow_layers().
@@ -141,11 +160,14 @@ std::string flow_trace_json(const DfmFlowReport& rep,
 /// The --json schema version flow_trace_json emits.
 constexpr int kFlowJsonSchemaVersion = 2;
 
-/// flow_trace_json with every wall-clock field zeroed: the canonical,
-/// byte-stable serialization of an analysis result. Two reports that are
-/// reports_equivalent() and ran the same pass schedule serialize to
-/// identical bytes at any thread count, so the service returns this form
-/// and the tests diff a served flow against the direct library call.
+/// flow_trace_json with every wall-clock and cache-activity field zeroed:
+/// the canonical, byte-stable serialization of an analysis result. Two
+/// reports that are reports_equivalent() and ran the same pass schedule
+/// serialize to identical bytes at any thread count and any memory
+/// budget (cache hits/builds vary with eviction and the streamed capture
+/// path, so they are run artifacts, not analysis content); the service
+/// returns this form and the tests diff a served flow against the direct
+/// library call.
 std::string flow_report_canonical_json(const DfmFlowReport& rep);
 
 }  // namespace dfm

@@ -66,13 +66,6 @@ class DrcPlusEngine {
   /// the layer set to build a snapshot from.
   std::vector<LayerKey> layers_used() const;
 
-  /// Deprecated Library/LayerMap shims live in core/compat.h.
-  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
-  DrcPlusResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
-  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
-  DrcPlusResult run(const Library& lib, std::uint32_t top,
-                    ThreadPool* pool = nullptr) const;
-
  private:
   DrcPlusDeck deck_;
   std::vector<PatternMatcher> matchers_;  // one per pattern set

@@ -5,9 +5,9 @@
 // either a `threads` count (the engine owns a pool for the call) or a
 // borrowed `pool` (the flow shares one pool across every pass).
 //
-// Legacy Library/LayerMap overloads live in core/compat.h as
-// [[deprecated]] shims; new code should build a LayoutSnapshot once and
-// hand it to each engine.
+// The snapshot-first surface is the only one: the legacy Library/
+// LayerMap shims were removed once every in-tree caller migrated. Build
+// a LayoutSnapshot once and hand it to each engine.
 #pragma once
 
 #include "core/parallel.h"

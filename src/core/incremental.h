@@ -90,11 +90,17 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
 /// only comparable across runs of the same deck, model and pass set).
 class DfmFlowSession {
  public:
-  /// Flattens, snapshots and runs the flow cold.
+  /// Flattens, snapshots and runs the flow cold. Under a resolved
+  /// memory budget the flatten happens lazily over a copy of `lib`
+  /// (LibrarySource), so hydrated snapshot state stays under budget.
   DfmFlowSession(const Library& lib, std::uint32_t top,
                  DfmFlowOptions options);
   /// Same from an explicit layer map (testing / in-memory edits).
   DfmFlowSession(LayerMap layers, DfmFlowOptions options);
+  /// Out-of-core session: hydrates lazily from `source` (a streaming
+  /// reader or shared-memory segment) under resolved_memory_budget.
+  DfmFlowSession(std::shared_ptr<const SnapshotSource> source,
+                 DfmFlowOptions options);
 
   const DfmFlowOptions& options() const { return options_; }
   const LayoutSnapshot& snapshot() const { return *snap_; }

@@ -27,9 +27,6 @@ struct RecommendedResult {
                          const RecommendedResult&) = default;
 };
 
-using RecommendedReport [[deprecated("renamed RecommendedResult")]] =
-    RecommendedResult;
-
 struct RecommendedOptions : PassOptions {
   using PassOptions::PassOptions;
 };
@@ -51,10 +48,5 @@ RecommendedResult assemble_recommended(const std::vector<RecommendedRule>& rules
 RecommendedResult check_recommended(const LayoutSnapshot& snap,
                                     const std::vector<RecommendedRule>& rules,
                                     const RecommendedOptions& options = {});
-
-/// Deprecated LayerMap shim; lives in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-RecommendedResult check_recommended(const LayerMap& layers,
-                                    const std::vector<RecommendedRule>& rules);
 
 }  // namespace dfm

@@ -1,22 +1,38 @@
 // LayoutSnapshot: the immutable, cached analysis substrate every DFM
 // pass shares. Built once per flow from a Library + top cell (or from an
-// existing LayerMap), it holds eagerly-normalized layer regions — so the
-// "call rects() before fan-out" ritual disappears by construction — plus
-// memoized, thread-safe derived products (per-layer R-tree, boundary
-// edge list, density grids, joint bbox) that are computed at most once
-// per flow instead of once per pass.
+// existing LayerMap, or lazily over a SnapshotSource), it holds
+// canonically-normalized layer regions — so the "call rects() before
+// fan-out" ritual disappears by construction — plus memoized,
+// thread-safe derived products (per-layer R-tree, boundary edge list,
+// density grids, joint bbox) that are computed at most once per flow
+// instead of once per pass.
 //
-// Thread safety: the layer map and bbox are finalized in the
-// constructor; derived products initialize through std::call_once, so
-// concurrent first access from any number of passes is race-free and
-// every caller sees the same object. Cache accounting (reads vs builds)
-// uses relaxed atomics and is deterministic for a deterministic call
-// pattern, which the flow tracer relies on.
+// Out-of-core mode: a snapshot built over a SnapshotSource starts with
+// no geometry resident. Layer regions hydrate on first access (from an
+// mmap-backed streaming reader, a shared-memory segment, or a Library),
+// and both geometry and derived products can be evicted again under a
+// SnapshotBudget and re-hydrated later. Hydration is deterministic — a
+// re-hydrated layer is canonically identical to its first hydration — so
+// analysis results are bit-identical at any budget. Eviction must only
+// happen at quiescent points (pass boundaries): outstanding
+// NormalizedRegion views and derived-product references are non-owning.
 //
-// The snapshot owns its geometry: the source Library may be destroyed
-// after construction.
+// Thread safety: bbox and the key set are finalized in the constructor;
+// geometry hydration and derived products initialize under per-slot
+// mutexes, so concurrent first access from any number of passes is
+// race-free and every caller sees the same object. Cache accounting
+// (reads vs builds) uses relaxed atomics and is deterministic for a
+// deterministic call pattern, which the flow tracer relies on; a rebuild
+// after an eviction counts as a budget re-hydration, NOT a build, so the
+// build counters (and the canonical flow report they feed) are identical
+// whether or not anything was ever evicted.
+//
+// A snapshot built eagerly owns its geometry: the source Library may be
+// destroyed after construction. A source-backed snapshot keeps its
+// source alive for the snapshot's lifetime.
 #pragma once
 
+#include "core/snapshot_source.h"
 #include "geometry/edge_ops.h"
 #include "geometry/normalized_region.h"
 #include "geometry/rtree.h"
@@ -37,8 +53,9 @@ class LayoutDelta;  // core/delta.h
 class ThreadPool;   // core/parallel.h
 
 /// Cumulative cache accounting for one snapshot. A "read" is any derived-
-/// product access; a "build" is the one that actually computed it, so
-/// hits = reads - builds.
+/// product access; a "build" is the one that actually computed it for the
+/// first time, so hits = reads - builds. Rebuilds after an eviction are
+/// counted by the SnapshotBudget as re-hydrations, not here.
 struct SnapshotCacheStats {
   std::uint64_t rtree_reads = 0, rtree_builds = 0;
   std::uint64_t edge_reads = 0, edge_builds = 0;
@@ -77,26 +94,31 @@ class LayoutSnapshot {
   explicit LayoutSnapshot(const LayerMap& layers);
   /// Takes ownership of `layers` (no copy) and normalizes in place.
   explicit LayoutSnapshot(LayerMap&& layers);
+  /// Out-of-core: nothing is flattened up front; each of `layer_keys`
+  /// hydrates from `source` on first access and may be evicted again.
+  /// The per-layer bboxes (and so bbox()) come from the source's index,
+  /// bit-identical to an eager build.
+  LayoutSnapshot(std::shared_ptr<const SnapshotSource> source,
+                 std::vector<LayerKey> layer_keys);
 
   LayoutSnapshot(const LayoutSnapshot&) = delete;
   LayoutSnapshot& operator=(const LayoutSnapshot&) = delete;
 
   // DfmFlowSession owns an IncrementalSnapshot through a LayoutSnapshot
   // pointer; destruction through the base must reach the derived dtor.
-  virtual ~LayoutSnapshot() = default;
+  virtual ~LayoutSnapshot();
 
   /// The normalized layer regions, keyed as requested at construction.
-  const LayerMap& layers() const { return layers_; }
+  /// On a source-backed snapshot this hydrates every layer — prefer
+  /// layer(k) where the consumer's key set is known.
+  const LayerMap& layers() const;
   const std::vector<LayerKey>& layer_keys() const { return keys_; }
   bool has(LayerKey k) const { return layers_.count(k) != 0; }
-  /// View of one layer; a shared empty region when the key is absent.
-  NormalizedRegion layer(LayerKey k) const {
-    const auto it = layers_.find(k);
-    return it == layers_.end() ? NormalizedRegion{}
-                               : NormalizedRegion{it->second};
-  }
+  /// View of one layer (hydrating it if needed); a shared empty region
+  /// when the key is absent.
+  NormalizedRegion layer(LayerKey k) const;
 
-  /// Joint bbox of every layer (computed eagerly at construction).
+  /// Joint bbox of every layer (known at construction in every mode).
   Rect bbox() const { return bbox_; }
 
   /// R-tree over the layer's canonical rects; built on first access.
@@ -107,7 +129,48 @@ class LayoutSnapshot {
   /// `tile`; one grid per (layer, tile) pair, built on first access.
   const DensityMap& density(LayerKey k, Coord tile) const;
 
+  /// The layer's geometry clipped to `window`, WITHOUT hydrating the
+  /// layer: a resident layer is clipped in place; an evicted (or
+  /// never-read) layer on a source-backed snapshot decodes only the
+  /// records intersecting `window`, transiently — nothing is charged to
+  /// the budget and nothing stays resident. Both paths cover the same
+  /// point set and Region is canonical by point set, so the result is
+  /// bit-identical either way. This is the accessor budgeted passes use
+  /// for window-local work (pattern capture) so their working set is
+  /// bounded by the window, not the layer. Unknown keys yield an empty
+  /// region.
+  Region read_layer_window(LayerKey k, const Rect& window) const;
+
   SnapshotCacheStats cache_stats() const;
+
+  /// The byte budget this snapshot charges hydrated state to. Always
+  /// present; limit 0 means nothing is ever required to be evicted but
+  /// current/peak still measure the hydrated footprint.
+  SnapshotBudget& budget() const { return *budget_; }
+  /// True when geometry can be dropped and re-hydrated (source-backed).
+  bool evictable() const { return source_ != nullptr; }
+
+  // Eviction. Callers must guarantee quiescence: no other thread is
+  // inside an accessor and no NormalizedRegion / derived-product
+  // reference obtained earlier will be used again before re-access. The
+  // flow driver calls these between passes only. All return the bytes
+  // released.
+  std::size_t evict_derived(LayerKey k) const;
+  /// Drops the layer's region (source-backed snapshots only; a no-op —
+  /// returns 0 — otherwise or when not hydrated).
+  std::size_t evict_geometry(LayerKey k) const;
+  /// Releases state in deterministic order until current() <= limit():
+  /// derived products of layers outside `keep` (key order), then their
+  /// geometry, then derived products of `keep` layers. Geometry of
+  /// `keep` layers is never dropped. No-op when under budget or
+  /// unlimited.
+  std::size_t evict_to_budget(const std::vector<LayerKey>& keep) const;
+  /// Same, but releases down to an explicit byte `target` instead of the
+  /// budget limit. The flow evicts with headroom (target = limit / 2) at
+  /// pass boundaries so the next working set hydrates into slack instead
+  /// of starting at the ceiling.
+  std::size_t evict_to_budget(const std::vector<LayerKey>& keep,
+                              std::size_t target) const;
 
  protected:
   // Protected-member access rules bar a derived class from reaching
@@ -118,29 +181,70 @@ class LayoutSnapshot {
   // Derived-product slots are heap-allocated and shared: an
   // IncrementalSnapshot aliases its base's slots for clean layers, so an
   // R-tree (or edge list, or density grid) built under either snapshot
-  // is visible — and built at most once — under both.
+  // is visible — and built at most once — under both. Each product is a
+  // mutex-guarded build/evict slot; `*_ever` remembers a product was
+  // built once so a rebuild is classified as a re-hydration. The slot
+  // releases its outstanding bytes to `budget` on destruction.
   struct Derived {
-    std::once_flag rtree_once;
+    std::shared_ptr<SnapshotBudget> budget;
+
+    std::mutex rtree_mu;
+    bool rtree_built = false, rtree_ever = false;
+    std::size_t rtree_bytes = 0;
     RTree rtree;
-    std::once_flag edges_once;
+
+    std::mutex edges_mu;
+    bool edges_built = false, edges_ever = false;
+    std::size_t edges_bytes = 0;
     std::vector<BoundaryEdge> edges;
+
     std::mutex density_mu;
     std::map<Coord, DensityMap> density;  // keyed by tile edge
+    std::map<Coord, bool> density_ever;
+    std::size_t density_bytes = 0;
+
+    ~Derived();
+  };
+
+  // Per-layer geometry hydration state (per-snapshot: unlike Derived,
+  // the regions in layers_ are never shared between snapshots).
+  // `hydrated` is atomic so readers of an already-resident layer take no
+  // lock: the release store in hydrated_region publishes the region, and
+  // eviction (which clears it) only runs at quiescent points where no
+  // reader is in flight, so an acquire load of `true` guarantees the
+  // region stays valid for the read.
+  struct GeoSlot {
+    std::mutex mu;
+    std::atomic<bool> hydrated{false};
+    bool ever = false;
+    std::size_t bytes = 0;
   };
 
   /// For IncrementalSnapshot, which fills layers_ itself.
   LayoutSnapshot() = default;
 
-  /// Normalizes every region, records keys_ and bbox_, and creates the
-  /// per-layer derived-product slots (where not already shared in).
-  /// Called once, from constructors.
+  /// Normalizes every region, records keys_ and bbox_, creates the
+  /// per-layer slots (where not already shared in), and charges the
+  /// resident geometry to the budget. Called once, from constructors.
   void finalize();
   Derived* derived_of(LayerKey k) const;
+  /// The layer's region with hydration guaranteed (hydrates from
+  /// source_ under the geometry slot's mutex when evicted or never yet
+  /// read). Throws std::out_of_range for an unknown key.
+  const Region& hydrated_region(LayerKey k) const;
 
-  LayerMap layers_;
+  static std::size_t region_bytes(const Region& r);
+
+  // layers_ is mutable because hydration materializes regions through
+  // const accessors; the map structure itself is fixed at construction.
+  mutable LayerMap layers_;
   std::vector<LayerKey> keys_;
   Rect bbox_ = Rect::empty();
+  std::shared_ptr<const SnapshotSource> source_;
+  mutable std::shared_ptr<SnapshotBudget> budget_ =
+      std::make_shared<SnapshotBudget>();
   mutable std::map<LayerKey, std::shared_ptr<Derived>> derived_;
+  mutable std::map<LayerKey, std::shared_ptr<GeoSlot>> geo_;
 
   mutable std::atomic<std::uint64_t> rtree_reads_{0}, rtree_builds_{0};
   mutable std::atomic<std::uint64_t> edge_reads_{0}, edge_builds_{0};
@@ -166,6 +270,11 @@ class LayoutSnapshot {
 /// The shared slots keep the base's products alive independently of the
 /// base snapshot itself, so a chain of IncrementalSnapshots may drop
 /// each predecessor after deriving from it.
+///
+/// Deriving from a source-backed base hydrates the base fully (the delta
+/// applies to materialized geometry); the result owns its regions and is
+/// not itself geometry-evictable, but shares the base's budget so the
+/// session's accounting stays continuous.
 class IncrementalSnapshot : public LayoutSnapshot {
  public:
   IncrementalSnapshot(const LayoutSnapshot& base, const LayoutDelta& delta);

@@ -1,0 +1,256 @@
+#include "core/snapshot_shm.h"
+
+#include "geometry/normalized_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'F', 'M', 'S', 'H', 'M', '1', '\0'};
+
+struct ShmHeader {
+  char magic[8];
+  std::uint64_t layers;
+};
+
+struct ShmLayer {
+  std::int32_t layer;
+  std::int32_t datatype;
+  Coord bbox[4];          // lo.x lo.y hi.x hi.y (Rect::empty() when bare)
+  std::uint64_t offset;   // byte offset of the rect payload
+  std::uint64_t count;    // rects in the payload
+};
+
+std::string shm_name(const std::string& name) {
+  if (!name.empty() && name.front() == '/') return name;
+  return "/" + name;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& name) {
+  throw std::runtime_error("snapshot shm: " + what + " " + name + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+struct ShmSnapshotSource::Entry : ShmLayer {};
+
+std::size_t publish_snapshot_shm(const std::string& name,
+                                 const SnapshotSource& source,
+                                 const std::vector<LayerKey>& keys) {
+  // Read everything first so a source error cannot leave a half-written
+  // segment behind.
+  std::vector<Region> regions;
+  regions.reserve(keys.size());
+  std::size_t total = sizeof(ShmHeader) + keys.size() * sizeof(ShmLayer);
+  for (const LayerKey k : keys) {
+    regions.push_back(source.read_layer(k));
+    (void)NormalizedRegion{regions.back()};
+    total += regions.back().rects().size() * 4 * sizeof(Coord);
+  }
+
+  const std::string path = shm_name(name);
+  const int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) fail("cannot create", path);
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    ::close(fd);
+    ::shm_unlink(path.c_str());
+    fail("cannot size", path);
+  }
+  void* addr =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(path.c_str());
+    fail("cannot map", path);
+  }
+
+  auto* bytes = static_cast<std::uint8_t*>(addr);
+  ShmHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof kMagic);
+  hdr.layers = keys.size();
+  std::memcpy(bytes, &hdr, sizeof hdr);
+
+  std::uint64_t payload =
+      sizeof(ShmHeader) + keys.size() * sizeof(ShmLayer);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::vector<Rect>& rects = regions[i].rects();
+    const Rect bb = regions[i].bbox();
+    ShmLayer entry{};
+    entry.layer = keys[i].layer;
+    entry.datatype = keys[i].datatype;
+    entry.bbox[0] = bb.lo.x;
+    entry.bbox[1] = bb.lo.y;
+    entry.bbox[2] = bb.hi.x;
+    entry.bbox[3] = bb.hi.y;
+    entry.offset = payload;
+    entry.count = rects.size();
+    std::memcpy(bytes + sizeof(ShmHeader) + i * sizeof(ShmLayer), &entry,
+                sizeof entry);
+    Coord* out = reinterpret_cast<Coord*>(bytes + payload);
+    for (const Rect& r : rects) {
+      *out++ = r.lo.x;
+      *out++ = r.lo.y;
+      *out++ = r.hi.x;
+      *out++ = r.hi.y;
+    }
+    payload += rects.size() * 4 * sizeof(Coord);
+  }
+
+  ::munmap(addr, total);
+  return total;
+}
+
+bool snapshot_shm_exists(const std::string& name) {
+  const int fd = ::shm_open(shm_name(name).c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+bool remove_snapshot_shm(const std::string& name) {
+  return ::shm_unlink(shm_name(name).c_str()) == 0;
+}
+
+std::string snapshot_shm_name_for(const std::string& prefix,
+                                  const std::string& path) {
+  // FNV-1a over the path; collisions only matter within one prefix and
+  // the daemon validates the attached segment anyway.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : path) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  return shm_name(prefix) + "." + hex;
+}
+
+ShmSnapshotSource::ShmSnapshotSource(const std::string& name)
+    : name_(shm_name(name)) {
+  const int fd = ::shm_open(name_.c_str(), O_RDONLY, 0);
+  if (fd < 0) fail("cannot open", name_);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", name_);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < sizeof(ShmHeader)) {
+    ::close(fd);
+    throw std::runtime_error("snapshot shm: " + name_ + ": truncated header");
+  }
+  addr_ = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr_ == MAP_FAILED) {
+    addr_ = nullptr;
+    fail("cannot map", name_);
+  }
+
+  ShmHeader hdr{};
+  std::memcpy(&hdr, addr_, sizeof hdr);
+  const std::uint64_t table_end =
+      sizeof(ShmHeader) + hdr.layers * sizeof(ShmLayer);
+  if (std::memcmp(hdr.magic, kMagic, sizeof kMagic) != 0 ||
+      table_end > size_) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    throw std::runtime_error("snapshot shm: " + name_ +
+                             ": not a snapshot segment");
+  }
+  // Validate every payload span up front so reads can't run off the map.
+  const auto* entries = reinterpret_cast<const ShmLayer*>(
+      static_cast<const std::uint8_t*>(addr_) + sizeof(ShmHeader));
+  for (std::uint64_t i = 0; i < hdr.layers; ++i) {
+    const std::uint64_t end =
+        entries[i].offset + entries[i].count * 4 * sizeof(Coord);
+    if (entries[i].offset < table_end || end > size_ ||
+        end < entries[i].offset) {
+      ::munmap(addr_, size_);
+      addr_ = nullptr;
+      throw std::runtime_error("snapshot shm: " + name_ +
+                               ": corrupt layer table");
+    }
+  }
+}
+
+ShmSnapshotSource::~ShmSnapshotSource() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+const ShmSnapshotSource::Entry* ShmSnapshotSource::find(LayerKey k) const {
+  ShmHeader hdr{};
+  std::memcpy(&hdr, addr_, sizeof hdr);
+  const auto* entries = reinterpret_cast<const Entry*>(
+      static_cast<const std::uint8_t*>(addr_) + sizeof(ShmHeader));
+  for (std::uint64_t i = 0; i < hdr.layers; ++i) {
+    if (entries[i].layer == k.layer && entries[i].datatype == k.datatype) {
+      return &entries[i];
+    }
+  }
+  return nullptr;
+}
+
+std::vector<LayerKey> ShmSnapshotSource::layer_keys() const {
+  ShmHeader hdr{};
+  std::memcpy(&hdr, addr_, sizeof hdr);
+  const auto* entries = reinterpret_cast<const Entry*>(
+      static_cast<const std::uint8_t*>(addr_) + sizeof(ShmHeader));
+  std::vector<LayerKey> keys;
+  keys.reserve(hdr.layers);
+  for (std::uint64_t i = 0; i < hdr.layers; ++i) {
+    keys.push_back(LayerKey{static_cast<std::int16_t>(entries[i].layer),
+                            static_cast<std::int16_t>(entries[i].datatype)});
+  }
+  return keys;
+}
+
+std::string ShmSnapshotSource::describe() const { return "shm:" + name_; }
+
+Rect ShmSnapshotSource::layer_bbox(LayerKey k) const {
+  const Entry* e = find(k);
+  if (e == nullptr || e->count == 0) return Rect::empty();
+  return Rect{e->bbox[0], e->bbox[1], e->bbox[2], e->bbox[3]};
+}
+
+Region ShmSnapshotSource::read_layer(LayerKey k) const {
+  const Entry* e = find(k);
+  Region r;
+  if (e == nullptr) return r;
+  const Coord* q = reinterpret_cast<const Coord*>(
+      static_cast<const std::uint8_t*>(addr_) + e->offset);
+  std::vector<Rect> rects;
+  rects.reserve(e->count);
+  for (std::uint64_t i = 0; i < e->count; ++i, q += 4) {
+    rects.push_back(Rect{q[0], q[1], q[2], q[3]});
+  }
+  r = Region{std::move(rects)};
+  (void)NormalizedRegion{r};
+  return r;
+}
+
+Region ShmSnapshotSource::read_layer_window(LayerKey k,
+                                            const Rect& window) const {
+  const Entry* e = find(k);
+  Region r;
+  if (e == nullptr) return r;
+  const Coord* q = reinterpret_cast<const Coord*>(
+      static_cast<const std::uint8_t*>(addr_) + e->offset);
+  for (std::uint64_t i = 0; i < e->count; ++i, q += 4) {
+    const Rect clipped = Rect{q[0], q[1], q[2], q[3]}.intersect(window);
+    if (!clipped.is_empty()) r.add(clipped);
+  }
+  (void)NormalizedRegion{r};
+  return r;
+}
+
+}  // namespace dfm

@@ -1,0 +1,80 @@
+// Shared-memory snapshot segments: one process publishes the canonical
+// flattened geometry of a design into a POSIX shm object, and any number
+// of processes attach it as a SnapshotSource — the kernel keeps exactly
+// one resident copy of the rect data, mapped read-only into everyone.
+//
+// Segment layout (native-endian, same-machine only):
+//
+//   ShmHeader   { magic "DFMSHM1\0", layer count }
+//   ShmLayer[n] { layer/datatype, exact bbox, payload offset, rect count }
+//   payload     n_i * 4 Coord per layer (lo.x lo.y hi.x hi.y, canonical
+//               normalized order)
+//
+// The payload is the layer's canonical decomposition, so an attached
+// source returns byte-identical geometry to the source it was published
+// from; window reads clip the canonical rects and re-normalize, which is
+// point-set equal to clipping the full layer (the SnapshotSource
+// contract).
+//
+// Lifecycle: publish_snapshot_shm() creates (O_EXCL — publishing twice
+// is an error), ShmSnapshotSource attaches read-only and holds the
+// mapping for its lifetime, remove_snapshot_shm() unlinks the name.
+// Unlinking does not tear down live mappings; attached readers keep
+// working and the memory is reclaimed when the last one detaches.
+#pragma once
+
+#include "core/snapshot_source.h"
+
+#include <vector>
+
+namespace dfm {
+
+/// Serializes the canonical geometry of `keys` read from `source` into
+/// the shm object `name` (a leading '/' is added when missing). Throws
+/// when the object already exists or cannot be created. Returns the
+/// segment size in bytes.
+std::size_t publish_snapshot_shm(const std::string& name,
+                                 const SnapshotSource& source,
+                                 const std::vector<LayerKey>& keys);
+
+/// True when the shm object `name` exists and can be opened.
+bool snapshot_shm_exists(const std::string& name);
+
+/// Unlinks the shm object; returns false when it did not exist.
+bool remove_snapshot_shm(const std::string& name);
+
+/// Deterministic segment name for a layout path under a user prefix:
+/// "/<prefix>.<hex hash of path>" — how `dfmkit serve --snapshot-shm`
+/// keys segments so every worker (and every daemon on the machine using
+/// the same prefix) shares one copy per file.
+std::string snapshot_shm_name_for(const std::string& prefix,
+                                  const std::string& path);
+
+/// SnapshotSource over a published segment. Attaching validates the
+/// header; all reads are served straight from the shared mapping.
+class ShmSnapshotSource : public SnapshotSource {
+ public:
+  explicit ShmSnapshotSource(const std::string& name);
+  ~ShmSnapshotSource() override;
+
+  ShmSnapshotSource(const ShmSnapshotSource&) = delete;
+  ShmSnapshotSource& operator=(const ShmSnapshotSource&) = delete;
+
+  /// Layers the segment carries, in published order.
+  std::vector<LayerKey> layer_keys() const;
+
+  std::string describe() const override;
+  Rect layer_bbox(LayerKey k) const override;
+  Region read_layer(LayerKey k) const override;
+  Region read_layer_window(LayerKey k, const Rect& window) const override;
+
+ private:
+  struct Entry;
+  const Entry* find(LayerKey k) const;
+
+  std::string name_;
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dfm

@@ -1,0 +1,65 @@
+#include "core/snapshot_source.h"
+
+#include "geometry/normalized_region.h"
+#include "layout/library.h"
+
+#include <cctype>
+
+namespace dfm {
+
+LibrarySource::LibrarySource(std::shared_ptr<const Library> lib,
+                             std::uint32_t top)
+    : lib_(std::move(lib)), top_(top) {}
+
+std::string LibrarySource::describe() const { return "library"; }
+
+Rect LibrarySource::layer_bbox(LayerKey k) const {
+  return lib_->flatten(top_, k).bbox();
+}
+
+Region LibrarySource::read_layer(LayerKey k) const {
+  Region r = lib_->flatten(top_, k);
+  (void)NormalizedRegion{r};
+  return r;
+}
+
+Region LibrarySource::read_layer_window(LayerKey k, const Rect& window) const {
+  Region r = lib_->flatten_window(top_, k, window);
+  (void)NormalizedRegion{r};
+  return r;
+}
+
+bool parse_byte_size(const std::string& text, std::size_t* out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  if (i == 0) return false;  // no digits
+  std::uint64_t mult = 1;
+  if (i < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+      case 'k': mult = 1ull << 10; ++i; break;
+      case 'g': mult = 1ull << 30; ++i; break;
+      case 'm': mult = 1ull << 20; ++i; break;
+      default: break;
+    }
+    // Optional "B" / "iB" tail ("64MiB", "512kb").
+    if (i < text.size() &&
+        std::tolower(static_cast<unsigned char>(text[i])) == 'i') {
+      ++i;
+    }
+    if (i < text.size() &&
+        std::tolower(static_cast<unsigned char>(text[i])) == 'b') {
+      ++i;
+    }
+    if (i != text.size()) return false;
+  }
+  *out = static_cast<std::size_t>(value * mult);
+  return true;
+}
+
+}  // namespace dfm

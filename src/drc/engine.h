@@ -78,13 +78,6 @@ class DrcEngine {
   static std::vector<Violation> run_rule(const LayoutSnapshot& snap,
                                          const Rule& rule);
 
-  /// Deprecated Library/LayerMap shims live in core/compat.h.
-  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
-  DrcResult run(const LayerMap& layers, ThreadPool* pool = nullptr) const;
-  [[deprecated("build a LayoutSnapshot and call run(snap, options)")]]
-  DrcResult run(const Library& lib, std::uint32_t top,
-                ThreadPool* pool = nullptr) const;
-
  private:
   RuleDeck deck_;
 };

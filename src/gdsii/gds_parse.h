@@ -1,0 +1,43 @@
+// Internal: the GDSII parsing core shared by the whole-stream reader
+// (read_gdsii) and the mmap-backed streaming reader (GdsStreamReader).
+// Both decode through the same element state machine over SpanRecordReader,
+// so the record-framing fuzz corpus that exercises read_gdsii covers the
+// streaming decode path too.
+#pragma once
+
+#include "gdsii/gds_records.h"
+#include "layout/cell.h"
+
+#include <string>
+#include <vector>
+
+namespace dfm::gds::detail {
+
+/// Library-level header state accumulated outside structures.
+struct LibHeader {
+  bool have_lib = false;
+  std::string libname = "LIB";
+  double dbu_per_uu = 1000.0;
+  double meters_per_dbu = 1e-9;
+};
+
+/// One decoded structure plus the names its references target (parallel
+/// to cell.refs(); indices are resolved by the caller once every
+/// structure is known).
+struct ParsedCell {
+  Cell cell;
+  std::vector<std::string> ref_targets;
+};
+
+/// Parses one structure body. `r` must be positioned just after the
+/// BGNSTR record; consumes records up to and including ENDSTR. Throws
+/// std::runtime_error on malformed input (including EOF before ENDSTR:
+/// "GDSII: unterminated structure").
+ParsedCell parse_structure(SpanRecordReader& r);
+
+/// Applies one library-level record to `hdr`. Returns false at ENDLIB
+/// (parsing is done), true otherwise. Structure-level records are not
+/// accepted here.
+bool apply_header_record(const RecordView& rec, LibHeader& hdr);
+
+}  // namespace dfm::gds::detail

@@ -1,19 +1,21 @@
 #include "gdsii/gdsii.h"
 
+#include "gdsii/gds_parse.h"
 #include "gdsii/gds_records.h"
 #include "geometry/region.h"
 
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <stdexcept>
 
 namespace dfm {
 namespace {
 
-using gds::Record;
-using gds::RecordReader;
 using gds::RecordType;
+using gds::RecordView;
+using gds::SpanRecordReader;
 
 Orient orient_from(bool reflect, double angle) {
   const long deg = std::lround(angle);
@@ -80,22 +82,36 @@ Polygon path_to_polygon(const std::vector<Point>& centerline, Coord width,
   return polys.front();
 }
 
-Library read_gdsii(std::istream& in) {
-  RecordReader reader(in);
-  Record rec;
+namespace gds::detail {
 
-  Library lib;
-  bool have_lib = false;
-  std::string libname = "LIB";
-  double dbu_per_uu = 1000.0;
-  double meters_per_dbu = 1e-9;
+bool apply_header_record(const RecordView& rec, LibHeader& hdr) {
+  switch (rec.type) {
+    case RecordType::kBgnLib:
+      hdr.have_lib = true;
+      break;
+    case RecordType::kLibName:
+      hdr.libname = rec.ascii();
+      break;
+    case RecordType::kUnits:
+      hdr.dbu_per_uu = 1.0 / rec.real64_at(0);
+      hdr.meters_per_dbu = rec.real64_at(1);
+      break;
+    case RecordType::kEndLib:
+      return false;
+    default:
+      // Stray structure/element records outside a structure are ignored,
+      // as the stream reader always has.
+      break;
+  }
+  return true;
+}
 
-  std::vector<Cell> cells;
-  std::vector<PendingRef> pending;
+ParsedCell parse_structure(SpanRecordReader& r) {
+  ParsedCell out;
+  Cell& cell = out.cell;
 
   enum class ElKind { kNone, kBoundary, kPath, kSref, kAref, kText };
 
-  Cell* cur_cell = nullptr;
   ElKind el = ElKind::kNone;
   // Element state.
   std::int16_t layer = 0, datatype = 0, texttype = 0;
@@ -122,18 +138,18 @@ Library read_gdsii(std::istream& in) {
   };
 
   auto finish_element = [&] {
-    if (cur_cell == nullptr || el == ElKind::kNone) return;
+    if (el == ElKind::kNone) return;
     const LayerKey key{layer, el == ElKind::kText ? texttype : datatype};
     switch (el) {
       case ElKind::kBoundary: {
         // GDSII closes the contour explicitly; drop the repeated vertex.
         std::vector<Point> pts = xy;
         if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
-        cur_cell->add(key, Polygon{std::move(pts)});
+        cell.add(key, Polygon{std::move(pts)});
         break;
       }
       case ElKind::kPath:
-        cur_cell->add(key, path_to_polygon(xy, width, pathtype == 2));
+        cell.add(key, path_to_polygon(xy, width, pathtype == 2));
         break;
       case ElKind::kSref:
       case ElKind::kAref: {
@@ -150,18 +166,19 @@ Library read_gdsii(std::istream& in) {
           }
           ref.cols = static_cast<std::uint32_t>(cols);
           ref.rows = static_cast<std::uint32_t>(rows);
-          ref.col_step = Point{(xy[1].x - xy[0].x) / cols, (xy[1].y - xy[0].y) / cols};
-          ref.row_step = Point{(xy[2].x - xy[0].x) / rows, (xy[2].y - xy[0].y) / rows};
+          ref.col_step =
+              Point{(xy[1].x - xy[0].x) / cols, (xy[1].y - xy[0].y) / cols};
+          ref.row_step =
+              Point{(xy[2].x - xy[0].x) / rows, (xy[2].y - xy[0].y) / rows};
         }
-        pending.push_back(PendingRef{static_cast<std::uint32_t>(cells.size()),
-                                     cur_cell->refs().size(), sname});
-        ref.cell_index = 0;  // fixed up after all structures are read
-        cur_cell->add_ref(ref);
+        ref.cell_index = 0;  // fixed up once every structure is known
+        out.ref_targets.push_back(sname);
+        cell.add_ref(ref);
         break;
       }
       case ElKind::kText:
         if (xy.empty()) throw std::runtime_error("GDSII: TEXT without XY");
-        cur_cell->add_text(Text{key, xy[0], text_value});
+        cell.add_text(Text{key, xy[0], text_value});
         break;
       case ElKind::kNone:
         break;
@@ -169,37 +186,15 @@ Library read_gdsii(std::istream& in) {
     reset_element();
   };
 
-  Cell building;
-  bool in_struct = false;
-
-  while (reader.next(rec)) {
+  RecordView rec;
+  while (r.next(rec)) {
     switch (rec.type) {
-      case RecordType::kHeader:
-        break;
-      case RecordType::kBgnLib:
-        have_lib = true;
-        break;
-      case RecordType::kLibName:
-        libname = rec.ascii();
-        break;
-      case RecordType::kUnits:
-        dbu_per_uu = 1.0 / rec.real64_at(0);
-        meters_per_dbu = rec.real64_at(1);
-        break;
-      case RecordType::kBgnStr:
-        building = Cell{};
-        in_struct = true;
-        cur_cell = &building;
-        break;
       case RecordType::kStrName:
-        building.set_name(rec.ascii());
+        cell.set_name(rec.ascii());
         break;
       case RecordType::kEndStr:
         finish_element();
-        cells.push_back(std::move(building));
-        in_struct = false;
-        cur_cell = nullptr;
-        break;
+        return out;
       case RecordType::kBoundary:
         el = ElKind::kBoundary;
         break;
@@ -250,7 +245,7 @@ Library read_gdsii(std::istream& in) {
         rows = rec.int16_at(1);
         break;
       case RecordType::kStrans:
-        reflect = (rec.payload.size() >= 2) && ((rec.payload[0] & 0x80) != 0);
+        reflect = (rec.size >= 2) && ((rec.payload[0] & 0x80) != 0);
         break;
       case RecordType::kMag:
         mag = rec.real64_at(0);
@@ -258,32 +253,70 @@ Library read_gdsii(std::istream& in) {
       case RecordType::kAngle:
         angle = rec.real64_at(0);
         break;
-      case RecordType::kPresentation:
       case RecordType::kString:
-        if (rec.type == RecordType::kString) text_value = rec.ascii();
+        text_value = rec.ascii();
         break;
+      case RecordType::kPresentation:
+        break;
+      case RecordType::kBgnStr:
+        throw std::runtime_error("GDSII: nested BGNSTR");
       case RecordType::kEndLib:
-        goto done;
+        throw std::runtime_error("GDSII: ENDLIB inside structure");
+      default:
+        break;  // HEADER/BGNLIB/etc. inside a structure: ignore
     }
   }
-done:
-  if (!have_lib) {
+  throw std::runtime_error("GDSII: unterminated structure");
+}
+
+}  // namespace gds::detail
+
+Library read_gdsii_bytes(const std::uint8_t* data, std::size_t size) {
+  SpanRecordReader r(data, size);
+  RecordView rec;
+
+  gds::detail::LibHeader hdr;
+  std::vector<gds::detail::ParsedCell> parsed;
+
+  while (r.next(rec)) {
+    if (rec.type == RecordType::kBgnStr) {
+      parsed.push_back(gds::detail::parse_structure(r));
+      continue;
+    }
+    if (!gds::detail::apply_header_record(rec, hdr)) break;  // ENDLIB
+  }
+  if (!hdr.have_lib) {
     throw std::runtime_error("GDSII: missing BGNLIB");
   }
-  if (in_struct) {
-    throw std::runtime_error("GDSII: unterminated structure");
-  }
 
-  Library out{libname, dbu_per_uu, meters_per_dbu};
-  for (Cell& c : cells) out.add_cell(std::move(c));
+  Library out{hdr.libname, hdr.dbu_per_uu, hdr.meters_per_dbu};
+  std::vector<PendingRef> pending;
+  for (gds::detail::ParsedCell& p : parsed) {
+    const auto cell_index = static_cast<std::uint32_t>(out.cell_count());
+    for (std::size_t i = 0; i < p.ref_targets.size(); ++i) {
+      pending.push_back(PendingRef{cell_index, i, std::move(p.ref_targets[i])});
+    }
+    out.add_cell(std::move(p.cell));
+  }
   // Resolve reference names now that every structure is known.
   for (const PendingRef& p : pending) {
     if (!out.has_cell(p.target)) {
-      throw std::runtime_error("GDSII: reference to unknown structure " + p.target);
+      throw std::runtime_error("GDSII: reference to unknown structure " +
+                               p.target);
     }
-    out.cell(p.cell).mutable_refs()[p.ref_pos].cell_index = out.index_of(p.target);
+    out.cell(p.cell).mutable_refs()[p.ref_pos].cell_index =
+        out.index_of(p.target);
   }
   return out;
+}
+
+Library read_gdsii(std::istream& in) {
+  // Slurp and delegate: the stream and mmap entry points share one
+  // byte-span parser, so the fuzz corpus covers both.
+  const std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  return read_gdsii_bytes(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                          bytes.size());
 }
 
 Library read_gdsii_file(const std::string& path) {

@@ -48,6 +48,55 @@ std::string Record::ascii() const {
   return s;
 }
 
+std::int16_t RecordView::int16_at(std::size_t index) const {
+  if ((index + 1) * 2 > size) {
+    throw std::runtime_error("GDSII record: int16 index out of range");
+  }
+  return static_cast<std::int16_t>(be16(payload + index * 2));
+}
+
+std::int32_t RecordView::int32_at(std::size_t index) const {
+  if ((index + 1) * 4 > size) {
+    throw std::runtime_error("GDSII record: int32 index out of range");
+  }
+  return static_cast<std::int32_t>(be32(payload + index * 4));
+}
+
+double RecordView::real64_at(std::size_t index) const {
+  if ((index + 1) * 8 > size) {
+    throw std::runtime_error("GDSII record: real64 index out of range");
+  }
+  return decode_real64(payload + index * 8);
+}
+
+std::string RecordView::ascii() const {
+  std::string s(reinterpret_cast<const char*>(payload), size);
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+bool SpanRecordReader::next(RecordView& out) {
+  if (pos_ >= size_) return false;
+  if (pos_ + 4 > size_) {
+    throw std::runtime_error("GDSII: truncated record header");
+  }
+  const std::uint16_t total = be16(data_ + pos_);
+  if (total < 4) {
+    // A zero-length record terminates some writers' streams (padding).
+    if (total == 0) return false;
+    throw std::runtime_error("GDSII: invalid record length");
+  }
+  if (pos_ + total > size_) {
+    throw std::runtime_error("GDSII: truncated record payload");
+  }
+  out.type = static_cast<RecordType>(data_[pos_ + 2]);
+  out.data_type = data_[pos_ + 3];
+  out.payload = data_ + pos_ + 4;
+  out.size = static_cast<std::size_t>(total) - 4;
+  pos_ += total;
+  return true;
+}
+
 bool RecordReader::next(Record& out) {
   std::uint8_t header[4];
   in_.read(reinterpret_cast<char*>(header), 4);

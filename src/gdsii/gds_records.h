@@ -3,6 +3,7 @@
 // layer deal only in whole records.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -64,6 +65,44 @@ class RecordReader {
 
  private:
   std::istream& in_;
+};
+
+/// Zero-copy view of one record inside a byte span (an mmap'ed file or a
+/// slurped stream). Accessors mirror Record's, including its errors.
+struct RecordView {
+  RecordType type = RecordType::kHeader;
+  std::uint8_t data_type = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t size = 0;
+
+  std::int16_t int16_at(std::size_t index) const;
+  std::int32_t int32_at(std::size_t index) const;
+  double real64_at(std::size_t index) const;
+  std::string ascii() const;
+  std::size_t int16_count() const { return size / 2; }
+  std::size_t int32_count() const { return size / 4; }
+};
+
+/// Reads records from an in-memory byte span with the same framing rules
+/// and errors as RecordReader. offset() reports the byte position of the
+/// next unread record — what the streaming index stores as cell spans —
+/// and seek() re-positions onto a previously recorded offset.
+class SpanRecordReader {
+ public:
+  SpanRecordReader(const std::uint8_t* data, std::size_t size,
+                   std::size_t start = 0)
+      : data_(data), size_(size), pos_(start) {}
+
+  /// Reads the next record; returns false on clean EOF (end of span or a
+  /// zero-length padding record). Throws on truncated/invalid framing.
+  bool next(RecordView& out);
+  std::size_t offset() const { return pos_; }
+  void seek(std::size_t pos) { pos_ = pos; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_;
 };
 
 /// Writes framed records to a stream.

@@ -1,0 +1,91 @@
+#include "gdsii/gds_stream.h"
+
+#include "gdsii/gdsii.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dfm {
+
+using gds::RecordType;
+using gds::RecordView;
+using gds::SpanRecordReader;
+
+GdsStreamReader::GdsStreamReader(const std::string& path)
+    : map_(path) {
+  build_index();
+}
+
+GdsStreamReader GdsStreamReader::from_bytes(std::string bytes) {
+  GdsStreamReader r;
+  r.owned_ = std::move(bytes);
+  // An empty buffer must still take the owned path (data()/size() treat
+  // an empty owned_ as "use the map"), and an empty file is malformed
+  // anyway: fail the same way read_gdsii does.
+  if (r.owned_.empty()) {
+    throw std::runtime_error("GDSII: missing BGNLIB");
+  }
+  r.build_index();
+  return r;
+}
+
+void GdsStreamReader::build_index() {
+  SpanRecordReader r(data(), size());
+  RecordView rec;
+  while (true) {
+    const std::size_t rec_start = r.offset();
+    if (!r.next(rec)) break;
+    if (rec.type == RecordType::kBgnStr) {
+      gds::detail::ParsedCell parsed = gds::detail::parse_structure(r);
+      StreamCellEntry entry;
+      entry.name = parsed.cell.name();
+      entry.begin = rec_start;
+      entry.end = r.offset();
+      for (const auto& [key, shapes] : parsed.cell.shapes()) {
+        Rect box = Rect::empty();
+        for (const Polygon& p : shapes) box = box.join(p.bbox());
+        if (!box.is_empty()) entry.layer_bbox.emplace(key, box);
+      }
+      entry.refs = parsed.cell.refs();
+      index_.add_cell(std::move(entry), std::move(parsed.ref_targets));
+      continue;  // the decoded geometry is dropped here
+    }
+    if (!gds::detail::apply_header_record(rec, hdr_)) break;  // ENDLIB
+  }
+  if (!hdr_.have_lib) {
+    throw std::runtime_error("GDSII: missing BGNLIB");
+  }
+  index_.finalize("GDSII");
+}
+
+Cell GdsStreamReader::decode_cell(std::uint32_t i) const {
+  const StreamCellEntry& e = index_.entry(i);
+  if (e.begin >= e.end || e.end > size()) {
+    throw std::runtime_error("GDSII: stream index out of sync");
+  }
+  SpanRecordReader r(data(), e.end, e.begin);
+  RecordView rec;
+  if (!r.next(rec) || rec.type != RecordType::kBgnStr) {
+    throw std::runtime_error("GDSII: stream index out of sync");
+  }
+  return gds::detail::parse_structure(r).cell;
+}
+
+Region GdsStreamReader::read_layer_window(std::uint32_t cell, LayerKey layer,
+                                          const Rect& window) const {
+  return index_.flatten_window(cell, layer, window,
+                               [this](std::uint32_t i) { return decode_cell(i); });
+}
+
+Region GdsStreamReader::read_layer(std::uint32_t cell, LayerKey layer) const {
+  return index_.flatten(cell, layer,
+                        [this](std::uint32_t i) { return decode_cell(i); });
+}
+
+Library GdsStreamReader::read_library() const {
+  // The full decode still goes record-by-record through the shared
+  // parser, so it agrees with read_gdsii byte for byte.
+  return read_gdsii_bytes(data(), size());
+}
+
+}  // namespace dfm

@@ -1,0 +1,74 @@
+// Mmap-backed streaming GDSII reader: one pass over the record framing
+// builds a StreamIndex (per-structure byte spans, per-layer local bboxes,
+// references), after which read_layer_window decodes only the structures
+// whose placed subtree intersects the requested window. The whole file is
+// never resident — cells are re-parsed from the mapping on demand and
+// dropped when the call returns, so a snapshot backed by this reader can
+// hydrate and evict geometry freely.
+//
+// Decoding goes through the same element state machine as read_gdsii
+// (gds_parse.h), so the record-framing fuzz corpus exercises this path
+// too; a corrupted file fails with the same structured errors.
+#pragma once
+
+#include "gdsii/gds_parse.h"
+#include "io/mmap_io.h"
+#include "layout/library.h"
+#include "layout/stream_index.h"
+
+#include <string>
+
+namespace dfm {
+
+class GdsStreamReader {
+ public:
+  /// Maps `path` and builds the index. Throws std::runtime_error on I/O
+  /// errors or malformed framing.
+  explicit GdsStreamReader(const std::string& path);
+  /// Same over an owned in-memory buffer (tests and fuzz mutants).
+  static GdsStreamReader from_bytes(std::string bytes);
+
+  const StreamIndex& index() const { return index_; }
+  const std::string& libname() const { return hdr_.libname; }
+  double dbu_per_uu() const { return hdr_.dbu_per_uu; }
+  double meters_per_dbu() const { return hdr_.meters_per_dbu; }
+
+  std::uint32_t top_cell() const { return index_.top_cell(); }
+  std::vector<LayerKey> layers() const { return index_.layers(); }
+  Rect layer_bbox(std::uint32_t cell, LayerKey k) const {
+    return index_.layer_bbox(cell, k);
+  }
+
+  /// Flattened geometry of `layer` under `cell` clipped to `window`,
+  /// decoding only intersecting structures. Point-set equal to
+  /// Library::flatten_window on a full decode.
+  Region read_layer_window(std::uint32_t cell, LayerKey layer,
+                           const Rect& window) const;
+  /// Whole-layer flatten (no clip); equals Library::flatten.
+  Region read_layer(std::uint32_t cell, LayerKey layer) const;
+
+  /// Full decode into a Library via the indexed spans — the equivalence
+  /// anchor for tests and a fallback for callers that need everything.
+  Library read_library() const;
+
+  /// Decodes one structure from its byte span (exposed for tests; thread-
+  /// safe, the mapping is immutable).
+  Cell decode_cell(std::uint32_t i) const;
+
+ private:
+  GdsStreamReader() = default;
+  void build_index();
+  const std::uint8_t* data() const {
+    return owned_.empty()
+               ? map_.data()
+               : reinterpret_cast<const std::uint8_t*>(owned_.data());
+  }
+  std::size_t size() const { return owned_.empty() ? map_.size() : owned_.size(); }
+
+  io::MappedFile map_;
+  std::string owned_;
+  gds::detail::LibHeader hdr_;
+  StreamIndex index_;
+};
+
+}  // namespace dfm

@@ -8,6 +8,8 @@
 
 #include "layout/library.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -18,6 +20,10 @@ namespace dfm {
 /// magnification != 1).
 Library read_gdsii(std::istream& in);
 Library read_gdsii_file(const std::string& path);
+/// Same parser over an in-memory byte span; read_gdsii delegates here,
+/// and the mmap-backed GdsStreamReader (gds_stream.h) decodes cells
+/// through the same record machinery.
+Library read_gdsii_bytes(const std::uint8_t* data, std::size_t size);
 
 /// Serializes a Library to a GDSII stream. All geometry is written as
 /// BOUNDARY elements; references are SREF/AREF; texts are TEXT.

@@ -1,0 +1,89 @@
+#include "io/mmap_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dfm::io {
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot stat " + path + ": " +
+                             std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // empty span; mmap(0) would be EINVAL
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    size_ = 0;
+    throw std::runtime_error("cannot mmap " + path + ": " +
+                             std::strerror(err));
+  }
+  addr_ = addr;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& o) noexcept
+    : addr_(std::exchange(o.addr_, nullptr)), size_(std::exchange(o.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(o.addr_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+  }
+  return *this;
+}
+
+SpanStreamBuf::SpanStreamBuf(const std::uint8_t* data, std::size_t size) {
+  // streambuf wants char*; the buffer is never written (no overflow /
+  // sputc path is enabled on an input-only buffer).
+  begin_ = const_cast<char*>(reinterpret_cast<const char*>(data));
+  end_ = begin_ + size;
+  setg(begin_, begin_, end_);
+}
+
+SpanStreamBuf::pos_type SpanStreamBuf::seekoff(off_type off,
+                                               std::ios_base::seekdir dir,
+                                               std::ios_base::openmode which) {
+  if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+  off_type base = 0;
+  switch (dir) {
+    case std::ios_base::beg: base = 0; break;
+    case std::ios_base::cur: base = gptr() - begin_; break;
+    case std::ios_base::end: base = end_ - begin_; break;
+    default: return pos_type(off_type(-1));
+  }
+  const off_type target = base + off;
+  if (target < 0 || target > end_ - begin_) return pos_type(off_type(-1));
+  setg(begin_, begin_ + target, end_);
+  return pos_type(target);
+}
+
+SpanStreamBuf::pos_type SpanStreamBuf::seekpos(pos_type pos,
+                                               std::ios_base::openmode which) {
+  return seekoff(off_type(pos), std::ios_base::beg, which);
+}
+
+}  // namespace dfm::io

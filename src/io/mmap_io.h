@@ -1,0 +1,71 @@
+// Byte-level input plumbing for the out-of-core readers: a read-only
+// memory map of a file (MappedFile) and an istream view over a byte span
+// (MemIStream), so stream-oriented parsers can run over mapped memory —
+// or any in-memory buffer — without copying.
+//
+// MappedFile is the storage end of the streaming readers: the kernel
+// pages file bytes in on demand and may drop clean pages under memory
+// pressure, which is exactly the residency model the snapshot's byte
+// budget assumes for the un-hydrated part of a layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+
+namespace dfm::io {
+
+/// Read-only mmap of a whole file. Throws std::runtime_error when the
+/// file cannot be opened or mapped. A zero-byte file maps to an empty
+/// span (data() == nullptr, size() == 0).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// std::streambuf over a constant byte span; input-only, seekable.
+class SpanStreamBuf : public std::streambuf {
+ public:
+  SpanStreamBuf(const std::uint8_t* data, std::size_t size);
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override;
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override;
+
+ private:
+  char* begin_;
+  char* end_;
+};
+
+/// std::istream over a constant byte span. tellg()/seekg() report offsets
+/// from the start of the span, which is how the streaming indexes record
+/// per-cell byte positions.
+class MemIStream : public std::istream {
+ public:
+  MemIStream(const std::uint8_t* data, std::size_t size)
+      : std::istream(&buf_), buf_(data, size) {}
+
+ private:
+  SpanStreamBuf buf_;
+};
+
+}  // namespace dfm::io

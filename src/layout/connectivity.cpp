@@ -1,8 +1,8 @@
 #include "layout/connectivity.h"
 
-// Note: dfm_layout sits below dfm_snapshot in the library graph, so this
-// file may only use LayoutSnapshot's inline members (layers()).
-#include "core/snapshot.h"
+// Note: dfm_layout sits below dfm_snapshot in the library graph, so the
+// LayoutSnapshot overloads live in core/snapshot.cpp; this file only
+// provides the LayerMap implementations.
 #include "core/telemetry.h"
 #include "geometry/rtree.h"
 
@@ -168,15 +168,5 @@ std::vector<FloatingCut> find_floating_cuts_impl(
 }
 
 }  // namespace detail
-
-Netlist extract_nets(const LayoutSnapshot& snap,
-                     const std::vector<StackLayer>& stack) {
-  return detail::extract_nets_impl(snap.layers(), stack);
-}
-
-std::vector<FloatingCut> find_floating_cuts(
-    const LayoutSnapshot& snap, const std::vector<StackLayer>& stack) {
-  return detail::find_floating_cuts_impl(snap.layers(), stack);
-}
 
 }  // namespace dfm

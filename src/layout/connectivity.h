@@ -53,8 +53,8 @@ struct FloatingCut {
 };
 
 namespace detail {
-// Non-deprecated implementations the snapshot overloads and the
-// core/compat.h shims both route through.
+// Shared implementations the snapshot overloads (core/snapshot.cpp)
+// route through.
 Netlist extract_nets_impl(const LayerMap& layers,
                           const std::vector<StackLayer>& stack);
 std::vector<FloatingCut> find_floating_cuts_impl(
@@ -71,13 +71,5 @@ Netlist extract_nets(const LayoutSnapshot& snap,
 
 std::vector<FloatingCut> find_floating_cuts(
     const LayoutSnapshot& snap, const std::vector<StackLayer>& stack);
-
-/// Deprecated LayerMap shims; live in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-Netlist extract_nets(const LayerMap& layers,
-                     const std::vector<StackLayer>& stack);
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-std::vector<FloatingCut> find_floating_cuts(
-    const LayerMap& layers, const std::vector<StackLayer>& stack);
 
 }  // namespace dfm

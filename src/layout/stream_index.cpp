@@ -1,0 +1,179 @@
+#include "layout/stream_index.h"
+
+#include <stdexcept>
+
+namespace dfm {
+namespace {
+
+constexpr int kMaxDepth = 64;  // guards against reference cycles
+
+}  // namespace
+
+std::uint32_t StreamIndex::add_cell(StreamCellEntry entry,
+                                    std::vector<std::string> ref_targets) {
+  if (ref_targets.size() != entry.refs.size()) {
+    throw std::logic_error("StreamIndex: one target name per reference");
+  }
+  if (by_name_.count(entry.name) != 0) {
+    throw std::runtime_error("stream index: duplicate cell " + entry.name);
+  }
+  const auto idx = static_cast<std::uint32_t>(cells_.size());
+  by_name_.emplace(entry.name, idx);
+  cells_.push_back(std::move(entry));
+  pending_targets_.push_back(std::move(ref_targets));
+  return idx;
+}
+
+void StreamIndex::finalize(const std::string& format_name) {
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    for (std::size_t r = 0; r < cells_[i].refs.size(); ++r) {
+      const std::string& target = pending_targets_[i][r];
+      const auto it = by_name_.find(target);
+      if (it == by_name_.end()) {
+        throw std::runtime_error(format_name +
+                                 ": reference to unknown structure " + target);
+      }
+      cells_[i].refs[r].cell_index = it->second;
+      cells_[it->second].referenced = true;
+    }
+  }
+  pending_targets_.clear();
+  // 0 = unvisited, 1 = in progress (cycle detector), 2 = done.
+  std::vector<std::uint8_t> state(cells_.size(), 0);
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    compute_placed(i, 0, state);
+  }
+  finalized_ = true;
+}
+
+void StreamIndex::compute_placed(std::uint32_t cell, int depth,
+                                 std::vector<std::uint8_t>& state) {
+  if (depth > kMaxDepth || state[cell] == 1) {
+    throw std::runtime_error("cell hierarchy too deep (reference cycle?)");
+  }
+  if (state[cell] == 2) return;
+  state[cell] = 1;
+  StreamCellEntry& e = cells_[cell];
+  e.placed_layer_bbox = e.layer_bbox;
+  for (const CellRef& ref : e.refs) {
+    compute_placed(ref.cell_index, depth + 1, state);
+    const StreamCellEntry& child = cells_[ref.cell_index];
+    for (const auto& [key, child_box] : child.placed_layer_bbox) {
+      if (child_box.is_empty()) continue;
+      Rect acc = Rect::empty();
+      // Orthogonal transforms map bboxes to bboxes, so the array extremes
+      // bound every element (same corner trick as Library::bbox).
+      for (const std::uint32_t r : {0u, ref.rows - 1}) {
+        for (const std::uint32_t c : {0u, ref.cols - 1}) {
+          acc = acc.join(ref.element_transform(c, r).apply(child_box));
+        }
+      }
+      auto [it, inserted] = e.placed_layer_bbox.emplace(key, acc);
+      if (!inserted) it->second = it->second.join(acc);
+    }
+  }
+  e.placed_bbox = Rect::empty();
+  for (const auto& [key, box] : e.placed_layer_bbox) {
+    e.placed_bbox = e.placed_bbox.join(box);
+  }
+  state[cell] = 2;
+}
+
+std::uint32_t StreamIndex::index_of(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::runtime_error("stream index: no cell named " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::uint32_t> StreamIndex::top_cells() const {
+  std::vector<std::uint32_t> tops;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].referenced) tops.push_back(i);
+  }
+  return tops;
+}
+
+std::uint32_t StreamIndex::top_cell() const {
+  const auto tops = top_cells();
+  if (tops.empty()) {
+    throw std::runtime_error("stream index: no top cell");
+  }
+  return tops.front();
+}
+
+std::vector<LayerKey> StreamIndex::layers() const {
+  std::map<LayerKey, bool> seen;
+  for (const StreamCellEntry& e : cells_) {
+    for (const auto& [key, box] : e.layer_bbox) seen.emplace(key, true);
+  }
+  std::vector<LayerKey> out;
+  out.reserve(seen.size());
+  for (const auto& [key, unused] : seen) out.push_back(key);
+  return out;
+}
+
+Rect StreamIndex::layer_bbox(std::uint32_t cell, LayerKey k) const {
+  const auto& placed = cells_.at(cell).placed_layer_bbox;
+  const auto it = placed.find(k);
+  return it == placed.end() ? Rect::empty() : it->second;
+}
+
+void StreamIndex::flatten_into(std::uint32_t cell, LayerKey layer,
+                               const Transform& t, const Rect* window,
+                               int depth, std::map<std::uint32_t, Cell>& cache,
+                               const DecodeFn& decode, Region& out) const {
+  if (depth > kMaxDepth) {
+    throw std::runtime_error("cell hierarchy too deep (reference cycle?)");
+  }
+  const StreamCellEntry& e = cells_[cell];
+  const auto local = e.layer_bbox.find(layer);
+  if (local != e.layer_bbox.end() &&
+      (window == nullptr || t.apply(local->second).overlaps(*window))) {
+    auto cached = cache.find(cell);
+    if (cached == cache.end()) {
+      cached = cache.emplace(cell, decode(cell)).first;
+    }
+    for (const Polygon& p : cached->second.shapes_on(layer)) {
+      Polygon moved = p.transformed(t);
+      if (window != nullptr && !moved.bbox().overlaps(*window)) continue;
+      out.add(moved);
+    }
+  }
+  for (const CellRef& ref : e.refs) {
+    const auto& child_placed = cells_[ref.cell_index].placed_layer_bbox;
+    const auto child_box = child_placed.find(layer);
+    if (child_box == child_placed.end()) continue;  // no shapes anywhere below
+    for (std::uint32_t r = 0; r < ref.rows; ++r) {
+      for (std::uint32_t c = 0; c < ref.cols; ++c) {
+        const Transform et = t.then_after(ref.element_transform(c, r));
+        if (window != nullptr &&
+            !et.apply(child_box->second).overlaps(*window)) {
+          continue;
+        }
+        flatten_into(ref.cell_index, layer, et, window, depth + 1, cache,
+                     decode, out);
+      }
+    }
+  }
+}
+
+Region StreamIndex::flatten_window(std::uint32_t cell, LayerKey layer,
+                                   const Rect& window,
+                                   const DecodeFn& decode) const {
+  std::map<std::uint32_t, Cell> cache;
+  Region out;
+  flatten_into(cell, layer, Transform{}, &window, 0, cache, decode, out);
+  return out.clipped(window);
+}
+
+Region StreamIndex::flatten(std::uint32_t cell, LayerKey layer,
+                            const DecodeFn& decode) const {
+  std::map<std::uint32_t, Cell> cache;
+  Region out;
+  flatten_into(cell, layer, Transform{}, nullptr, 0, cache, decode, out);
+  return out;
+}
+
+}  // namespace dfm

@@ -1,0 +1,108 @@
+// StreamIndex: the format-independent half of a streaming layout reader.
+//
+// A one-pass scan of a GDSII or OASIS file produces one StreamCellEntry
+// per cell — its byte span in the file, the local bbox of its shapes per
+// layer, and its references — without retaining any geometry. finalize()
+// resolves reference names and computes recursive *placed* bboxes, after
+// which flatten_window() can hydrate any (cell, layer, window) triple by
+// decoding only the cells whose placed subtree actually intersects the
+// window. The decode callback re-parses one cell's byte span on demand;
+// each cell is decoded at most once per flatten_window call.
+//
+// Equivalence contract: flatten_window(cell, layer, w, decode) covers
+// exactly the same point set as Library::flatten_window(cell, layer, w)
+// on a full decode of the file, and flatten() matches Library::flatten.
+// The snapshot layer relies on this to make lazily-hydrated regions
+// canonically identical to eagerly-flattened ones.
+#pragma once
+
+#include "geometry/region.h"
+#include "layout/cell.h"
+#include "layout/layer.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dfm {
+
+/// One indexed cell: where its records live and what its subtree covers.
+struct StreamCellEntry {
+  std::string name;
+  std::size_t begin = 0;  // byte offset of the cell's first record
+  std::size_t end = 0;    // one past the cell's last record
+  /// Local shape bbox per layer (references excluded). Layers with no
+  /// local shapes are absent.
+  std::map<LayerKey, Rect> layer_bbox;
+  /// References with cell_index resolved into the index (by finalize()).
+  std::vector<CellRef> refs;
+  /// Shape/ref bbox per layer including the full reference subtree.
+  std::map<LayerKey, Rect> placed_layer_bbox;
+  /// Join of placed_layer_bbox over every layer.
+  Rect placed_bbox = Rect::empty();
+  /// True when some other cell references this one.
+  bool referenced = false;
+};
+
+class StreamIndex {
+ public:
+  /// Decodes one cell's geometry from its byte span.
+  using DecodeFn = std::function<Cell(std::uint32_t)>;
+
+  /// Adds a cell with the (not yet resolved) names its references target,
+  /// one name per entry.refs element. Duplicate cell names are an error.
+  std::uint32_t add_cell(StreamCellEntry entry,
+                         std::vector<std::string> ref_targets);
+
+  /// Resolves reference targets and computes placed bboxes. Must be
+  /// called once, after the last add_cell. Throws on references to
+  /// unknown cells (message matches the full readers') and on reference
+  /// cycles.
+  void finalize(const std::string& format_name);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  const StreamCellEntry& entry(std::uint32_t i) const { return cells_[i]; }
+  bool has_cell(const std::string& name) const {
+    return by_name_.count(name) != 0;
+  }
+  std::uint32_t index_of(const std::string& name) const;
+
+  /// Cells not referenced by any other cell, in index order.
+  std::vector<std::uint32_t> top_cells() const;
+  /// First top cell; throws when the index is empty.
+  std::uint32_t top_cell() const;
+
+  /// Every layer with at least one shape anywhere in the file.
+  std::vector<LayerKey> layers() const;
+
+  /// Placed bbox of one layer under `cell` (empty Rect when the subtree
+  /// has no shapes on it). Exact: equals the bbox of the flattened layer.
+  Rect layer_bbox(std::uint32_t cell, LayerKey k) const;
+
+  /// Flattened geometry of `layer` under `cell`, clipped to `window`,
+  /// decoding only intersecting cells.
+  Region flatten_window(std::uint32_t cell, LayerKey layer, const Rect& window,
+                        const DecodeFn& decode) const;
+  /// Whole-layer flatten (no clip), still decoding only cells whose
+  /// subtree has shapes on `layer`.
+  Region flatten(std::uint32_t cell, LayerKey layer,
+                 const DecodeFn& decode) const;
+
+ private:
+  void flatten_into(std::uint32_t cell, LayerKey layer, const Transform& t,
+                    const Rect* window, int depth,
+                    std::map<std::uint32_t, Cell>& cache,
+                    const DecodeFn& decode, Region& out) const;
+  void compute_placed(std::uint32_t cell, int depth,
+                      std::vector<std::uint8_t>& state);
+
+  std::vector<StreamCellEntry> cells_;
+  std::vector<std::vector<std::string>> pending_targets_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  bool finalized_ = false;
+};
+
+}  // namespace dfm

@@ -1,0 +1,47 @@
+// Internal: the OASIS record-parsing core shared by the whole-stream
+// reader (read_oasis) and the mmap-backed streaming reader
+// (OasStreamReader). OASIS records carry no length prefix, so indexing a
+// file means decoding every record once; but modal variables reset at
+// each CELL record, which makes every cell's byte span independently
+// re-parseable — that is the invariant the streaming reader's on-demand
+// decode relies on. Both paths run the same loop, so the OASIS fuzz
+// corpus exercises the streaming decoder too.
+#pragma once
+
+#include "layout/cell.h"
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace dfm::oas::detail {
+
+/// START-record state: the file's unit (grid points per micron).
+struct OasHeader {
+  std::string version;
+  double unit = 1000.0;
+};
+
+/// Receives cells and placement targets from the record parser.
+struct CellSink {
+  /// Called at each CELL record; `offset` is the byte position of the
+  /// record's type varint within the stream. The returned cell (never
+  /// null) receives the cell's shapes/refs/texts.
+  virtual Cell* begin_cell(const std::string& name, std::size_t offset) = 0;
+  /// One call per add_ref on the current cell, in order, carrying the
+  /// placement's target cell name.
+  virtual void ref_target(const std::string& target) = 0;
+  /// Called at the END record with its byte offset.
+  virtual void at_end(std::size_t /*offset*/) {}
+  virtual ~CellSink() = default;
+};
+
+/// Reads the magic and the START record (plus table offsets).
+OasHeader read_header(std::istream& in);
+
+/// Parses CELL/element records. Stops at the END record; when
+/// `allow_end_of_stream` is true a clean EOF at a record boundary also
+/// ends parsing (used for indexed per-cell spans, which exclude END).
+void parse_cells(std::istream& in, CellSink& sink, bool allow_end_of_stream);
+
+}  // namespace dfm::oas::detail

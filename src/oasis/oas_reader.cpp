@@ -1,3 +1,4 @@
+#include "oasis/oas_parse.h"
 #include "oasis/oas_primitives.h"
 #include "oasis/oasis.h"
 
@@ -6,6 +7,7 @@
 #include <istream>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace dfm {
 namespace {
@@ -15,7 +17,9 @@ using namespace oas;
 constexpr char kMagic[] = "%SEMI-OASIS\r\n";
 
 // Modal variables (SEMI P39 section 10): unset fields of a record reuse
-// the last explicitly-specified value.
+// the last explicitly-specified value. Every field — including the
+// xy-mode — resets at each CELL record, which is what makes a cell's
+// byte span independently parseable by the streaming reader.
 struct Modal {
   std::optional<std::int64_t> layer, datatype, textlayer, texttype;
   std::optional<Coord> geom_w, geom_h;
@@ -183,8 +187,9 @@ Orient orient_from(std::uint8_t angle_bits, bool flip) {
 
 }  // namespace
 
-Library read_oasis(std::istream& in) {
-  // Magic.
+namespace oas::detail {
+
+OasHeader read_header(std::istream& in) {
   char magic[sizeof(kMagic) - 1];
   in.read(magic, sizeof(magic));
   if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
@@ -192,17 +197,18 @@ Library read_oasis(std::istream& in) {
     throw std::runtime_error("OASIS: bad magic");
   }
   if (read_uint(in) != 1) throw std::runtime_error("OASIS: expected START");
-  const std::string version = read_string(in);
-  const double unit = read_real(in);  // grid points per micron
+  OasHeader hdr;
+  hdr.version = read_string(in);
+  hdr.unit = read_real(in);  // grid points per micron
   const std::uint64_t offset_flag = read_uint(in);
   if (offset_flag == 0) {
     for (int i = 0; i < 12; ++i) (void)read_uint(in);
   }
+  return hdr;
+}
 
-  Library lib{"OASIS", unit, 1e-6 / unit};
-  std::vector<PendingRef> pending;
+void parse_cells(std::istream& in, CellSink& sink, bool allow_end_of_stream) {
   Cell* cur = nullptr;
-  std::uint32_t cur_index = 0;
   Modal modal;
 
   auto read_info = [&in]() {
@@ -229,11 +235,17 @@ Library read_oasis(std::istream& in) {
 
   bool done = false;
   while (!done) {
+    if (allow_end_of_stream &&
+        in.peek() == std::char_traits<char>::eof()) {
+      return;  // a span ends at a record boundary, without END
+    }
+    const auto at = static_cast<std::size_t>(in.tellg());
     const std::uint64_t rec = read_uint(in);
     switch (rec) {
       case 0:  // PAD
         break;
       case 2:  // END
+        sink.at_end(at);
         done = true;
         break;
       case 3:   // CELLNAME (implicit refnum)
@@ -247,8 +259,7 @@ Library read_oasis(std::istream& in) {
       }
       case 14: {  // CELL by name
         const std::string name = read_string(in);
-        cur_index = lib.new_cell(name);
-        cur = &lib.cell(cur_index);
+        cur = sink.begin_cell(name, at);
         modal.reset();
         break;
       }
@@ -282,9 +293,8 @@ Library read_oasis(std::istream& in) {
           ref.col_step = rep.col_step;
           ref.row_step = rep.row_step;
         }
-        pending.push_back(PendingRef{cur_index, cell.refs().size(),
-                                     require(modal.placement_cell, "cell")});
         cell.add_ref(ref);
+        sink.ref_target(require(modal.placement_cell, "cell"));
         break;
       }
       case 19: {  // TEXT
@@ -339,10 +349,10 @@ Library read_oasis(std::istream& in) {
         const Coord h = require(modal.geom_h, "height");
         for (std::uint32_t cc = 0; cc < rep.cols; ++cc) {
           for (std::uint32_t rr = 0; rr < rep.rows; ++rr) {
-            const Point at = modal.geometry_xy +
-                             rep.col_step * static_cast<Coord>(cc) +
-                             rep.row_step * static_cast<Coord>(rr);
-            cell.add(key, Rect{at.x, at.y, at.x + w, at.y + h});
+            const Point at2 = modal.geometry_xy +
+                              rep.col_step * static_cast<Coord>(cc) +
+                              rep.row_step * static_cast<Coord>(rr);
+            cell.add(key, Rect{at2.x, at2.y, at2.x + w, at2.y + h});
           }
         }
         break;
@@ -369,10 +379,10 @@ Library read_oasis(std::istream& in) {
         const auto& deltas = require(modal.polygon_points, "point list");
         for (std::uint32_t cc = 0; cc < rep.cols; ++cc) {
           for (std::uint32_t rr = 0; rr < rep.rows; ++rr) {
-            const Point at = modal.geometry_xy +
-                             rep.col_step * static_cast<Coord>(cc) +
-                             rep.row_step * static_cast<Coord>(rr);
-            cell.add(key, polygon_from(at, deltas));
+            const Point at2 = modal.geometry_xy +
+                              rep.col_step * static_cast<Coord>(cc) +
+                              rep.row_step * static_cast<Coord>(rr);
+            cell.add(key, polygon_from(at2, deltas));
           }
         }
         break;
@@ -382,9 +392,32 @@ Library read_oasis(std::istream& in) {
                                  std::to_string(rec));
     }
   }
-  (void)version;
+}
 
-  for (const PendingRef& p : pending) {
+}  // namespace oas::detail
+
+Library read_oasis(std::istream& in) {
+  const oas::detail::OasHeader hdr = oas::detail::read_header(in);
+  Library lib{"OASIS", hdr.unit, 1e-6 / hdr.unit};
+
+  struct LibSink : oas::detail::CellSink {
+    Library& lib;
+    std::vector<PendingRef> pending;
+    std::uint32_t cur_index = 0;
+    explicit LibSink(Library& l) : lib(l) {}
+    Cell* begin_cell(const std::string& name, std::size_t) override {
+      cur_index = lib.new_cell(name);
+      return &lib.cell(cur_index);
+    }
+    void ref_target(const std::string& target) override {
+      pending.push_back(
+          PendingRef{cur_index, lib.cell(cur_index).refs().size() - 1, target});
+    }
+  } sink{lib};
+
+  oas::detail::parse_cells(in, sink, /*allow_end_of_stream=*/false);
+
+  for (const PendingRef& p : sink.pending) {
     if (!lib.has_cell(p.target)) {
       throw std::runtime_error("OASIS: placement of unknown cell " + p.target);
     }

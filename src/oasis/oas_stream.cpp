@@ -1,0 +1,131 @@
+#include "oasis/oas_stream.h"
+
+#include "oasis/oasis.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dfm {
+namespace {
+
+/// Index-building sink: records cell spans and local bboxes, drops the
+/// geometry each time the next cell begins.
+struct IndexSink : oas::detail::CellSink {
+  StreamIndex& index;
+  Cell scratch;
+  std::vector<std::string> targets;
+  std::string cur_name;
+  std::size_t cur_begin = 0;
+  bool open = false;
+  bool saw_end = false;
+
+  explicit IndexSink(StreamIndex& idx) : index(idx) {}
+
+  void flush(std::size_t end_offset) {
+    if (!open) return;
+    StreamCellEntry entry;
+    entry.name = std::move(cur_name);
+    entry.begin = cur_begin;
+    entry.end = end_offset;
+    for (const auto& [key, shapes] : scratch.shapes()) {
+      Rect box = Rect::empty();
+      for (const Polygon& p : shapes) box = box.join(p.bbox());
+      if (!box.is_empty()) entry.layer_bbox.emplace(key, box);
+    }
+    entry.refs = scratch.refs();
+    index.add_cell(std::move(entry), std::move(targets));
+    scratch = Cell{};
+    targets.clear();
+    open = false;
+  }
+
+  Cell* begin_cell(const std::string& name, std::size_t offset) override {
+    flush(offset);
+    cur_name = name;
+    cur_begin = offset;
+    open = true;
+    return &scratch;
+  }
+  void ref_target(const std::string& target) override {
+    targets.push_back(target);
+  }
+  void at_end(std::size_t offset) override {
+    flush(offset);
+    saw_end = true;
+  }
+};
+
+/// Single-cell decode sink for one indexed span.
+struct OneCellSink : oas::detail::CellSink {
+  Cell cell;
+  bool seen = false;
+
+  Cell* begin_cell(const std::string& name, std::size_t) override {
+    if (seen) {
+      throw std::runtime_error("OASIS: stream index out of sync");
+    }
+    seen = true;
+    cell.set_name(name);
+    return &cell;
+  }
+  void ref_target(const std::string&) override {}
+};
+
+}  // namespace
+
+OasStreamReader::OasStreamReader(const std::string& path) : map_(path) {
+  build_index();
+}
+
+OasStreamReader OasStreamReader::from_bytes(std::string bytes) {
+  OasStreamReader r;
+  r.owned_ = std::move(bytes);
+  if (r.owned_.empty()) {
+    throw std::runtime_error("OASIS: bad magic");
+  }
+  r.build_index();
+  return r;
+}
+
+void OasStreamReader::build_index() {
+  io::MemIStream in(data(), size());
+  hdr_ = oas::detail::read_header(in);
+  IndexSink sink(index_);
+  oas::detail::parse_cells(in, sink, /*allow_end_of_stream=*/false);
+  if (!sink.saw_end) {
+    throw std::runtime_error("OASIS: missing END record");
+  }
+  index_.finalize("OASIS");
+}
+
+Cell OasStreamReader::decode_cell(std::uint32_t i) const {
+  const StreamCellEntry& e = index_.entry(i);
+  if (e.begin >= e.end || e.end > size()) {
+    throw std::runtime_error("OASIS: stream index out of sync");
+  }
+  io::MemIStream in(data() + e.begin, e.end - e.begin);
+  OneCellSink sink;
+  oas::detail::parse_cells(in, sink, /*allow_end_of_stream=*/true);
+  if (!sink.seen) {
+    throw std::runtime_error("OASIS: stream index out of sync");
+  }
+  return std::move(sink.cell);
+}
+
+Region OasStreamReader::read_layer_window(std::uint32_t cell, LayerKey layer,
+                                          const Rect& window) const {
+  return index_.flatten_window(cell, layer, window,
+                               [this](std::uint32_t i) { return decode_cell(i); });
+}
+
+Region OasStreamReader::read_layer(std::uint32_t cell, LayerKey layer) const {
+  return index_.flatten(cell, layer,
+                        [this](std::uint32_t i) { return decode_cell(i); });
+}
+
+Library OasStreamReader::read_library() const {
+  io::MemIStream in(data(), size());
+  return read_oasis(in);
+}
+
+}  // namespace dfm

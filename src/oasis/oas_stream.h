@@ -1,0 +1,72 @@
+// Mmap-backed streaming OASIS reader. OASIS records have no length
+// prefix, so the one-pass index decodes every record once (recording each
+// CELL's byte span and per-layer local bbox, then discarding geometry);
+// modal variables reset at every CELL record, so each span can be
+// re-parsed independently — read_layer_window decodes only the cells
+// whose placed subtree intersects the window.
+//
+// Decoding goes through the same record loop as read_oasis (oas_parse.h),
+// so the OASIS fuzz corpus exercises this path too.
+#pragma once
+
+#include "io/mmap_io.h"
+#include "layout/library.h"
+#include "layout/stream_index.h"
+#include "oasis/oas_parse.h"
+
+#include <string>
+
+namespace dfm {
+
+class OasStreamReader {
+ public:
+  /// Maps `path` and builds the index. Throws std::runtime_error on I/O
+  /// errors or malformed records.
+  explicit OasStreamReader(const std::string& path);
+  /// Same over an owned in-memory buffer (tests and fuzz mutants).
+  static OasStreamReader from_bytes(std::string bytes);
+
+  const StreamIndex& index() const { return index_; }
+  /// Grid points per micron, as a GDS-style dbu pair.
+  double dbu_per_uu() const { return hdr_.unit; }
+  double meters_per_dbu() const { return 1e-6 / hdr_.unit; }
+
+  std::uint32_t top_cell() const { return index_.top_cell(); }
+  std::vector<LayerKey> layers() const { return index_.layers(); }
+  Rect layer_bbox(std::uint32_t cell, LayerKey k) const {
+    return index_.layer_bbox(cell, k);
+  }
+
+  /// Flattened geometry of `layer` under `cell` clipped to `window`,
+  /// decoding only intersecting cells. Point-set equal to
+  /// Library::flatten_window on a full decode.
+  Region read_layer_window(std::uint32_t cell, LayerKey layer,
+                           const Rect& window) const;
+  /// Whole-layer flatten (no clip); equals Library::flatten.
+  Region read_layer(std::uint32_t cell, LayerKey layer) const;
+
+  /// Full decode into a Library (equivalence anchor; same loop as
+  /// read_oasis).
+  Library read_library() const;
+
+  /// Decodes one cell from its byte span (exposed for tests; thread-safe,
+  /// the mapping is immutable).
+  Cell decode_cell(std::uint32_t i) const;
+
+ private:
+  OasStreamReader() = default;
+  void build_index();
+  const std::uint8_t* data() const {
+    return owned_.empty()
+               ? map_.data()
+               : reinterpret_cast<const std::uint8_t*>(owned_.data());
+  }
+  std::size_t size() const { return owned_.empty() ? map_.size() : owned_.size(); }
+
+  io::MappedFile map_;
+  std::string owned_;
+  oas::detail::OasHeader hdr_;
+  StreamIndex index_;
+};
+
+}  // namespace dfm

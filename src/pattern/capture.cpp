@@ -94,6 +94,18 @@ CapturedPattern capture_window_at(const LayoutSnapshot& snap,
   return capture_site(snapshot_index(snap, on), on, site);
 }
 
+CapturedPattern capture_window_streamed(const LayoutSnapshot& snap,
+                                        const std::vector<LayerKey>& on,
+                                        const AnchorWindow& site) {
+  std::vector<LayerClip> clips;
+  clips.reserve(on.size());
+  for (const LayerKey k : on) {
+    clips.push_back(LayerClip{k, snap.read_layer_window(k, site.window)});
+  }
+  return CapturedPattern{TopologicalPattern::capture(clips, site.window),
+                         site.window, site.anchor};
+}
+
 std::vector<CapturedPattern> capture_at_anchors(
     const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool) {

@@ -52,6 +52,18 @@ CapturedPattern capture_window_at(const LayoutSnapshot& snap,
                                   const std::vector<LayerKey>& on,
                                   const AnchorWindow& site);
 
+/// Out-of-core variant of capture_window_at: clips each capture layer
+/// through LayoutSnapshot::read_layer_window, so evicted layers are
+/// decoded transiently per window straight from the snapshot's source —
+/// no layer hydration, no R-tree build, working set bounded by the
+/// window. The encoding is a pure function of the clip's canonical
+/// decomposition, so the result is bit-identical to capture_window_at;
+/// the budgeted flow routes pattern sets through this to keep full
+/// capture layers out of the byte budget.
+CapturedPattern capture_window_streamed(const LayoutSnapshot& snap,
+                                        const std::vector<LayerKey>& on,
+                                        const AnchorWindow& site);
+
 /// One window per connected component of `anchor_layer`, centered on the
 /// component bbox center, of half-size `radius`. Windows capture
 /// concurrently on the pool but the returned vector is always in
@@ -62,25 +74,10 @@ std::vector<CapturedPattern> capture_at_anchors(
     const LayoutSnapshot& snap, const std::vector<LayerKey>& on,
     LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
 
-/// Deprecated LayerMap shim; lives in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-std::vector<CapturedPattern> capture_at_anchors(
-    const LayerMap& layers, const std::vector<LayerKey>& on,
-    LayerKey anchor_layer, Coord radius, ThreadPool* pool = nullptr);
-
 /// Sliding-window capture over `extent` at `stride`; windows of edge
 /// `size`. Empty windows are skipped unless keep_empty. Parallel capture
 /// preserves scan order, like capture_at_anchors.
 std::vector<CapturedPattern> capture_grid(const LayoutSnapshot& snap,
-                                          const std::vector<LayerKey>& on,
-                                          const Rect& extent, Coord size,
-                                          Coord stride,
-                                          bool keep_empty = false,
-                                          ThreadPool* pool = nullptr);
-
-/// Deprecated LayerMap shim; lives in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-std::vector<CapturedPattern> capture_grid(const LayerMap& layers,
                                           const std::vector<LayerKey>& on,
                                           const Rect& extent, Coord size,
                                           Coord stride,

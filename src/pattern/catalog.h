@@ -66,11 +66,4 @@ PatternCatalog build_catalog(const LayoutSnapshot& snap,
                              LayerKey anchor_layer, Coord radius,
                              ThreadPool* pool = nullptr);
 
-/// Deprecated LayerMap shim; lives in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-PatternCatalog build_catalog(const LayerMap& layers,
-                             const std::vector<LayerKey>& on,
-                             LayerKey anchor_layer, Coord radius,
-                             ThreadPool* pool = nullptr);
-
 }  // namespace dfm

@@ -55,13 +55,6 @@ class PatternMatcher {
                                          LayerKey anchor_layer, Coord radius,
                                          ThreadPool* pool = nullptr) const;
 
-  /// Deprecated LayerMap shim; lives in core/compat.h.
-  [[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-  std::vector<PatternMatch> scan_anchors(const LayerMap& layers,
-                                         const std::vector<LayerKey>& on,
-                                         LayerKey anchor_layer, Coord radius,
-                                         ThreadPool* pool = nullptr) const;
-
  private:
   std::vector<PatternRule> rules_;
   // exact: canonical hash -> rule indices

@@ -79,6 +79,15 @@ struct ServiceOptions {
   /// Enables the "sleep" debug op (tests and benches only).
   bool enable_debug_ops = false;
 
+  /// Shared-memory snapshot prefix; empty disables. When set, "open"
+  /// publishes the flattened geometry of each layout into a POSIX shm
+  /// segment (snapshot_shm_name_for(prefix, path)) — or attaches the
+  /// segment another process already published — and every session runs
+  /// out-of-core over that one shared copy. Segments this server
+  /// published are unlinked on shutdown; opens that request an explicit
+  /// non-default "top" bypass the segment (it stores one flattened top).
+  std::string snapshot_shm;
+
   /// Template for every session's flow: tech, optical model, litho tile,
   /// default pass set. `pool`/`threads` are overridden with the server's
   /// shared pool.
@@ -179,6 +188,10 @@ class ServiceServer {
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   std::uint64_t session_seq_ = 0;
+
+  /// shm segments this server published (unlinked in wait()).
+  std::mutex shm_mu_;
+  std::vector<std::string> shm_published_;
 
   // Connections (guarded by conns_mu_).
   mutable std::mutex conns_mu_;

@@ -81,7 +81,7 @@ struct ViaDoublingResult {
 };
 
 namespace detail {
-// Non-deprecated implementation the core/compat.h shim routes through.
+// Shared implementation the snapshot overload routes through.
 ViaDoublingResult double_vias_impl(const LayerMap& layers, const Tech& tech);
 }  // namespace detail
 
@@ -91,10 +91,6 @@ ViaDoublingResult double_vias_impl(const LayerMap& layers, const Tech& tech);
 /// metal-spacing violation. Reads the snapshot's memoized metal R-trees,
 /// so every legality probe is local to the candidate pad.
 ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech);
-
-/// Deprecated LayerMap shim; lives in core/compat.h.
-[[deprecated("build a LayoutSnapshot and call the snapshot overload")]]
-ViaDoublingResult double_vias(const LayerMap& layers, const Tech& tech);
 
 /// The layout edit a doubling result represents (new vias + pad
 /// extensions), as a delta incremental re-analysis can apply.

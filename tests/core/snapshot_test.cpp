@@ -250,9 +250,15 @@ TEST(FlowTraceTest, AccountsForEveryPassAndCacheActivity) {
   // Passes nest inside the total; allow scheduling jitter headroom.
   EXPECT_LE(trace.passes_ms(), trace.total_ms * 1.10);
 
-  // The shared substrate paid off: more reads than builds.
+  // The shared substrate paid off: more reads than builds. Skip the
+  // hits check under a budget (DFMKIT_SNAPSHOT_BUDGET, e.g. the CI
+  // memory-budget job): a budgeted flow captures patterns through the
+  // streamed window path and never re-reads a derived product, so zero
+  // hits is the expected accounting there, not a caching break.
   EXPECT_GT(trace.cache.builds(), 0u);
-  EXPECT_GT(trace.cache.hits(), 0u);
+  if (resolved_memory_budget(flow_options(2)) == 0) {
+    EXPECT_GT(trace.cache.hits(), 0u);
+  }
   EXPECT_EQ(trace.cache.reads(), trace.cache.hits() + trace.cache.builds());
 
   // The JSON emitter covers every pass and stays parseable-by-eye.

@@ -3,6 +3,7 @@
 #include "gdsii/gdsii.h"
 
 #include "gdsii/gds_records.h"
+#include "gdsii/gds_stream.h"
 
 #include "gen/generators.h"
 
@@ -192,6 +193,122 @@ TEST(GdsiiFuzz, AbsurdElementCountsAreRejected) {
         }
       }
     } catch (const std::exception&) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (mmap/index) path. The out-of-core reader must hold the same
+// bar as the istream parser: a mutant either indexes+decodes to
+// consistent geometry or throws a structured error — never crashes, on
+// any of index build, whole-layer decode, or window decode (the suite
+// runs under the sanitizer builds too).
+
+// Exercises a mutant through the full streaming surface: index build,
+// every layer's full decode, and a window straddling the whole extent
+// plus a sliver window (the on-demand path a lazy snapshot takes).
+void stream_must_not_crash(std::string bytes) {
+  try {
+    const GdsStreamReader reader = GdsStreamReader::from_bytes(
+        std::move(bytes));
+    const std::uint32_t top = reader.top_cell();
+    for (const LayerKey k : reader.layers()) {
+      const Region full = reader.read_layer(top, k);
+      const Rect bb = reader.layer_bbox(top, k);
+      if (!full.empty()) {
+        ASSERT_TRUE(bb.contains(full.bbox()));
+        ASSERT_EQ(full.clipped(bb), full);
+      }
+      (void)reader.read_layer_window(top, k, bb);
+      (void)reader.read_layer_window(
+          top, k, Rect{bb.lo.x, bb.lo.y, bb.lo.x + 1, bb.lo.y + 1});
+    }
+  } catch (const std::exception&) {
+    // A structured rejection at any stage is the expected outcome.
+  }
+}
+
+TEST_P(GdsiiFuzz, StreamReaderSurvivesTruncatedTail) {
+  // Truncated mmap tail: the file ends mid-record / mid-header, so cell
+  // extents recorded by the one-pass index run past the buffer.
+  const std::string good = reference_stream();
+  std::mt19937_64 rng(GetParam() * 131 + 3);
+  std::uniform_int_distribution<std::size_t> cut(0, good.size());
+  for (int trial = 0; trial < 40; ++trial) {
+    stream_must_not_crash(good.substr(0, cut(rng)));
+  }
+}
+
+TEST_P(GdsiiFuzz, StreamReaderSurvivesIndexOffsetMismatch) {
+  // Length-field corruption shifts the record walk, so the indexed cell
+  // offsets and the bytes they point at disagree — exactly the mismatch
+  // a window decode would trip over.
+  const std::string good = reference_stream();
+  const std::vector<std::size_t> offsets = record_offsets(good);
+  ASSERT_GT(offsets.size(), 8u);
+  std::mt19937_64 rng(GetParam() * 233 + 11);
+  std::uniform_int_distribution<std::size_t> pick(0, offsets.size() - 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t at = offsets[pick(rng)];
+    {
+      std::string bad = good;
+      bad[at] = '\x7f';  // length far beyond the mapped extent
+      bad[at + 1] = '\xff';
+      stream_must_not_crash(std::move(bad));
+    }
+    {
+      std::string bad = good;
+      bad[at] = 0;  // length below the 4-byte record header
+      bad[at + 1] = static_cast<char>(trial % 4);
+      stream_must_not_crash(std::move(bad));
+    }
+  }
+}
+
+TEST_P(GdsiiFuzz, StreamWindowsSurviveCorruptRecords) {
+  // Payload corruption (record framing intact): windows that straddle
+  // the corrupt record must decode or reject cleanly, and clean layers
+  // keep the window == clipped-full-layer identity.
+  const std::string good = reference_stream();
+  const std::vector<std::size_t> offsets = record_offsets(good);
+  ASSERT_GT(offsets.size(), 8u);
+  std::mt19937_64 rng(GetParam() * 389 + 29);
+  std::uniform_int_distribution<std::size_t> pick(0, offsets.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string bad = good;
+    const std::size_t at = offsets[pick(rng)];
+    // Corrupt payload bytes only; leave the 4-byte header alone.
+    for (int f = 0; f < 4 && at + 4 + static_cast<std::size_t>(f) <
+                                bad.size();
+         ++f) {
+      bad[at + 4 + static_cast<std::size_t>(f)] =
+          static_cast<char>(byte(rng));
+    }
+    try {
+      const GdsStreamReader reader =
+          GdsStreamReader::from_bytes(std::move(bad));
+      const std::uint32_t top = reader.top_cell();
+      for (const LayerKey k : reader.layers()) {
+        Region full;
+        try {
+          full = reader.read_layer(top, k);
+        } catch (const std::exception&) {
+          continue;  // the corrupt record lives on this layer's path
+        }
+        const Rect bb = full.bbox();
+        if (bb.is_empty()) continue;
+        const Coord mx = (bb.lo.x + bb.hi.x) / 2;
+        const Coord my = (bb.lo.y + bb.hi.y) / 2;
+        for (const Rect& win :
+             {Rect{bb.lo.x, bb.lo.y, mx, my}, Rect{mx, my, bb.hi.x, bb.hi.y},
+              Rect{bb.lo.x, my, bb.hi.x, bb.hi.y}}) {
+          ASSERT_EQ(full.clipped(win), reader.read_layer_window(top, k, win))
+              << "window decode diverged on layer " << to_string(k);
+        }
+      }
+    } catch (const std::exception&) {
+      // Clean rejection at index build is fine.
     }
   }
 }

@@ -1,6 +1,9 @@
 // Failure injection for the OASIS reader: corrupted or truncated streams
 // must throw cleanly (or parse to a consistent library), never crash.
+// The streaming (mmap/index) path is held to the same bar below.
 #include "oasis/oasis.h"
+
+#include "oasis/oas_stream.h"
 
 #include "gen/generators.h"
 
@@ -63,6 +66,58 @@ TEST_P(OasisFuzz, TruncationsNeverCrash) {
       (void)read_oasis(ss);
     } catch (const std::exception&) {
     }
+  }
+}
+
+// Runs a mutant through the full streaming surface — index build,
+// whole-layer decode, window decode — the path a lazy out-of-core
+// snapshot hydrates through. Either consistent geometry or a structured
+// throw; never a crash.
+void stream_must_not_crash(std::string bytes) {
+  try {
+    const OasStreamReader reader = OasStreamReader::from_bytes(
+        std::move(bytes));
+    const std::uint32_t top = reader.top_cell();
+    for (const LayerKey k : reader.layers()) {
+      const Region full = reader.read_layer(top, k);
+      const Rect bb = reader.layer_bbox(top, k);
+      if (!full.empty()) {
+        ASSERT_TRUE(bb.contains(full.bbox()));
+        ASSERT_EQ(full.clipped(bb), full);
+      }
+      (void)reader.read_layer_window(top, k, bb);
+      (void)reader.read_layer_window(
+          top, k, Rect{bb.lo.x, bb.lo.y, bb.lo.x + 1, bb.lo.y + 1});
+    }
+  } catch (const std::exception&) {
+    // Structured rejection at any stage is the expected outcome.
+  }
+}
+
+TEST_P(OasisFuzz, StreamReaderSurvivesTruncatedTail) {
+  // Truncated mmap tail: indexed cell extents run past the buffer end.
+  const std::string good = reference_stream();
+  std::mt19937_64 rng(GetParam() * 151 + 9);
+  std::uniform_int_distribution<std::size_t> cut(0, good.size());
+  for (int trial = 0; trial < 40; ++trial) {
+    stream_must_not_crash(good.substr(0, cut(rng)));
+  }
+}
+
+TEST_P(OasisFuzz, StreamReaderSurvivesByteFlips) {
+  // Flips in the record stream desynchronize the variable-length record
+  // walk, so the index and the bytes it points at disagree — windows
+  // that straddle the corrupt record must decode or reject cleanly.
+  const std::string good = reference_stream();
+  std::mt19937_64 rng(GetParam() * 211 + 17);
+  std::uniform_int_distribution<std::size_t> pos(13, good.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bad = good;
+    for (int f = 0; f < 1 + trial % 3; ++f) {
+      bad[pos(rng)] = static_cast<char>(byte(rng));
+    }
+    stream_must_not_crash(std::move(bad));
   }
 }
 

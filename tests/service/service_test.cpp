@@ -7,6 +7,7 @@
 #include "service/server.h"
 
 #include "core/incremental.h"
+#include "core/snapshot_shm.h"
 #include "core/version.h"
 #include "gdsii/gdsii.h"
 #include "gen/generators.h"
@@ -136,6 +137,41 @@ TEST_P(ServedEquivalence, ReportsBitIdenticalToDirectSession) {
 
 INSTANTIATE_TEST_SUITE_P(Workers, ServedEquivalence,
                          ::testing::Values(1u, 8u));
+
+TEST(Service, SnapshotShmSessionsMatchDirectAndShareOneSegment) {
+  const Library lib = read_gdsii_file(demo_gds());
+  DfmFlowOptions direct_opt;
+  direct_opt.passes = kFastPasses;
+  direct_opt.threads = 2;
+  DfmFlowSession direct(lib, lib.top_cells().front(), direct_opt);
+  const std::string direct_cold = flow_report_canonical_json(direct.report());
+
+  ServiceOptions opt = base_options("shm");
+  // pid-suffixed prefix: parallel test processes must not share segments.
+  opt.snapshot_shm = "dfmkit-test-" + std::to_string(::getpid());
+  opt.flow.memory_budget = 64 << 10;  // evict aggressively, same bytes out
+  const std::string segment =
+      snapshot_shm_name_for(opt.snapshot_shm, demo_gds());
+  ServiceServer server(std::move(opt));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+
+  // First open publishes the segment; the second one attaches it. Both
+  // serve the exact bytes of the direct in-memory session.
+  const Json first = client.open(demo_gds());
+  EXPECT_EQ(first.get_string("report", ""), direct_cold);
+  EXPECT_TRUE(snapshot_shm_exists(segment));
+  const Json second = client.open(demo_gds());
+  EXPECT_EQ(second.get_string("report", ""), direct_cold);
+
+  client.close_session(first.get_string("session", ""));
+  client.close_session(second.get_string("session", ""));
+  server.request_shutdown();
+  server.wait();
+  // The publishing server unlinks its segments on shutdown.
+  EXPECT_FALSE(snapshot_shm_exists(segment));
+}
 
 TEST(Service, BackpressureRepliesWhenQueueFull) {
   ServiceOptions opt = base_options("backpressure");

@@ -119,13 +119,15 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
       argc, argv, 2,
       {"--socket", "--tcp", "--workers", "--pool-threads", "--max-sessions",
        "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
-       "--litho-tile", "--litho-fast", "--trace-out"});
+       "--litho-tile", "--litho-fast", "--memory-budget", "--snapshot-shm",
+       "--trace-out"});
   if (!args.positional.empty()) {
     throw std::runtime_error(
         "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
         "[--pool-threads N] [--max-sessions N] [--max-queue N] "
         "[--idle-timeout-ms N] [--deadline-ms N] [--passes a,b,...] "
         "[--litho-tile N] [--litho-fast auto|fft|direct|off] "
+        "[--memory-budget <size>] [--snapshot-shm <prefix>] "
         "[--trace-out <path>] [--debug-ops]");
   }
 
@@ -158,6 +160,18 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
   }
   const long litho_tile = args.num("--litho-tile", 0);
   if (litho_tile > 0) opt.flow.litho_tile = litho_tile;
+  // Per-session hydrated snapshot byte budget; every session the daemon
+  // opens runs its flow out-of-core under it.
+  const std::string budget = args.str("--memory-budget", "");
+  if (!budget.empty() &&
+      !parse_byte_size(budget, &opt.flow.memory_budget)) {
+    throw std::runtime_error(
+        "--memory-budget: expected a byte size like 64M, got '" + budget +
+        "'");
+  }
+  // One shared flattened copy per opened file, machine-wide, keyed by
+  // this prefix; sessions hydrate from it instead of re-reading the file.
+  opt.snapshot_shm = args.str("--snapshot-shm", "");
   const std::string litho_fast = args.str("--litho-fast", "");
   if (!litho_fast.empty()) {
     if (litho_fast == "auto") {

@@ -8,6 +8,7 @@
 //   dfmkit drcplus <in.gds> [top]      DRC + pattern rules
 //   dfmkit flow [--json <path>] [--trace-out <path>] [--passes a,b,...]
 //               [--litho-fast auto|fft|direct|off]
+//               [--memory-budget <size>] [--stream]
 //               [--edit <spec>]... <in.gds> [top]
 //                                      full DFM flow + scoreboard; --json
 //                                      writes the per-pass trace +
@@ -27,7 +28,16 @@
 //                                      <layer>:<x0>,<y0>,<x1>,<y1>[:remove]
 //                                      applies rect edits one by one
 //                                      through the incremental session
-//                                      and re-analyzes only the damage
+//                                      and re-analyzes only the damage;
+//                                      --memory-budget <size> (e.g. 64M,
+//                                      or the DFMKIT_SNAPSHOT_BUDGET env
+//                                      var) caps hydrated snapshot bytes
+//                                      — the flow evicts and re-hydrates
+//                                      at pass boundaries, report bit-
+//                                      identical at any budget; --stream
+//                                      runs out-of-core from the mmap'd
+//                                      file without materializing the
+//                                      cell hierarchy
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
 //   dfmkit serve ...                   resident analysis daemon (sessions,
@@ -50,6 +60,7 @@
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/snapshot.h"
+#include "core/stream_source.h"
 #include "core/telemetry.h"
 #include "gdsii/gdsii.h"
 #include "oasis/oasis.h"
@@ -246,12 +257,18 @@ int cmd_flow(int argc, char** argv) {
   std::string trace_path;
   std::string passes_arg;
   std::string litho_fast_arg;
+  std::string budget_arg;
+  bool stream = false;
   std::vector<CliEdit> edits;
   for (int i = 2; i < argc;) {
     const auto eat2 = [&](std::string& into) {
       into = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
+    };
+    const auto eat1 = [&] {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      argc -= 1;
     };
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       eat2(json_path);
@@ -261,6 +278,11 @@ int cmd_flow(int argc, char** argv) {
       eat2(passes_arg);
     } else if (std::strcmp(argv[i], "--litho-fast") == 0 && i + 1 < argc) {
       eat2(litho_fast_arg);
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      eat2(budget_arg);
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
+      eat1();
     } else if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
       std::string spec;
       eat2(spec);
@@ -273,6 +295,7 @@ int cmd_flow(int argc, char** argv) {
     throw std::runtime_error(
         "usage: dfmkit flow [--json <path>] [--trace-out <path>] "
         "[--passes a,b,...] [--litho-fast auto|fft|direct|off] "
+        "[--memory-budget <bytes|K|M|G>] [--stream] "
         "[--edit <layer>:<x0>,<y0>,<x1>,<y1>[:remove]]... <in.gds> [top]");
   }
   if (!trace_path.empty() && !telemetry::compiled_in()) {
@@ -286,14 +309,18 @@ int cmd_flow(int argc, char** argv) {
     telemetry::set_thread_name("main");
     telemetry::set_enabled(true);
   }
-  const Library lib = read_layout(argv[2]);
-  const std::uint32_t top = pick_top(lib, argc, argv, 3);
   DfmFlowOptions opt;
   opt.tech = Tech::standard();
   opt.model.sigma = 25;
   opt.model.px = 5;
   opt.threads = g_threads;
   if (!litho_fast_arg.empty()) opt.litho_fast = parse_litho_fast(litho_fast_arg);
+  if (!budget_arg.empty() &&
+      !parse_byte_size(budget_arg, &opt.memory_budget)) {
+    throw std::runtime_error("--memory-budget: expected a byte size like "
+                             "64M, got '" +
+                             budget_arg + "'");
+  }
   for (std::size_t pos = 0; pos < passes_arg.size();) {
     std::size_t comma = passes_arg.find(',', pos);
     if (comma == std::string::npos) comma = passes_arg.size();
@@ -330,6 +357,46 @@ int cmd_flow(int argc, char** argv) {
     }
   };
 
+  const auto print_budget = [&](const SnapshotBudget& b) {
+    if (b.limit() == 0 && b.evictions() == 0) return;
+    std::printf(
+        "snapshot budget: limit=%zu peak=%zu current=%zu "
+        "hydrations=%llu evictions=%llu rehydrations=%llu\n",
+        b.limit(), b.peak(), b.current(),
+        static_cast<unsigned long long>(b.hydrations()),
+        static_cast<unsigned long long>(b.evictions()),
+        static_cast<unsigned long long>(b.rehydrations()));
+  };
+
+  const auto run_edits = [&](DfmFlowSession& session,
+                             const std::string& title) {
+    print_flow_report("DFM scoreboard: " + title, session.report());
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+      LayoutDelta delta;
+      if (edits[i].remove) {
+        delta.remove(edits[i].layer, edits[i].rect);
+      } else {
+        delta.add(edits[i].layer, edits[i].rect);
+      }
+      const DfmFlowReport& rep = session.apply(delta);
+      print_flow_report("after edit " + std::to_string(i + 1), rep);
+    }
+    print_budget(session.snapshot().budget());
+    write_outputs(session.report());
+  };
+
+  if (stream) {
+    // Out-of-core mode: never materializes the cell hierarchy — the
+    // snapshot hydrates windows straight from the mmap'd file. The top
+    // cell comes from the stream index, so the [top] argument does not
+    // apply here.
+    DfmFlowSession session(open_stream_source(argv[2]), opt);
+    run_edits(session, std::string(argv[2]) + " (stream)");
+    return 0;
+  }
+
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 3);
   if (edits.empty()) {
     const DfmFlowReport rep = run_dfm_flow(lib, top, opt);
     print_flow_report("DFM scoreboard: " + lib.cell(top).name(), rep);
@@ -341,19 +408,7 @@ int cmd_flow(int argc, char** argv) {
   // incremental session — every report is bit-identical to a cold
   // re-run over the edited layout, but only the damage recomputes.
   DfmFlowSession session(lib, top, opt);
-  print_flow_report("DFM scoreboard: " + lib.cell(top).name(),
-                    session.report());
-  for (std::size_t i = 0; i < edits.size(); ++i) {
-    LayoutDelta delta;
-    if (edits[i].remove) {
-      delta.remove(edits[i].layer, edits[i].rect);
-    } else {
-      delta.add(edits[i].layer, edits[i].rect);
-    }
-    const DfmFlowReport& rep = session.apply(delta);
-    print_flow_report("after edit " + std::to_string(i + 1), rep);
-  }
-  write_outputs(session.report());
+  run_edits(session, lib.cell(top).name());
   return 0;
 }
 

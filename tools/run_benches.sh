@@ -13,7 +13,10 @@
 # (parsed from bench_t6_hotspot's LITHO line: direct vs FFT vs
 # FFT+prefilter ms, skip ratio, speedups) under "litho", and the
 # served-flow latency series (parsed from bench_s2_service's SERVICE
-# lines) under "service". The
+# lines) under "service", and the out-of-core memory numbers under
+# "memory" (bench_f4_outofcore's MEMORY lines — hydrated/budget/peak
+# snapshot bytes, evictions — plus the flow run's peak RSS and
+# snapshot byte gauges lifted from its telemetry output). The
 # revision stamp comes from `dfmkit --version` (embedded at build time),
 # not from git at bench time. Requires an existing build
 # (cmake --build <build-dir>).
@@ -181,6 +184,45 @@ if [ -f "$service_log" ]; then
   done < "$service_log"
 fi
 
+# Out-of-core memory numbers. bench_f4_outofcore prints one parseable
+# "MEMORY key=value" line per gauge (fully-hydrated bytes, budget, peak
+# snapshot bytes and eviction counts per thread count); the flow run
+# above contributes its peak RSS and snapshot byte gauges, which
+# dfmkit's --json emitter carries in the telemetry metrics block as
+# "process.peak_rss_kb" / "snapshot.*_bytes". Each becomes one
+# {"key", "value"} row.
+memory_rows=""
+add_memory_row() {
+  mrow="    {\"key\": \"$1\", \"value\": $2}"
+  memory_rows="${memory_rows:+$memory_rows,
+}$mrow"
+}
+mem_log="$logdir/bench_f4_outofcore.log"
+if [ -f "$mem_log" ]; then
+  while IFS= read -r line; do
+    case "$line" in MEMORY\ *) ;; *) continue ;; esac
+    kv="${line#MEMORY }"
+    case "$kv" in *=*) add_memory_row "${kv%%=*}" "${kv#*=}" ;; esac
+  done < "$mem_log"
+fi
+if [ -f "$flow_json" ]; then
+  gauges="$(grep -o \
+    '"\(process\.peak_rss_kb\|snapshot\.[a-z_]*_bytes\)": [0-9.e+-]*' \
+    "$flow_json" 2>/dev/null || true)"
+  if [ -n "$gauges" ]; then
+    # Walk line-by-line in the current shell (no pipe, no subshell) so
+    # the accumulated rows persist.
+    old_ifs="$IFS"; IFS='
+'
+    for g in $gauges; do
+      gname="${g%%\": *}"; gname="${gname#\"}"
+      gval="${g##*: }"
+      add_memory_row "flow_$gname" "$gval"
+    done
+    IFS="$old_ifs"
+  fi
+fi
+
 {
   echo '{'
   printf '  "revision": "%s",\n' "$revision"
@@ -202,6 +244,9 @@ fi
   echo '  ],'
   echo '  "service": ['
   printf '%s\n' "$service_rows"
+  echo '  ],'
+  echo '  "memory": ['
+  printf '%s\n' "$memory_rows"
   echo '  ],'
   printf '  "flow": '
   # Indent the flow object to nest cleanly.
