@@ -1,0 +1,173 @@
+// F5 — the score-gated fix loop: does it repair, and is the repair
+// reproducible?
+//
+// A defect-rich design goes through FixEngine at 1/2/8 threads and
+// through the service `fix` op against an in-process server. Claims
+// under test:
+//  * the loop strictly raises the composite and removes violations
+//    without introducing any (the accept gate's contract, measured
+//    end to end rather than per step);
+//  * the fix set is deterministic: fix_outcome_json's bytes are
+//    identical across thread counts, and the served loop reproduces
+//    the direct one byte for byte (outcome AND post-fix report).
+//
+// Prints one parseable "FIX ..." summary line; tools/run_benches.sh
+// folds it into BENCH_flow.json.
+#include "bench_common.h"
+
+#include "core/dfm_flow.h"
+#include "core/fix_engine.h"
+#include "core/incremental.h"
+#include "gdsii/gdsii.h"
+#include "service/client.h"
+#include "service/server.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace dfm;
+using namespace dfm::bench;
+
+namespace {
+
+// Litho is off: the loop re-runs the flow once per candidate, and the
+// fast passes are where the fixable findings live (the hotspot
+// retarget move is exercised by the CLI demo and the unit suite).
+DfmFlowOptions flow_options(unsigned threads) {
+  DfmFlowOptions o;
+  o.threads = threads;
+  o.tech = Tech::standard();
+  o.model.sigma = 20;
+  o.model.px = 10;
+  o.litho_tile = 8000;
+  o.run_litho = false;
+  return o;
+}
+
+// Everything the accept gate refuses to create more of.
+std::int64_t issue_total(const DfmFlowReport& rep) {
+  std::int64_t n = static_cast<std::int64_t>(rep.drcplus.drc.violations.size()) +
+                   static_cast<std::int64_t>(rep.drcplus.pattern_match_count()) +
+                   static_cast<std::int64_t>(rep.hotspots.size()) +
+                   static_cast<std::int64_t>(rep.floating_cuts.size());
+  for (const auto& [rule, hits] : rep.recommended.counts) n += hits;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  // A routed design with labelled pathologies injected below the core:
+  // enough trouble for every proposal family to fire.
+  TestDesign d = make_design_with_defects(/*seed=*/7, /*rows=*/2,
+                                          /*cells_per_row=*/8,
+                                          /*routes=*/16, /*defects=*/10);
+  const std::uint32_t top = d.top;
+  const std::string gds_path =
+      "/tmp/dfm_bench_f5_" + std::to_string(::getpid()) + ".gds";
+  write_gdsii_file(d.lib, gds_path);
+
+  FixOptions fo;
+  fo.max_iters = 2;
+
+  // --- Direct loop at 1/2/8 threads ---------------------------------------
+  Table table("F5: score-gated fix loop");
+  table.set_header({"threads", "cold ms", "loop ms", "proposed", "accepted",
+                    "composite", "issues"});
+
+  std::string outcome_bytes;  // threads=1 run, the reference
+  std::string report_bytes;
+  bool identical = true;
+  FixOutcome ref;
+  std::int64_t issues_before = 0;
+  std::int64_t issues_after = 0;
+  double cold_ms_1 = 0;
+  double loop_ms_1 = 0;
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    Stopwatch cold_t;
+    DfmFlowSession session(d.lib, top, flow_options(threads));
+    const double cold_ms = cold_t.ms();
+    const std::int64_t before = issue_total(session.report());
+
+    Stopwatch loop_t;
+    const FixOutcome out = FixEngine::fix(session, fo);
+    const double loop_ms = loop_t.ms();
+    const std::int64_t after = issue_total(session.report());
+
+    const std::string bytes = fix_outcome_json(out);
+    if (outcome_bytes.empty()) {
+      outcome_bytes = bytes;
+      report_bytes = flow_report_canonical_json(session.report());
+      ref = out;
+      issues_before = before;
+      issues_after = after;
+      cold_ms_1 = cold_ms;
+      loop_ms_1 = loop_ms;
+    } else if (bytes != outcome_bytes) {
+      identical = false;
+    }
+
+    table.add_row({std::to_string(threads), Table::num(cold_ms, 1),
+                   Table::num(loop_ms, 1), std::to_string(out.proposed),
+                   std::to_string(out.accepted),
+                   Table::num(out.composite_before, 3) + " -> " +
+                       Table::num(out.composite_after, 3),
+                   std::to_string(before) + " -> " + std::to_string(after)});
+  }
+
+  // --- The same loop through the service ----------------------------------
+  service::ServiceOptions sopt;
+  sopt.unix_path = "/tmp/dfm_bench_f5_" + std::to_string(::getpid()) + ".sock";
+  sopt.workers = 2;
+  sopt.max_sessions = 2;
+  sopt.flow = flow_options(1);
+  service::ServiceServer server(std::move(sopt));
+  server.start();
+
+  bool service_identical = false;
+  double service_ms = 0;
+  {
+    service::ServiceClient client =
+        service::ServiceClient::connect_unix(server.options().unix_path);
+    const service::Json opened = client.open(gds_path);
+    const std::string session = opened.get_string("session", "");
+    Stopwatch t;
+    const service::Json fixed = client.fix(session, fo.max_iters);
+    service_ms = t.ms();
+    service_identical = fixed.get_string("outcome", "") == outcome_bytes &&
+                        fixed.get_string("report", "") == report_bytes;
+    client.close_session(session);
+  }
+  server.request_shutdown();
+  server.wait();
+  ::unlink(gds_path.c_str());
+
+  table.print();
+  std::printf("\nfix outcome byte-identical at 1/2/8 threads: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("served fix byte-identical to direct loop:    %s (%.1f ms)\n",
+              service_identical ? "yes" : "NO", service_ms);
+
+  const bool improved = ref.accepted > 0 &&
+                        ref.composite_after > ref.composite_before;
+  const bool no_new_issues = issues_after <= issues_before;
+  std::printf(
+      "FIX design=bench_f5 proposed=%d accepted=%d rejected=%d iterations=%d "
+      "violations_before=%lld violations_after=%lld composite_before=%.4f "
+      "composite_after=%.4f cold_ms=%.3f loop_ms=%.3f service_ms=%.3f "
+      "identical=%d service_identical=%d\n",
+      ref.proposed, ref.accepted, ref.rejected, ref.iterations,
+      static_cast<long long>(issues_before),
+      static_cast<long long>(issues_after), ref.composite_before,
+      ref.composite_after, cold_ms_1, loop_ms_1, service_ms, identical ? 1 : 0,
+      service_identical ? 1 : 0);
+  std::printf(
+      "verdict: the fix loop is a HIT when it raises the composite with no "
+      "new\nviolations and the fix set is bit-identical across threads and "
+      "the service.\n");
+  return (improved && no_new_issues && identical && service_identical) ? 0 : 1;
+}

@@ -1,82 +1,23 @@
 #include "core/autofix.h"
 
-#include "core/delta.h"
+#include "core/fix_proposals.h"
 
 namespace dfm {
-namespace {
 
-// Material may be added iff it keeps `space` to everything it does not
-// merge with.
-bool addition_legal(const Region& addition, const Region& layer, Coord space) {
-  if (addition.empty()) return true;
-  const Region nearby = layer.clipped(addition.bbox().expanded(space + 1));
-  for (const Region& comp : nearby.components()) {
-    const Coord d = region_distance(comp, addition, space + 1);
-    if (d > 0 && d < space) return false;
-  }
-  return true;
-}
-
-// Borderless via repair: grow the M1/M2 pads around the via at `anchor`
-// to full enclosure.
-bool fix_borderless_via(LayerMap& layers, Point anchor, const Tech& t,
-                        AutoFixResult& res) {
-  const Region& vias = layers.at(layers::kVia1);
-  Region& m1 = layers.at(layers::kMetal1);
-  Region& m2 = layers.at(layers::kMetal2);
-
-  // The via component nearest the anchor.
-  const Region local =
-      vias.clipped(Rect{anchor.x - t.via_size, anchor.y - t.via_size,
-                        anchor.x + t.via_size, anchor.y + t.via_size});
-  if (local.empty()) return false;
-  const Rect via = local.bbox();
-  const Rect pad = via.expanded(t.via_enclosure);
-
-  const Region need1 = Region{pad} - m1;
-  const Region need2 = Region{pad} - m2;
-  if (!addition_legal(need1, m1, t.m1_space)) return false;
-  if (!addition_legal(need2, m2, t.m2_space)) return false;
-  m1.add(need1);
-  m2.add(need2);
-  res.added_m1.add(need1);
-  res.added_m2.add(need2);
-  return true;
-}
-
-// Pinch-corridor repair: widen the minimum-width line at the window
-// center by half a space on each side — legal only when the corridor
-// gaps can give up that margin (they cannot at exactly min space, so the
-// typical outcome widens the line *into* slack if the generator left
-// any; otherwise the site is reported unfixable).
-bool fix_pinch(LayerMap& layers, const Rect& window, const Tech& t,
-               AutoFixResult& res) {
-  Region& m1 = layers.at(layers::kMetal1);
-  const Point c = window.center();
-  // The squeezed line: the component whose bbox contains the center.
-  const Region local = m1.clipped(window.expanded(2 * t.m1_width));
-  for (const Region& comp : local.components()) {
-    if (!comp.bbox().contains(c)) continue;
-    const Rect bb = comp.bbox();
-    const bool horizontal = bb.width() >= bb.height();
-    const Coord grow = t.m1_width / 4;
-    const Rect widened = horizontal
-                             ? Rect{bb.lo.x, bb.lo.y - grow, bb.hi.x, bb.hi.y + grow}
-                             : Rect{bb.lo.x - grow, bb.lo.y, bb.hi.x + grow, bb.hi.y};
-    const Region addition = Region{widened} - m1;
-    if (!addition_legal(addition, m1, t.m1_space)) return false;
-    m1.add(addition);
-    res.added_m1.add(addition);
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
+// The shim keeps the historical sequential semantics: each repair is
+// legality-checked against (and applied to) the layout as left by the
+// repairs before it.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
                        const DrcPlusResult& result, const Tech& tech) {
   AutoFixResult res;
+  const Region& vias = layers[layers::kVia1];
+  Region& m1 = layers[layers::kMetal1];
+  Region& m2 = layers[layers::kMetal2];
+
   for (std::size_t si = 0; si < deck.pattern_sets.size(); ++si) {
     const PatternRuleSet& set = deck.pattern_sets[si];
     for (const PatternMatch& m : result.matches[si]) {
@@ -84,9 +25,23 @@ AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
       ++res.attempted;
       bool ok = false;
       if (rule == "DFM.VIA.BORDERLESS") {
-        ok = fix_borderless_via(layers, m.anchor, tech, res);
+        Region a1;
+        Region a2;
+        ok = fix_detail::borderless_via_additions(vias, m1, m2, m.anchor,
+                                                  tech, a1, a2);
+        if (ok) {
+          m1.add(a1);
+          m2.add(a2);
+          res.delta.add(layers::kMetal1, a1);
+          res.delta.add(layers::kMetal2, a2);
+        }
       } else if (rule == "DFM.PINCH.1") {
-        ok = fix_pinch(layers, m.window, tech, res);
+        Region a1;
+        ok = fix_detail::pinch_addition(m1, m.window, tech, a1);
+        if (ok) {
+          m1.add(a1);
+          res.delta.add(layers::kMetal1, a1);
+        }
       }
       if (ok) {
         ++res.fixed;
@@ -97,12 +52,10 @@ AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
   }
   return res;
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
-LayoutDelta to_delta(const AutoFixResult& result) {
-  LayoutDelta delta;
-  delta.add(layers::kMetal1, result.added_m1);
-  delta.add(layers::kMetal2, result.added_m2);
-  return delta;
-}
+LayoutDelta to_delta(const AutoFixResult& result) { return result.delta; }
 
 }  // namespace dfm

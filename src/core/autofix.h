@@ -1,37 +1,38 @@
-// Pattern-guided auto-fixing: the insertion-flow counterpart of DRC-Plus.
-// Where the matcher reports a known-bad construct *with* its fix
-// guidance, the fixer applies the geometric repair mechanically — if and
-// only if the repair introduces no new spacing violation.
-//
-// Implemented repairs:
-//  * borderless via   -> grow both landing pads to full enclosure
-//  * pinch corridor   -> widen the squeezed line symmetrically
+// Legacy pattern-guided auto-fixing, superseded by the score-gated fix
+// loop in core/fix_engine.h. The two repairs that lived here (borderless
+// via pad growth, pinch widening) are FixEngine proposal generators now
+// (FixKind::kPatternVia / kPatternPinch, primitives in
+// core/fix_proposals.h); this header keeps a thin deprecated shim over
+// the old mutable-LayerMap entry point for one release.
 #pragma once
 
+#include "core/delta.h"
 #include "core/drc_plus.h"
 
 namespace dfm {
 
-class LayoutDelta;  // core/delta.h
-
 struct AutoFixResult {
   int attempted = 0;
   int fixed = 0;
-  int skipped = 0;     // no legal repair at this site
-  Region added_m1;     // material added per layer
-  Region added_m2;
-
-  friend bool operator==(const AutoFixResult&, const AutoFixResult&) = default;
+  int skipped = 0;  // no legal repair at this site
+  /// Everything the repairs changed, keyed by layer — LayoutDelta's
+  /// shape, so repairs on any layer stack round-trip through the
+  /// incremental flow without a fixed M1/M2 assumption.
+  LayoutDelta delta;
 };
+
+/// The layout edit a repair run applied, as a delta incremental
+/// re-analysis can apply to the pre-fix snapshot.
+LayoutDelta to_delta(const AutoFixResult& result);
 
 /// Applies repairs for the standard-deck pattern matches in-place on
 /// `layers`. Every addition is spacing-checked against its surroundings
 /// before being committed.
+[[deprecated(
+    "pattern repairs are FixEngine proposals now: plan side-effect-free "
+    "with FixEngine::run over a LayoutSnapshot (core/fix_engine.h) and "
+    "apply the accepted deltas")]]
 AutoFixResult auto_fix(LayerMap& layers, const DrcPlusDeck& deck,
                        const DrcPlusResult& result, const Tech& tech);
-
-/// The layout edit a repair run applied (metal added on M1/M2), as a
-/// delta incremental re-analysis can apply to the pre-fix snapshot.
-LayoutDelta to_delta(const AutoFixResult& result);
 
 }  // namespace dfm

@@ -1,7 +1,7 @@
 // LayoutDelta: the currency of incremental re-analysis. A delta is a set
 // of per-layer edits — geometry added and geometry removed — produced by
-// the fixing engines (auto_fix, double_vias, insert_fill; see their
-// to_delta() builders) or assembled by hand for explicit edits. Applying
+// the fixing engines (FixEngine proposals, double_vias, insert_fill; see
+// their to_delta() builders) or assembled by hand for explicit edits. Applying
 // a delta to a layer L yields (L - removed) | added, whose canonical
 // decomposition is identical to flattening the edited design from
 // scratch, so every downstream pass sees exactly the geometry a cold run

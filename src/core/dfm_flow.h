@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/drc_plus.h"
+#include "core/fix_proposals.h"
 #include "core/hotspot_flow.h"
 #include "core/recommended_rules.h"
 #include "core/scoring.h"
@@ -94,6 +95,11 @@ struct DfmFlowOptions : PassOptions {
   /// per-layer-set groups, and evicts at pass boundaries; the report is
   /// bit-identical at any budget and thread count.
   std::size_t memory_budget = 0;
+  /// Defaults for the score-gated fix loop (FixEngine, `dfmkit fix`,
+  /// the service `fix` op); threaded through `dfmkit serve --fix-*`
+  /// the same way --litho-fast / --memory-budget are. The flow passes
+  /// themselves never read this.
+  FixOptions fix;
 };
 
 /// options.memory_budget, or the parsed DFMKIT_SNAPSHOT_BUDGET

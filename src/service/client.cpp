@@ -20,13 +20,23 @@ namespace {
 }  // namespace
 
 ServiceClient::ServiceClient(int fd) : fd_(fd) {
-  // The server greets every connection with a hello frame.
+  // The server greets every connection with a hello frame; a version
+  // mismatch is refused here, before any request crosses the wire, so a
+  // v1 client never sends a frame a v2 server would misread (or vice
+  // versa).
   std::string payload;
   try {
     if (!read_frame(fd_, payload, max_frame_bytes_)) {
       throw ProtocolError(errc::kBadFrame, "connection closed before hello");
     }
     hello_ = Json::parse(payload);
+    const std::int64_t server_protocol = hello_.get_int("protocol", 0);
+    if (server_protocol != kProtocolVersion) {
+      throw ProtocolError(
+          errc::kProtocolMismatch,
+          "server speaks protocol " + std::to_string(server_protocol) +
+              ", client requires " + std::to_string(kProtocolVersion));
+    }
   } catch (...) {
     ::close(fd_);
     fd_ = -1;
@@ -150,6 +160,23 @@ Json ServiceClient::flow(const std::string& session) {
   Json::Object req;
   req["op"] = Json("flow");
   req["session"] = Json(session);
+  return call_ok(Json(std::move(req)));
+}
+
+Json ServiceClient::fix(const std::string& session, std::int64_t max_iters,
+                        double min_gain,
+                        const std::vector<std::string>& moves) {
+  Json::Object req;
+  req["op"] = Json("fix");
+  req["session"] = Json(session);
+  if (max_iters >= 0) req["max_iters"] = Json(max_iters);
+  if (min_gain >= 0) req["min_gain"] = Json(min_gain);
+  if (!moves.empty()) {
+    Json::Array arr;
+    arr.reserve(moves.size());
+    for (const std::string& m : moves) arr.emplace_back(m);
+    req["moves"] = Json(std::move(arr));
+  }
   return call_ok(Json(std::move(req)));
 }
 

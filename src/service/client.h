@@ -59,6 +59,11 @@ class ServiceClient {
             std::int64_t litho_tile = 0);
   Json edit(const std::string& session, Json::Array edits);
   Json flow(const std::string& session);
+  /// Runs the score-gated fix loop on a session. Negative max_iters /
+  /// min_gain mean "server default" (ServiceOptions::flow.fix); an empty
+  /// moves list means all proposal kinds.
+  Json fix(const std::string& session, std::int64_t max_iters = -1,
+           double min_gain = -1, const std::vector<std::string>& moves = {});
   Json close_session(const std::string& session);
   Json ping();
   Json stats();

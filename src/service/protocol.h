@@ -32,7 +32,9 @@ namespace dfm::service {
 
 /// Protocol revision, reported in the hello handshake. Bumped on any
 /// incompatible frame or schema change.
-inline constexpr int kProtocolVersion = 1;
+///  v2: "fix" op (score-gated auto-fix loop); clients verify the hello's
+///      "protocol" field and refuse mismatched servers.
+inline constexpr int kProtocolVersion = 2;
 
 /// Bytes of the big-endian length prefix.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -53,6 +55,7 @@ inline constexpr char kQueueFull[] = "queue_full";
 inline constexpr char kTooManySessions[] = "too_many_sessions";
 inline constexpr char kDeadlineExceeded[] = "deadline_exceeded";
 inline constexpr char kShuttingDown[] = "shutting_down";
+inline constexpr char kProtocolMismatch[] = "protocol_mismatch";
 inline constexpr char kInternal[] = "internal";
 }  // namespace errc
 

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include "core/fix_engine.h"
 #include "core/snapshot_shm.h"
 #include "core/telemetry.h"
 #include "core/version.h"
@@ -551,6 +552,7 @@ Json ServiceServer::execute(Job& job) {
   if (job.op == "open") return op_open(job.id, job.request);
   if (job.op == "edit") return op_edit(job.id, job.request);
   if (job.op == "flow") return op_flow(job.id, job.request);
+  if (job.op == "fix") return op_fix(job.id, job.request);
   if (job.op == "close") return op_close(job.id, job.request);
   if (job.op == "sleep" && options_.enable_debug_ops) {
     const std::int64_t ms =
@@ -765,6 +767,54 @@ Json ServiceServer::op_flow(std::uint64_t id, const Json& req) {
   }
   Json::Object fields;
   fields["session"] = Json(sid);
+  fields["report"] = Json(std::move(report));
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::op_fix(std::uint64_t id, const Json& req) {
+  const std::string sid = req.get_string("session", "");
+  const auto session = find_session(sid);
+  if (!session) {
+    throw ProtocolError(errc::kUnknownSession,
+                        "fix: unknown session '" + sid + "'");
+  }
+  // Per-request overrides layered over the server's configured defaults
+  // (`dfmkit serve --fix-*`), exactly how "open" treats passes/litho_tile.
+  FixOptions fo = options_.flow.fix;
+  const std::int64_t max_iters = req.get_int("max_iters", fo.max_iters);
+  if (max_iters < 0 || max_iters > 1000) {
+    throw ProtocolError(errc::kBadRequest, "fix: bad \"max_iters\"");
+  }
+  fo.max_iters = static_cast<int>(max_iters);
+  if (const Json* g = req.find("min_gain")) fo.min_gain = g->as_double();
+  if (const Json* m = req.find("moves")) {
+    fo.moves.clear();
+    for (const Json& e : m->as_array()) {
+      const std::string& name = e.as_string();
+      if (!parse_fix_kind(name)) {
+        throw ProtocolError(errc::kBadRequest,
+                            "fix: unknown move '" + name + "'");
+      }
+      fo.moves.push_back(name);
+    }
+  }
+
+  std::string outcome;
+  std::string report;
+  {
+    std::lock_guard<std::mutex> slock(session->mu);
+    if (!session->flow) {
+      throw ProtocolError(errc::kUnknownSession,
+                          "fix: session '" + sid + "' is gone");
+    }
+    const FixOutcome out = FixEngine::fix(*session->flow, fo);
+    outcome = fix_outcome_json(out);
+    report = flow_report_canonical_json(session->flow->report());
+    session->touch();
+  }
+  Json::Object fields;
+  fields["session"] = Json(sid);
+  fields["outcome"] = Json(std::move(outcome));
   fields["report"] = Json(std::move(report));
   return make_ok(id, std::move(fields));
 }

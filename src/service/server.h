@@ -159,6 +159,7 @@ class ServiceServer {
   Json op_open(std::uint64_t id, const Json& req);
   Json op_edit(std::uint64_t id, const Json& req);
   Json op_flow(std::uint64_t id, const Json& req);
+  Json op_fix(std::uint64_t id, const Json& req);
   Json op_close(std::uint64_t id, const Json& req);
   Json inline_stats(std::uint64_t id) const;
 

@@ -63,14 +63,34 @@ ViaDoublingResult double_vias_core(const Region& vias, const MetalIndex& m1,
 
   std::vector<Rect> accepted;  // newly inserted vias, for self-spacing
 
+  // Already redundant? A partner cut within two insertion steps whose
+  // joint landing pad is covered on both metals is exactly the construct
+  // an insertion leaves behind, so detecting it makes doubling
+  // idempotent and lets the scorecard credit *realized* redundancy.
+  const auto has_partner = [&](std::size_t i, const Rect& vb) {
+    bool found = false;
+    tree.visit(vb.expanded(2 * (sz + sp)), [&](std::uint32_t j) {
+      if (found || j == i) return;
+      const Rect ob = via_boxes[j];
+      if (ob.width() > sz || ob.height() > sz) return;
+      const Rect pad = vb.hull(ob).expanded(enc);
+      if (m1.uncovered(pad).empty() && m2.uncovered(pad).empty()) {
+        found = true;
+      }
+    });
+    return found;
+  };
+
   for (std::size_t i = 0; i < nets.size(); ++i) {
     // Only single vias (exactly one via-sized component) get doubled.
     const Rect vb = via_boxes[i];
     if (vb.width() > sz || vb.height() > sz) continue;
 
-    // Already redundant? A neighbour via on the same metal island within
-    // 2 pitches counts as redundancy; conservatively we double every
-    // isolated single and rely on spacing checks to keep it legal.
+    ++res.total;
+    if (has_partner(i, vb)) {
+      ++res.redundant_before;
+      continue;
+    }
     ++res.singles_before;
 
     const Point c = vb.center();

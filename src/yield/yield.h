@@ -69,7 +69,9 @@ double layer_lambda(const Region& layer, const DefectModel& model,
 // ---- Redundant via insertion ----------------------------------------------
 
 struct ViaDoublingResult {
-  int singles_before = 0;   // vias without redundancy in the input
+  int total = 0;            // single-cut via sites examined
+  int redundant_before = 0; // sites that already have a redundant partner
+  int singles_before = 0;   // sites without redundancy in the input
   int inserted = 0;         // redundant vias successfully added
   int blocked = 0;          // singles with no legal position
   Region new_vias;          // the added via shapes
@@ -88,8 +90,13 @@ ViaDoublingResult double_vias_impl(const LayerMap& layers, const Tech& tech);
 /// Attempts to add a redundant via beside every isolated via, extending
 /// the landing pads when needed; a position is legal when via spacing to
 /// every other via is kept and the pad extension creates no new
-/// metal-spacing violation. Reads the snapshot's memoized metal R-trees,
-/// so every legality probe is local to the candidate pad.
+/// metal-spacing violation. A via already paired with a neighbour on
+/// the same landing pads (another cut within two steps whose joint pad
+/// is covered on both metals — exactly what an insertion leaves behind)
+/// counts as redundant and is left alone, so doubling is idempotent:
+/// re-running on a doubled layout inserts nothing. Reads the snapshot's
+/// memoized metal R-trees, so every legality probe is local to the
+/// candidate pad.
 ViaDoublingResult double_vias(const LayoutSnapshot& snap, const Tech& tech);
 
 /// The layout edit a doubling result represents (new vias + pad

@@ -1,3 +1,7 @@
+// Coverage for the deprecated auto_fix shim (one release of
+// compatibility): the sequential in-place semantics must keep working and
+// the result's delta must describe exactly what was applied. The
+// replacement API is exercised in fix_engine_test.cpp.
 #include "core/autofix.h"
 
 #include "core/recommended_rules.h"
@@ -5,6 +9,10 @@
 #include "gen/generators.h"
 
 #include <gtest/gtest.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 namespace dfm {
 namespace {
@@ -30,7 +38,16 @@ TEST(AutoFix, RepairsBorderlessVia) {
 
   const AutoFixResult fix = auto_fix(layers, deck, before, t);
   EXPECT_GE(fix.fixed, 1);
-  EXPECT_FALSE(fix.added_m1.empty());
+  const LayerDelta* dm1 = fix.delta.find(layers::kMetal1);
+  ASSERT_NE(dm1, nullptr);
+  EXPECT_FALSE(dm1->added.empty());
+
+  // The delta replays the repair: applying it to the pre-fix layers
+  // reproduces the fixed layout exactly.
+  LayerMap replay = layers_of(c);
+  to_delta(fix).apply(replay);
+  EXPECT_EQ(replay.at(layers::kMetal1), layers.at(layers::kMetal1));
+  EXPECT_EQ(replay.at(layers::kMetal2), layers.at(layers::kMetal2));
 
   // The repaired layout passes the full-enclosure recommended rule.
   const auto rules = standard_recommended_rules(t);

@@ -6,6 +6,7 @@
 // test.
 #include "service/server.h"
 
+#include "core/fix_engine.h"
 #include "core/incremental.h"
 #include "core/snapshot_shm.h"
 #include "core/version.h"
@@ -17,11 +18,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 namespace dfm::service {
@@ -137,6 +141,120 @@ TEST_P(ServedEquivalence, ReportsBitIdenticalToDirectSession) {
 
 INSTANTIATE_TEST_SUITE_P(Workers, ServedEquivalence,
                          ::testing::Values(1u, 8u));
+
+/// The fix-loop equivalence gate: the served "fix" op must return the
+/// exact outcome and report bytes the direct FixEngine loop produces,
+/// over several seeded layouts.
+TEST(Service, FixOpMatchesDirectLoopByteForByte) {
+  ServiceOptions sopt = base_options("fix");
+  sopt.flow.fix.max_iters = 1;  // server-side default, used by the op
+  ServiceServer server(std::move(sopt));
+  server.start();
+  ServiceClient client =
+      ServiceClient::connect_unix(server.options().unix_path);
+
+  for (const std::uint64_t seed : {3ull, 5ull, 9ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    DesignParams p;
+    p.seed = seed;
+    p.rows = 2;
+    p.cells_per_row = 3;
+    p.routes = 6;
+    p.via_fields = 1;
+    p.vias_per_field = 12;
+    const Library lib = generate_design(p);
+    const std::string path = ::testing::TempDir() + "dfm_fix_" +
+                             std::to_string(seed) + "_" +
+                             std::to_string(::getpid()) + ".gds";
+    write_gdsii_file(lib, path);
+
+    // Direct loop, same schedule the server runs.
+    DfmFlowOptions direct_opt;
+    direct_opt.passes = kFastPasses;
+    direct_opt.threads = 2;
+    DfmFlowSession direct(lib, lib.top_cells().front(), direct_opt);
+    FixOptions fo;
+    fo.max_iters = 1;
+    const FixOutcome direct_out = FixEngine::fix(direct, fo);
+    const std::string direct_outcome = fix_outcome_json(direct_out);
+    const std::string direct_report =
+        flow_report_canonical_json(direct.report());
+
+    const Json opened = client.open(path);
+    const std::string session = opened.get_string("session", "");
+    ASSERT_FALSE(session.empty());
+    const Json fixed = client.fix(session);
+    EXPECT_EQ(fixed.get_string("outcome", ""), direct_outcome);
+    EXPECT_EQ(fixed.get_string("report", ""), direct_report);
+    client.close_session(session);
+  }
+
+  // Request validation: unknown moves and bad iteration counts are
+  // structured errors, not crashes.
+  const Json opened = client.open(demo_gds());
+  const std::string session = opened.get_string("session", "");
+  try {
+    client.fix(session, 1, 0, {"warp_drive"});
+    FAIL() << "unknown move must be rejected";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), errc::kBadRequest);
+  }
+  try {
+    Json::Object req;
+    req["op"] = Json("fix");
+    req["session"] = Json(session);
+    req["max_iters"] = Json(-7);
+    client.call_ok(Json(std::move(req)));
+    FAIL() << "negative max_iters must be rejected";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), errc::kBadRequest);
+  }
+  client.close_session(session);
+}
+
+/// v2 clients refuse to talk to servers that greet with a different
+/// protocol revision — before any request crosses the wire.
+TEST(Service, ClientRejectsProtocolMismatch) {
+  const std::string path = ::testing::TempDir() + "dfm_svc_mismatch_" +
+                           std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+
+  // A fake old server: greets with protocol 1, then waits for a frame
+  // that must never arrive.
+  std::thread fake([&] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) return;
+    Json::Object hello;
+    hello["op"] = Json("hello");
+    hello["ok"] = Json(true);
+    hello["server"] = Json("dfmkit");
+    hello["protocol"] = Json(1);
+    write_frame(conn, Json(std::move(hello)).dump());
+    std::string payload;
+    EXPECT_FALSE(read_frame(conn, payload, kDefaultMaxFrameBytes))
+        << "client sent a request to a mismatched server";
+    ::close(conn);
+  });
+
+  try {
+    ServiceClient client = ServiceClient::connect_unix(path);
+    FAIL() << "mismatched hello must be refused";
+  } catch (const ProtocolError& e) {
+    EXPECT_STREQ(e.code(), errc::kProtocolMismatch);
+  }
+  fake.join();
+  ::close(listener);
+  ::unlink(path.c_str());
+}
 
 TEST(Service, SnapshotShmSessionsMatchDirectAndShareOneSegment) {
   const Library lib = read_gdsii_file(demo_gds());

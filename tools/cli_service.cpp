@@ -120,7 +120,7 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
       {"--socket", "--tcp", "--workers", "--pool-threads", "--max-sessions",
        "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
        "--litho-tile", "--litho-fast", "--memory-budget", "--snapshot-shm",
-       "--trace-out"});
+       "--fix-max-iters", "--fix-min-gain", "--fix-moves", "--trace-out"});
   if (!args.positional.empty()) {
     throw std::runtime_error(
         "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
@@ -128,6 +128,7 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
         "[--idle-timeout-ms N] [--deadline-ms N] [--passes a,b,...] "
         "[--litho-tile N] [--litho-fast auto|fft|direct|off] "
         "[--memory-budget <size>] [--snapshot-shm <prefix>] "
+        "[--fix-max-iters N] [--fix-min-gain G] [--fix-moves a,b,...] "
         "[--trace-out <path>] [--debug-ops]");
   }
 
@@ -172,6 +173,25 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
   // One shared flattened copy per opened file, machine-wide, keyed by
   // this prefix; sessions hydrate from it instead of re-reading the file.
   opt.snapshot_shm = args.str("--snapshot-shm", "");
+  // Defaults for the "fix" op, per-request overridable — threaded the
+  // same way --litho-fast / --memory-budget configure every session.
+  opt.flow.fix.max_iters =
+      static_cast<int>(args.num("--fix-max-iters", opt.flow.fix.max_iters));
+  const std::string fix_gain = args.str("--fix-min-gain", "");
+  if (!fix_gain.empty()) {
+    char* end = nullptr;
+    opt.flow.fix.min_gain = std::strtod(fix_gain.c_str(), &end);
+    if (end == fix_gain.c_str() || *end != '\0') {
+      throw std::runtime_error("--fix-min-gain: not a number: '" + fix_gain +
+                               "'");
+    }
+  }
+  for (const std::string& name : split_commas(args.str("--fix-moves", ""))) {
+    if (!parse_fix_kind(name)) {
+      throw std::runtime_error("--fix-moves: unknown move '" + name + "'");
+    }
+    opt.flow.fix.moves.push_back(name);
+  }
   const std::string litho_fast = args.str("--litho-fast", "");
   if (!litho_fast.empty()) {
     if (litho_fast == "auto") {
@@ -257,7 +277,8 @@ int cmd_client(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
       {"--socket", "--tcp", "--json", "--top", "--passes", "--litho-tile",
-       "--clients", "--requests", "--mode", "--patch"});
+       "--clients", "--requests", "--mode", "--patch", "--max-iters",
+       "--min-gain", "--moves"});
   const auto usage = [] {
     return std::runtime_error(
         "usage: dfmkit client [--socket <path> | --tcp <port>] <action>\n"
@@ -267,6 +288,8 @@ int cmd_client(int argc, char** argv) {
         "[--litho-tile N]\n"
         "    edit <session> <layer>:<x0>,<y0>,<x1>,<y1>[:remove]...\n"
         "    flow <session> [--json <path>]\n"
+        "    fix <session> [--max-iters N] [--min-gain G] [--moves a,b,...] "
+        "[--json <path>]\n"
         "    close <session>\n"
         "    bench <layout> [--clients N] [--requests N] "
         "[--mode inc|cold|flow] [--patch N] [--top <cell>] "
@@ -374,6 +397,25 @@ int cmd_client(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("%s\n", report.c_str());
+    }
+    return 0;
+  }
+  if (action == "fix") {
+    if (args.positional.size() < 2) throw usage();
+    const std::string gain = args.str("--min-gain", "");
+    const Json reply = client.fix(
+        args.positional[1], args.num("--max-iters", -1),
+        gain.empty() ? -1 : std::strtod(gain.c_str(), nullptr),
+        split_commas(args.str("--moves", "")));
+    const std::string outcome = reply.get_string("outcome", "");
+    const std::string json_path = args.str("--json", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot write " + json_path);
+      out << outcome;
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("%s", outcome.c_str());
     }
     return 0;
   }

@@ -38,6 +38,25 @@
 //                                      runs out-of-core from the mmap'd
 //                                      file without materializing the
 //                                      cell hierarchy
+//   dfmkit fix [--max-iters N] [--min-gain G] [--moves a,b,...]
+//              [--json <path>] [--out <path>] [--expect-improvement]
+//              <in.gds> [top]
+//                                      score-gated auto-fix loop: propose
+//                                      repairs at reported violations
+//                                      (via doubling, wire spreading,
+//                                      hotspot retargeting, fill, pattern
+//                                      repairs), verify each through the
+//                                      incremental flow, keep only fixes
+//                                      that raise the composite without
+//                                      new violations. --moves restricts
+//                                      the proposal kinds (pattern_via,
+//                                      pattern_pinch, via_double, spread,
+//                                      retarget, fill); --json writes the
+//                                      step-by-step outcome; --out writes
+//                                      the repaired layout; with
+//                                      --expect-improvement the exit code
+//                                      is 1 unless the composite strictly
+//                                      improved (the CI gate)
 //   dfmkit catalog <in.gds> [top]      via-enclosure pattern catalog
 //   dfmkit svg <in.gds> <out.svg> [top]  render to SVG
 //   dfmkit serve ...                   resident analysis daemon (sessions,
@@ -55,6 +74,7 @@
 // bit-identical for every N.
 #include "cli_service.h"
 #include "core/dfm_flow.h"
+#include "core/fix_engine.h"
 #include "core/incremental.h"
 #include "core/version.h"
 #include "core/parallel.h"
@@ -412,6 +432,123 @@ int cmd_flow(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fix(int argc, char** argv) {
+  std::string json_path;
+  std::string out_path;
+  std::string moves_arg;
+  bool expect_improvement = false;
+  FixOptions fix;
+  for (int i = 2; i < argc;) {
+    const auto eat2 = [&](std::string& into) {
+      into = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    };
+    const auto eat1 = [&] {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      argc -= 1;
+    };
+    if (std::strcmp(argv[i], "--max-iters") == 0 && i + 1 < argc) {
+      std::string v;
+      eat2(v);
+      fix.max_iters = std::stoi(v);
+    } else if (std::strcmp(argv[i], "--min-gain") == 0 && i + 1 < argc) {
+      std::string v;
+      eat2(v);
+      fix.min_gain = std::stod(v);
+    } else if (std::strcmp(argv[i], "--moves") == 0 && i + 1 < argc) {
+      eat2(moves_arg);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      eat2(json_path);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      eat2(out_path);
+    } else if (std::strcmp(argv[i], "--expect-improvement") == 0) {
+      expect_improvement = true;
+      eat1();
+    } else {
+      ++i;
+    }
+  }
+  if (argc < 3) {
+    throw std::runtime_error(
+        "usage: dfmkit fix [--max-iters N] [--min-gain G] "
+        "[--moves pattern_via,via_double,...] [--json <path>] "
+        "[--out <path>] [--expect-improvement] <in.gds> [top]");
+  }
+  for (std::size_t pos = 0; pos < moves_arg.size();) {
+    std::size_t comma = moves_arg.find(',', pos);
+    if (comma == std::string::npos) comma = moves_arg.size();
+    const std::string name = moves_arg.substr(pos, comma - pos);
+    if (!name.empty()) {
+      if (!parse_fix_kind(name)) {
+        throw std::runtime_error(
+            "--moves: unknown move '" + name +
+            "' (pattern_via|pattern_pinch|via_double|spread|retarget|fill)");
+      }
+      fix.moves.push_back(name);
+    }
+    pos = comma + 1;
+  }
+
+  DfmFlowOptions opt;
+  opt.tech = Tech::standard();
+  opt.model.sigma = 25;
+  opt.model.px = 5;
+  opt.threads = g_threads;
+  opt.fix = fix;
+
+  const Library lib = read_layout(argv[2]);
+  const std::uint32_t top = pick_top(lib, argc, argv, 3);
+  DfmFlowSession session(lib, top, opt);
+  print_flow_report("before fix: " + lib.cell(top).name(), session.report());
+
+  const FixOutcome out = FixEngine::fix(session, opt.fix);
+
+  Table t("fix loop");
+  t.set_header({"iter", "kind", "rule", "site", "result", "gain"});
+  for (const FixStep& s : out.steps) {
+    t.add_row({std::to_string(s.iter), fix_kind_name(s.kind), s.rule,
+               to_string(s.site),
+               s.accepted ? "accepted" : "rejected(" + s.reject + ")",
+               Table::num(s.gain)});
+  }
+  t.print();
+
+  print_flow_report("after fix", session.report());
+  std::printf(
+      "fix: %d iteration(s), %d proposed, %d accepted, %d rejected, "
+      "composite %.3f -> %.3f\n",
+      out.iterations, out.proposed, out.accepted, out.rejected,
+      out.composite_before, out.composite_after);
+
+  if (!json_path.empty()) {
+    std::ofstream o(json_path);
+    if (!o) throw std::runtime_error("cannot write " + json_path);
+    o << fix_outcome_json(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!out_path.empty()) {
+    // The repaired layout, flat: the post-fix snapshot's layers as one
+    // cell (references were flattened when the session snapshot was
+    // built).
+    Cell cell(lib.cell(top).name());
+    for (const LayerKey k : LayoutSnapshot::standard_flow_layers()) {
+      const Region& r = session.snapshot().layer(k);
+      if (!r.empty()) cell.add(k, r);
+    }
+    Library fixed(lib.name());
+    fixed.add_cell(std::move(cell));
+    write_layout(fixed, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (expect_improvement &&
+      !(out.accepted > 0 && out.composite_after > out.composite_before)) {
+    std::fprintf(stderr, "dfmkit fix: composite did not improve\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_catalog(int argc, char** argv) {
   if (argc < 3) throw std::runtime_error("usage: dfmkit catalog <in.gds> [top]");
   const Library lib = read_layout(argv[2]);
@@ -488,7 +625,7 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       std::fprintf(stderr,
                    "usage: dfmkit [--threads N] "
-                   "<gen|info|drc|drcplus|flow|catalog|svg|serve|client> "
+                   "<gen|info|drc|drcplus|flow|fix|catalog|svg|serve|client> "
                    "...\n");
       return 2;
     }
@@ -502,6 +639,7 @@ int main(int argc, char** argv) {
     if (cmd == "drc") return cmd_drc(argc, argv, false);
     if (cmd == "drcplus") return cmd_drc(argc, argv, true);
     if (cmd == "flow") return cmd_flow(argc, argv);
+    if (cmd == "fix") return cmd_fix(argc, argv);
     if (cmd == "catalog") return cmd_catalog(argc, argv);
     if (cmd == "svg") return cmd_svg(argc, argv);
     if (cmd == "serve") return dfm::cli::cmd_serve(argc, argv, g_threads);

@@ -16,7 +16,10 @@
 # lines) under "service", and the out-of-core memory numbers under
 # "memory" (bench_f4_outofcore's MEMORY lines — hydrated/budget/peak
 # snapshot bytes, evictions — plus the flow run's peak RSS and
-# snapshot byte gauges lifted from its telemetry output). The
+# snapshot byte gauges lifted from its telemetry output), and the fix
+# loop's repair numbers (bench_f5_fix's FIX line: proposals, accepts,
+# violations and composite before/after, thread/service determinism)
+# under "fix". The
 # revision stamp comes from `dfmkit --version` (embedded at build time),
 # not from git at bench time. Requires an existing build
 # (cmake --build <build-dir>).
@@ -223,6 +226,46 @@ if [ -f "$flow_json" ]; then
   fi
 fi
 
+# The fix loop's repair numbers: bench_f5_fix prints one parseable
+# "FIX key=value ..." summary line (proposal/accept counts, violations
+# and composite before/after, thread + service determinism bits).
+fix_rows=""
+fix_log="$logdir/bench_f5_fix.log"
+if [ -f "$fix_log" ]; then
+  while IFS= read -r line; do
+    case "$line" in FIX\ *) ;; *) continue ;; esac
+    design=unknown proposed=0 accepted=0 rejected=0 iters=0
+    vb=0 va=0 cb=0 ca=0 cold=0 loop=0 svc=0 ident=0 svc_ident=0
+    for tok in $line; do
+      case "$tok" in
+        design=*)            design="${tok#design=}" ;;
+        proposed=*)          proposed="${tok#proposed=}" ;;
+        accepted=*)          accepted="${tok#accepted=}" ;;
+        rejected=*)          rejected="${tok#rejected=}" ;;
+        iterations=*)        iters="${tok#iterations=}" ;;
+        violations_before=*) vb="${tok#violations_before=}" ;;
+        violations_after=*)  va="${tok#violations_after=}" ;;
+        composite_before=*)  cb="${tok#composite_before=}" ;;
+        composite_after=*)   ca="${tok#composite_after=}" ;;
+        cold_ms=*)           cold="${tok#cold_ms=}" ;;
+        loop_ms=*)           loop="${tok#loop_ms=}" ;;
+        service_ms=*)        svc="${tok#service_ms=}" ;;
+        identical=*)         ident="${tok#identical=}" ;;
+        service_identical=*) svc_ident="${tok#service_identical=}" ;;
+      esac
+    done
+    row="    {\"design\": \"$design\", \"proposed\": $proposed,"
+    row="$row \"accepted\": $accepted, \"rejected\": $rejected,"
+    row="$row \"iterations\": $iters, \"violations_before\": $vb,"
+    row="$row \"violations_after\": $va, \"composite_before\": $cb,"
+    row="$row \"composite_after\": $ca, \"cold_ms\": $cold,"
+    row="$row \"loop_ms\": $loop, \"service_ms\": $svc,"
+    row="$row \"identical\": $ident, \"service_identical\": $svc_ident}"
+    fix_rows="${fix_rows:+$fix_rows,
+}$row"
+  done < "$fix_log"
+fi
+
 {
   echo '{'
   printf '  "revision": "%s",\n' "$revision"
@@ -247,6 +290,9 @@ fi
   echo '  ],'
   echo '  "memory": ['
   printf '%s\n' "$memory_rows"
+  echo '  ],'
+  echo '  "fix": ['
+  printf '%s\n' "$fix_rows"
   echo '  ],'
   printf '  "flow": '
   # Indent the flow object to nest cleanly.
