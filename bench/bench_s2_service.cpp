@@ -155,11 +155,11 @@ int main() {
                      Table::num(direct_ms, 1), std::to_string(queue_max)});
       std::printf(
           "SERVICE clients=%u mode=%s requests=%llu p50_ms=%.3f p95_ms=%.3f "
-          "trimmed_mean_ms=%.3f direct_ms=%.3f queue_max=%llu "
+          "p99_ms=%.3f trimmed_mean_ms=%.3f direct_ms=%.3f queue_max=%llu "
           "backpressure=%llu errors=%llu\n",
           clients, mode.c_str(),
           static_cast<unsigned long long>(rep.requests), rep.p50_ms,
-          rep.p95_ms, rep.trimmed_mean_ms, direct_ms,
+          rep.p95_ms, rep.p99_ms, rep.trimmed_mean_ms, direct_ms,
           static_cast<unsigned long long>(queue_max),
           static_cast<unsigned long long>(rep.backpressure),
           static_cast<unsigned long long>(rep.errors));

@@ -161,15 +161,21 @@ std::string gauge_str(double v) {
 namespace detail {
 
 void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-            std::uint32_t depth, std::uint64_t arg) {
+            std::uint32_t depth, std::uint64_t arg, std::uint64_t id,
+            std::uint64_t parent) {
   ThreadBuffer* buf = tl_handle.buf;
   if (buf == nullptr) {
     buf = tl_handle.buf = register_thread();
   }
-  buf->push(SpanEvent{name, start_ns, end_ns, arg, depth});
+  buf->push(SpanEvent{name, start_ns, end_ns, arg, depth, id, parent});
 }
 
 }  // namespace detail
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void set_enabled(bool on) {
 #ifdef DFMKIT_TELEMETRY_OFF
@@ -186,6 +192,13 @@ void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns, std::uint64_t arg) {
   if (!enabled()) return;
   detail::record(name, start_ns, end_ns, detail::tl_depth, arg);
+}
+
+void record_span_ids(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t id,
+                     std::uint64_t parent, std::uint64_t arg) {
+  if (!enabled()) return;
+  detail::record(name, start_ns, end_ns, detail::tl_depth, arg, id, parent);
 }
 
 const char* intern(const std::string& name) {
@@ -225,6 +238,10 @@ void Histogram::observe(double v) {
   const std::size_t i =
       static_cast<std::size_t>(std::distance(bounds_.begin(), it));
   counts_[i].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
@@ -241,8 +258,46 @@ std::uint64_t Histogram::total() const {
   return sum;
 }
 
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  q = std::min(std::max(q, 0.0), 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : h.counts) total += c;
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t next = cum + h.counts[i];
+    if (rank <= static_cast<double>(next) && h.counts[i] != 0) {
+      if (i >= h.bounds.size()) {
+        // Overflow bucket: the upper edge is unknown, clamp to the last
+        // finite bound (0 if the histogram has no bounds at all).
+        return h.bounds.empty() ? 0 : h.bounds.back();
+      }
+      const double lo = i == 0 ? std::min(0.0, h.bounds[0]) : h.bounds[i - 1];
+      const double hi = h.bounds[i];
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(h.counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return h.bounds.empty() ? 0 : h.bounds.back();
+}
+
+double sample_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 Counter& counter(const std::string& name) {
@@ -269,7 +324,18 @@ Histogram& histogram(const std::string& name, std::vector<double> bounds) {
   return *slot;
 }
 
+std::uint64_t dropped_events() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::uint64_t n = 0;
+  for (const auto& buf : g.buffers) {
+    n += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
 MetricsSnapshot metrics_snapshot() {
+  const std::uint64_t dropped = dropped_events();
   Global& g = global();
   std::lock_guard<std::mutex> lock(g.metrics_mu);
   MetricsSnapshot snap;
@@ -277,7 +343,13 @@ MetricsSnapshot metrics_snapshot() {
   for (const auto& [name, v] : g.gauges) snap.gauges[name] = v->value();
   for (const auto& [name, h] : g.histograms) {
     snap.histograms[name] =
-        HistogramSnapshot{h->bounds(), h->counts(), h->total()};
+        HistogramSnapshot{h->bounds(), h->counts(), h->total(), h->sum()};
+  }
+  // Surface ring-overflow losses next to the metrics they taint. Skipped
+  // when the registry never saw a metric (and nothing was dropped), so a
+  // process that never records keeps an empty() snapshot.
+  if (compiled_in() && (!snap.empty() || dropped != 0)) {
+    snap.gauges["telemetry.dropped_events"] = static_cast<double>(dropped);
   }
   return snap;
 }
@@ -378,7 +450,14 @@ std::string chrome_trace_json(const TraceSnapshot& trace,
              std::to_string(t.tid) + ", \"ts\": " + us_str(rel) +
              ", \"dur\": " + us_str(e->end_ns - e->start_ns) +
              ", \"args\": {\"arg\": " + std::to_string(e->arg) +
-             ", \"depth\": " + std::to_string(e->depth) + "}}";
+             ", \"depth\": " + std::to_string(e->depth);
+      // Trace-context links ride in args only when set, so traces that
+      // never propagate context keep their historical byte shape.
+      if (e->id != 0) out += ", \"span_id\": " + std::to_string(e->id);
+      if (e->parent != 0) {
+        out += ", \"parent_span\": " + std::to_string(e->parent);
+      }
+      out += "}}";
     }
   }
   out += "\n],\n\"displayTimeUnit\": \"ms\",\n";
@@ -422,5 +501,53 @@ std::string metrics_json(const MetricsSnapshot& metrics) {
   out += "}}";
   return out;
 }
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+/// (dots, slashes, dashes) to '_' and guard a leading digit.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_text(const MetricsSnapshot& metrics) {
+  std::string out;
+  for (const auto& [name, v] : metrics.counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : metrics.gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + gauge_str(v) + "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.counts.size() ? h.counts[i] : 0;
+      out += p + "_bucket{le=\"" + gauge_str(h.bounds[i]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.total) + "\n";
+    out += p + "_sum " + gauge_str(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+std::string metrics_text() { return metrics_text(metrics_snapshot()); }
 
 }  // namespace dfm::telemetry

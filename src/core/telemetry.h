@@ -82,13 +82,17 @@ inline std::uint64_t now_ns() {
 
 /// One closed span. `name` points at interned/static storage; `depth` is
 /// the span's nesting level on its thread (0 = outermost); `arg` is a
-/// free integer payload (tile index, rule index, ...).
+/// free integer payload (tile index, rule index, ...). `id`/`parent`
+/// are optional cross-process trace-context links (see next_span_id());
+/// 0 means "not part of a propagated trace" and is omitted from exports.
 struct SpanEvent {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   std::uint64_t arg = 0;
   std::uint32_t depth = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
 };
 
 namespace detail {
@@ -97,8 +101,17 @@ extern thread_local std::uint32_t tl_depth;
 /// thread on first use). Cold parts (registration) are out of line; the
 /// steady state is bounds-check + slot write + release-store.
 void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-            std::uint32_t depth, std::uint64_t arg);
+            std::uint32_t depth, std::uint64_t arg, std::uint64_t id = 0,
+            std::uint64_t parent = 0);
 }  // namespace detail
+
+/// Process-unique span id (monotonic, never 0). The service layer uses
+/// these to link spans across processes: a client stamps its request
+/// span's id into the request's "parent_span" field, and the server
+/// records its `service/request` span with that value as `parent`, so
+/// `dfmkit trace-merge` can stitch the two timelines. Cheap (one relaxed
+/// fetch_add) and meaningful even when recording is disabled.
+std::uint64_t next_span_id();
 
 /// RAII span. Construction samples the clock and opens a nesting level;
 /// destruction samples again and records the closed event. When
@@ -113,10 +126,17 @@ class Span {
     depth_ = detail::tl_depth++;
     start_ = now_ns();
   }
+  /// Span carrying trace-context links (see next_span_id()).
+  Span(const char* name, std::uint64_t arg, std::uint64_t id,
+       std::uint64_t parent)
+      : Span(name, arg) {
+    id_ = id;
+    parent_ = parent;
+  }
   ~Span() {
     if (name_ == nullptr) return;
     --detail::tl_depth;
-    detail::record(name_, start_, now_ns(), depth_, arg_);
+    detail::record(name_, start_, now_ns(), depth_, arg_, id_, parent_);
   }
 
   Span(const Span&) = delete;
@@ -127,6 +147,8 @@ class Span {
   std::uint64_t start_ = 0;
   std::uint64_t arg_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
 };
 
 /// Records an already-timed interval (for scope-free timers that bracket
@@ -134,6 +156,11 @@ class Span {
 /// depth of the calling thread. No-op while disabled.
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns, std::uint64_t arg = 0);
+
+/// record_span() with trace-context links (see next_span_id()).
+void record_span_ids(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t id,
+                     std::uint64_t parent, std::uint64_t arg = 0);
 
 /// Interns a dynamic name, returning a pointer that stays valid for the
 /// process lifetime. Cold path (mutex + map); never call per-item.
@@ -190,11 +217,14 @@ class Histogram {
   /// counts() has bounds().size() + 1 entries (last = overflow).
   std::vector<std::uint64_t> counts() const;
   std::uint64_t total() const;
+  /// Sum of every observed value (Prometheus `_sum`).
+  double sum() const;
   void reset();
 
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
 };
 
 /// Looks up (registering on first use) a metric. References stay valid
@@ -211,7 +241,22 @@ struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
   std::uint64_t total = 0;
+  double sum = 0;  // sum of observed values
 };
+
+/// Quantile estimate (q in [0, 1]) from a bucketed snapshot, linearly
+/// interpolated within the containing bucket (the same estimator
+/// Prometheus' histogram_quantile uses): bucket i spans
+/// (bounds[i-1], bounds[i]], with the first bucket anchored at
+/// min(0, bounds[0]). Values landing in the overflow bucket clamp to the
+/// last bound — the estimate never extrapolates past it. Returns 0 for
+/// an empty histogram.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
+/// q-th percentile of an ascending-sorted sample vector, nearest-rank
+/// with midpoint rounding (index round(q * (n-1))). Shared by the
+/// service load generator and the benches; returns 0 when empty.
+double sample_percentile(const std::vector<double>& sorted, double q);
 
 /// Point-in-time copy of every registered metric (name-sorted maps, so
 /// exports are deterministic).
@@ -270,6 +315,23 @@ std::string chrome_trace_json(const TraceSnapshot& trace,
 /// The metrics snapshot as one flat JSON object:
 /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
 std::string metrics_json(const MetricsSnapshot& metrics);
+
+/// Prometheus text exposition (format version 0.0.4) of a snapshot:
+/// one `# TYPE` comment per metric, metric names sanitized (every char
+/// outside [a-zA-Z0-9_] becomes '_'), histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`. Deterministic
+/// (name-sorted, `%.6g` numbers), newline-terminated, ASCII.
+std::string metrics_text(const MetricsSnapshot& metrics);
+
+/// metrics_text(metrics_snapshot()): the live registry, scrape-ready.
+/// Served by the service's "metrics" op.
+std::string metrics_text();
+
+/// Total events lost to ring overflow across every registered thread
+/// buffer. Also injected into metrics_snapshot() as the
+/// "telemetry.dropped_events" gauge (compiled-in builds, non-empty
+/// snapshots), so metrics_json/metrics_text surface it.
+std::uint64_t dropped_events();
 
 }  // namespace dfm::telemetry
 

@@ -1,7 +1,11 @@
 #include "service/client.h"
 
+#include "core/telemetry.h"
+
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <random>
 #include <utility>
 
 #include <netinet/in.h>
@@ -15,6 +19,15 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw ProtocolError(errc::kInternal, what + ": " + std::strerror(errno));
+}
+
+/// 128 random bits as 32 hex chars — the W3C-trace-context-sized id a
+/// traced client stamps on every request.
+std::string make_trace_id() {
+  std::random_device rd;
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%08x%08x%08x%08x", rd(), rd(), rd(), rd());
+  return buf;
 }
 
 }  // namespace
@@ -84,7 +97,8 @@ ServiceClient::ServiceClient(ServiceClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
       max_frame_bytes_(other.max_frame_bytes_),
-      hello_(std::move(other.hello_)) {}
+      hello_(std::move(other.hello_)),
+      trace_id_(std::move(other.trace_id_)) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
   if (this != &other) {
@@ -93,6 +107,7 @@ ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
     next_id_ = other.next_id_;
     max_frame_bytes_ = other.max_frame_bytes_;
     hello_ = std::move(other.hello_);
+    trace_id_ = std::move(other.trace_id_);
   }
   return *this;
 }
@@ -113,12 +128,33 @@ Json ServiceClient::call(Json request) {
   if (request.find("id") == nullptr) {
     request.set("id", Json(++next_id_));
   }
+  // Trace-context propagation (protocol v3), active only while a
+  // recording epoch is open, so untraced traffic keeps its exact
+  // historical bytes on the wire.
+  std::uint64_t span_id = 0;
+  std::uint64_t start_ns = 0;
+  if (telemetry::enabled()) {
+    if (trace_id_.empty()) trace_id_ = make_trace_id();
+    span_id = telemetry::next_span_id();
+    if (request.find("trace_id") == nullptr) {
+      request.set("trace_id", Json(trace_id_));
+      request.set("parent_span", Json(span_id));
+    }
+    start_ns = telemetry::now_ns();
+  }
   write_frame(fd_, request.dump());
   std::string payload;
   if (!read_frame(fd_, payload, max_frame_bytes_)) {
     throw ProtocolError(errc::kBadFrame, "connection closed awaiting reply");
   }
-  return Json::parse(payload);
+  Json reply = Json::parse(payload);
+  if (span_id != 0) {
+    telemetry::record_span_ids(
+        "client/request", start_ns, telemetry::now_ns(), span_id,
+        /*parent=*/0,
+        static_cast<std::uint64_t>(request.get_int("id", 0)));
+  }
+  return reply;
 }
 
 Json ServiceClient::call_ok(Json request) {
@@ -197,6 +233,15 @@ Json ServiceClient::stats() {
 
 Json ServiceClient::version() {
   return call_ok(Json(Json::Object{{"op", Json("version")}}));
+}
+
+Json ServiceClient::metrics() {
+  return call_ok(Json(Json::Object{{"op", Json("metrics")}}));
+}
+
+Json ServiceClient::debug(std::int64_t n) {
+  return call_ok(
+      Json(Json::Object{{"op", Json("debug")}, {"n", Json(n)}}));
 }
 
 Json ServiceClient::shutdown_server() {

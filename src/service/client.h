@@ -68,8 +68,21 @@ class ServiceClient {
   Json ping();
   Json stats();
   Json version();
+  /// Prometheus text + JSON metrics exposition (the "metrics" op).
+  Json metrics();
+  /// Drains the newest `n` flight-recorder entries (the "debug" op).
+  Json debug(std::int64_t n = 32);
   /// Asks the server to begin graceful shutdown.
   Json shutdown_server();
+
+  /// This client's trace id (32 hex chars), minted lazily on the first
+  /// traced call; empty until then. Trace context is attached to every
+  /// call() while telemetry recording is enabled: the request carries
+  /// trace_id/parent_span (protocol v3), a `client/request` span is
+  /// recorded around the round trip, and the server parents its
+  /// service/request span underneath — `dfmkit trace-merge` stitches
+  /// the two files back together.
+  const std::string& trace_id() const { return trace_id_; }
 
   /// One entry for an "edit" request's edits array.
   static Json make_edit(const std::string& layer, std::int64_t x0,
@@ -83,6 +96,7 @@ class ServiceClient {
   std::uint64_t next_id_ = 0;
   std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
   Json hello_;
+  std::string trace_id_;
 };
 
 }  // namespace dfm::service

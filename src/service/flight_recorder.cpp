@@ -1,0 +1,53 @@
+#include "service/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dfm::service {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      slots_(new Slot[capacity_]) {}
+
+void FlightRecorder::record(FlightRecord r) {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+  r.seq = seq;
+  Slot& slot = slots_[seq % capacity_];
+  // Invalidate, write payload, publish. A reader that catches the slot
+  // mid-write sees version 0 (or a stale seq) and skips it.
+  slot.version.store(0, std::memory_order_release);
+  std::uint64_t words[kWords];
+  std::memcpy(words, &r, sizeof r);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.version.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot(std::size_t max_n) const {
+  std::vector<FlightRecord> out;
+  const std::uint64_t end = seq_.load(std::memory_order_acquire);
+  const std::uint64_t window = std::min<std::uint64_t>(end, capacity_);
+  out.reserve(std::min<std::uint64_t>(window, max_n));
+  for (std::uint64_t back = 0; back < window && out.size() < max_n; ++back) {
+    const std::uint64_t seq = end - 1 - back;
+    const Slot& slot = slots_[seq % capacity_];
+    if (slot.version.load(std::memory_order_acquire) != seq + 1) {
+      continue;  // being written (or already lapped by a newer record)
+    }
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) != seq + 1) {
+      continue;  // overwritten while copying; the copy may be torn
+    }
+    FlightRecord r;
+    std::memcpy(&r, words, sizeof r);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dfm::service

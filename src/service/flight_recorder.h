@@ -1,0 +1,87 @@
+// Post-mortem flight recorder for the analysis daemon: a bounded,
+// lock-free ring of per-request summaries (op, session, trace context,
+// queue wait, duration, outcome). Executors record one entry per
+// completed request; the "debug" control op drains the newest entries at
+// any time — including while the queue is wedged or the server is
+// drowning, which is exactly when it is needed — without taking a lock
+// the writers could be holding.
+//
+// Concurrency: multi-producer seqlock slots. A writer claims a slot with
+// one fetch_add on the global sequence, invalidates the slot's version,
+// stores the payload as relaxed word-sized atomics, then release-stores
+// version = seq + 1. Readers accept a slot only when the version reads
+// seq + 1 both before and after copying the payload (acquire fence in
+// between), so a torn read is detected and skipped, never returned.
+// Every access is atomic — no data races, TSan-clean — and no path
+// blocks: the recorder is safe from signal-adjacent contexts and cannot
+// deadlock a draining server.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dfm::service {
+
+/// One completed request, fixed-size so slots stay seqlock-copyable.
+/// Strings are NUL-terminated and truncated to the field width.
+struct FlightRecord {
+  std::uint64_t seq = 0;          // admission order, monotonically increasing
+  std::uint64_t id = 0;           // request id (client-chosen)
+  std::uint64_t parent_span = 0;  // client's span id, 0 when untraced
+  std::uint64_t start_ns = 0;     // steady-clock ns when execution began
+  double queue_ms = 0;            // admission -> dequeue
+  double total_ms = 0;            // admission -> response sent
+  char op[16] = {};
+  char session[16] = {};
+  char trace_id[40] = {};
+  char outcome[16] = {};  // "ok" or the errc:: code of the error reply
+};
+
+static_assert(sizeof(FlightRecord) % sizeof(std::uint64_t) == 0,
+              "FlightRecord must serialize to whole words");
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total records ever written (>= capacity means the ring wrapped).
+  std::uint64_t recorded() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Appends one record (its `seq` field is assigned here). Lock-free,
+  /// wait-free apart from the slot's word stores; safe from any thread.
+  void record(FlightRecord r);
+
+  /// The newest records, newest first, at most `max_n`. Entries being
+  /// overwritten mid-copy are skipped, not torn.
+  std::vector<FlightRecord> snapshot(std::size_t max_n) const;
+
+ private:
+  static constexpr std::size_t kWords =
+      sizeof(FlightRecord) / sizeof(std::uint64_t);
+
+  struct Slot {
+    std::atomic<std::uint64_t> version{0};  // seq + 1 when published
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// Copies `s` into a NUL-terminated fixed-width record field.
+template <std::size_t N>
+void flight_copy(char (&dst)[N], const std::string& s) {
+  const std::size_t n = s.size() < N - 1 ? s.size() : N - 1;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = s[i];
+  dst[n] = '\0';
+}
+
+}  // namespace dfm::service

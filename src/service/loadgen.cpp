@@ -1,5 +1,7 @@
 #include "service/loadgen.h"
 
+#include "core/telemetry.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -156,13 +158,9 @@ LoadGenReport run_load(const LoadGenOptions& options) {
   if (!report.latencies_ms.empty()) {
     std::vector<double> sorted = report.latencies_ms;
     std::sort(sorted.begin(), sorted.end());
-    const auto at = [&](double q) {
-      const auto idx = static_cast<std::size_t>(
-          q * static_cast<double>(sorted.size() - 1) + 0.5);
-      return sorted[std::min(idx, sorted.size() - 1)];
-    };
-    report.p50_ms = at(0.50);
-    report.p95_ms = at(0.95);
+    report.p50_ms = telemetry::sample_percentile(sorted, 0.50);
+    report.p95_ms = telemetry::sample_percentile(sorted, 0.95);
+    report.p99_ms = telemetry::sample_percentile(sorted, 0.99);
     // Interquartile-trimmed mean, same trim bench_o1 uses.
     const std::size_t trim = sorted.size() / 4;
     double sum = 0;

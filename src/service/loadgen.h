@@ -43,6 +43,7 @@ struct LoadGenReport {
   double wall_ms = 0;             // whole storm, all clients
   double p50_ms = 0;
   double p95_ms = 0;
+  double p99_ms = 0;
   /// Interquartile-trimmed mean (middle half) of the latencies.
   double trimmed_mean_ms = 0;
   std::vector<double> latencies_ms;  // every ok-request latency, unsorted

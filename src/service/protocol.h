@@ -34,7 +34,13 @@ namespace dfm::service {
 /// incompatible frame or schema change.
 ///  v2: "fix" op (score-gated auto-fix loop); clients verify the hello's
 ///      "protocol" field and refuse mismatched servers.
-inline constexpr int kProtocolVersion = 2;
+///  v3: trace-context propagation — requests may carry "trace_id"
+///      (opaque hex string) and "parent_span" (telemetry span id); the
+///      server parents its service/request span under the client's and
+///      echoes a "trace" object {span_id, start_ns, end_ns, queue_ns}
+///      in the response. New control ops: "metrics" (Prometheus text +
+///      JSON exposition) and "debug" (flight-recorder drain).
+inline constexpr int kProtocolVersion = 3;
 
 /// Bytes of the big-endian length prefix.
 inline constexpr std::size_t kFrameHeaderBytes = 4;

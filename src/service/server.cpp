@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -96,13 +97,17 @@ struct ServiceServer::Job {
   Json request;
   std::uint64_t id = 0;
   std::string op;
+  std::string trace_id;            // propagated trace context (may be "")
+  std::uint64_t parent_span = 0;   // client's span id, 0 when untraced
   Clock::time_point arrival;
   Clock::time_point deadline;
   bool has_deadline = false;
 };
 
 ServiceServer::ServiceServer(ServiceOptions options)
-    : options_(std::move(options)), pool_(options_.pool_threads) {
+    : options_(std::move(options)),
+      pool_(options_.pool_threads),
+      recorder_(options_.flight_records) {
   options_.workers = std::max(1u, options_.workers);
 }
 
@@ -247,6 +252,7 @@ ServiceStats ServiceServer::stats() const {
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   s.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.slow_requests = slow_requests_.load(std::memory_order_relaxed);
   s.draining = draining_.load(std::memory_order_acquire);
   return s;
 }
@@ -412,10 +418,16 @@ void ServiceServer::handle_request(const std::shared_ptr<Conn>& conn,
 
   std::uint64_t id = 0;
   std::string op;
+  std::string trace_id;
+  std::uint64_t parent_span = 0;
   std::int64_t deadline_ms = 0;
   try {
     id = static_cast<std::uint64_t>(req.get_int("id", 0));
     op = req.get_string("op", "");
+    // Protocol v3 trace context: opaque to the server except that the
+    // request span it records parents under the client's span id.
+    trace_id = req.get_string("trace_id", "");
+    parent_span = static_cast<std::uint64_t>(req.get_int("parent_span", 0));
     deadline_ms = req.get_int(
         "deadline_ms", static_cast<std::int64_t>(options_.default_deadline_ms));
   } catch (const JsonError& e) {
@@ -446,6 +458,16 @@ void ServiceServer::handle_request(const std::shared_ptr<Conn>& conn,
     send(conn, inline_stats(id));
     return;
   }
+  if (op == "metrics") {
+    send(conn, inline_metrics(id));
+    return;
+  }
+  if (op == "debug") {
+    // Flight-recorder drain. Deliberately inline and ungated: its whole
+    // point is post-morteming a server whose queue is wedged.
+    send(conn, inline_debug(id, req));
+    return;
+  }
   if (op == "shutdown") {
     send(conn, make_ok(id));
     request_shutdown();
@@ -465,6 +487,8 @@ void ServiceServer::handle_request(const std::shared_ptr<Conn>& conn,
   job.request = std::move(req);
   job.id = id;
   job.op = op;
+  job.trace_id = std::move(trace_id);
+  job.parent_span = parent_span;
   job.arrival = Clock::now();
   if (deadline_ms > 0) {
     job.has_deadline = true;
@@ -491,8 +515,10 @@ void ServiceServer::handle_request(const std::shared_ptr<Conn>& conn,
                                seen, depth, std::memory_order_relaxed)) {
     }
     TELEM_GAUGE_SET("service.queue_depth", depth);
-    TELEM_HIST_OBSERVE("service.queue_depth", ({0, 1, 2, 4, 8, 16, 32, 64}),
-                       depth);
+    // Distinct name from the gauge: a Prometheus exposition may not
+    // reuse one family name with two types.
+    TELEM_HIST_OBSERVE("service.queue_depth_at_admit",
+                       ({0, 1, 2, 4, 8, 16, 32, 64}), depth);
   }
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   TELEM_COUNTER_ADD("service.requests", 1);
@@ -520,9 +546,17 @@ void ServiceServer::executor_loop(unsigned index) {
       TELEM_GAUGE_SET("service.queue_depth", queue_.size());
     }
 
+    const double queue_ms = ms_since(job.arrival);
+    const std::uint64_t span_id = telemetry::next_span_id();
+    const std::uint64_t start_ns = telemetry::now_ns();
     Json response;
     {
-      TELEM_SPAN_ARG("service/request", job.id);
+      // The request span carries the propagated trace context: its own
+      // id (echoed to the client) and the client's span id as parent,
+      // so trace-merge can nest this server's flow/<pass> subtree under
+      // the client's request span.
+      telemetry::Span span("service/request", job.id, span_id,
+                           job.parent_span);
       if (job.has_deadline && Clock::now() > job.deadline) {
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         TELEM_COUNTER_ADD("service.deadline_exceeded", 1);
@@ -540,11 +574,80 @@ void ServiceServer::executor_loop(unsigned index) {
         }
       }
     }
-    send(job.conn, response);
+    if (!job.trace_id.empty()) {
+      // Echo the server-side span so the caller can correlate without
+      // the trace file. Outside the report string: served-vs-direct
+      // byte identity is over "report" only.
+      Json::Object trace;
+      trace["span_id"] = Json(span_id);
+      trace["start_ns"] = Json(start_ns);
+      trace["end_ns"] = Json(telemetry::now_ns());
+      trace["queue_ns"] = Json(static_cast<std::uint64_t>(queue_ms * 1e6));
+      response.set("trace", Json(std::move(trace)));
+    }
+    // Bookkeeping before the reply goes out: a client that reacts to
+    // its response with an immediate stats/metrics/debug op must see
+    // this request already counted and recorded.
     requests_completed_.fetch_add(1, std::memory_order_relaxed);
-    TELEM_HIST_OBSERVE("service.request_ms",
-                       ({1, 5, 10, 50, 100, 500, 1000, 5000}),
-                       ms_since(job.arrival));
+    finish_request(job, response, queue_ms, start_ns);
+    send(job.conn, response);
+  }
+}
+
+/// Completion bookkeeping shared by every executed request: the overall
+/// and per-op latency/queue-wait histograms, the flight-recorder entry,
+/// and the slow-request threshold log.
+void ServiceServer::finish_request(const Job& job, const Json& response,
+                                   double queue_ms, std::uint64_t start_ns) {
+  const double total_ms = ms_since(job.arrival);
+  TELEM_HIST_OBSERVE("service.request_ms",
+                     ({1, 5, 10, 50, 100, 500, 1000, 5000}), total_ms);
+  TELEM_HIST_OBSERVE("service.queue_wait_ms",
+                     ({0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000}), queue_ms);
+  if constexpr (telemetry::compiled_in()) {
+    // Per-op histograms are keyed by dynamic names, so they bypass the
+    // macros' static caching — fine at per-request (not per-tile) rate.
+    // Only vocabulary ops get their own series: unknown-op garbage must
+    // not mint unbounded registry entries.
+    static const std::vector<double> kLatencyBounds{1,   5,   10,   50,
+                                                    100, 500, 1000, 5000};
+    static const std::vector<double> kQueueBounds{0.1, 0.5, 1,   5,  10,
+                                                  50,  100, 500, 1000};
+    const bool known = job.op == "open" || job.op == "edit" ||
+                       job.op == "flow" || job.op == "fix" ||
+                       job.op == "close" || job.op == "sleep";
+    const std::string op = known ? job.op : "other";
+    telemetry::histogram("service.op." + op + ".request_ms", kLatencyBounds)
+        .observe(total_ms);
+    telemetry::histogram("service.op." + op + ".queue_wait_ms", kQueueBounds)
+        .observe(queue_ms);
+  }
+
+  const bool ok = response.get_bool("ok", false);
+  FlightRecord rec;
+  rec.id = job.id;
+  rec.parent_span = job.parent_span;
+  rec.start_ns = start_ns;
+  rec.queue_ms = queue_ms;
+  rec.total_ms = total_ms;
+  flight_copy(rec.op, job.op);
+  flight_copy(rec.session, response.get_string(
+                               "session", job.request.get_string("session",
+                                                                 "")));
+  flight_copy(rec.trace_id, job.trace_id);
+  flight_copy(rec.outcome, ok ? "ok" : response.get_string("error",
+                                                           errc::kInternal));
+  recorder_.record(rec);
+
+  if (options_.slow_request_ms > 0 && total_ms >= options_.slow_request_ms) {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
+    TELEM_COUNTER_ADD("service.slow_requests", 1);
+    std::fprintf(stderr,
+                 "dfmkit serve: slow request id=%llu op=%s session=%s "
+                 "trace=%s queue_ms=%.1f total_ms=%.1f outcome=%s\n",
+                 static_cast<unsigned long long>(rec.id), rec.op, rec.session,
+                 rec.trace_id[0] != '\0' ? rec.trace_id : "-", rec.queue_ms,
+                 rec.total_ms, rec.outcome);
   }
 }
 
@@ -852,7 +955,47 @@ Json ServiceServer::inline_stats(std::uint64_t id) const {
   fields["sessions_opened"] = Json(s.sessions_opened);
   fields["sessions_evicted"] = Json(s.sessions_evicted);
   fields["protocol_errors"] = Json(s.protocol_errors);
+  fields["slow_requests"] = Json(s.slow_requests);
   fields["draining"] = Json(s.draining);
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::inline_metrics(std::uint64_t id) const {
+  const telemetry::MetricsSnapshot snap = telemetry::metrics_snapshot();
+  Json::Object fields;
+  // Both expositions of the same snapshot: "text" for scrapers (the
+  // Prometheus line format), "json" for programmatic consumers like
+  // `dfmkit top`, which rebuilds histograms to derive percentiles.
+  fields["text"] = Json(telemetry::metrics_text(snap));
+  fields["json"] = Json(telemetry::metrics_json(snap));
+  fields["telemetry"] = Json(telemetry::compiled_in());
+  return make_ok(id, std::move(fields));
+}
+
+Json ServiceServer::inline_debug(std::uint64_t id, const Json& req) const {
+  const std::int64_t n =
+      std::clamp<std::int64_t>(req.get_int("n", 32), 1,
+                               static_cast<std::int64_t>(recorder_.capacity()));
+  Json::Array requests;
+  for (const FlightRecord& r :
+       recorder_.snapshot(static_cast<std::size_t>(n))) {
+    Json::Object e;
+    e["seq"] = Json(r.seq);
+    e["id"] = Json(r.id);
+    e["op"] = Json(std::string(r.op));
+    e["session"] = Json(std::string(r.session));
+    e["trace_id"] = Json(std::string(r.trace_id));
+    e["parent_span"] = Json(r.parent_span);
+    e["queue_ms"] = Json(r.queue_ms);
+    e["total_ms"] = Json(r.total_ms);
+    e["outcome"] = Json(std::string(r.outcome));
+    requests.emplace_back(std::move(e));
+  }
+  Json::Object fields;
+  fields["requests"] = Json(std::move(requests));  // newest first
+  fields["recorded"] = Json(recorder_.recorded());
+  fields["capacity"] = Json(recorder_.capacity());
+  fields["slow_request_ms"] = Json(options_.slow_request_ms);
   return make_ok(id, std::move(fields));
 }
 

@@ -9,7 +9,8 @@
 //    and runs the housekeeping tick (idle-session eviction, reaping of
 //    finished connection threads);
 //  * one reader per connection: reads frames, answers the cheap control
-//    ops inline (ping, version, stats, shutdown), and admits analysis
+//    ops inline (ping, version, stats, metrics, debug, shutdown), and
+//    admits analysis
 //    ops (open/edit/flow/close) into the bounded queue — replying with
 //    an explicit errc::kQueueFull backpressure error, never blocking,
 //    when the queue is at capacity;
@@ -35,6 +36,7 @@
 #include "core/dfm_flow.h"
 #include "core/incremental.h"
 #include "core/parallel.h"
+#include "service/flight_recorder.h"
 #include "service/protocol.h"
 
 #include <atomic>
@@ -79,6 +81,14 @@ struct ServiceOptions {
   /// Enables the "sleep" debug op (tests and benches only).
   bool enable_debug_ops = false;
 
+  /// Flight-recorder ring size (completed-request summaries kept for the
+  /// "debug" op). The recorder itself is always on — it is the
+  /// post-mortem tool — only its depth is configurable.
+  std::size_t flight_records = 256;
+  /// Requests slower than this (admission to response, ms) are logged to
+  /// stderr and counted in stats().slow_requests; 0 disables the log.
+  double slow_request_ms = 0;
+
   /// Shared-memory snapshot prefix; empty disables. When set, "open"
   /// publishes the flattened geometry of each layout into a POSIX shm
   /// segment (snapshot_shm_name_for(prefix, path)) — or attaches the
@@ -107,6 +117,7 @@ struct ServiceStats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_evicted = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_requests = 0;
   bool draining = false;
 };
 
@@ -162,6 +173,10 @@ class ServiceServer {
   Json op_fix(std::uint64_t id, const Json& req);
   Json op_close(std::uint64_t id, const Json& req);
   Json inline_stats(std::uint64_t id) const;
+  Json inline_metrics(std::uint64_t id) const;
+  Json inline_debug(std::uint64_t id, const Json& req) const;
+  void finish_request(const Job& job, const Json& response, double queue_ms,
+                      std::uint64_t start_ns);
 
   std::shared_ptr<Session> find_session(const std::string& id) const;
   void send(const std::shared_ptr<Conn>& conn, const Json& response);
@@ -171,6 +186,7 @@ class ServiceServer {
 
   ServiceOptions options_;
   ThreadPool pool_;
+  FlightRecorder recorder_;
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
@@ -213,6 +229,7 @@ class ServiceServer {
   std::atomic<std::uint64_t> sessions_opened_{0};
   std::atomic<std::uint64_t> sessions_evicted_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> slow_requests_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
 };
 

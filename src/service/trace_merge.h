@@ -1,0 +1,46 @@
+// Stitches a client-side and a server-side Chrome trace (both produced
+// by telemetry::chrome_trace_json) into one two-process timeline —
+// the back half of trace-context propagation (protocol v3).
+//
+// Each process records timestamps against its own steady-clock epoch, so
+// the two files cannot be overlaid directly. The link is the propagated
+// span ids: a traced client call records a `client/request` span whose
+// `span_id` it sent as the request's "parent_span", and the server
+// records the matching `service/request` span with that value as
+// `parent_span`. For every linked pair the server span must sit inside
+// the client's send->receive window; the merge computes the per-pair
+// offset that centers it there (splitting the transport RTT evenly) and
+// applies the median offset to every server event — one clock, one
+// shift, so the server's own timeline stays internally consistent.
+//
+// Output: client events on pid 1, shifted server events on pid 2
+// (process_name metadata renamed accordingly), plus one Chrome flow
+// arrow ("s"/"f" pair keyed by the span id) per linked request, so
+// Perfetto draws the client request connected to the server span whose
+// flow/<pass> children nest beneath it.
+#pragma once
+
+#include "service/protocol.h"
+
+#include <cstddef>
+#include <string>
+
+namespace dfm::service {
+
+struct TraceMergeStats {
+  std::size_t client_events = 0;  // "X" spans kept from the client trace
+  std::size_t server_events = 0;  // "X" spans kept from the server trace
+  std::size_t linked_requests = 0;  // client/request <-> service/request
+  std::size_t nested = 0;  // linked pairs whose server span fits inside
+  double offset_us = 0;    // applied server-clock shift
+};
+
+/// Merges two Chrome trace JSON documents. Throws JsonError when either
+/// input fails to parse or lacks a traceEvents array. Traces with no
+/// linked requests still merge (offset 0) — the result is simply the two
+/// processes side by side.
+std::string merge_chrome_traces(const std::string& client_json,
+                                const std::string& server_json,
+                                TraceMergeStats* stats = nullptr);
+
+}  // namespace dfm::service

@@ -258,6 +258,126 @@ TEST_F(TelemetryTest, MetricsRegistrySemantics) {
   EXPECT_EQ(snap.histograms.count("reg/h"), 1u);
 }
 
+TEST_F(TelemetryTest, HistogramQuantileEmptySnapshotIsZero) {
+  const telem::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(empty, 0.5), 0.0);
+  // All-zero counts are equally empty, whatever the bounds say.
+  const telem::HistogramSnapshot zeros{{1.0}, {0, 0}, 0, 0.0};
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(zeros, 0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileSingleBucketInterpolates) {
+  // All 4 observations land in the one finite bucket (0, 10]; the
+  // estimate interpolates linearly from the zero anchor.
+  const telem::HistogramSnapshot h{{10.0}, {4, 0}, 4, 0.0};
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 1.0), 10.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileOverflowClampsToLastBound) {
+  // Every observation blew past the finite bounds: the estimator must
+  // not extrapolate, it reports the last bound it can vouch for.
+  const telem::HistogramSnapshot h{{1.0, 2.0}, {0, 0, 5}, 5, 0.0};
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileExactBucketBoundaries) {
+  // Ranks that land exactly on a cumulative-count edge resolve to that
+  // bucket's upper bound (frac == 1), matching Prometheus' estimator.
+  const telem::HistogramSnapshot h{{1.0, 2.0, 4.0}, {2, 2, 4, 0}, 8, 0.0};
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(telem::histogram_quantile(h, 1.00), 4.0);
+}
+
+TEST_F(TelemetryTest, SamplePercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(telem::sample_percentile({}, 0.5), 0.0);
+  const std::vector<double> sorted{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(telem::sample_percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(telem::sample_percentile(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(telem::sample_percentile(sorted, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(telem::sample_percentile(sorted, 1.0), 5.0);
+}
+
+TEST_F(TelemetryTest, PrometheusExpositionGoldenFile) {
+  // Hand-built snapshot -> exact exposition bytes (text format 0.0.4).
+  // If this breaks the scrape format changed: update the golden string
+  // only after checking a real Prometheus accepts the new output.
+  telem::MetricsSnapshot metrics;
+  metrics.counters["pool.steals"] = 3;
+  metrics.gauges["snapshot.rtree_bytes"] = 45528;
+  metrics.histograms["service.op.flow.request_ms"] =
+      telem::HistogramSnapshot{{1, 5, 10}, {4, 2, 1, 1}, 8, 42.5};
+
+  const std::string expected =
+      "# TYPE pool_steals counter\n"
+      "pool_steals 3\n"
+      "# TYPE snapshot_rtree_bytes gauge\n"
+      "snapshot_rtree_bytes 45528\n"
+      "# TYPE service_op_flow_request_ms histogram\n"
+      "service_op_flow_request_ms_bucket{le=\"1\"} 4\n"
+      "service_op_flow_request_ms_bucket{le=\"5\"} 6\n"
+      "service_op_flow_request_ms_bucket{le=\"10\"} 7\n"
+      "service_op_flow_request_ms_bucket{le=\"+Inf\"} 8\n"
+      "service_op_flow_request_ms_sum 42.5\n"
+      "service_op_flow_request_ms_count 8\n";
+  EXPECT_EQ(telem::metrics_text(metrics), expected);
+}
+
+TEST_F(TelemetryTest, DroppedEventsSurfaceAsAGauge) {
+  if (!telem::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  telem::set_ring_capacity(4);
+  telem::set_enabled(true);
+  std::thread rec([] {
+    telem::set_thread_name("dropper");
+    for (int i = 0; i < 10; ++i) {
+      telem::Span s("drop/span");
+    }
+  });
+  rec.join();
+  telem::set_enabled(false);
+
+  EXPECT_EQ(telem::dropped_events(), 6u);
+  const telem::MetricsSnapshot snap = telem::metrics_snapshot();
+  const auto it = snap.gauges.find("telemetry.dropped_events");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_DOUBLE_EQ(it->second, 6.0);
+  // ... and through it, the JSON metrics block every export carries.
+  EXPECT_NE(telem::metrics_json(snap).find("\"telemetry.dropped_events\": 6"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, ChromeExporterEmitsSpanIdsOnlyWhenSet) {
+  telem::TraceSnapshot trace;
+  telem::ThreadTrace t;
+  t.tid = 0;
+  t.name = "main";
+  t.events.push_back(telem::SpanEvent{"plain", 100, 200, 0, 0});
+  t.events.push_back(telem::SpanEvent{"linked", 300, 400, 0, 0, 7, 3});
+  trace.threads.push_back(std::move(t));
+  const std::string json =
+      telem::chrome_trace_json(trace, telem::MetricsSnapshot{});
+  // The id-less span keeps its historical bytes (no span_id key at all);
+  // the linked span carries both ids for trace-merge to stitch on.
+  EXPECT_NE(json.find("\"span_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span\": 3"), std::string::npos);
+  const std::size_t plain = json.find("\"plain\"");
+  const std::size_t linked = json.find("\"linked\"");
+  ASSERT_NE(plain, std::string::npos);
+  ASSERT_NE(linked, std::string::npos);
+  EXPECT_EQ(json.find("span_id", plain), json.find("span_id", linked));
+}
+
+TEST_F(TelemetryTest, SpanIdsAreUniqueAndNonZero) {
+  const std::uint64_t a = telem::next_span_id();
+  const std::uint64_t b = telem::next_span_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
 TEST_F(TelemetryTest, RecordingDoesNotChangeTheFlowReport) {
   DesignParams p;
   p.seed = 7;

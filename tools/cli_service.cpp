@@ -1,16 +1,20 @@
 #include "cli_service.h"
 
+#include "core/report.h"
 #include "core/telemetry.h"
 #include "service/client.h"
 #include "service/loadgen.h"
 #include "service/server.h"
+#include "service/trace_merge.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -105,10 +109,12 @@ void print_loadgen(const LoadGenReport& rep, const LoadGenOptions& opt) {
   // Parseable: tools/run_benches.sh greps these SERVICE lines.
   std::printf(
       "SERVICE clients=%u mode=%s requests=%llu p50_ms=%.3f p95_ms=%.3f "
-      "trimmed_mean_ms=%.3f backpressure=%llu errors=%llu wall_ms=%.1f\n",
+      "p99_ms=%.3f trimmed_mean_ms=%.3f backpressure=%llu errors=%llu "
+      "wall_ms=%.1f\n",
       opt.clients, opt.mode.c_str(),
       static_cast<unsigned long long>(rep.requests), rep.p50_ms, rep.p95_ms,
-      rep.trimmed_mean_ms, static_cast<unsigned long long>(rep.backpressure),
+      rep.p99_ms, rep.trimmed_mean_ms,
+      static_cast<unsigned long long>(rep.backpressure),
       static_cast<unsigned long long>(rep.errors), rep.wall_ms);
 }
 
@@ -120,7 +126,8 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
       {"--socket", "--tcp", "--workers", "--pool-threads", "--max-sessions",
        "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
        "--litho-tile", "--litho-fast", "--memory-budget", "--snapshot-shm",
-       "--fix-max-iters", "--fix-min-gain", "--fix-moves", "--trace-out"});
+       "--fix-max-iters", "--fix-min-gain", "--fix-moves", "--trace-out",
+       "--flight-records", "--slow-ms"});
   if (!args.positional.empty()) {
     throw std::runtime_error(
         "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
@@ -129,7 +136,8 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
         "[--litho-tile N] [--litho-fast auto|fft|direct|off] "
         "[--memory-budget <size>] [--snapshot-shm <prefix>] "
         "[--fix-max-iters N] [--fix-min-gain G] [--fix-moves a,b,...] "
-        "[--trace-out <path>] [--debug-ops]");
+        "[--trace-out <path>] [--flight-records N] [--slow-ms MS] "
+        "[--debug-ops]");
   }
 
   ServiceOptions opt;
@@ -150,6 +158,16 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
   opt.default_deadline_ms =
       static_cast<std::uint64_t>(args.num("--deadline-ms", 0));
   opt.enable_debug_ops = args.has("--debug-ops");
+  opt.flight_records =
+      static_cast<std::size_t>(args.num("--flight-records", 256));
+  const std::string slow_ms = args.str("--slow-ms", "");
+  if (!slow_ms.empty()) {
+    char* end = nullptr;
+    opt.slow_request_ms = std::strtod(slow_ms.c_str(), &end);
+    if (end == slow_ms.c_str() || *end != '\0') {
+      throw std::runtime_error("--slow-ms: not a number: '" + slow_ms + "'");
+    }
+  }
   opt.flow.tech = Tech::standard();
   opt.flow.model.sigma = 25;
   opt.flow.model.px = 5;
@@ -274,16 +292,31 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
 }
 
 int cmd_client(int argc, char** argv) {
-  const Args args = Args::parse(
-      argc, argv, 2,
-      {"--socket", "--tcp", "--json", "--top", "--passes", "--litho-tile",
-       "--clients", "--requests", "--mode", "--patch", "--max-iters",
-       "--min-gain", "--moves"});
+  std::vector<std::string> value_flags = {
+      "--socket", "--tcp", "--json", "--top", "--passes", "--litho-tile",
+      "--clients", "--requests", "--mode", "--patch", "--max-iters",
+      "--min-gain", "--moves", "--trace-out", "--n"};
+  // For the table-rendering actions --json is a boolean toggle (print
+  // the raw reply), not a path; the walker needs the arity up front.
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "stats" || a == "metrics" || a == "debug") {
+      value_flags.erase(
+          std::remove(value_flags.begin(), value_flags.end(), "--json"),
+          value_flags.end());
+      break;
+    }
+  }
+  const Args args = Args::parse(argc, argv, 2, value_flags);
   const auto usage = [] {
     return std::runtime_error(
-        "usage: dfmkit client [--socket <path> | --tcp <port>] <action>\n"
+        "usage: dfmkit client [--socket <path> | --tcp <port>] "
+        "[--trace-out <path>] <action>\n"
         "  actions:\n"
-        "    ping | version | stats | shutdown\n"
+        "    ping | version | shutdown\n"
+        "    stats [--json]\n"
+        "    metrics [--json]\n"
+        "    debug [--n N] [--json]\n"
         "    open <layout> [--top <cell>] [--passes a,b,...] "
         "[--litho-tile N]\n"
         "    edit <session> <layer>:<x0>,<y0>,<x1>,<y1>[:remove]...\n"
@@ -308,6 +341,9 @@ int cmd_client(int argc, char** argv) {
     return ServiceClient::connect_unix("dfmkit.sock");
   };
 
+  // Every action returns through run_action so --trace-out can close
+  // the recording epoch afterwards and write the client-side trace.
+  const auto run_action = [&]() -> int {
   if (action == "bench") {
     if (args.positional.size() < 2) throw usage();
     LoadGenOptions opt;
@@ -342,7 +378,74 @@ int cmd_client(int argc, char** argv) {
     return 0;
   }
   if (action == "stats") {
-    std::printf("%s\n", client.stats().dump().c_str());
+    const Json reply = client.stats();
+    if (args.has("--json")) {
+      std::printf("%s\n", reply.dump().c_str());
+      return 0;
+    }
+    // Same aligned Table the flow CLI renders its summaries with.
+    Table table("server stats");
+    table.set_header({"stat", "value"});
+    for (const auto& [key, value] : reply.as_object()) {
+      if (key == "id" || key == "ok" || key == "op") continue;
+      std::string text;
+      if (value.is_bool()) {
+        text = value.as_bool() ? "yes" : "no";
+      } else if (value.is_int()) {
+        text = Table::num(value.as_int());
+      } else if (value.is_number()) {
+        text = Table::num(value.as_double(), 3);
+      } else if (value.is_string()) {
+        text = value.as_string();
+      } else {
+        text = value.dump();
+      }
+      table.add_row({key, text});
+    }
+    table.print();
+    return 0;
+  }
+  if (action == "metrics") {
+    const Json reply = client.metrics();
+    if (args.has("--json")) {
+      std::printf("%s\n", reply.dump().c_str());
+      return 0;
+    }
+    // Prometheus text exposition, verbatim (already newline-terminated).
+    std::fputs(reply.get_string("text", "").c_str(), stdout);
+    return 0;
+  }
+  if (action == "debug") {
+    const Json reply = client.debug(args.num("--n", 32));
+    if (args.has("--json")) {
+      std::printf("%s\n", reply.dump().c_str());
+      return 0;
+    }
+    Table table("flight recorder (newest first)");
+    table.set_header({"seq", "id", "op", "session", "trace", "queue_ms",
+                      "total_ms", "outcome"});
+    const auto num_of = [](const Json& obj, const char* key) {
+      const Json* v = obj.find(key);
+      return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+    };
+    if (const Json* requests = reply.find("requests")) {
+      for (const Json& rec : requests->as_array()) {
+        std::string trace = rec.get_string("trace_id", "");
+        if (trace.empty()) trace = "-";
+        if (trace.size() > 8) trace.resize(8);  // enough to eyeball-match
+        table.add_row({Table::num(rec.get_int("seq", 0)),
+                       Table::num(rec.get_int("id", 0)),
+                       rec.get_string("op", "?"),
+                       rec.get_string("session", "-"), trace,
+                       Table::num(num_of(rec, "queue_ms"), 3),
+                       Table::num(num_of(rec, "total_ms"), 3),
+                       rec.get_string("outcome", "?")});
+      }
+    }
+    table.print();
+    std::printf("recorded %lld request(s) total, ring capacity %lld\n",
+                static_cast<long long>(reply.get_int("recorded", 0)),
+                static_cast<long long>(reply.get_int("capacity", 0)));
     return 0;
   }
   if (action == "shutdown") {
@@ -426,6 +529,189 @@ int cmd_client(int argc, char** argv) {
     return 0;
   }
   throw usage();
+  };  // run_action
+
+  // --trace-out opens a recording epoch around the whole action, so
+  // every ServiceClient call records a client/request span and stamps
+  // trace context on the wire (see `dfmkit trace-merge`).
+  const std::string trace_path = args.str("--trace-out", "");
+  if (!trace_path.empty()) {
+    if (!telemetry::compiled_in()) {
+      std::fprintf(stderr,
+                   "dfmkit: --trace-out: telemetry was compiled out "
+                   "(DFMKIT_TELEMETRY=OFF); the trace will be empty\n");
+    }
+    telemetry::set_thread_name("client");
+    telemetry::set_enabled(true);
+  }
+  const int rc = run_action();
+  if (!trace_path.empty()) {
+    telemetry::set_enabled(false);
+    const telemetry::MetricsSnapshot metrics = telemetry::metrics_snapshot();
+    const telemetry::TraceSnapshot trace = telemetry::drain();
+    std::ofstream out(trace_path);
+    if (!out) throw std::runtime_error("cannot write " + trace_path);
+    out << telemetry::chrome_trace_json(trace, metrics);
+    std::printf("wrote %s (%zu spans, %u threads)\n", trace_path.c_str(),
+                trace.total_events(),
+                static_cast<unsigned>(trace.threads.size()));
+  }
+  return rc;
+}
+
+namespace {
+
+/// One derived percentile row of `dfmkit top`: a latency histogram
+/// rebuilt from the metrics op's JSON exposition.
+telemetry::HistogramSnapshot parse_histogram(const Json& h) {
+  telemetry::HistogramSnapshot out;
+  if (const Json* bounds = h.find("bounds")) {
+    for (const Json& b : bounds->as_array()) out.bounds.push_back(b.as_double());
+  }
+  if (const Json* counts = h.find("counts")) {
+    for (const Json& c : counts->as_array()) {
+      out.counts.push_back(static_cast<std::uint64_t>(c.as_int()));
+    }
+  }
+  out.total = static_cast<std::uint64_t>(h.get_int("total", 0));
+  return out;
+}
+
+}  // namespace
+
+int cmd_top(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, 2,
+                                {"--socket", "--tcp", "--interval-ms",
+                                 "--count"});
+  if (!args.positional.empty()) {
+    throw std::runtime_error(
+        "usage: dfmkit top [--socket <path> | --tcp <port>] "
+        "[--interval-ms N] [--count N] [--no-clear]\n"
+        "  Polls a running daemon's stats and metrics ops and renders\n"
+        "  queue depth, sessions, and per-op latency percentiles.\n"
+        "  --count 0 (the default) polls until interrupted.");
+  }
+  const std::string socket = args.str("--socket", "");
+  const int tcp = args.has("--tcp")
+                      ? static_cast<int>(args.num("--tcp", 0))
+                      : -1;
+  const long interval_ms = std::max(1L, args.num("--interval-ms", 1000));
+  const long count = args.num("--count", 0);
+  const bool clear = !args.has("--no-clear") && ::isatty(STDOUT_FILENO);
+
+  const auto connect = [&]() -> ServiceClient {
+    if (!socket.empty()) return ServiceClient::connect_unix(socket);
+    if (tcp >= 0) return ServiceClient::connect_tcp(tcp);
+    return ServiceClient::connect_unix("dfmkit.sock");
+  };
+  ServiceClient client = connect();
+
+  for (long tick = 0; count == 0 || tick < count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const Json stats = client.stats();
+    const Json metrics = client.metrics();
+
+    if (clear) std::fputs("\033[H\033[2J", stdout);
+    Table overview("dfmkit top — server overview");
+    overview.set_header({"stat", "value"});
+    for (const char* key :
+         {"queue_depth", "max_queue_depth", "active_sessions",
+          "requests_admitted", "requests_completed", "rejected_backpressure",
+          "deadline_exceeded", "slow_requests"}) {
+      overview.add_row({key, Table::num(stats.get_int(key, 0))});
+    }
+    overview.print();
+
+    // Per-op latency percentiles, derived client-side from the bucket
+    // snapshots the metrics op exposes (the server never computes
+    // percentiles; see DESIGN.md "Observability").
+    Table ops("per-op latency (ms)");
+    ops.set_header(
+        {"op", "count", "p50", "p95", "p99", "queue p50", "queue p95"});
+    bool any = false;
+    const Json exposition = Json::parse(metrics.get_string("json", "{}"));
+    if (const Json* hists = exposition.find("histograms")) {
+      static const std::string prefix = "service.op.";
+      static const std::string req_suffix = ".request_ms";
+      for (const auto& [name, h] : hists->as_object()) {
+        if (name.rfind(prefix, 0) != 0) continue;
+        if (name.size() < prefix.size() + req_suffix.size() ||
+            name.compare(name.size() - req_suffix.size(), req_suffix.size(),
+                         req_suffix) != 0) {
+          continue;
+        }
+        const std::string op = name.substr(
+            prefix.size(), name.size() - prefix.size() - req_suffix.size());
+        const telemetry::HistogramSnapshot req = parse_histogram(h);
+        std::string qp50 = "-";
+        std::string qp95 = "-";
+        if (const Json* qh =
+                hists->find(prefix + op + ".queue_wait_ms")) {
+          const telemetry::HistogramSnapshot queue = parse_histogram(*qh);
+          if (queue.total > 0) {
+            qp50 = Table::num(telemetry::histogram_quantile(queue, 0.50), 3);
+            qp95 = Table::num(telemetry::histogram_quantile(queue, 0.95), 3);
+          }
+        }
+        ops.add_row({op, Table::num(static_cast<std::int64_t>(req.total)),
+                     Table::num(telemetry::histogram_quantile(req, 0.50), 3),
+                     Table::num(telemetry::histogram_quantile(req, 0.95), 3),
+                     Table::num(telemetry::histogram_quantile(req, 0.99), 3),
+                     qp50, qp95});
+        any = true;
+      }
+    }
+    if (any) {
+      ops.print();
+    } else if (!metrics.get_bool("telemetry", true)) {
+      std::printf(
+          "(per-op histograms unavailable: server built with "
+          "DFMKIT_TELEMETRY=OFF)\n");
+    } else {
+      std::printf("(no per-op latency samples yet)\n");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int cmd_trace_merge(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, 2, {"--out"});
+  if (args.positional.size() != 2) {
+    throw std::runtime_error(
+        "usage: dfmkit trace-merge <client_trace.json> <server_trace.json> "
+        "[--out <merged.json>]\n"
+        "  Stitches a --trace-out pair into one Chrome trace: client\n"
+        "  process + server process on a shared timeline, with flow\n"
+        "  arrows linking each client/request span to the service/request\n"
+        "  span it parented (protocol v3 trace context).");
+  }
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string out_path = args.str("--out", "merged_trace.json");
+  service::TraceMergeStats stats;
+  const std::string merged = service::merge_chrome_traces(
+      slurp(args.positional[0]), slurp(args.positional[1]), &stats);
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out << merged;
+  std::printf(
+      "wrote %s: %zu client + %zu server events, %zu request(s) linked "
+      "(%zu nested after alignment), clock offset %.1f us\n",
+      out_path.c_str(), stats.client_events, stats.server_events,
+      stats.linked_requests, stats.nested, stats.offset_us);
+  if (stats.linked_requests == 0) {
+    std::fprintf(stderr,
+                 "dfmkit trace-merge: no spans linked — was the client run "
+                 "with --trace-out against a tracing server?\n");
+  }
+  return 0;
 }
 
 }  // namespace dfm::cli

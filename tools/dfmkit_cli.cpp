@@ -65,7 +65,16 @@
 //                                      see tools/cli_service.cpp
 //   dfmkit client ...                  drive a running daemon: one-shot
 //                                      ops (open/edit/flow/close/stats/
-//                                      shutdown) or `bench` load storms
+//                                      metrics/debug/shutdown) or `bench`
+//                                      load storms; --trace-out records
+//                                      client-side request spans and
+//                                      stamps trace context on the wire
+//   dfmkit top ...                     polling live view of a daemon:
+//                                      queue depth, sessions, per-op
+//                                      latency percentiles
+//   dfmkit trace-merge ...             stitch a client + server Chrome
+//                                      trace pair into one cross-process
+//                                      timeline with flow arrows
 //   dfmkit --version                   build stamp: git revision +
 //                                      build configuration
 //
@@ -625,8 +634,8 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       std::fprintf(stderr,
                    "usage: dfmkit [--threads N] "
-                   "<gen|info|drc|drcplus|flow|fix|catalog|svg|serve|client> "
-                   "...\n");
+                   "<gen|info|drc|drcplus|flow|fix|catalog|svg|serve|client|"
+                   "top|trace-merge> ...\n");
       return 2;
     }
     const std::string cmd = argv[1];
@@ -644,6 +653,8 @@ int main(int argc, char** argv) {
     if (cmd == "svg") return cmd_svg(argc, argv);
     if (cmd == "serve") return dfm::cli::cmd_serve(argc, argv, g_threads);
     if (cmd == "client") return dfm::cli::cmd_client(argc, argv);
+    if (cmd == "top") return dfm::cli::cmd_top(argc, argv);
+    if (cmd == "trace-merge") return dfm::cli::cmd_trace_merge(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

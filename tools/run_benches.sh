@@ -161,7 +161,7 @@ service_log="$logdir/bench_s2_service.log"
 if [ -f "$service_log" ]; then
   while IFS= read -r line; do
     case "$line" in SERVICE\ *) ;; *) continue ;; esac
-    clients=0 mode=unknown requests=0 p50=0 p95=0 trim=0
+    clients=0 mode=unknown requests=0 p50=0 p95=0 p99=0 trim=0
     direct=0 qmax=0 bp=0 errs=0
     for tok in $line; do
       case "$tok" in
@@ -170,6 +170,7 @@ if [ -f "$service_log" ]; then
         requests=*)        requests="${tok#requests=}" ;;
         p50_ms=*)          p50="${tok#p50_ms=}" ;;
         p95_ms=*)          p95="${tok#p95_ms=}" ;;
+        p99_ms=*)          p99="${tok#p99_ms=}" ;;
         trimmed_mean_ms=*) trim="${tok#trimmed_mean_ms=}" ;;
         direct_ms=*)       direct="${tok#direct_ms=}" ;;
         queue_max=*)       qmax="${tok#queue_max=}" ;;
@@ -179,6 +180,7 @@ if [ -f "$service_log" ]; then
     done
     row="    {\"clients\": $clients, \"mode\": \"$mode\","
     row="$row \"requests\": $requests, \"p50_ms\": $p50, \"p95_ms\": $p95,"
+    row="$row \"p99_ms\": $p99,"
     row="$row \"trimmed_mean_ms\": $trim, \"direct_ms\": $direct,"
     row="$row \"queue_max\": $qmax, \"backpressure\": $bp,"
     row="$row \"errors\": $errs}"
