@@ -13,6 +13,7 @@
 #include "core/incremental.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace dfm;
 using namespace dfm::bench;
@@ -120,8 +121,41 @@ int main() {
   std::printf("reports bit-identical across cold/incremental and threads "
               "1/2/8: %s\n",
               all_equal ? "yes" : "NO");
+
+  // The report-equality gate is a correctness invariant and stays hard.
+  // The speedup gate is a *timing* claim measured on whatever machine
+  // runs the bench: on a contended CI host the cold/incremental ratio
+  // wobbles for reasons that have nothing to do with the splice logic.
+  // DFMKIT_BENCH_SPEEDUP_MIN relaxes (or tightens) only that threshold;
+  // the default stays the paper's 5x.
+  double speedup_min = 5.0;
+  if (const char* env = std::getenv("DFMKIT_BENCH_SPEEDUP_MIN")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0) {
+      speedup_min = v;
+      std::printf("DFMKIT_BENCH_SPEEDUP_MIN=%s: speedup gate set to %.1fx\n",
+                  env, speedup_min);
+    } else {
+      std::fprintf(stderr,
+                   "WARNING: ignoring unparseable DFMKIT_BENCH_SPEEDUP_MIN"
+                   "=\"%s\" (want a positive number); gate stays %.1fx\n",
+                   env, speedup_min);
+    }
+  }
   std::printf("verdict: incremental re-analysis is a HIT when the speedup "
-              "column stays >= 5x\nwith identical reports — the fix->recheck "
-              "loop runs at edit cost, not chip cost.\n");
-  return (all_equal && min_speedup >= 5.0) ? 0 : 1;
+              "column stays >= %.1fx\nwith identical reports — the "
+              "fix->recheck loop runs at edit cost, not chip cost.\n",
+              speedup_min);
+  if (all_equal && min_speedup < speedup_min) {
+    std::fprintf(stderr,
+                 "WARNING: reports are identical but the measured speedup "
+                 "(%.1fx) misses the %.1fx gate.\nThis is a wall-clock "
+                 "threshold — on a loaded or throttled host it can fail "
+                 "without any\nregression in the splice logic. Re-run on a "
+                 "quiet machine, or set\nDFMKIT_BENCH_SPEEDUP_MIN to relax "
+                 "the gate for this environment.\n",
+                 min_speedup, speedup_min);
+  }
+  return (all_equal && min_speedup >= speedup_min) ? 0 : 1;
 }

@@ -3,14 +3,17 @@
 #include "core/incremental.h"
 #include "core/parallel.h"
 #include "core/report.h"
+#include "core/shard_backend.h"
 #include "core/telemetry.h"
 #include "litho/fft.h"
+#include "litho/prefilter.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <numeric>
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -221,6 +224,40 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
       }
     }
     if (!have_rules) caches.drc_rules.assign(deck.rules.size(), {});
+    dirty_units += stale_rules.size();
+    // Distributed path: offer the stale min-width rules to the shard
+    // backend — their morphology is window-local, so shards compute it
+    // over haloed windows and the stitched union equals the whole-layer
+    // bad region. Folding it into markers here, against the full layer,
+    // reproduces check_min_width byte for byte. Declined rules (and
+    // every other rule kind) run locally below.
+    if (options.shards != nullptr && !stale_rules.empty()) {
+      std::vector<std::size_t> offer;  // deck indices of stale width rules
+      for (const std::size_t ri : stale_rules) {
+        if (deck.rules[ri].kind == RuleKind::kMinWidth) offer.push_back(ri);
+      }
+      if (!offer.empty()) {
+        TELEM_SPAN("shard/drc");
+        std::vector<Rule> batch_rules;
+        batch_rules.reserve(offer.size());
+        for (const std::size_t ri : offer) batch_rules.push_back(deck.rules[ri]);
+        std::vector<Region> bad2x(offer.size());
+        std::vector<char> handled(offer.size(), 0);
+        if (options.shards->shard_drc(batch_rules, &bad2x, &handled)) {
+          std::vector<char> done(deck.rules.size(), 0);
+          for (std::size_t i = 0; i < offer.size(); ++i) {
+            if (handled[i] == 0) continue;
+            const Rule& rule = deck.rules[offer[i]];
+            caches.drc_rules[offer[i]] =
+                min_width_markers(bad2x[i], snap.layer(rule.layer).region(),
+                                  rule.value, rule.name);
+            done[offer[i]] = 1;
+          }
+          std::erase_if(stale_rules,
+                        [&](std::size_t ri) { return done[ri] != 0; });
+        }
+      }
+    }
     const auto run_rule_batch = [&](const std::vector<std::size_t>& batch) {
       std::vector<std::vector<Violation>> fresh = parallel_map(
           pool, batch.size(), [&](std::size_t i) {
@@ -257,7 +294,6 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
         run_rule_batch(batch);
       }
     }
-    dirty_units += stale_rules.size();
     rep.drcplus.drc.violations.clear();
     for (const std::vector<Violation>& vs : caches.drc_rules) {
       rep.drcplus.drc.violations.insert(rep.drcplus.drc.violations.end(),
@@ -303,17 +339,44 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
           stale_sites.push_back(w);
         }
       }
+      // Distributed path: stale sites are offered to the shard backend
+      // first; a handled site's matches come back exactly as the local
+      // capture+scan would produce them (clip-of-clip equals direct
+      // clip inside the halo). Declined sites — e.g. a window escaping
+      // its owning shard's halo — capture locally below.
+      std::vector<const std::vector<PatternMatch>*> from_shard(sites.size(),
+                                                               nullptr);
+      std::vector<std::vector<PatternMatch>> shard_out;
+      std::vector<std::size_t> local_sites = stale_sites;
+      if (options.shards != nullptr && !stale_sites.empty()) {
+        TELEM_SPAN_ARG("shard/match", si);
+        std::vector<AnchorWindow> offer;
+        offer.reserve(stale_sites.size());
+        for (const std::size_t w : stale_sites) offer.push_back(sites[w]);
+        shard_out.assign(offer.size(), {});
+        std::vector<char> handled(offer.size(), 0);
+        if (options.shards->shard_match(si, offer, &shard_out, &handled)) {
+          local_sites.clear();
+          for (std::size_t i = 0; i < stale_sites.size(); ++i) {
+            if (handled[i] != 0) {
+              from_shard[stale_sites[i]] = &shard_out[i];
+            } else {
+              local_sites.push_back(stale_sites[i]);
+            }
+          }
+        }
+      }
       // Budgeted runs clip capture layers per window straight off the
       // source (transient, uncharged) instead of hydrating full layers
       // and their R-trees; both paths feed identical canonical clips to
       // the encoder, so the matches are bit-identical.
       const std::vector<CapturedPattern> captured = parallel_map(
-          pool, stale_sites.size(), [&](std::size_t i) {
+          pool, local_sites.size(), [&](std::size_t i) {
             return budgeted
                        ? capture_window_streamed(snap, set.capture_layers,
-                                                 sites[stale_sites[i]])
+                                                 sites[local_sites[i]])
                        : capture_window_at(snap, set.capture_layers,
-                                           sites[stale_sites[i]]);
+                                           sites[local_sites[i]]);
           });
       const std::vector<std::vector<PatternMatch>> scanned =
           engine.matcher(si).scan_per_window(captured, pool);
@@ -322,7 +385,9 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
       std::size_t j = 0;
       for (std::size_t w = 0; w < sites.size(); ++w) {
         const std::vector<PatternMatch>& m =
-            reused[w] != nullptr ? *reused[w] : scanned[j++];
+            reused[w] != nullptr
+                ? *reused[w]
+                : from_shard[w] != nullptr ? *from_shard[w] : scanned[j++];
         flat.insert(flat.end(), m.begin(), m.end());
         next.emplace(sites[w], m);
       }
@@ -421,11 +486,88 @@ void run_flow_passes(DfmFlowReport& rep, const LayoutSnapshot& snap,
     }
     sim.kernels = caches.kernels;
     const bool have = inc && caches.litho_valid;
-    caches.litho =
-        have ? resimulate_hotspots(snap, layers::kMetal1, m1.bbox(), sim,
-                                   caches.litho,
-                                   damage.inc->dirty_region(layers::kMetal1))
-             : simulate_hotspots_tiled(snap, layers::kMetal1, m1.bbox(), sim);
+    // Distributed path: the coordinator mirrors the tiled run's
+    // bookkeeping exactly — same make_tiles grid, same 6-sigma stale
+    // selection, same fallback-to-full conditions — and outsources only
+    // the per-tile simulation. A declined batch falls through to the
+    // in-process engines, byte-identically either way (the snapshot
+    // density gate is a pure shortcut, see simulate_litho_tile).
+    bool sharded = false;
+    if (options.shards != nullptr) {
+      TELEM_SPAN("shard/litho");
+      HotspotTileSim next;
+      next.extent = m1.bbox();
+      next.tile = sim.tile;
+      next.tiles = make_tiles(next.extent, sim.tile);
+      std::vector<std::size_t> stale;
+      const bool carry = have && caches.litho.extent == next.extent &&
+                         caches.litho.tile == next.tile &&
+                         caches.litho.per_tile.size() ==
+                             caches.litho.tiles.size();
+      if (carry) {
+        next.per_tile = caches.litho.per_tile;
+        const Region dirty = damage.inc->dirty_region(layers::kMetal1);
+        const Coord margin = 6 * sim.model.sigma;
+        for (std::size_t ti = 0; ti < next.tiles.size(); ++ti) {
+          const Rect window = next.tiles[ti].expanded(margin);
+          for (const Rect& d : dirty.rects()) {
+            if (d.overlaps(window)) {
+              stale.push_back(ti);
+              break;
+            }
+          }
+        }
+      } else {
+        next.per_tile.resize(next.tiles.size());
+        stale.resize(next.tiles.size());
+        std::iota(stale.begin(), stale.end(), std::size_t{0});
+      }
+      std::vector<Rect> cores;
+      cores.reserve(stale.size());
+      for (const std::size_t ti : stale) cores.push_back(next.tiles[ti]);
+      std::vector<std::vector<Hotspot>> per_core(cores.size());
+      std::vector<char> skipflags(cores.size(), 0);
+      std::vector<char> handled(cores.size(), 0);
+      if (options.shards->shard_litho(cores, &per_core, &skipflags,
+                                      &handled)) {
+        // Declined cores (halo escapes every shard window) run through
+        // the same exported tile simulator the workers use.
+        std::vector<std::size_t> local;
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+          if (handled[i] == 0) local.push_back(i);
+        }
+        if (!local.empty()) {
+          const PrefilterCalibration cal = resolve_litho_calibration(sim);
+          const PrefilterCalibration* calp = cal.valid ? &cal : nullptr;
+          const std::vector<std::vector<Hotspot>> redone = parallel_map(
+              pool, local.size(), [&](std::size_t i) {
+                bool skip = false;
+                auto hs = simulate_litho_tile(m1, cores[local[i]], sim, pool,
+                                              calp, skip);
+                skipflags[local[i]] = skip ? 1 : 0;
+                return hs;
+              });
+          for (std::size_t i = 0; i < local.size(); ++i) {
+            per_core[local[i]] = std::move(redone[i]);
+          }
+        }
+        for (std::size_t i = 0; i < stale.size(); ++i) {
+          next.per_tile[stale[i]] = std::move(per_core[i]);
+        }
+        next.recomputed = stale.size();
+        next.skipped = static_cast<std::size_t>(
+            std::count(skipflags.begin(), skipflags.end(), 1));
+        caches.litho = std::move(next);
+        sharded = true;
+      }
+    }
+    if (!sharded) {
+      caches.litho =
+          have ? resimulate_hotspots(snap, layers::kMetal1, m1.bbox(), sim,
+                                     caches.litho,
+                                     damage.inc->dirty_region(layers::kMetal1))
+               : simulate_hotspots_tiled(snap, layers::kMetal1, m1.bbox(), sim);
+    }
     caches.litho_valid = true;
     rep.hotspots = caches.litho.merged();
     rep.scorecard.add("litho", score_from_count(rep.hotspots.size()), 3.0,

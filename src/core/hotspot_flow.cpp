@@ -221,6 +221,20 @@ const DensityMap* density_for(const LayoutSnapshot& snap, LayerKey layer,
 
 }  // namespace
 
+std::vector<Hotspot> simulate_litho_tile(const NormalizedRegion& layer,
+                                         const Rect& core,
+                                         const HotspotSimOptions& options,
+                                         ThreadPool* pool,
+                                         const PrefilterCalibration* cal,
+                                         bool& skipped) {
+  return simulate_tile(layer, core, options, pool, cal, nullptr, skipped);
+}
+
+PrefilterCalibration resolve_litho_calibration(
+    const HotspotSimOptions& options) {
+  return resolve_calibration(options);
+}
+
 std::vector<Hotspot> HotspotTileSim::merged() const {
   std::vector<Hotspot> out;
   for (const std::vector<Hotspot>& v : per_tile) {

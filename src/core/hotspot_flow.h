@@ -110,6 +110,30 @@ struct HotspotTileSim {
   std::vector<Hotspot> merged() const;
 };
 
+struct PrefilterCalibration;  // litho/prefilter.h
+
+/// One tile of the tiled simulation, exported for the shard worker: clip
+/// `layer` to the 6-sigma halo window around `core`, simulate, and keep
+/// only hotspots whose marker center lies in `core`. `cal` (may be null)
+/// is the prefilter calibration from litho_tile_calibration; a provably
+/// hotspot-free tile skips simulation and sets `skipped`. Byte-identical
+/// to the tile the in-process tiled run produces for the same core — the
+/// snapshot path's density gate is a pure shortcut for "clip empty" and
+/// never changes output or `skipped`.
+std::vector<Hotspot> simulate_litho_tile(const NormalizedRegion& layer,
+                                         const Rect& core,
+                                         const HotspotSimOptions& options,
+                                         ThreadPool* pool,
+                                         const PrefilterCalibration* cal,
+                                         bool& skipped);
+
+/// The prefilter calibration a tiled run with `options` uses; invalid
+/// (never skips) when the prefilter is off, forced off by kOff, or
+/// unprovable for this model. Pure in (model, edge_tolerance,
+/// prefilter_window), so a worker process reproduces the coordinator's
+/// calibration from the serialized options alone.
+PrefilterCalibration resolve_litho_calibration(const HotspotSimOptions& options);
+
 /// Simulates every tile of `extent`. Tiles run concurrently on the
 /// options pool; each tile's hotspot list is independent of the others
 /// (core-ownership rule), so the structure is thread-count invariant.

@@ -1,5 +1,6 @@
 #include "core/incremental.h"
 
+#include "core/shard_backend.h"
 #include "core/telemetry.h"
 #include "layout/library.h"
 
@@ -83,6 +84,10 @@ void DfmFlowSession::run_cold() {
 
 const DfmFlowReport& DfmFlowSession::apply(const LayoutDelta& delta) {
   const auto t0 = Clock::now();
+  // Keep shard workers' resident geometry in lockstep before any pass
+  // dispatches to them; the coordinator's damage model below stays the
+  // sole authority on what is stale.
+  if (options_.shards != nullptr) options_.shards->shard_apply(delta);
   auto next = std::make_unique<IncrementalSnapshot>(*snap_, delta);
 
   DfmFlowReport rep;

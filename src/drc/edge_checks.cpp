@@ -39,14 +39,23 @@ std::vector<Violation> markers_from(const Region& bad2x, const Region& layout,
 
 }  // namespace
 
-std::vector<Violation> check_min_width(const Region& r, Coord w,
-                                       const std::string& rule) {
+Region min_width_bad2x(const Region& r, Coord w) {
   if (w <= 0 || r.empty()) return {};
   // On the 2x grid, opening with radius w-1 removes interior dimensions
   // <= 2w-2, i.e. layout widths <= w-1: exactly "strictly below w".
   const Region r2 = r.scaled(2);
-  const Region bad = r2 - r2.opened(w - 1);
-  return markers_from(bad, r, w, /*external=*/false, rule);
+  return r2 - r2.opened(w - 1);
+}
+
+std::vector<Violation> min_width_markers(const Region& bad2x, const Region& r,
+                                         Coord w, const std::string& rule) {
+  return markers_from(bad2x, r, w, /*external=*/false, rule);
+}
+
+std::vector<Violation> check_min_width(const Region& r, Coord w,
+                                       const std::string& rule) {
+  if (w <= 0 || r.empty()) return {};
+  return min_width_markers(min_width_bad2x(r, w), r, w, rule);
 }
 
 std::vector<Violation> check_min_spacing(const Region& r, Coord s,

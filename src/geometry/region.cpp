@@ -171,7 +171,13 @@ std::vector<Region> Region::components() const {
     out.push_back(std::move(reg));
   }
   std::sort(out.begin(), out.end(), [](const Region& a, const Region& b) {
-    return a.bbox().lo < b.bbox().lo;
+    // Full-bbox ordering: input decomposition must not leak into the
+    // component order (shard-stitched and whole-layer inputs of the same
+    // point set agree), so break lo ties on hi. Components left tied
+    // have identical bboxes.
+    const Rect ab = a.bbox(), bb = b.bbox();
+    if (ab.lo != bb.lo) return ab.lo < bb.lo;
+    return ab.hi < bb.hi;
   });
   return out;
 }

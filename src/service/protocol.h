@@ -40,7 +40,12 @@ namespace dfm::service {
 ///      echoes a "trace" object {span_id, start_ns, end_ns, queue_ns}
 ///      in the response. New control ops: "metrics" (Prometheus text +
 ///      JSON exposition) and "debug" (flight-recorder drain).
-inline constexpr int kProtocolVersion = 3;
+///  v4: distributed sharding — the `dfmkit shard-serve` worker speaks
+///      the same framing with the shard op family (shard_open,
+///      shard_drc, shard_match, shard_litho, shard_edit, shutdown; see
+///      src/shard/). Shard requests reuse the v3 trace-context fields,
+///      so worker spans parent under the coordinator's dispatch span.
+inline constexpr int kProtocolVersion = 4;
 
 /// Bytes of the big-endian length prefix.
 inline constexpr std::size_t kFrameHeaderBytes = 4;

@@ -68,10 +68,14 @@ Json rehome(const Json& ev, int pid, double offset_us,
 std::string merge_chrome_traces(const std::string& client_json,
                                 const std::string& server_json,
                                 TraceMergeStats* stats) {
+  return merge_chrome_traces_many(client_json, {server_json}, stats);
+}
+
+std::string merge_chrome_traces_many(
+    const std::string& client_json,
+    const std::vector<std::string>& server_jsons, TraceMergeStats* stats) {
   const Json client = Json::parse(client_json);
-  const Json server = Json::parse(server_json);
   const Json::Array& client_events = events_of(client, "client");
-  const Json::Array& server_events = events_of(server, "server");
 
   TraceMergeStats st;
 
@@ -89,75 +93,93 @@ std::string merge_chrome_traces(const std::string& client_json,
                            ev.get_int("tid", 0)};
   }
 
-  // Linked server request spans -> candidate clock offsets (center each
-  // server span in its client window; transport latency splits evenly).
+  Json::Array merged;
+  for (const Json& ev : client_events) {
+    merged.push_back(rehome(ev, 1, 0, "dfmkit client"));
+  }
+
   struct Pair {
     std::uint64_t span_id = 0;
     SpanRef client;
     SpanRef server;
   };
-  std::vector<Pair> pairs;
-  std::vector<double> offsets;
-  for (const Json& ev : server_events) {
-    if (const Json* ph = ev.find("ph");
-        ph != nullptr && ph->is_string() && ph->as_string() == "X") {
-      ++st.server_events;
-    }
-    if (!is_span(ev, "service/request")) continue;
-    const std::uint64_t parent = args_link(ev, "parent_span");
-    const auto it = requests.find(parent);
-    if (it == requests.end()) continue;
-    Pair p;
-    p.span_id = parent;
-    p.client = it->second;
-    p.server = SpanRef{num_field(ev, "ts", 0), num_field(ev, "dur", 0),
-                       ev.get_int("tid", 0)};
-    offsets.push_back((p.client.ts + p.client.dur / 2) -
-                      (p.server.ts + p.server.dur / 2));
-    pairs.push_back(p);
-  }
-  st.linked_requests = pairs.size();
-  if (!offsets.empty()) {
-    std::sort(offsets.begin(), offsets.end());
-    st.offset_us = offsets[offsets.size() / 2];
-  }
+  for (std::size_t file = 0; file < server_jsons.size(); ++file) {
+    const Json server = Json::parse(server_jsons[file]);
+    const Json::Array& server_events = events_of(server, "server");
 
-  Json::Array merged;
-  merged.reserve(client_events.size() + server_events.size() +
-                 2 * pairs.size());
-  for (const Json& ev : client_events) {
-    merged.push_back(rehome(ev, 1, 0, "dfmkit client"));
-  }
-  for (const Json& ev : server_events) {
-    merged.push_back(rehome(ev, 2, st.offset_us, "dfmkit serve"));
-  }
-  for (const Pair& p : pairs) {
-    const double sts = p.server.ts + st.offset_us;
-    if (sts >= p.client.ts - 1e-6 &&
-        sts + p.server.dur <= p.client.ts + p.client.dur + 1e-6) {
-      ++st.nested;
+    // Linked server request spans -> candidate clock offsets (center
+    // each server span in its client window; transport latency splits
+    // evenly). A daemon records `service/request`, a shard worker
+    // `shard/request`; both carry the propagated parent_span.
+    std::vector<Pair> pairs;
+    std::vector<double> offsets;
+    bool is_shard = false;
+    for (const Json& ev : server_events) {
+      if (const Json* ph = ev.find("ph");
+          ph != nullptr && ph->is_string() && ph->as_string() == "X") {
+        ++st.server_events;
+      }
+      const bool service = is_span(ev, "service/request");
+      const bool shard = is_span(ev, "shard/request");
+      if (shard) is_shard = true;
+      if (!service && !shard) continue;
+      const std::uint64_t parent = args_link(ev, "parent_span");
+      const auto it = requests.find(parent);
+      if (it == requests.end()) continue;
+      Pair p;
+      p.span_id = parent;
+      p.client = it->second;
+      p.server = SpanRef{num_field(ev, "ts", 0), num_field(ev, "dur", 0),
+                         ev.get_int("tid", 0)};
+      offsets.push_back((p.client.ts + p.client.dur / 2) -
+                        (p.server.ts + p.server.dur / 2));
+      pairs.push_back(p);
     }
-    // Chrome flow arrow: start on the client request, finish ("bp": "e"
-    // = bind to the enclosing slice) on the shifted server span.
-    Json::Object s;
-    s["ph"] = Json("s");
-    s["cat"] = Json("service");
-    s["name"] = Json("request");
-    s["id"] = Json(p.span_id);
-    s["pid"] = Json(1);
-    s["tid"] = Json(p.client.tid);
-    s["ts"] = Json(p.client.ts);
-    merged.emplace_back(std::move(s));
-    Json::Object f;
-    f["ph"] = Json("f");
-    f["bp"] = Json("e");
-    f["cat"] = Json("service");
-    f["name"] = Json("request");
-    f["id"] = Json(p.span_id);
-    f["pid"] = Json(2);
-    f["tid"] = Json(p.server.tid);
-    f["ts"] = Json(sts);
-    merged.emplace_back(std::move(f));
+    st.linked_requests += pairs.size();
+    double offset_us = 0;
+    if (!offsets.empty()) {
+      std::sort(offsets.begin(), offsets.end());
+      offset_us = offsets[offsets.size() / 2];
+    }
+    if (file == 0) st.offset_us = offset_us;
+
+    const int pid = 2 + static_cast<int>(file);
+    const std::string process_name =
+        is_shard ? "dfmkit shard-serve " + std::to_string(file)
+        : server_jsons.size() > 1
+            ? "dfmkit serve " + std::to_string(file)
+            : "dfmkit serve";
+    for (const Json& ev : server_events) {
+      merged.push_back(rehome(ev, pid, offset_us, process_name));
+    }
+    for (const Pair& p : pairs) {
+      const double sts = p.server.ts + offset_us;
+      if (sts >= p.client.ts - 1e-6 &&
+          sts + p.server.dur <= p.client.ts + p.client.dur + 1e-6) {
+        ++st.nested;
+      }
+      // Chrome flow arrow: start on the client request, finish ("bp":
+      // "e" = bind to the enclosing slice) on the shifted server span.
+      Json::Object s;
+      s["ph"] = Json("s");
+      s["cat"] = Json("service");
+      s["name"] = Json("request");
+      s["id"] = Json(p.span_id);
+      s["pid"] = Json(1);
+      s["tid"] = Json(p.client.tid);
+      s["ts"] = Json(p.client.ts);
+      merged.emplace_back(std::move(s));
+      Json::Object f;
+      f["ph"] = Json("f");
+      f["bp"] = Json("e");
+      f["cat"] = Json("service");
+      f["name"] = Json("request");
+      f["id"] = Json(p.span_id);
+      f["pid"] = Json(pid);
+      f["tid"] = Json(p.server.tid);
+      f["ts"] = Json(sts);
+      merged.emplace_back(std::move(f));
+    }
   }
 
   Json::Object other;

@@ -6,6 +6,8 @@
 #include "service/loadgen.h"
 #include "service/server.h"
 #include "service/trace_merge.h"
+#include "shard/remote_backend.h"
+#include "shard/shard_server.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -127,7 +129,8 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
        "--max-queue", "--idle-timeout-ms", "--deadline-ms", "--passes",
        "--litho-tile", "--litho-fast", "--memory-budget", "--snapshot-shm",
        "--fix-max-iters", "--fix-min-gain", "--fix-moves", "--trace-out",
-       "--flight-records", "--slow-ms"});
+       "--flight-records", "--slow-ms", "--shards", "--shard-bin",
+       "--shard-dir"});
   if (!args.positional.empty()) {
     throw std::runtime_error(
         "usage: dfmkit serve [--socket <path>] [--tcp <port>] [--workers N] "
@@ -137,6 +140,7 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
         "[--memory-budget <size>] [--snapshot-shm <prefix>] "
         "[--fix-max-iters N] [--fix-min-gain G] [--fix-moves a,b,...] "
         "[--trace-out <path>] [--flight-records N] [--slow-ms MS] "
+        "[--shards N] [--shard-bin <path>] [--shard-dir <dir>] "
         "[--debug-ops]");
   }
 
@@ -227,6 +231,34 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
     }
   }
 
+  // Distributed sharding: every session this daemon opens (default top
+  // only) gets its own fleet of `dfmkit shard-serve` worker processes.
+  // The factory lives here, not in dfm_service, because the shard
+  // library sits above the service library in the dependency order.
+  const int shards = static_cast<int>(args.num("--shards", 0));
+  if (shards > 0) {
+    const std::string bin =
+        args.str("--shard-bin", shard::self_executable_path());
+    const std::string dir_base = args.str("--shard-dir", "");
+    const DfmFlowOptions flow = opt.flow;
+    opt.shard_factory =
+        [shards, bin, dir_base,
+         flow](const std::string& path) -> std::unique_ptr<ShardBackend> {
+      shard::RemoteShardConfig sc;
+      sc.worker.tech = flow.tech;
+      sc.worker.model = flow.model;
+      sc.worker.litho_tile = flow.litho_tile;
+      sc.worker.litho_edge_tolerance = flow.litho_edge_tolerance;
+      sc.worker.litho_fast = flow.litho_fast;
+      sc.layout_path = path;
+      sc.binary = bin;
+      sc.socket_dir = shard::make_shard_scratch_dir(dir_base);
+      sc.shards = shards;
+      return std::make_unique<shard::RemoteShardBackend>(
+          shard::shard_extent_of(path), std::move(sc));
+    };
+  }
+
   const std::string trace_path = args.str("--trace-out", "");
   if (!trace_path.empty() && !telemetry::compiled_in()) {
     std::fprintf(stderr,
@@ -289,6 +321,28 @@ int cmd_serve(int argc, char** argv, unsigned threads) {
                 static_cast<unsigned>(trace.threads.size()));
   }
   return 0;
+}
+
+int cmd_shard_serve(int argc, char** argv, unsigned threads) {
+  const Args args = Args::parse(argc, argv, 2,
+                                {"--socket", "--threads", "--trace-out"});
+  shard::ShardServeOptions opt;
+  opt.unix_path = args.str("--socket", "");
+  if (opt.unix_path.empty() || !args.positional.empty()) {
+    throw std::runtime_error(
+        "usage: dfmkit shard-serve --socket <path> [--threads N] [--once] "
+        "[--trace-out <path>]");
+  }
+  opt.threads = static_cast<unsigned>(
+      args.num("--threads", static_cast<long>(threads)));
+  opt.once = args.has("--once");
+  opt.trace_out = args.str("--trace-out", "");
+  if (!opt.trace_out.empty() && !telemetry::compiled_in()) {
+    std::fprintf(stderr,
+                 "dfmkit: --trace-out: telemetry was compiled out "
+                 "(DFMKIT_TELEMETRY=OFF); the trace will be empty\n");
+  }
+  return shard::run_shard_server(opt);
 }
 
 int cmd_client(int argc, char** argv) {
@@ -679,14 +733,16 @@ int cmd_top(int argc, char** argv) {
 
 int cmd_trace_merge(int argc, char** argv) {
   const Args args = Args::parse(argc, argv, 2, {"--out"});
-  if (args.positional.size() != 2) {
+  if (args.positional.size() < 2) {
     throw std::runtime_error(
         "usage: dfmkit trace-merge <client_trace.json> <server_trace.json> "
-        "[--out <merged.json>]\n"
-        "  Stitches a --trace-out pair into one Chrome trace: client\n"
-        "  process + server process on a shared timeline, with flow\n"
-        "  arrows linking each client/request span to the service/request\n"
-        "  span it parented (protocol v3 trace context).");
+        "[more_server_traces.json ...] [--out <merged.json>]\n"
+        "  Stitches --trace-out files into one Chrome trace: the client\n"
+        "  (or shard coordinator) process plus every server/worker\n"
+        "  process on a shared timeline, with flow arrows linking each\n"
+        "  client/request span to the service/request (daemon) or\n"
+        "  shard/request (worker) span it parented (protocol v3/v4\n"
+        "  trace context).");
   }
   const auto slurp = [](const std::string& path) {
     std::ifstream in(path);
@@ -695,9 +751,13 @@ int cmd_trace_merge(int argc, char** argv) {
                        std::istreambuf_iterator<char>());
   };
   const std::string out_path = args.str("--out", "merged_trace.json");
+  std::vector<std::string> servers;
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    servers.push_back(slurp(args.positional[i]));
+  }
   service::TraceMergeStats stats;
-  const std::string merged = service::merge_chrome_traces(
-      slurp(args.positional[0]), slurp(args.positional[1]), &stats);
+  const std::string merged = service::merge_chrome_traces_many(
+      slurp(args.positional[0]), servers, &stats);
   std::ofstream out(out_path);
   if (!out) throw std::runtime_error("cannot write " + out_path);
   out << merged;
